@@ -1,0 +1,103 @@
+package pkgstream
+
+import (
+	"pkgstream/internal/cluster"
+	"pkgstream/internal/heavyhitters"
+	"pkgstream/internal/wordcount"
+)
+
+// Application and cluster-experiment surface.
+
+// Cluster simulation (Figure 5 methodology).
+
+// ClusterParams configures a simulated Storm-like deployment.
+type ClusterParams = cluster.Params
+
+// ClusterResult reports throughput, latency and memory.
+type ClusterResult = cluster.Result
+
+// ClusterMethod selects the partitioning strategy at the source.
+type ClusterMethod = cluster.Method
+
+// Cluster partitioning strategies.
+const (
+	// ClusterKG is key grouping with running counters.
+	ClusterKG = cluster.KG
+	// ClusterPKG is partial key grouping with local load estimation.
+	ClusterPKG = cluster.PKG
+	// ClusterSG is shuffle grouping.
+	ClusterSG = cluster.SG
+)
+
+// ClusterDefaults returns the calibrated Figure 5 configuration.
+func ClusterDefaults(m ClusterMethod) ClusterParams { return cluster.Defaults(m) }
+
+// RunCluster executes the discrete-event cluster simulation.
+func RunCluster(p ClusterParams) (ClusterResult, error) { return cluster.Run(p) }
+
+// Heavy hitters (§VI.C).
+
+// SpaceSaving is the Metwally et al. top-k sketch with O(1) updates.
+type SpaceSaving = heavyhitters.SpaceSaving
+
+// Counted is an item with estimated count and error bound.
+type Counted = heavyhitters.Counted
+
+// HeavyHitters is the distributed top-k tracker: one SpaceSaving summary
+// per worker, items routed by the chosen strategy; PKG queries probe
+// exactly two workers per item.
+type HeavyHitters = heavyhitters.Distributed
+
+// HHStrategy selects the heavy hitters routing strategy.
+type HHStrategy = heavyhitters.Strategy
+
+// Heavy-hitter routing strategies.
+const (
+	// HHByPKG tracks each item on at most two workers.
+	HHByPKG = heavyhitters.ByPKG
+	// HHByKey tracks each item on exactly one worker.
+	HHByKey = heavyhitters.ByKey
+	// HHByShuffle spreads items over all workers.
+	HHByShuffle = heavyhitters.ByShuffle
+)
+
+// NewSpaceSaving returns a SpaceSaving summary of capacity k.
+func NewSpaceSaving(k int) *SpaceSaving { return heavyhitters.New(k) }
+
+// MergeSummaries merges SpaceSaving summaries into capacity k
+// (Berinde-style error accounting).
+func MergeSummaries(k int, summaries ...*SpaceSaving) *SpaceSaving {
+	return heavyhitters.Merge(k, summaries...)
+}
+
+// NewHeavyHitters returns a distributed top-k tracker over w workers with
+// per-worker capacity k.
+func NewHeavyHitters(w, k int, strategy HHStrategy, seed uint64) *HeavyHitters {
+	return heavyhitters.NewDistributed(w, k, strategy, seed)
+}
+
+// Word count (the paper's running example, §II.A).
+
+// WordCount is a word with its count.
+type WordCount = wordcount.WordCount
+
+// WordCountConfig parameterizes a streaming top-k word count topology.
+type WordCountConfig = wordcount.Config
+
+// WordCountOutput collects a topology run's results.
+type WordCountOutput = wordcount.Output
+
+// Word count grouping choices.
+const (
+	// WordCountPKG runs the counters under partial key grouping.
+	WordCountPKG = wordcount.UsePKG
+	// WordCountKG runs the counters under key grouping.
+	WordCountKG = wordcount.UseKG
+	// WordCountSG runs the counters under shuffle grouping.
+	WordCountSG = wordcount.UseSG
+)
+
+// BuildWordCount assembles the streaming top-k word count topology.
+func BuildWordCount(cfg WordCountConfig) (*Topology, *WordCountOutput, error) {
+	return wordcount.Build(cfg)
+}

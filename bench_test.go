@@ -1,0 +1,173 @@
+package pkgstream_test
+
+// One benchmark per table and figure of the paper's evaluation: each
+// executes the corresponding reproduction end to end at a reduced scale
+// (cmd/pkgbench prints the full tables; these make `go test -bench=.`
+// exercise every experiment and report its headline metric), plus
+// micro-benchmarks of the routing hot path.
+
+import (
+	"strconv"
+	"testing"
+
+	"pkgstream"
+	"pkgstream/internal/experiments"
+)
+
+// benchScale keeps each experiment iteration in the sub-second to
+// few-second range.
+var benchScale = experiments.Scale{
+	Name:            "bench",
+	MessageCap:      100_000,
+	ClusterSpecCap:  150_000,
+	ClusterDuration: 5,
+	Fig5bPeriods:    []float64{2, 5},
+}
+
+// runExperiment executes a registered experiment b.N times and returns
+// the last result for metric extraction.
+func runExperiment(b *testing.B, name string) []experiments.Table {
+	b.Helper()
+	e, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = e.Run(benchScale, 42)
+	}
+	if len(tables) == 0 {
+		b.Fatal("experiment produced no tables")
+	}
+	return tables
+}
+
+// cellMetric parses a table cell as a float for b.ReportMetric.
+func cellMetric(b *testing.B, t experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, t.Rows[row][col], err)
+	}
+	return v
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+func BenchmarkTable2AvgImbalance(b *testing.B) {
+	tables := runExperiment(b, "table2")
+	// Row 0 is PKG; column 2 is W=10 on WP.
+	b.ReportMetric(cellMetric(b, tables[0], 0, 2), "pkg-imbalance-w10")
+	b.ReportMetric(cellMetric(b, tables[0], 4, 2), "hash-imbalance-w10")
+}
+
+func BenchmarkFig2LocalVsGlobal(b *testing.B) {
+	tables := runExperiment(b, "fig2")
+	// WP table (index 1): G and L5 at W=10.
+	b.ReportMetric(cellMetric(b, tables[1], 1, 2), "G-fraction-w10")
+	b.ReportMetric(cellMetric(b, tables[1], 2, 2), "L5-fraction-w10")
+}
+
+func BenchmarkFig3TimeSeries(b *testing.B) {
+	runExperiment(b, "fig3")
+}
+
+func BenchmarkFig4SkewedSources(b *testing.B) {
+	runExperiment(b, "fig4")
+}
+
+func BenchmarkFig5aThroughput(b *testing.B) {
+	tables := runExperiment(b, "fig5a")
+	t := tables[0]
+	last := len(t.Rows) - 1
+	b.ReportMetric(cellMetric(b, t, last, 1), "pkg-thr-at-1ms")
+	b.ReportMetric(cellMetric(b, t, last, 3), "kg-thr-at-1ms")
+}
+
+func BenchmarkFig5bMemory(b *testing.B) {
+	tables := runExperiment(b, "fig5b")
+	t := tables[0]
+	// Row 1/2 are PKG/SG at the shortest period.
+	b.ReportMetric(cellMetric(b, t, 1, 3), "pkg-counters")
+	b.ReportMetric(cellMetric(b, t, 2, 3), "sg-counters")
+}
+
+func BenchmarkJaccardGvsL(b *testing.B) {
+	tables := runExperiment(b, "jaccard")
+	b.ReportMetric(cellMetric(b, tables[0], 0, 1), "jaccard")
+}
+
+func BenchmarkMemoryFootprint(b *testing.B) {
+	runExperiment(b, "memory")
+}
+
+func BenchmarkAblationChoicesD(b *testing.B) {
+	runExperiment(b, "ablation-d")
+}
+
+func BenchmarkAblationProbing(b *testing.B) {
+	runExperiment(b, "ablation-probe")
+}
+
+func BenchmarkTheoremBounds(b *testing.B) {
+	runExperiment(b, "theory")
+}
+
+// Micro-benchmarks of the public routing hot path.
+
+func BenchmarkRoutePKG(b *testing.B) {
+	view := pkgstream.NewLoad(100)
+	p := pkgstream.NewPKG(100, 2, 1, view)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Add(p.Route(uint64(i) * 0x9e3779b97f4a7c15))
+	}
+}
+
+func BenchmarkRouteKeyGrouping(b *testing.B) {
+	p := pkgstream.NewKeyGrouping(100, 1)
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += p.Route(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkSimulateWPQuick(b *testing.B) {
+	spec := pkgstream.Wikipedia.WithCap(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := pkgstream.Simulate(spec, pkgstream.SimOptions{
+			Workers: 10, Sources: 5,
+			Method: pkgstream.SimPKG, Info: pkgstream.InfoLocal,
+			Seed: uint64(i),
+		})
+		if res.Messages == 0 {
+			b.Fatal("empty run")
+		}
+	}
+	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+func BenchmarkEngineWordCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		top, out, err := pkgstream.BuildWordCount(pkgstream.WordCountConfig{
+			Words: 50_000, Vocab: 10_000, P1: 0.09,
+			Sources: 2, Workers: 9, FlushEvery: 5000, K: 10,
+			Grouping: pkgstream.WordCountPKG, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pkgstream.NewRuntime(top, pkgstream.RuntimeOptions{QueueSize: 2048}).Run(); err != nil {
+			b.Fatal(err)
+		}
+		if out.TotalWords != 100_000 {
+			b.Fatal("lost tuples")
+		}
+	}
+	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "words/s")
+}

@@ -1,0 +1,93 @@
+// Command datagen inspects the synthetic datasets that stand in for the
+// paper's Table I workloads: it prints the empirical statistics of each
+// generated stream next to the paper's published values, and can dump
+// raw messages for external tooling.
+//
+//	datagen                      # Table I at default scale
+//	datagen -cap 1000000         # larger streams
+//	datagen -symbol WP -dump 20  # peek at messages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pkgstream"
+)
+
+func main() {
+	var (
+		capFlag = flag.Int64("cap", 500_000, "max messages per stream")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		symbol  = flag.String("symbol", "", "inspect a single dataset (WP, TW, CT, LN1, LN2, LJ, SL1, SL2)")
+		dump    = flag.Int("dump", 0, "print the first N messages of the selected dataset")
+		topFlag = flag.Int("top", 5, "show the N most frequent keys of the selected dataset")
+	)
+	flag.Parse()
+
+	if *symbol != "" {
+		ds, err := pkgstream.DatasetBySymbol(*symbol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		inspect(ds.WithCap(*capFlag), *seed, *dump, *topFlag)
+		return
+	}
+
+	fmt.Printf("%-14s %-6s %10s %10s %8s %10s\n",
+		"Dataset", "Symbol", "Messages", "Keys", "p1(%)", "paper(%)")
+	for _, full := range pkgstream.Datasets() {
+		ds := full.WithCap(*capFlag)
+		st := pkgstream.MeasureStream(ds.Open(*seed), 0)
+		fmt.Printf("%-14s %-6s %10d %10d %8.2f %10.2f\n",
+			ds.Name, ds.Symbol, st.Messages, st.DistinctKeys, st.P1*100, full.P1*100)
+	}
+}
+
+func inspect(ds pkgstream.Dataset, seed uint64, dump, top int) {
+	fmt.Printf("%s (%s): kind=%v messages=%d keys=%d p1=%.4f duration=%.0fh\n",
+		ds.Name, ds.Symbol, ds.Kind, ds.Messages, ds.Keys, ds.P1, ds.DurationHours)
+
+	if dump > 0 {
+		s := ds.Open(seed)
+		fmt.Println("\nfirst messages (key, srcKey, t):")
+		for i := 0; i < dump; i++ {
+			m, ok := s.Next()
+			if !ok {
+				break
+			}
+			fmt.Printf("  %8d %8d %8.3f\n", m.Key, m.SrcKey, m.T)
+		}
+	}
+
+	if top > 0 {
+		counts := map[uint64]int64{}
+		s := ds.Open(seed)
+		var n int64
+		for {
+			m, ok := s.Next()
+			if !ok {
+				break
+			}
+			counts[m.Key]++
+			n++
+		}
+		fmt.Printf("\ntop %d keys of %d messages:\n", top, n)
+		for i := 0; i < top; i++ {
+			var bk uint64
+			var bc int64 = -1
+			for k, c := range counts {
+				if c > bc || (c == bc && k < bk) {
+					bk, bc = k, c
+				}
+			}
+			if bc < 0 {
+				break
+			}
+			fmt.Printf("  key %-10d %10d  (%.3f%%)\n", bk, bc, float64(bc)/float64(n)*100)
+			delete(counts, bk)
+		}
+	}
+}

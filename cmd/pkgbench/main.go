@@ -1,0 +1,93 @@
+// Command pkgbench regenerates every table and figure of the paper's
+// evaluation (plus the ablations) from the simulation and cluster
+// harnesses. Run it with no arguments for the full suite at default
+// scale, or pick experiments and scales:
+//
+//	pkgbench -list
+//	pkgbench -exp table2,fig5a -scale quick
+//	pkgbench -exp all -scale full -seed 7 -csv out/
+//
+// Scales: quick (seconds), default (minutes), full (WP at its true 22M
+// messages). Every run is deterministic in (-seed, -scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pkgstream/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		scaleFlag = flag.String("scale", "default", "quick | default | full")
+		seedFlag  = flag.Uint64("seed", 42, "random seed (runs are deterministic per seed)")
+		csvFlag   = flag.String("csv", "", "also write each table as CSV into this directory")
+		listFlag  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry {
+			fmt.Printf("  %-14s %-12s %s\n", e.Name, e.Paper, e.Description)
+		}
+		return
+	}
+
+	scale, err := experiments.ScaleByName(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var selected []experiments.Experiment
+	if *expFlag == "all" || *expFlag == "" {
+		selected = experiments.Registry
+	} else {
+		for _, name := range strings.Split(*expFlag, ",") {
+			e, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvFlag != "" {
+		if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("pkgbench: scale=%s seed=%d experiments=%d\n\n", scale.Name, *seedFlag, len(selected))
+	suiteStart := time.Now()
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(scale, *seedFlag)
+		for i, tb := range tables {
+			fmt.Println(tb.String())
+			if *csvFlag != "" {
+				name := e.Name
+				if len(tables) > 1 {
+					name = fmt.Sprintf("%s-%d", e.Name, i)
+				}
+				path := filepath.Join(*csvFlag, name+".csv")
+				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Printf("[%s: %s in %v]\n\n", e.Name, e.Paper, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("pkgbench: done in %v\n", time.Since(suiteStart).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pkgbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package pkgstream
+
+import (
+	"pkgstream/internal/engine"
+)
+
+// Storm-like engine surface: build a Topology with NewTopologyBuilder,
+// choose groupings per edge (GroupPartial is the paper's contribution as
+// a drop-in grouping), and execute it with NewRuntime. Each component
+// instance (PEI) runs on its own goroutine behind a bounded queue.
+
+// Tuple is the unit of data flowing through a topology.
+type Tuple = engine.Tuple
+
+// Values is a tuple payload.
+type Values = engine.Values
+
+// Spout is a stream source.
+type Spout = engine.Spout
+
+// Bolt is a stream operator.
+type Bolt = engine.Bolt
+
+// BoltFunc adapts a function to Bolt.
+type BoltFunc = engine.BoltFunc
+
+// Emitter sends tuples downstream (blocking on full queues).
+type Emitter = engine.Emitter
+
+// Context identifies a component instance.
+type Context = engine.Context
+
+// Topology is a validated dataflow DAG.
+type Topology = engine.Topology
+
+// TopologyBuilder assembles a Topology.
+type TopologyBuilder = engine.Builder
+
+// BoltDecl is a bolt under construction (chain Input/TickEvery).
+type BoltDecl = engine.BoltDecl
+
+// Runtime executes a Topology.
+type Runtime = engine.Runtime
+
+// RuntimeOptions configures a Runtime.
+type RuntimeOptions = engine.Options
+
+// TopologyStats is a snapshot of per-instance counters.
+type TopologyStats = engine.Stats
+
+// Grouping routes one tuple to a downstream instance.
+type Grouping = engine.Grouping
+
+// GroupingFactory builds one Grouping per emitting instance and edge.
+type GroupingFactory = engine.GroupingFactory
+
+// NewTopologyBuilder starts a topology definition; seed drives all
+// grouping hash functions.
+func NewTopologyBuilder(name string, seed uint64) *TopologyBuilder {
+	return engine.NewBuilder(name, seed)
+}
+
+// NewRuntime prepares a runtime for a built topology.
+func NewRuntime(top *Topology, opts RuntimeOptions) *Runtime {
+	return engine.NewRuntime(top, opts)
+}
+
+// GroupPartial is PARTIAL KEY GROUPING as an engine grouping: two hash
+// choices, per-emitter local load estimation, no coordination.
+func GroupPartial() GroupingFactory { return engine.Partial() }
+
+// GroupPartialN is Greedy-d partial key grouping with d choices.
+func GroupPartialN(d int) GroupingFactory { return engine.PartialN(d) }
+
+// GroupByKey is key grouping (fields grouping): one instance per key.
+func GroupByKey() GroupingFactory { return engine.Key() }
+
+// GroupShuffle is round-robin shuffle grouping.
+func GroupShuffle() GroupingFactory { return engine.Shuffle() }
+
+// GroupGlobal sends every tuple to instance 0 (single aggregator).
+func GroupGlobal() GroupingFactory { return engine.Global() }
+
+// GroupBroadcast delivers every tuple to every instance.
+func GroupBroadcast() GroupingFactory { return engine.Broadcast() }

@@ -1,0 +1,83 @@
+package pkgstream_test
+
+import (
+	"fmt"
+
+	"pkgstream"
+)
+
+// The core loop: route a skewed stream with PKG, charging the source's
+// local load estimate. Key splitting keeps every key on at most two
+// workers while the load stays near-perfectly balanced.
+func ExampleNewPKG() {
+	const workers = 4
+	view := pkgstream.NewLoad(workers) // this source's local estimate
+	p := pkgstream.NewPKG(workers, 2, 7, view)
+
+	// A tiny skewed stream: key 1 is hot.
+	stream := []uint64{1, 1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1}
+	for _, key := range stream {
+		w := p.Route(key)
+		view.Add(w)
+	}
+	// The hot key's 6 messages alternate between its two candidates.
+	fmt.Println("near-perfect:", view.Imbalance() <= 2)
+	fmt.Println("candidates of hot key:", len(p.Candidates(1)))
+	// Output:
+	// near-perfect: true
+	// candidates of hot key: 2
+}
+
+// Key grouping sends every occurrence of a key to the same worker —
+// simple, stateless, and skew-blind.
+func ExampleNewKeyGrouping() {
+	p := pkgstream.NewKeyGrouping(4, 7)
+	a, b := p.Route(42), p.Route(42)
+	fmt.Println("stable:", a == b)
+	// Output:
+	// stable: true
+}
+
+// Simulate reproduces the paper's §V methodology on a synthetic dataset:
+// here, partial key grouping with 5 sources doing local load estimation
+// on a Cashtags-shaped drifting stream.
+func ExampleSimulate() {
+	res := pkgstream.Simulate(pkgstream.Cashtags.WithCap(50_000), pkgstream.SimOptions{
+		Workers: 8,
+		Sources: 5,
+		Method:  pkgstream.SimPKG,
+		Info:    pkgstream.InfoLocal,
+		Seed:    42,
+	})
+	fmt.Println("label:", res.Label)
+	fmt.Println("messages:", res.Messages)
+	fmt.Println("balanced:", res.AvgImbalanceFraction < 0.001)
+	// Output:
+	// label: L5
+	// messages: 50000
+	// balanced: true
+}
+
+// MeasureStream regenerates Table I statistics for a dataset.
+func ExampleMeasureStream() {
+	spec := pkgstream.Synthetic2.WithCap(100_000)
+	st := pkgstream.MeasureStream(spec.Open(42), 0)
+	fmt.Println("messages:", st.Messages)
+	fmt.Printf("p1 close to paper: %v\n", st.P1 > 0.06 && st.P1 < 0.08)
+	// Output:
+	// messages: 100000
+	// p1 close to paper: true
+}
+
+// A SpaceSaving sketch never underestimates and bounds its error by N/k.
+func ExampleNewSpaceSaving() {
+	s := pkgstream.NewSpaceSaving(2)
+	for i := 0; i < 10; i++ {
+		s.Update(1)
+	}
+	s.Update(2)
+	top := s.Top(1)
+	fmt.Println("top item:", top[0].Item, "count:", top[0].Count)
+	// Output:
+	// top item: 1 count: 10
+}

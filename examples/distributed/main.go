@@ -1,0 +1,110 @@
+// PKG over a real network: workers listen on TCP loopback ports, two
+// uncoordinated sources stream a skewed workload at them with partial
+// key grouping on purely local load estimates, and point queries probe
+// only each key's two candidate workers. Nothing but keys crosses the
+// wire — no load gossip, no routing tables, no source-to-source
+// coordination.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"pkgstream"
+)
+
+func main() {
+	const workers = 5
+	const seed = 42
+
+	// Start the worker fleet.
+	addrs := make([]string, workers)
+	fleet := make([]*pkgstream.NetWorker, workers)
+	for i := range fleet {
+		w, err := pkgstream.ListenNetWorker("127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		fleet[i] = w
+		addrs[i] = w.Addr()
+		defer w.Close()
+	}
+	fmt.Printf("started %d TCP workers\n", workers)
+
+	// Two independent sources, each with its own local load estimate.
+	spec := pkgstream.Wikipedia.WithCap(200_000)
+	var wg sync.WaitGroup
+	var queryCandidates func(key uint64) []int
+	var mu sync.Mutex
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			src, err := pkgstream.DialNetSource(addrs, pkgstream.NetPKG, seed, id)
+			if err != nil {
+				panic(err)
+			}
+			defer src.Close()
+			stream := spec.Open(uint64(id) + 1)
+			for {
+				m, ok := stream.Next()
+				if !ok {
+					break
+				}
+				if err := src.Send(m.Key); err != nil {
+					panic(err)
+				}
+			}
+			if err := src.Flush(); err != nil {
+				panic(err)
+			}
+			mu.Lock()
+			if queryCandidates == nil {
+				queryCandidates = src.Candidates
+			}
+			mu.Unlock()
+			fmt.Printf("source %d: sent %d keys, local estimate %v\n", id, src.Sent(), src.LocalLoads())
+		}(s)
+	}
+	wg.Wait()
+
+	// Wait for the workers to drain the sockets.
+	var total int64 = 2 * spec.Messages
+	for _, w := range fleet {
+		_ = w.WaitProcessed(1, 0) // nudge; real wait below
+	}
+	for {
+		var seen int64
+		for _, w := range fleet {
+			seen += w.Processed()
+		}
+		if seen >= total {
+			break
+		}
+	}
+
+	fmt.Println("\nworker loads (true, across both sources):")
+	var max, sum int64
+	for i, w := range fleet {
+		p := w.Processed()
+		fmt.Printf("  worker[%d] %s: %d messages, %d counters\n", i, w.Addr(), p, w.DistinctKeys())
+		if p > max {
+			max = p
+		}
+		sum += p
+	}
+	imb := float64(max) - float64(sum)/float64(workers)
+	fmt.Printf("imbalance I = max-avg = %.0f (%.4f%% of %d messages)\n", imb, imb/float64(sum)*100, sum)
+
+	fmt.Println("\n2-probe distributed queries (hot keys):")
+	for _, key := range []uint64{1, 2, 3} {
+		cands := queryCandidates(key)
+		count, err := pkgstream.NetQuery(addrs, key, cands)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  key %d → %d (probed workers %v only)\n", key, count, cands)
+	}
+}

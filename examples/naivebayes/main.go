@@ -1,0 +1,63 @@
+// Streaming naive Bayes with vertical parallelism (§VI.A): token
+// counters are spread over 9 workers by partial key grouping, so
+// training load is balanced despite Zipf token skew and prediction
+// probes exactly two workers per token — no broadcast, no stragglers.
+//
+//	go run ./examples/naivebayes
+package main
+
+import (
+	"fmt"
+
+	"pkgstream"
+)
+
+func main() {
+	const (
+		classes = 2
+		vocab   = 5000
+		docLen  = 20
+		workers = 9
+	)
+	gen := pkgstream.NewNBGenerator(classes, vocab, docLen, 0.09, 1)
+	train := gen.Batch(5000)
+	test := gen.Batch(1000)
+
+	// Sequential baseline and three distributed layouts.
+	seq := pkgstream.NewNBModel(classes, vocab, 1)
+	for _, s := range train {
+		seq.Train(s)
+	}
+	dist := map[string]*pkgstream.NBDistributed{
+		"PKG": pkgstream.NewNBDistributed(workers, classes, vocab, 1, pkgstream.NBByPKG, 42),
+		"KG":  pkgstream.NewNBDistributed(workers, classes, vocab, 1, pkgstream.NBByKey, 42),
+		"SG":  pkgstream.NewNBDistributed(workers, classes, vocab, 1, pkgstream.NBByShuffle, 42),
+	}
+	for _, d := range dist {
+		for _, s := range train {
+			d.Train(s)
+		}
+	}
+
+	acc := func(predict func([]uint64) int) float64 {
+		correct := 0
+		for _, s := range test {
+			if predict(s.Tokens) == s.Class {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(test))
+	}
+
+	fmt.Printf("naive Bayes: %d training docs, vocab %d, %d workers\n\n", len(train), vocab, workers)
+	fmt.Printf("sequential accuracy: %.1f%%\n\n", acc(seq.Predict)*100)
+	fmt.Printf("%-4s  %8s  %12s  %14s  %12s\n",
+		"", "accuracy", "imbalance", "counters", "probes/token")
+	for _, name := range []string{"KG", "SG", "PKG"} {
+		d := dist[name]
+		fmt.Printf("%-4s  %7.1f%%  %12.1f  %14d  %12d\n",
+			name, acc(d.Predict)*100, d.Imbalance(), d.CounterFootprint(), d.ProbesPerToken(1))
+	}
+	fmt.Println("\nall layouts hold identical counts — predictions match the sequential model exactly;")
+	fmt.Println("PKG gets SG-grade load balance with 2-probe queries and ≤2 counters per token.")
+}

@@ -1,0 +1,436 @@
+// Package cluster is a discrete-event simulation of the paper's real
+// Storm deployment (§V Q4, Figure 5): one source PEI routes a skewed key
+// stream to W counter PEIs, each modeled as a FIFO server whose service
+// time is the experiment's injected CPU delay, plus a downstream
+// aggregator that merges periodically flushed partial counters.
+//
+// The paper's own experiment is already a controlled queueing study — it
+// injects an artificial per-tuple CPU delay and measures the saturation
+// throughput, latency, and counter memory of KG vs PKG vs SG. This
+// simulator reproduces exactly that bottleneck structure:
+//
+//   - the source is a server with bounded emit rate and a bounded
+//     in-flight window (Storm's max.spout.pending), so the system is a
+//     closed loop that saturates rather than diverges;
+//   - each worker serves tuples in FIFO order at the configured CPU
+//     delay; under KG the worker holding the hot keys becomes the
+//     bottleneck, which is what caps KG throughput;
+//   - with an aggregation period T, workers periodically flush their
+//     live counters (costing flush time per counter) to the aggregator;
+//     shorter periods cost throughput, longer periods cost memory —
+//     the trade-off of Figure 5(b).
+//
+// Absolute numbers depend on the chosen rates (the authors' hardware is
+// not reproducible); the *shape* — who wins, the ≈0.4 ms KG saturation
+// point, KG's steeper throughput decline, PKG's memory advantage over SG
+// — is what the defaults are calibrated to preserve.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pkgstream/internal/core"
+	"pkgstream/internal/dataset"
+	"pkgstream/internal/hash"
+	"pkgstream/internal/metrics"
+)
+
+// Method selects the partitioning strategy at the source.
+type Method int
+
+// The three strategies compared in Figure 5.
+const (
+	// KG is key grouping: hash once; counters are running totals that
+	// are never flushed (the periodic top-k report is negligible).
+	KG Method = iota
+	// PKG is partial key grouping with the source's local load estimate.
+	PKG
+	// SG is shuffle grouping.
+	SG
+)
+
+// String returns the method label.
+func (m Method) String() string {
+	switch m {
+	case KG:
+		return "KG"
+	case PKG:
+		return "PKG"
+	case SG:
+		return "SG"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Params configures one simulated deployment.
+type Params struct {
+	// Method is the partitioning strategy.
+	Method Method
+	// Workers is the number of counter PEIs (the paper uses 9).
+	Workers int
+	// CPUDelay is the injected per-tuple service time at a worker, in
+	// seconds (the paper sweeps 0.1ms to 1ms).
+	CPUDelay float64
+	// SourceRate is the maximum tuples/second the source can emit
+	// (models spout + serialization + transport capacity).
+	SourceRate float64
+	// Window is the maximum number of in-flight tuples (Storm's
+	// max.spout.pending); the closed loop saturates against it.
+	Window int
+	// Spec provides the key distribution; the stream is replayed
+	// endlessly for the duration of the simulation.
+	Spec dataset.Spec
+	// Seed drives key sampling and hash choice.
+	Seed uint64
+	// Duration is the simulated time in seconds.
+	Duration float64
+	// Warmup is excluded from all measurements.
+	Warmup float64
+	// AggPeriod is the aggregation period T in seconds; 0 disables
+	// flushing (KG ignores it always).
+	AggPeriod float64
+	// FlushCostPerCounter is worker CPU seconds consumed per flushed
+	// counter (serialization + emission of one partial count).
+	FlushCostPerCounter float64
+	// AggCostPerCounter is aggregator CPU seconds per received partial
+	// counter (merge cost).
+	AggCostPerCounter float64
+}
+
+// Defaults returns the calibrated baseline configuration for the Figure 5
+// experiments: 9 workers fed from a WP-shaped stream at up to 15,000
+// tuples/s with a 500-tuple spout window. With these values key grouping
+// saturates at a CPU delay of ≈0.4 ms (its hottest worker carries ≈18-20%
+// of the stream, so its capacity 1/(hot·delay) falls below the source
+// rate there), matching the paper's observation that 0.4 ms is KG's
+// saturation point; at 1 ms, KG has lost ≈60-65% of its throughput and
+// PKG/SG ≈40%, the declines Figure 5(a) reports. The flush cost puts the
+// Figure 5(b) PKG-vs-KG crossover near the paper's T ≈ 30 s.
+func Defaults(m Method) Params {
+	return Params{
+		Method:              m,
+		Workers:             9,
+		CPUDelay:            0.0004,
+		SourceRate:          15000,
+		Window:              500,
+		Spec:                dataset.WP.WithCap(2_000_000),
+		Seed:                1,
+		Duration:            30,
+		Warmup:              5,
+		FlushCostPerCounter: 0.0001,
+		AggCostPerCounter:   0.00005,
+	}
+}
+
+func (p Params) validate() error {
+	if p.Workers <= 0 {
+		return fmt.Errorf("cluster: Workers must be positive")
+	}
+	if p.CPUDelay < 0 || p.SourceRate <= 0 {
+		return fmt.Errorf("cluster: need non-negative CPUDelay and positive SourceRate")
+	}
+	if p.Window <= 0 {
+		return fmt.Errorf("cluster: Window must be positive")
+	}
+	if p.Duration <= p.Warmup {
+		return fmt.Errorf("cluster: Duration must exceed Warmup")
+	}
+	if p.AggPeriod < 0 || p.FlushCostPerCounter < 0 || p.AggCostPerCounter < 0 {
+		return fmt.Errorf("cluster: negative aggregation cost")
+	}
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result reports the measurements of one simulated deployment.
+type Result struct {
+	// Throughput is completed tuples/second in the measurement window —
+	// the y axis of Figure 5.
+	Throughput float64
+	// AvgLatency and P99Latency are end-to-end sojourn times in seconds
+	// (emission to completion at a worker).
+	AvgLatency, P99Latency float64
+	// AvgCounters is the time-averaged number of live partial counters
+	// across all workers — the x axis of Figure 5(b).
+	AvgCounters float64
+	// FinalCounters is the count at the end of the run (for KG, whose
+	// running counters never shrink, this is its memory footprint).
+	FinalCounters int64
+	// HotShare is the largest fraction of tuples handled by one worker.
+	HotShare float64
+	// AggUtilization is the aggregator's busy fraction during the
+	// measurement window.
+	AggUtilization float64
+	// Completed is the number of tuples finished in the window.
+	Completed int64
+}
+
+// event kinds.
+const (
+	evSourceEmit = iota
+	evWorkerDone
+	evFlush
+	evAggDone
+)
+
+type event struct {
+	at   float64
+	seq  int64
+	kind int8
+	who  int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekEmpty() bool { return len(h) == 0 }
+
+// job is a unit of worker service: a data tuple or a counter flush.
+type job struct {
+	emitAt  float64
+	key     uint64
+	service float64
+	flush   bool
+	ncnt    int // counters carried by a flush job
+}
+
+type worker struct {
+	queue    []job
+	busy     bool
+	counters map[uint64]struct{}
+	handled  int64
+}
+
+// endless replays a dataset stream forever, reseeding at each wrap.
+type endless struct {
+	spec dataset.Spec
+	seed uint64
+	s    dataset.Stream
+}
+
+func newEndless(spec dataset.Spec, seed uint64) *endless {
+	return &endless{spec: spec, seed: seed, s: spec.Open(seed)}
+}
+
+func (e *endless) next() uint64 {
+	m, ok := e.s.Next()
+	if !ok {
+		e.seed++
+		e.s = e.spec.Open(e.seed)
+		m, _ = e.s.Next()
+	}
+	return m.Key
+}
+
+// Run executes the simulation and returns its measurements. It is a
+// deterministic function of Params.
+func Run(p Params) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+
+	// Source-side partitioner with local load estimation.
+	view := metrics.NewLoad(p.Workers)
+	hashSeed := hash.Fmix64(p.Seed + 0x9e3779b97f4a7c15)
+	var part core.Partitioner
+	switch p.Method {
+	case KG:
+		part = core.NewKeyGrouping(p.Workers, hashSeed)
+	case PKG:
+		part = core.NewPKG(p.Workers, 2, hashSeed, view)
+	case SG:
+		part = core.NewShuffleGrouping(p.Workers, 0)
+	default:
+		return Result{}, fmt.Errorf("cluster: unknown method %v", p.Method)
+	}
+
+	keys := newEndless(p.Spec, p.Seed)
+	workers := make([]worker, p.Workers)
+	for i := range workers {
+		workers[i].counters = make(map[uint64]struct{})
+	}
+
+	var (
+		events   eventHeap
+		seq      int64
+		inflight int
+		blocked  bool
+		srcFree  float64
+		interval = 1 / p.SourceRate
+
+		lat       = metrics.NewReservoir(8192, p.Seed^0xfeed)
+		completed int64
+
+		// Counter-memory integral over the measurement window.
+		totalCounters int64
+		memArea       float64
+		memLast       = p.Warmup
+
+		// Aggregator.
+		aggQueue []int
+		aggBusy  bool
+		aggWork  float64
+
+		totalTuples int64
+	)
+
+	push := func(at float64, kind int8, who int32) {
+		seq++
+		heap.Push(&events, event{at: at, seq: seq, kind: kind, who: who})
+	}
+	accountMem := func(now float64) {
+		if now > p.Warmup {
+			from := memLast
+			if from < p.Warmup {
+				from = p.Warmup
+			}
+			if now > from {
+				memArea += float64(totalCounters) * (now - from)
+			}
+		}
+		memLast = now
+	}
+	startNext := func(i int32, now float64) {
+		w := &workers[i]
+		if w.busy || len(w.queue) == 0 {
+			return
+		}
+		w.busy = true
+		push(now+w.queue[0].service, evWorkerDone, i)
+	}
+
+	heap.Init(&events)
+	push(0, evSourceEmit, 0)
+	flushing := p.AggPeriod > 0 && p.Method != KG
+	if flushing {
+		for i := 0; i < p.Workers; i++ {
+			push(p.AggPeriod, evFlush, int32(i))
+		}
+	}
+
+	for !events.peekEmpty() {
+		e := heap.Pop(&events).(event)
+		if e.at > p.Duration {
+			break
+		}
+		now := e.at
+		switch e.kind {
+		case evSourceEmit:
+			if inflight >= p.Window {
+				blocked = true
+				continue
+			}
+			key := keys.next()
+			dst := part.Route(key)
+			view.Add(dst) // local estimate: the source charges its choice
+			w := &workers[dst]
+			w.queue = append(w.queue, job{emitAt: now, key: key, service: p.CPUDelay})
+			inflight++
+			startNext(int32(dst), now)
+			srcFree = now + interval
+			push(srcFree, evSourceEmit, 0)
+
+		case evWorkerDone:
+			w := &workers[e.who]
+			j := w.queue[0]
+			w.queue = w.queue[1:]
+			w.busy = false
+			if j.flush {
+				// Hand the batch to the aggregator.
+				if j.ncnt > 0 {
+					aggQueue = append(aggQueue, j.ncnt)
+					if !aggBusy {
+						aggBusy = true
+						push(now+float64(aggQueue[0])*p.AggCostPerCounter, evAggDone, 0)
+					}
+				}
+			} else {
+				w.handled++
+				totalTuples++
+				if _, seen := w.counters[j.key]; !seen {
+					accountMem(now)
+					w.counters[j.key] = struct{}{}
+					totalCounters++
+				}
+				inflight--
+				if now > p.Warmup {
+					completed++
+					lat.Add(now - j.emitAt)
+				}
+				if blocked && inflight < p.Window {
+					blocked = false
+					at := srcFree
+					if at < now {
+						at = now
+					}
+					push(at, evSourceEmit, 0)
+				}
+			}
+			startNext(e.who, now)
+
+		case evFlush:
+			w := &workers[e.who]
+			n := len(w.counters)
+			if n > 0 {
+				accountMem(now)
+				totalCounters -= int64(n)
+				w.counters = make(map[uint64]struct{})
+				w.queue = append(w.queue, job{
+					service: float64(n) * p.FlushCostPerCounter,
+					flush:   true,
+					ncnt:    n,
+				})
+				startNext(e.who, now)
+			}
+			push(now+p.AggPeriod, evFlush, e.who)
+
+		case evAggDone:
+			n := aggQueue[0]
+			aggQueue = aggQueue[1:]
+			if now > p.Warmup {
+				aggWork += float64(n) * p.AggCostPerCounter
+			}
+			if len(aggQueue) > 0 {
+				push(now+float64(aggQueue[0])*p.AggCostPerCounter, evAggDone, 0)
+			} else {
+				aggBusy = false
+			}
+		}
+	}
+
+	accountMem(p.Duration)
+	window := p.Duration - p.Warmup
+
+	res := Result{
+		Throughput:     float64(completed) / window,
+		AvgLatency:     lat.Mean(),
+		P99Latency:     lat.Percentile(99),
+		AvgCounters:    memArea / window,
+		FinalCounters:  totalCounters,
+		AggUtilization: aggWork / window,
+		Completed:      completed,
+	}
+	var maxHandled int64
+	for i := range workers {
+		if workers[i].handled > maxHandled {
+			maxHandled = workers[i].handled
+		}
+	}
+	if totalTuples > 0 {
+		res.HotShare = float64(maxHandled) / float64(totalTuples)
+	}
+	return res, nil
+}

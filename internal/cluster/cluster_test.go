@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"pkgstream/internal/dataset"
+)
+
+// quick returns Defaults scaled down for fast unit tests.
+func quick(m Method) Params {
+	p := Defaults(m)
+	p.Spec = dataset.WP.WithCap(300_000)
+	p.Duration = 8
+	p.Warmup = 2
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Workers = 0 },
+		func(p *Params) { p.SourceRate = 0 },
+		func(p *Params) { p.CPUDelay = -1 },
+		func(p *Params) { p.Window = 0 },
+		func(p *Params) { p.Duration = p.Warmup },
+		func(p *Params) { p.AggPeriod = -1 },
+		func(p *Params) { p.FlushCostPerCounter = -1 },
+		func(p *Params) { p.Spec = dataset.Spec{} },
+	}
+	for i, mutate := range bad {
+		p := quick(PKG)
+		mutate(&p)
+		if _, err := Run(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(quick(PKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quick(PKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same-params runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSingleWorkerSaturationMath(t *testing.T) {
+	// One worker, service 1ms, fast source: throughput must be ≈1000/s
+	// (M/D/1 at saturation = deterministic service rate).
+	p := quick(SG)
+	p.Workers = 1
+	p.CPUDelay = 0.001
+	p.SourceRate = 100000
+	r, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Throughput-1000) > 20 {
+		t.Fatalf("single-worker throughput = %v, want ≈1000", r.Throughput)
+	}
+	// Closed loop: in-flight ≈ window, so by Little's law latency ≈
+	// window/throughput.
+	wantLat := float64(p.Window) / r.Throughput
+	if math.Abs(r.AvgLatency-wantLat)/wantLat > 0.1 {
+		t.Fatalf("latency %v, want ≈%v (Little's law)", r.AvgLatency, wantLat)
+	}
+}
+
+func TestSourceLimitedRegime(t *testing.T) {
+	// At a tiny CPU delay every method is source-limited and equal.
+	for _, m := range []Method{KG, PKG, SG} {
+		p := quick(m)
+		p.CPUDelay = 0.00005
+		r, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Throughput-p.SourceRate)/p.SourceRate > 0.02 {
+			t.Errorf("%v: throughput %v, want ≈ source rate %v", m, r.Throughput, p.SourceRate)
+		}
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	// The paper's Figure 5(a) shape: (i) KG saturates at ≈0.4 ms; (ii) at
+	// 1 ms KG has lost much more throughput than PKG/SG; (iii) PKG ≈ SG
+	// throughout; (iv) KG's latency is clearly worse when loaded.
+	run := func(m Method, delay float64) Result {
+		p := quick(m)
+		p.CPUDelay = delay
+		r, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	kg04, pkg04 := run(KG, 0.0004), run(PKG, 0.0004)
+	if kg04.Throughput >= 0.99*quick(KG).SourceRate {
+		t.Errorf("KG not saturated at 0.4ms: %v", kg04.Throughput)
+	}
+	if pkg04.Throughput < 0.99*quick(PKG).SourceRate {
+		t.Errorf("PKG saturated too early at 0.4ms: %v", pkg04.Throughput)
+	}
+	if kg04.AvgLatency < 1.4*pkg04.AvgLatency {
+		t.Errorf("KG latency %v not ≥45%% above PKG %v at 0.4ms",
+			kg04.AvgLatency, pkg04.AvgLatency)
+	}
+
+	kg1, pkg1, sg1 := run(KG, 0.001), run(PKG, 0.001), run(SG, 0.001)
+	base := quick(KG).SourceRate
+	kgDrop := 1 - kg1.Throughput/base
+	pkgDrop := 1 - pkg1.Throughput/base
+	if kgDrop < 0.5 || kgDrop > 0.75 {
+		t.Errorf("KG decline at 1ms = %v, want ≈0.6", kgDrop)
+	}
+	if pkgDrop < 0.25 || pkgDrop > 0.5 {
+		t.Errorf("PKG decline at 1ms = %v, want ≈0.37", pkgDrop)
+	}
+	if math.Abs(pkg1.Throughput-sg1.Throughput)/sg1.Throughput > 0.05 {
+		t.Errorf("PKG %v and SG %v should track each other", pkg1.Throughput, sg1.Throughput)
+	}
+}
+
+func TestHotShare(t *testing.T) {
+	// Under KG the hottest worker carries ≈ p1 + (1-p1)/W ≈ 0.19 of the
+	// WP stream; PKG splits it: ≈ 1/W each.
+	kg, err := Run(quick(KG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := Run(quick(PKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg.HotShare < 0.15 {
+		t.Errorf("KG hot share %v suspiciously balanced", kg.HotShare)
+	}
+	if pkg.HotShare > 0.14 {
+		t.Errorf("PKG hot share %v not balanced", pkg.HotShare)
+	}
+}
+
+func TestAggregationThroughputMemoryTradeoff(t *testing.T) {
+	// Figure 5(b): longer aggregation periods raise both throughput and
+	// memory; PKG dominates SG on both axes at equal T.
+	run := func(m Method, T float64) Result {
+		p := quick(m)
+		p.AggPeriod = T
+		p.Duration = p.Warmup + 4*T
+		r, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	pkg10, pkg30 := run(PKG, 3), run(PKG, 9)
+	if !(pkg30.Throughput > pkg10.Throughput) {
+		t.Errorf("longer period should raise throughput: %v vs %v",
+			pkg30.Throughput, pkg10.Throughput)
+	}
+	if !(pkg30.AvgCounters > pkg10.AvgCounters) {
+		t.Errorf("longer period should raise memory: %v vs %v",
+			pkg30.AvgCounters, pkg10.AvgCounters)
+	}
+	sg10 := run(SG, 3)
+	if !(pkg10.Throughput > sg10.Throughput) {
+		t.Errorf("PKG throughput %v should beat SG %v at equal T",
+			pkg10.Throughput, sg10.Throughput)
+	}
+	if !(pkg10.AvgCounters < sg10.AvgCounters) {
+		t.Errorf("PKG memory %v should be below SG %v at equal T",
+			pkg10.AvgCounters, sg10.AvgCounters)
+	}
+}
+
+func TestKGIgnoresAggregation(t *testing.T) {
+	// KG keeps running counters: no flushing, memory grows to the
+	// distinct-key count, and AggPeriod has no effect on throughput.
+	base, err := Run(quick(KG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := quick(KG)
+	p.AggPeriod = 2
+	agg, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Throughput != agg.Throughput {
+		t.Errorf("AggPeriod changed KG throughput: %v vs %v", base.Throughput, agg.Throughput)
+	}
+	if agg.FinalCounters == 0 || agg.AggUtilization != 0 {
+		t.Errorf("KG should keep counters (%d) and never use the aggregator (%v)",
+			agg.FinalCounters, agg.AggUtilization)
+	}
+}
+
+func TestFlushedMemoryBounded(t *testing.T) {
+	// With flushing, PKG live counters stay well below the cumulative
+	// distinct-pair count a no-flush run accumulates.
+	p := quick(PKG)
+	p.AggPeriod = 1
+	flushed, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unflushed, err := Run(quick(PKG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed.AvgCounters >= unflushed.AvgCounters {
+		t.Errorf("flushing did not reduce memory: %v vs %v",
+			flushed.AvgCounters, unflushed.AvgCounters)
+	}
+	if flushed.AggUtilization <= 0 || flushed.AggUtilization >= 1 {
+		t.Errorf("aggregator utilization %v out of (0,1)", flushed.AggUtilization)
+	}
+}
+
+func TestLatencyPercentileOrdering(t *testing.T) {
+	r, err := Run(quick(KG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P99Latency < r.AvgLatency {
+		t.Errorf("P99 %v below mean %v", r.P99Latency, r.AvgLatency)
+	}
+	if r.AvgLatency < 0.0004 {
+		t.Errorf("mean latency %v below a single service time", r.AvgLatency)
+	}
+}
+
+func TestCompletedCountsConsistent(t *testing.T) {
+	r, err := Run(quick(SG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := quick(SG)
+	window := p.Duration - p.Warmup
+	if got := r.Throughput * window; math.Abs(got-float64(r.Completed)) > 1 {
+		t.Errorf("throughput × window = %v inconsistent with completed %d", got, r.Completed)
+	}
+	// Can't exceed what the source could possibly emit.
+	if float64(r.Completed) > p.SourceRate*window*1.01 {
+		t.Errorf("completed %d exceeds source capacity", r.Completed)
+	}
+}
+
+func BenchmarkClusterSimulation(b *testing.B) {
+	p := quick(PKG)
+	p.Duration = 4
+	p.Warmup = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

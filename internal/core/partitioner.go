@@ -1,0 +1,179 @@
+// Package core implements the stream partitioners studied in the paper:
+//
+//   - KeyGrouping — single-choice hashing, the baseline used by every
+//     DSPE ("H" in the figures).
+//   - ShuffleGrouping — round-robin routing (perfect balance, no key
+//     locality).
+//   - PKG — PARTIAL KEY GROUPING, the paper's contribution: power of two
+//     choices plus key splitting, generalized to d choices ("Greedy-d").
+//   - PoTC — the power of two choices *without* key splitting (a routing
+//     table remembers the first choice; "static PoTC" in §III.A).
+//   - OnGreedy — online greedy: a brand-new key goes to the globally
+//     least-loaded worker and sticks there.
+//   - OffGreedy — offline greedy (LPT): keys sorted by decreasing
+//     frequency are assigned to the least-loaded worker; an unfair
+//     clairvoyant baseline.
+//
+// Partitioners are pure deciders: Route inspects a load view but never
+// mutates it. The driver (internal/simulate, or a DSPE integration)
+// records each routed message into whichever load vectors implement the
+// paper's information models — the true loads for the global oracle "G",
+// a per-source estimate for local estimation "L", and a periodically
+// refreshed estimate for probing "LP". This separation is exactly the
+// paper's point: the same PKG decision rule works under any of the three
+// information models.
+package core
+
+import (
+	"fmt"
+
+	"pkgstream/internal/hash"
+	"pkgstream/internal/metrics"
+)
+
+// Partitioner routes messages, identified by their 64-bit key, to one of
+// W workers. Implementations are deterministic given their construction
+// parameters and the sequence of Route calls, and are not safe for
+// concurrent use (each simulated source owns its instances).
+type Partitioner interface {
+	// Route returns the destination worker in [0, Workers()) for a
+	// message with the given key.
+	Route(key uint64) int
+	// Workers returns the number of downstream workers W.
+	Workers() int
+	// Name returns a short technique name for reports.
+	Name() string
+}
+
+// KeyGrouping is single-choice hash partitioning: Pt(k) = H1(k) mod W.
+// This is the key grouping primitive of Storm/Samza/S4 and the paper's
+// main baseline. It keeps no state.
+type KeyGrouping struct {
+	w    int
+	seed uint64
+}
+
+// NewKeyGrouping returns a KeyGrouping over w workers using a hash
+// function derived from seed. It panics if w <= 0.
+func NewKeyGrouping(w int, seed uint64) *KeyGrouping {
+	if w <= 0 {
+		panic("core: NewKeyGrouping with w <= 0")
+	}
+	return &KeyGrouping{w: w, seed: seed}
+}
+
+// Route implements Partitioner.
+func (g *KeyGrouping) Route(key uint64) int {
+	return int(hash.Mix64(key, g.seed) % uint64(g.w))
+}
+
+// Workers implements Partitioner.
+func (g *KeyGrouping) Workers() int { return g.w }
+
+// Name implements Partitioner.
+func (g *KeyGrouping) Name() string { return "KG" }
+
+// ShuffleGrouping is round-robin routing, ignoring the key entirely. Its
+// imbalance is at most one message, but every worker may see every key,
+// which is what makes stateful operators expensive under shuffle
+// grouping (memory O(W·K), aggregation O(W) per key, §II.A).
+type ShuffleGrouping struct {
+	w    int
+	next int
+}
+
+// NewShuffleGrouping returns a ShuffleGrouping over w workers whose
+// round-robin pointer starts at start (vary start per source so parallel
+// sources do not march in lockstep). It panics if w <= 0.
+func NewShuffleGrouping(w, start int) *ShuffleGrouping {
+	if w <= 0 {
+		panic("core: NewShuffleGrouping with w <= 0")
+	}
+	if start < 0 {
+		start = -start
+	}
+	return &ShuffleGrouping{w: w, next: start % w}
+}
+
+// Route implements Partitioner.
+func (g *ShuffleGrouping) Route(_ uint64) int {
+	r := g.next
+	g.next++
+	if g.next == g.w {
+		g.next = 0
+	}
+	return r
+}
+
+// Workers implements Partitioner.
+func (g *ShuffleGrouping) Workers() int { return g.w }
+
+// Name implements Partitioner.
+func (g *ShuffleGrouping) Name() string { return "SG" }
+
+// choiceSeeds derives d independent hash-function seeds from a base
+// seed. All sources of a stream must use the same base seed so that the
+// candidate set {H1(k), ..., Hd(k)} of a key is identical everywhere —
+// the property that lets PKG run with zero coordination.
+func choiceSeeds(seed uint64, d int) []uint64 {
+	if d <= 0 {
+		panic(fmt.Sprintf("core: need at least one choice, got %d", d))
+	}
+	seeds := make([]uint64, d)
+	st := seed
+	for i := range seeds {
+		seeds[i] = hash.Fmix64(st + 0x9e3779b97f4a7c15*uint64(i+1))
+	}
+	return seeds
+}
+
+// candidates fills dst with the d candidate workers of key, one per hash
+// function, sampled *without replacement*: with naive independent hashes
+// the two choices of a key collide with probability 1/W, and when the
+// collision hits the hottest key the whole point of the second choice is
+// lost to seed luck. The standard distinct-choices construction maps the
+// i-th hash into the W−i workers not yet chosen, so the candidate set
+// always has d distinct members (capped at W). It remains a pure
+// function of (key, seeds, w), preserving PKG's zero-coordination
+// property. Shared by PKG and PoTC.
+func candidates(dst []int, key uint64, seeds []uint64, w int) {
+	var buf [8]int
+	var sel []int // ascending list of already-chosen candidates
+	if len(seeds) <= len(buf) {
+		sel = buf[:0]
+	} else {
+		sel = make([]int, 0, len(seeds))
+	}
+	for i, s := range seeds {
+		if i >= w {
+			// More choices than workers: every worker is already a
+			// candidate; repeat the first (harmless for argmin).
+			dst[i] = dst[0]
+			continue
+		}
+		r := int(hash.Mix64(key, s) % uint64(w-i))
+		// Shift past chosen candidates in ascending order to land on the
+		// r-th *unchosen* worker.
+		pos := 0
+		for pos < len(sel) && r >= sel[pos] {
+			r++
+			pos++
+		}
+		dst[i] = r
+		sel = append(sel, 0)
+		copy(sel[pos+1:], sel[pos:len(sel)-1])
+		sel[pos] = r
+	}
+}
+
+// leastLoaded returns the candidate with the smallest load in view
+// (first-listed wins ties, keeping routing deterministic).
+func leastLoaded(view *metrics.Load, cands []int) int {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if view.Get(c) < view.Get(best) {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/rng"
+)
+
+// drive routes n samples from gen through p, recording into truth (which
+// doubles as the global view when p was built on it).
+func drive(p Partitioner, truth *metrics.Load, gen func() uint64, n int) {
+	for i := 0; i < n; i++ {
+		truth.Add(p.Route(gen()))
+	}
+}
+
+func zipfGen(seed uint64, s float64, k uint64) func() uint64 {
+	z := rng.NewZipf(rng.New(seed), s, k)
+	return z.Next
+}
+
+// zipfGenP1 builds a generator whose most frequent key has probability p1
+// — the knob the paper's analysis is written in terms of.
+func zipfGenP1(seed uint64, p1 float64, k uint64) func() uint64 {
+	return zipfGen(seed, rng.SolveZipfExponent(k, p1), k)
+}
+
+func TestPKGKeySplittingBoundsWorkersPerKey(t *testing.T) {
+	// Over any routing history, a key may visit at most d distinct
+	// workers — the defining property of key splitting.
+	view := metrics.NewLoad(20)
+	g := NewPKG(20, 2, 7, view)
+	gen := zipfGen(1, 1.2, 100)
+	seen := make(map[uint64]map[int]bool)
+	for i := 0; i < 50000; i++ {
+		k := gen()
+		w := g.Route(k)
+		view.Add(w)
+		if seen[k] == nil {
+			seen[k] = make(map[int]bool)
+		}
+		seen[k][w] = true
+	}
+	for k, ws := range seen {
+		if len(ws) > 2 {
+			t.Fatalf("key %d was routed to %d > 2 workers", k, len(ws))
+		}
+	}
+}
+
+func TestPKGRoutesToLeastLoadedCandidate(t *testing.T) {
+	view := metrics.NewLoad(10)
+	g := NewPKG(10, 2, 3, view)
+	f := func(key uint64) bool {
+		cands := g.Candidates(key)
+		w := g.Route(key)
+		// w must be a candidate with minimal view load.
+		okCand := false
+		for _, c := range cands {
+			if c == w {
+				okCand = true
+			}
+			if view.Get(c) < view.Get(w) {
+				return false
+			}
+		}
+		view.Add(w)
+		return okCand
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKGCandidatesAgreeAcrossSources(t *testing.T) {
+	// Independent instances with the same seed must compute identical
+	// candidate sets — the zero-coordination property.
+	a := NewPKG(16, 2, 99, metrics.NewLoad(16))
+	b := NewPKG(16, 2, 99, metrics.NewLoad(16))
+	f := func(key uint64) bool {
+		ca, cb := a.Candidates(key), b.Candidates(key)
+		return ca[0] == cb[0] && ca[1] == cb[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKGBeatsHashingOnSkew(t *testing.T) {
+	// The headline claim at small scale: on a skewed stream whose p1 is
+	// below the balanceability bound 2/W, PKG's imbalance is orders of
+	// magnitude below hashing's.
+	const w, n = 10, 200000
+	hTruth := metrics.NewLoad(w)
+	drive(NewKeyGrouping(w, 5), hTruth, zipfGenP1(2, 0.1, 10000), n)
+
+	pTruth := metrics.NewLoad(w)
+	pkg := NewPKG(w, 2, 5, pTruth) // global view: pTruth is both truth and view
+	drive(pkg, pTruth, zipfGenP1(2, 0.1, 10000), n)
+
+	if pTruth.Imbalance()*10 > hTruth.Imbalance() {
+		t.Fatalf("PKG imbalance %v not ≪ hashing %v", pTruth.Imbalance(), hTruth.Imbalance())
+	}
+}
+
+func TestPKGSingleChoiceDegeneratesToHashing(t *testing.T) {
+	// d = 1 must behave exactly like a single hash: stateless, load-blind.
+	view := metrics.NewLoad(8)
+	g := NewPKG(8, 1, 11, view)
+	if g.Name() != "PKG(d=1)" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	f := func(key uint64) bool {
+		w1 := g.Route(key)
+		view.AddN(w1, 1000) // heavy load must not change a 1-choice route
+		return g.Route(key) == w1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKGMoreChoicesNeverWorseMuch(t *testing.T) {
+	// Greedy-d imbalance should improve sharply from d=1 to d=2 (the
+	// exponential gain), while d=5 only refines d=2 (constant factors,
+	// §III). Use p1 well inside the balanceable regime so the comparison
+	// reflects the choice process, not the p1 lower bound.
+	const w, n = 20, 300000
+	imb := make(map[int]float64)
+	for _, d := range []int{1, 2, 5} {
+		truth := metrics.NewLoad(w)
+		g := NewPKG(w, d, 21, truth)
+		drive(g, truth, zipfGenP1(4, 0.008, 50000), n)
+		imb[d] = truth.Imbalance()
+	}
+	if imb[2] > imb[1]/2 {
+		t.Errorf("d=2 imbalance %v not clearly below d=1 %v", imb[2], imb[1])
+	}
+	if imb[5] > imb[2]+5 {
+		t.Errorf("d=5 imbalance %v worse than d=2 %v", imb[5], imb[2])
+	}
+}
+
+func TestPKGAdaptsToDrift(t *testing.T) {
+	// Key splitting makes decisions on current load, so when the hot key
+	// changes mid-stream, imbalance stays low; a static assignment (PoTC)
+	// cannot rebalance already-assigned keys.
+	const w, n = 10, 100000
+	gen := func(seed uint64) func() uint64 {
+		z := rng.NewZipf(rng.New(seed), 1.4, 1000)
+		i := 0
+		return func() uint64 {
+			i++
+			k := z.Next()
+			if i > n/2 {
+				k = 1000 - k + 1 // invert ranking: cold keys become hot
+			}
+			return k
+		}
+	}
+	pkgTruth := metrics.NewLoad(w)
+	drive(NewPKG(w, 2, 31, pkgTruth), pkgTruth, gen(6), n)
+
+	potcTruth := metrics.NewLoad(w)
+	drive(NewPoTC(w, 31, potcTruth), potcTruth, gen(6), n)
+
+	if pkgTruth.Imbalance() >= potcTruth.Imbalance() {
+		t.Errorf("under drift, PKG imbalance %v should beat static PoTC %v",
+			pkgTruth.Imbalance(), potcTruth.Imbalance())
+	}
+}
+
+func TestPKGTheoremUniformDistribution(t *testing.T) {
+	// Theorem 4.1: with p1 ≤ 1/(5n) (uniform over 5n keys qualifies) the
+	// Greedy-2 imbalance is O(m/n). Check the ratio I(m)/(m/n) stays
+	// bounded by a small constant across n, and that d=1 is clearly
+	// worse — the Θ(ln n / ln ln n) factor in the paper's Theorem 4.2.
+	const m = 200000
+	for _, n := range []int{10, 20, 50} {
+		keys := uint64(5 * n)
+		d2 := metrics.NewLoad(n)
+		drive(NewPKG(n, 2, 13, d2), d2, zipfGen(8, 0, keys), m)
+		ratio2 := d2.Imbalance() / (float64(m) / float64(n))
+		if ratio2 > 1.0 {
+			t.Errorf("n=%d: Greedy-2 I(m)/(m/n) = %v, want O(1) (small)", n, ratio2)
+		}
+		d1 := metrics.NewLoad(n)
+		drive(NewPKG(n, 1, 13, d1), d1, zipfGen(8, 0, keys), m)
+		ratio1 := d1.Imbalance() / (float64(m) / float64(n))
+		if ratio1 < 2*ratio2 {
+			t.Errorf("n=%d: Greedy-1 ratio %v not ≫ Greedy-2 ratio %v", n, ratio1, ratio2)
+		}
+	}
+}
+
+func TestPKGLocalEstimationApproximatesGlobal(t *testing.T) {
+	// Two sources with private views must still balance the *total* load:
+	// each source balances its own portion, and loads are additive
+	// (§III.B). Compare against the global-view imbalance.
+	const w, n = 10, 200000
+	// Global: one view == truth.
+	gTruth := metrics.NewLoad(w)
+	gp := NewPKG(w, 2, 17, gTruth)
+	genG := zipfGen(9, 1.3, 20000)
+	for i := 0; i < n; i++ {
+		gTruth.Add(gp.Route(genG()))
+	}
+
+	// Local: two sources, each with its own estimate fed only by its own
+	// messages; truth tracked separately.
+	lTruth := metrics.NewLoad(w)
+	views := []*metrics.Load{metrics.NewLoad(w), metrics.NewLoad(w)}
+	parts := []*PKG{NewPKG(w, 2, 17, views[0]), NewPKG(w, 2, 17, views[1])}
+	genL := zipfGen(9, 1.3, 20000)
+	for i := 0; i < n; i++ {
+		s := i % 2
+		k := genL()
+		dst := parts[s].Route(k)
+		views[s].Add(dst)
+		lTruth.Add(dst)
+	}
+
+	// Local estimation should be within an order of magnitude of global
+	// (the paper: "less than one order of magnitude" difference).
+	if lTruth.Imbalance() > 10*gTruth.Imbalance()+10 {
+		t.Errorf("local imbalance %v too far above global %v",
+			lTruth.Imbalance(), gTruth.Imbalance())
+	}
+	// And the local maximum imbalance bound: total imbalance ≤ sum of
+	// per-source imbalances (loads are additive).
+	sumLocal := views[0].Imbalance() + views[1].Imbalance()
+	if lTruth.Imbalance() > sumLocal+1e-9 {
+		t.Errorf("total imbalance %v exceeds sum of local imbalances %v",
+			lTruth.Imbalance(), sumLocal)
+	}
+}
+
+func TestPKGCandidatesDistinct(t *testing.T) {
+	// Candidates are drawn without replacement: a key's d choices are
+	// always distinct workers (as long as d ≤ W), so no key can lose its
+	// second choice to a hash collision.
+	for _, d := range []int{2, 3, 5} {
+		for _, w := range []int{5, 10, 100} {
+			g := NewPKG(w, d, uint64(w*d), metrics.NewLoad(w))
+			f := func(key uint64) bool {
+				cands := g.Candidates(key)
+				seen := map[int]bool{}
+				for _, c := range cands {
+					if c < 0 || c >= w || seen[c] {
+						return false
+					}
+					seen[c] = true
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+				t.Fatalf("d=%d w=%d: %v", d, w, err)
+			}
+		}
+	}
+}
+
+func TestPKGCandidatesUniformCoverage(t *testing.T) {
+	// Over many keys, each worker appears as a candidate with roughly
+	// equal frequency (the without-replacement draw stays uniform).
+	const w = 10
+	g := NewPKG(w, 2, 77, metrics.NewLoad(w))
+	counts := make([]int, w)
+	for key := uint64(0); key < 20000; key++ {
+		for _, c := range g.Candidates(key) {
+			counts[c]++
+		}
+	}
+	want := float64(20000*2) / w
+	for i, c := range counts {
+		if float64(c) < want*0.9 || float64(c) > want*1.1 {
+			t.Errorf("worker %d appears %d times as candidate, want ≈%v", i, c, want)
+		}
+	}
+}
+
+func TestPKGMoreChoicesThanWorkers(t *testing.T) {
+	// d > W degrades gracefully: every worker is a candidate.
+	view := metrics.NewLoad(3)
+	g := NewPKG(3, 5, 1, view)
+	for key := uint64(0); key < 100; key++ {
+		for _, c := range g.Candidates(key) {
+			if c < 0 || c >= 3 {
+				t.Fatalf("candidate %d out of range", c)
+			}
+		}
+		w := g.Route(key)
+		view.Add(w)
+	}
+	if view.Imbalance() > 1 {
+		t.Fatalf("d ≥ W should behave like shuffle: imbalance %v", view.Imbalance())
+	}
+}
+
+func TestPKGCandidatesFreshSlice(t *testing.T) {
+	g := NewPKG(8, 2, 1, metrics.NewLoad(8))
+	a := g.Candidates(42)
+	a[0] = -99
+	b := g.Candidates(42)
+	if b[0] == -99 {
+		t.Fatal("Candidates returned shared storage")
+	}
+}
+
+func BenchmarkPKGRoute(b *testing.B) {
+	view := metrics.NewLoad(100)
+	g := NewPKG(100, 2, 1, view)
+	gen := zipfGen(1, 1.2, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.Add(g.Route(gen()))
+	}
+}
+
+func BenchmarkKeyGroupingRoute(b *testing.B) {
+	g := NewKeyGrouping(100, 1)
+	gen := zipfGen(1, 1.2, 1_000_000)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += g.Route(gen())
+	}
+	_ = sink
+}

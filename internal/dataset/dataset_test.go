@@ -1,0 +1,339 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Symbol, err)
+		}
+	}
+}
+
+func TestBySymbol(t *testing.T) {
+	s, err := BySymbol("WP")
+	if err != nil || s.Name != "Wikipedia" {
+		t.Fatalf("BySymbol(WP) = %v, %v", s, err)
+	}
+	if _, err := BySymbol("nope"); err == nil {
+		t.Fatal("unknown symbol should error")
+	}
+}
+
+func TestWithCap(t *testing.T) {
+	s := WP.WithCap(220_000)
+	if s.Messages != 220_000 {
+		t.Fatalf("Messages = %d", s.Messages)
+	}
+	if s.Keys != 29_000 {
+		t.Fatalf("Keys = %d, want 29000 (same 1%% factor)", s.Keys)
+	}
+	if s.P1 != WP.P1 {
+		t.Fatal("WithCap changed p1")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No-op when already under the cap.
+	if got := CT.WithCap(1_000_000); got != CT {
+		t.Fatal("WithCap scaled a spec already under the cap")
+	}
+	// Tiny caps keep a coherent universe.
+	tiny := TW.WithCap(1000)
+	if err := tiny.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithCap(0) did not panic")
+		}
+	}()
+	WP.WithCap(0)
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	for _, spec := range []Spec{WP.WithCap(5000), LN2.WithCap(5000), CT.WithCap(5000), LJ.WithCap(5000)} {
+		a := spec.Open(42)
+		b := spec.Open(42)
+		for i := 0; i < 5000; i++ {
+			ma, oka := a.Next()
+			mb, okb := b.Next()
+			if ma != mb || oka != okb {
+				t.Fatalf("%s: streams diverged at %d: %v vs %v", spec.Symbol, i, ma, mb)
+			}
+		}
+	}
+}
+
+func TestStreamSeedSensitivity(t *testing.T) {
+	spec := WP.WithCap(2000)
+	a := spec.Open(1)
+	b := spec.Open(2)
+	same := 0
+	for i := 0; i < 2000; i++ {
+		ma, _ := a.Next()
+		mb, _ := b.Next()
+		if ma.Key == mb.Key {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStreamLengthAndTimestamps(t *testing.T) {
+	spec := LN1.WithCap(10_000)
+	s := spec.Open(7)
+	if s.Len() != 10_000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var n int64
+	prev := -1.0
+	for {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		if m.T < prev {
+			t.Fatalf("timestamps not monotone at message %d", n)
+		}
+		if m.T < 0 || m.T > spec.DurationHours {
+			t.Fatalf("timestamp %v outside [0, %v]", m.T, spec.DurationHours)
+		}
+		prev = m.T
+		n++
+	}
+	if n != spec.Messages {
+		t.Fatalf("produced %d messages, want %d", n, spec.Messages)
+	}
+	// Exhausted stream keeps returning false.
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream returned a message after exhaustion")
+	}
+}
+
+func TestKeysWithinUniverse(t *testing.T) {
+	for _, spec := range []Spec{WP.WithCap(20_000), LN2.WithCap(20_000), CT.WithCap(20_000), SL1.WithCap(20_000)} {
+		s := spec.Open(3)
+		for {
+			m, ok := s.Next()
+			if !ok {
+				break
+			}
+			if m.Key < 1 || m.Key > spec.Keys {
+				t.Fatalf("%s: key %d outside [1, %d]", spec.Symbol, m.Key, spec.Keys)
+			}
+			if m.SrcKey < 1 || m.SrcKey > spec.Keys {
+				t.Fatalf("%s: src key %d outside [1, %d]", spec.Symbol, m.SrcKey, spec.Keys)
+			}
+		}
+	}
+}
+
+// TestEmpiricalP1MatchesSpec is the core fidelity test: every synthetic
+// dataset must realize the p1 the paper reports in Table I.
+func TestEmpiricalP1MatchesSpec(t *testing.T) {
+	for _, full := range All {
+		spec := full.WithCap(400_000)
+		st := Measure(spec.Open(11), 0)
+		if st.Messages != spec.Messages {
+			t.Fatalf("%s: measured %d messages", spec.Symbol, st.Messages)
+		}
+		relErr := math.Abs(st.P1-spec.P1) / spec.P1
+		// Sampling noise on p1 at 400k messages is well under 5%.
+		if relErr > 0.05 {
+			t.Errorf("%s: empirical p1 = %.4f, spec %.4f (rel err %.1f%%)",
+				spec.Symbol, st.P1, spec.P1, 100*relErr)
+		}
+	}
+}
+
+func TestDistinctKeysReasonable(t *testing.T) {
+	// The number of observed distinct keys must be positive, at most the
+	// universe, and a significant fraction of it for long streams.
+	spec := LN2.WithCap(200_000) // K = 1.1k, m = 200k: all keys should show up
+	st := Measure(spec.Open(5), 0)
+	if st.DistinctKeys <= 0 || uint64(st.DistinctKeys) > spec.Keys {
+		t.Fatalf("distinct = %d with K = %d", st.DistinctKeys, spec.Keys)
+	}
+	if float64(st.DistinctKeys) < 0.5*float64(spec.Keys) {
+		t.Errorf("only %d of %d keys observed in a long stream", st.DistinctKeys, spec.Keys)
+	}
+}
+
+func TestDriftRotatesHotKey(t *testing.T) {
+	spec := CT.WithCap(300_000) // duration 650h, drift every 168h → ~4 epochs
+	s := spec.Open(9)
+	perEpoch := make(map[int]map[uint64]int64)
+	for {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		e := int(m.T / spec.DriftEveryHours)
+		if perEpoch[e] == nil {
+			perEpoch[e] = make(map[uint64]int64)
+		}
+		perEpoch[e][m.Key]++
+	}
+	if len(perEpoch) < 3 {
+		t.Fatalf("only %d epochs observed", len(perEpoch))
+	}
+	top := func(c map[uint64]int64) uint64 {
+		var bk uint64
+		var bc int64 = -1
+		for k, v := range c {
+			if v > bc {
+				bk, bc = k, v
+			}
+		}
+		return bk
+	}
+	t0, t1 := top(perEpoch[0]), top(perEpoch[1])
+	if t0 == t1 {
+		t.Errorf("hot key did not change across drift epochs (key %d)", t0)
+	}
+}
+
+func TestGraphStreamSkewOnBothEnds(t *testing.T) {
+	spec := LJ.WithCap(200_000)
+	s := spec.Open(13)
+	in := make(map[uint64]int64)
+	out := make(map[uint64]int64)
+	for {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		in[m.Key]++
+		out[m.SrcKey]++
+	}
+	maxOf := func(c map[uint64]int64) float64 {
+		var best int64
+		for _, v := range c {
+			if v > best {
+				best = v
+			}
+		}
+		return float64(best) / float64(spec.Messages)
+	}
+	if p := maxOf(in); math.Abs(p-spec.P1)/spec.P1 > 0.25 {
+		t.Errorf("in-degree p1 = %v, want ≈%v", p, spec.P1)
+	}
+	if p := maxOf(out); math.Abs(p-spec.OutP1)/spec.OutP1 > 0.25 {
+		t.Errorf("out-degree p1 = %v, want ≈%v", p, spec.OutP1)
+	}
+}
+
+func TestZipfAndGraphKeysDiffer(t *testing.T) {
+	// For graph streams Key and SrcKey must be (mostly) independent;
+	// for non-graph streams they are identical.
+	g := LJ.WithCap(10_000).Open(1)
+	diff := 0
+	for {
+		m, ok := g.Next()
+		if !ok {
+			break
+		}
+		if m.Key != m.SrcKey {
+			diff++
+		}
+	}
+	if diff < 5000 {
+		t.Errorf("graph stream Key == SrcKey in %d/10000 messages", 10000-diff)
+	}
+	z := WP.WithCap(1000).Open(1)
+	for {
+		m, ok := z.Next()
+		if !ok {
+			break
+		}
+		if m.Key != m.SrcKey {
+			t.Fatal("zipf stream SrcKey differs from Key")
+		}
+	}
+}
+
+func TestMeasureCap(t *testing.T) {
+	s := WP.WithCap(50_000).Open(1)
+	st := Measure(s, 1000)
+	if st.Messages != 1000 {
+		t.Fatalf("Measure cap ignored: %d", st.Messages)
+	}
+}
+
+func TestPinHead(t *testing.T) {
+	check := func(name string, w []float64, p1 float64) {
+		t.Helper()
+		pinHead(w, p1)
+		sum, max := 0.0, 0.0
+		for _, x := range w {
+			if x < 0 {
+				t.Fatalf("%s: negative weight %v", name, x)
+			}
+			if x > max {
+				max = x
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: weights sum to %v after pinning", name, sum)
+		}
+		if math.Abs(max-p1) > 1e-9 {
+			t.Fatalf("%s: max weight %v, want p1 = %v", name, max, p1)
+		}
+	}
+	// Deficit case: head grows, tail shrinks proportionally.
+	w := []float64{0.2, 0.16, 0.16, 0.16, 0.16, 0.16}
+	check("deficit", w, 0.3)
+	if math.Abs(w[1]/w[2]-1) > 1e-12 {
+		t.Fatal("deficit pin changed tail shape")
+	}
+	// Surplus case: one key ends at p1, tail absorbs the surplus.
+	check("surplus", []float64{0.6, 0.1, 0.1, 0.1, 0.05, 0.05}, 0.3)
+	// Cascade case: a huge head at small K clamps several keys.
+	check("cascade", []float64{0.9, 0.04, 0.03, 0.02, 0.01}, 0.25)
+}
+
+func TestWithCapPreservesValidityProperty(t *testing.T) {
+	f := func(cap32 uint32) bool {
+		capMsgs := int64(cap32%10_000_000) + 1
+		for _, s := range All {
+			if s.WithCap(capMsgs).Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZipfStream(b *testing.B) {
+	s := WP.WithCap(int64(b.N) + 1).Open(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+	}
+}
+
+func BenchmarkGraphStream(b *testing.B) {
+	s := LJ.WithCap(int64(b.N) + 1).Open(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package dataset synthesizes the workloads of the paper's evaluation
+// (Table I). The original datasets (Wikipedia page views, Twitter tweets,
+// cashtags, SNAP graphs) are proprietary or impractically large to ship,
+// so each is replaced by a generator matched on the statistics the paper
+// itself reports and analyzes: the number of messages m, the number of
+// distinct keys K, and the maximum key probability p1 — the quantity that
+// drives the paper's entire analysis (good balance is achievable only
+// while the number of workers stays below O(1/p1), Section IV).
+//
+// Four generator families cover all eight datasets:
+//
+//   - Zipf streams with the exponent solved so that P(top key) = p1
+//     exactly (WP, TW, CT, SL1, SL2).
+//   - Log-normal streams using the paper's own fitted parameters
+//     (LN1, LN2), with the head pinned to the reported p1.
+//   - Drifting streams, which periodically rotate the key-popularity
+//     ranking to emulate the weekly churn of hot cashtags (CT).
+//   - Graph edge streams with independently skewed out-degree (source
+//     vertex) and in-degree (destination vertex) distributions
+//     (LJ, SL1, SL2), used for the paper's Q3 robustness experiment.
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind identifies the generator family of a Spec.
+type Kind int
+
+// Generator families.
+const (
+	// Zipf is a stationary Zipf stream with exponent solved from (K, p1).
+	Zipf Kind = iota
+	// LogNormal draws key popularity weights from a log-normal
+	// distribution with the Spec's Mu/Sigma, head pinned to P1.
+	LogNormal
+	// Drift is a Zipf stream whose rank→key mapping rotates every
+	// DriftEveryHours, shifting which keys are hot (cashtag-style).
+	Drift
+	// Graph is an edge stream: Key is the (skewed) destination vertex and
+	// SrcKey the (skewed) source vertex of each edge.
+	Graph
+)
+
+// String returns the generator family name.
+func (k Kind) String() string {
+	switch k {
+	case Zipf:
+		return "zipf"
+	case LogNormal:
+		return "lognormal"
+	case Drift:
+		return "drift"
+	case Graph:
+		return "graph"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one dataset: its published statistics and the generator
+// parameters used to reproduce them.
+type Spec struct {
+	Name   string
+	Symbol string
+
+	// Messages is the stream length m (Table I "Messages").
+	Messages int64
+	// Keys is the size of the key universe K (Table I "Keys").
+	Keys uint64
+	// P1 is the probability of the most frequent key (Table I "p1(%)",
+	// here as a fraction).
+	P1 float64
+
+	Kind Kind
+
+	// Mu and Sigma parameterize the log-normal key weights (LN1, LN2).
+	Mu, Sigma float64
+
+	// DriftEveryHours is the popularity-rotation period for Drift.
+	DriftEveryHours float64
+
+	// OutP1 is the probability of the most frequent *source* key for
+	// Graph streams (the out-degree skew projected onto the sources).
+	OutP1 float64
+
+	// DurationHours is the simulated wall-clock span of the stream,
+	// matching the time axes of the paper's Figure 3.
+	DurationHours float64
+}
+
+// The paper's eight datasets at full scale (Table I).
+var (
+	// WP is the Wikipedia page-view log: one day of visits, keyed by URL.
+	WP = Spec{Name: "Wikipedia", Symbol: "WP", Messages: 22_000_000, Keys: 2_900_000,
+		P1: 0.0932, Kind: Zipf, DurationHours: 40}
+	// TW is the Twitter July 2012 sample, keyed by tweet word.
+	TW = Spec{Name: "Twitter", Symbol: "TW", Messages: 1_200_000_000, Keys: 31_000_000,
+		P1: 0.0267, Kind: Zipf, DurationHours: 30}
+	// CT is the cashtag stream, whose hot keys drift week to week.
+	CT = Spec{Name: "Cashtags", Symbol: "CT", Messages: 690_000, Keys: 2_900,
+		P1: 0.0329, Kind: Drift, DriftEveryHours: 168, DurationHours: 650}
+	// LN1 is the first Orkut-fitted log-normal synthetic.
+	LN1 = Spec{Name: "Synthetic 1", Symbol: "LN1", Messages: 10_000_000, Keys: 16_000,
+		P1: 0.1471, Kind: LogNormal, Mu: 1.789, Sigma: 2.366, DurationHours: 24}
+	// LN2 is the second Orkut-fitted log-normal synthetic.
+	LN2 = Spec{Name: "Synthetic 2", Symbol: "LN2", Messages: 10_000_000, Keys: 1_100,
+		P1: 0.0701, Kind: LogNormal, Mu: 2.245, Sigma: 1.133, DurationHours: 24}
+	// LJ is the LiveJournal social graph as an edge stream.
+	LJ = Spec{Name: "LiveJournal", Symbol: "LJ", Messages: 69_000_000, Keys: 4_900_000,
+		P1: 0.0029, Kind: Graph, OutP1: 0.0029, DurationHours: 24}
+	// SL1 is the Slashdot0811 graph as an edge stream.
+	SL1 = Spec{Name: "Slashdot0811", Symbol: "SL1", Messages: 905_000, Keys: 77_000,
+		P1: 0.0328, Kind: Graph, OutP1: 0.0328, DurationHours: 24}
+	// SL2 is the Slashdot0902 graph as an edge stream.
+	SL2 = Spec{Name: "Slashdot0902", Symbol: "SL2", Messages: 948_000, Keys: 82_000,
+		P1: 0.0311, Kind: Graph, OutP1: 0.0311, DurationHours: 24}
+)
+
+// All lists the paper's datasets in Table I order.
+var All = []Spec{WP, TW, CT, LN1, LN2, LJ, SL1, SL2}
+
+// BySymbol returns the Spec with the given Table I symbol.
+func BySymbol(symbol string) (Spec, error) {
+	for _, s := range All {
+		if s.Symbol == symbol {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown symbol %q", symbol)
+}
+
+// WithCap returns a copy of the Spec scaled down so that it has at most
+// maxMessages messages. The key universe shrinks by the same factor
+// (floored at 100 keys) so the stream keeps its shape, and p1 — the
+// statistic that determines every load-balance result in the paper — is
+// preserved exactly. Log-normal specs keep their full key universe: their
+// K (16k, 1.1k) is already small, and the head of a log-normal draw over
+// a much smaller K would no longer resemble the paper's distribution.
+// Specs already within the cap are returned unchanged.
+func (s Spec) WithCap(maxMessages int64) Spec {
+	if maxMessages <= 0 {
+		panic("dataset: WithCap with non-positive cap")
+	}
+	if s.Messages <= maxMessages {
+		return s
+	}
+	f := float64(maxMessages) / float64(s.Messages)
+	s.Messages = maxMessages
+	if s.Kind == LogNormal {
+		return s
+	}
+	keys := uint64(math.Round(float64(s.Keys) * f))
+	if keys < 100 {
+		keys = 100
+	}
+	// p1 cannot be below uniform on the shrunken universe.
+	if s.P1 < 1/float64(keys) {
+		keys = uint64(1/s.P1) + 1
+	}
+	s.Keys = keys
+	return s
+}
+
+// Validate reports whether the Spec's parameters are coherent.
+func (s Spec) Validate() error {
+	if s.Messages <= 0 {
+		return fmt.Errorf("dataset %s: non-positive message count", s.Symbol)
+	}
+	if s.Keys == 0 {
+		return fmt.Errorf("dataset %s: empty key universe", s.Symbol)
+	}
+	if s.P1 <= 0 || s.P1 >= 1 {
+		return fmt.Errorf("dataset %s: p1 = %v out of (0,1)", s.Symbol, s.P1)
+	}
+	if s.P1 < 1/float64(s.Keys)/2 {
+		return fmt.Errorf("dataset %s: p1 = %v below uniform 1/K", s.Symbol, s.P1)
+	}
+	if s.Kind == Drift && s.DriftEveryHours <= 0 {
+		return fmt.Errorf("dataset %s: drift stream needs a positive period", s.Symbol)
+	}
+	if s.Kind == Graph && (s.OutP1 <= 0 || s.OutP1 >= 1) {
+		return fmt.Errorf("dataset %s: graph stream needs OutP1 in (0,1)", s.Symbol)
+	}
+	if s.DurationHours <= 0 {
+		return fmt.Errorf("dataset %s: non-positive duration", s.Symbol)
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package dataset
+
+import (
+	"fmt"
+
+	"pkgstream/internal/rng"
+)
+
+// Msg is one stream message: a key drawn from the dataset's popularity
+// distribution, the grouping key seen by the *sources* (different from
+// Key only for graph streams, where sources are keyed by the edge's
+// source vertex while workers are keyed by its destination vertex), and a
+// simulated timestamp in hours since stream start.
+type Msg struct {
+	Key    uint64
+	SrcKey uint64
+	T      float64
+}
+
+// Stream produces the messages of a dataset in timestamp order.
+// Implementations are deterministic functions of (Spec, seed) and are not
+// safe for concurrent use.
+type Stream interface {
+	// Next returns the next message, or ok == false when exhausted.
+	Next() (m Msg, ok bool)
+	// Len returns the total number of messages the stream will produce.
+	Len() int64
+	// Spec returns the dataset description this stream was opened from.
+	Spec() Spec
+}
+
+// Open returns a deterministic Stream for the Spec. It panics if the Spec
+// does not validate (specs constructed via the package variables and
+// WithCap always do).
+func (s Spec) Open(seed uint64) Stream {
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("dataset: Open: %v", err))
+	}
+	src := rng.NewStream(seed, uint64(len(s.Symbol))<<32^uint64(s.Symbol[0]))
+	base := base{spec: s, tick: s.DurationHours / float64(s.Messages)}
+	switch s.Kind {
+	case Zipf:
+		z := rng.NewZipf(src, rng.SolveZipfExponent(s.Keys, s.P1), s.Keys)
+		return &zipfStream{base: base, z: z}
+	case LogNormal:
+		w := rng.LogNormalWeights(src, s.Mu, s.Sigma, int(s.Keys))
+		pinHead(w, s.P1)
+		a, err := rng.NewAlias(src, w)
+		if err != nil {
+			panic(fmt.Sprintf("dataset: alias for %s: %v", s.Symbol, err))
+		}
+		return &aliasStream{base: base, a: a}
+	case Drift:
+		// The rotation gives each key its moment: a key is hot for one
+		// epoch only, so its whole-stream frequency is its within-epoch
+		// frequency divided by the number of epochs. Solve the
+		// within-epoch head so the *whole-stream* p1 matches Table I.
+		epochs := s.DurationHours / s.DriftEveryHours
+		if epochs < 1 {
+			epochs = 1
+		}
+		p1 := s.P1 * epochs
+		if p1 > 0.9 {
+			p1 = 0.9
+		}
+		z := rng.NewZipf(src, rng.SolveZipfExponent(s.Keys, p1), s.Keys)
+		return &driftStream{
+			base:   base,
+			z:      z,
+			stride: s.Keys/7 + 1,
+		}
+	case Graph:
+		in := rng.NewZipf(src, rng.SolveZipfExponent(s.Keys, s.P1), s.Keys)
+		out := rng.NewZipf(src.Fork(), rng.SolveZipfExponent(s.Keys, s.OutP1), s.Keys)
+		return &graphStream{base: base, in: in, out: out}
+	default:
+		panic(fmt.Sprintf("dataset: unknown kind %v", s.Kind))
+	}
+}
+
+// pinHead adjusts a normalized, descending weight vector so the maximum
+// weight is exactly p1, matching the log-normal synthetics to the p1 the
+// paper reports for them.
+//
+// When the natural head exceeds p1, the surplus is spread uniformly over
+// the tail — this keeps a *single* key at p1 and the tail's shape
+// intact, rather than creating an artificial plateau of equally hot
+// keys. If even that pushes the second weight past p1 (extreme draws at
+// tiny K), the excess cascades: weights are clamped to p1 one by one and
+// the leftover is spread over the rest. When the natural head is below
+// p1, the tail is scaled down to make room. Requires p1·len(w) ≥ 1
+// (guaranteed by Spec.Validate); the result sums to 1 with max = p1.
+func pinHead(w []float64, p1 float64) {
+	if len(w) < 2 {
+		w[0] = 1
+		return
+	}
+	if w[0] <= p1 {
+		// Deficit: grow the head, shrink the tail proportionally.
+		scale := (1 - p1) / (1 - w[0])
+		w[0] = p1
+		for i := 1; i < len(w); i++ {
+			w[i] *= scale
+		}
+		return
+	}
+	// Surplus: cascade heads down to p1, spreading each surplus evenly
+	// over the remaining tail. One iteration is the common case.
+	for i := 0; i < len(w); i++ {
+		if w[i] <= p1 {
+			break
+		}
+		tail := len(w) - i - 1
+		if tail == 0 {
+			w[i] = p1 // p1·K < 1 would be needed to get here; Validate forbids it
+			break
+		}
+		share := (w[i] - p1) / float64(tail)
+		w[i] = p1
+		for j := i + 1; j < len(w); j++ {
+			w[j] += share
+		}
+	}
+}
+
+type base struct {
+	spec Spec
+	i    int64
+	tick float64 // hours per message
+}
+
+func (b *base) Len() int64 { return b.spec.Messages }
+
+func (b *base) Spec() Spec { return b.spec }
+
+// step advances the message counter and returns (timestamp, ok).
+func (b *base) step() (float64, bool) {
+	if b.i >= b.spec.Messages {
+		return 0, false
+	}
+	t := float64(b.i) * b.tick
+	b.i++
+	return t, true
+}
+
+type zipfStream struct {
+	base
+	z *rng.Zipf
+}
+
+func (s *zipfStream) Next() (Msg, bool) {
+	t, ok := s.step()
+	if !ok {
+		return Msg{}, false
+	}
+	k := s.z.Next()
+	return Msg{Key: k, SrcKey: k, T: t}, true
+}
+
+type aliasStream struct {
+	base
+	a *rng.Alias
+}
+
+func (s *aliasStream) Next() (Msg, bool) {
+	t, ok := s.step()
+	if !ok {
+		return Msg{}, false
+	}
+	k := uint64(s.a.Next()) + 1
+	return Msg{Key: k, SrcKey: k, T: t}, true
+}
+
+// driftStream rotates the rank→key mapping every DriftEveryHours: the
+// popularity *shape* is stationary but the identity of the hot keys
+// changes, as with weekly cashtag churn. The rotation stride is coprime
+// enough with K to relabel the whole head each epoch.
+type driftStream struct {
+	base
+	z      *rng.Zipf
+	stride uint64
+}
+
+func (s *driftStream) Next() (Msg, bool) {
+	t, ok := s.step()
+	if !ok {
+		return Msg{}, false
+	}
+	epoch := uint64(t / s.spec.DriftEveryHours)
+	rank := s.z.Next()
+	k := (rank-1+epoch*s.stride)%s.spec.Keys + 1
+	return Msg{Key: k, SrcKey: k, T: t}, true
+}
+
+// graphStream emits synthetic directed edges with power-law in- and
+// out-degree distributions (Chung–Lu style, degrees drawn independently).
+// Key is the destination vertex — the key the *workers* group on when
+// computing per-vertex in-degree statistics — and SrcKey is the source
+// vertex — the key the *sources* are partitioned on in the paper's Q3
+// experiment, projecting the out-degree skew onto the sources.
+type graphStream struct {
+	base
+	in  *rng.Zipf
+	out *rng.Zipf
+}
+
+func (s *graphStream) Next() (Msg, bool) {
+	t, ok := s.step()
+	if !ok {
+		return Msg{}, false
+	}
+	return Msg{Key: s.in.Next(), SrcKey: s.out.Next(), T: t}, true
+}
+
+// Stats summarizes an observed stream prefix: it is used to regenerate
+// Table I and to verify that synthetic streams match their Spec.
+type Stats struct {
+	Messages     int64
+	DistinctKeys int64
+	// P1 is the empirical frequency of the most frequent key.
+	P1 float64
+	// TopKey is the key that realized P1.
+	TopKey uint64
+}
+
+// Measure consumes up to maxMessages messages (or the whole stream if
+// maxMessages <= 0) and returns empirical statistics.
+func Measure(s Stream, maxMessages int64) Stats {
+	counts := make(map[uint64]int64)
+	var n int64
+	for {
+		if maxMessages > 0 && n >= maxMessages {
+			break
+		}
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		counts[m.Key]++
+		n++
+	}
+	st := Stats{Messages: n, DistinctKeys: int64(len(counts))}
+	var best int64
+	for k, c := range counts {
+		if c > best || (c == best && (st.TopKey == 0 || k < st.TopKey)) {
+			best = c
+			st.TopKey = k
+		}
+	}
+	if n > 0 {
+		st.P1 = float64(best) / float64(n)
+	}
+	return st
+}

@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pkgstream/internal/hash"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// QueueSize is the per-instance input buffer (default 1024). Smaller
+	// queues apply backpressure sooner.
+	QueueSize int
+}
+
+// InstanceStats are the counters of one processing element instance.
+type InstanceStats struct {
+	// Executed is the number of tuples processed (bolts only).
+	Executed int64
+	// Emitted is the number of tuples emitted downstream.
+	Emitted int64
+}
+
+// Stats is a snapshot of per-instance counters, keyed by component name.
+type Stats struct {
+	PerInstance map[string][]InstanceStats
+}
+
+// Loads returns the executed-tuple counts of a component's instances —
+// the per-PEI load vector the paper's imbalance metric is computed on.
+func (s Stats) Loads(component string) []int64 {
+	insts := s.PerInstance[component]
+	out := make([]int64, len(insts))
+	for i, st := range insts {
+		out[i] = st.Executed
+	}
+	return out
+}
+
+// TotalExecuted sums the executed counts of a component.
+func (s Stats) TotalExecuted(component string) int64 {
+	var t int64
+	for _, st := range s.PerInstance[component] {
+		t += st.Executed
+	}
+	return t
+}
+
+// Imbalance returns max − avg of a component's executed counts.
+func (s Stats) Imbalance(component string) float64 {
+	loads := s.Loads(component)
+	if len(loads) == 0 {
+		return 0
+	}
+	var max, sum int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	return float64(max) - float64(sum)/float64(len(loads))
+}
+
+// instStats is the live, atomically updated form of InstanceStats.
+type instStats struct {
+	executed atomic.Int64
+	emitted  atomic.Int64
+}
+
+// Runtime executes a Topology: one goroutine per instance, bounded
+// channels per bolt instance, cascading channel closure when upstream
+// components finish.
+type Runtime struct {
+	top  *Topology
+	opts Options
+
+	stats map[string][]*instStats
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+// NewRuntime prepares a runtime for the topology.
+func NewRuntime(top *Topology, opts Options) *Runtime {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 1024
+	}
+	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{}}
+	for _, s := range top.spouts {
+		r.stats[s.name] = newInstStats(s.parallelism)
+	}
+	for _, b := range top.bolts {
+		r.stats[b.name] = newInstStats(b.parallelism)
+	}
+	return r
+}
+
+func newInstStats(n int) []*instStats {
+	out := make([]*instStats, n)
+	for i := range out {
+		out[i] = &instStats{}
+	}
+	return out
+}
+
+// Stats returns a snapshot of the per-instance counters. It may be called
+// while the topology runs (counters are read atomically) or after Run.
+func (r *Runtime) Stats() Stats {
+	snap := Stats{PerInstance: map[string][]InstanceStats{}}
+	for name, insts := range r.stats {
+		out := make([]InstanceStats, len(insts))
+		for i, st := range insts {
+			out[i] = InstanceStats{
+				Executed: st.executed.Load(),
+				Emitted:  st.emitted.Load(),
+			}
+		}
+		snap.PerInstance[name] = out
+	}
+	return snap
+}
+
+func (r *Runtime) recordErr(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+}
+
+// subscription is one downstream edge of an emitting instance.
+type subscription struct {
+	chans []chan Tuple
+	group Grouping
+}
+
+// emitter routes the tuples of one instance. stamp is true for spouts,
+// which timestamp tuples for end-to-end latency measurement.
+type emitter struct {
+	stats *instStats
+	subs  []subscription
+	stamp bool
+}
+
+// Emit implements Emitter. It blocks when a destination queue is full.
+func (e *emitter) Emit(t Tuple) {
+	if e.stamp && t.EmitNanos == 0 {
+		t.EmitNanos = time.Now().UnixNano()
+	}
+	e.stats.emitted.Add(1)
+	for i := range e.subs {
+		s := &e.subs[i]
+		dst := s.group.Select(t)
+		if dst == BroadcastAll {
+			for _, ch := range s.chans {
+				ch <- t
+			}
+			continue
+		}
+		s.chans[dst] <- t
+	}
+}
+
+// Run executes the topology to completion: spouts run until exhausted,
+// queues drain, bolts flush via Cleanup, and Run returns the first
+// instance error (a recovered panic), if any.
+func (r *Runtime) Run() error {
+	top := r.top
+
+	// Input channels per bolt instance.
+	chans := map[string][]chan Tuple{}
+	for _, b := range top.bolts {
+		cs := make([]chan Tuple, b.parallelism)
+		for i := range cs {
+			cs[i] = make(chan Tuple, r.opts.QueueSize)
+		}
+		chans[b.name] = cs
+	}
+
+	// Upstream sender counts per bolt: when all senders (upstream
+	// instances plus the bolt's ticker, if any) are done, the bolt's
+	// channels close.
+	senders := map[string]*sync.WaitGroup{}
+	for _, b := range top.bolts {
+		senders[b.name] = &sync.WaitGroup{}
+	}
+	// Downstream subscriptions per component.
+	downstream := map[string][]boltDecl{}
+	for _, b := range top.bolts {
+		for _, in := range b.inputs {
+			downstream[in.from] = append(downstream[in.from], b)
+		}
+	}
+	// Count real upstream senders.
+	parallelism := map[string]int{}
+	for _, s := range top.spouts {
+		parallelism[s.name] = s.parallelism
+	}
+	for _, b := range top.bolts {
+		parallelism[b.name] = b.parallelism
+	}
+	for _, b := range top.bolts {
+		for _, in := range b.inputs {
+			senders[b.name].Add(parallelism[in.from])
+		}
+	}
+
+	// realDone[bolt] closes when every real upstream sender finished —
+	// the signal for the bolt's ticker (if any) to stop.
+	realDone := map[string]chan struct{}{}
+	for _, b := range top.bolts {
+		done := make(chan struct{})
+		realDone[b.name] = done
+		wg := senders[b.name]
+		go func() {
+			wg.Wait()
+			close(done)
+		}()
+	}
+
+	// Tickers count as senders too, so channels close only after the
+	// ticker goroutine has exited (no send-on-closed-channel races).
+	var tickers sync.WaitGroup
+	closers := map[string]*sync.WaitGroup{}
+	for _, b := range top.bolts {
+		closerWG := &sync.WaitGroup{}
+		closers[b.name] = closerWG
+		if b.tickEvery > 0 {
+			closerWG.Add(1)
+			tickers.Add(1)
+			go r.runTicker(b, chans[b.name], realDone[b.name], closerWG, &tickers)
+		}
+	}
+	// Channel closers: wait for real senders + ticker, then close.
+	for _, b := range top.bolts {
+		b := b
+		go func() {
+			senders[b.name].Wait()
+			closers[b.name].Wait()
+			for _, ch := range chans[b.name] {
+				close(ch)
+			}
+		}()
+	}
+
+	newEmitter := func(comp string, index int, stamp bool) *emitter {
+		em := &emitter{stats: r.stats[comp][index], stamp: stamp}
+		for _, dst := range downstream[comp] {
+			for _, in := range dst.inputs {
+				if in.from != comp {
+					continue
+				}
+				seed := edgeSeed(top.seed, comp, dst.name)
+				em.subs = append(em.subs, subscription{
+					chans: chans[dst.name],
+					group: in.factory(dst.parallelism, seed, index),
+				})
+			}
+		}
+		return em
+	}
+
+	var peis sync.WaitGroup
+
+	// Bolts first (they block on their queues).
+	for _, b := range top.bolts {
+		for i := 0; i < b.parallelism; i++ {
+			b, i := b, i
+			peis.Add(1)
+			go func() {
+				defer peis.Done()
+				defer func() {
+					// Signal our downstream edges after Cleanup.
+					for _, dst := range downstream[b.name] {
+						for _, in := range dst.inputs {
+							if in.from == b.name {
+								senders[dst.name].Done()
+							}
+						}
+					}
+				}()
+				r.runBolt(b, i, chans[b.name][i], newEmitter(b.name, i, false))
+			}()
+		}
+	}
+
+	// Spouts.
+	for _, s := range top.spouts {
+		for i := 0; i < s.parallelism; i++ {
+			s, i := s, i
+			peis.Add(1)
+			go func() {
+				defer peis.Done()
+				defer func() {
+					for _, dst := range downstream[s.name] {
+						for _, in := range dst.inputs {
+							if in.from == s.name {
+								senders[dst.name].Done()
+							}
+						}
+					}
+				}()
+				r.runSpout(s, i, newEmitter(s.name, i, true))
+			}()
+		}
+	}
+
+	peis.Wait()
+	tickers.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.firstErr
+}
+
+func (r *Runtime) runTicker(b boltDecl, chans []chan Tuple, done <-chan struct{},
+	closerWG, tickers *sync.WaitGroup) {
+	defer tickers.Done()
+	defer closerWG.Done()
+	ticker := time.NewTicker(b.tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			for _, ch := range chans {
+				select {
+				case ch <- Tuple{Tick: true}:
+				case <-done:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (r *Runtime) runSpout(decl spoutDecl, index int, em *emitter) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.recordErr(fmt.Errorf("engine: spout %s[%d] panicked: %v", decl.name, index, p))
+		}
+	}()
+	sp := decl.factory()
+	ctx := &Context{Topology: r.top.name, Component: decl.name, Index: index, Parallelism: decl.parallelism}
+	sp.Open(ctx)
+	defer sp.Close()
+	for sp.Next(em) {
+	}
+}
+
+func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan Tuple, em *emitter) {
+	st := r.stats[decl.name][index]
+	bolt := decl.factory()
+	ctx := &Context{Topology: r.top.name, Component: decl.name, Index: index, Parallelism: decl.parallelism}
+
+	broken := false
+	guard := func(f func()) {
+		defer func() {
+			if p := recover(); p != nil {
+				broken = true
+				r.recordErr(fmt.Errorf("engine: bolt %s[%d] panicked: %v", decl.name, index, p))
+			}
+		}()
+		f()
+	}
+	guard(func() { bolt.Prepare(ctx) })
+	for t := range in {
+		if broken {
+			continue // keep draining so upstream does not block forever
+		}
+		if !t.Tick {
+			// Ticks are timer signals, not load: the paper's imbalance is
+			// computed on data tuples only.
+			st.executed.Add(1)
+		}
+		guard(func() { bolt.Execute(t, em) })
+	}
+	if !broken {
+		guard(func() { bolt.Cleanup(em) })
+	}
+}
+
+// edgeSeed derives the hash seed of an edge from the topology seed and
+// the endpoint names, so every emitter on the edge agrees on its hash
+// functions while distinct edges stay independent.
+func edgeSeed(seed uint64, from, to string) uint64 {
+	h := hash.String64(from+"\x00"+to, uint32(seed))
+	return h ^ hash.Fmix64(seed)
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pkgstream/internal/heavyhitters"
+	"pkgstream/internal/naivebayes"
+	"pkgstream/internal/rng"
+	"pkgstream/internal/spdt"
+)
+
+// Applications regenerates the §VI claims as one table per application:
+// for naive Bayes (§VI.A), heavy hitters (§VI.C) and the streaming
+// parallel decision tree (§VI.B), it reports the quantities the paper
+// argues about — query probe counts, state footprints, aggregation
+// inputs and load balance — under KG, SG and PKG.
+func Applications(sc Scale, seed uint64) []Table {
+	return []Table{
+		nbTable(sc, seed),
+		hhTable(sc, seed),
+		spdtTable(sc, seed),
+	}
+}
+
+func nbTable(sc Scale, seed uint64) Table {
+	const (
+		workers = 9
+		classes = 2
+		vocab   = 5000
+		docLen  = 20
+	)
+	docs := int(sc.MessageCap / 100)
+	if docs < 500 {
+		docs = 500
+	}
+	gen := naivebayes.NewGenerator(classes, vocab, docLen, 0.09, seed)
+	train := gen.Batch(docs)
+	test := gen.Batch(docs / 5)
+
+	t := Table{
+		Title:   "§VI.A — naive Bayes, vertical parallelism (W=9)",
+		Columns: []string{"Strategy", "Accuracy%", "Imbalance", "Counters", "Probes/token"},
+		Notes: []string{
+			"claims: identical predictions under every layout; PKG probes 2 workers (KG 1, SG W);",
+			"PKG counters ≤ 2K; PKG load balance ≈ SG ≪ KG",
+		},
+	}
+	for _, s := range []struct {
+		name  string
+		strat naivebayes.Strategy
+	}{{"KG", naivebayes.ByKey}, {"SG", naivebayes.ByShuffle}, {"PKG", naivebayes.ByPKG}} {
+		d := naivebayes.NewDistributed(workers, classes, vocab, 1, s.strat, seed)
+		for _, smp := range train {
+			d.Train(smp)
+		}
+		correct := 0
+		for _, smp := range test {
+			if d.Predict(smp.Tokens) == smp.Class {
+				correct++
+			}
+		}
+		t.AddRow(s.name,
+			f1(100*float64(correct)/float64(len(test))),
+			f1(d.Imbalance()),
+			fmt.Sprint(d.CounterFootprint()),
+			fmt.Sprint(d.ProbesPerToken(1)))
+	}
+	return t
+}
+
+func hhTable(sc Scale, seed uint64) Table {
+	const (
+		workers  = 9
+		capacity = 256
+	)
+	n := sc.MessageCap
+	if n > 500_000 {
+		n = 500_000
+	}
+	t := Table{
+		Title:   "§VI.C — heavy hitters via SpaceSaving (W=9, k=256)",
+		Columns: []string{"Strategy", "Imbalance", "Probes/query", "Top-1 err bound"},
+		Notes: []string{
+			"claims: PKG probes 2 summaries per item (error bound sums over 2, not W);",
+			"PKG load balance ≈ SG ≪ KG",
+		},
+	}
+	for _, s := range []struct {
+		name  string
+		strat heavyhitters.Strategy
+	}{{"KG", heavyhitters.ByKey}, {"SG", heavyhitters.ByShuffle}, {"PKG", heavyhitters.ByPKG}} {
+		d := heavyhitters.NewDistributed(workers, capacity, s.strat, seed)
+		z := zipfStream(seed+1, 0.08, 20_000)
+		for i := int64(0); i < n; i++ {
+			d.Update(z())
+		}
+		est := d.Estimate(1)
+		t.AddRow(s.name, f1(d.Imbalance()),
+			fmt.Sprint(d.ProbeCount(1)), fmt.Sprint(est.Err))
+	}
+	return t
+}
+
+func spdtTable(sc Scale, seed uint64) Table {
+	const (
+		workers  = 8
+		features = 8
+		classes  = 2
+	)
+	samples := int(sc.MessageCap / 50)
+	if samples < 2000 {
+		samples = 2000
+	}
+	gen := spdt.NewDataGen(features, classes, 2, 3, seed)
+	xs, ys := gen.Batch(samples)
+	tx, ty := gen.Batch(samples / 4)
+
+	t := Table{
+		Title:   "§VI.B — streaming parallel decision tree (W=8, D=8, C=2)",
+		Columns: []string{"Strategy", "Accuracy%", "Histograms", "Merge inputs", "Splits"},
+		Notes: []string{
+			"claims: PKG-on-features caps histogram state at 2·D·C·L (shuffle: W·D·C·L)",
+			"and the aggregator merges ≤2 inputs per triplet, at equal accuracy",
+		},
+	}
+	params := spdt.Params{Features: features, Classes: classes, MinLeafSamples: samples / 10}
+	for _, s := range []struct {
+		name  string
+		strat spdt.Strategy
+	}{{"SG", spdt.ShuffleSamples}, {"KG", spdt.KeyFeatures}, {"PKG", spdt.PKGFeatures}} {
+		tr, err := spdt.NewTrainer(params, workers, s.strat, samples/8, seed)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: spdt: %v", err))
+		}
+		for i := range xs {
+			tr.Train(xs[i], ys[i])
+		}
+		correct := 0
+		for i := range tx {
+			if tr.Predict(tx[i]) == ty[i] {
+				correct++
+			}
+		}
+		t.AddRow(s.name,
+			f1(100*float64(correct)/float64(len(tx))),
+			fmt.Sprint(tr.HistogramCount()),
+			fmt.Sprint(tr.MergeInputs()),
+			fmt.Sprint(tr.Tree().Splits()))
+	}
+	return t
+}
+
+// zipfStream returns an endless key sampler with the given head
+// probability for the §VI tables.
+func zipfStream(seed uint64, p1 float64, k uint64) func() uint64 {
+	z := rng.NewZipf(rng.New(seed), rng.SolveZipfExponent(k, p1), k)
+	return z.Next
+}

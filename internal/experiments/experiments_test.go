@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny is a minimal scale so the whole registry runs in seconds.
+var tiny = Scale{
+	Name:            "tiny",
+	MessageCap:      60_000,
+	ClusterSpecCap:  100_000,
+	ClusterDuration: 5,
+	Fig5bPeriods:    []float64{2, 5},
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "full", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("nope"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRegistryResolvesAndIsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		got, err := ByName(e.Name)
+		if err != nil || got.Name != e.Name {
+			t.Errorf("ByName(%q) failed: %v", e.Name, err)
+		}
+		if e.Run == nil || e.Description == "" || e.Paper == "" {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("longer") // ragged row padded
+	s := tb.String()
+	for _, frag := range []string{"== T ==", "a", "bb", "longer", "note: n"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q:\n%s", frag, s)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	quoted := Table{Columns: []string{`with"quote`, "with,comma"}}
+	qcsv := quoted.CSV()
+	if !strings.Contains(qcsv, `"with""quote"`) || !strings.Contains(qcsv, `"with,comma"`) {
+		t.Errorf("CSV escaping wrong: %q", qcsv)
+	}
+}
+
+// cell parses a table cell as float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Registry {
+		tables := e.Run(tiny, 1)
+		if len(tables) == 0 {
+			t.Errorf("%s produced no tables", e.Name)
+			continue
+		}
+		for _, tb := range tables {
+			if tb.Title == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+				t.Errorf("%s produced empty table %+v", e.Name, tb.Title)
+			}
+			if s := tb.String(); len(s) == 0 {
+				t.Errorf("%s renders empty", e.Name)
+			}
+		}
+	}
+}
+
+func TestTable1MatchesPaperP1(t *testing.T) {
+	tb := Table1(tiny, 2)[0]
+	if len(tb.Rows) != 8 {
+		t.Fatalf("Table I has %d rows, want 8", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		got := cell(t, row[4])
+		want := cell(t, row[5])
+		if want == 0 {
+			t.Fatalf("paper p1 zero in row %v", row)
+		}
+		if d := (got - want) / want; d > 0.15 || d < -0.15 {
+			t.Errorf("%s: measured p1 %v deviates from paper %v", row[1], got, want)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tables := Table2(tiny, 3)
+	if len(tables) != 2 {
+		t.Fatalf("Table II should cover WP and TW")
+	}
+	wp := tables[0]
+	byName := map[string][]string{}
+	for _, row := range wp.Rows {
+		byName[row[0]] = row[1:]
+	}
+	// At W=5 (column 0): hashing orders of magnitude above PKG.
+	pkg := cell(t, byName["PKG"][0])
+	hash := cell(t, byName["Hashing"][0])
+	if pkg*50 > hash {
+		t.Errorf("W=5: PKG %v not ≪ Hashing %v", pkg, hash)
+	}
+	// At W=100 (past 2/p1 ≈ 21 for WP) everything is large and similar.
+	pkg100 := cell(t, byName["PKG"][3])
+	hash100 := cell(t, byName["Hashing"][3])
+	if pkg100*20 < hash100 {
+		t.Errorf("W=100: PKG %v should approach Hashing %v past the p1 limit", pkg100, hash100)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tables := Fig2(tiny, 4)
+	if len(tables) != 5 {
+		t.Fatalf("Figure 2 should cover 5 datasets, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		byName := map[string][]string{}
+		for _, row := range tb.Rows {
+			byName[row[0]] = row[1:]
+		}
+		// W=10 column: H ≫ G, and L5..L20 within 10x of G.
+		h := cell(t, byName["H"][1])
+		g := cell(t, byName["G"][1])
+		if g*10 > h {
+			t.Errorf("%s: G %v not well below H %v at W=10", tb.Title, g, h)
+		}
+		for _, l := range []string{"L5", "L10", "L15", "L20"} {
+			lv := cell(t, byName[l][1])
+			if lv > 10*g+1e-3 {
+				t.Errorf("%s: %s=%v more than an order above G=%v", tb.Title, l, lv, g)
+			}
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb := Fig4(tiny, 5)[0]
+	// Pair uniform/skewed rows and compare each W column.
+	for i := 0; i+1 < len(tb.Rows); i += 2 {
+		uni, skew := tb.Rows[i], tb.Rows[i+1]
+		if uni[1] != "Uniform" || skew[1] != "Skewed" {
+			t.Fatalf("row pairing broken: %v / %v", uni, skew)
+		}
+		for c := 3; c < len(uni); c++ {
+			u, s := cell(t, uni[c]), cell(t, skew[c])
+			if s > 10*u+1e-3 {
+				t.Errorf("%s %s col %d: skewed %v ≫ uniform %v", uni[0], uni[2], c, s, u)
+			}
+		}
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	tb := Fig5a(tiny, 6)[0]
+	first := tb.Rows[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	pkg0, kg0 := cell(t, first[1]), cell(t, first[3])
+	pkg1, kg1 := cell(t, last[1]), cell(t, last[3])
+	if kg1 >= pkg1 {
+		t.Errorf("at 1ms KG %v should be below PKG %v", kg1, pkg1)
+	}
+	kgDrop := 1 - kg1/kg0
+	pkgDrop := 1 - pkg1/pkg0
+	if kgDrop <= pkgDrop {
+		t.Errorf("KG decline %v should exceed PKG decline %v", kgDrop, pkgDrop)
+	}
+	// PKG ≈ SG at every delay.
+	for _, row := range tb.Rows {
+		p, s := cell(t, row[1]), cell(t, row[2])
+		if d := (p - s) / s; d > 0.1 || d < -0.1 {
+			t.Errorf("delay %s: PKG %v and SG %v diverge", row[0], p, s)
+		}
+	}
+}
+
+func TestFig5bShape(t *testing.T) {
+	tb := Fig5b(tiny, 7)[0]
+	// Row 0 is the KG reference; then (PKG, SG) pairs per period.
+	if tb.Rows[0][1] != "KG(ref)" {
+		t.Fatalf("first row should be the KG reference: %v", tb.Rows[0])
+	}
+	for i := 1; i+1 < len(tb.Rows); i += 2 {
+		pkg, sg := tb.Rows[i], tb.Rows[i+1]
+		if pkg[1] != "PKG" || sg[1] != "SG" {
+			t.Fatalf("row pairing broken: %v / %v", pkg, sg)
+		}
+		if cell(t, pkg[2]) <= cell(t, sg[2]) {
+			t.Errorf("T=%s: PKG throughput %s not above SG %s", pkg[0], pkg[2], sg[2])
+		}
+		if cell(t, pkg[3]) >= cell(t, sg[3]) {
+			t.Errorf("T=%s: PKG memory %s not below SG %s", pkg[0], pkg[3], sg[3])
+		}
+	}
+}
+
+func TestJaccardShape(t *testing.T) {
+	tb := JaccardGL(tiny, 8)[0]
+	j := cell(t, tb.Rows[0][1])
+	if j <= 0.05 || j >= 0.95 {
+		t.Errorf("Jaccard %v should show partial (not total) agreement", j)
+	}
+}
+
+func TestMemoryShape(t *testing.T) {
+	tb := Memory(tiny, 9)[0]
+	kg := cell(t, tb.Rows[0][1])
+	pkg := cell(t, tb.Rows[1][1])
+	sg := cell(t, tb.Rows[2][1])
+	if !(kg <= pkg && pkg < sg) {
+		t.Errorf("memory ordering KG ≤ PKG < SG violated: %v %v %v", kg, pkg, sg)
+	}
+	if pkg > 2*kg {
+		t.Errorf("PKG counters %v above 2×KG %v", pkg, kg)
+	}
+}
+
+func TestAblationDShape(t *testing.T) {
+	tb := AblationD(tiny, 10)[0]
+	// Column W=10 (index 2): d=1 far above d=2; d=5 no worse than 3x d=2.
+	d1 := cell(t, tb.Rows[0][2])
+	d2 := cell(t, tb.Rows[1][2])
+	d5 := cell(t, tb.Rows[4][2])
+	if d2*5 > d1 {
+		t.Errorf("d=2 (%v) not well below d=1 (%v)", d2, d1)
+	}
+	if d5 > 3*d2+1e-4 {
+		t.Errorf("d=5 (%v) worse than d=2 (%v)", d5, d2)
+	}
+}
+
+func TestRebalanceShape(t *testing.T) {
+	tb := Rebalance(tiny, 12)[0]
+	// Rows come in triples (Hashing, Rebalance, PKG) per W.
+	for i := 0; i+2 < len(tb.Rows); i += 3 {
+		h, r, p := tb.Rows[i], tb.Rows[i+1], tb.Rows[i+2]
+		if h[1] != "Hashing" || r[1] != "Rebalance" || p[1] != "PKG" {
+			t.Fatalf("row grouping broken: %v %v %v", h[1], r[1], p[1])
+		}
+		hImb, rImb, pImb := cell(t, h[2]), cell(t, r[2]), cell(t, p[2])
+		if rImb >= hImb {
+			t.Errorf("W=%s: rebalancing %v not below hashing %v", h[0], rImb, hImb)
+		}
+		if pImb > rImb {
+			t.Errorf("W=%s: PKG %v worse than rebalancing %v", h[0], pImb, rImb)
+		}
+		if cell(t, r[4]) <= 0 || cell(t, r[6]) <= 0 {
+			t.Errorf("W=%s: rebalancing shows no costs: %v", h[0], r)
+		}
+	}
+}
+
+func TestApplicationsShape(t *testing.T) {
+	tables := Applications(tiny, 13)
+	if len(tables) != 3 {
+		t.Fatalf("want 3 application tables, got %d", len(tables))
+	}
+	// Naive Bayes: probes 1 (KG), 9 (SG), ≤2 (PKG); identical accuracy.
+	nb := tables[0]
+	if cell(t, nb.Rows[0][4]) != 1 || cell(t, nb.Rows[1][4]) != 9 || cell(t, nb.Rows[2][4]) > 2 {
+		t.Errorf("NB probe counts wrong: %v", nb.Rows)
+	}
+	if nb.Rows[0][1] != nb.Rows[1][1] || nb.Rows[1][1] != nb.Rows[2][1] {
+		t.Errorf("NB accuracy differs across layouts: %v", nb.Rows)
+	}
+	// Heavy hitters: PKG imbalance far below KG; probes ≤ 2.
+	hh := tables[1]
+	if cell(t, hh.Rows[2][1])*3 > cell(t, hh.Rows[0][1]) {
+		t.Errorf("HH PKG imbalance not well below KG: %v", hh.Rows)
+	}
+	if cell(t, hh.Rows[2][2]) > 2 {
+		t.Errorf("HH PKG probes > 2: %v", hh.Rows)
+	}
+	// SPDT: PKG histograms strictly below shuffle's.
+	sp := tables[2]
+	if cell(t, sp.Rows[2][2]) >= cell(t, sp.Rows[0][2]) {
+		t.Errorf("SPDT PKG histograms not below shuffle: %v", sp.Rows)
+	}
+}
+
+func TestTheoryShape(t *testing.T) {
+	tables := Theory(tiny, 11)
+	ratios := tables[0]
+	for _, row := range ratios.Rows {
+		r1, r2 := cell(t, row[1]), cell(t, row[2])
+		if r2 > 1.0 {
+			t.Errorf("n=%s: Greedy-2 ratio %v not O(1)-small", row[0], r2)
+		}
+		if r1 < r2 {
+			t.Errorf("n=%s: Greedy-1 ratio %v below Greedy-2 %v", row[0], r1, r2)
+		}
+	}
+	used := tables[1]
+	for _, row := range used.Rows {
+		f := cell(t, row[1])
+		if f < 0.75 || f > 0.95 {
+			t.Errorf("n=%s: used-bin fraction %v far from 1-1/e² ≈ 0.865", row[0], f)
+		}
+	}
+}

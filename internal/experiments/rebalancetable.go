@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pkgstream/internal/core"
+	"pkgstream/internal/dataset"
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/rebalance"
+)
+
+// Rebalance answers the paper's §VIII open question — "can a solution
+// based on rebalancing be practical?" — empirically: key grouping with
+// Flux-style periodic key migration is compared against plain hashing
+// and against PKG on the WP stream, reporting both the achieved balance
+// and the costs rebalancing pays that PKG avoids (migrations, moved
+// state, routing-table entries).
+func Rebalance(sc Scale, seed uint64) []Table {
+	spec := dataset.WP.WithCap(sc.MessageCap)
+	t := Table{
+		Title: "§VIII open question — rebalancing KG vs PKG on WP",
+		Columns: []string{"W", "Technique", "AvgImbalance", "Fraction",
+			"Migrations", "MovedState", "RoutingTable"},
+		Notes: []string{
+			"shape to check: rebalancing lands between hashing and PKG while paying nonzero",
+			"migration/coordination costs; past W ≈ 1/p1 its atomicity floor binds, PKG's (2/p1) does not",
+		},
+	}
+	for _, w := range []int{5, 10, 15} {
+		// Plain hashing.
+		h := runDriver(spec, seed, core.NewKeyGrouping(w, seed), w)
+		t.AddRow(fmt.Sprint(w), "Hashing", f1(h.avg), sci(h.frac), "0", "0", "0")
+
+		// Rebalancing KG.
+		rb, err := rebalance.New(rebalance.Config{Workers: w, Seed: seed})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: rebalance: %v", err))
+		}
+		r := runDriver(spec, seed, rb, w)
+		t.AddRow(fmt.Sprint(w), "Rebalance", f1(r.avg), sci(r.frac),
+			fmt.Sprint(rb.Migrations()), fmt.Sprint(rb.MigratedState()),
+			fmt.Sprint(rb.RoutingTableSize()))
+
+		// PKG with global info (no migration, no table).
+		truth := metrics.NewLoad(w)
+		pkg := core.NewPKG(w, 2, seed, truth)
+		p := runDriverWith(spec, seed, pkg, truth)
+		t.AddRow(fmt.Sprint(w), "PKG", f1(p.avg), sci(p.frac), "0", "0", "0")
+	}
+	return []Table{t}
+}
+
+type driverResult struct {
+	avg  float64
+	frac float64
+}
+
+// runDriver routes the whole stream through p, sampling imbalance 1000
+// times, with a fresh truth vector.
+func runDriver(spec dataset.Spec, seed uint64, p core.Partitioner, w int) driverResult {
+	return runDriverWith(spec, seed, p, metrics.NewLoad(w))
+}
+
+// runDriverWith is runDriver against a caller-supplied truth vector
+// (needed when the partitioner's view *is* the truth, as for PKG-G).
+func runDriverWith(spec dataset.Spec, seed uint64, p core.Partitioner, truth *metrics.Load) driverResult {
+	s := spec.Open(seed)
+	sample := spec.Messages / 1000
+	if sample < 1 {
+		sample = 1
+	}
+	var i int64
+	var imbSum float64
+	var samples int64
+	for {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		truth.Add(p.Route(m.Key))
+		i++
+		if i%sample == 0 {
+			imbSum += truth.Imbalance()
+			samples++
+		}
+	}
+	avg := 0.0
+	if samples > 0 {
+		avg = imbSum / float64(samples)
+	}
+	return driverResult{avg: avg, frac: avg / float64(i)}
+}

@@ -1,0 +1,127 @@
+package graphstream
+
+import (
+	"strings"
+	"testing"
+
+	"pkgstream/internal/dataset"
+)
+
+func feedGraph(g *InDegree, cap int64, seed uint64) map[uint64]int64 {
+	s := dataset.LJ.WithCap(cap).Open(seed)
+	truth := map[uint64]int64{}
+	for {
+		m, ok := s.Next()
+		if !ok {
+			break
+		}
+		g.ProcessEdge(m.SrcKey, m.Key)
+		truth[m.Key]++
+	}
+	return truth
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(Config{Workers: 0, Sources: 1}) },
+		func() { New(Config{Workers: 1, Sources: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDegreesExact(t *testing.T) {
+	// The 2-probe aggregated degree must equal the true in-degree for
+	// every vertex: key splitting loses no counts.
+	g := New(Config{Workers: 10, Sources: 5, Assignment: KeyedSources, Seed: 1})
+	truth := feedGraph(g, 50_000, 1)
+	if g.Edges() != 50_000 {
+		t.Fatalf("Edges = %d", g.Edges())
+	}
+	for v, want := range truth {
+		if got := g.Degree(v); got != want {
+			t.Fatalf("vertex %d: degree %d, want %d", v, got, want)
+		}
+	}
+	if g.Degree(99_999_999) != 0 {
+		t.Fatal("unseen vertex should have degree 0")
+	}
+}
+
+func TestSkewedSourcesStillBalanceWorkers(t *testing.T) {
+	// Figure 4: worker imbalance under skewed source assignment stays in
+	// the same league as under uniform assignment, even though the
+	// sources themselves are heavily imbalanced.
+	uni := New(Config{Workers: 10, Sources: 5, Assignment: UniformSources, Seed: 2})
+	feedGraph(uni, 100_000, 2)
+	skew := New(Config{Workers: 10, Sources: 5, Assignment: KeyedSources, Seed: 2})
+	feedGraph(skew, 100_000, 2)
+
+	if skew.SourceImbalanceFraction() < 10*uni.SourceImbalanceFraction() {
+		t.Errorf("keyed sources should be imbalanced: %v vs uniform %v",
+			skew.SourceImbalanceFraction(), uni.SourceImbalanceFraction())
+	}
+	if skew.WorkerImbalanceFraction() > 10*uni.WorkerImbalanceFraction()+1e-4 {
+		t.Errorf("worker imbalance under skew %v ≫ uniform %v",
+			skew.WorkerImbalanceFraction(), uni.WorkerImbalanceFraction())
+	}
+	// Absolute worker balance is good (paper: "very low absolute values").
+	if skew.WorkerImbalanceFraction() > 1e-3 {
+		t.Errorf("worker imbalance fraction %v too high", skew.WorkerImbalanceFraction())
+	}
+}
+
+func TestTopDegreesOrdering(t *testing.T) {
+	g := New(Config{Workers: 5, Sources: 2, Seed: 3})
+	truth := feedGraph(g, 30_000, 3)
+	top := g.TopDegrees(10)
+	if len(top) != 10 {
+		t.Fatalf("TopDegrees returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Degree < top[i].Degree {
+			t.Fatal("TopDegrees not sorted")
+		}
+	}
+	// The reported degrees are the true ones.
+	for _, vd := range top {
+		if truth[vd.Vertex] != vd.Degree {
+			t.Fatalf("vertex %d: top degree %d != true %d", vd.Vertex, vd.Degree, truth[vd.Vertex])
+		}
+	}
+	if g.TopDegrees(0) != nil {
+		t.Fatal("TopDegrees(0) should be nil")
+	}
+}
+
+func TestCounterFootprintAtMostTwoPerVertex(t *testing.T) {
+	g := New(Config{Workers: 10, Sources: 4, Seed: 4})
+	truth := feedGraph(g, 40_000, 4)
+	if g.CounterFootprint() > 2*len(truth) {
+		t.Fatalf("footprint %d exceeds 2×distinct %d", g.CounterFootprint(), 2*len(truth))
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New(Config{Workers: 2, Sources: 1, Seed: 5})
+	if s := g.String(); !strings.Contains(s, "workers=2") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func BenchmarkProcessEdge(b *testing.B) {
+	g := New(Config{Workers: 10, Sources: 5, Assignment: KeyedSources, Seed: 1})
+	s := dataset.LJ.WithCap(int64(b.N) + 1).Open(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := s.Next()
+		g.ProcessEdge(m.SrcKey, m.Key)
+	}
+}

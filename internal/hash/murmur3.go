@@ -1,0 +1,166 @@
+// Package hash provides the hashing primitives used by the stream
+// partitioners: a from-scratch implementation of MurmurHash3 (x64, 128-bit
+// variant) for byte and string keys, and cheap seeded 64-bit mixers for
+// integer keys.
+//
+// The paper uses a 64-bit Murmur hash for key grouping "to minimize the
+// probability of collision" (§V.B); partitioners in internal/core obtain
+// their d candidate workers from d independently seeded hashes.
+package hash
+
+import "math/bits"
+
+const (
+	c1 = 0x87c37b91114253d5
+	c2 = 0x4cf5ad432745937f
+)
+
+// Sum128 computes the MurmurHash3 x64 128-bit hash of data with the given
+// seed and returns the two 64-bit halves. It matches the reference
+// MurmurHash3_x64_128 implementation by Austin Appleby.
+func Sum128(data []byte, seed uint32) (uint64, uint64) {
+	h1 := uint64(seed)
+	h2 := uint64(seed)
+
+	n := len(data)
+	nblocks := n / 16
+
+	// Body: process 16-byte blocks.
+	for i := 0; i < nblocks; i++ {
+		k1 := le64(data[i*16:])
+		k2 := le64(data[i*16+8:])
+
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+
+		h1 = bits.RotateLeft64(h1, 27)
+		h1 += h2
+		h1 = h1*5 + 0x52dce729
+
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+
+		h2 = bits.RotateLeft64(h2, 31)
+		h2 += h1
+		h2 = h2*5 + 0x38495ab5
+	}
+
+	// Tail: up to 15 remaining bytes.
+	tail := data[nblocks*16:]
+	var k1, k2 uint64
+	switch len(tail) & 15 {
+	case 15:
+		k2 ^= uint64(tail[14]) << 48
+		fallthrough
+	case 14:
+		k2 ^= uint64(tail[13]) << 40
+		fallthrough
+	case 13:
+		k2 ^= uint64(tail[12]) << 32
+		fallthrough
+	case 12:
+		k2 ^= uint64(tail[11]) << 24
+		fallthrough
+	case 11:
+		k2 ^= uint64(tail[10]) << 16
+		fallthrough
+	case 10:
+		k2 ^= uint64(tail[9]) << 8
+		fallthrough
+	case 9:
+		k2 ^= uint64(tail[8])
+		k2 *= c2
+		k2 = bits.RotateLeft64(k2, 33)
+		k2 *= c1
+		h2 ^= k2
+		fallthrough
+	case 8:
+		k1 ^= uint64(tail[7]) << 56
+		fallthrough
+	case 7:
+		k1 ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		k1 ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		k1 ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		k1 ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		k1 ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		k1 ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		k1 ^= uint64(tail[0])
+		k1 *= c1
+		k1 = bits.RotateLeft64(k1, 31)
+		k1 *= c2
+		h1 ^= k1
+	}
+
+	// Finalization.
+	h1 ^= uint64(n)
+	h2 ^= uint64(n)
+
+	h1 += h2
+	h2 += h1
+
+	h1 = fmix64(h1)
+	h2 = fmix64(h2)
+
+	h1 += h2
+	h2 += h1
+
+	return h1, h2
+}
+
+// Sum64 returns the first 64 bits of the Murmur3 x64-128 hash of data.
+func Sum64(data []byte, seed uint32) uint64 {
+	h1, _ := Sum128(data, seed)
+	return h1
+}
+
+// String64 returns the first 64 bits of the Murmur3 x64-128 hash of s
+// without allocating.
+func String64(s string, seed uint32) uint64 {
+	// The gc compiler does not allocate for this conversion when the
+	// resulting slice does not escape; Sum128 does not retain it.
+	return Sum64([]byte(s), seed)
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// fmix64 is the Murmur3 64-bit finalizer: a fast bijective mixer with
+// strong avalanche behaviour.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Mix64 hashes a 64-bit integer key under a 64-bit seed. It applies the
+// Murmur3 finalizer to the seed-perturbed key, which is the standard way to
+// derive a family of independent hash functions over integer key IDs
+// (one per choice d) without paying the full byte-oriented Murmur loop.
+func Mix64(key, seed uint64) uint64 {
+	return fmix64(key ^ (seed + 0x9e3779b97f4a7c15))
+}
+
+// Fmix64 exposes the raw finalizer for tests and samplers.
+func Fmix64(k uint64) uint64 { return fmix64(k) }

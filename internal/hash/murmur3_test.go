@@ -1,0 +1,194 @@
+package hash
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3 x64-128 produced by the canonical C++
+// implementation (and cross-checked against the widely used Python mmh3 and
+// Guava implementations).
+var murmurVectors = []struct {
+	in   string
+	seed uint32
+	h1   uint64
+	h2   uint64
+}{
+	{"", 0, 0x0000000000000000, 0x0000000000000000},
+	{"hello", 0, 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+	{"hello, world", 0, 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+	{"19 Jan 2038 at 3:14:07 AM", 0, 0xb89e5988b737affc, 0x664fc2950231b2cb},
+	{"The quick brown fox jumps over the lazy dog.", 0, 0xcd99481f9ee902c9, 0x695da1a38987b6e7},
+	{"hello", 1, 0xa78ddff5adae8d10, 0x128900ef20900135},
+}
+
+func TestSum128Vectors(t *testing.T) {
+	for _, v := range murmurVectors {
+		h1, h2 := Sum128([]byte(v.in), v.seed)
+		if h1 != v.h1 || h2 != v.h2 {
+			t.Errorf("Sum128(%q, %d) = (%#x, %#x), want (%#x, %#x)",
+				v.in, v.seed, h1, h2, v.h1, v.h2)
+		}
+	}
+}
+
+func TestSum64MatchesSum128(t *testing.T) {
+	for _, v := range murmurVectors {
+		if got := Sum64([]byte(v.in), v.seed); got != v.h1 {
+			t.Errorf("Sum64(%q, %d) = %#x, want %#x", v.in, v.seed, got, v.h1)
+		}
+	}
+}
+
+func TestString64MatchesSum64(t *testing.T) {
+	f := func(s string, seed uint32) bool {
+		return String64(s, seed) == Sum64([]byte(s), seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSum128AllTailLengths(t *testing.T) {
+	// Exercise every tail length 0..31 to cover both the block loop and
+	// every fallthrough branch; the hash must be deterministic and change
+	// when any byte changes.
+	base := make([]byte, 32)
+	for i := range base {
+		base[i] = byte(i * 7)
+	}
+	seen := make(map[[2]uint64]int)
+	for n := 0; n <= 31; n++ {
+		h1, h2 := Sum128(base[:n], 42)
+		g1, g2 := Sum128(base[:n], 42)
+		if h1 != g1 || h2 != g2 {
+			t.Fatalf("length %d: non-deterministic hash", n)
+		}
+		if prev, dup := seen[[2]uint64{h1, h2}]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[[2]uint64{h1, h2}] = n
+	}
+}
+
+func TestSum128SingleBitChanges(t *testing.T) {
+	data := []byte("partial key grouping balances skewed streams")
+	h1, h2 := Sum128(data, 0)
+	for i := range data {
+		for b := 0; b < 8; b++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << b
+			g1, g2 := Sum128(mut, 0)
+			if g1 == h1 && g2 == h2 {
+				t.Fatalf("flipping bit %d of byte %d did not change hash", b, i)
+			}
+		}
+	}
+}
+
+func TestSeedChangesHash(t *testing.T) {
+	data := []byte("seed sensitivity")
+	h0 := Sum64(data, 0)
+	h1 := Sum64(data, 1)
+	if h0 == h1 {
+		t.Fatal("seeds 0 and 1 produced identical hashes")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	// With 64 trials per bit position the mean must be well inside
+	// [24, 40] for a good mixer.
+	const trials = 64
+	for bit := 0; bit < 64; bit++ {
+		total := 0
+		for trial := 0; trial < trials; trial++ {
+			x := Fmix64(uint64(trial)*0x9e3779b97f4a7c15 + 12345)
+			a := Mix64(x, 7)
+			b := Mix64(x^(1<<bit), 7)
+			total += bits.OnesCount64(a ^ b)
+		}
+		mean := float64(total) / trials
+		if mean < 24 || mean > 40 {
+			t.Errorf("bit %d: avalanche mean %.1f outside [24,40]", bit, mean)
+		}
+	}
+}
+
+func TestMix64SeedIndependence(t *testing.T) {
+	// Different seeds must induce (nearly) independent hash functions:
+	// the fraction of keys mapped to the same bucket out of n under two
+	// seeds should be close to 1/n.
+	const n = 16
+	const keys = 100000
+	same := 0
+	for k := uint64(0); k < keys; k++ {
+		if Mix64(k, 1)%n == Mix64(k, 2)%n {
+			same++
+		}
+	}
+	frac := float64(same) / keys
+	if frac < 1.0/n*0.7 || frac > 1.0/n*1.3 {
+		t.Errorf("seed collision fraction %.4f, want ≈ %.4f", frac, 1.0/n)
+	}
+}
+
+func TestMix64BucketUniformity(t *testing.T) {
+	// Chi-squared-ish check: hashing 0..N-1 into 10 buckets must be
+	// close to uniform.
+	const n = 10
+	const keys = 200000
+	var counts [n]int
+	for k := uint64(0); k < keys; k++ {
+		counts[Mix64(k, 99)%n]++
+	}
+	want := float64(keys) / n
+	for i, c := range counts {
+		if float64(c) < want*0.95 || float64(c) > want*1.05 {
+			t.Errorf("bucket %d: count %d deviates >5%% from %v", i, c, want)
+		}
+	}
+}
+
+func TestFmix64Bijective(t *testing.T) {
+	// fmix64 is a bijection; sample check for collisions on a large set.
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Fmix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("fmix64 collision: %d and %d -> %#x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func BenchmarkSum128_16B(b *testing.B)  { benchSum(b, 16) }
+func BenchmarkSum128_64B(b *testing.B)  { benchSum(b, 64) }
+func BenchmarkSum128_1KiB(b *testing.B) { benchSum(b, 1024) }
+
+func benchSum(b *testing.B, n int) {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum128(data, 0)
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Mix64(uint64(i), 42)
+	}
+	_ = acc
+}
+
+func ExampleSum64() {
+	fmt.Printf("%#x\n", Sum64([]byte("hello"), 0))
+	// Output: 0xcbd8a7b341bd9b02
+}

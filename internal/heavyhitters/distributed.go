@@ -1,0 +1,134 @@
+package heavyhitters
+
+import (
+	"pkgstream/internal/core"
+	"pkgstream/internal/metrics"
+)
+
+// Distributed runs the paper's §VI.C architecture: a set of W workers,
+// each holding one SpaceSaving summary, fed through a stream partitioner.
+// Under PKG each item is tracked by at most two deterministic workers, so
+// a query merges exactly two summaries; under shuffle grouping an item
+// may live on every worker and a query must merge all W.
+type Distributed struct {
+	workers []*SpaceSaving
+	part    core.Partitioner
+	pkg     *core.PKG // non-nil when partial key grouping is used
+	view    *metrics.Load
+}
+
+// Strategy selects the routing scheme of a Distributed tracker.
+type Strategy int
+
+// Routing schemes of §VI.C.
+const (
+	// ByPKG routes with partial key grouping: ≤2 summaries per item.
+	ByPKG Strategy = iota
+	// ByKey routes with key grouping: 1 summary per item, but the
+	// worker loads inherit the stream's skew.
+	ByKey
+	// ByShuffle routes round-robin: perfectly balanced, but an item may
+	// be spread over all W summaries.
+	ByShuffle
+)
+
+// NewDistributed returns a distributed tracker over w workers, each with
+// a SpaceSaving summary of capacity k.
+func NewDistributed(w, k int, strategy Strategy, seed uint64) *Distributed {
+	if w <= 0 {
+		panic("heavyhitters: NewDistributed with w <= 0")
+	}
+	d := &Distributed{workers: make([]*SpaceSaving, w)}
+	for i := range d.workers {
+		d.workers[i] = New(k)
+	}
+	switch strategy {
+	case ByPKG:
+		d.view = metrics.NewLoad(w)
+		d.pkg = core.NewPKG(w, 2, seed, d.view)
+		d.part = d.pkg
+	case ByKey:
+		d.part = core.NewKeyGrouping(w, seed)
+	case ByShuffle:
+		d.part = core.NewShuffleGrouping(w, 0)
+	default:
+		panic("heavyhitters: unknown strategy")
+	}
+	return d
+}
+
+// Update routes one occurrence of item to a worker summary.
+func (d *Distributed) Update(item uint64) {
+	w := d.part.Route(item)
+	if d.view != nil {
+		d.view.Add(w)
+	}
+	d.workers[w].Update(item)
+}
+
+// Estimate answers a point query. Under PKG it probes only the item's two
+// candidate workers; under key grouping, one; under shuffle, all W.
+// The returned error bound is the sum of the probed summaries' bounds.
+func (d *Distributed) Estimate(item uint64) Counted {
+	probes := d.probeSet(item)
+	var c Counted
+	c.Item = item
+	for _, w := range probes {
+		e := d.workers[w].Estimate(item)
+		c.Count += e.Count
+		c.Err += e.Err
+	}
+	return c
+}
+
+// ProbeCount returns how many workers a query for item touches.
+func (d *Distributed) ProbeCount(item uint64) int { return len(d.probeSet(item)) }
+
+func (d *Distributed) probeSet(item uint64) []int {
+	switch p := d.part.(type) {
+	case *core.PKG:
+		cands := p.Candidates(item)
+		if cands[0] == cands[1] {
+			return cands[:1]
+		}
+		return cands
+	case *core.KeyGrouping:
+		return []int{p.Route(item)}
+	default:
+		all := make([]int, len(d.workers))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+}
+
+// TopK merges the worker summaries (into capacity k) and returns the j
+// top items. Under PKG an individual item's merged error comes from at
+// most two summaries; under shuffle grouping, up to W.
+func (d *Distributed) TopK(k, j int) []Counted {
+	return Merge(k, d.workers...).Top(j)
+}
+
+// WorkerLoads returns the number of updates each worker absorbed — the
+// load balance the partitioning strategy achieved.
+func (d *Distributed) WorkerLoads() []int64 {
+	out := make([]int64, len(d.workers))
+	for i, w := range d.workers {
+		out[i] = w.N()
+	}
+	return out
+}
+
+// Imbalance returns max − avg of the worker loads.
+func (d *Distributed) Imbalance() float64 {
+	loads := d.WorkerLoads()
+	var max, sum int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	return float64(max) - float64(sum)/float64(len(loads))
+}

@@ -1,0 +1,124 @@
+package heavyhitters
+
+import (
+	"testing"
+
+	"pkgstream/internal/rng"
+)
+
+func feed(d *Distributed, seed uint64, n int) map[uint64]int64 {
+	z := rng.NewZipf(rng.New(seed), rng.SolveZipfExponent(5000, 0.08), 5000)
+	truth := map[uint64]int64{}
+	for i := 0; i < n; i++ {
+		item := z.Next()
+		d.Update(item)
+		truth[item]++
+	}
+	return truth
+}
+
+func TestDistributedPKGTwoProbes(t *testing.T) {
+	d := NewDistributed(9, 256, ByPKG, 1)
+	feed(d, 1, 50000)
+	for item := uint64(1); item <= 100; item++ {
+		if n := d.ProbeCount(item); n > 2 {
+			t.Fatalf("item %d: %d probes under PKG, want ≤ 2", item, n)
+		}
+	}
+}
+
+func TestDistributedShuffleProbesAll(t *testing.T) {
+	d := NewDistributed(9, 256, ByShuffle, 1)
+	feed(d, 1, 10000)
+	if n := d.ProbeCount(42); n != 9 {
+		t.Fatalf("shuffle probes %d workers, want 9", n)
+	}
+}
+
+func TestDistributedKeyOneProbe(t *testing.T) {
+	d := NewDistributed(9, 256, ByKey, 1)
+	feed(d, 1, 10000)
+	if n := d.ProbeCount(42); n != 1 {
+		t.Fatalf("key grouping probes %d workers, want 1", n)
+	}
+}
+
+func TestDistributedEstimatesNeverUnderestimate(t *testing.T) {
+	for _, strat := range []Strategy{ByPKG, ByKey, ByShuffle} {
+		d := NewDistributed(9, 512, strat, 2)
+		truth := feed(d, 3, 100000)
+		// Check the true heavy hitters.
+		for item := uint64(1); item <= 20; item++ {
+			got := d.Estimate(item)
+			if got.Count < truth[item] {
+				t.Errorf("strategy %v: item %d estimate %d < true %d",
+					strat, item, got.Count, truth[item])
+			}
+			if got.Count-got.Err > truth[item] {
+				t.Errorf("strategy %v: item %d est-err %d > true %d",
+					strat, item, got.Count-got.Err, truth[item])
+			}
+		}
+	}
+}
+
+func TestDistributedTopKFindsTrueTop(t *testing.T) {
+	d := NewDistributed(9, 512, ByPKG, 4)
+	truth := feed(d, 5, 150000)
+	top := d.TopK(512, 5)
+	// With a Zipf stream the true top item is rank 1.
+	var bestItem uint64
+	var bestCount int64
+	for item, c := range truth {
+		if c > bestCount {
+			bestItem, bestCount = item, c
+		}
+	}
+	if top[0].Item != bestItem {
+		t.Fatalf("TopK[0] = %d, want %d", top[0].Item, bestItem)
+	}
+}
+
+func TestDistributedPKGBalancesBetterThanKey(t *testing.T) {
+	pkg := NewDistributed(9, 512, ByPKG, 6)
+	feed(pkg, 7, 100000)
+	kg := NewDistributed(9, 512, ByKey, 6)
+	feed(kg, 7, 100000)
+	if pkg.Imbalance()*5 > kg.Imbalance() {
+		t.Fatalf("PKG imbalance %v not well below KG %v", pkg.Imbalance(), kg.Imbalance())
+	}
+	var total int64
+	for _, l := range pkg.WorkerLoads() {
+		total += l
+	}
+	if total != 100000 {
+		t.Fatalf("worker loads sum to %d", total)
+	}
+}
+
+func TestDistributedPKGErrorBeatsShuffleAtEqualCapacity(t *testing.T) {
+	// §VI.C: with PKG an item's error sums over ≤2 summaries; with
+	// shuffle it sums over up to W. At equal per-worker capacity the PKG
+	// point-query error bound should not exceed shuffle's.
+	pkg := NewDistributed(9, 128, ByPKG, 8)
+	feed(pkg, 9, 120000)
+	sg := NewDistributed(9, 128, ByShuffle, 8)
+	feed(sg, 9, 120000)
+	var pkgErr, sgErr int64
+	for item := uint64(100); item <= 200; item++ { // mid-popularity items
+		pkgErr += pkg.Estimate(item).Err
+		sgErr += sg.Estimate(item).Err
+	}
+	if pkgErr > sgErr {
+		t.Fatalf("PKG total error %d exceeds shuffle %d", pkgErr, sgErr)
+	}
+}
+
+func TestDistributedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("w=0 did not panic")
+		}
+	}()
+	NewDistributed(0, 10, ByPKG, 1)
+}

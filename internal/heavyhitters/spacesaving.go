@@ -1,0 +1,299 @@
+// Package heavyhitters implements the SPACESAVING algorithm of Metwally
+// et al. (ICDT 2005) with the stream-summary data structure (O(1) per
+// update), mergeable summaries in the style of Berinde et al. (TODS
+// 2010), and the distributed top-k pattern of the paper's §VI.C: route
+// items to two workers with partial key grouping, keep one SpaceSaving
+// summary per worker, and merge exactly two summaries per key at query
+// time — so the per-item error depends on two summary error terms
+// regardless of the parallelism level, unlike shuffle grouping where it
+// grows with W.
+package heavyhitters
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counted is one item of a summary or query result: an item identifier
+// with its estimated count and overestimation bound.
+type Counted struct {
+	// Item is the item identifier.
+	Item uint64
+	// Count is the estimated frequency. It never underestimates:
+	// true ≤ Count ≤ true + Err.
+	Count int64
+	// Err bounds the overestimation of Count.
+	Err int64
+}
+
+// bucket groups all monitored items with the same count, forming the
+// stream-summary's doubly-linked list ordered by increasing count.
+type bucket struct {
+	count      int64
+	prev, next *bucket
+	// items is the set of entries in this bucket (insertion-keyed map
+	// for O(1) detach).
+	items map[*entry]struct{}
+}
+
+type entry struct {
+	item   uint64
+	err    int64
+	parent *bucket
+}
+
+// SpaceSaving maintains the top-k items of a stream in O(k) space.
+// Update is O(1) amortized. The classic guarantees hold: every item with
+// true frequency > N/k is in the summary, and each reported count
+// overestimates the true count by at most Err ≤ N/k, where N is the
+// number of updates observed.
+type SpaceSaving struct {
+	k       int
+	n       int64
+	entries map[uint64]*entry
+	// head is the bucket with the smallest count.
+	head, tail *bucket
+}
+
+// New returns a SpaceSaving summary with capacity k (the maximum number
+// of monitored items). It panics if k <= 0.
+func New(k int) *SpaceSaving {
+	if k <= 0 {
+		panic("heavyhitters: New with k <= 0")
+	}
+	return &SpaceSaving{k: k, entries: make(map[uint64]*entry, k)}
+}
+
+// K returns the summary capacity.
+func (s *SpaceSaving) K() int { return s.k }
+
+// N returns the total weight of updates observed.
+func (s *SpaceSaving) N() int64 { return s.n }
+
+// Size returns the number of monitored items (≤ K).
+func (s *SpaceSaving) Size() int { return len(s.entries) }
+
+// Update records one occurrence of item.
+func (s *SpaceSaving) Update(item uint64) { s.UpdateN(item, 1) }
+
+// UpdateN records n occurrences of item. It panics if n <= 0.
+func (s *SpaceSaving) UpdateN(item uint64, n int64) {
+	if n <= 0 {
+		panic("heavyhitters: UpdateN with n <= 0")
+	}
+	s.n += n
+	if e, ok := s.entries[item]; ok {
+		s.increment(e, n)
+		return
+	}
+	if len(s.entries) < s.k {
+		e := &entry{item: item}
+		s.entries[item] = e
+		s.attach(e, n)
+		return
+	}
+	// Evict from the minimum bucket: the new item inherits min as its
+	// error bound — the SpaceSaving replacement step.
+	minB := s.head
+	var victim *entry
+	for v := range minB.items {
+		victim = v
+		break
+	}
+	min := minB.count
+	s.detach(victim)
+	delete(s.entries, victim.item)
+	e := &entry{item: item, err: min}
+	s.entries[item] = e
+	s.attach(e, min+n)
+}
+
+// increment moves e from its bucket to the bucket for count+n.
+func (s *SpaceSaving) increment(e *entry, n int64) {
+	c := e.parent.count + n
+	s.detach(e)
+	s.attach(e, c)
+}
+
+// attach inserts e into the bucket with the given count, creating and
+// linking the bucket if needed. Search starts from the head; in the
+// common n == 1 case the destination is adjacent to the old bucket, so
+// the walk is O(1) amortized.
+func (s *SpaceSaving) attach(e *entry, count int64) {
+	// Find insertion point: the first bucket with count >= target.
+	var b *bucket
+	for b = s.head; b != nil && b.count < count; b = b.next {
+	}
+	if b != nil && b.count == count {
+		b.items[e] = struct{}{}
+		e.parent = b
+		return
+	}
+	nb := &bucket{count: count, items: map[*entry]struct{}{e: {}}}
+	e.parent = nb
+	if b == nil { // append at tail
+		nb.prev = s.tail
+		if s.tail != nil {
+			s.tail.next = nb
+		} else {
+			s.head = nb
+		}
+		s.tail = nb
+		return
+	}
+	nb.next = b
+	nb.prev = b.prev
+	if b.prev != nil {
+		b.prev.next = nb
+	} else {
+		s.head = nb
+	}
+	b.prev = nb
+}
+
+// detach removes e from its bucket, unlinking the bucket if it empties.
+func (s *SpaceSaving) detach(e *entry) {
+	b := e.parent
+	delete(b.items, e)
+	e.parent = nil
+	if len(b.items) > 0 {
+		return
+	}
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		s.tail = b.prev
+	}
+}
+
+// Estimate returns the estimated count and error bound for item. For
+// unmonitored items it returns (MinCount, MinCount): the count is at most
+// the current minimum.
+func (s *SpaceSaving) Estimate(item uint64) Counted {
+	if e, ok := s.entries[item]; ok {
+		return Counted{Item: item, Count: e.parent.count, Err: e.err}
+	}
+	min := s.MinCount()
+	return Counted{Item: item, Count: min, Err: min}
+}
+
+// MinCount returns the smallest monitored count, or 0 while the summary
+// has spare capacity (unmonitored items then have true count 0).
+func (s *SpaceSaving) MinCount() int64 {
+	if len(s.entries) < s.k || s.head == nil {
+		return 0
+	}
+	return s.head.count
+}
+
+// MaxError returns the largest overestimation bound in the summary; it is
+// at most N/k.
+func (s *SpaceSaving) MaxError() int64 {
+	var max int64
+	for _, e := range s.entries {
+		if e.err > max {
+			max = e.err
+		}
+	}
+	return max
+}
+
+// Top returns the j highest-count items in decreasing count order
+// (all monitored items if j ≥ Size).
+func (s *SpaceSaving) Top(j int) []Counted {
+	out := make([]Counted, 0, len(s.entries))
+	for b := s.tail; b != nil; b = b.prev {
+		for e := range b.items {
+			out = append(out, Counted{Item: e.item, Count: b.count, Err: e.err})
+		}
+	}
+	// Within a bucket, map order is arbitrary: fix it for determinism.
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Count != out[k].Count {
+			return out[i].Count > out[k].Count
+		}
+		return out[i].Item < out[k].Item
+	})
+	if j < len(out) {
+		out = out[:j]
+	}
+	return out
+}
+
+// Items returns all monitored items in decreasing count order.
+func (s *SpaceSaving) Items() []Counted { return s.Top(s.k) }
+
+// Merge combines several summaries into a fresh one with the given
+// capacity, following Berinde et al.: counts of common items add; an
+// item missing from a summary may have been seen up to that summary's
+// MinCount times, so that bound joins its error. The result's guarantees
+// degrade by the sum of the inputs' error terms — which is why the
+// paper's PKG split (exactly two summaries per key) beats shuffle
+// grouping (W summaries per key).
+func Merge(k int, summaries ...*SpaceSaving) *SpaceSaving {
+	if k <= 0 {
+		panic("heavyhitters: Merge with k <= 0")
+	}
+	type acc struct {
+		count int64
+		err   int64
+	}
+	merged := map[uint64]*acc{}
+	var totalN int64
+	for _, s := range summaries {
+		totalN += s.N()
+		for _, c := range s.Items() {
+			a := merged[c.Item]
+			if a == nil {
+				a = &acc{}
+				merged[c.Item] = a
+			}
+			a.count += c.Count
+			a.err += c.Err
+		}
+	}
+	// Items absent from a summary contribute at most that summary's min.
+	for item, a := range merged {
+		for _, s := range summaries {
+			if _, ok := s.entries[item]; !ok {
+				min := s.MinCount()
+				a.count += min
+				a.err += 2 * min // min counts both as estimate and as slack
+			}
+		}
+		_ = item
+	}
+	items := make([]Counted, 0, len(merged))
+	for item, a := range merged {
+		items = append(items, Counted{Item: item, Count: a.count, Err: a.err})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Count != items[j].Count {
+			return items[i].Count > items[j].Count
+		}
+		return items[i].Item < items[j].Item
+	})
+	out := New(k)
+	out.n = totalN
+	for i := len(items) - 1; i >= 0; i-- {
+		if i >= k {
+			continue
+		}
+		c := items[i]
+		e := &entry{item: c.Item, err: c.Err}
+		out.entries[c.Item] = e
+		out.attach(e, c.Count)
+	}
+	return out
+}
+
+// String summarizes the sketch for debugging.
+func (s *SpaceSaving) String() string {
+	return fmt.Sprintf("SpaceSaving(k=%d, n=%d, monitored=%d, min=%d)",
+		s.k, s.n, len(s.entries), s.MinCount())
+}

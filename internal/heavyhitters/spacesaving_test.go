@@ -1,0 +1,278 @@
+package heavyhitters
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pkgstream/internal/rng"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { New(1).UpdateN(1, 0) },
+		func() { Merge(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	s := New(100)
+	truth := map[uint64]int64{}
+	src := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		item := uint64(src.Intn(50)) // 50 < 100 distinct: no evictions
+		s.Update(item)
+		truth[item]++
+	}
+	if s.Size() != len(truth) {
+		t.Fatalf("size %d, want %d", s.Size(), len(truth))
+	}
+	for item, want := range truth {
+		got := s.Estimate(item)
+		if got.Count != want || got.Err != 0 {
+			t.Fatalf("item %d: got (%d ± %d), want exact %d", item, got.Count, got.Err, want)
+		}
+	}
+	if s.MaxError() != 0 {
+		t.Fatalf("MaxError %d under capacity", s.MaxError())
+	}
+}
+
+func TestOverestimationGuarantee(t *testing.T) {
+	// Classic guarantees: true ≤ est ≤ true + err, err ≤ N/k.
+	const k = 64
+	s := New(k)
+	truth := map[uint64]int64{}
+	z := rng.NewZipf(rng.New(2), 1.2, 10000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		item := z.Next()
+		s.Update(item)
+		truth[item]++
+	}
+	if s.N() != n {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Size() != k {
+		t.Fatalf("monitored %d, want %d", s.Size(), k)
+	}
+	for _, c := range s.Items() {
+		want := truth[c.Item]
+		if c.Count < want {
+			t.Fatalf("item %d: estimate %d underestimates true %d", c.Item, c.Count, want)
+		}
+		if c.Count-c.Err > want {
+			t.Fatalf("item %d: est-err %d exceeds true %d", c.Item, c.Count-c.Err, want)
+		}
+	}
+	if max := s.MaxError(); max > n/int64(k) {
+		t.Fatalf("MaxError %d exceeds N/k = %d", max, n/int64(k))
+	}
+	if min := s.MinCount(); min > n/int64(k) {
+		t.Fatalf("MinCount %d exceeds N/k", min)
+	}
+}
+
+func TestHeavyHittersAllPresent(t *testing.T) {
+	// Every item with frequency > N/k must be monitored.
+	const k = 32
+	s := New(k)
+	truth := map[uint64]int64{}
+	z := rng.NewZipf(rng.New(3), 1.5, 5000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		item := z.Next()
+		s.Update(item)
+		truth[item]++
+	}
+	thresh := int64(n / k)
+	for item, c := range truth {
+		if c > thresh {
+			if _, monitored := s.entries[item]; !monitored {
+				t.Fatalf("heavy hitter %d (count %d > %d) missing", item, c, thresh)
+			}
+		}
+	}
+}
+
+func TestTopOrderingAndDeterminism(t *testing.T) {
+	s := New(16)
+	for item, c := range map[uint64]int64{1: 100, 2: 50, 3: 25, 4: 10} {
+		s.UpdateN(item, c)
+	}
+	top := s.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top(3) returned %d items", len(top))
+	}
+	if top[0].Item != 1 || top[1].Item != 2 || top[2].Item != 3 {
+		t.Fatalf("wrong order: %+v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Count < top[i].Count {
+			t.Fatal("Top not sorted by count")
+		}
+	}
+	// Larger j than size returns all.
+	if got := s.Top(100); len(got) != 4 {
+		t.Fatalf("Top(100) = %d items", len(got))
+	}
+}
+
+func TestUpdateNWeighted(t *testing.T) {
+	s := New(4)
+	s.UpdateN(7, 500)
+	s.Update(7)
+	if got := s.Estimate(7); got.Count != 501 || got.Err != 0 {
+		t.Fatalf("weighted estimate = %+v", got)
+	}
+}
+
+func TestEvictionInheritsMin(t *testing.T) {
+	s := New(2)
+	s.UpdateN(1, 10)
+	s.UpdateN(2, 5)
+	s.Update(3) // evicts item 2 (min=5); item 3 gets count 6, err 5
+	got := s.Estimate(3)
+	if got.Count != 6 || got.Err != 5 {
+		t.Fatalf("evicted-insert estimate = %+v, want (6 ± 5)", got)
+	}
+	// Item 2 is gone; its estimate falls back to MinCount.
+	e2 := s.Estimate(2)
+	if e2.Count != s.MinCount() || e2.Err != s.MinCount() {
+		t.Fatalf("unmonitored estimate = %+v", e2)
+	}
+}
+
+func TestBucketListInvariant(t *testing.T) {
+	// After arbitrary updates the bucket list must be strictly
+	// increasing from head to tail and entries must point to the bucket
+	// containing them.
+	s := New(8)
+	src := rng.New(4)
+	for i := 0; i < 5000; i++ {
+		s.UpdateN(uint64(src.Intn(40)), int64(src.Intn(3)+1))
+		if i%500 != 0 {
+			continue
+		}
+		var prev int64 = -1
+		seen := 0
+		for b := s.head; b != nil; b = b.next {
+			if b.count <= prev {
+				t.Fatalf("bucket counts not strictly increasing at %d", b.count)
+			}
+			if len(b.items) == 0 {
+				t.Fatal("empty bucket left in list")
+			}
+			for e := range b.items {
+				if e.parent != b {
+					t.Fatal("entry parent mismatch")
+				}
+				seen++
+			}
+			prev = b.count
+		}
+		if seen != len(s.entries) {
+			t.Fatalf("bucket list holds %d entries, map holds %d", seen, len(s.entries))
+		}
+		// Tail reachable backwards.
+		if s.tail != nil && s.tail.next != nil {
+			t.Fatal("tail has next")
+		}
+	}
+}
+
+func TestMergeBounds(t *testing.T) {
+	// Merged estimates must still never underestimate, and the merged
+	// error must bound the deviation (Berinde-style mergeability).
+	const k = 64
+	a, b := New(k), New(k)
+	truth := map[uint64]int64{}
+	z := rng.NewZipf(rng.New(5), 1.3, 2000)
+	for i := 0; i < 50000; i++ {
+		item := z.Next()
+		if i%2 == 0 {
+			a.Update(item)
+		} else {
+			b.Update(item)
+		}
+		truth[item]++
+	}
+	m := Merge(k, a, b)
+	if m.N() != a.N()+b.N() {
+		t.Fatalf("merged N = %d", m.N())
+	}
+	for _, c := range m.Items() {
+		want := truth[c.Item]
+		if c.Count < want {
+			t.Fatalf("merged item %d: %d underestimates %d", c.Item, c.Count, want)
+		}
+		if c.Count-c.Err > want {
+			t.Fatalf("merged item %d: %d - %d exceeds true %d", c.Item, c.Count, c.Err, want)
+		}
+	}
+	// The true top item must survive the merge.
+	top := m.Top(1)
+	var bestItem uint64
+	var bestCount int64
+	for item, c := range truth {
+		if c > bestCount || (c == bestCount && item < bestItem) {
+			bestItem, bestCount = item, c
+		}
+	}
+	if top[0].Item != bestItem {
+		t.Fatalf("merged top = %d, want %d", top[0].Item, bestItem)
+	}
+}
+
+func TestMergePropertyNoUnderestimate(t *testing.T) {
+	f := func(items []uint16) bool {
+		a, b := New(8), New(8)
+		truth := map[uint64]int64{}
+		for i, it := range items {
+			item := uint64(it % 64)
+			if i%2 == 0 {
+				a.Update(item)
+			} else {
+				b.Update(item)
+			}
+			truth[item]++
+		}
+		m := Merge(8, a, b)
+		for _, c := range m.Items() {
+			if c.Count < truth[c.Item] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(4)
+	s.Update(1)
+	if got := s.String(); !strings.Contains(got, "k=4") || !strings.Contains(got, "n=1") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func BenchmarkSpaceSavingUpdate(b *testing.B) {
+	s := New(1000)
+	z := rng.NewZipf(rng.New(1), 1.1, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(z.Next())
+	}
+}

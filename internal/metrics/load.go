@@ -1,0 +1,156 @@
+// Package metrics implements the measurement machinery shared by every
+// experiment in the reproduction: per-worker load vectors, the paper's
+// imbalance metric I(t) = max_i L_i(t) − avg_i L_i(t), time series of
+// imbalance fractions, streaming moment estimators, reservoir-sampled
+// quantiles and the Jaccard agreement between two routings.
+package metrics
+
+// Load tracks the per-worker message counts L_i(t) of Section II of the
+// paper: the load of worker i at time t is the number of messages routed
+// to it so far. It is the ground truth against which all partitioners are
+// evaluated (partitioners may route using *estimates*; imbalance is
+// always computed on actual loads).
+type Load struct {
+	counts []int64
+	total  int64
+}
+
+// NewLoad returns a Load over n workers. It panics if n <= 0.
+func NewLoad(n int) *Load {
+	if n <= 0 {
+		panic("metrics: NewLoad with n <= 0")
+	}
+	return &Load{counts: make([]int64, n)}
+}
+
+// N returns the number of workers.
+func (l *Load) N() int { return len(l.counts) }
+
+// Add records one message routed to worker i.
+func (l *Load) Add(i int) {
+	l.counts[i]++
+	l.total++
+}
+
+// AddN records n messages routed to worker i.
+func (l *Load) AddN(i int, n int64) {
+	l.counts[i] += n
+	l.total += n
+}
+
+// Get returns the load of worker i.
+func (l *Load) Get(i int) int64 { return l.counts[i] }
+
+// Total returns the total number of messages recorded.
+func (l *Load) Total() int64 { return l.total }
+
+// Max returns the maximum worker load.
+func (l *Load) Max() int64 {
+	max := l.counts[0]
+	for _, c := range l.counts[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Min returns the minimum worker load.
+func (l *Load) Min() int64 {
+	min := l.counts[0]
+	for _, c := range l.counts[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Avg returns the average worker load.
+func (l *Load) Avg() float64 {
+	return float64(l.total) / float64(len(l.counts))
+}
+
+// Imbalance returns I(t) = max load − average load, the paper's load
+// imbalance metric (Section II). It is always ≥ 0.
+func (l *Load) Imbalance() float64 {
+	return float64(l.Max()) - l.Avg()
+}
+
+// ImbalanceFraction returns Imbalance() divided by the total number of
+// messages, the normalization used throughout the paper's figures
+// ("fraction of imbalance with respect to total number of messages").
+// It returns 0 when no messages have been recorded.
+func (l *Load) ImbalanceFraction() float64 {
+	if l.total == 0 {
+		return 0
+	}
+	return l.Imbalance() / float64(l.total)
+}
+
+// Used returns the number of workers with non-zero load. Theorem-level
+// analysis (Section IV) shows that with d = 2 choices a uniform key
+// distribution leaves ≈ 1/e² of the bins unused; Used exposes that.
+func (l *Load) Used() int {
+	n := 0
+	for _, c := range l.counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy of the per-worker loads.
+func (l *Load) Snapshot() []int64 {
+	out := make([]int64, len(l.counts))
+	copy(out, l.counts)
+	return out
+}
+
+// CopyFrom overwrites this load vector with the contents of other. The
+// two must have the same size. It is used by the probing load-estimation
+// strategy, which periodically resets local estimates to true loads.
+func (l *Load) CopyFrom(other *Load) {
+	if len(l.counts) != len(other.counts) {
+		panic("metrics: CopyFrom with mismatched sizes")
+	}
+	copy(l.counts, other.counts)
+	l.total = other.total
+}
+
+// Reset zeroes all loads.
+func (l *Load) Reset() {
+	for i := range l.counts {
+		l.counts[i] = 0
+	}
+	l.total = 0
+}
+
+// ArgMin returns the index of the least-loaded worker (lowest index wins
+// ties, which keeps routing deterministic).
+func (l *Load) ArgMin() int {
+	best := 0
+	for i := 1; i < len(l.counts); i++ {
+		if l.counts[i] < l.counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Least returns the index with the smallest load among the given
+// candidate workers (first-listed wins ties). It panics if no candidates
+// are given.
+func (l *Load) Least(candidates ...int) int {
+	if len(candidates) == 0 {
+		panic("metrics: Least with no candidates")
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if l.counts[c] < l.counts[best] {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadBasics(t *testing.T) {
+	l := NewLoad(4)
+	if l.N() != 4 {
+		t.Fatalf("N = %d", l.N())
+	}
+	l.Add(0)
+	l.Add(0)
+	l.Add(1)
+	l.AddN(3, 5)
+	if got := l.Total(); got != 8 {
+		t.Errorf("Total = %d, want 8", got)
+	}
+	if got := l.Get(0); got != 2 {
+		t.Errorf("Get(0) = %d, want 2", got)
+	}
+	if got := l.Max(); got != 5 {
+		t.Errorf("Max = %d, want 5", got)
+	}
+	if got := l.Min(); got != 0 {
+		t.Errorf("Min = %d, want 0", got)
+	}
+	if got := l.Avg(); got != 2 {
+		t.Errorf("Avg = %v, want 2", got)
+	}
+	if got := l.Imbalance(); got != 3 {
+		t.Errorf("Imbalance = %v, want 3", got)
+	}
+	if got := l.ImbalanceFraction(); math.Abs(got-3.0/8) > 1e-12 {
+		t.Errorf("ImbalanceFraction = %v, want 0.375", got)
+	}
+	if got := l.Used(); got != 3 {
+		t.Errorf("Used = %d, want 3", got)
+	}
+}
+
+func TestLoadEmptyAndReset(t *testing.T) {
+	l := NewLoad(3)
+	if got := l.ImbalanceFraction(); got != 0 {
+		t.Errorf("empty ImbalanceFraction = %v", got)
+	}
+	if got := l.Imbalance(); got != 0 {
+		t.Errorf("empty Imbalance = %v", got)
+	}
+	l.Add(1)
+	l.Reset()
+	if l.Total() != 0 || l.Max() != 0 {
+		t.Error("Reset did not clear loads")
+	}
+}
+
+func TestLoadPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLoad(0) did not panic")
+		}
+	}()
+	NewLoad(0)
+}
+
+func TestLoadSnapshotIsCopy(t *testing.T) {
+	l := NewLoad(2)
+	l.Add(0)
+	s := l.Snapshot()
+	s[0] = 99
+	if l.Get(0) != 1 {
+		t.Fatal("Snapshot aliased internal storage")
+	}
+}
+
+func TestLoadCopyFrom(t *testing.T) {
+	a, b := NewLoad(3), NewLoad(3)
+	a.AddN(0, 10)
+	a.AddN(2, 5)
+	b.Add(1)
+	b.CopyFrom(a)
+	if b.Get(0) != 10 || b.Get(1) != 0 || b.Get(2) != 5 || b.Total() != 15 {
+		t.Fatalf("CopyFrom mismatch: %v total %d", b.Snapshot(), b.Total())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom size mismatch did not panic")
+		}
+	}()
+	NewLoad(2).CopyFrom(a)
+}
+
+func TestLoadArgMinAndLeast(t *testing.T) {
+	l := NewLoad(4)
+	l.AddN(0, 3)
+	l.AddN(1, 1)
+	l.AddN(2, 1)
+	l.AddN(3, 2)
+	if got := l.ArgMin(); got != 1 {
+		t.Errorf("ArgMin = %d, want 1 (lowest index tie-break)", got)
+	}
+	if got := l.Least(3, 0); got != 3 {
+		t.Errorf("Least(3,0) = %d, want 3", got)
+	}
+	if got := l.Least(2, 1); got != 2 {
+		t.Errorf("Least(2,1) = %d, want 2 (first wins ties)", got)
+	}
+	if got := l.Least(0); got != 0 {
+		t.Errorf("Least(0) = %d", got)
+	}
+}
+
+func TestLoadImbalanceInvariants(t *testing.T) {
+	// Property: for any assignment sequence, Imbalance ≥ 0 and
+	// Imbalance ≤ Total, and Max ≥ Avg ≥ Min.
+	f := func(assign []uint8) bool {
+		l := NewLoad(7)
+		for _, a := range assign {
+			l.Add(int(a) % 7)
+		}
+		if l.Imbalance() < 0 {
+			return false
+		}
+		if l.Imbalance() > float64(l.Total()) {
+			return false
+		}
+		return float64(l.Max()) >= l.Avg() && l.Avg() >= float64(l.Min())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadPerfectBalanceZeroImbalance(t *testing.T) {
+	l := NewLoad(5)
+	for i := 0; i < 100; i++ {
+		l.Add(i % 5)
+	}
+	if got := l.Imbalance(); got != 0 {
+		t.Fatalf("round-robin imbalance = %v, want 0", got)
+	}
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one sample of a time series: a value V observed at time T
+// (the unit of T is experiment-defined; the paper's Figure 3 uses hours).
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series of float64 samples. It is used to
+// record the imbalance fraction through time, reproducing the paper's
+// Figure 3.
+type Series struct {
+	Pts []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t, v float64) {
+	s.Pts = append(s.Pts, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Pts) }
+
+// Last returns the most recent point. It panics on an empty series.
+func (s *Series) Last() Point {
+	if len(s.Pts) == 0 {
+		panic("metrics: Last on empty series")
+	}
+	return s.Pts[len(s.Pts)-1]
+}
+
+// Mean returns the mean of the sample values, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Pts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Pts {
+		sum += p.V
+	}
+	return sum / float64(len(s.Pts))
+}
+
+// MaxV returns the maximum sample value, or 0 for an empty series.
+func (s *Series) MaxV() float64 {
+	if len(s.Pts) == 0 {
+		return 0
+	}
+	max := s.Pts[0].V
+	for _, p := range s.Pts[1:] {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Downsample returns a new series with at most n points, keeping every
+// k-th point plus the last. It returns the series unchanged when it
+// already fits.
+func (s *Series) Downsample(n int) Series {
+	if n <= 0 {
+		panic("metrics: Downsample with n <= 0")
+	}
+	if len(s.Pts) <= n {
+		out := make([]Point, len(s.Pts))
+		copy(out, s.Pts)
+		return Series{Pts: out}
+	}
+	step := (len(s.Pts) + n - 1) / n
+	out := make([]Point, 0, n+1)
+	for i := 0; i < len(s.Pts); i += step {
+		out = append(out, s.Pts[i])
+	}
+	if last := s.Pts[len(s.Pts)-1]; out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return Series{Pts: out}
+}
+
+// String renders the series as "t:v" pairs, useful in experiment dumps.
+func (s *Series) String() string {
+	var b strings.Builder
+	for i, p := range s.Pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.3g:%.3g", p.T, p.V)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Mean() != 0 || s.MaxV() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(3, 60)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 30 {
+		t.Errorf("Mean = %v, want 30", got)
+	}
+	if got := s.MaxV(); got != 60 {
+		t.Errorf("MaxV = %v, want 60", got)
+	}
+	if got := s.Last(); got != (Point{3, 60}) {
+		t.Errorf("Last = %v", got)
+	}
+}
+
+func TestSeriesLastPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Last on empty series did not panic")
+		}
+	}()
+	var s Series
+	s.Last()
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	d := s.Downsample(10)
+	if d.Len() > 11 {
+		t.Fatalf("Downsample(10) returned %d points", d.Len())
+	}
+	if d.Pts[0] != s.Pts[0] {
+		t.Error("Downsample dropped first point")
+	}
+	if d.Last() != s.Last() {
+		t.Error("Downsample dropped last point")
+	}
+	// Must preserve order.
+	for i := 1; i < d.Len(); i++ {
+		if d.Pts[i].T <= d.Pts[i-1].T {
+			t.Fatal("Downsample broke time ordering")
+		}
+	}
+	// A small series fits unchanged and is a copy.
+	small := Series{Pts: []Point{{1, 1}, {2, 2}}}
+	c := small.Downsample(10)
+	c.Pts[0].V = 99
+	if small.Pts[0].V != 1 {
+		t.Error("Downsample aliased storage")
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	var s Series
+	s.Add(1, 0.5)
+	s.Add(2, 0.25)
+	if got := s.String(); got != "1:0.5 2:0.25" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSeriesMeanMatchesWelford(t *testing.T) {
+	var s Series
+	var w Welford
+	for i := 0; i < 1000; i++ {
+		v := math.Sin(float64(i))
+		s.Add(float64(i), v)
+		w.Add(v)
+	}
+	if math.Abs(s.Mean()-w.Mean()) > 1e-9 {
+		t.Fatalf("series mean %v != welford mean %v", s.Mean(), w.Mean())
+	}
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pkgstream/internal/rng"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Fatal("empty welford should be zero")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != int64(len(xs)) {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Var()-4) > 1e-12 {
+		t.Errorf("Var = %v, want 4", w.Var())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", w.Std())
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return w.Mean() == 0
+		}
+		mean := sum / float64(len(xs))
+		return math.Abs(w.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {12.5, 1.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 10; i++ {
+		r.Add(float64(i))
+	}
+	if r.N() != 10 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5.5", r.Mean())
+	}
+	// With fewer observations than capacity, percentiles are exact.
+	if got := r.Percentile(100); got != 10 {
+		t.Errorf("P100 = %v, want 10", got)
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+}
+
+func TestReservoirLargeStreamQuantiles(t *testing.T) {
+	// A uniform [0,1) stream: sampled quantiles should be close to truth.
+	r := NewReservoir(4096, 2)
+	src := rng.New(3)
+	for i := 0; i < 500000; i++ {
+		r.Add(src.Float64())
+	}
+	if got := r.Percentile(50); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("P50 = %v, want ≈0.5", got)
+	}
+	if got := r.Percentile(99); math.Abs(got-0.99) > 0.01 {
+		t.Errorf("P99 = %v, want ≈0.99", got)
+	}
+	if got := r.Mean(); math.Abs(got-0.5) > 0.005 {
+		t.Errorf("Mean = %v, want ≈0.5 (mean is exact)", got)
+	}
+}
+
+func TestReservoirPercentileSortedInternally(t *testing.T) {
+	r := NewReservoir(8, 4)
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		r.Add(x)
+	}
+	got := r.Percentile(50)
+	xs := []float64{1, 2, 3, 4, 5}
+	sort.Float64s(xs)
+	if want := Percentile(xs, 50); got != want {
+		t.Errorf("P50 = %v, want %v", got, want)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if got := Jaccard(nil, nil); got != 1 {
+		t.Errorf("empty Jaccard = %v, want 1", got)
+	}
+	a := []int32{1, 2, 3, 4}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("identical Jaccard = %v, want 1", got)
+	}
+	b := []int32{9, 9, 9, 9}
+	if got := Jaccard(a, b); got != 0 {
+		t.Errorf("disjoint Jaccard = %v, want 0", got)
+	}
+	// Half matching: matches=2, m=4 → 2/(8-2) = 1/3.
+	c := []int32{1, 2, 9, 9}
+	if got := Jaccard(a, c); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("half Jaccard = %v, want 1/3", got)
+	}
+}
+
+func TestJaccardPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Jaccard did not panic")
+		}
+	}()
+	Jaccard([]int32{1}, []int32{1, 2})
+}
+
+func TestJaccardRange(t *testing.T) {
+	f := func(xs, ys []byte) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for i := 0; i < n; i++ {
+			a[i] = int32(xs[i] % 4)
+			b[i] = int32(ys[i] % 4)
+		}
+		j := Jaccard(a, b)
+		return j >= 0 && j <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

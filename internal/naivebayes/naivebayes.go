@@ -1,0 +1,285 @@
+// Package naivebayes implements the streaming multinomial naive Bayes
+// classifier of the paper's §VI.A, parallelized vertically: the
+// co-occurrence counters of each token (feature) are spread over workers
+// by the stream partitioner. Under key grouping a token lives on one
+// worker (skewed load, since token popularity is Zipf); under shuffle
+// grouping a token may live on every worker, so a query must broadcast
+// to all W and is sensitive to stragglers; under partial key grouping a
+// token lives on at most two deterministic workers, so queries probe
+// exactly two workers per token — the paper's middle ground.
+package naivebayes
+
+import (
+	"fmt"
+	"math"
+
+	"pkgstream/internal/core"
+	"pkgstream/internal/metrics"
+)
+
+// Sample is one training document: a bag of tokens with a class label.
+type Sample struct {
+	Tokens []uint64
+	Class  int
+}
+
+// Model is the sequential multinomial naive Bayes baseline: exact
+// co-occurrence counts of (token, class) plus class priors, with Laplace
+// smoothing over a fixed vocabulary size.
+type Model struct {
+	classes int
+	vocab   uint64
+	alpha   float64
+
+	counts      map[uint64][]int64 // token → per-class occurrence counts
+	classDocs   []int64
+	classTokens []int64
+	docs        int64
+}
+
+// NewModel returns an empty model for the given number of classes, a
+// vocabulary of `vocab` distinct tokens (used for smoothing), and Laplace
+// parameter alpha. It panics on non-positive arguments.
+func NewModel(classes int, vocab uint64, alpha float64) *Model {
+	if classes <= 0 || vocab == 0 || alpha <= 0 {
+		panic("naivebayes: NewModel needs positive classes, vocab and alpha")
+	}
+	return &Model{
+		classes:     classes,
+		vocab:       vocab,
+		alpha:       alpha,
+		counts:      make(map[uint64][]int64),
+		classDocs:   make([]int64, classes),
+		classTokens: make([]int64, classes),
+	}
+}
+
+// Train incorporates one sample. It panics on an out-of-range class.
+func (m *Model) Train(s Sample) {
+	if s.Class < 0 || s.Class >= m.classes {
+		panic(fmt.Sprintf("naivebayes: class %d out of range", s.Class))
+	}
+	m.docs++
+	m.classDocs[s.Class]++
+	for _, t := range s.Tokens {
+		c := m.counts[t]
+		if c == nil {
+			c = make([]int64, m.classes)
+			m.counts[t] = c
+		}
+		c[s.Class]++
+		m.classTokens[s.Class]++
+	}
+}
+
+// TokenCount returns the exact count of token under class.
+func (m *Model) TokenCount(token uint64, class int) int64 {
+	if c := m.counts[token]; c != nil {
+		return c[class]
+	}
+	return 0
+}
+
+// Docs returns the number of training samples seen.
+func (m *Model) Docs() int64 { return m.docs }
+
+// logLikelihood computes the smoothed log posterior of the class given
+// per-token count lookups, shared between the sequential and distributed
+// implementations so their predictions agree exactly.
+func logLikelihood(tokens []uint64, class int, lookup func(token uint64, class int) int64,
+	classDocs, classTokens []int64, docs int64, vocab uint64, alpha float64) float64 {
+	if docs == 0 {
+		return 0
+	}
+	lp := math.Log((float64(classDocs[class]) + alpha) / (float64(docs) + alpha*float64(len(classDocs))))
+	den := float64(classTokens[class]) + alpha*float64(vocab)
+	for _, t := range tokens {
+		lp += math.Log((float64(lookup(t, class)) + alpha) / den)
+	}
+	return lp
+}
+
+// LogPosterior returns the (unnormalized) log posterior of each class.
+func (m *Model) LogPosterior(tokens []uint64) []float64 {
+	out := make([]float64, m.classes)
+	for c := range out {
+		out[c] = logLikelihood(tokens, c, m.TokenCount, m.classDocs, m.classTokens,
+			m.docs, m.vocab, m.alpha)
+	}
+	return out
+}
+
+// Predict returns the most likely class (lowest index on ties).
+func (m *Model) Predict(tokens []uint64) int {
+	return argmax(m.LogPosterior(tokens))
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Strategy selects the routing of token counters to workers.
+type Strategy int
+
+// Routing strategies of §VI.A.
+const (
+	// ByPKG: each token on ≤2 workers; queries probe 2.
+	ByPKG Strategy = iota
+	// ByKey: each token on 1 worker; load inherits the token skew.
+	ByKey
+	// ByShuffle: a token may be anywhere; queries broadcast to all W.
+	ByShuffle
+)
+
+// Distributed is the vertically parallelized classifier: per-token
+// counters live on workers chosen by the partitioning strategy, while the
+// coordinator keeps only the O(classes) aggregate statistics every
+// message passes through anyway.
+type Distributed struct {
+	classes int
+	vocab   uint64
+	alpha   float64
+
+	workers []map[uint64][]int64
+	part    core.Partitioner
+	pkg     *core.PKG
+	view    *metrics.Load
+	loads   *metrics.Load
+
+	classDocs   []int64
+	classTokens []int64
+	docs        int64
+}
+
+// NewDistributed returns a distributed classifier over w workers.
+func NewDistributed(w, classes int, vocab uint64, alpha float64, strategy Strategy, seed uint64) *Distributed {
+	if w <= 0 {
+		panic("naivebayes: NewDistributed with w <= 0")
+	}
+	if classes <= 0 || vocab == 0 || alpha <= 0 {
+		panic("naivebayes: NewDistributed needs positive classes, vocab and alpha")
+	}
+	d := &Distributed{
+		classes:     classes,
+		vocab:       vocab,
+		alpha:       alpha,
+		workers:     make([]map[uint64][]int64, w),
+		loads:       metrics.NewLoad(w),
+		classDocs:   make([]int64, classes),
+		classTokens: make([]int64, classes),
+	}
+	for i := range d.workers {
+		d.workers[i] = make(map[uint64][]int64)
+	}
+	switch strategy {
+	case ByPKG:
+		d.view = metrics.NewLoad(w)
+		d.pkg = core.NewPKG(w, 2, seed, d.view)
+		d.part = d.pkg
+	case ByKey:
+		d.part = core.NewKeyGrouping(w, seed)
+	case ByShuffle:
+		d.part = core.NewShuffleGrouping(w, 0)
+	default:
+		panic("naivebayes: unknown strategy")
+	}
+	return d
+}
+
+// Train routes each token occurrence of the sample to a worker counter.
+func (d *Distributed) Train(s Sample) {
+	if s.Class < 0 || s.Class >= d.classes {
+		panic(fmt.Sprintf("naivebayes: class %d out of range", s.Class))
+	}
+	d.docs++
+	d.classDocs[s.Class]++
+	for _, t := range s.Tokens {
+		w := d.part.Route(t)
+		if d.view != nil {
+			d.view.Add(w)
+		}
+		d.loads.Add(w)
+		c := d.workers[w][t]
+		if c == nil {
+			c = make([]int64, d.classes)
+			d.workers[w][t] = c
+		}
+		c[s.Class]++
+		d.classTokens[s.Class]++
+	}
+}
+
+// probeSet returns the workers that may hold counters for token.
+func (d *Distributed) probeSet(token uint64) []int {
+	switch p := d.part.(type) {
+	case *core.PKG:
+		cands := p.Candidates(token)
+		if cands[0] == cands[1] {
+			return cands[:1]
+		}
+		return cands
+	case *core.KeyGrouping:
+		return []int{p.Route(token)}
+	default:
+		all := make([]int, len(d.workers))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+}
+
+// ProbesPerToken returns how many workers a query for token touches.
+func (d *Distributed) ProbesPerToken(token uint64) int { return len(d.probeSet(token)) }
+
+// TokenCount sums the partial counters of token under class across the
+// token's probe set.
+func (d *Distributed) TokenCount(token uint64, class int) int64 {
+	var sum int64
+	for _, w := range d.probeSet(token) {
+		if c := d.workers[w][token]; c != nil {
+			sum += c[class]
+		}
+	}
+	return sum
+}
+
+// LogPosterior returns the per-class log posterior computed from the
+// distributed counters. It equals the sequential model's exactly when
+// trained on the same stream.
+func (d *Distributed) LogPosterior(tokens []uint64) []float64 {
+	out := make([]float64, d.classes)
+	for c := range out {
+		out[c] = logLikelihood(tokens, c, d.TokenCount, d.classDocs, d.classTokens,
+			d.docs, d.vocab, d.alpha)
+	}
+	return out
+}
+
+// Predict returns the most likely class.
+func (d *Distributed) Predict(tokens []uint64) int {
+	return argmax(d.LogPosterior(tokens))
+}
+
+// WorkerLoads returns how many token updates each worker absorbed.
+func (d *Distributed) WorkerLoads() []int64 { return d.loads.Snapshot() }
+
+// Imbalance returns max − avg of the worker loads.
+func (d *Distributed) Imbalance() float64 { return d.loads.Imbalance() }
+
+// CounterFootprint returns the total number of (token, worker) counter
+// vectors held — O(K) for key grouping, ≤2K for PKG, up to W·K for
+// shuffle (§III.A).
+func (d *Distributed) CounterFootprint() int {
+	n := 0
+	for _, m := range d.workers {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,206 @@
+package naivebayes
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewModel(0, 10, 1) },
+		func() { NewModel(2, 0, 1) },
+		func() { NewModel(2, 10, 0) },
+		func() { NewModel(2, 10, 1).Train(Sample{Class: 5}) },
+		func() { NewDistributed(0, 2, 10, 1, ByPKG, 1) },
+		func() { NewDistributed(3, 2, 10, 1, Strategy(99), 1) },
+		func() { NewDistributed(3, 2, 10, 1, ByPKG, 1).Train(Sample{Class: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestModelCounts(t *testing.T) {
+	m := NewModel(2, 100, 1)
+	m.Train(Sample{Tokens: []uint64{1, 1, 2}, Class: 0})
+	m.Train(Sample{Tokens: []uint64{2, 3}, Class: 1})
+	if m.Docs() != 2 {
+		t.Fatalf("Docs = %d", m.Docs())
+	}
+	if m.TokenCount(1, 0) != 2 || m.TokenCount(1, 1) != 0 {
+		t.Fatalf("token 1 counts wrong")
+	}
+	if m.TokenCount(2, 0) != 1 || m.TokenCount(2, 1) != 1 {
+		t.Fatalf("token 2 counts wrong")
+	}
+	if m.TokenCount(99, 0) != 0 {
+		t.Fatalf("unseen token should count 0")
+	}
+}
+
+func TestModelLearnsSeparableClasses(t *testing.T) {
+	gen := NewGenerator(2, 2000, 20, 0.08, 1)
+	m := NewModel(2, 2000, 1)
+	for _, s := range gen.Batch(3000) {
+		m.Train(s)
+	}
+	test := gen.Batch(1000)
+	correct := 0
+	for _, s := range test {
+		if m.Predict(s.Tokens) == s.Class {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test))
+	if acc < 0.9 {
+		t.Fatalf("sequential accuracy %v < 0.9", acc)
+	}
+}
+
+func TestDistributedMatchesSequentialExactly(t *testing.T) {
+	// The paper's point: PKG changes *where* counters live, not *what*
+	// they count. All strategies must reproduce the sequential counts
+	// and therefore identical predictions.
+	gen := NewGenerator(3, 1000, 15, 0.1, 2)
+	train := gen.Batch(2000)
+	test := gen.Batch(300)
+
+	seq := NewModel(3, 1000, 1)
+	for _, s := range train {
+		seq.Train(s)
+	}
+	for _, strat := range []Strategy{ByPKG, ByKey, ByShuffle} {
+		d := NewDistributed(7, 3, 1000, 1, strat, 5)
+		for _, s := range train {
+			d.Train(s)
+		}
+		for tok := uint64(1); tok <= 50; tok++ {
+			for c := 0; c < 3; c++ {
+				if got, want := d.TokenCount(tok, c), seq.TokenCount(tok, c); got != want {
+					t.Fatalf("strategy %v: token %d class %d: %d != %d", strat, tok, c, got, want)
+				}
+			}
+		}
+		for i, s := range test {
+			dp := d.LogPosterior(s.Tokens)
+			sp := seq.LogPosterior(s.Tokens)
+			for c := range dp {
+				if math.Abs(dp[c]-sp[c]) > 1e-9 {
+					t.Fatalf("strategy %v: posterior mismatch on sample %d class %d: %v vs %v",
+						strat, i, c, dp[c], sp[c])
+				}
+			}
+			if d.Predict(s.Tokens) != seq.Predict(s.Tokens) {
+				t.Fatalf("strategy %v: prediction mismatch on sample %d", strat, i)
+			}
+		}
+	}
+}
+
+func TestProbeCounts(t *testing.T) {
+	pkg := NewDistributed(9, 2, 100, 1, ByPKG, 3)
+	kg := NewDistributed(9, 2, 100, 1, ByKey, 3)
+	sg := NewDistributed(9, 2, 100, 1, ByShuffle, 3)
+	for tok := uint64(1); tok <= 50; tok++ {
+		if n := pkg.ProbesPerToken(tok); n > 2 {
+			t.Fatalf("PKG probes %d > 2", n)
+		}
+		if n := kg.ProbesPerToken(tok); n != 1 {
+			t.Fatalf("KG probes %d != 1", n)
+		}
+		if n := sg.ProbesPerToken(tok); n != 9 {
+			t.Fatalf("SG probes %d != 9 (broadcast)", n)
+		}
+	}
+}
+
+func TestLoadBalanceOrdering(t *testing.T) {
+	gen := NewGenerator(2, 3000, 25, 0.15, 7)
+	train := gen.Batch(4000)
+	run := func(strat Strategy) *Distributed {
+		d := NewDistributed(5, 2, 3000, 1, strat, 11)
+		for _, s := range train {
+			d.Train(s)
+		}
+		return d
+	}
+	pkg, kg, sg := run(ByPKG), run(ByKey), run(ByShuffle)
+	if pkg.Imbalance()*3 > kg.Imbalance() {
+		t.Errorf("PKG imbalance %v not well below KG %v", pkg.Imbalance(), kg.Imbalance())
+	}
+	if sg.Imbalance() > float64(len(train)) {
+		t.Errorf("SG imbalance %v absurd", sg.Imbalance())
+	}
+	// Counter footprint ordering (§III.A): KG ≤ PKG ≤ SG.
+	if !(kg.CounterFootprint() <= pkg.CounterFootprint() &&
+		pkg.CounterFootprint() <= sg.CounterFootprint()) {
+		t.Errorf("footprint ordering violated: %d %d %d",
+			kg.CounterFootprint(), pkg.CounterFootprint(), sg.CounterFootprint())
+	}
+	if pkg.CounterFootprint() > 2*kg.CounterFootprint() {
+		t.Errorf("PKG footprint %d above 2×KG %d", pkg.CounterFootprint(), kg.CounterFootprint())
+	}
+	var total int64
+	for _, l := range pkg.WorkerLoads() {
+		total += l
+	}
+	if total != int64(len(train)*25) {
+		t.Errorf("loads sum to %d, want %d", total, len(train)*25)
+	}
+}
+
+func TestDistributedAccuracy(t *testing.T) {
+	gen := NewGenerator(2, 2000, 20, 0.08, 9)
+	d := NewDistributed(9, 2, 2000, 1, ByPKG, 13)
+	for _, s := range gen.Batch(3000) {
+		d.Train(s)
+	}
+	test := gen.Batch(500)
+	correct := 0
+	for _, s := range test {
+		if d.Predict(s.Tokens) == s.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.9 {
+		t.Fatalf("distributed accuracy %v < 0.9", acc)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(2, 500, 10, 0.1, 42).Batch(100)
+	b := NewGenerator(2, 500, 10, 0.1, 42).Batch(100)
+	for i := range a {
+		if a[i].Class != b[i].Class || len(a[i].Tokens) != len(b[i].Tokens) {
+			t.Fatal("generator not deterministic")
+		}
+		for j := range a[i].Tokens {
+			if a[i].Tokens[j] != b[i].Tokens[j] {
+				t.Fatal("generator tokens not deterministic")
+			}
+		}
+	}
+	for _, s := range a {
+		for _, tok := range s.Tokens {
+			if tok < 1 || tok > 500 {
+				t.Fatalf("token %d outside vocab", tok)
+			}
+		}
+	}
+}
+
+func BenchmarkDistributedTrain(b *testing.B) {
+	gen := NewGenerator(2, 5000, 20, 0.1, 1)
+	batch := gen.Batch(1000)
+	d := NewDistributed(9, 2, 5000, 1, ByPKG, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Train(batch[i%1000])
+	}
+}

@@ -1,0 +1,198 @@
+// Package rebalance implements the alternative the paper discusses and
+// rejects in §II.B — key grouping with operator/key migration (in the
+// style of Flux and Borealis) — and answers the question its conclusion
+// leaves open: "can a solution based on rebalancing be practical?".
+//
+// The partitioner routes by hash until a periodic imbalance check fires;
+// the check migrates the hottest keys away from the most loaded workers.
+// Unlike PKG this preserves key atomicity (each key is on exactly one
+// worker at any time), but it pays for that with everything the paper
+// warns about, all of which this implementation measures:
+//
+//   - a routing-table entry for every migrated key, which all sources
+//     would need to agree on (coordination);
+//   - per-key frequency state to know *which* keys to migrate;
+//   - migration cost proportional to the state of the moved keys;
+//   - a floor on achievable balance: a single key with frequency above
+//     the ideal share 1/W cannot be fixed without splitting it.
+package rebalance
+
+import (
+	"fmt"
+
+	"pkgstream/internal/hash"
+	"pkgstream/internal/metrics"
+)
+
+// Config parameterizes the rebalancing partitioner.
+type Config struct {
+	// Workers is the number of downstream workers.
+	Workers int
+	// Seed drives the base hash function.
+	Seed uint64
+	// CheckEvery is the number of messages between imbalance checks
+	// (default: 10_000).
+	CheckEvery int64
+	// Threshold triggers migration when the hottest worker's *recent*
+	// load exceeds (1 + Threshold) times the average recent load
+	// (default 0.1 = 10%).
+	Threshold float64
+	// MaxMigrationsPerCheck bounds how many keys may move per check
+	// (default 8) — real systems bound migration churn.
+	MaxMigrationsPerCheck int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers <= 0 {
+		return c, fmt.Errorf("rebalance: Workers must be positive")
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 10_000
+	}
+	if c.CheckEvery < 0 {
+		return c, fmt.Errorf("rebalance: CheckEvery must be positive")
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.1
+	}
+	if c.Threshold < 0 {
+		return c, fmt.Errorf("rebalance: Threshold must be non-negative")
+	}
+	if c.MaxMigrationsPerCheck == 0 {
+		c.MaxMigrationsPerCheck = 8
+	}
+	if c.MaxMigrationsPerCheck < 0 {
+		return c, fmt.Errorf("rebalance: MaxMigrationsPerCheck must be positive")
+	}
+	return c, nil
+}
+
+// Partitioner is key grouping with periodic key migration. It implements
+// core.Partitioner.
+type Partitioner struct {
+	cfg  Config
+	seed uint64
+
+	// overrides maps migrated keys to their current worker.
+	overrides map[uint64]int32
+
+	// Recent-window accounting drives migration decisions.
+	window    *metrics.Load
+	keyCounts map[uint64]int64 // per-key counts within the window
+	keyOwner  map[uint64]int32 // worker that served the key this window
+	seen      int64
+
+	// Cumulative migration costs.
+	migrations    int64
+	migratedState int64 // total per-key state moved (message counts as proxy)
+}
+
+// New returns a rebalancing partitioner.
+func New(cfg Config) (*Partitioner, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Partitioner{
+		cfg:       cfg,
+		seed:      hash.Fmix64(cfg.Seed + 0x2545f4914f6cdd1d),
+		overrides: make(map[uint64]int32),
+		window:    metrics.NewLoad(cfg.Workers),
+		keyCounts: make(map[uint64]int64),
+		keyOwner:  make(map[uint64]int32),
+	}, nil
+}
+
+// Route implements core.Partitioner: hash unless migrated, with a
+// rebalancing pass every CheckEvery messages.
+func (p *Partitioner) Route(key uint64) int {
+	var w int
+	if o, ok := p.overrides[key]; ok {
+		w = int(o)
+	} else {
+		w = int(hash.Mix64(key, p.seed) % uint64(p.cfg.Workers))
+	}
+	p.window.Add(w)
+	p.keyCounts[key]++
+	p.keyOwner[key] = int32(w)
+	p.seen++
+	if p.seen%p.cfg.CheckEvery == 0 {
+		p.rebalanceOnce()
+	}
+	return w
+}
+
+// rebalanceOnce migrates the hottest keys of the most loaded worker to
+// the least loaded one until the window imbalance is under threshold or
+// the per-check budget runs out, then starts a fresh window.
+func (p *Partitioner) rebalanceOnce() {
+	defer p.resetWindow()
+	avg := p.window.Avg()
+	if avg == 0 {
+		return
+	}
+	for m := 0; m < p.cfg.MaxMigrationsPerCheck; m++ {
+		hot := argmaxLoad(p.window)
+		cold := p.window.ArgMin()
+		hotLoad := float64(p.window.Get(hot))
+		if hotLoad <= (1+p.cfg.Threshold)*avg || hot == cold {
+			return
+		}
+		// Hottest key currently owned by the hot worker whose move does
+		// not overshoot the cold worker past the hot one.
+		var bestKey uint64
+		var bestCount int64 = -1
+		budget := int64((hotLoad - float64(p.window.Get(cold))))
+		for k, c := range p.keyCounts {
+			if p.keyOwner[k] != int32(hot) {
+				continue
+			}
+			if c > bestCount && c <= budget {
+				bestKey, bestCount = k, c
+			}
+		}
+		if bestCount <= 0 {
+			return // nothing movable without making things worse
+		}
+		p.overrides[bestKey] = int32(cold)
+		p.keyOwner[bestKey] = int32(cold)
+		p.window.AddN(hot, -bestCount)
+		p.window.AddN(cold, bestCount)
+		p.migrations++
+		p.migratedState += bestCount
+	}
+}
+
+func (p *Partitioner) resetWindow() {
+	p.window.Reset()
+	p.keyCounts = make(map[uint64]int64)
+	p.keyOwner = make(map[uint64]int32)
+}
+
+func argmaxLoad(l *metrics.Load) int {
+	best := 0
+	for i := 1; i < l.N(); i++ {
+		if l.Get(i) > l.Get(best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Workers implements core.Partitioner.
+func (p *Partitioner) Workers() int { return p.cfg.Workers }
+
+// Name implements core.Partitioner.
+func (p *Partitioner) Name() string { return "Rebalance" }
+
+// Migrations returns the number of key migrations performed.
+func (p *Partitioner) Migrations() int64 { return p.migrations }
+
+// MigratedState returns the total key state moved (window message counts
+// as a proxy for the state size that a real system would transfer).
+func (p *Partitioner) MigratedState() int64 { return p.migratedState }
+
+// RoutingTableSize returns the number of override entries — the per-key
+// routing state every source would have to agree on (the coordination
+// cost PKG avoids entirely).
+func (p *Partitioner) RoutingTableSize() int { return len(p.overrides) }

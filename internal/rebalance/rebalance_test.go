@@ -1,0 +1,181 @@
+package rebalance
+
+import (
+	"testing"
+
+	"pkgstream/internal/core"
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/rng"
+)
+
+var _ core.Partitioner = (*Partitioner)(nil)
+
+func zipfGen(seed uint64, p1 float64, k uint64) func() uint64 {
+	z := rng.NewZipf(rng.New(seed), rng.SolveZipfExponent(k, p1), k)
+	return z.Next
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Workers: 0},
+		{Workers: 2, CheckEvery: -1},
+		{Workers: 2, Threshold: -1},
+		{Workers: 2, MaxMigrationsPerCheck: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	p, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.CheckEvery != 10_000 || p.cfg.Threshold != 0.1 || p.cfg.MaxMigrationsPerCheck != 8 {
+		t.Fatalf("defaults not applied: %+v", p.cfg)
+	}
+	if p.Workers() != 4 || p.Name() != "Rebalance" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestRoutesInRangeAndAtomic(t *testing.T) {
+	// Key atomicity at any instant: a key maps to exactly one worker
+	// between checks (it may move across checks).
+	p, _ := New(Config{Workers: 8, Seed: 1, CheckEvery: 5000})
+	gen := zipfGen(1, 0.05, 2000)
+	prevCheck := int64(0)
+	current := map[uint64]int{}
+	for i := 0; i < 50_000; i++ {
+		k := gen()
+		w := p.Route(k)
+		if w < 0 || w >= 8 {
+			t.Fatalf("worker %d out of range", w)
+		}
+		if p.seen/p.cfg.CheckEvery != prevCheck {
+			prevCheck = p.seen / p.cfg.CheckEvery
+			current = map[uint64]int{}
+		}
+		if prev, ok := current[k]; ok && prev != w {
+			t.Fatalf("key %d moved mid-window: %d → %d", k, prev, w)
+		}
+		current[k] = w
+	}
+}
+
+func TestRebalancingImprovesOnPlainHashing(t *testing.T) {
+	const w, n = 5, 400_000
+	// p1 = 0.09 < 1/W = 0.2: rebalancing *can* fix this skew.
+	truth := metrics.NewLoad(w)
+	p, _ := New(Config{Workers: w, Seed: 7, CheckEvery: 10_000})
+	gen := zipfGen(3, 0.09, 20_000)
+	for i := 0; i < n; i++ {
+		truth.Add(p.Route(gen()))
+	}
+
+	hTruth := metrics.NewLoad(w)
+	h := core.NewKeyGrouping(w, 7)
+	gen = zipfGen(3, 0.09, 20_000)
+	for i := 0; i < n; i++ {
+		hTruth.Add(h.Route(gen()))
+	}
+
+	if truth.Imbalance()*2 > hTruth.Imbalance() {
+		t.Fatalf("rebalancing %v not clearly below hashing %v",
+			truth.Imbalance(), hTruth.Imbalance())
+	}
+	if p.Migrations() == 0 {
+		t.Fatal("no migrations happened on a skewed stream")
+	}
+}
+
+func TestRebalancingPaysCostsPKGAvoids(t *testing.T) {
+	// The paper's §II.B argument quantified: to approach PKG's balance,
+	// rebalancing needs migrations, migrated state, and a routing table.
+	const w, n = 5, 300_000
+	p, _ := New(Config{Workers: w, Seed: 9, CheckEvery: 5_000})
+	truth := metrics.NewLoad(w)
+	gen := zipfGen(5, 0.09, 10_000)
+	for i := 0; i < n; i++ {
+		truth.Add(p.Route(gen()))
+	}
+
+	pkgTruth := metrics.NewLoad(w)
+	pkg := core.NewPKG(w, 2, 9, pkgTruth)
+	gen = zipfGen(5, 0.09, 10_000)
+	for i := 0; i < n; i++ {
+		pkgTruth.Add(pkg.Route(gen()))
+	}
+
+	if p.RoutingTableSize() == 0 || p.MigratedState() == 0 {
+		t.Fatal("rebalancing reported zero coordination cost")
+	}
+	// And despite those costs, PKG's balance is at least as good.
+	if pkgTruth.Imbalance() > truth.Imbalance() {
+		t.Fatalf("PKG %v should not be worse than rebalancing %v (which pays %d migrations)",
+			pkgTruth.Imbalance(), truth.Imbalance(), p.Migrations())
+	}
+}
+
+func TestAtomicityFloorWhenKeyExceedsShare(t *testing.T) {
+	// With p1 > 1/W no atomic placement can balance: the hot key's
+	// worker carries ≥ p1 > avg. Rebalancing must hit that floor while
+	// PKG (splitting the key over 2 workers) goes below it.
+	const w, n = 5, 200_000
+	const p1 = 0.35 // > 1/W = 0.2
+	p, _ := New(Config{Workers: w, Seed: 11, CheckEvery: 5_000})
+	truth := metrics.NewLoad(w)
+	gen := zipfGen(7, p1, 5_000)
+	for i := 0; i < n; i++ {
+		truth.Add(p.Route(gen()))
+	}
+	floor := (p1 - 1.0/w) * n * 0.8 // allow some slack
+	if truth.Imbalance() < floor {
+		t.Fatalf("atomic rebalancing imbalance %v below the p1 floor %v — impossible",
+			truth.Imbalance(), floor)
+	}
+
+	pkgTruth := metrics.NewLoad(w)
+	pkg := core.NewPKG(w, 2, 11, pkgTruth)
+	gen = zipfGen(7, p1, 5_000)
+	for i := 0; i < n; i++ {
+		pkgTruth.Add(pkg.Route(gen()))
+	}
+	if pkgTruth.Imbalance() >= truth.Imbalance()/2 {
+		t.Fatalf("key splitting %v should beat the atomicity floor %v",
+			pkgTruth.Imbalance(), truth.Imbalance())
+	}
+}
+
+func TestMigrationBudgetRespected(t *testing.T) {
+	p, _ := New(Config{Workers: 4, Seed: 13, CheckEvery: 1_000, MaxMigrationsPerCheck: 2})
+	gen := zipfGen(9, 0.2, 500)
+	for i := 0; i < 50_000; i++ {
+		p.Route(gen())
+	}
+	checks := int64(50_000 / 1_000)
+	if p.Migrations() > checks*2 {
+		t.Fatalf("%d migrations exceed budget %d", p.Migrations(), checks*2)
+	}
+}
+
+func TestUniformStreamNeedsNoMigration(t *testing.T) {
+	p, _ := New(Config{Workers: 4, Seed: 15, CheckEvery: 10_000, Threshold: 0.2})
+	gen := zipfGen(11, 1.0/4000*1.001, 4_000) // uniform
+	for i := 0; i < 100_000; i++ {
+		p.Route(gen())
+	}
+	// Hashing a uniform stream is already balanced within the threshold.
+	if p.Migrations() > 5 {
+		t.Fatalf("uniform stream triggered %d migrations", p.Migrations())
+	}
+}
+
+func BenchmarkRebalanceRoute(b *testing.B) {
+	p, _ := New(Config{Workers: 10, Seed: 1})
+	gen := zipfGen(1, 0.09, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Route(gen())
+	}
+}

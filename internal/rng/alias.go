@@ -1,0 +1,91 @@
+package rng
+
+import "fmt"
+
+// Alias samples from an arbitrary finite discrete distribution in O(1)
+// per draw using Vose's alias method. It is used for the log-normal
+// synthetic datasets (LN1, LN2), whose key-popularity weights are not a
+// simple analytic family.
+type Alias struct {
+	src   *Source
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table for the given non-negative weights
+// (which need not be normalized) drawing randomness from src. It returns
+// an error if weights is empty, contains a negative or non-finite value,
+// or sums to zero.
+func NewAlias(src *Source, weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: alias table needs at least one weight")
+	}
+	if n > 1<<31-1 {
+		return nil, fmt.Errorf("rng: alias table too large (%d entries)", n)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || w != w || w > 1e308 {
+			return nil, fmt.Errorf("rng: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("rng: alias weights sum to zero")
+	}
+
+	a := &Alias{
+		src:   src,
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are numerically 1.
+	for _, l := range large {
+		a.prob[l] = 1
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+	}
+	return a, nil
+}
+
+// Next returns the next sampled index in [0, len(weights)).
+func (a *Alias) Next() int {
+	i := a.src.Intn(len(a.prob))
+	if a.src.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }

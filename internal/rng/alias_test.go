@@ -1,0 +1,109 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAliasErrors(t *testing.T) {
+	r := New(1)
+	if _, err := NewAlias(r, nil); err == nil {
+		t.Error("empty weights should error")
+	}
+	if _, err := NewAlias(r, []float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := NewAlias(r, []float64{0, 0}); err == nil {
+		t.Error("zero-sum weights should error")
+	}
+	if _, err := NewAlias(r, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight should error")
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias(New(1), []float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v := a.Next(); v != 0 {
+			t.Fatalf("single-outcome alias returned %d", v)
+		}
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{10, 5, 2.5, 1, 1, 0.5}
+	a, err := NewAlias(New(2), weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != len(weights) {
+		t.Fatalf("N = %d", a.N())
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	const n = 1_000_000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Next()]++
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.003 {
+			t.Errorf("outcome %d: freq %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a, err := NewAlias(New(3), []float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		if a.Next() == 1 {
+			t.Fatal("sampled zero-weight outcome")
+		}
+	}
+}
+
+func TestAliasSkewedHead(t *testing.T) {
+	// A log-normal weight vector: the alias sampler's empirical head
+	// frequency must track the normalized weight of the top key.
+	src := New(4)
+	w := LogNormalWeights(src, 2.245, 1.133, 1100)
+	a, err := NewAlias(src, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500000
+	top := 0
+	for i := 0; i < n; i++ {
+		if a.Next() == 0 {
+			top++
+		}
+	}
+	got := float64(top) / n
+	if math.Abs(got-w[0])/w[0] > 0.05 {
+		t.Errorf("top-key freq %v, want ≈%v", got, w[0])
+	}
+}
+
+func BenchmarkAliasNext(b *testing.B) {
+	src := New(1)
+	w := LogNormalWeights(src, 1.789, 2.366, 16000)
+	a, err := NewAlias(src, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Next()
+	}
+	_ = sink
+}

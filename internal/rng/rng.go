@@ -1,0 +1,165 @@
+// Package rng provides deterministic pseudo-random number generation and
+// the discrete samplers used to synthesize the paper's workloads.
+//
+// The experiments in the paper (Nasir et al., ICDE 2015) are driven by
+// skewed key streams: Zipf-like real datasets (Wikipedia, Twitter),
+// log-normal synthetics fitted to Orkut, and power-law graphs. This
+// package supplies reproducible generators for all of them:
+//
+//   - Source: xoshiro256** PRNG seeded via SplitMix64, so streams are
+//     stable across Go versions (unlike math/rand's unspecified sources).
+//   - Zipf: O(1)-per-sample rank sampler for P(i) ∝ i^(-s) over a finite
+//     key universe, valid for any s ≥ 0 (math/rand's Zipf requires s > 1).
+//   - Alias: Vose alias method for arbitrary finite discrete
+//     distributions (used for the log-normal key weights).
+//
+// All generators are deterministic functions of their seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 advances state and returns the next value of the SplitMix64
+// sequence. It is used to expand a single 64-bit seed into the larger
+// state of Source, and is exposed because it is a handy, well-distributed
+// stream for deriving sub-seeds.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic pseudo-random number generator based on
+// xoshiro256**. It is not safe for concurrent use; create one Source per
+// goroutine (see Fork).
+type Source struct {
+	s        [4]uint64
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	src := &Source{}
+	st := seed
+	for i := range src.s {
+		src.s[i] = SplitMix64(&st)
+	}
+	// xoshiro256** must not be seeded with the all-zero state. SplitMix64
+	// cannot realistically produce four zero outputs, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return src
+}
+
+// NewStream returns a Source for the sub-stream `stream` of `seed`.
+// Distinct stream numbers yield statistically independent sequences; use
+// it to give each simulated source/worker/dataset its own generator.
+func NewStream(seed, stream uint64) *Source {
+	st := seed ^ (0x9e3779b97f4a7c15 * (stream + 1))
+	return New(SplitMix64(&st))
+}
+
+// Fork derives a new independent Source from r, advancing r.
+func (r *Source) Fork() *Source {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Uint64 returns the next value of the xoshiro256** sequence.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// It uses Lemire's nearly-divisionless method.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method (with one cached spare per pair).
+func (r *Source) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1).
+func (r *Source) ExpFloat64() float64 {
+	// 1-Float64() is in (0,1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// LogNormal returns exp(mu + sigma*Z) with Z standard normal.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided
+// swap function (Fisher–Yates).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,238 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// zipfHeadSize is the number of top ranks sampled exactly from a
+// cumulative table. The head of a skewed distribution carries nearly all
+// of the mass that matters for load balancing (the paper's analysis is
+// driven by p1, the probability of the single most frequent key), so the
+// head is exact while the long tail is sampled by continuous inversion.
+const zipfHeadSize = 4096
+
+// Zipf samples ranks from {1, ..., K} with P(i) ∝ i^(-s), for any
+// exponent s ≥ 0 (s = 0 is uniform). Unlike math/rand's Zipf it supports
+// the s ≤ 1 regime, which is common in word-frequency data.
+//
+// Sampling is O(log H) for the top H = 4096 ranks (exact cumulative
+// table) and O(1) for the tail (analytic inversion of the continuous
+// power-law envelope, with rank boundaries at half-integers). Individual
+// tail ranks carry probability ≤ P(H), so the tail approximation does not
+// affect load-balance behaviour, which is dominated by the head.
+type Zipf struct {
+	src  *Source
+	k    uint64
+	s    float64
+	norm float64 // approximate generalized harmonic number H(K, s)
+
+	headCum  []float64 // headCum[i] = sum of i^(-s) for ranks 1..i+1 (unnormalized)
+	headMass float64   // total unnormalized mass of the head
+	h        uint64    // number of head ranks = min(K, zipfHeadSize)
+}
+
+// NewZipf returns a Zipf sampler over ranks 1..k with exponent s, drawing
+// randomness from src. It panics if k == 0 or s < 0 or s is not finite.
+func NewZipf(src *Source, s float64, k uint64) *Zipf {
+	if k == 0 {
+		panic("rng: NewZipf with k == 0")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("rng: NewZipf with invalid exponent %v", s))
+	}
+	z := &Zipf{src: src, k: k, s: s}
+	z.h = k
+	if z.h > zipfHeadSize {
+		z.h = zipfHeadSize
+	}
+	z.headCum = make([]float64, z.h)
+	sum := 0.0
+	for i := uint64(1); i <= z.h; i++ {
+		sum += math.Exp(-s * math.Log(float64(i)))
+		z.headCum[i-1] = sum
+	}
+	z.headMass = sum
+	z.norm = sum
+	if k > z.h {
+		// Mass of ranks h+1..k, approximated by the midpoint-rule integral
+		// ∫ x^(-s) dx over [h+0.5, k+0.5]. For a smooth decreasing
+		// integrand this is accurate to O(h^-2) relative error.
+		z.norm += powIntegral(float64(z.h)+0.5, float64(k)+0.5, s)
+	}
+	return z
+}
+
+// K returns the size of the rank universe.
+func (z *Zipf) K() uint64 { return z.k }
+
+// S returns the exponent.
+func (z *Zipf) S() float64 { return z.s }
+
+// Next returns the next sampled rank in [1, K].
+func (z *Zipf) Next() uint64 {
+	u := z.src.Float64() * z.norm
+	if u < z.headMass {
+		// Binary search the exact head table.
+		lo, hi := 0, len(z.headCum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.headCum[mid] > u {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return uint64(lo) + 1
+	}
+	// Invert the continuous tail envelope. Rank r occupies [r-0.5, r+0.5).
+	x := powIntegralInverse(float64(z.h)+0.5, z.s, u-z.headMass)
+	r := uint64(x + 0.5)
+	if r < z.h+1 {
+		r = z.h + 1
+	}
+	if r > z.k {
+		r = z.k
+	}
+	return r
+}
+
+// Prob returns the (approximately normalized) probability of rank i.
+// It panics if i is outside [1, K].
+func (z *Zipf) Prob(i uint64) float64 {
+	if i == 0 || i > z.k {
+		panic("rng: Zipf.Prob rank out of range")
+	}
+	return math.Exp(-z.s*math.Log(float64(i))) / z.norm
+}
+
+// P1 returns the probability of the most frequent rank.
+func (z *Zipf) P1() float64 { return z.Prob(1) }
+
+// powIntegral computes ∫ x^(-s) dx over [a, b].
+func powIntegral(a, b, s float64) float64 {
+	if b <= a {
+		return 0
+	}
+	if s == 1 {
+		return math.Log(b / a)
+	}
+	return (math.Pow(b, 1-s) - math.Pow(a, 1-s)) / (1 - s)
+}
+
+// powIntegralInverse returns x ≥ a such that ∫ t^(-s) dt over [a, x]
+// equals m.
+func powIntegralInverse(a, s, m float64) float64 {
+	if m <= 0 {
+		return a
+	}
+	if s == 1 {
+		return a * math.Exp(m)
+	}
+	v := math.Pow(a, 1-s) + m*(1-s)
+	if v <= 0 {
+		// Numerically past the end of a decreasing envelope (s > 1);
+		// callers clamp to K anyway.
+		return math.Inf(1)
+	}
+	return math.Pow(v, 1/(1-s))
+}
+
+// SolveZipfExponent returns the exponent s ≥ 0 such that a Zipf
+// distribution over k ranks has P(rank 1) = p1. This is how synthetic
+// datasets are matched to the (keys, p1) statistics the paper reports in
+// Table I: p1 pins the head of the distribution and k pins the support.
+//
+// p1 must lie in [1/k, 1); values at or below the uniform probability 1/k
+// return 0 (uniform). The result is found by bisection on the strictly
+// increasing map s → 1/H(k, s).
+func SolveZipfExponent(k uint64, p1 float64) float64 {
+	if k == 0 {
+		panic("rng: SolveZipfExponent with k == 0")
+	}
+	if p1 >= 1 {
+		panic("rng: SolveZipfExponent with p1 >= 1")
+	}
+	if p1 <= 1/float64(k) {
+		return 0
+	}
+	probeP1 := func(s float64) float64 {
+		h := k
+		if h > zipfHeadSize {
+			h = zipfHeadSize
+		}
+		sum := 0.0
+		for i := uint64(1); i <= h; i++ {
+			sum += math.Exp(-s * math.Log(float64(i)))
+		}
+		if k > h {
+			sum += powIntegral(float64(h)+0.5, float64(k)+0.5, s)
+		}
+		return 1 / sum
+	}
+	lo, hi := 0.0, 64.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if probeP1(mid) < p1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// LogNormalWeights samples k weights from a log-normal(mu, sigma)
+// distribution, sorts them in decreasing order and normalizes them to sum
+// to 1. This reproduces the paper's LN1/LN2 synthetic key-popularity
+// distributions (parameters fitted to Orkut workloads).
+func LogNormalWeights(src *Source, mu, sigma float64, k int) []float64 {
+	if k <= 0 {
+		panic("rng: LogNormalWeights with k <= 0")
+	}
+	w := make([]float64, k)
+	total := 0.0
+	for i := range w {
+		w[i] = src.LogNormal(mu, sigma)
+		total += w[i]
+	}
+	// Sort descending (insertion into a heap would be overkill; keys
+	// counts here are small: 1.1k-16k in the paper).
+	sortDescending(w)
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// sortDescending sorts w in place in decreasing order using heapsort to
+// avoid importing sort for a float64 slice hot path.
+func sortDescending(w []float64) {
+	n := len(w)
+	// Build a min-heap, then repeatedly move the min to the end: the
+	// result is descending order.
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMin(w, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		w[0], w[end] = w[end], w[0]
+		siftDownMin(w, 0, end)
+	}
+}
+
+func siftDownMin(w []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && w[child+1] < w[child] {
+			child++
+		}
+		if w[root] <= w[child] {
+			return
+		}
+		w[root], w[child] = w[child], w[root]
+		root = child
+	}
+}

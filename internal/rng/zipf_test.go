@@ -1,0 +1,204 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRanksInRange(t *testing.T) {
+	r := New(1)
+	z := NewZipf(r, 1.2, 1000)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 1 || v > 1000 {
+			t.Fatalf("Zipf rank %d out of [1,1000]", v)
+		}
+	}
+}
+
+func TestZipfProbNormalization(t *testing.T) {
+	// For a small universe the probabilities must sum to ≈1.
+	for _, s := range []float64{0, 0.5, 1, 1.5, 2.5} {
+		z := NewZipf(New(1), s, 500)
+		sum := 0.0
+		for i := uint64(1); i <= 500; i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%v: probabilities sum to %v, want 1", s, sum)
+		}
+	}
+}
+
+func TestZipfProbNormalizationLargeK(t *testing.T) {
+	// With K beyond the exact head, the tail-integral approximation of
+	// the normalizer must keep the total mass within a small tolerance.
+	for _, s := range []float64{0.8, 1.0, 1.5} {
+		k := uint64(2_000_000)
+		z := NewZipf(New(1), s, k)
+		sum := 0.0
+		for i := uint64(1); i <= k; i++ {
+			sum += math.Exp(-s * math.Log(float64(i)))
+		}
+		sum /= z.norm
+		if math.Abs(sum-1) > 1e-4 {
+			t.Errorf("s=%v k=%d: total mass %v, want ≈1", s, k, sum)
+		}
+	}
+}
+
+func TestZipfEmpiricalHeadFrequencies(t *testing.T) {
+	// The empirical frequency of the top ranks must match Prob closely.
+	r := New(7)
+	z := NewZipf(r, 1.1, 10000)
+	const n = 2_000_000
+	counts := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v <= 5 {
+			counts[v]++
+		}
+	}
+	for rank := uint64(1); rank <= 5; rank++ {
+		want := z.Prob(rank)
+		got := float64(counts[rank]) / n
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("rank %d: empirical freq %v, want ≈%v", rank, got, want)
+		}
+	}
+}
+
+func TestZipfUniformCase(t *testing.T) {
+	// s = 0 must be uniform over ranks.
+	r := New(8)
+	z := NewZipf(r, 0, 100)
+	counts := make([]int, 101)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(n) / 100
+	for rank := 1; rank <= 100; rank++ {
+		if math.Abs(float64(counts[rank])-want) > 6*math.Sqrt(want) {
+			t.Errorf("uniform zipf rank %d count %d deviates from %v", rank, counts[rank], want)
+		}
+	}
+}
+
+func TestZipfSingleKey(t *testing.T) {
+	z := NewZipf(New(1), 1.5, 1)
+	for i := 0; i < 100; i++ {
+		if v := z.Next(); v != 1 {
+			t.Fatalf("K=1 Zipf returned %d", v)
+		}
+	}
+	if p := z.P1(); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("K=1 P1 = %v, want 1", p)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("k=0", func() { NewZipf(New(1), 1, 0) })
+	mustPanic("s<0", func() { NewZipf(New(1), -1, 10) })
+	mustPanic("s=NaN", func() { NewZipf(New(1), math.NaN(), 10) })
+	mustPanic("prob out of range", func() { NewZipf(New(1), 1, 10).Prob(11) })
+}
+
+func TestSolveZipfExponentRoundTrip(t *testing.T) {
+	cases := []struct {
+		k  uint64
+		p1 float64
+	}{
+		{2900, 0.0329},      // CT
+		{77_000, 0.0328},    // SL1
+		{290_000, 0.0932},   // WP scaled
+		{2_900_000, 0.0932}, // WP full
+		{1000, 0.2},
+		{10, 0.5},
+	}
+	for _, c := range cases {
+		s := SolveZipfExponent(c.k, c.p1)
+		z := NewZipf(New(1), s, c.k)
+		if got := z.P1(); math.Abs(got-c.p1)/c.p1 > 0.01 {
+			t.Errorf("k=%d p1=%v: solved s=%v gives P1=%v", c.k, c.p1, s, got)
+		}
+	}
+}
+
+func TestSolveZipfExponentUniformFloor(t *testing.T) {
+	if s := SolveZipfExponent(100, 0.01); s != 0 {
+		t.Errorf("p1 = 1/k should give s = 0, got %v", s)
+	}
+	if s := SolveZipfExponent(100, 0.001); s != 0 {
+		t.Errorf("p1 < 1/k should give s = 0, got %v", s)
+	}
+}
+
+func TestSolveZipfExponentMonotonic(t *testing.T) {
+	prev := -1.0
+	for _, p1 := range []float64{0.02, 0.05, 0.1, 0.2, 0.4} {
+		s := SolveZipfExponent(10000, p1)
+		if s <= prev {
+			t.Fatalf("exponent not increasing in p1: s(%v)=%v after %v", p1, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestLogNormalWeights(t *testing.T) {
+	r := New(3)
+	w := LogNormalWeights(r, 1.789, 2.366, 16000)
+	if len(w) != 16000 {
+		t.Fatalf("got %d weights", len(w))
+	}
+	sum := 0.0
+	for i, x := range w {
+		if x < 0 {
+			t.Fatalf("negative weight at %d", i)
+		}
+		if i > 0 && w[i-1] < x {
+			t.Fatalf("weights not descending at %d", i)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	// With the paper's LN1 parameters the head should be heavily skewed:
+	// the top key carries on the order of 10% of the mass.
+	if w[0] < 0.01 {
+		t.Errorf("LN1-like weights look too flat: w[0] = %v", w[0])
+	}
+}
+
+func TestZipfProbDecreasing(t *testing.T) {
+	z := NewZipf(New(1), 1.3, 100000)
+	f := func(a, b uint16) bool {
+		i, j := uint64(a)+1, uint64(b)+1
+		if i > j {
+			i, j = j, i
+		}
+		return z.Prob(i) >= z.Prob(j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z := NewZipf(New(1), 1.1, 3_000_000)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}

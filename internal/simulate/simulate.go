@@ -1,0 +1,384 @@
+// Package simulate runs the paper's load-balancing simulations: the
+// two-level DAG of Figure 1 in which S source PEIs read a stream and
+// partition it towards W worker PEIs. It reproduces the measurement
+// methodology of §V: the imbalance I(t) = max load − average load is
+// sampled through the simulation, averaged (Table II), normalized by the
+// stream size (Figure 2), or kept as a time series (Figure 3); graph
+// streams may additionally be split across the sources by key grouping to
+// re-create the skewed-sources robustness experiment (Figure 4).
+package simulate
+
+import (
+	"fmt"
+
+	"pkgstream/internal/core"
+	"pkgstream/internal/dataset"
+	"pkgstream/internal/hash"
+	"pkgstream/internal/metrics"
+)
+
+// Method selects the partitioning technique under test.
+type Method int
+
+// The techniques compared in §V.
+const (
+	// Hashing is key grouping via a single hash — baseline "H".
+	Hashing Method = iota
+	// Shuffle is round-robin shuffle grouping.
+	Shuffle
+	// PKG is partial key grouping (Greedy-d with key splitting).
+	PKG
+	// PoTC is the power of two choices without key splitting.
+	PoTC
+	// OnGreedy assigns each new key to the globally least-loaded worker.
+	OnGreedy
+	// OffGreedy is the clairvoyant LPT baseline (requires a pre-pass over
+	// the stream to collect exact key frequencies).
+	OffGreedy
+)
+
+// String returns the technique name used in the paper's tables.
+func (m Method) String() string {
+	switch m {
+	case Hashing:
+		return "Hashing"
+	case Shuffle:
+		return "Shuffle"
+	case PKG:
+		return "PKG"
+	case PoTC:
+		return "PoTC"
+	case OnGreedy:
+		return "On-Greedy"
+	case OffGreedy:
+		return "Off-Greedy"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// LoadInfo selects the load-information model available to PKG sources.
+type LoadInfo int
+
+// The information models of §V Q2.
+const (
+	// Global gives every source the true worker loads — the oracle "G".
+	Global LoadInfo = iota
+	// Local gives each source only its own estimate, updated with the
+	// messages it sends — "L", the paper's practical model.
+	Local
+	// Probing is Local plus a periodic refresh of the estimate from the
+	// true loads every ProbeEveryHours — "LP".
+	Probing
+)
+
+// String returns the figure label of the information model.
+func (li LoadInfo) String() string {
+	switch li {
+	case Global:
+		return "G"
+	case Local:
+		return "L"
+	case Probing:
+		return "LP"
+	default:
+		return fmt.Sprintf("LoadInfo(%d)", int(li))
+	}
+}
+
+// Assignment selects how incoming messages are divided among the sources.
+type Assignment int
+
+const (
+	// ShuffleSources deals messages to sources round-robin (the default
+	// in §V.A: "read by multiple independent sources via shuffle
+	// grouping").
+	ShuffleSources Assignment = iota
+	// KeySources key-groups messages onto sources by the message's
+	// source key — for graph streams this projects the out-degree skew
+	// onto the sources (the Q3 robustness experiment).
+	KeySources
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Workers is W, the number of downstream PEIs.
+	Workers int
+	// Sources is S, the number of upstream PEIs (default 1).
+	Sources int
+	// Method is the partitioning technique (default Hashing).
+	Method Method
+	// D is the number of choices for PKG (default 2).
+	D int
+	// Info is the load-information model for PKG (default Global).
+	Info LoadInfo
+	// ProbeEveryHours is the probing period for Info == Probing.
+	ProbeEveryHours float64
+	// Seed drives both hash-function choice and stream generation.
+	Seed uint64
+	// SampleEvery is the number of messages between imbalance samples
+	// (default: stream length / 1000, at least 1).
+	SampleEvery int64
+	// SourceAssignment divides the stream among sources.
+	SourceAssignment Assignment
+	// TrackMemory counts distinct (key, worker) pairs — the number of
+	// state counters a stateful operator would hold (§V Q4 memory).
+	TrackMemory bool
+	// TrackDestinations records every routing decision, enabling the
+	// Jaccard agreement comparison of §V Q2. Costs 4 bytes per message.
+	TrackDestinations bool
+}
+
+func (o Options) withDefaults(streamLen int64) Options {
+	if o.Sources <= 0 {
+		o.Sources = 1
+	}
+	if o.D <= 0 {
+		o.D = 2
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = streamLen / 1000
+		if o.SampleEvery < 1 {
+			o.SampleEvery = 1
+		}
+	}
+	return o
+}
+
+// Label renders the technique label used in the paper's figures, e.g.
+// "H", "G", "L5", "L5P1".
+func (o Options) Label() string {
+	switch o.Method {
+	case Hashing:
+		return "H"
+	case Shuffle:
+		return "SG"
+	case PoTC, OnGreedy, OffGreedy:
+		return o.Method.String()
+	case PKG:
+		switch o.Info {
+		case Global:
+			return "G"
+		case Local:
+			return fmt.Sprintf("L%d", max(1, o.Sources))
+		case Probing:
+			return fmt.Sprintf("L%dP%g", max(1, o.Sources), o.ProbeEveryHours*60)
+		}
+	}
+	return o.Method.String()
+}
+
+// Result reports the measurements of one simulation run.
+type Result struct {
+	// Label is the figure label of the configuration (H, G, L5, ...).
+	Label string
+	// Messages is the number of messages routed.
+	Messages int64
+	// Workers and Sources echo the configuration.
+	Workers, Sources int
+
+	// AvgImbalance is the mean of I(t) over all samples — the metric of
+	// Table II.
+	AvgImbalance float64
+	// AvgImbalanceFraction is AvgImbalance / Messages — the y axis of
+	// Figures 2 and 4.
+	AvgImbalanceFraction float64
+	// FinalImbalance is I(m) at the end of the stream.
+	FinalImbalance float64
+	// Series is the imbalance *fraction so far* I(t)/t sampled through
+	// time (t in stream hours) — the curves of Figure 3.
+	Series metrics.Series
+
+	// UsedWorkers is the number of workers that received any load.
+	UsedWorkers int
+	// Loads is the final per-worker load vector.
+	Loads []int64
+
+	// Counters is the number of distinct (key, worker) pairs — the state
+	// counters a stateful operator holds (TrackMemory only).
+	Counters int64
+	// DistinctKeys is the number of distinct keys observed (TrackMemory
+	// only).
+	DistinctKeys int64
+	// Destinations are the per-message routing decisions
+	// (TrackDestinations only).
+	Destinations []int32
+}
+
+// Run simulates routing the spec's stream under the given options and
+// returns the measurements. The run is deterministic in (spec, opts).
+func Run(spec dataset.Spec, opts Options) Result {
+	opts = opts.withDefaults(spec.Messages)
+	if opts.Workers <= 0 {
+		panic("simulate: Options.Workers must be positive")
+	}
+	if opts.Method == PKG && opts.Info == Probing && opts.ProbeEveryHours <= 0 {
+		panic("simulate: Probing requires a positive ProbeEveryHours")
+	}
+
+	truth := metrics.NewLoad(opts.Workers)
+	parts, views := buildPartitioners(spec, opts, truth)
+
+	res := Result{
+		Label:   opts.Label(),
+		Workers: opts.Workers,
+		Sources: opts.Sources,
+	}
+	if opts.TrackDestinations {
+		res.Destinations = make([]int32, 0, spec.Messages)
+	}
+	var pairs map[uint64]struct{}
+	var keys map[uint64]struct{}
+	if opts.TrackMemory {
+		pairs = make(map[uint64]struct{})
+		keys = make(map[uint64]struct{})
+	}
+
+	stream := spec.Open(opts.Seed)
+	var imbSum float64
+	var samples int64
+	nextProbe := make([]float64, opts.Sources)
+	for i := range nextProbe {
+		nextProbe[i] = opts.ProbeEveryHours
+	}
+	srcSeed := hash.Fmix64(opts.Seed ^ 0xa5a5a5a5a5a5a5a5)
+
+	var i int64
+	rr := 0
+	for {
+		msg, ok := stream.Next()
+		if !ok {
+			break
+		}
+		// Deal the message to a source.
+		var s int
+		if opts.Sources > 1 {
+			switch opts.SourceAssignment {
+			case KeySources:
+				s = int(hash.Mix64(msg.SrcKey, srcSeed) % uint64(opts.Sources))
+			default:
+				s = rr
+				rr++
+				if rr == opts.Sources {
+					rr = 0
+				}
+			}
+		}
+		// Probing refresh, driven by the stream clock.
+		if opts.Method == PKG && opts.Info == Probing && msg.T >= nextProbe[s] {
+			views[s].CopyFrom(truth)
+			for msg.T >= nextProbe[s] {
+				nextProbe[s] += opts.ProbeEveryHours
+			}
+		}
+		// Route and record.
+		w := parts[s].Route(msg.Key)
+		truth.Add(w)
+		if views != nil && views[s] != truth {
+			views[s].Add(w)
+		}
+		if opts.TrackDestinations {
+			res.Destinations = append(res.Destinations, int32(w))
+		}
+		if opts.TrackMemory {
+			pairs[msg.Key*128+uint64(w)] = struct{}{}
+			keys[msg.Key] = struct{}{}
+		}
+		i++
+		if i%opts.SampleEvery == 0 {
+			imb := truth.Imbalance()
+			imbSum += imb
+			samples++
+			res.Series.Add(msg.T, imb/float64(i))
+		}
+	}
+
+	res.Messages = i
+	if samples > 0 {
+		res.AvgImbalance = imbSum / float64(samples)
+	}
+	if i > 0 {
+		res.AvgImbalanceFraction = res.AvgImbalance / float64(i)
+	}
+	res.FinalImbalance = truth.Imbalance()
+	res.UsedWorkers = truth.Used()
+	res.Loads = truth.Snapshot()
+	if opts.TrackMemory {
+		res.Counters = int64(len(pairs))
+		res.DistinctKeys = int64(len(keys))
+	}
+	return res
+}
+
+// buildPartitioners constructs one partitioner per source plus, for PKG,
+// the per-source load views (views[s] aliases truth for Global info, so
+// the caller must not double-record in that case; Run handles this).
+func buildPartitioners(spec dataset.Spec, opts Options, truth *metrics.Load) ([]core.Partitioner, []*metrics.Load) {
+	w := opts.Workers
+	hashSeed := hash.Fmix64(opts.Seed + 0x517cc1b727220a95)
+	parts := make([]core.Partitioner, opts.Sources)
+	switch opts.Method {
+	case Hashing:
+		// Stateless: one instance is fine, but give each source its own
+		// for symmetry with a real deployment.
+		for s := range parts {
+			parts[s] = core.NewKeyGrouping(w, hashSeed)
+		}
+		return parts, nil
+	case Shuffle:
+		for s := range parts {
+			parts[s] = core.NewShuffleGrouping(w, s)
+		}
+		return parts, nil
+	case PoTC:
+		// Static PoTC requires all sources to agree on per-key choices —
+		// the coordination cost the paper highlights. Model it as a
+		// single shared instance with global load information.
+		shared := core.NewPoTC(w, hashSeed, truth)
+		for s := range parts {
+			parts[s] = shared
+		}
+		return parts, nil
+	case OnGreedy:
+		shared := core.NewOnGreedy(w, truth)
+		for s := range parts {
+			parts[s] = shared
+		}
+		return parts, nil
+	case OffGreedy:
+		// Clairvoyant: pre-pass over an identical stream for the exact
+		// frequency distribution.
+		freqs := make(map[uint64]int64)
+		pre := spec.Open(opts.Seed)
+		for {
+			m, ok := pre.Next()
+			if !ok {
+				break
+			}
+			freqs[m.Key]++
+		}
+		kfs := make([]core.KeyFreq, 0, len(freqs))
+		for k, c := range freqs {
+			kfs = append(kfs, core.KeyFreq{Key: k, Count: c})
+		}
+		shared := core.NewOffGreedy(w, hashSeed, kfs)
+		for s := range parts {
+			parts[s] = shared
+		}
+		return parts, nil
+	case PKG:
+		views := make([]*metrics.Load, opts.Sources)
+		for s := range parts {
+			switch opts.Info {
+			case Global:
+				views[s] = truth
+			default:
+				views[s] = metrics.NewLoad(w)
+			}
+			parts[s] = core.NewPKG(w, opts.D, hashSeed, views[s])
+		}
+		return parts, views
+	default:
+		panic(fmt.Sprintf("simulate: unknown method %v", opts.Method))
+	}
+}

@@ -1,0 +1,264 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"pkgstream/internal/dataset"
+	"pkgstream/internal/metrics"
+)
+
+// wp is a small Wikipedia-shaped stream used throughout these tests.
+var wp = dataset.WP.WithCap(150_000)
+
+func TestRunDeterminism(t *testing.T) {
+	opts := Options{Workers: 10, Sources: 5, Method: PKG, Info: Local, Seed: 1}
+	a := Run(wp, opts)
+	b := Run(wp, opts)
+	if a.AvgImbalance != b.AvgImbalance || a.FinalImbalance != b.FinalImbalance {
+		t.Fatalf("same-config runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	r := Run(wp, Options{Workers: 10, Method: Hashing, Seed: 1})
+	if r.Messages != wp.Messages {
+		t.Fatalf("Messages = %d, want %d", r.Messages, wp.Messages)
+	}
+	var total int64
+	for _, l := range r.Loads {
+		total += l
+	}
+	if total != r.Messages {
+		t.Fatalf("loads sum to %d, want %d", total, r.Messages)
+	}
+	if r.Workers != 10 || r.Sources != 1 {
+		t.Fatalf("config echo wrong: %+v", r)
+	}
+	if r.Series.Len() == 0 {
+		t.Fatal("no imbalance samples recorded")
+	}
+	if r.Label != "H" {
+		t.Fatalf("Label = %q", r.Label)
+	}
+}
+
+func TestShuffleNearPerfect(t *testing.T) {
+	r := Run(wp, Options{Workers: 9, Sources: 5, Method: Shuffle, Seed: 2})
+	// Each source keeps its own round-robin: total imbalance is at most
+	// the number of sources.
+	if r.FinalImbalance > 5 {
+		t.Fatalf("shuffle imbalance %v > S", r.FinalImbalance)
+	}
+	if r.UsedWorkers != 9 {
+		t.Fatalf("shuffle left workers unused: %d/9", r.UsedWorkers)
+	}
+}
+
+func TestPKGGlobalBeatsHashing(t *testing.T) {
+	// Figure 2 headline: H ≫ G on every skewed dataset (several orders).
+	h := Run(wp, Options{Workers: 10, Method: Hashing, Seed: 3})
+	g := Run(wp, Options{Workers: 10, Method: PKG, Info: Global, Seed: 3})
+	if g.AvgImbalanceFraction*100 > h.AvgImbalanceFraction {
+		t.Fatalf("G fraction %v not ≪ H fraction %v",
+			g.AvgImbalanceFraction, h.AvgImbalanceFraction)
+	}
+}
+
+func TestLocalWithinOrderOfMagnitudeOfGlobal(t *testing.T) {
+	// §V Q2: "the difference from the global variant is always less than
+	// one order of magnitude", robust to the number of sources.
+	g := Run(wp, Options{Workers: 10, Method: PKG, Info: Global, Seed: 4})
+	for _, s := range []int{5, 10, 15, 20} {
+		l := Run(wp, Options{Workers: 10, Sources: s, Method: PKG, Info: Local, Seed: 4})
+		if l.AvgImbalance > 10*g.AvgImbalance+float64(10*s) {
+			t.Errorf("S=%d: local avg imbalance %v ≫ global %v",
+				s, l.AvgImbalance, g.AvgImbalance)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{Method: Hashing}, "H"},
+		{Options{Method: Shuffle}, "SG"},
+		{Options{Method: PKG, Info: Global}, "G"},
+		{Options{Method: PKG, Info: Local, Sources: 5}, "L5"},
+		{Options{Method: PKG, Info: Probing, Sources: 5, ProbeEveryHours: 1.0 / 60}, "L5P1"},
+		{Options{Method: PoTC}, "PoTC"},
+		{Options{Method: OnGreedy}, "On-Greedy"},
+		{Options{Method: OffGreedy}, "Off-Greedy"},
+	}
+	for _, c := range cases {
+		if got := c.opts.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.opts, got, c.want)
+		}
+	}
+}
+
+func TestProbingMatchesLocalQuality(t *testing.T) {
+	// §V Q2: probing "does not improve the load balance" — it should be
+	// in the same league as plain local estimation.
+	l := Run(wp, Options{Workers: 10, Sources: 5, Method: PKG, Info: Local, Seed: 5})
+	p := Run(wp, Options{Workers: 10, Sources: 5, Method: PKG, Info: Probing,
+		ProbeEveryHours: 1.0 / 60, Seed: 5})
+	hi := math.Max(l.AvgImbalance, p.AvgImbalance)
+	lo := math.Min(l.AvgImbalance, p.AvgImbalance)
+	if lo == 0 {
+		lo = 1
+	}
+	if hi/lo > 20 {
+		t.Errorf("probing %v and local %v differ wildly", p.AvgImbalance, l.AvgImbalance)
+	}
+}
+
+func TestProbingPanicsWithoutPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Probing without period did not panic")
+		}
+	}()
+	Run(wp, Options{Workers: 5, Method: PKG, Info: Probing})
+}
+
+func TestWorkersRequired(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Workers=0 did not panic")
+		}
+	}()
+	Run(wp, Options{Method: Hashing})
+}
+
+func TestBinaryBehaviorAcrossWorkerCounts(t *testing.T) {
+	// §V Q1: "the behavior of the system is binary: either well balanced
+	// or largely imbalanced", flipping where W exceeds O(1/p1).
+	// WP has p1 = 9.32%: 2/p1 ≈ 21 workers. W=10 balances, W=100 cannot.
+	small := Run(wp, Options{Workers: 10, Method: PKG, Info: Global, Seed: 6})
+	big := Run(wp, Options{Workers: 100, Method: PKG, Info: Global, Seed: 6})
+	if small.AvgImbalanceFraction > 1e-3 {
+		t.Errorf("W=10 should balance WP: fraction %v", small.AvgImbalanceFraction)
+	}
+	if big.AvgImbalanceFraction < 1e-3 {
+		t.Errorf("W=100 should exceed WP's 2/p1 limit: fraction %v", big.AvgImbalanceFraction)
+	}
+	// The imbalance floor when W > 2/p1: the two hot-key workers carry
+	// ≥ p1/2 each, so I(m)/m ≥ p1/2 − 1/W.
+	floor := wp.P1/2 - 1.0/100
+	if big.FinalImbalance/float64(big.Messages) < floor*0.8 {
+		t.Errorf("W=100 final imbalance fraction %v below theoretical floor %v",
+			big.FinalImbalance/float64(big.Messages), floor)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	// Counters: KG ≈ K (one worker per key), PKG ≤ 2K, SG ≤ WK, and
+	// KG ≤ PKG ≤ SG (§V Q4: 2.9M vs 3.6M vs 7.2M on WP).
+	kg := Run(wp, Options{Workers: 9, Method: Hashing, Seed: 7, TrackMemory: true})
+	pkg := Run(wp, Options{Workers: 9, Method: PKG, Info: Global, Seed: 7, TrackMemory: true})
+	sg := Run(wp, Options{Workers: 9, Method: Shuffle, Seed: 7, TrackMemory: true})
+
+	if kg.Counters != kg.DistinctKeys {
+		t.Errorf("KG counters %d != distinct keys %d", kg.Counters, kg.DistinctKeys)
+	}
+	if pkg.Counters > 2*pkg.DistinctKeys {
+		t.Errorf("PKG counters %d exceed 2K = %d", pkg.Counters, 2*pkg.DistinctKeys)
+	}
+	if sg.Counters > 9*sg.DistinctKeys {
+		t.Errorf("SG counters %d exceed WK", sg.Counters)
+	}
+	if !(kg.Counters <= pkg.Counters && pkg.Counters < sg.Counters) {
+		t.Errorf("counter ordering KG ≤ PKG < SG violated: %d, %d, %d",
+			kg.Counters, pkg.Counters, sg.Counters)
+	}
+	// The paper's ratios on WP: PKG ≈ 1.24·KG, SG ≈ 2.5·KG. Shapes, not
+	// exact values: PKG under 2×KG, SG clearly above PKG.
+	if float64(pkg.Counters) > 2*float64(kg.Counters) {
+		t.Errorf("PKG memory %d too far above KG %d", pkg.Counters, kg.Counters)
+	}
+	if float64(sg.Counters) < 1.3*float64(pkg.Counters) {
+		t.Errorf("SG memory %d not clearly above PKG %d", sg.Counters, pkg.Counters)
+	}
+}
+
+func TestSkewedSourcesRobustness(t *testing.T) {
+	// Figure 4: key-grouped (skewed) source assignment on a graph stream
+	// must stay in the same league as uniform source assignment.
+	lj := dataset.LJ.WithCap(150_000)
+	uni := Run(lj, Options{Workers: 10, Sources: 5, Method: PKG, Info: Local, Seed: 8})
+	skew := Run(lj, Options{Workers: 10, Sources: 5, Method: PKG, Info: Local, Seed: 8,
+		SourceAssignment: KeySources})
+	if skew.AvgImbalanceFraction > 10*uni.AvgImbalanceFraction+1e-4 {
+		t.Errorf("skewed sources fraction %v ≫ uniform %v",
+			skew.AvgImbalanceFraction, uni.AvgImbalanceFraction)
+	}
+}
+
+func TestDestinationsAndJaccard(t *testing.T) {
+	// §V Q2: G and L disagree on destinations (far from 100% overlap)
+	// while both balance well. On WP the paper measured 47% Jaccard.
+	g := Run(wp, Options{Workers: 10, Method: PKG, Info: Global, Seed: 9, TrackDestinations: true})
+	l := Run(wp, Options{Workers: 10, Sources: 5, Method: PKG, Info: Local, Seed: 9, TrackDestinations: true})
+	if int64(len(g.Destinations)) != g.Messages {
+		t.Fatalf("destinations %d != messages %d", len(g.Destinations), g.Messages)
+	}
+	j := metrics.Jaccard(g.Destinations, l.Destinations)
+	if j < 0.05 || j > 0.95 {
+		t.Errorf("G vs L Jaccard = %v; expected partial overlap (paper: ≈0.47)", j)
+	}
+}
+
+func TestOffGreedyUsesExactFrequencies(t *testing.T) {
+	off := Run(wp, Options{Workers: 5, Method: OffGreedy, Seed: 10})
+	h := Run(wp, Options{Workers: 5, Method: Hashing, Seed: 10})
+	if off.AvgImbalance > h.AvgImbalance/10 {
+		t.Errorf("Off-Greedy %v should crush hashing %v", off.AvgImbalance, h.AvgImbalance)
+	}
+}
+
+func TestPoTCBetweenHashingAndPKG(t *testing.T) {
+	h := Run(wp, Options{Workers: 5, Method: Hashing, Seed: 11})
+	potc := Run(wp, Options{Workers: 5, Method: PoTC, Seed: 11})
+	pkg := Run(wp, Options{Workers: 5, Method: PKG, Info: Global, Seed: 11})
+	if potc.AvgImbalance >= h.AvgImbalance {
+		t.Errorf("PoTC %v not better than hashing %v", potc.AvgImbalance, h.AvgImbalance)
+	}
+	if pkg.AvgImbalance > potc.AvgImbalance {
+		t.Errorf("PKG %v worse than static PoTC %v", pkg.AvgImbalance, potc.AvgImbalance)
+	}
+}
+
+func TestSeriesTimesWithinDuration(t *testing.T) {
+	r := Run(wp, Options{Workers: 10, Method: PKG, Info: Global, Seed: 12})
+	for _, p := range r.Series.Pts {
+		if p.T < 0 || p.T > wp.DurationHours {
+			t.Fatalf("series time %v outside [0, %v]", p.T, wp.DurationHours)
+		}
+		if p.V < 0 {
+			t.Fatalf("negative imbalance fraction %v", p.V)
+		}
+	}
+}
+
+func TestDriftHandledByPKG(t *testing.T) {
+	// Figure 3 bottom row: on the drifting cashtag stream PKG keeps a
+	// low imbalance despite popularity churn.
+	ct := dataset.CT.WithCap(150_000)
+	l := Run(ct, Options{Workers: 10, Sources: 5, Method: PKG, Info: Local, Seed: 13})
+	h := Run(ct, Options{Workers: 10, Method: Hashing, Seed: 13})
+	if l.AvgImbalanceFraction*5 > h.AvgImbalanceFraction {
+		t.Errorf("PKG on drift %v not well below hashing %v",
+			l.AvgImbalanceFraction, h.AvgImbalanceFraction)
+	}
+}
+
+func BenchmarkRunPKGLocal(b *testing.B) {
+	spec := dataset.WP.WithCap(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(spec, Options{Workers: 10, Sources: 5, Method: PKG, Info: Local, Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,231 @@
+// Package spdt implements the Streaming Parallel Decision Tree of
+// Ben-Haim & Tom-Tov (JMLR 2010), the §VI.B application of the paper:
+// workers build fixed-size approximate histograms over their sub-streams,
+// an aggregator merges them per (leaf, feature, class) triplet and grows
+// the tree by choosing split points from the merged histograms.
+//
+// The partitioning strategy determines the histogram footprint: with
+// shuffle grouping every worker may hold histograms for every triplet
+// (W·D·C·L histograms, and W-way merges); with partial key grouping on
+// the feature of each sub-message a feature lives on at most two workers
+// (2·D·C·L histograms and 2-way merges) — the memory and aggregation
+// saving the paper claims.
+package spdt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bin is one histogram bin: a centroid P with mass M.
+type Bin struct {
+	P float64
+	M float64
+}
+
+// Histogram is the fixed-size mergeable histogram of Ben-Haim & Tom-Tov:
+// at most maxBins (centroid, mass) pairs; inserting or merging beyond
+// that repeatedly fuses the two closest centroids (their Algorithm 1/2).
+type Histogram struct {
+	maxBins int
+	bins    []Bin
+}
+
+// NewHistogram returns an empty histogram with the given bin budget.
+// It panics if maxBins < 2.
+func NewHistogram(maxBins int) *Histogram {
+	if maxBins < 2 {
+		panic("spdt: NewHistogram needs maxBins >= 2")
+	}
+	return &Histogram{maxBins: maxBins, bins: make([]Bin, 0, maxBins+1)}
+}
+
+// MaxBins returns the bin budget.
+func (h *Histogram) MaxBins() int { return h.maxBins }
+
+// Len returns the number of live bins.
+func (h *Histogram) Len() int { return len(h.bins) }
+
+// Count returns the total mass.
+func (h *Histogram) Count() float64 {
+	var c float64
+	for _, b := range h.bins {
+		c += b.M
+	}
+	return c
+}
+
+// Bins returns a copy of the bins in increasing centroid order.
+func (h *Histogram) Bins() []Bin {
+	out := make([]Bin, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram(h.maxBins)
+	c.bins = append(c.bins, h.bins...)
+	return c
+}
+
+// Update adds one point at p (the update procedure, Algorithm 1).
+func (h *Histogram) Update(p float64) { h.UpdateW(p, 1) }
+
+// UpdateW adds a point with weight w. It panics on non-finite p or
+// non-positive w.
+func (h *Histogram) UpdateW(p, w float64) {
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		panic("spdt: UpdateW with non-finite point")
+	}
+	if w <= 0 {
+		panic("spdt: UpdateW with non-positive weight")
+	}
+	h.insert(Bin{P: p, M: w})
+	h.trim()
+}
+
+// insert places b keeping bins sorted, fusing with an existing bin at
+// exactly the same centroid.
+func (h *Histogram) insert(b Bin) {
+	i := sort.Search(len(h.bins), func(i int) bool { return h.bins[i].P >= b.P })
+	if i < len(h.bins) && h.bins[i].P == b.P {
+		h.bins[i].M += b.M
+		return
+	}
+	h.bins = append(h.bins, Bin{})
+	copy(h.bins[i+1:], h.bins[i:])
+	h.bins[i] = b
+}
+
+// trim fuses closest centroid pairs until the budget holds.
+func (h *Histogram) trim() {
+	for len(h.bins) > h.maxBins {
+		best := 0
+		bestGap := math.Inf(1)
+		for i := 0; i+1 < len(h.bins); i++ {
+			if gap := h.bins[i+1].P - h.bins[i].P; gap < bestGap {
+				bestGap = gap
+				best = i
+			}
+		}
+		a, b := h.bins[best], h.bins[best+1]
+		m := a.M + b.M
+		h.bins[best] = Bin{P: (a.P*a.M + b.P*b.M) / m, M: m}
+		h.bins = append(h.bins[:best+1], h.bins[best+2:]...)
+	}
+}
+
+// Merge folds other into h (the merge procedure, Algorithm 2). The result
+// keeps h's bin budget; other is unchanged.
+func (h *Histogram) Merge(other *Histogram) {
+	for _, b := range other.bins {
+		h.insert(b)
+	}
+	h.trim()
+}
+
+// MergeAll merges several histograms into a fresh one with the given
+// budget.
+func MergeAll(maxBins int, hs ...*Histogram) *Histogram {
+	out := NewHistogram(maxBins)
+	for _, h := range hs {
+		if h != nil {
+			out.Merge(h)
+		}
+	}
+	return out
+}
+
+// Sum estimates the number of points ≤ b (the sum procedure, Algorithm
+// 3): full mass of bins left of the enclosing interval, half the
+// enclosing bin, plus the trapezoidal share of the interval [p_i, b].
+func (h *Histogram) Sum(b float64) float64 {
+	n := len(h.bins)
+	if n == 0 {
+		return 0
+	}
+	if b < h.bins[0].P {
+		return 0
+	}
+	if b >= h.bins[n-1].P {
+		return h.Count()
+	}
+	// Find i with p_i <= b < p_{i+1}.
+	i := sort.Search(n, func(j int) bool { return h.bins[j].P > b }) - 1
+	pi, pj := h.bins[i], h.bins[i+1]
+	frac := (b - pi.P) / (pj.P - pi.P)
+	mb := pi.M + (pj.M-pi.M)*frac
+	s := (pi.M + mb) / 2 * frac
+	for j := 0; j < i; j++ {
+		s += h.bins[j].M
+	}
+	return s + pi.M/2
+}
+
+// Uniform returns k−1 candidate points that divide the histogram's mass
+// into k approximately equal parts (the uniform procedure, Algorithm 4).
+// Duplicates are removed; the result is strictly increasing and may be
+// shorter than k−1 for tiny histograms.
+func (h *Histogram) Uniform(k int) []float64 {
+	if k < 2 {
+		panic("spdt: Uniform needs k >= 2")
+	}
+	n := len(h.bins)
+	total := h.Count()
+	if n == 0 || total == 0 {
+		return nil
+	}
+	if n == 1 {
+		return nil
+	}
+	// cum[i] = Sum(p_i) = mass strictly left of bin i plus half of bin i.
+	cum := make([]float64, n)
+	run := 0.0
+	for i, b := range h.bins {
+		cum[i] = run + b.M/2
+		run += b.M
+	}
+	var out []float64
+	for j := 1; j < k; j++ {
+		s := float64(j) / float64(k) * total
+		if s <= cum[0] {
+			continue
+		}
+		if s >= cum[n-1] {
+			continue
+		}
+		i := sort.Search(n, func(x int) bool { return cum[x] > s }) - 1
+		d := s - cum[i]
+		a := h.bins[i+1].M - h.bins[i].M
+		var z float64
+		if math.Abs(a) < 1e-12 {
+			if h.bins[i].M > 0 {
+				z = d / h.bins[i].M
+			}
+		} else {
+			disc := h.bins[i].M*h.bins[i].M + 2*a*d
+			if disc < 0 {
+				disc = 0
+			}
+			z = (-h.bins[i].M + math.Sqrt(disc)) / a
+		}
+		if z < 0 {
+			z = 0
+		}
+		if z > 1 {
+			z = 1
+		}
+		u := h.bins[i].P + (h.bins[i+1].P-h.bins[i].P)*z
+		if len(out) == 0 || u > out[len(out)-1] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// String renders the histogram for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("Histogram(bins=%d/%d, count=%.0f)", len(h.bins), h.maxBins, h.Count())
+}

@@ -1,0 +1,270 @@
+package spdt
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pkgstream/internal/rng"
+)
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(1) },
+		func() { NewHistogram(4).UpdateW(1, 0) },
+		func() { NewHistogram(4).UpdateW(math.NaN(), 1) },
+		func() { NewHistogram(4).Uniform(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramExactUnderBudget(t *testing.T) {
+	h := NewHistogram(10)
+	for _, p := range []float64{5, 1, 3, 1} { // duplicate 1 fuses
+		h.Update(p)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %v", h.Count())
+	}
+	bins := h.Bins()
+	if bins[0].P != 1 || bins[0].M != 2 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	// Bins sorted.
+	for i := 1; i < len(bins); i++ {
+		if bins[i-1].P >= bins[i].P {
+			t.Fatal("bins not strictly increasing")
+		}
+	}
+}
+
+func TestHistogramTrimPreservesMassAndMean(t *testing.T) {
+	h := NewHistogram(8)
+	src := rng.New(1)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := src.NormFloat64()
+		sum += v
+		h.Update(v)
+	}
+	if h.Len() > 8 {
+		t.Fatalf("budget exceeded: %d bins", h.Len())
+	}
+	if math.Abs(h.Count()-n) > 1e-6 {
+		t.Fatalf("mass not preserved: %v", h.Count())
+	}
+	// Centroid-weighted mean is preserved exactly by closest-pair fusion.
+	var m float64
+	for _, b := range h.Bins() {
+		m += b.P * b.M
+	}
+	if math.Abs(m-sum) > 1e-6*n {
+		t.Fatalf("mean drifted: %v vs %v", m/n, sum/n)
+	}
+}
+
+func TestSumMatchesEmpiricalCDF(t *testing.T) {
+	h := NewHistogram(64)
+	src := rng.New(2)
+	const n = 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+		h.Update(xs[i])
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{-2, -1, -0.5, 0, 0.5, 1, 2} {
+		got := h.Sum(q) / n
+		want := float64(sort.SearchFloat64s(xs, q)) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Sum(%v)/n = %v, empirical CDF %v", q, got, want)
+		}
+	}
+}
+
+func TestSumEdgeCases(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Sum(0) != 0 {
+		t.Fatal("empty histogram Sum != 0")
+	}
+	h.Update(5)
+	if h.Sum(4) != 0 {
+		t.Fatal("Sum below min centroid != 0")
+	}
+	if h.Sum(5) != 1 || h.Sum(100) != 1 {
+		t.Fatal("Sum at/above max centroid != Count")
+	}
+}
+
+func TestSumMonotoneProperty(t *testing.T) {
+	h := NewHistogram(16)
+	src := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		h.Update(src.NormFloat64() * 10)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return h.Sum(a) <= h.Sum(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeAdditiveCount(t *testing.T) {
+	a, b := NewHistogram(12), NewHistogram(12)
+	src := rng.New(4)
+	for i := 0; i < 3000; i++ {
+		a.Update(src.NormFloat64())
+		b.Update(src.NormFloat64() + 3)
+	}
+	ca, cb := a.Count(), b.Count()
+	a.Merge(b)
+	if math.Abs(a.Count()-(ca+cb)) > 1e-6 {
+		t.Fatalf("merged count %v != %v", a.Count(), ca+cb)
+	}
+	if a.Len() > 12 {
+		t.Fatalf("merge exceeded budget: %d bins", a.Len())
+	}
+	// b unchanged.
+	if b.Count() != cb {
+		t.Fatal("Merge mutated its argument")
+	}
+}
+
+func TestMergeAllAndClone(t *testing.T) {
+	a, b := NewHistogram(8), NewHistogram(8)
+	a.Update(1)
+	b.Update(2)
+	m := MergeAll(8, a, nil, b)
+	if m.Count() != 2 {
+		t.Fatalf("MergeAll count %v", m.Count())
+	}
+	c := a.Clone()
+	c.Update(9)
+	if a.Count() != 1 {
+		t.Fatal("Clone aliased storage")
+	}
+}
+
+func TestMergedSumApproximatesCombinedCDF(t *testing.T) {
+	// The mergeability property the whole SPDT aggregation relies on:
+	// merging per-worker histograms approximates the histogram of the
+	// union stream.
+	whole := NewHistogram(32)
+	parts := make([]*Histogram, 4)
+	for i := range parts {
+		parts[i] = NewHistogram(32)
+	}
+	src := rng.New(5)
+	const n = 40000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+		whole.Update(xs[i])
+		parts[i%4].Update(xs[i])
+	}
+	merged := MergeAll(32, parts...)
+	sort.Float64s(xs)
+	for _, q := range []float64{-1.5, -0.5, 0, 0.5, 1.5} {
+		mergedCDF := merged.Sum(q) / n
+		trueCDF := float64(sort.SearchFloat64s(xs, q)) / n
+		if math.Abs(mergedCDF-trueCDF) > 0.025 {
+			t.Errorf("merged Sum(%v)/n = %v, true CDF %v", q, mergedCDF, trueCDF)
+		}
+	}
+}
+
+func TestUniformSplitsBalanceMass(t *testing.T) {
+	h := NewHistogram(64)
+	src := rng.New(6)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		h.Update(src.Float64() * 100) // uniform [0, 100)
+	}
+	us := h.Uniform(4)
+	if len(us) == 0 {
+		t.Fatal("no candidates returned")
+	}
+	for i := 1; i < len(us); i++ {
+		if us[i-1] >= us[i] {
+			t.Fatal("candidates not strictly increasing")
+		}
+	}
+	// Quartile candidates of uniform data should be near 25/50/75.
+	want := []float64{25, 50, 75}
+	if len(us) == 3 {
+		for i, u := range us {
+			if math.Abs(u-want[i]) > 5 {
+				t.Errorf("candidate %d = %v, want ≈%v", i, u, want[i])
+			}
+		}
+	}
+	// Each candidate should split the mass near its quantile.
+	for i, u := range us {
+		frac := h.Sum(u) / h.Count()
+		want := float64(i+1) / 4
+		if math.Abs(frac-want) > 0.05 {
+			t.Errorf("candidate %d at mass fraction %v, want ≈%v", i, frac, want)
+		}
+	}
+}
+
+func TestUniformDegenerateCases(t *testing.T) {
+	h := NewHistogram(8)
+	if got := h.Uniform(5); got != nil {
+		t.Fatal("empty histogram should yield no candidates")
+	}
+	h.Update(3)
+	if got := h.Uniform(5); got != nil {
+		t.Fatal("single-bin histogram should yield no candidates")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(4)
+	h.Update(1)
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkHistogramUpdate(b *testing.B) {
+	h := NewHistogram(32)
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Update(src.NormFloat64())
+	}
+}
+
+func BenchmarkHistogramMerge(b *testing.B) {
+	src := rng.New(1)
+	a, c := NewHistogram(32), NewHistogram(32)
+	for i := 0; i < 1000; i++ {
+		a.Update(src.NormFloat64())
+		c.Update(src.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Clone().Merge(c)
+	}
+}

@@ -1,0 +1,244 @@
+package spdt
+
+import (
+	"fmt"
+
+	"pkgstream/internal/core"
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/rng"
+)
+
+// Strategy selects how training data is spread over the workers.
+type Strategy int
+
+// Parallelization strategies of §VI.B.
+const (
+	// ShuffleSamples sends whole samples round-robin: every worker may
+	// hold histograms for every (leaf, feature, class) triplet — the
+	// original Ben-Haim & Tom-Tov layout with W·D·C·L histograms and
+	// W-way merges at the aggregator.
+	ShuffleSamples Strategy = iota
+	// PKGFeatures splits each sample into per-feature sub-messages
+	// routed by partial key grouping on the feature id: each feature is
+	// tracked by at most two workers, for 2·D·C·L histograms and 2-way
+	// merges.
+	PKGFeatures
+	// KeyFeatures routes per-feature sub-messages by a single hash:
+	// one worker per feature, but worker load inherits any feature skew.
+	KeyFeatures
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case ShuffleSamples:
+		return "shuffle-samples"
+	case PKGFeatures:
+		return "pkg-features"
+	case KeyFeatures:
+		return "key-features"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// workerState holds one worker's histograms: leaf id → (feature, class)
+// slot → histogram.
+type workerState map[int][]*Histogram
+
+// Trainer drives the parallel streaming decision tree: a coordinator
+// routes training data to W workers that build histograms over their
+// sub-streams; every batchSize samples the aggregator merges the workers'
+// histograms per leaf and attempts splits.
+type Trainer struct {
+	tree     *Tree
+	strategy Strategy
+	workers  []workerState
+	counts   map[int][]int64 // leaf id → class counts (coordinator-side)
+
+	part core.Partitioner
+	view *metrics.Load
+	rr   int
+
+	loads *metrics.Load
+
+	batchSize int
+	pending   int
+
+	mergeInputs int64
+	samples     int64
+}
+
+// NewTrainer returns a parallel trainer over w workers, syncing every
+// batchSize samples.
+func NewTrainer(params Params, w int, strategy Strategy, batchSize int, seed uint64) (*Trainer, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("spdt: NewTrainer needs w >= 1")
+	}
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("spdt: NewTrainer needs batchSize >= 1")
+	}
+	tree, err := New(params)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trainer{
+		tree:      tree,
+		strategy:  strategy,
+		workers:   make([]workerState, w),
+		counts:    map[int][]int64{},
+		loads:     metrics.NewLoad(w),
+		batchSize: batchSize,
+	}
+	for i := range tr.workers {
+		tr.workers[i] = workerState{}
+	}
+	switch strategy {
+	case ShuffleSamples:
+		// round-robin over whole samples
+	case PKGFeatures:
+		tr.view = metrics.NewLoad(w)
+		tr.part = core.NewPKG(w, 2, rng.SplitMix64(&seed), tr.view)
+	case KeyFeatures:
+		tr.part = core.NewKeyGrouping(w, rng.SplitMix64(&seed))
+	default:
+		return nil, fmt.Errorf("spdt: unknown strategy %v", strategy)
+	}
+	return tr, nil
+}
+
+// Tree returns the shared model.
+func (tr *Trainer) Tree() *Tree { return tr.tree }
+
+// slot returns the worker histogram for (leaf, feature, class), creating
+// it on demand.
+func (tr *Trainer) slot(w int, leaf *Node, feature, class int) *Histogram {
+	p := tr.tree.params
+	grid := tr.workers[w][leaf.id]
+	if grid == nil {
+		grid = make([]*Histogram, p.Features*p.Classes)
+		tr.workers[w][leaf.id] = grid
+	}
+	i := feature*p.Classes + class
+	if grid[i] == nil {
+		grid[i] = NewHistogram(p.MaxBins)
+	}
+	return grid[i]
+}
+
+// Train incorporates one labeled sample; the model may grow on batch
+// boundaries.
+func (tr *Trainer) Train(x []float64, label int) {
+	p := tr.tree.params
+	if len(x) != p.Features {
+		panic(fmt.Sprintf("spdt: sample has %d features, want %d", len(x), p.Features))
+	}
+	if label < 0 || label >= p.Classes {
+		panic(fmt.Sprintf("spdt: label %d out of range", label))
+	}
+	leaf := tr.tree.RouteLeaf(x)
+	cnt := tr.counts[leaf.id]
+	if cnt == nil {
+		cnt = make([]int64, p.Classes)
+		tr.counts[leaf.id] = cnt
+	}
+	cnt[label]++
+	leaf.class = argmaxI64(cnt)
+
+	switch tr.strategy {
+	case ShuffleSamples:
+		w := tr.rr
+		tr.rr++
+		if tr.rr == len(tr.workers) {
+			tr.rr = 0
+		}
+		tr.loads.AddN(w, int64(p.Features))
+		for f, v := range x {
+			tr.slot(w, leaf, f, label).Update(v)
+		}
+	default:
+		for f, v := range x {
+			w := tr.part.Route(uint64(f) + 1)
+			if tr.view != nil {
+				tr.view.Add(w)
+			}
+			tr.loads.Add(w)
+			tr.slot(w, leaf, f, label).Update(v)
+		}
+	}
+
+	tr.samples++
+	tr.pending++
+	if tr.pending >= tr.batchSize {
+		tr.Sync()
+	}
+}
+
+// Sync merges worker histograms per leaf and lets the tree attempt
+// splits — the aggregator step. Worker state for split leaves is
+// discarded (the fresh children restart their statistics).
+func (tr *Trainer) Sync() {
+	tr.pending = 0
+	p := tr.tree.params
+	for _, leaf := range tr.tree.Leaves() {
+		cnt := tr.counts[leaf.id]
+		if cnt == nil {
+			continue
+		}
+		merged := make([][]*Histogram, p.Features)
+		for f := 0; f < p.Features; f++ {
+			merged[f] = make([]*Histogram, p.Classes)
+			for c := 0; c < p.Classes; c++ {
+				i := f*p.Classes + c
+				var parts []*Histogram
+				for _, ws := range tr.workers {
+					if grid := ws[leaf.id]; grid != nil && grid[i] != nil {
+						parts = append(parts, grid[i])
+					}
+				}
+				tr.mergeInputs += int64(len(parts))
+				merged[f][c] = MergeAll(p.MaxBins, parts...)
+			}
+		}
+		id := leaf.id
+		if tr.tree.TrySplit(leaf, merged, cnt) {
+			delete(tr.counts, id)
+			for _, ws := range tr.workers {
+				delete(ws, id)
+			}
+		}
+	}
+}
+
+// Predict returns the current model's prediction.
+func (tr *Trainer) Predict(x []float64) int { return tr.tree.Predict(x) }
+
+// HistogramCount returns the number of live histograms across all
+// workers — W·D·C·L for shuffle, at most 2·D·C·L for PKG (§VI.B).
+func (tr *Trainer) HistogramCount() int {
+	n := 0
+	for _, ws := range tr.workers {
+		for _, grid := range ws {
+			for _, h := range grid {
+				if h != nil {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// MergeInputs returns the cumulative number of worker histograms the
+// aggregator has merged — the aggregation cost PKG bounds at 2 per
+// triplet.
+func (tr *Trainer) MergeInputs() int64 { return tr.mergeInputs }
+
+// WorkerLoads returns per-worker sub-message counts.
+func (tr *Trainer) WorkerLoads() []int64 { return tr.loads.Snapshot() }
+
+// Imbalance returns max − avg of the worker loads.
+func (tr *Trainer) Imbalance() float64 { return tr.loads.Imbalance() }
+
+// Samples returns the number of samples trained on.
+func (tr *Trainer) Samples() int64 { return tr.samples }

@@ -1,0 +1,342 @@
+package spdt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params configures a streaming decision tree.
+type Params struct {
+	// Features is the dimensionality of the input vectors.
+	Features int
+	// Classes is the number of class labels.
+	Classes int
+	// MaxBins is the per-histogram bin budget B (default 32).
+	MaxBins int
+	// Candidates is the number of equal-mass split candidates B̃ probed
+	// per feature (default 10).
+	Candidates int
+	// MinLeafSamples is the number of samples a leaf must absorb before
+	// a split is attempted (default 200).
+	MinLeafSamples int
+	// MaxDepth bounds the tree depth (default 8).
+	MaxDepth int
+	// MinGain is the smallest admissible entropy gain (default 1e-3).
+	MinGain float64
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Features <= 0 || p.Classes <= 1 {
+		return p, fmt.Errorf("spdt: need Features >= 1 and Classes >= 2")
+	}
+	if p.MaxBins == 0 {
+		p.MaxBins = 32
+	}
+	if p.MaxBins < 2 {
+		return p, fmt.Errorf("spdt: MaxBins must be >= 2")
+	}
+	if p.Candidates == 0 {
+		p.Candidates = 10
+	}
+	if p.Candidates < 2 {
+		return p, fmt.Errorf("spdt: Candidates must be >= 2")
+	}
+	if p.MinLeafSamples == 0 {
+		p.MinLeafSamples = 200
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 8
+	}
+	if p.MinGain == 0 {
+		p.MinGain = 1e-3
+	}
+	return p, nil
+}
+
+// Node is one tree node. Leaves carry class statistics; internal nodes
+// carry a (feature, threshold) test.
+type Node struct {
+	id    int
+	depth int
+
+	leaf  bool
+	class int
+
+	counts []int64
+	hists  [][]*Histogram // [feature][class], sequential training only
+
+	feature   int
+	threshold float64
+	left      *Node
+	right     *Node
+}
+
+// ID returns the node's stable identifier (used by parallel workers to
+// key their per-leaf histograms).
+func (n *Node) ID() int { return n.id }
+
+// Leaf reports whether the node is a leaf.
+func (n *Node) Leaf() bool { return n.leaf }
+
+// Tree is a streaming decision tree grown from approximate histograms.
+// Use New + Update for the sequential algorithm; the parallel trainer in
+// trainer.go drives the same split machinery from merged worker
+// histograms.
+type Tree struct {
+	params Params
+	root   *Node
+	nextID int
+	nodes  int
+	splits int
+}
+
+// New returns a single-leaf tree. The returned error reports invalid
+// Params.
+func New(params Params) (*Tree, error) {
+	p, err := params.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{params: p}
+	t.root = t.newLeaf(0, 0)
+	return t, nil
+}
+
+// Params returns the effective parameters (defaults applied).
+func (t *Tree) Params() Params { return t.params }
+
+func (t *Tree) newLeaf(depth, class int) *Node {
+	n := &Node{
+		id:     t.nextID,
+		depth:  depth,
+		leaf:   true,
+		class:  class,
+		counts: make([]int64, t.params.Classes),
+	}
+	t.nextID++
+	t.nodes++
+	return n
+}
+
+// ensureHists lazily allocates a leaf's histogram grid (sequential mode).
+func (t *Tree) ensureHists(n *Node) {
+	if n.hists != nil {
+		return
+	}
+	n.hists = make([][]*Histogram, t.params.Features)
+	for f := range n.hists {
+		n.hists[f] = make([]*Histogram, t.params.Classes)
+		for c := range n.hists[f] {
+			n.hists[f][c] = NewHistogram(t.params.MaxBins)
+		}
+	}
+}
+
+// RouteLeaf walks x down to its leaf.
+func (t *Tree) RouteLeaf(x []float64) *Node {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// Predict returns the class of the leaf x lands in.
+func (t *Tree) Predict(x []float64) int { return t.RouteLeaf(x).class }
+
+// Update incorporates one labeled sample (sequential streaming: the
+// compress–then–grow loop of Ben-Haim & Tom-Tov with W = 1).
+func (t *Tree) Update(x []float64, label int) {
+	if len(x) != t.params.Features {
+		panic(fmt.Sprintf("spdt: sample has %d features, want %d", len(x), t.params.Features))
+	}
+	if label < 0 || label >= t.params.Classes {
+		panic(fmt.Sprintf("spdt: label %d out of range", label))
+	}
+	n := t.RouteLeaf(x)
+	t.ensureHists(n)
+	n.counts[label]++
+	for f, v := range x {
+		n.hists[f][label].Update(v)
+	}
+	var total int64
+	for _, c := range n.counts {
+		total += c
+	}
+	n.class = argmaxI64(n.counts)
+	if total >= int64(t.params.MinLeafSamples) {
+		t.TrySplit(n, n.hists, n.counts)
+	}
+}
+
+// Nodes returns the total number of nodes.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Splits returns how many splits have been performed.
+func (t *Tree) Splits() int { return t.splits }
+
+// Leaves returns the current leaves.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.leaf {
+			out = append(out, n)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *Tree) Depth() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		if n.leaf {
+			return n.depth
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(t.root)
+}
+
+// TrySplit attempts to split leaf n given per-(feature, class) histograms
+// and per-class sample counts (which may come from the node itself in
+// sequential mode, or from merged worker histograms in parallel mode).
+// It returns true if the leaf was split.
+func (t *Tree) TrySplit(n *Node, hists [][]*Histogram, counts []int64) bool {
+	if !n.leaf || n.depth >= t.params.MaxDepth {
+		return false
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total < int64(t.params.MinLeafSamples) {
+		return false
+	}
+	parentH := entropyI64(counts, total)
+	if parentH == 0 {
+		return false // pure leaf
+	}
+
+	bestGain := 0.0
+	bestFeature := -1
+	bestThreshold := 0.0
+	var bestLeft, bestRight []float64
+
+	for f := 0; f < t.params.Features; f++ {
+		merged := MergeAll(t.params.MaxBins, hists[f]...)
+		if merged.Count() == 0 {
+			continue
+		}
+		for _, u := range merged.Uniform(t.params.Candidates) {
+			left := make([]float64, t.params.Classes)
+			right := make([]float64, t.params.Classes)
+			var nl, nr float64
+			for c := 0; c < t.params.Classes; c++ {
+				h := hists[f][c]
+				if h == nil {
+					continue
+				}
+				l := h.Sum(u)
+				r := h.Count() - l
+				if l < 0 {
+					l = 0
+				}
+				if r < 0 {
+					r = 0
+				}
+				left[c], right[c] = l, r
+				nl += l
+				nr += r
+			}
+			if nl <= 0 || nr <= 0 {
+				continue
+			}
+			gain := parentH - (nl*entropyF(left, nl)+nr*entropyF(right, nr))/(nl+nr)
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = u
+				bestLeft, bestRight = left, right
+			}
+		}
+	}
+	if bestFeature < 0 || bestGain < t.params.MinGain {
+		return false
+	}
+
+	n.leaf = false
+	n.feature = bestFeature
+	n.threshold = bestThreshold
+	n.hists = nil
+	n.counts = nil
+	n.left = t.newLeaf(n.depth+1, argmaxF(bestLeft))
+	n.right = t.newLeaf(n.depth+1, argmaxF(bestRight))
+	t.splits++
+	return true
+}
+
+// entropyI64 is the Shannon entropy of integer class counts.
+func entropyI64(counts []int64, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// entropyF is the Shannon entropy of fractional class masses.
+func entropyF(masses []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, m := range masses {
+		if m <= 0 {
+			continue
+		}
+		p := m / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+func argmaxI64(xs []int64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argmaxF(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,300 @@
+package spdt
+
+import (
+	"testing"
+)
+
+func TestTreeParamsValidation(t *testing.T) {
+	bad := []Params{
+		{Features: 0, Classes: 2},
+		{Features: 2, Classes: 1},
+		{Features: 2, Classes: 2, MaxBins: 1},
+		{Features: 2, Classes: 2, Candidates: 1},
+	}
+	for i, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	tr, err := New(Params{Features: 3, Classes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Params()
+	if p.MaxBins != 32 || p.Candidates != 10 || p.MinLeafSamples != 200 || p.MaxDepth != 8 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestTreeUpdatePanics(t *testing.T) {
+	tr, _ := New(Params{Features: 2, Classes: 2})
+	for _, f := range []func(){
+		func() { tr.Update([]float64{1}, 0) },
+		func() { tr.Update([]float64{1, 2}, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSequentialTreeLearnsThreshold(t *testing.T) {
+	gen := NewDataGen(4, 2, 1, 3, 1)
+	tr, err := New(Params{Features: 4, Classes: 2, MinLeafSamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := gen.Batch(6000)
+	for i := range xs {
+		tr.Update(xs[i], ys[i])
+	}
+	if tr.Splits() == 0 {
+		t.Fatal("tree never split")
+	}
+	tx, ty := gen.Batch(2000)
+	correct := 0
+	for i := range tx {
+		if tr.Predict(tx[i]) == ty[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(tx)); acc < 0.9 {
+		t.Fatalf("sequential accuracy %v < 0.9 (splits=%d)", acc, tr.Splits())
+	}
+	// The first split should be on an informative feature near the
+	// decision boundary (mean shift 3 → boundary ≈ 1.5).
+	root := tr.root
+	if root.leaf {
+		t.Fatal("root still leaf")
+	}
+	if root.feature != 0 {
+		t.Errorf("first split on feature %d, want 0 (the informative one)", root.feature)
+	}
+	if root.threshold < 0.5 || root.threshold > 2.5 {
+		t.Errorf("first threshold %v, want ≈1.5", root.threshold)
+	}
+}
+
+func TestTreeRespectsMaxDepth(t *testing.T) {
+	gen := NewDataGen(3, 2, 3, 2, 2)
+	tr, _ := New(Params{Features: 3, Classes: 2, MinLeafSamples: 50, MaxDepth: 2})
+	xs, ys := gen.Batch(20000)
+	for i := range xs {
+		tr.Update(xs[i], ys[i])
+	}
+	if d := tr.Depth(); d > 2 {
+		t.Fatalf("depth %d exceeds MaxDepth 2", d)
+	}
+}
+
+func TestTreeStructureConsistency(t *testing.T) {
+	gen := NewDataGen(3, 3, 2, 3, 3)
+	tr, _ := New(Params{Features: 3, Classes: 3, MinLeafSamples: 100})
+	xs, ys := gen.Batch(5000)
+	for i := range xs {
+		tr.Update(xs[i], ys[i])
+	}
+	// nodes = 1 + 2·splits; leaves = splits + 1.
+	if tr.Nodes() != 1+2*tr.Splits() {
+		t.Fatalf("nodes %d != 1 + 2·splits %d", tr.Nodes(), tr.Splits())
+	}
+	if got := len(tr.Leaves()); got != tr.Splits()+1 {
+		t.Fatalf("leaves %d != splits+1 %d", got, tr.Splits()+1)
+	}
+	// Every leaf is reachable and classes are in range.
+	for _, l := range tr.Leaves() {
+		if !l.Leaf() {
+			t.Fatal("Leaves returned non-leaf")
+		}
+		if l.class < 0 || l.class >= 3 {
+			t.Fatalf("leaf class %d out of range", l.class)
+		}
+	}
+}
+
+func TestPureLeafNeverSplits(t *testing.T) {
+	tr, _ := New(Params{Features: 1, Classes: 2, MinLeafSamples: 10})
+	for i := 0; i < 1000; i++ {
+		tr.Update([]float64{float64(i % 7)}, 0) // single class: entropy 0
+	}
+	if tr.Splits() != 0 {
+		t.Fatalf("pure stream caused %d splits", tr.Splits())
+	}
+}
+
+func TestParallelTrainerValidation(t *testing.T) {
+	p := Params{Features: 2, Classes: 2}
+	if _, err := NewTrainer(p, 0, ShuffleSamples, 10, 1); err == nil {
+		t.Error("w=0 accepted")
+	}
+	if _, err := NewTrainer(p, 2, ShuffleSamples, 0, 1); err == nil {
+		t.Error("batch=0 accepted")
+	}
+	if _, err := NewTrainer(p, 2, Strategy(99), 10, 1); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	if _, err := NewTrainer(Params{Features: 0, Classes: 2}, 2, ShuffleSamples, 10, 1); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestParallelMatchesSequentialAccuracy(t *testing.T) {
+	// Ben-Haim & Tom-Tov's empirical claim, reproduced at small scale:
+	// the parallel tree's accuracy tracks the sequential tree's.
+	gen := NewDataGen(4, 2, 1, 3, 7)
+	xs, ys := gen.Batch(6000)
+	tx, ty := gen.Batch(2000)
+
+	seq, _ := New(Params{Features: 4, Classes: 2, MinLeafSamples: 300})
+	for i := range xs {
+		seq.Update(xs[i], ys[i])
+	}
+	acc := func(pred func([]float64) int) float64 {
+		c := 0
+		for i := range tx {
+			if pred(tx[i]) == ty[i] {
+				c++
+			}
+		}
+		return float64(c) / float64(len(tx))
+	}
+	seqAcc := acc(seq.Predict)
+
+	for _, strat := range []Strategy{ShuffleSamples, PKGFeatures, KeyFeatures} {
+		par, err := NewTrainer(Params{Features: 4, Classes: 2, MinLeafSamples: 300}, 6, strat, 500, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			par.Train(xs[i], ys[i])
+		}
+		parAcc := acc(par.Predict)
+		if parAcc < seqAcc-0.05 {
+			t.Errorf("%v: parallel accuracy %v well below sequential %v", strat, parAcc, seqAcc)
+		}
+		if par.Tree().Splits() == 0 {
+			t.Errorf("%v: parallel tree never split", strat)
+		}
+		if par.Samples() != int64(len(xs)) {
+			t.Errorf("%v: samples %d", strat, par.Samples())
+		}
+	}
+}
+
+func TestHistogramFootprintOrdering(t *testing.T) {
+	// §VI.B: shuffle keeps W·D·C·L histograms; PKG on features keeps at
+	// most 2·D·C·L, independent of W.
+	const W = 8
+	gen := NewDataGen(6, 2, 2, 3, 13)
+	xs, ys := gen.Batch(4000)
+	run := func(strat Strategy) *Trainer {
+		tr, err := NewTrainer(Params{Features: 6, Classes: 2, MinLeafSamples: 1 << 30}, W, strat, 1<<30, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			tr.Train(xs[i], ys[i])
+		}
+		return tr
+	}
+	sg := run(ShuffleSamples)
+	pkg := run(PKGFeatures)
+	kg := run(KeyFeatures)
+
+	// One leaf (splitting disabled): D·C = 12 triplet slots.
+	dcl := 6 * 2
+	if sg.HistogramCount() != W*dcl {
+		t.Errorf("shuffle footprint %d, want %d (W·D·C·L)", sg.HistogramCount(), W*dcl)
+	}
+	if pkg.HistogramCount() > 2*dcl {
+		t.Errorf("PKG footprint %d exceeds 2·D·C·L = %d", pkg.HistogramCount(), 2*dcl)
+	}
+	if kg.HistogramCount() > dcl {
+		t.Errorf("KG footprint %d exceeds D·C·L = %d", kg.HistogramCount(), dcl)
+	}
+	if !(kg.HistogramCount() <= pkg.HistogramCount() && pkg.HistogramCount() < sg.HistogramCount()) {
+		t.Errorf("footprint ordering violated: %d %d %d",
+			kg.HistogramCount(), pkg.HistogramCount(), sg.HistogramCount())
+	}
+}
+
+func TestMergeInputsOrdering(t *testing.T) {
+	// Aggregation cost: the aggregator merges ≤2 histograms per triplet
+	// under PKG vs up to W under shuffle.
+	const W = 8
+	gen := NewDataGen(4, 2, 1, 3, 19)
+	xs, ys := gen.Batch(3000)
+	run := func(strat Strategy) *Trainer {
+		tr, err := NewTrainer(Params{Features: 4, Classes: 2, MinLeafSamples: 500}, W, strat, 1000, 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			tr.Train(xs[i], ys[i])
+		}
+		return tr
+	}
+	sg, pkg := run(ShuffleSamples), run(PKGFeatures)
+	if pkg.MergeInputs() >= sg.MergeInputs() {
+		t.Errorf("PKG merge inputs %d not below shuffle %d", pkg.MergeInputs(), sg.MergeInputs())
+	}
+}
+
+func TestParallelLoadBalance(t *testing.T) {
+	// With skewed *feature* messages (more informative features appear in
+	// every sample equally here, so loads are near-uniform), PKG must
+	// not be worse than KG on worker load.
+	gen := NewDataGen(8, 2, 2, 3, 29)
+	xs, ys := gen.Batch(2000)
+	run := func(strat Strategy) *Trainer {
+		tr, _ := NewTrainer(Params{Features: 8, Classes: 2, MinLeafSamples: 1 << 30}, 5, strat, 1<<30, 31)
+		for i := range xs {
+			tr.Train(xs[i], ys[i])
+		}
+		return tr
+	}
+	pkg, kg := run(PKGFeatures), run(KeyFeatures)
+	if pkg.Imbalance() > kg.Imbalance()+1 {
+		t.Errorf("PKG imbalance %v above KG %v", pkg.Imbalance(), kg.Imbalance())
+	}
+	var total int64
+	for _, l := range pkg.WorkerLoads() {
+		total += l
+	}
+	if total != int64(len(xs)*8) {
+		t.Errorf("loads sum to %d, want %d", total, len(xs)*8)
+	}
+}
+
+func TestParallelTrainPanics(t *testing.T) {
+	tr, _ := NewTrainer(Params{Features: 2, Classes: 2}, 2, ShuffleSamples, 100, 1)
+	for _, f := range []func(){
+		func() { tr.Train([]float64{1}, 0) },
+		func() { tr.Train([]float64{1, 2}, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkSequentialTreeUpdate(b *testing.B) {
+	gen := NewDataGen(8, 2, 2, 3, 1)
+	tr, _ := New(Params{Features: 8, Classes: 2, MinLeafSamples: 1000})
+	xs, ys := gen.Batch(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % 1024
+		tr.Update(xs[j], ys[j])
+	}
+}

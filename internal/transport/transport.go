@@ -1,0 +1,343 @@
+// Package transport runs partial key grouping across real network
+// boundaries: worker processes listen on TCP, source processes hold one
+// connection per worker and route each key with a partitioner driven by
+// their own local load estimate — nothing but the key ever crosses the
+// wire, which is the paper's whole point: PKG needs no load gossip, no
+// routing-table synchronization and no coordination among sources.
+//
+// The wire protocol is deliberately small: length-free fixed frames,
+// one byte of type followed by an 8-byte little-endian key.
+//
+//	data  frame: 'D' + key     (source → worker, fire and forget)
+//	query frame: 'Q' + key     (client → worker, answered with a count)
+//	count reply: 8-byte count  (worker → client)
+//
+// A distributed point query probes only the key's candidate workers —
+// two under PKG — and sums their partial counts (§VI.A).
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pkgstream/internal/core"
+	"pkgstream/internal/metrics"
+)
+
+// Frame types.
+const (
+	frameData  = 'D'
+	frameQuery = 'Q'
+)
+
+// frameSize is the fixed wire size of every request frame.
+const frameSize = 1 + 8
+
+// Worker is a TCP server holding partial counts for the keys routed to
+// it. It serves any number of concurrent sources and query clients.
+type Worker struct {
+	ln net.Listener
+
+	mu        sync.Mutex
+	counts    map[uint64]int64
+	processed int64
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// ListenWorker starts a worker on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func ListenWorker(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	w := &Worker{
+		ln:     ln,
+		counts: make(map[uint64]int64),
+		closed: make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			select {
+			case <-w.closed:
+				return
+			default:
+				// Transient accept error: keep serving.
+				continue
+			}
+		}
+		w.wg.Add(1)
+		go w.serve(conn)
+	}
+}
+
+func (w *Worker) serve(conn net.Conn) {
+	defer w.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	var buf [frameSize]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return // EOF or peer gone: the stream is done
+		}
+		key := binary.LittleEndian.Uint64(buf[1:])
+		switch buf[0] {
+		case frameData:
+			w.mu.Lock()
+			w.counts[key]++
+			w.processed++
+			w.mu.Unlock()
+		case frameQuery:
+			w.mu.Lock()
+			c := w.counts[key]
+			w.mu.Unlock()
+			var reply [8]byte
+			binary.LittleEndian.PutUint64(reply[:], uint64(c))
+			if _, err := conn.Write(reply[:]); err != nil {
+				return
+			}
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// Processed returns the number of data frames absorbed.
+func (w *Worker) Processed() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.processed
+}
+
+// DistinctKeys returns the number of live partial counters.
+func (w *Worker) DistinctKeys() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.counts)
+}
+
+// Count returns the worker's partial count for key.
+func (w *Worker) Count(key uint64) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.counts[key]
+}
+
+// WaitProcessed blocks until the worker has absorbed at least n data
+// frames or the timeout expires.
+func (w *Worker) WaitProcessed(n int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if w.Processed() >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: worker %s processed %d < %d after %v",
+				w.Addr(), w.Processed(), n, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (w *Worker) Close() error {
+	select {
+	case <-w.closed:
+		return nil
+	default:
+	}
+	close(w.closed)
+	err := w.ln.Close()
+	w.wg.Wait()
+	return err
+}
+
+// Mode selects the source's partitioning strategy.
+type Mode int
+
+// Source partitioning modes.
+const (
+	// ModePKG routes with partial key grouping on a local load estimate.
+	ModePKG Mode = iota
+	// ModeKG routes with a single hash.
+	ModeKG
+	// ModeSG routes round-robin.
+	ModeSG
+)
+
+// Source is a stream source holding one TCP connection per worker and a
+// partitioner over them. Each Source keeps its own local load estimate —
+// parallel sources never talk to each other.
+type Source struct {
+	conns []net.Conn
+	bufs  []*bufio.Writer
+	part  core.Partitioner
+	pkg   *core.PKG
+	view  *metrics.Load
+	sent  int64
+}
+
+// DialSource connects to the given worker addresses. The seed must match
+// across sources so their candidate hash functions agree (the only thing
+// sources share — and it is baked into the binary, not communicated).
+// start decorrelates shuffle round-robins of parallel sources.
+func DialSource(addrs []string, mode Mode, seed uint64, start int) (*Source, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("transport: no worker addresses")
+	}
+	s := &Source{}
+	for _, a := range addrs {
+		conn, err := net.DialTimeout("tcp", a, 5*time.Second)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("transport: dial %s: %w", a, err)
+		}
+		s.conns = append(s.conns, conn)
+		s.bufs = append(s.bufs, bufio.NewWriterSize(conn, 1<<16))
+	}
+	n := len(addrs)
+	switch mode {
+	case ModePKG:
+		s.view = metrics.NewLoad(n)
+		s.pkg = core.NewPKG(n, 2, seed, s.view)
+		s.part = s.pkg
+	case ModeKG:
+		s.part = core.NewKeyGrouping(n, seed)
+	case ModeSG:
+		s.part = core.NewShuffleGrouping(n, start)
+	default:
+		s.Close()
+		return nil, fmt.Errorf("transport: unknown mode %d", mode)
+	}
+	return s, nil
+}
+
+// Send routes one key to its worker.
+func (s *Source) Send(key uint64) error {
+	w := s.part.Route(key)
+	if s.view != nil {
+		s.view.Add(w)
+	}
+	var buf [frameSize]byte
+	buf[0] = frameData
+	binary.LittleEndian.PutUint64(buf[1:], key)
+	if _, err := s.bufs[w].Write(buf[:]); err != nil {
+		return fmt.Errorf("transport: send to worker %d: %w", w, err)
+	}
+	s.sent++
+	return nil
+}
+
+// Sent returns the number of keys sent.
+func (s *Source) Sent() int64 { return s.sent }
+
+// LocalLoads returns this source's local load estimate (nil for KG/SG).
+func (s *Source) LocalLoads() []int64 {
+	if s.view == nil {
+		return nil
+	}
+	return s.view.Snapshot()
+}
+
+// Flush pushes buffered frames to the network.
+func (s *Source) Flush() error {
+	for i, b := range s.bufs {
+		if err := b.Flush(); err != nil {
+			return fmt.Errorf("transport: flush worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes all connections.
+func (s *Source) Close() error {
+	var first error
+	for i, b := range s.bufs {
+		if err := b.Flush(); err != nil && first == nil {
+			first = err
+		}
+		_ = i
+	}
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Candidates returns the key's candidate workers under this source's
+// partitioner (all workers for SG, one for KG, two for PKG).
+func (s *Source) Candidates(key uint64) []int {
+	switch p := s.part.(type) {
+	case *core.PKG:
+		return p.Candidates(key)
+	case *core.KeyGrouping:
+		return []int{p.Route(key)}
+	default:
+		all := make([]int, len(s.conns))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+}
+
+// Query answers a distributed point query for key against the given
+// worker addresses using a fresh connection per probe: it sums the
+// partial counts of the key's candidate workers only.
+func Query(addrs []string, key uint64, candidates []int) (int64, error) {
+	var total int64
+	for _, w := range candidates {
+		if w < 0 || w >= len(addrs) {
+			return 0, fmt.Errorf("transport: candidate %d out of range", w)
+		}
+		c, err := queryOne(addrs[w], key)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func queryOne(addr string, key uint64) (int64, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return 0, fmt.Errorf("transport: query dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	var buf [frameSize]byte
+	buf[0] = frameQuery
+	binary.LittleEndian.PutUint64(buf[1:], key)
+	if _, err := conn.Write(buf[:]); err != nil {
+		return 0, err
+	}
+	var reply [8]byte
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return 0, err
+	}
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(reply[:])), nil
+}

@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pkgstream/internal/rng"
+)
+
+// startWorkers spins up n workers on ephemeral loopback ports.
+func startWorkers(t *testing.T, n int) ([]*Worker, []string) {
+	t.Helper()
+	workers := make([]*Worker, n)
+	addrs := make([]string, n)
+	for i := range workers {
+		w, err := ListenWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		addrs[i] = w.Addr()
+		t.Cleanup(func() { _ = w.Close() })
+	}
+	return workers, addrs
+}
+
+func totalProcessed(ws []*Worker) int64 {
+	var n int64
+	for _, w := range ws {
+		n += w.Processed()
+	}
+	return n
+}
+
+func waitTotal(t *testing.T, ws []*Worker, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for totalProcessed(ws) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers absorbed %d < %d", totalProcessed(ws), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEndToEndCountsOverTCP(t *testing.T) {
+	workers, addrs := startWorkers(t, 5)
+	src, err := DialSource(addrs, ModePKG, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	z := rng.NewZipf(rng.New(1), rng.SolveZipfExponent(2000, 0.09), 2000)
+	truth := map[uint64]int64{}
+	const n = 30_000
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		truth[k]++
+		if err := src.Send(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitTotal(t, workers, n)
+
+	// Every key's 2-probe distributed query equals its true count.
+	for k := uint64(1); k <= 50; k++ {
+		got, err := Query(addrs, k, src.Candidates(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != truth[k] {
+			t.Fatalf("key %d: distributed count %d, want %d", k, got, truth[k])
+		}
+	}
+	// PKG keeps each key on ≤ 2 workers.
+	for k := uint64(1); k <= 50; k++ {
+		if c := src.Candidates(k); len(c) > 2 {
+			t.Fatalf("key %d has %d candidates", k, len(c))
+		}
+	}
+}
+
+func TestPKGBalancesOverTCPWhereKGDoesNot(t *testing.T) {
+	imbalance := func(ws []*Worker) float64 {
+		var max, sum int64
+		for _, w := range ws {
+			p := w.Processed()
+			if p > max {
+				max = p
+			}
+			sum += p
+		}
+		return float64(max) - float64(sum)/float64(len(ws))
+	}
+	run := func(mode Mode) float64 {
+		workers, addrs := startWorkers(t, 5)
+		src, err := DialSource(addrs, mode, 7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		z := rng.NewZipf(rng.New(3), rng.SolveZipfExponent(3000, 0.12), 3000)
+		const n = 40_000
+		for i := 0; i < n; i++ {
+			if err := src.Send(z.Next()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := src.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		waitTotal(t, workers, n)
+		return imbalance(workers)
+	}
+	pkg := run(ModePKG)
+	kg := run(ModeKG)
+	if pkg*5 > kg {
+		t.Fatalf("PKG imbalance %v not well below KG %v over TCP", pkg, kg)
+	}
+}
+
+func TestMultipleIndependentSources(t *testing.T) {
+	// Two sources with private local estimates and zero coordination:
+	// total worker load must still balance (§III.B over a real network).
+	workers, addrs := startWorkers(t, 4)
+	const perSource = 20_000
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			src, err := DialSource(addrs, ModePKG, 99, id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer src.Close()
+			z := rng.NewZipf(rng.New(uint64(id)+10), rng.SolveZipfExponent(1000, 0.1), 1000)
+			for i := 0; i < perSource; i++ {
+				if err := src.Send(z.Next()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := src.Flush(); err != nil {
+				t.Error(err)
+			}
+			if loads := src.LocalLoads(); len(loads) != 4 {
+				t.Errorf("local loads %v", loads)
+			}
+		}(s)
+	}
+	wg.Wait()
+	waitTotal(t, workers, 2*perSource)
+
+	var max, sum int64
+	for _, w := range workers {
+		p := w.Processed()
+		if p > max {
+			max = p
+		}
+		sum += p
+	}
+	imb := float64(max) - float64(sum)/4
+	if imb > 0.01*float64(sum) {
+		t.Fatalf("two uncoordinated sources left imbalance %v of %d", imb, sum)
+	}
+}
+
+func TestShuffleModeRoundRobin(t *testing.T) {
+	workers, addrs := startWorkers(t, 3)
+	src, err := DialSource(addrs, ModeSG, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < 3000; i++ {
+		if err := src.Send(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitTotal(t, workers, 3000)
+	for _, w := range workers {
+		if w.Processed() != 1000 {
+			t.Fatalf("worker %s processed %d, want 1000", w.Addr(), w.Processed())
+		}
+	}
+	if got := src.Candidates(5); len(got) != 3 {
+		t.Fatalf("SG candidates = %v", got)
+	}
+}
+
+func TestQueryUnknownKeyZero(t *testing.T) {
+	_, addrs := startWorkers(t, 2)
+	got, err := Query(addrs, 12345, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("unknown key counted %d", got)
+	}
+	if _, err := Query(addrs, 1, []int{5}); err == nil {
+		t.Fatal("out-of-range candidate accepted")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := DialSource(nil, ModePKG, 1, 0); err == nil {
+		t.Fatal("empty addrs accepted")
+	}
+	if _, err := DialSource([]string{"127.0.0.1:1"}, ModePKG, 1, 0); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	_, addrs := startWorkers(t, 1)
+	if _, err := DialSource(addrs, Mode(99), 1, 0); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestWorkerCloseIdempotentAndUnblocksDial(t *testing.T) {
+	w, err := ListenWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialSource([]string{w.Addr()}, ModePKG, 1, 0); err == nil {
+		t.Fatal("dial to closed worker succeeded")
+	}
+}
+
+func TestProtocolViolationDropsConnection(t *testing.T) {
+	workers, addrs := startWorkers(t, 1)
+	src, err := DialSource(addrs, ModeKG, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid frame, then garbage: the worker keeps the first and drops the
+	// connection on the second without crashing.
+	if err := src.Send(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitTotal(t, workers, 1)
+	if _, err := src.conns[0].Write([]byte{'X', 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	_ = src.Close()
+	// Worker still answers queries afterwards.
+	got, err := Query(addrs, 7, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("count after violation = %d", got)
+	}
+}
+
+func BenchmarkSendOverLoopback(b *testing.B) {
+	w, err := ListenWorker("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	src, err := DialSource([]string{w.Addr()}, ModePKG, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := src.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package wordcount
+
+import (
+	"fmt"
+	"sync"
+
+	"pkgstream/internal/engine"
+	"pkgstream/internal/rng"
+)
+
+// GroupingChoice selects the stream partitioning of the word stream.
+type GroupingChoice string
+
+// The three configurations the paper deploys on Storm (§V Q4).
+const (
+	UsePKG GroupingChoice = "pkg"
+	UseKG  GroupingChoice = "kg"
+	UseSG  GroupingChoice = "sg"
+)
+
+// Config parameterizes a streaming top-k word count topology.
+type Config struct {
+	// Words is the number of words each spout instance emits.
+	Words int
+	// Vocab is the vocabulary size; word w<i> is drawn Zipf-distributed
+	// with the given P1 head probability.
+	Vocab uint64
+	// P1 is the frequency of the most common word.
+	P1 float64
+	// Sources is the spout parallelism.
+	Sources int
+	// Workers is the counter parallelism.
+	Workers int
+	// FlushEvery makes each counter flush its partials downstream after
+	// this many words (count-based stand-in for the paper's T-second
+	// aggregation period; deterministic under test).
+	FlushEvery int
+	// K is the top-k size.
+	K int
+	// Grouping selects KG, SG, or PKG.
+	Grouping GroupingChoice
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// Output collects the result of a topology run.
+type Output struct {
+	mu sync.Mutex
+	// Top is the final top-k.
+	Top []WordCount
+	// TotalWords is the total number of occurrences aggregated.
+	TotalWords int64
+	// PartialsMerged is the number of partial counters the aggregator
+	// consumed.
+	PartialsMerged int64
+	// MaxCounterResidency is the largest number of live partial counters
+	// observed on any single counter instance (memory footprint).
+	MaxCounterResidency int
+}
+
+// wordSpout emits Zipf-distributed words "w<rank>". Each instance seeds
+// its generator from its instance index so parallel sources emit
+// independent sub-streams of the same distribution.
+type wordSpout struct {
+	n     int
+	i     int
+	vocab uint64
+	s     float64
+	seed  uint64
+	z     *rng.Zipf
+}
+
+func (s *wordSpout) Open(ctx *engine.Context) {
+	s.z = rng.NewZipf(rng.NewStream(s.seed, uint64(ctx.Index)), s.s, s.vocab)
+}
+
+func (s *wordSpout) Close() {}
+
+func (s *wordSpout) Next(out engine.Emitter) bool {
+	if s.i >= s.n {
+		return false
+	}
+	out.Emit(engine.Tuple{Key: fmt.Sprintf("w%d", s.z.Next())})
+	s.i++
+	return true
+}
+
+// counterBolt keeps partial counts and flushes every FlushEvery words
+// (and at Cleanup).
+type counterBolt struct {
+	c          *Counter
+	flushEvery int
+	out        *Output
+}
+
+func (b *counterBolt) Prepare(*engine.Context) { b.c = NewCounter() }
+
+func (b *counterBolt) Execute(t engine.Tuple, out engine.Emitter) {
+	if t.Tick {
+		b.flush(out)
+		return
+	}
+	b.c.Add(t.Key)
+	if b.flushEvery > 0 && b.c.Seen() >= int64(b.flushEvery) {
+		b.flush(out)
+	}
+}
+
+func (b *counterBolt) Cleanup(out engine.Emitter) { b.flush(out) }
+
+func (b *counterBolt) flush(out engine.Emitter) {
+	if n := b.c.Len(); n > 0 {
+		b.out.mu.Lock()
+		if n > b.out.MaxCounterResidency {
+			b.out.MaxCounterResidency = n
+		}
+		b.out.mu.Unlock()
+	}
+	for _, wc := range b.c.Flush() {
+		out.Emit(engine.Tuple{Key: wc.Word, Values: engine.Values{wc.Count}})
+	}
+}
+
+// aggregatorBolt merges partials and publishes the final top-k at
+// Cleanup.
+type aggregatorBolt struct {
+	agg *Aggregator
+	k   int
+	out *Output
+}
+
+func (b *aggregatorBolt) Prepare(*engine.Context) { b.agg = NewAggregator() }
+
+func (b *aggregatorBolt) Execute(t engine.Tuple, _ engine.Emitter) {
+	if t.Tick {
+		return
+	}
+	b.agg.Merge(WordCount{Word: t.Key, Count: t.Values[0].(int64)})
+}
+
+func (b *aggregatorBolt) Cleanup(_ engine.Emitter) {
+	b.out.mu.Lock()
+	defer b.out.mu.Unlock()
+	b.out.Top = b.agg.Top(b.k)
+	b.out.TotalWords = b.agg.Total()
+	b.out.PartialsMerged = b.agg.Merged()
+}
+
+// Build assembles the streaming top-k word count topology: word spouts →
+// counters (grouped per Config.Grouping) → a single aggregator. The
+// returned Output is filled when the topology finishes.
+func Build(cfg Config) (*engine.Topology, *Output, error) {
+	if cfg.Words <= 0 || cfg.Vocab == 0 || cfg.Workers <= 0 || cfg.Sources <= 0 {
+		return nil, nil, fmt.Errorf("wordcount: Words, Vocab, Sources and Workers must be positive")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.P1 <= 0 || cfg.P1 >= 1 {
+		return nil, nil, fmt.Errorf("wordcount: P1 = %v out of (0,1)", cfg.P1)
+	}
+	var grouping engine.GroupingFactory
+	switch cfg.Grouping {
+	case UsePKG:
+		grouping = engine.Partial()
+	case UseKG:
+		grouping = engine.Key()
+	case UseSG:
+		grouping = engine.Shuffle()
+	default:
+		return nil, nil, fmt.Errorf("wordcount: unknown grouping %q", cfg.Grouping)
+	}
+
+	out := &Output{}
+	s := rng.SolveZipfExponent(cfg.Vocab, cfg.P1)
+	b := engine.NewBuilder("wordcount-"+string(cfg.Grouping), cfg.Seed)
+	b.AddSpout("words", func() engine.Spout {
+		return &wordSpout{n: cfg.Words, vocab: cfg.Vocab, s: s, seed: cfg.Seed}
+	}, cfg.Sources)
+	b.AddBolt("counter", func() engine.Bolt {
+		return &counterBolt{flushEvery: cfg.FlushEvery, out: out}
+	}, cfg.Workers).Input("words", grouping)
+	b.AddBolt("aggregator", func() engine.Bolt {
+		return &aggregatorBolt{k: cfg.K, out: out}
+	}, 1).Input("counter", engine.Key())
+	top, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return top, out, nil
+}

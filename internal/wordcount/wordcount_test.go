@@ -1,0 +1,270 @@
+package wordcount
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pkgstream/internal/engine"
+	"pkgstream/internal/rng"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Add("the")
+	c.Add("the")
+	c.AddN("cat", 3)
+	if c.Len() != 2 || c.Seen() != 5 {
+		t.Fatalf("Len=%d Seen=%d", c.Len(), c.Seen())
+	}
+	out := c.Flush()
+	if len(out) != 2 {
+		t.Fatalf("flush returned %d entries", len(out))
+	}
+	// Sorted by word.
+	if out[0].Word != "cat" || out[0].Count != 3 || out[1].Word != "the" || out[1].Count != 2 {
+		t.Fatalf("flush = %+v", out)
+	}
+	if c.Len() != 0 || c.Seen() != 0 {
+		t.Fatal("flush did not reset counter")
+	}
+}
+
+func TestAggregatorMerge(t *testing.T) {
+	a := NewAggregator()
+	a.Merge(WordCount{"x", 2})
+	a.MergeAll([]WordCount{{"x", 3}, {"y", 1}})
+	if a.Count("x") != 5 || a.Count("y") != 1 || a.Count("zzz") != 0 {
+		t.Fatalf("counts wrong: x=%d y=%d", a.Count("x"), a.Count("y"))
+	}
+	if a.Total() != 6 || a.Distinct() != 2 || a.Merged() != 3 {
+		t.Fatalf("Total=%d Distinct=%d Merged=%d", a.Total(), a.Distinct(), a.Merged())
+	}
+}
+
+func TestTopOrderingAndTies(t *testing.T) {
+	counts := map[string]int64{"a": 5, "b": 5, "c": 10, "d": 1}
+	top := Top(counts, 3)
+	want := []WordCount{{"c", 10}, {"a", 5}, {"b", 5}}
+	if len(top) != 3 {
+		t.Fatalf("Top(3) = %d entries", len(top))
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("Top = %+v, want %+v", top, want)
+		}
+	}
+	if got := Top(counts, 0); got != nil {
+		t.Fatal("Top(0) should be nil")
+	}
+	if got := Top(counts, 100); len(got) != 4 {
+		t.Fatalf("Top(100) = %d entries", len(got))
+	}
+}
+
+func TestTopMatchesNaiveSort(t *testing.T) {
+	src := rng.New(1)
+	f := func(n uint8, k uint8) bool {
+		counts := map[string]int64{}
+		for i := 0; i < int(n); i++ {
+			counts[fmt.Sprintf("w%d", src.Intn(30))] += int64(src.Intn(20))
+		}
+		kk := int(k%10) + 1
+		top := Top(counts, kk)
+		// Verify: sorted desc, tie alphabetical, and no excluded entry
+		// beats the last included one.
+		for i := 1; i < len(top); i++ {
+			if less(top[i-1], top[i]) {
+				return false
+			}
+		}
+		if len(top) < kk && len(top) != len(counts) {
+			return false
+		}
+		if len(top) == 0 {
+			return len(counts) == 0
+		}
+		last := top[len(top)-1]
+		inTop := map[string]bool{}
+		for _, wc := range top {
+			inTop[wc.Word] = true
+		}
+		for w, c := range counts {
+			if !inTop[w] && less(last, WordCount{w, c}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	base := Config{Words: 100, Vocab: 50, P1: 0.1, Sources: 1, Workers: 2, Grouping: UsePKG}
+	bad := []func(*Config){
+		func(c *Config) { c.Words = 0 },
+		func(c *Config) { c.Vocab = 0 },
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.Sources = 0 },
+		func(c *Config) { c.P1 = 0 },
+		func(c *Config) { c.P1 = 1 },
+		func(c *Config) { c.Grouping = "nope" },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, _, err := Build(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// runTopology builds and runs a word count topology, returning the output
+// and per-counter loads.
+func runTopology(t *testing.T, cfg Config) (*Output, []int64) {
+	t.Helper()
+	top, out, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 256})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out, rt.Stats().Loads("counter")
+}
+
+func TestEndToEndCountsExact(t *testing.T) {
+	// Whatever the grouping, the aggregated totals must equal the number
+	// of emitted words, and the top-1 word must be the Zipf head.
+	for _, g := range []GroupingChoice{UsePKG, UseKG, UseSG} {
+		cfg := Config{
+			Words: 20000, Vocab: 2000, P1: 0.09, Sources: 2, Workers: 5,
+			FlushEvery: 500, K: 10, Grouping: g, Seed: 42,
+		}
+		out, _ := runTopology(t, cfg)
+		wantTotal := int64(cfg.Words * cfg.Sources)
+		if out.TotalWords != wantTotal {
+			t.Errorf("%s: aggregated %d words, want %d", g, out.TotalWords, wantTotal)
+		}
+		if len(out.Top) != 10 {
+			t.Errorf("%s: top has %d entries", g, len(out.Top))
+		}
+		if out.Top[0].Word != "w1" {
+			t.Errorf("%s: top word = %s, want w1", g, out.Top[0].Word)
+		}
+		// Top-1 frequency ≈ p1.
+		frac := float64(out.Top[0].Count) / float64(out.TotalWords)
+		if frac < 0.06 || frac > 0.12 {
+			t.Errorf("%s: top word fraction %v, want ≈0.09", g, frac)
+		}
+	}
+}
+
+func TestGroupingsAgreeOnTotals(t *testing.T) {
+	// The same config under different groupings must produce identical
+	// aggregate histograms (same seed → same emitted words).
+	mk := func(g GroupingChoice) *Output {
+		out, _ := runTopology(t, Config{
+			Words: 10000, Vocab: 1000, P1: 0.08, Sources: 1, Workers: 4,
+			FlushEvery: 300, K: 20, Grouping: g, Seed: 7,
+		})
+		return out
+	}
+	pkg, kg, sg := mk(UsePKG), mk(UseKG), mk(UseSG)
+	if pkg.TotalWords != kg.TotalWords || kg.TotalWords != sg.TotalWords {
+		t.Fatalf("totals differ: %d %d %d", pkg.TotalWords, kg.TotalWords, sg.TotalWords)
+	}
+	for i := range pkg.Top {
+		if pkg.Top[i] != kg.Top[i] || kg.Top[i] != sg.Top[i] {
+			t.Fatalf("top-k differ at %d: %+v %+v %+v", i, pkg.Top[i], kg.Top[i], sg.Top[i])
+		}
+	}
+}
+
+func TestPKGBalancesCountersBetterThanKG(t *testing.T) {
+	cfg := Config{
+		Words: 30000, Vocab: 3000, P1: 0.15, Sources: 2, Workers: 5,
+		FlushEvery: 1000, K: 5, Seed: 11,
+	}
+	imbalance := func(loads []int64) float64 {
+		var max, sum int64
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+			sum += l
+		}
+		return float64(max) - float64(sum)/float64(len(loads))
+	}
+	cfg.Grouping = UseKG
+	_, kgLoads := runTopology(t, cfg)
+	cfg.Grouping = UsePKG
+	_, pkgLoads := runTopology(t, cfg)
+	if imbalance(pkgLoads)*3 > imbalance(kgLoads) {
+		t.Fatalf("PKG counter imbalance %v not well below KG %v",
+			imbalance(pkgLoads), imbalance(kgLoads))
+	}
+}
+
+func TestAggregationOverheadOrdering(t *testing.T) {
+	// Partials merged: KG flushes each word from exactly one worker; PKG
+	// from ≤2; SG up to W. With several flush rounds the ordering shows
+	// in total merged partials.
+	mk := func(g GroupingChoice) int64 {
+		out, _ := runTopology(t, Config{
+			Words: 30000, Vocab: 500, P1: 0.08, Sources: 1, Workers: 8,
+			FlushEvery: 2000, K: 5, Grouping: g, Seed: 3,
+		})
+		return out.PartialsMerged
+	}
+	kg, pkg, sg := mk(UseKG), mk(UsePKG), mk(UseSG)
+	if !(kg <= pkg && pkg < sg) {
+		t.Fatalf("partials merged ordering KG ≤ PKG < SG violated: %d %d %d", kg, pkg, sg)
+	}
+}
+
+func TestMemoryResidencyOrdering(t *testing.T) {
+	// Max live counters per worker: SG replicates hot words everywhere,
+	// so its per-worker residency is the largest.
+	mk := func(g GroupingChoice) int {
+		out, _ := runTopology(t, Config{
+			Words: 40000, Vocab: 2000, P1: 0.08, Sources: 1, Workers: 4,
+			FlushEvery: 0 /* only final flush */, K: 5, Grouping: g, Seed: 5,
+		})
+		return out.MaxCounterResidency
+	}
+	kg, pkg, sg := mk(UseKG), mk(UsePKG), mk(UseSG)
+	if !(pkg <= 2*kg) {
+		t.Fatalf("PKG residency %d above 2×KG %d", pkg, kg)
+	}
+	if !(sg >= pkg) {
+		t.Fatalf("SG residency %d below PKG %d", sg, pkg)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter()
+	words := make([]string, 1000)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(words[i%1000])
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	counts := map[string]int64{}
+	src := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		counts[fmt.Sprintf("w%d", i)] = int64(src.Intn(1000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Top(counts, 10)
+	}
+}

@@ -1,0 +1,122 @@
+package pkgstream
+
+import (
+	"pkgstream/internal/graphstream"
+	"pkgstream/internal/naivebayes"
+	"pkgstream/internal/spdt"
+)
+
+// Machine-learning application surface (§VI.A, §VI.B) and the graph
+// streaming application (§V Q3).
+
+// Naive Bayes (§VI.A).
+
+// NBSample is one training document (bag of tokens + class).
+type NBSample = naivebayes.Sample
+
+// NBModel is the exact sequential naive Bayes baseline.
+type NBModel = naivebayes.Model
+
+// NBDistributed is the vertically parallelized classifier: per-token
+// counters spread over workers; PKG queries probe two workers per token.
+type NBDistributed = naivebayes.Distributed
+
+// NBStrategy selects the token-routing strategy.
+type NBStrategy = naivebayes.Strategy
+
+// Naive Bayes routing strategies.
+const (
+	// NBByPKG tracks each token on at most two workers.
+	NBByPKG = naivebayes.ByPKG
+	// NBByKey tracks each token on exactly one worker.
+	NBByKey = naivebayes.ByKey
+	// NBByShuffle spreads tokens over all workers (broadcast queries).
+	NBByShuffle = naivebayes.ByShuffle
+)
+
+// NewNBModel returns an empty sequential model.
+func NewNBModel(classes int, vocab uint64, alpha float64) *NBModel {
+	return naivebayes.NewModel(classes, vocab, alpha)
+}
+
+// NewNBDistributed returns a distributed classifier over w workers.
+func NewNBDistributed(w, classes int, vocab uint64, alpha float64, strategy NBStrategy, seed uint64) *NBDistributed {
+	return naivebayes.NewDistributed(w, classes, vocab, alpha, strategy, seed)
+}
+
+// NBGenerator produces synthetic text-like classification data.
+type NBGenerator = naivebayes.Generator
+
+// NewNBGenerator returns a deterministic sample generator.
+func NewNBGenerator(classes int, vocab uint64, docLen int, p1 float64, seed uint64) *NBGenerator {
+	return naivebayes.NewGenerator(classes, vocab, docLen, p1, seed)
+}
+
+// Streaming parallel decision tree (§VI.B).
+
+// SPDTHistogram is the Ben-Haim & Tom-Tov mergeable histogram.
+type SPDTHistogram = spdt.Histogram
+
+// SPDTParams configures a streaming decision tree.
+type SPDTParams = spdt.Params
+
+// SPDTTree is the sequential streaming decision tree.
+type SPDTTree = spdt.Tree
+
+// SPDTTrainer is the parallel trainer (workers + aggregator).
+type SPDTTrainer = spdt.Trainer
+
+// SPDTStrategy selects the data-parallelization strategy.
+type SPDTStrategy = spdt.Strategy
+
+// SPDT parallelization strategies.
+const (
+	// SPDTShuffle sends whole samples round-robin (W·D·C·L histograms).
+	SPDTShuffle = spdt.ShuffleSamples
+	// SPDTPKG routes per-feature sub-messages with PKG (2·D·C·L).
+	SPDTPKG = spdt.PKGFeatures
+	// SPDTKey routes per-feature sub-messages by hash (D·C·L).
+	SPDTKey = spdt.KeyFeatures
+)
+
+// NewSPDTHistogram returns an empty histogram with the given bin budget.
+func NewSPDTHistogram(maxBins int) *SPDTHistogram { return spdt.NewHistogram(maxBins) }
+
+// NewSPDTTree returns a single-leaf sequential tree.
+func NewSPDTTree(params SPDTParams) (*SPDTTree, error) { return spdt.New(params) }
+
+// NewSPDTTrainer returns a parallel trainer over w workers syncing every
+// batchSize samples.
+func NewSPDTTrainer(params SPDTParams, w int, strategy SPDTStrategy, batchSize int, seed uint64) (*SPDTTrainer, error) {
+	return spdt.NewTrainer(params, w, strategy, batchSize, seed)
+}
+
+// SPDTDataGen produces synthetic Gaussian classification data.
+type SPDTDataGen = spdt.DataGen
+
+// NewSPDTDataGen returns a deterministic generator (informative features
+// get their mean shifted by shift per class).
+func NewSPDTDataGen(features, classes, informative int, shift float64, seed uint64) *SPDTDataGen {
+	return spdt.NewDataGen(features, classes, informative, shift, seed)
+}
+
+// Graph streaming (§V Q3).
+
+// InDegree is the distributed streaming in-degree computation with
+// PKG-partitioned workers and optionally key-grouped (skewed) sources.
+type InDegree = graphstream.InDegree
+
+// InDegreeConfig parameterizes an in-degree run.
+type InDegreeConfig = graphstream.Config
+
+// Source assignment choices for InDegree.
+const (
+	// InDegreeUniformSources deals edges to sources round-robin.
+	InDegreeUniformSources = graphstream.UniformSources
+	// InDegreeKeyedSources key-groups edges onto sources by source
+	// vertex (the paper's skewed-sources robustness setting).
+	InDegreeKeyedSources = graphstream.KeyedSources
+)
+
+// NewInDegree returns an empty in-degree computation.
+func NewInDegree(cfg InDegreeConfig) *InDegree { return graphstream.New(cfg) }

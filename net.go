@@ -1,0 +1,59 @@
+package pkgstream
+
+import (
+	"pkgstream/internal/rebalance"
+	"pkgstream/internal/transport"
+)
+
+// Network transport surface: PKG across real TCP boundaries, plus the
+// rebalancing baseline discussed (and rejected) in the paper's §II.B.
+
+// NetWorker is a TCP server holding partial counts for routed keys.
+type NetWorker = transport.Worker
+
+// NetSource is a TCP client routing keys to workers with a partitioner
+// driven by its own local load estimate.
+type NetSource = transport.Source
+
+// NetMode selects the network source's partitioning strategy.
+type NetMode = transport.Mode
+
+// Network partitioning modes.
+const (
+	// NetPKG routes with partial key grouping on a local load estimate.
+	NetPKG = transport.ModePKG
+	// NetKG routes with a single hash.
+	NetKG = transport.ModeKG
+	// NetSG routes round-robin.
+	NetSG = transport.ModeSG
+)
+
+// ListenNetWorker starts a worker on addr ("127.0.0.1:0" for ephemeral).
+func ListenNetWorker(addr string) (*NetWorker, error) {
+	return transport.ListenWorker(addr)
+}
+
+// DialNetSource connects a source to the given worker addresses. All
+// sources of a stream must share the seed (their hash functions must
+// agree); start decorrelates shuffle round-robins.
+func DialNetSource(addrs []string, mode NetMode, seed uint64, start int) (*NetSource, error) {
+	return transport.DialSource(addrs, mode, seed, start)
+}
+
+// NetQuery answers a distributed point query: it probes the listed
+// candidate workers (two under PKG) and sums their partial counts.
+func NetQuery(addrs []string, key uint64, candidates []int) (int64, error) {
+	return transport.Query(addrs, key, candidates)
+}
+
+// RebalancingKG is key grouping with Flux-style periodic key migration —
+// the §II.B alternative, for comparison against PKG.
+type RebalancingKG = rebalance.Partitioner
+
+// RebalanceConfig parameterizes RebalancingKG.
+type RebalanceConfig = rebalance.Config
+
+// NewRebalancingKG returns a rebalancing key-grouping partitioner.
+func NewRebalancingKG(cfg RebalanceConfig) (*RebalancingKG, error) {
+	return rebalance.New(cfg)
+}

@@ -1,0 +1,110 @@
+// Package pkgstream is a from-scratch Go reproduction of
+//
+//	"The Power of Both Choices: Practical Load Balancing for
+//	 Distributed Stream Processing Engines"
+//	 Nasir, De Francisci Morales, García-Soriano, Kourtellis, Serafini
+//	 (ICDE 2015, arXiv:1504.00788)
+//
+// It provides PARTIAL KEY GROUPING (PKG) — power of two choices with key
+// splitting and local load estimation — together with everything needed
+// to use and evaluate it:
+//
+//   - stream partitioners: PKG (Greedy-d), key grouping, shuffle
+//     grouping, static PoTC, On-Greedy and Off-Greedy baselines;
+//   - a miniature Storm-like stream processing engine with pluggable
+//     groupings (PKG is a drop-in GroupingFactory);
+//   - synthetic datasets matched to the paper's Table I statistics;
+//   - the simulation and cluster harnesses that regenerate every table
+//     and figure of the paper's evaluation (see cmd/pkgbench);
+//   - the paper's §VI applications: streaming top-k word count,
+//     SpaceSaving heavy hitters, naive Bayes, and the streaming parallel
+//     decision tree (internal packages, surfaced through examples/).
+//
+// Quick start — balance a skewed stream over 10 workers:
+//
+//	view := pkgstream.NewLoad(10)          // local load estimate
+//	p := pkgstream.NewPKG(10, 2, seed, view)
+//	w := p.Route(key)                      // least-loaded of 2 candidates
+//	view.Add(w)                            // charge the local estimate
+//
+// Each source keeps its own view (local load estimation): the paper
+// proves balancing every source's own portion balances the total.
+package pkgstream
+
+import (
+	"pkgstream/internal/core"
+	"pkgstream/internal/metrics"
+)
+
+// Partitioner routes messages, identified by 64-bit keys, to workers.
+type Partitioner = core.Partitioner
+
+// PKG is partial key grouping: the power of d choices (default 2) with
+// key splitting, deciding by a load view. See core.PKG.
+type PKG = core.PKG
+
+// KeyGrouping is single-choice hash partitioning (the KG baseline).
+type KeyGrouping = core.KeyGrouping
+
+// ShuffleGrouping is round-robin partitioning (the SG baseline).
+type ShuffleGrouping = core.ShuffleGrouping
+
+// PoTC is the power of two choices without key splitting: per-key routing
+// table, no migration.
+type PoTC = core.PoTC
+
+// OnGreedy assigns each new key to the globally least-loaded worker.
+type OnGreedy = core.OnGreedy
+
+// OffGreedy is the clairvoyant LPT baseline built from exact frequencies.
+type OffGreedy = core.OffGreedy
+
+// KeyFreq is a key with its total stream frequency (OffGreedy input).
+type KeyFreq = core.KeyFreq
+
+// Load is a per-worker load vector: the true loads of a stream edge, or a
+// source's local estimate of them.
+type Load = metrics.Load
+
+// NewLoad returns a zeroed load vector over n workers.
+func NewLoad(n int) *Load { return metrics.NewLoad(n) }
+
+// NewPKG returns a PKG partitioner over `workers` workers with `choices`
+// hash choices (the paper uses 2), deciding by `view`. Give every
+// source its own view updated with its own routed messages (local load
+// estimation), or share the true loads for a global oracle.
+func NewPKG(workers, choices int, seed uint64, view *Load) *PKG {
+	return core.NewPKG(workers, choices, seed, view)
+}
+
+// NewKeyGrouping returns hash partitioning over `workers` workers.
+func NewKeyGrouping(workers int, seed uint64) *KeyGrouping {
+	return core.NewKeyGrouping(workers, seed)
+}
+
+// NewShuffleGrouping returns round-robin partitioning starting at offset
+// `start` (vary per source).
+func NewShuffleGrouping(workers, start int) *ShuffleGrouping {
+	return core.NewShuffleGrouping(workers, start)
+}
+
+// NewPoTC returns static power-of-two-choices partitioning deciding by
+// view (typically the true loads; PoTC requires global knowledge).
+func NewPoTC(workers int, seed uint64, view *Load) *PoTC {
+	return core.NewPoTC(workers, seed, view)
+}
+
+// NewOnGreedy returns the online greedy baseline.
+func NewOnGreedy(workers int, view *Load) *OnGreedy {
+	return core.NewOnGreedy(workers, view)
+}
+
+// NewOffGreedy returns the offline greedy (LPT) baseline for a known
+// frequency distribution.
+func NewOffGreedy(workers int, seed uint64, freqs []KeyFreq) *OffGreedy {
+	return core.NewOffGreedy(workers, seed, freqs)
+}
+
+// Jaccard returns the routing agreement between two destination traces:
+// matches / (2m − matches).
+func Jaccard(a, b []int32) float64 { return metrics.Jaccard(a, b) }
