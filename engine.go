@@ -65,6 +65,15 @@ func NewRuntime(top *Topology, opts RuntimeOptions) *Runtime {
 	return engine.NewRuntime(top, opts)
 }
 
+// GroupRouter exposes a coordination-free strategy of the shared
+// routing core as an engine grouping: one router per emitting instance,
+// with a per-emitter load view for PKG. d is the number of choices for
+// StrategyPKG and is ignored otherwise. Only StrategyKG, StrategySG and
+// StrategyPKG are accepted: the table-keeping strategies (PoTC,
+// OnGreedy, OffGreedy) need state shared across emitters — exactly the
+// coordination PKG removes — and panic at construction.
+func GroupRouter(s Strategy, d int) GroupingFactory { return engine.Router(s, d) }
+
 // GroupPartial is PARTIAL KEY GROUPING as an engine grouping: two hash
 // choices, per-emitter local load estimation, no coordination.
 func GroupPartial() GroupingFactory { return engine.Partial() }

@@ -1,0 +1,3 @@
+module pkgstream
+
+go 1.24

@@ -30,39 +30,30 @@ import (
 	"container/heap"
 	"fmt"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/dataset"
 	"pkgstream/internal/hash"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/route"
 )
 
-// Method selects the partitioning strategy at the source.
-type Method int
+// Method selects the partitioning strategy at the source. It is the
+// shared strategy type of the routing core — cluster no longer keeps its
+// own enumeration.
+type Method = route.Strategy
 
-// The three strategies compared in Figure 5.
+// The three strategies compared in Figure 5. The numeric values follow
+// the shared Strategy ordering (KG=0, SG=1, PKG=2), which differs from
+// this package's historical one (PKG was 1, SG was 2): always use the
+// named constants, never raw integers.
 const (
 	// KG is key grouping: hash once; counters are running totals that
 	// are never flushed (the periodic top-k report is negligible).
-	KG Method = iota
+	KG = route.StrategyKG
 	// PKG is partial key grouping with the source's local load estimate.
-	PKG
+	PKG = route.StrategyPKG
 	// SG is shuffle grouping.
-	SG
+	SG = route.StrategySG
 )
-
-// String returns the method label.
-func (m Method) String() string {
-	switch m {
-	case KG:
-		return "KG"
-	case PKG:
-		return "PKG"
-	case SG:
-		return "SG"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-}
 
 // Params configures one simulated deployment.
 type Params struct {
@@ -242,17 +233,17 @@ func Run(p Params) (Result, error) {
 		return Result{}, err
 	}
 
-	// Source-side partitioner with local load estimation.
+	// Source-side router with local load estimation.
 	view := metrics.NewLoad(p.Workers)
 	hashSeed := hash.Fmix64(p.Seed + 0x9e3779b97f4a7c15)
-	var part core.Partitioner
+	var part route.Router
 	switch p.Method {
 	case KG:
-		part = core.NewKeyGrouping(p.Workers, hashSeed)
+		part = route.NewKeyGrouping(p.Workers, hashSeed)
 	case PKG:
-		part = core.NewPKG(p.Workers, 2, hashSeed, view)
+		part = route.NewPKG(p.Workers, 2, hashSeed, view)
 	case SG:
-		part = core.NewShuffleGrouping(p.Workers, 0)
+		part = route.NewShuffleGrouping(p.Workers, 0)
 	default:
 		return Result{}, fmt.Errorf("cluster: unknown method %v", p.Method)
 	}

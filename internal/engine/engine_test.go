@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pkgstream/internal/rng"
+	"pkgstream/internal/route"
 )
 
 // sliceSpout emits a fixed sequence of keys.
@@ -654,5 +655,219 @@ func BenchmarkEngineShuffleThroughput(b *testing.B) {
 	b.ResetTimer()
 	if err := NewRuntime(top, Options{QueueSize: 4096}).Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+func TestPartialNMoreThanEightChoicesNotTruncated(t *testing.T) {
+	// Regression: the seed engine's hand-rolled grouping drew candidates
+	// into a fixed [8]int buffer, silently capping Greedy-d at d = 8.
+	// Under the shared routing core a hot key must cycle through all d of
+	// its candidates (each Select charges the emitter's local view, so
+	// repeats of one key round-robin its candidate set).
+	const d, n = 12, 16
+	g := PartialN(d)(n, 5, 0)
+	seen := map[int]bool{}
+	for i := 0; i < 10*d; i++ {
+		dst := g.Select(Tuple{Key: "hot"})
+		if dst < 0 || dst >= n {
+			t.Fatalf("Select returned %d out of range", dst)
+		}
+		seen[dst] = true
+	}
+	if len(seen) != d {
+		t.Fatalf("hot key reached %d distinct instances, want all %d candidates", len(seen), d)
+	}
+}
+
+func TestRouterValidatesAtConstruction(t *testing.T) {
+	// Misconfiguration must fail at the Router() call site — the returned
+	// factory runs inside instance goroutines, where a panic would kill
+	// the process instead of surfacing through Runtime.Run.
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic at construction", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("unknown strategy", func() { Router(route.Strategy(42), 2) })
+	mustPanic("off-greedy", func() { Router(route.StrategyOffGreedy, 2) })
+	mustPanic("negative d", func() { Router(route.StrategyPKG, -1) })
+	// Table-keeping strategies need state shared across emitters; a
+	// per-emitter instance would silently break their single-destination
+	// contract, so they are rejected too.
+	mustPanic("potc", func() { Router(route.StrategyPoTC, 2) })
+	mustPanic("on-greedy", func() { Router(route.StrategyOnGreedy, 0) })
+}
+
+func TestRouteKeyRecomputedAfterRekey(t *testing.T) {
+	tu := Tuple{Key: "alpha"}
+	h1 := tu.RouteKey()
+	tu.Key = "beta" // rekey-and-forward pattern: cached hash must refresh
+	if tu.RouteKey() == h1 {
+		t.Fatal("stale KeyHash survived a rekey")
+	}
+	fresh := Tuple{Key: "beta"}
+	if tu.RouteKey() != fresh.RouteKey() {
+		t.Fatal("rekeyed tuple hashes differently from a fresh tuple")
+	}
+	// Integer-keyed tuples (no Key string) pass their explicit hash
+	// through untouched.
+	iv := Tuple{KeyHash: 42}
+	if iv.RouteKey() != 42 {
+		t.Fatalf("explicit KeyHash = %d, want 42", iv.RouteKey())
+	}
+}
+
+// rekeyWhere runs src → mid → sink(Key()) and records which sink
+// instance saw each key. When rekey is true the mid bolt rewrites the
+// key before forwarding; otherwise the spout emits the final keys and
+// mid forwards untouched. Identical names and topology seed mean both
+// variants share every edge seed, so placements must agree.
+func rekeyWhere(t *testing.T, keys []string, rekey bool) map[string]int {
+	t.Helper()
+	var mu sync.Mutex
+	where := map[string]int{}
+	spoutKeys := keys
+	if !rekey {
+		spoutKeys = make([]string, len(keys))
+		for i, k := range keys {
+			spoutKeys[i] = "re-" + k
+		}
+	}
+	b := NewBuilder("rekey", 17)
+	b.AddSpout("src", func() Spout { return &sliceSpout{keys: spoutKeys} }, 1)
+	b.AddBolt("mid", func() Bolt {
+		return BoltFunc(func(tu Tuple, out Emitter) {
+			if rekey {
+				tu.Key = "re-" + tu.Key
+			}
+			out.Emit(tu)
+		})
+	}, 2).Input("src", Key())
+	b.AddBolt("sink", func() Bolt {
+		var idx int
+		return &ctxBolt{onPrepare: func(c *Context) { idx = c.Index }, onExec: func(tu Tuple, _ Emitter) {
+			mu.Lock()
+			where[tu.Key] = idx
+			mu.Unlock()
+		}}
+	}, 7).Input("mid", Key())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(top, Options{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return where
+}
+
+func TestRekeyedTupleRoutesByNewKey(t *testing.T) {
+	// A bolt that rewrites Key on a received tuple and forwards it must
+	// route by the new key: the KeyHash cached by the upstream emitter
+	// must not leak through the rekey. Compare sink placement against a
+	// run where the final keys are emitted directly.
+	keys := zipfKeys(3000, 14)
+	rekeyed := rekeyWhere(t, keys, true)
+	direct := rekeyWhere(t, keys, false)
+	if len(rekeyed) != len(direct) {
+		t.Fatalf("key sets differ: %d vs %d", len(rekeyed), len(direct))
+	}
+	for k, inst := range rekeyed {
+		if direct[k] != inst {
+			t.Fatalf("key %s: rekeyed route %d != fresh route %d (stale KeyHash?)",
+				k, inst, direct[k])
+		}
+	}
+}
+
+func TestRouteKeyClearedKeyRoutesLikeEmptyKey(t *testing.T) {
+	// Clearing Key after a hash was cached must route like a fresh
+	// empty-key tuple, not by the previous key's hash.
+	tu := Tuple{Key: "x"}
+	tu.RouteKey()
+	tu.Key = ""
+	fresh := Tuple{Key: ""}
+	if tu.RouteKey() != fresh.RouteKey() {
+		t.Fatalf("cleared key routes by %d, fresh empty key by %d",
+			tu.RouteKey(), fresh.RouteKey())
+	}
+}
+
+func TestBatchSizeClampedToQueueSize(t *testing.T) {
+	// QueueSize is the caller's backpressure budget: a larger BatchSize
+	// must not inflate per-edge buffering past it.
+	var mu sync.Mutex
+	var got []Tuple
+	ticks := 0
+	b := NewBuilder("clamp", 1)
+	b.AddSpout("src", func() Spout { return &sliceSpout{keys: zipfKeys(1000, 15)} }, 1)
+	b.AddBolt("sink", func() Bolt { return &collectBolt{mu: &mu, got: &got, ticks: &ticks} }, 2).
+		Input("src", Shuffle())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(top, Options{QueueSize: 8, BatchSize: 512})
+	if rt.opts.BatchSize != 8 {
+		t.Fatalf("BatchSize = %d, want clamp to QueueSize 8", rt.opts.BatchSize)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("delivered %d tuples, want 1000", len(got))
+	}
+}
+
+func TestForwardedTickFlushesPartialBatch(t *testing.T) {
+	// A bolt forwarding a tick downstream must not leave it buffered
+	// behind a partial batch: the tick (and the data before it, in edge
+	// order) ships immediately.
+	var mu sync.Mutex
+	var got []Tuple
+	ticks := 0
+	b := NewBuilder("tickfwd", 1)
+	b.AddSpout("src", func() Spout { return &sliceSpout{keys: []string{"a", "b", "c"}} }, 1)
+	b.AddBolt("fwd", func() Bolt {
+		n := 0
+		return BoltFunc(func(tu Tuple, out Emitter) {
+			out.Emit(tu)
+			n++
+			if n == 3 {
+				out.Emit(Tuple{Tick: true}) // cascade a flush signal
+			}
+		})
+	}, 1).Input("src", Shuffle())
+	b.AddBolt("sink", func() Bolt { return &collectBolt{mu: &mu, got: &got, ticks: &ticks} }, 1).
+		Input("fwd", Shuffle())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRuntime(top, Options{QueueSize: 1024, BatchSize: 64}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ticks != 1 || len(got) != 3 {
+		t.Fatalf("sink saw %d data + %d ticks, want 3 + 1", len(got), ticks)
+	}
+}
+
+func TestRouteKeyPreservesExplicitHashAfterStringKey(t *testing.T) {
+	// String→integer key conversion mid-topology: a bolt receives a
+	// string-keyed tuple (hash already cached by the upstream emitter),
+	// clears Key and sets its own KeyHash. The explicit hash must win
+	// over both the stale cache and the empty-key rehash.
+	tu := Tuple{Key: "word"}
+	tu.RouteKey()
+	tu.Key = ""
+	tu.KeyHash = 42
+	if got := tu.RouteKey(); got != 42 {
+		t.Fatalf("explicit KeyHash after conversion = %d, want 42", got)
 	}
 }

@@ -1,7 +1,9 @@
 package engine
 
 import (
-	"pkgstream/internal/hash"
+	"fmt"
+
+	"pkgstream/internal/route"
 )
 
 // Grouping routes one tuple to a downstream instance. Select returns the
@@ -23,98 +25,110 @@ const BroadcastAll = -1
 // the emitting instance index (used to decorrelate round-robin starts).
 type GroupingFactory func(n int, seed uint64, emitter int) Grouping
 
+// Router exposes a coordination-free strategy of the shared routing
+// core (internal/route) as an engine grouping: the returned factory
+// builds one router per emitting instance, backed by a per-emitter load
+// view for PKG (local load estimation, §III.B). d is the number of
+// choices for PKG and is ignored by the other strategies.
+//
+// Only KG, SG and PKG are accepted — precisely the strategies whose
+// decisions need no state shared across emitters. PoTC and OnGreedy
+// require a key→worker table agreed on by every emitter (the
+// coordination cost the paper's key splitting removes), so running them
+// per-emitter would silently break their single-destination contract;
+// OffGreedy additionally needs the whole key-frequency distribution up
+// front. All three are rejected here.
+func Router(s route.Strategy, d int) GroupingFactory {
+	// Validate here, synchronously: the returned factory runs inside the
+	// runtime's instance goroutines, where a panic would kill the process
+	// instead of surfacing at the topology-construction call site.
+	switch s {
+	case route.StrategyKG, route.StrategySG, route.StrategyPKG:
+	case route.StrategyPoTC, route.StrategyOnGreedy:
+		panic(fmt.Sprintf("engine: %v needs a routing table shared across emitters and cannot run as a per-emitter streaming grouping", s))
+	case route.StrategyOffGreedy:
+		panic("engine: OffGreedy is clairvoyant and cannot run as a streaming grouping")
+	default:
+		panic(fmt.Sprintf("engine: unknown routing strategy %v", s))
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("engine: Router with negative d %d", d))
+	}
+	return func(n int, seed uint64, emitter int) Grouping {
+		cfg := route.Config{Strategy: s, Workers: n, Seed: seed, D: d, Start: emitter}
+		if s.NeedsView() {
+			cfg.View = route.NewLoad(n)
+		}
+		r, err := route.New(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("engine: %v", err))
+		}
+		return &routerGrouping{r: r, view: cfg.View, oblivious: s == route.StrategySG}
+	}
+}
+
+// routerGrouping adapts a shared route.Router to the Grouping interface:
+// it routes on the tuple's cached 64-bit key hash and charges the choice
+// to this emitter's own load view (when the strategy keeps one). This —
+// plus the route package itself — is the entire engine-side
+// implementation of every key-based strategy.
+type routerGrouping struct {
+	r         route.Router
+	view      *route.Load
+	oblivious bool // the router never reads the key (shuffle)
+}
+
+func (g *routerGrouping) Select(t Tuple) int {
+	var key uint64
+	if !g.oblivious {
+		key = t.RouteKey()
+	}
+	w := g.r.Route(key)
+	if g.view != nil {
+		g.view.Add(w)
+	}
+	return w
+}
+
+// keyOblivious reports whether g never reads the tuple key, letting the
+// emitter skip key hashing when no edge of the instance can use it.
+// Unknown (user-supplied) groupings are assumed to read the key.
+func keyOblivious(g Grouping) bool {
+	switch g := g.(type) {
+	case *routerGrouping:
+		return g.oblivious
+	case globalGrouping, broadcastGrouping:
+		return true
+	default:
+		return false
+	}
+}
+
 // Shuffle returns round-robin shuffle grouping: perfect balance, no key
 // locality.
-func Shuffle() GroupingFactory {
-	return func(n int, _ uint64, emitter int) Grouping {
-		return &shuffleGrouping{n: n, next: emitter % n}
-	}
-}
-
-type shuffleGrouping struct{ n, next int }
-
-func (g *shuffleGrouping) Select(Tuple) int {
-	r := g.next
-	g.next++
-	if g.next == g.n {
-		g.next = 0
-	}
-	return r
-}
+func Shuffle() GroupingFactory { return Router(route.StrategySG, 0) }
 
 // Key returns key grouping (Storm's "fields grouping"): all tuples with
-// the same key reach the same instance, via a single Murmur hash.
-func Key() GroupingFactory {
-	return func(n int, seed uint64, _ int) Grouping {
-		return &keyGrouping{n: uint64(n), seed: uint32(seed)}
-	}
-}
-
-type keyGrouping struct {
-	n    uint64
-	seed uint32
-}
-
-func (g *keyGrouping) Select(t Tuple) int {
-	return int(hash.String64(t.Key, g.seed) % g.n)
-}
+// the same key reach the same instance, via a single seeded hash of the
+// tuple's key hash.
+func Key() GroupingFactory { return Router(route.StrategyKG, 0) }
 
 // Partial returns PARTIAL KEY GROUPING — the paper's contribution, in the
-// same shape it ships for Storm: a custom grouping of fewer than 20
-// lines. Each emitting instance keeps a local load estimate vector
-// (local load estimation, §III.B) and sends every tuple to the less
-// loaded of the key's two hash candidates (key splitting, §III.A).
+// same shape it ships for Storm: a custom grouping of a handful of lines.
+// Each emitting instance keeps a local load estimate vector (local load
+// estimation, §III.B) and sends every tuple to the less loaded of the
+// key's two hash candidates (key splitting, §III.A).
 func Partial() GroupingFactory { return PartialN(2) }
 
 // PartialN generalizes Partial to d choices ("Greedy-d", §IV); d = 2 is
-// the paper's PKG and captures essentially all the gain.
+// the paper's PKG and captures essentially all the gain. Any d ≥ 1 is
+// accepted — the shared candidate construction grows with d instead of
+// silently truncating.
 func PartialN(d int) GroupingFactory {
 	if d <= 0 {
 		panic("engine: PartialN with d <= 0")
 	}
-	return func(n int, seed uint64, _ int) Grouping {
-		g := &partialGrouping{loads: make([]int64, n), seeds: make([]uint32, d)}
-		for i := range g.seeds {
-			g.seeds[i] = uint32(hash.Fmix64(seed + uint64(i)*0x9e3779b97f4a7c15))
-		}
-		return g
-	}
-}
-
-// partialGrouping is the paper's grouping: choose the least-loaded of d
-// hash candidates according to this emitter's own counts, then charge
-// the choice to the local estimate. Candidates are drawn without
-// replacement (the i-th hash selects among the n−i workers not yet
-// chosen) so a key's choices never collide onto one worker.
-type partialGrouping struct {
-	loads []int64
-	seeds []uint32
-}
-
-func (g *partialGrouping) Select(t Tuple) int {
-	n := len(g.loads)
-	best := -1
-	var sel [8]int
-	k := 0
-	for i, s := range g.seeds {
-		if i >= n || i >= len(sel) {
-			break
-		}
-		r := int(hash.String64(t.Key, s) % uint64(n-i))
-		pos := 0
-		for pos < k && r >= sel[pos] {
-			r++
-			pos++
-		}
-		copy(sel[pos+1:k+1], sel[pos:k])
-		sel[pos] = r
-		k++
-		if best < 0 || g.loads[r] < g.loads[best] {
-			best = r
-		}
-	}
-	g.loads[best]++
-	return best
+	return Router(route.StrategyPKG, d)
 }
 
 // Global returns global grouping: every tuple goes to instance 0 —

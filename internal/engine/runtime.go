@@ -11,9 +11,24 @@ import (
 
 // Options configures a Runtime.
 type Options struct {
-	// QueueSize is the per-instance input buffer (default 1024). Smaller
-	// queues apply backpressure sooner.
+	// QueueSize is the per-instance input buffer in tuples (default
+	// 1024). Smaller queues apply backpressure sooner.
 	QueueSize int
+	// BatchSize is the number of tuples moved per channel operation
+	// (default 64). Emitters buffer routed tuples per destination and
+	// flush a batch when it fills, when the instance finishes, or — for
+	// ticks — immediately; batching amortizes the channel synchronization
+	// that dominates the per-tuple send path. Two consequences of
+	// size/close flushing: a trickling emitter may hold up to
+	// BatchSize−1 tuples back until it finishes, and spout timestamps
+	// (EmitNanos) are read once per batch, so they can be up to
+	// BatchSize−1 emits stale. Both are negligible for the saturated
+	// finite streams this runtime executes; for trickle workloads that
+	// need per-tuple delivery and stamping, set BatchSize to 1, which
+	// degenerates to the unbatched tuple-at-a-time engine. BatchSize is
+	// clamped to QueueSize so small queues keep bounding in-flight
+	// tuples.
+	BatchSize int
 }
 
 // InstanceStats are the counters of one processing element instance.
@@ -89,6 +104,15 @@ func NewRuntime(top *Topology, opts Options) *Runtime {
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = 1024
 	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	if opts.BatchSize > opts.QueueSize {
+		// A batch larger than the queue would let emit buffers hold far
+		// more tuples than the caller's backpressure budget; clamp so
+		// QueueSize keeps bounding in-flight tuples.
+		opts.BatchSize = opts.QueueSize
+	}
 	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{}}
 	for _, s := range top.spouts {
 		r.stats[s.name] = newInstStats(s.parallelism)
@@ -132,36 +156,102 @@ func (r *Runtime) recordErr(err error) {
 	}
 }
 
-// subscription is one downstream edge of an emitting instance.
+// subscription is one downstream edge of an emitting instance. Routed
+// tuples accumulate in a per-destination buffer and move downstream a
+// batch at a time.
 type subscription struct {
-	chans []chan Tuple
+	chans []chan []Tuple
 	group Grouping
+	bufs  [][]Tuple
 }
 
 // emitter routes the tuples of one instance. stamp is true for spouts,
-// which timestamp tuples for end-to-end latency measurement.
+// which timestamp tuples for end-to-end latency measurement; the
+// timestamp is read once per batch, not once per tuple, so a saturated
+// spout pays one clock call per BatchSize emits.
 type emitter struct {
-	stats *instStats
-	subs  []subscription
-	stamp bool
+	stats   *instStats
+	subs    []subscription
+	stamp   bool
+	keyed   bool // some edge routes by key: hash once per tuple
+	batch   int
+	stamped int
+	pending int // emits not yet added to the shared counter
+	now     int64
 }
 
-// Emit implements Emitter. It blocks when a destination queue is full.
+// Emit implements Emitter. It blocks when a destination queue is full
+// and a batch is ready for it.
 func (e *emitter) Emit(t Tuple) {
 	if e.stamp && t.EmitNanos == 0 {
-		t.EmitNanos = time.Now().UnixNano()
+		// The refresh counter tracks tuples actually stamped — not all
+		// emits — so pre-stamped tuples (replays) can never consume a
+		// refresh slot and leave fresh tuples with a zero or stale clock.
+		if e.stamped%e.batch == 0 {
+			e.now = time.Now().UnixNano()
+		}
+		e.stamped++
+		t.EmitNanos = e.now
 	}
-	e.stats.emitted.Add(1)
+	if e.keyed {
+		t.RouteKey() // hash the key once; every edge routes on the cached hash
+	}
+	// The shared emitted counter is updated once per batch, not per
+	// tuple (Flush settles the remainder), keeping atomics off the
+	// per-tuple path.
+	e.pending++
+	if e.pending >= e.batch {
+		e.stats.emitted.Add(int64(e.pending))
+		e.pending = 0
+	}
 	for i := range e.subs {
 		s := &e.subs[i]
 		dst := s.group.Select(t)
 		if dst == BroadcastAll {
-			for _, ch := range s.chans {
-				ch <- t
+			for d := range s.chans {
+				e.push(s, d, t)
 			}
 			continue
 		}
-		s.chans[dst] <- t
+		e.push(s, dst, t)
+	}
+}
+
+// push appends t to the destination's pending batch, sending the batch
+// downstream when it reaches the flush threshold. Ticks flush the
+// destination immediately (after any buffered data, preserving edge
+// FIFO) so forwarded timer signals are never delayed behind a partial
+// batch.
+func (e *emitter) push(s *subscription, dst int, t Tuple) {
+	buf := s.bufs[dst]
+	if buf == nil {
+		buf = make([]Tuple, 0, e.batch)
+	}
+	buf = append(buf, t)
+	if len(buf) >= e.batch || t.Tick {
+		s.chans[dst] <- buf
+		buf = nil
+	}
+	s.bufs[dst] = buf
+}
+
+// Flush sends every pending partial batch downstream and settles the
+// emitted counter. The runtime calls it when the emitting instance
+// finishes (spout exhausted, bolt cleaned up), so no tuple is ever
+// stranded in an emit buffer.
+func (e *emitter) Flush() {
+	if e.pending > 0 {
+		e.stats.emitted.Add(int64(e.pending))
+		e.pending = 0
+	}
+	for i := range e.subs {
+		s := &e.subs[i]
+		for d, buf := range s.bufs {
+			if len(buf) > 0 {
+				s.chans[d] <- buf
+				s.bufs[d] = nil
+			}
+		}
 	}
 }
 
@@ -171,12 +261,18 @@ func (e *emitter) Emit(t Tuple) {
 func (r *Runtime) Run() error {
 	top := r.top
 
-	// Input channels per bolt instance.
-	chans := map[string][]chan Tuple{}
+	// Input channels per bolt instance. Channels carry batches; the
+	// capacity is the tuple budget divided by the batch size, so
+	// QueueSize keeps meaning "about this many buffered tuples".
+	qcap := r.opts.QueueSize / r.opts.BatchSize
+	if qcap < 1 {
+		qcap = 1
+	}
+	chans := map[string][]chan []Tuple{}
 	for _, b := range top.bolts {
-		cs := make([]chan Tuple, b.parallelism)
+		cs := make([]chan []Tuple, b.parallelism)
 		for i := range cs {
-			cs[i] = make(chan Tuple, r.opts.QueueSize)
+			cs[i] = make(chan []Tuple, qcap)
 		}
 		chans[b.name] = cs
 	}
@@ -248,16 +344,21 @@ func (r *Runtime) Run() error {
 	}
 
 	newEmitter := func(comp string, index int, stamp bool) *emitter {
-		em := &emitter{stats: r.stats[comp][index], stamp: stamp}
+		em := &emitter{stats: r.stats[comp][index], stamp: stamp, batch: r.opts.BatchSize}
 		for _, dst := range downstream[comp] {
 			for _, in := range dst.inputs {
 				if in.from != comp {
 					continue
 				}
 				seed := edgeSeed(top.seed, comp, dst.name)
+				group := in.factory(dst.parallelism, seed, index)
+				if !keyOblivious(group) {
+					em.keyed = true
+				}
 				em.subs = append(em.subs, subscription{
 					chans: chans[dst.name],
-					group: in.factory(dst.parallelism, seed, index),
+					group: group,
+					bufs:  make([][]Tuple, dst.parallelism),
 				})
 			}
 		}
@@ -317,7 +418,7 @@ func (r *Runtime) Run() error {
 	return r.firstErr
 }
 
-func (r *Runtime) runTicker(b boltDecl, chans []chan Tuple, done <-chan struct{},
+func (r *Runtime) runTicker(b boltDecl, chans []chan []Tuple, done <-chan struct{},
 	closerWG, tickers *sync.WaitGroup) {
 	defer tickers.Done()
 	defer closerWG.Done()
@@ -329,8 +430,10 @@ func (r *Runtime) runTicker(b boltDecl, chans []chan Tuple, done <-chan struct{}
 			return
 		case <-ticker.C:
 			for _, ch := range chans {
+				// Ticks are timing signals: each ships immediately as its
+				// own singleton batch instead of waiting behind data.
 				select {
-				case ch <- Tuple{Tick: true}:
+				case ch <- []Tuple{{Tick: true}}:
 				case <-done:
 					return
 				}
@@ -340,6 +443,7 @@ func (r *Runtime) runTicker(b boltDecl, chans []chan Tuple, done <-chan struct{}
 }
 
 func (r *Runtime) runSpout(decl spoutDecl, index int, em *emitter) {
+	defer em.Flush() // registered first so it runs after the recover below
 	defer func() {
 		if p := recover(); p != nil {
 			r.recordErr(fmt.Errorf("engine: spout %s[%d] panicked: %v", decl.name, index, p))
@@ -353,7 +457,8 @@ func (r *Runtime) runSpout(decl spoutDecl, index int, em *emitter) {
 	}
 }
 
-func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan Tuple, em *emitter) {
+func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan []Tuple, em *emitter) {
+	defer em.Flush() // after Cleanup, before the caller signals downstream
 	st := r.stats[decl.name][index]
 	bolt := decl.factory()
 	ctx := &Context{Topology: r.top.name, Component: decl.name, Index: index, Parallelism: decl.parallelism}
@@ -369,19 +474,40 @@ func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan Tuple, em *emitter
 		f()
 	}
 	guard(func() { bolt.Prepare(ctx) })
-	for t := range in {
+	for batch := range in {
 		if broken {
 			continue // keep draining so upstream does not block forever
 		}
-		if !t.Tick {
-			// Ticks are timer signals, not load: the paper's imbalance is
-			// computed on data tuples only.
-			st.executed.Add(1)
-		}
-		guard(func() { bolt.Execute(t, em) })
+		r.execBatch(bolt, batch, em, st, &broken, decl.name, index)
 	}
 	if !broken {
 		guard(func() { bolt.Cleanup(em) })
+	}
+}
+
+// execBatch runs one input batch through the bolt under a single panic
+// guard, and settles the executed counter with one atomic add covering
+// the batch's data tuples (ticks are timer signals, not load — the
+// paper's imbalance is computed on data tuples only). A panic abandons
+// the rest of the batch: the bolt is broken from that tuple on, and
+// runBolt drains every later batch without executing.
+func (r *Runtime) execBatch(bolt Bolt, batch []Tuple, em *emitter, st *instStats,
+	broken *bool, name string, index int) {
+	data := 0
+	defer func() {
+		if data > 0 {
+			st.executed.Add(int64(data))
+		}
+		if p := recover(); p != nil {
+			*broken = true
+			r.recordErr(fmt.Errorf("engine: bolt %s[%d] panicked: %v", name, index, p))
+		}
+	}()
+	for _, t := range batch {
+		if !t.Tick {
+			data++
+		}
+		bolt.Execute(t, em)
 	}
 }
 

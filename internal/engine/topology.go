@@ -16,6 +16,8 @@ package engine
 import (
 	"fmt"
 	"time"
+
+	"pkgstream/internal/route"
 )
 
 // Values is the payload of a tuple.
@@ -26,6 +28,21 @@ type Tuple struct {
 	// Key is the grouping key (what key grouping and partial key
 	// grouping hash).
 	Key string
+	// KeyHash is the 64-bit routing hash of Key, the value the shared
+	// routing core (internal/route) operates on. The runtime caches it
+	// on first emit, so the key bytes are hashed once per tuple and
+	// every downstream edge derives its candidates by mixing this hash
+	// with its own seed; when Key is set, the runtime maintains this
+	// field — treat it as read-only. Integer-keyed streams may set it
+	// directly and leave Key empty — string and uint64 keys share one
+	// routing path. Zero is the "unset" sentinel: a tuple whose KeyHash
+	// is 0 routes as the empty key, so integer-keyed streams should set
+	// a hash of their ID (any 64-bit mix), not a raw ID that may be 0.
+	KeyHash uint64
+	// hashedKey records which Key value KeyHash was computed from, so a
+	// bolt that rekeys a received tuple (t.Key = newKey; out.Emit(t))
+	// gets a fresh hash instead of routing by the stale one.
+	hashedKey string
 	// Values is the payload.
 	Values Values
 	// EmitNanos is stamped by the runtime when a spout first emits the
@@ -34,6 +51,38 @@ type Tuple struct {
 	EmitNanos int64
 	// Tick marks engine-generated timer tuples (see BoltDecl.TickEvery).
 	Tick bool
+}
+
+// RouteKey returns the 64-bit key the routing core routes on, computing
+// and caching the hash of Key unless the cache already matches it (the
+// match is a pointer-fast string compare for forwarded tuples). Tuples
+// with an explicit KeyHash and no Key (integer-keyed streams) pass
+// through untouched.
+func (t *Tuple) RouteKey() uint64 {
+	if t.Key == "" {
+		if t.hashedKey != "" {
+			// The key was cleared after a string key's hash was cached.
+			// If KeyHash is still that stale cache, rehash as the empty
+			// key; if the caller overwrote it (string→integer key
+			// conversion: set KeyHash, clear Key), their value stands.
+			if t.KeyHash == route.KeyHash(t.hashedKey) {
+				t.KeyHash = route.KeyHash("")
+			}
+			t.hashedKey = ""
+		} else if t.KeyHash == 0 {
+			// Nothing cached and no explicit hash: the empty string key,
+			// routed by its own hash so it lands with fresh Tuple{Key: ""}
+			// tuples. Integer-keyed tuples (explicit non-zero KeyHash)
+			// pass through untouched.
+			t.KeyHash = route.KeyHash("")
+		}
+		return t.KeyHash
+	}
+	if t.KeyHash == 0 || t.hashedKey != t.Key {
+		t.KeyHash = route.KeyHash(t.Key)
+		t.hashedKey = t.Key
+	}
+	return t.KeyHash
 }
 
 // Context describes the processing element instance a component runs as.

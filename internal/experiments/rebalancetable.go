@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/dataset"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/rebalance"
+	"pkgstream/internal/route"
 )
 
 // Rebalance answers the paper's §VIII open question — "can a solution
@@ -28,7 +28,7 @@ func Rebalance(sc Scale, seed uint64) []Table {
 	}
 	for _, w := range []int{5, 10, 15} {
 		// Plain hashing.
-		h := runDriver(spec, seed, core.NewKeyGrouping(w, seed), w)
+		h := runDriver(spec, seed, route.NewKeyGrouping(w, seed), w)
 		t.AddRow(fmt.Sprint(w), "Hashing", f1(h.avg), sci(h.frac), "0", "0", "0")
 
 		// Rebalancing KG.
@@ -43,7 +43,7 @@ func Rebalance(sc Scale, seed uint64) []Table {
 
 		// PKG with global info (no migration, no table).
 		truth := metrics.NewLoad(w)
-		pkg := core.NewPKG(w, 2, seed, truth)
+		pkg := route.NewPKG(w, 2, seed, truth)
 		p := runDriverWith(spec, seed, pkg, truth)
 		t.AddRow(fmt.Sprint(w), "PKG", f1(p.avg), sci(p.frac), "0", "0", "0")
 	}
@@ -57,13 +57,13 @@ type driverResult struct {
 
 // runDriver routes the whole stream through p, sampling imbalance 1000
 // times, with a fresh truth vector.
-func runDriver(spec dataset.Spec, seed uint64, p core.Partitioner, w int) driverResult {
+func runDriver(spec dataset.Spec, seed uint64, p route.Router, w int) driverResult {
 	return runDriverWith(spec, seed, p, metrics.NewLoad(w))
 }
 
 // runDriverWith is runDriver against a caller-supplied truth vector
 // (needed when the partitioner's view *is* the truth, as for PKG-G).
-func runDriverWith(spec dataset.Spec, seed uint64, p core.Partitioner, truth *metrics.Load) driverResult {
+func runDriverWith(spec dataset.Spec, seed uint64, p route.Router, truth *metrics.Load) driverResult {
 	s := spec.Open(seed)
 	sample := spec.Messages / 1000
 	if sample < 1 {

@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"sort"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/hash"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/route"
 )
 
 // Assignment selects how edges are divided among the source PEs.
@@ -55,7 +55,7 @@ type Config struct {
 // it by per-source PKG partitioners with local load estimation.
 type InDegree struct {
 	cfg     Config
-	parts   []*core.PKG
+	parts   []*route.PKG
 	views   []*metrics.Load
 	workers []map[uint64]int64
 	loads   *metrics.Load
@@ -73,7 +73,7 @@ func New(cfg Config) *InDegree {
 	}
 	g := &InDegree{
 		cfg:     cfg,
-		parts:   make([]*core.PKG, cfg.Sources),
+		parts:   make([]*route.PKG, cfg.Sources),
 		views:   make([]*metrics.Load, cfg.Sources),
 		workers: make([]map[uint64]int64, cfg.Workers),
 		loads:   metrics.NewLoad(cfg.Workers),
@@ -83,7 +83,7 @@ func New(cfg Config) *InDegree {
 	partSeed := hash.Fmix64(cfg.Seed + 0xbb67ae8584caa73b)
 	for s := range g.parts {
 		g.views[s] = metrics.NewLoad(cfg.Workers)
-		g.parts[s] = core.NewPKG(cfg.Workers, 2, partSeed, g.views[s])
+		g.parts[s] = route.NewPKG(cfg.Workers, 2, partSeed, g.views[s])
 	}
 	for w := range g.workers {
 		g.workers[w] = make(map[uint64]int64)

@@ -4,7 +4,7 @@
 // integer keys.
 //
 // The paper uses a 64-bit Murmur hash for key grouping "to minimize the
-// probability of collision" (§V.B); partitioners in internal/core obtain
+// probability of collision" (§V.B); routers in internal/route obtain
 // their d candidate workers from d independently seeded hashes.
 package hash
 

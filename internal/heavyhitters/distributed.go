@@ -1,8 +1,8 @@
 package heavyhitters
 
 import (
-	"pkgstream/internal/core"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/route"
 )
 
 // Distributed runs the paper's §VI.C architecture: a set of W workers,
@@ -12,8 +12,8 @@ import (
 // may live on every worker and a query must merge all W.
 type Distributed struct {
 	workers []*SpaceSaving
-	part    core.Partitioner
-	pkg     *core.PKG // non-nil when partial key grouping is used
+	part    route.Router
+	pkg     *route.PKG // non-nil when partial key grouping is used
 	view    *metrics.Load
 }
 
@@ -45,12 +45,12 @@ func NewDistributed(w, k int, strategy Strategy, seed uint64) *Distributed {
 	switch strategy {
 	case ByPKG:
 		d.view = metrics.NewLoad(w)
-		d.pkg = core.NewPKG(w, 2, seed, d.view)
+		d.pkg = route.NewPKG(w, 2, seed, d.view)
 		d.part = d.pkg
 	case ByKey:
-		d.part = core.NewKeyGrouping(w, seed)
+		d.part = route.NewKeyGrouping(w, seed)
 	case ByShuffle:
-		d.part = core.NewShuffleGrouping(w, 0)
+		d.part = route.NewShuffleGrouping(w, 0)
 	default:
 		panic("heavyhitters: unknown strategy")
 	}
@@ -85,22 +85,7 @@ func (d *Distributed) Estimate(item uint64) Counted {
 func (d *Distributed) ProbeCount(item uint64) int { return len(d.probeSet(item)) }
 
 func (d *Distributed) probeSet(item uint64) []int {
-	switch p := d.part.(type) {
-	case *core.PKG:
-		cands := p.Candidates(item)
-		if cands[0] == cands[1] {
-			return cands[:1]
-		}
-		return cands
-	case *core.KeyGrouping:
-		return []int{p.Route(item)}
-	default:
-		all := make([]int, len(d.workers))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
+	return route.ProbeSet(d.part, item)
 }
 
 // TopK merges the worker summaries (into capacity k) and returns the j

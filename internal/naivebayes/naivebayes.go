@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"math"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/route"
 )
 
 // Sample is one training document: a bag of tokens with a class label.
@@ -147,8 +147,8 @@ type Distributed struct {
 	alpha   float64
 
 	workers []map[uint64][]int64
-	part    core.Partitioner
-	pkg     *core.PKG
+	part    route.Router
+	pkg     *route.PKG
 	view    *metrics.Load
 	loads   *metrics.Load
 
@@ -180,12 +180,12 @@ func NewDistributed(w, classes int, vocab uint64, alpha float64, strategy Strate
 	switch strategy {
 	case ByPKG:
 		d.view = metrics.NewLoad(w)
-		d.pkg = core.NewPKG(w, 2, seed, d.view)
+		d.pkg = route.NewPKG(w, 2, seed, d.view)
 		d.part = d.pkg
 	case ByKey:
-		d.part = core.NewKeyGrouping(w, seed)
+		d.part = route.NewKeyGrouping(w, seed)
 	case ByShuffle:
-		d.part = core.NewShuffleGrouping(w, 0)
+		d.part = route.NewShuffleGrouping(w, 0)
 	default:
 		panic("naivebayes: unknown strategy")
 	}
@@ -217,22 +217,7 @@ func (d *Distributed) Train(s Sample) {
 
 // probeSet returns the workers that may hold counters for token.
 func (d *Distributed) probeSet(token uint64) []int {
-	switch p := d.part.(type) {
-	case *core.PKG:
-		cands := p.Candidates(token)
-		if cands[0] == cands[1] {
-			return cands[:1]
-		}
-		return cands
-	case *core.KeyGrouping:
-		return []int{p.Route(token)}
-	default:
-		all := make([]int, len(d.workers))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
+	return route.ProbeSet(d.part, token)
 }
 
 // ProbesPerToken returns how many workers a query for token touches.

@@ -68,7 +68,7 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // Partitioner is key grouping with periodic key migration. It implements
-// core.Partitioner.
+// route.Router.
 type Partitioner struct {
 	cfg  Config
 	seed uint64
@@ -103,7 +103,7 @@ func New(cfg Config) (*Partitioner, error) {
 	}, nil
 }
 
-// Route implements core.Partitioner: hash unless migrated, with a
+// Route implements route.Router: hash unless migrated, with a
 // rebalancing pass every CheckEvery messages.
 func (p *Partitioner) Route(key uint64) int {
 	var w int
@@ -179,10 +179,10 @@ func argmaxLoad(l *metrics.Load) int {
 	return best
 }
 
-// Workers implements core.Partitioner.
+// Workers implements route.Router.
 func (p *Partitioner) Workers() int { return p.cfg.Workers }
 
-// Name implements core.Partitioner.
+// Name implements route.Router.
 func (p *Partitioner) Name() string { return "Rebalance" }
 
 // Migrations returns the number of key migrations performed.

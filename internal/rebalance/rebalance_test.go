@@ -3,12 +3,12 @@ package rebalance
 import (
 	"testing"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/rng"
+	"pkgstream/internal/route"
 )
 
-var _ core.Partitioner = (*Partitioner)(nil)
+var _ route.Router = (*Partitioner)(nil)
 
 func zipfGen(seed uint64, p1 float64, k uint64) func() uint64 {
 	z := rng.NewZipf(rng.New(seed), rng.SolveZipfExponent(k, p1), k)
@@ -74,7 +74,7 @@ func TestRebalancingImprovesOnPlainHashing(t *testing.T) {
 	}
 
 	hTruth := metrics.NewLoad(w)
-	h := core.NewKeyGrouping(w, 7)
+	h := route.NewKeyGrouping(w, 7)
 	gen = zipfGen(3, 0.09, 20_000)
 	for i := 0; i < n; i++ {
 		hTruth.Add(h.Route(gen()))
@@ -101,7 +101,7 @@ func TestRebalancingPaysCostsPKGAvoids(t *testing.T) {
 	}
 
 	pkgTruth := metrics.NewLoad(w)
-	pkg := core.NewPKG(w, 2, 9, pkgTruth)
+	pkg := route.NewPKG(w, 2, 9, pkgTruth)
 	gen = zipfGen(5, 0.09, 10_000)
 	for i := 0; i < n; i++ {
 		pkgTruth.Add(pkg.Route(gen()))
@@ -136,7 +136,7 @@ func TestAtomicityFloorWhenKeyExceedsShare(t *testing.T) {
 	}
 
 	pkgTruth := metrics.NewLoad(w)
-	pkg := core.NewPKG(w, 2, 11, pkgTruth)
+	pkg := route.NewPKG(w, 2, 11, pkgTruth)
 	gen = zipfGen(7, p1, 5_000)
 	for i := 0; i < n; i++ {
 		pkgTruth.Add(pkg.Route(gen()))

@@ -1,4 +1,4 @@
-package core
+package route
 
 import (
 	"fmt"
@@ -27,10 +27,10 @@ type PoTC struct {
 // invalid arguments (see NewPKG).
 func NewPoTC(w int, seed uint64, view *metrics.Load) *PoTC {
 	if w <= 0 {
-		panic("core: NewPoTC with w <= 0")
+		panic("route: NewPoTC with w <= 0")
 	}
 	if view == nil || view.N() != w {
-		panic("core: NewPoTC with nil or mismatched view")
+		panic("route: NewPoTC with nil or mismatched view")
 	}
 	return &PoTC{
 		w:     w,
@@ -41,7 +41,7 @@ func NewPoTC(w int, seed uint64, view *metrics.Load) *PoTC {
 	}
 }
 
-// Route implements Partitioner.
+// Route implements Router.
 func (g *PoTC) Route(key uint64) int {
 	if w, ok := g.table[key]; ok {
 		return int(w)
@@ -56,10 +56,10 @@ func (g *PoTC) Route(key uint64) int {
 // state the paper argues is impractical at billions of keys.
 func (g *PoTC) TableSize() int { return len(g.table) }
 
-// Workers implements Partitioner.
+// Workers implements Router.
 func (g *PoTC) Workers() int { return g.w }
 
-// Name implements Partitioner.
+// Name implements Router.
 func (g *PoTC) Name() string { return "PoTC" }
 
 // OnGreedy is the online greedy baseline: a never-seen key is assigned to
@@ -75,15 +75,15 @@ type OnGreedy struct {
 // NewOnGreedy returns an online-greedy partitioner over w workers.
 func NewOnGreedy(w int, view *metrics.Load) *OnGreedy {
 	if w <= 0 {
-		panic("core: NewOnGreedy with w <= 0")
+		panic("route: NewOnGreedy with w <= 0")
 	}
 	if view == nil || view.N() != w {
-		panic("core: NewOnGreedy with nil or mismatched view")
+		panic("route: NewOnGreedy with nil or mismatched view")
 	}
 	return &OnGreedy{w: w, view: view, table: make(map[uint64]int32)}
 }
 
-// Route implements Partitioner.
+// Route implements Router.
 func (g *OnGreedy) Route(key uint64) int {
 	if w, ok := g.table[key]; ok {
 		return int(w)
@@ -96,10 +96,10 @@ func (g *OnGreedy) Route(key uint64) int {
 // TableSize returns the number of routing-table entries.
 func (g *OnGreedy) TableSize() int { return len(g.table) }
 
-// Workers implements Partitioner.
+// Workers implements Router.
 func (g *OnGreedy) Workers() int { return g.w }
 
-// Name implements Partitioner.
+// Name implements Router.
 func (g *OnGreedy) Name() string { return "On-Greedy" }
 
 // KeyFreq is a key with its total frequency in the stream, the input to
@@ -128,7 +128,7 @@ type OffGreedy struct {
 // hashing (they should not occur when the distribution is complete).
 func NewOffGreedy(w int, seed uint64, freqs []KeyFreq) *OffGreedy {
 	if w <= 0 {
-		panic("core: NewOffGreedy with w <= 0")
+		panic("route: NewOffGreedy with w <= 0")
 	}
 	sorted := make([]KeyFreq, len(freqs))
 	copy(sorted, freqs)
@@ -148,7 +148,7 @@ func NewOffGreedy(w int, seed uint64, freqs []KeyFreq) *OffGreedy {
 	return &OffGreedy{w: w, table: table, fallback: NewKeyGrouping(w, seed)}
 }
 
-// Route implements Partitioner.
+// Route implements Router.
 func (g *OffGreedy) Route(key uint64) int {
 	if w, ok := g.table[key]; ok {
 		return int(w)
@@ -156,10 +156,10 @@ func (g *OffGreedy) Route(key uint64) int {
 	return g.fallback.Route(key)
 }
 
-// Workers implements Partitioner.
+// Workers implements Router.
 func (g *OffGreedy) Workers() int { return g.w }
 
-// Name implements Partitioner.
+// Name implements Router.
 func (g *OffGreedy) Name() string { return "Off-Greedy" }
 
 // Assignment returns the worker assigned to key and whether the key was
@@ -170,15 +170,15 @@ func (g *OffGreedy) Assignment(key uint64) (int, bool) {
 }
 
 var (
-	_ Partitioner = (*KeyGrouping)(nil)
-	_ Partitioner = (*ShuffleGrouping)(nil)
-	_ Partitioner = (*PKG)(nil)
-	_ Partitioner = (*PoTC)(nil)
-	_ Partitioner = (*OnGreedy)(nil)
-	_ Partitioner = (*OffGreedy)(nil)
+	_ Router = (*KeyGrouping)(nil)
+	_ Router = (*ShuffleGrouping)(nil)
+	_ Router = (*PKG)(nil)
+	_ Router = (*PoTC)(nil)
+	_ Router = (*OnGreedy)(nil)
+	_ Router = (*OffGreedy)(nil)
 )
 
 // String formatting helper shared by reports: technique plus parameters.
-func Describe(p Partitioner) string {
+func Describe(p Router) string {
 	return fmt.Sprintf("%s/W=%d", p.Name(), p.Workers())
 }

@@ -1,4 +1,4 @@
-package core
+package route
 
 import (
 	"testing"
@@ -165,7 +165,7 @@ func TestTableIIOrdering(t *testing.T) {
 	}
 
 	imb := map[string]float64{}
-	run := func(name string, p Partitioner, truth *metrics.Load) {
+	run := func(name string, p Router, truth *metrics.Load) {
 		drive(p, truth, mkGen(), n)
 		imb[name] = truth.Imbalance()
 	}

@@ -1,4 +1,4 @@
-package core
+package route
 
 import (
 	"fmt"
@@ -38,13 +38,13 @@ type PKG struct {
 // d <= 0, a nil view, or a view sized differently from w.
 func NewPKG(w, d int, seed uint64, view *metrics.Load) *PKG {
 	if w <= 0 {
-		panic("core: NewPKG with w <= 0")
+		panic("route: NewPKG with w <= 0")
 	}
 	if view == nil {
-		panic("core: NewPKG with nil view")
+		panic("route: NewPKG with nil view")
 	}
 	if view.N() != w {
-		panic(fmt.Sprintf("core: NewPKG view has %d workers, want %d", view.N(), w))
+		panic(fmt.Sprintf("route: NewPKG view has %d workers, want %d", view.N(), w))
 	}
 	return &PKG{
 		w:     w,
@@ -55,7 +55,7 @@ func NewPKG(w, d int, seed uint64, view *metrics.Load) *PKG {
 	}
 }
 
-// Route implements Partitioner: it returns the least-loaded candidate
+// Route implements Router: it returns the least-loaded candidate
 // under the current view. The caller records the message into the
 // relevant load vectors afterwards.
 func (g *PKG) Route(key uint64) int {
@@ -79,10 +79,10 @@ func (g *PKG) View() *metrics.Load { return g.view }
 // D returns the number of choices.
 func (g *PKG) D() int { return g.d }
 
-// Workers implements Partitioner.
+// Workers implements Router.
 func (g *PKG) Workers() int { return g.w }
 
-// Name implements Partitioner.
+// Name implements Router.
 func (g *PKG) Name() string {
 	if g.d == 2 {
 		return "PKG"

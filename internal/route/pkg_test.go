@@ -1,4 +1,4 @@
-package core
+package route
 
 import (
 	"testing"
@@ -10,7 +10,7 @@ import (
 
 // drive routes n samples from gen through p, recording into truth (which
 // doubles as the global view when p was built on it).
-func drive(p Partitioner, truth *metrics.Load, gen func() uint64, n int) {
+func drive(p Router, truth *metrics.Load, gen func() uint64, n int) {
 	for i := 0; i < n; i++ {
 		truth.Add(p.Route(gen()))
 	}

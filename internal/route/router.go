@@ -1,4 +1,9 @@
-// Package core implements the stream partitioners studied in the paper:
+// Package route is the single routing core shared by every layer of the
+// system: the in-process engine (internal/engine), the simulation harness
+// (internal/simulate), the discrete-event cluster model (internal/cluster)
+// and the TCP transport (internal/transport) all make their per-message
+// placement decisions here. It owns key hashing, candidate-set
+// construction, load views, and the six strategies studied in the paper:
 //
 //   - KeyGrouping — single-choice hashing, the baseline used by every
 //     DSPE ("H" in the figures).
@@ -14,15 +19,21 @@
 //     frequency are assigned to the least-loaded worker; an unfair
 //     clairvoyant baseline.
 //
-// Partitioners are pure deciders: Route inspects a load view but never
-// mutates it. The driver (internal/simulate, or a DSPE integration)
-// records each routed message into whichever load vectors implement the
-// paper's information models — the true loads for the global oracle "G",
-// a per-source estimate for local estimation "L", and a periodically
-// refreshed estimate for probing "LP". This separation is exactly the
-// paper's point: the same PKG decision rule works under any of the three
-// information models.
-package core
+// Every router is keyed on a 64-bit key hash. String keys enter the core
+// through KeyHash exactly once (the engine caches the result on the
+// tuple), after which string- and integer-keyed streams share one code
+// path: per-strategy hash functions are derived by mixing the key hash
+// with per-edge seeds, never by rehashing the bytes.
+//
+// Routers are pure deciders: Route inspects a load view but never
+// mutates it. The driver (a simulation loop, an engine emitter, a TCP
+// source) records each routed message into whichever load vectors
+// implement the paper's information models — the true loads for the
+// global oracle "G", a per-source estimate for local estimation "L", and
+// a periodically refreshed estimate for probing "LP". This separation is
+// exactly the paper's point: the same PKG decision rule works under any
+// of the three information models, and under any host layer.
+package route
 
 import (
 	"fmt"
@@ -31,11 +42,11 @@ import (
 	"pkgstream/internal/metrics"
 )
 
-// Partitioner routes messages, identified by their 64-bit key, to one of
+// Router routes messages, identified by their 64-bit key hash, to one of
 // W workers. Implementations are deterministic given their construction
 // parameters and the sequence of Route calls, and are not safe for
-// concurrent use (each simulated source owns its instances).
-type Partitioner interface {
+// concurrent use (each source owns its instances).
+type Router interface {
 	// Route returns the destination worker in [0, Workers()) for a
 	// message with the given key.
 	Route(key uint64) int
@@ -43,6 +54,24 @@ type Partitioner interface {
 	Workers() int
 	// Name returns a short technique name for reports.
 	Name() string
+}
+
+// Load is a per-worker load vector — the view a router consults when
+// deciding. Aliased here so consumers of the routing core need not
+// import internal/metrics separately.
+type Load = metrics.Load
+
+// NewLoad returns a zeroed load view over n workers.
+func NewLoad(n int) *Load { return metrics.NewLoad(n) }
+
+// KeyHash collapses a string key to the 64-bit key the routing core
+// operates on (a Murmur3 hash with a fixed seed). Compute it once per
+// message and carry it alongside the key: every strategy then derives its
+// per-edge hash functions by *mixing* this value with seeds, so string
+// and integer keys follow the same code path and the bytes are never
+// rehashed per edge.
+func KeyHash(key string) uint64 {
+	return hash.String64(key, 0)
 }
 
 // KeyGrouping is single-choice hash partitioning: Pt(k) = H1(k) mod W.
@@ -57,20 +86,20 @@ type KeyGrouping struct {
 // function derived from seed. It panics if w <= 0.
 func NewKeyGrouping(w int, seed uint64) *KeyGrouping {
 	if w <= 0 {
-		panic("core: NewKeyGrouping with w <= 0")
+		panic("route: NewKeyGrouping with w <= 0")
 	}
 	return &KeyGrouping{w: w, seed: seed}
 }
 
-// Route implements Partitioner.
+// Route implements Router.
 func (g *KeyGrouping) Route(key uint64) int {
 	return int(hash.Mix64(key, g.seed) % uint64(g.w))
 }
 
-// Workers implements Partitioner.
+// Workers implements Router.
 func (g *KeyGrouping) Workers() int { return g.w }
 
-// Name implements Partitioner.
+// Name implements Router.
 func (g *KeyGrouping) Name() string { return "KG" }
 
 // ShuffleGrouping is round-robin routing, ignoring the key entirely. Its
@@ -87,7 +116,7 @@ type ShuffleGrouping struct {
 // sources do not march in lockstep). It panics if w <= 0.
 func NewShuffleGrouping(w, start int) *ShuffleGrouping {
 	if w <= 0 {
-		panic("core: NewShuffleGrouping with w <= 0")
+		panic("route: NewShuffleGrouping with w <= 0")
 	}
 	if start < 0 {
 		start = -start
@@ -95,7 +124,7 @@ func NewShuffleGrouping(w, start int) *ShuffleGrouping {
 	return &ShuffleGrouping{w: w, next: start % w}
 }
 
-// Route implements Partitioner.
+// Route implements Router.
 func (g *ShuffleGrouping) Route(_ uint64) int {
 	r := g.next
 	g.next++
@@ -105,10 +134,10 @@ func (g *ShuffleGrouping) Route(_ uint64) int {
 	return r
 }
 
-// Workers implements Partitioner.
+// Workers implements Router.
 func (g *ShuffleGrouping) Workers() int { return g.w }
 
-// Name implements Partitioner.
+// Name implements Router.
 func (g *ShuffleGrouping) Name() string { return "SG" }
 
 // choiceSeeds derives d independent hash-function seeds from a base
@@ -117,7 +146,7 @@ func (g *ShuffleGrouping) Name() string { return "SG" }
 // the property that lets PKG run with zero coordination.
 func choiceSeeds(seed uint64, d int) []uint64 {
 	if d <= 0 {
-		panic(fmt.Sprintf("core: need at least one choice, got %d", d))
+		panic(fmt.Sprintf("route: need at least one choice, got %d", d))
 	}
 	seeds := make([]uint64, d)
 	st := seed
@@ -135,7 +164,8 @@ func choiceSeeds(seed uint64, d int) []uint64 {
 // i-th hash into the W−i workers not yet chosen, so the candidate set
 // always has d distinct members (capped at W). It remains a pure
 // function of (key, seeds, w), preserving PKG's zero-coordination
-// property. Shared by PKG and PoTC.
+// property. This is the only copy of the construction in the tree; every
+// layer that needs a candidate set obtains it from this package.
 func candidates(dst []int, key uint64, seeds []uint64, w int) {
 	var buf [8]int
 	var sel []int // ascending list of already-chosen candidates
@@ -163,6 +193,43 @@ func candidates(dst []int, key uint64, seeds []uint64, w int) {
 		sel = append(sel, 0)
 		copy(sel[pos+1:], sel[pos:len(sel)-1])
 		sel[pos] = r
+	}
+}
+
+// ProbeSet returns the workers that may hold state for key under r —
+// the set a distributed point query must probe (§VI.A): the d hash
+// candidates under PKG (deduplicated, since d > W pads with repeats),
+// the single hash destination under key grouping, and every worker for
+// key-oblivious strategies like shuffle. Like the candidate
+// construction it is a pure function of the key and the router's
+// construction parameters, so any party can recompute it. This is the
+// one implementation of probe-set derivation in the tree.
+func ProbeSet(r Router, key uint64) []int {
+	switch p := r.(type) {
+	case *PKG:
+		cands := p.Candidates(key)
+		out := cands[:0]
+		for _, c := range cands {
+			dup := false
+			for _, seen := range out {
+				if seen == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, c)
+			}
+		}
+		return out
+	case *KeyGrouping:
+		return []int{p.Route(key)}
+	default:
+		all := make([]int, r.Workers())
+		for i := range all {
+			all[i] = i
+		}
+		return all
 	}
 }
 

@@ -1,0 +1,123 @@
+package route
+
+import "fmt"
+
+// Strategy identifies one of the routing strategies studied in the
+// paper. It is the single strategy enumeration shared by every layer:
+// internal/simulate, internal/cluster and internal/transport alias their
+// Method/Mode types to it instead of declaring private copies.
+type Strategy int
+
+// The six strategies of §V, in the order the paper introduces them.
+const (
+	// StrategyKG is key grouping: single-choice hashing ("H").
+	StrategyKG Strategy = iota
+	// StrategySG is shuffle grouping: round-robin routing.
+	StrategySG
+	// StrategyPKG is partial key grouping (Greedy-d with key splitting).
+	StrategyPKG
+	// StrategyPoTC is the power of two choices without key splitting.
+	StrategyPoTC
+	// StrategyOnGreedy assigns each new key to the globally least-loaded
+	// worker and remembers the choice.
+	StrategyOnGreedy
+	// StrategyOffGreedy is the clairvoyant LPT baseline built from exact
+	// key frequencies.
+	StrategyOffGreedy
+)
+
+// String returns the technique label used in the paper's tables.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyKG:
+		return "KG"
+	case StrategySG:
+		return "SG"
+	case StrategyPKG:
+		return "PKG"
+	case StrategyPoTC:
+		return "PoTC"
+	case StrategyOnGreedy:
+		return "On-Greedy"
+	case StrategyOffGreedy:
+		return "Off-Greedy"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// NeedsView reports whether the strategy consults a load view when
+// routing (and therefore requires Config.View).
+func (s Strategy) NeedsView() bool {
+	switch s {
+	case StrategyPKG, StrategyPoTC, StrategyOnGreedy:
+		return true
+	default:
+		return false
+	}
+}
+
+// Config describes a router to construct. Workers and Strategy are
+// always required; the remaining fields apply to specific strategies.
+type Config struct {
+	// Strategy selects the routing technique.
+	Strategy Strategy
+	// Workers is the number of downstream workers W.
+	Workers int
+	// Seed derives the strategy's hash functions. Every source of a
+	// stream must use the same seed so candidate sets agree (unused by
+	// shuffle and on-greedy).
+	Seed uint64
+	// D is the number of choices for PKG (default 2; "Greedy-d").
+	D int
+	// View is the load view consulted by PKG, PoTC and OnGreedy: the
+	// true loads for the global oracle, or a per-source estimate for
+	// local estimation. The caller records routed messages into it.
+	View *Load
+	// Start is the round-robin offset for shuffle grouping (vary it per
+	// source so parallel sources do not march in lockstep).
+	Start int
+	// Freqs is the exact key-frequency distribution for OffGreedy.
+	Freqs []KeyFreq
+}
+
+// New constructs the router described by cfg. It returns an error (not a
+// panic) for invalid configurations, making it suitable for wiring from
+// user-facing layers.
+func New(cfg Config) (Router, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("route: %v needs positive Workers, got %d", cfg.Strategy, cfg.Workers)
+	}
+	if cfg.Strategy.NeedsView() {
+		if cfg.View == nil {
+			return nil, fmt.Errorf("route: %v needs a load view", cfg.Strategy)
+		}
+		if cfg.View.N() != cfg.Workers {
+			return nil, fmt.Errorf("route: %v view has %d workers, want %d",
+				cfg.Strategy, cfg.View.N(), cfg.Workers)
+		}
+	}
+	switch cfg.Strategy {
+	case StrategyKG:
+		return NewKeyGrouping(cfg.Workers, cfg.Seed), nil
+	case StrategySG:
+		return NewShuffleGrouping(cfg.Workers, cfg.Start), nil
+	case StrategyPKG:
+		d := cfg.D
+		if d == 0 {
+			d = 2
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("route: PKG needs positive D, got %d", d)
+		}
+		return NewPKG(cfg.Workers, d, cfg.Seed, cfg.View), nil
+	case StrategyPoTC:
+		return NewPoTC(cfg.Workers, cfg.Seed, cfg.View), nil
+	case StrategyOnGreedy:
+		return NewOnGreedy(cfg.Workers, cfg.View), nil
+	case StrategyOffGreedy:
+		return NewOffGreedy(cfg.Workers, cfg.Seed, cfg.Freqs), nil
+	default:
+		return nil, fmt.Errorf("route: unknown strategy %v", cfg.Strategy)
+	}
+}

@@ -1,0 +1,182 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"pkgstream/internal/metrics"
+)
+
+func TestStrategyString(t *testing.T) {
+	want := map[Strategy]string{
+		StrategyKG:        "KG",
+		StrategySG:        "SG",
+		StrategyPKG:       "PKG",
+		StrategyPoTC:      "PoTC",
+		StrategyOnGreedy:  "On-Greedy",
+		StrategyOffGreedy: "Off-Greedy",
+		Strategy(99):      "Strategy(99)",
+	}
+	for s, label := range want {
+		if got := s.String(); got != label {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, label)
+		}
+	}
+}
+
+func TestStrategyNeedsView(t *testing.T) {
+	for _, s := range []Strategy{StrategyPKG, StrategyPoTC, StrategyOnGreedy} {
+		if !s.NeedsView() {
+			t.Errorf("%v.NeedsView() = false, want true", s)
+		}
+	}
+	for _, s := range []Strategy{StrategyKG, StrategySG, StrategyOffGreedy} {
+		if s.NeedsView() {
+			t.Errorf("%v.NeedsView() = true, want false", s)
+		}
+	}
+}
+
+func TestNewConstructsEveryStrategy(t *testing.T) {
+	const w = 8
+	cases := []Config{
+		{Strategy: StrategyKG, Workers: w, Seed: 1},
+		{Strategy: StrategySG, Workers: w, Start: 3},
+		{Strategy: StrategyPKG, Workers: w, Seed: 1, View: NewLoad(w)},
+		{Strategy: StrategyPKG, Workers: w, Seed: 1, D: 4, View: NewLoad(w)},
+		{Strategy: StrategyPoTC, Workers: w, Seed: 1, View: NewLoad(w)},
+		{Strategy: StrategyOnGreedy, Workers: w, View: NewLoad(w)},
+		{Strategy: StrategyOffGreedy, Workers: w, Seed: 1,
+			Freqs: []KeyFreq{{Key: 1, Count: 10}, {Key: 2, Count: 5}}},
+	}
+	for _, cfg := range cases {
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		if r.Workers() != w {
+			t.Errorf("%v: Workers() = %d, want %d", cfg.Strategy, r.Workers(), w)
+		}
+		for key := uint64(0); key < 100; key++ {
+			if dst := r.Route(key); dst < 0 || dst >= w {
+				t.Fatalf("%v: Route(%d) = %d out of range", cfg.Strategy, key, dst)
+			}
+		}
+	}
+}
+
+func TestNewDefaultsPKGToTwoChoices(t *testing.T) {
+	r, err := New(Config{Strategy: StrategyPKG, Workers: 10, Seed: 7, View: NewLoad(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := r.(*PKG)
+	if !ok {
+		t.Fatalf("New returned %T, want *PKG", r)
+	}
+	if pkg.D() != 2 {
+		t.Fatalf("default D = %d, want 2", pkg.D())
+	}
+}
+
+func TestNewRejectsInvalidConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		frag string
+	}{
+		{"zero workers", Config{Strategy: StrategyKG}, "positive Workers"},
+		{"missing view", Config{Strategy: StrategyPKG, Workers: 4}, "needs a load view"},
+		{"mismatched view", Config{Strategy: StrategyPoTC, Workers: 4, View: NewLoad(5)}, "want 4"},
+		{"negative d", Config{Strategy: StrategyPKG, Workers: 4, D: -1, View: NewLoad(4)}, "positive D"},
+		{"unknown strategy", Config{Strategy: Strategy(42), Workers: 4}, "unknown strategy"},
+	}
+	for _, c := range cases {
+		_, err := New(c.cfg)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestKeyHashStable(t *testing.T) {
+	// The engine caches KeyHash on tuples and every layer re-derives
+	// candidates from it, so it must be a pure function of the key bytes.
+	if KeyHash("hello") != KeyHash("hello") {
+		t.Fatal("KeyHash not deterministic")
+	}
+	if KeyHash("hello") == KeyHash("world") {
+		t.Fatal("KeyHash collided on distinct short keys (astronomically unlikely)")
+	}
+}
+
+func TestCandidatesManyChoicesNoTruncation(t *testing.T) {
+	// Regression for the engine's old hand-rolled copy, which silently
+	// truncated Greedy-d at d = 8 (a fixed [8]int buffer). The shared
+	// construction must keep producing distinct candidates past d = 8.
+	const w, d = 32, 12
+	g := NewPKG(w, d, 17, metrics.NewLoad(w))
+	for key := uint64(0); key < 500; key++ {
+		cands := g.Candidates(key)
+		if len(cands) != d {
+			t.Fatalf("key %d: %d candidates, want %d", key, len(cands), d)
+		}
+		seen := map[int]bool{}
+		for _, c := range cands {
+			if c < 0 || c >= w {
+				t.Fatalf("key %d: candidate %d out of range", key, c)
+			}
+			if seen[c] {
+				t.Fatalf("key %d: duplicate candidate %d at d=%d", key, c, d)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestProbeSet(t *testing.T) {
+	const w = 6
+	// PKG: the d distinct candidates.
+	pkg := NewPKG(w, 3, 5, NewLoad(w))
+	for key := uint64(0); key < 100; key++ {
+		got := ProbeSet(pkg, key)
+		want := pkg.Candidates(key)
+		if len(got) != 3 {
+			t.Fatalf("key %d: PKG probe set %v, want 3 distinct candidates", key, got)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("key %d: probe set %v != candidates %v", key, got, want)
+			}
+		}
+	}
+	// PKG with d > W: duplicates from the repeat-padding are removed.
+	wide := NewPKG(3, 5, 1, NewLoad(3))
+	for key := uint64(0); key < 100; key++ {
+		got := ProbeSet(wide, key)
+		seen := map[int]bool{}
+		for _, c := range got {
+			if seen[c] {
+				t.Fatalf("key %d: duplicate %d in probe set %v", key, c, got)
+			}
+			seen[c] = true
+		}
+		if len(got) > 3 {
+			t.Fatalf("key %d: probe set %v larger than worker count", key, got)
+		}
+	}
+	// KG: exactly the hash destination.
+	kg := NewKeyGrouping(w, 9)
+	if got := ProbeSet(kg, 42); len(got) != 1 || got[0] != kg.Route(42) {
+		t.Fatalf("KG probe set = %v, want [%d]", got, kg.Route(42))
+	}
+	// Key-oblivious strategies: every worker.
+	sg := NewShuffleGrouping(w, 0)
+	if got := ProbeSet(sg, 42); len(got) != w {
+		t.Fatalf("SG probe set has %d workers, want %d", len(got), w)
+	}
+}

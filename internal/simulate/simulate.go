@@ -11,51 +11,33 @@ package simulate
 import (
 	"fmt"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/dataset"
 	"pkgstream/internal/hash"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/route"
 )
 
-// Method selects the partitioning technique under test.
-type Method int
+// Method selects the partitioning technique under test. It is the shared
+// strategy type of the routing core — simulate no longer keeps its own
+// enumeration.
+type Method = route.Strategy
 
 // The techniques compared in §V.
 const (
 	// Hashing is key grouping via a single hash — baseline "H".
-	Hashing Method = iota
+	Hashing = route.StrategyKG
 	// Shuffle is round-robin shuffle grouping.
-	Shuffle
+	Shuffle = route.StrategySG
 	// PKG is partial key grouping (Greedy-d with key splitting).
-	PKG
+	PKG = route.StrategyPKG
 	// PoTC is the power of two choices without key splitting.
-	PoTC
+	PoTC = route.StrategyPoTC
 	// OnGreedy assigns each new key to the globally least-loaded worker.
-	OnGreedy
+	OnGreedy = route.StrategyOnGreedy
 	// OffGreedy is the clairvoyant LPT baseline (requires a pre-pass over
 	// the stream to collect exact key frequencies).
-	OffGreedy
+	OffGreedy = route.StrategyOffGreedy
 )
-
-// String returns the technique name used in the paper's tables.
-func (m Method) String() string {
-	switch m {
-	case Hashing:
-		return "Hashing"
-	case Shuffle:
-		return "Shuffle"
-	case PKG:
-		return "PKG"
-	case PoTC:
-		return "PoTC"
-	case OnGreedy:
-		return "On-Greedy"
-	case OffGreedy:
-		return "Off-Greedy"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-}
 
 // LoadInfo selects the load-information model available to PKG sources.
 type LoadInfo int
@@ -310,37 +292,37 @@ func Run(spec dataset.Spec, opts Options) Result {
 	return res
 }
 
-// buildPartitioners constructs one partitioner per source plus, for PKG,
-// the per-source load views (views[s] aliases truth for Global info, so
-// the caller must not double-record in that case; Run handles this).
-func buildPartitioners(spec dataset.Spec, opts Options, truth *metrics.Load) ([]core.Partitioner, []*metrics.Load) {
+// buildPartitioners constructs one router per source plus, for PKG, the
+// per-source load views (views[s] aliases truth for Global info, so the
+// caller must not double-record in that case; Run handles this).
+func buildPartitioners(spec dataset.Spec, opts Options, truth *metrics.Load) ([]route.Router, []*metrics.Load) {
 	w := opts.Workers
 	hashSeed := hash.Fmix64(opts.Seed + 0x517cc1b727220a95)
-	parts := make([]core.Partitioner, opts.Sources)
+	parts := make([]route.Router, opts.Sources)
 	switch opts.Method {
 	case Hashing:
 		// Stateless: one instance is fine, but give each source its own
 		// for symmetry with a real deployment.
 		for s := range parts {
-			parts[s] = core.NewKeyGrouping(w, hashSeed)
+			parts[s] = route.NewKeyGrouping(w, hashSeed)
 		}
 		return parts, nil
 	case Shuffle:
 		for s := range parts {
-			parts[s] = core.NewShuffleGrouping(w, s)
+			parts[s] = route.NewShuffleGrouping(w, s)
 		}
 		return parts, nil
 	case PoTC:
 		// Static PoTC requires all sources to agree on per-key choices —
 		// the coordination cost the paper highlights. Model it as a
 		// single shared instance with global load information.
-		shared := core.NewPoTC(w, hashSeed, truth)
+		shared := route.NewPoTC(w, hashSeed, truth)
 		for s := range parts {
 			parts[s] = shared
 		}
 		return parts, nil
 	case OnGreedy:
-		shared := core.NewOnGreedy(w, truth)
+		shared := route.NewOnGreedy(w, truth)
 		for s := range parts {
 			parts[s] = shared
 		}
@@ -357,11 +339,11 @@ func buildPartitioners(spec dataset.Spec, opts Options, truth *metrics.Load) ([]
 			}
 			freqs[m.Key]++
 		}
-		kfs := make([]core.KeyFreq, 0, len(freqs))
+		kfs := make([]route.KeyFreq, 0, len(freqs))
 		for k, c := range freqs {
-			kfs = append(kfs, core.KeyFreq{Key: k, Count: c})
+			kfs = append(kfs, route.KeyFreq{Key: k, Count: c})
 		}
-		shared := core.NewOffGreedy(w, hashSeed, kfs)
+		shared := route.NewOffGreedy(w, hashSeed, kfs)
 		for s := range parts {
 			parts[s] = shared
 		}
@@ -375,7 +357,7 @@ func buildPartitioners(spec dataset.Spec, opts Options, truth *metrics.Load) ([]
 			default:
 				views[s] = metrics.NewLoad(w)
 			}
-			parts[s] = core.NewPKG(w, opts.D, hashSeed, views[s])
+			parts[s] = route.NewPKG(w, opts.D, hashSeed, views[s])
 		}
 		return parts, views
 	default:

@@ -3,9 +3,9 @@ package spdt
 import (
 	"fmt"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/rng"
+	"pkgstream/internal/route"
 )
 
 // Strategy selects how training data is spread over the workers.
@@ -56,7 +56,7 @@ type Trainer struct {
 	workers  []workerState
 	counts   map[int][]int64 // leaf id → class counts (coordinator-side)
 
-	part core.Partitioner
+	part route.Router
 	view *metrics.Load
 	rr   int
 
@@ -98,9 +98,9 @@ func NewTrainer(params Params, w int, strategy Strategy, batchSize int, seed uin
 		// round-robin over whole samples
 	case PKGFeatures:
 		tr.view = metrics.NewLoad(w)
-		tr.part = core.NewPKG(w, 2, rng.SplitMix64(&seed), tr.view)
+		tr.part = route.NewPKG(w, 2, rng.SplitMix64(&seed), tr.view)
 	case KeyFeatures:
-		tr.part = core.NewKeyGrouping(w, rng.SplitMix64(&seed))
+		tr.part = route.NewKeyGrouping(w, rng.SplitMix64(&seed))
 	default:
 		return nil, fmt.Errorf("spdt: unknown strategy %v", strategy)
 	}

@@ -26,8 +26,8 @@ import (
 	"sync"
 	"time"
 
-	"pkgstream/internal/core"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/route"
 )
 
 // Frame types.
@@ -171,38 +171,63 @@ func (w *Worker) Close() error {
 	return err
 }
 
-// Mode selects the source's partitioning strategy.
-type Mode int
+// Mode selects the source's partitioning strategy. It is the shared
+// strategy type of the routing core — transport no longer keeps its own
+// enumeration.
+type Mode = route.Strategy
 
-// Source partitioning modes.
+// Source partitioning modes. Note the numeric values follow the shared
+// Strategy ordering (KG=0, SG=1, PKG=2), not this package's historical
+// one (PKG was 0): always use the named constants — a raw integer or a
+// zero-valued Mode now selects KG, not PKG.
 const (
 	// ModePKG routes with partial key grouping on a local load estimate.
-	ModePKG Mode = iota
+	ModePKG = route.StrategyPKG
 	// ModeKG routes with a single hash.
-	ModeKG
+	ModeKG = route.StrategyKG
 	// ModeSG routes round-robin.
-	ModeSG
+	ModeSG = route.StrategySG
 )
 
 // Source is a stream source holding one TCP connection per worker and a
-// partitioner over them. Each Source keeps its own local load estimate —
+// router over them. Each Source keeps its own local load estimate —
 // parallel sources never talk to each other.
 type Source struct {
 	conns []net.Conn
 	bufs  []*bufio.Writer
-	part  core.Partitioner
-	pkg   *core.PKG
+	part  route.Router
+	pkg   *route.PKG
 	view  *metrics.Load
 	sent  int64
 }
 
-// DialSource connects to the given worker addresses. The seed must match
-// across sources so their candidate hash functions agree (the only thing
-// sources share — and it is baked into the binary, not communicated).
-// start decorrelates shuffle round-robins of parallel sources.
+// DialSource connects to the given worker addresses with the paper's two
+// hash choices. The seed must match across sources so their candidate
+// hash functions agree (the only thing sources share — and it is baked
+// into the binary, not communicated). start decorrelates shuffle
+// round-robins of parallel sources.
 func DialSource(addrs []string, mode Mode, seed uint64, start int) (*Source, error) {
+	return DialSourceD(addrs, mode, seed, start, 2)
+}
+
+// DialSourceD is DialSource generalized to d hash choices for PKG
+// ("Greedy-d"; d is ignored by the other modes). Point queries probe a
+// key's d candidate workers, so larger d trades query fan-out for
+// balance.
+func DialSourceD(addrs []string, mode Mode, seed uint64, start, d int) (*Source, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: no worker addresses")
+	}
+	if mode == ModePKG {
+		if d <= 0 {
+			return nil, fmt.Errorf("transport: PKG needs at least one choice, got d=%d", d)
+		}
+		if d > len(addrs) {
+			// Every worker is already a candidate; clamping keeps the
+			// candidate set duplicate-free so point queries never
+			// double-count a worker's partial count.
+			d = len(addrs)
+		}
 	}
 	s := &Source{}
 	for _, a := range addrs {
@@ -218,12 +243,12 @@ func DialSource(addrs []string, mode Mode, seed uint64, start int) (*Source, err
 	switch mode {
 	case ModePKG:
 		s.view = metrics.NewLoad(n)
-		s.pkg = core.NewPKG(n, 2, seed, s.view)
+		s.pkg = route.NewPKG(n, d, seed, s.view)
 		s.part = s.pkg
 	case ModeKG:
-		s.part = core.NewKeyGrouping(n, seed)
+		s.part = route.NewKeyGrouping(n, seed)
 	case ModeSG:
-		s.part = core.NewShuffleGrouping(n, start)
+		s.part = route.NewShuffleGrouping(n, start)
 	default:
 		s.Close()
 		return nil, fmt.Errorf("transport: unknown mode %d", mode)
@@ -286,20 +311,9 @@ func (s *Source) Close() error {
 }
 
 // Candidates returns the key's candidate workers under this source's
-// partitioner (all workers for SG, one for KG, two for PKG).
+// router (all workers for SG, one for KG, the d hash choices for PKG).
 func (s *Source) Candidates(key uint64) []int {
-	switch p := s.part.(type) {
-	case *core.PKG:
-		return p.Candidates(key)
-	case *core.KeyGrouping:
-		return []int{p.Route(key)}
-	default:
-		all := make([]int, len(s.conns))
-		for i := range all {
-			all[i] = i
-		}
-		return all
-	}
+	return route.ProbeSet(s.part, key)
 }
 
 // Query answers a distributed point query for key against the given

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pkgstream/internal/rng"
+	"pkgstream/internal/route"
 )
 
 // startWorkers spins up n workers on ephemeral loopback ports.
@@ -289,5 +290,110 @@ func BenchmarkSendOverLoopback(b *testing.B) {
 	}
 	if err := src.Flush(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+func TestDistributedPointQueryProbesExactlyTheCandidates(t *testing.T) {
+	// §VI.A: a point query under PKG probes only the key's d candidate
+	// workers and sums their partial counts. With the unified routing
+	// core the candidate set is a pure function of (key, seed, W), so
+	// the test can independently recompute it, check the query touches
+	// exactly those workers, and check every other worker holds nothing.
+	const (
+		nWorkers = 8
+		d        = 3
+		seed     = 77
+		n        = 20_000
+	)
+	workers, addrs := startWorkers(t, nWorkers)
+	src, err := DialSourceD(addrs, ModePKG, seed, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	z := rng.NewZipf(rng.New(3), rng.SolveZipfExponent(500, 0.09), 500)
+	truth := map[uint64]int64{}
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		truth[k]++
+		if err := src.Send(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitTotal(t, workers, n)
+
+	// An independent party (the query router) recomputes the candidate
+	// set from the shared core with nothing but the key and the seed.
+	independent := route.NewPKG(nWorkers, d, seed, route.NewLoad(nWorkers))
+	for k := uint64(1); k <= 40; k++ {
+		cands := src.Candidates(k)
+		if len(cands) != d {
+			t.Fatalf("key %d: %d candidates, want %d", k, len(cands), d)
+		}
+		want := independent.Candidates(k)
+		inSet := map[int]bool{}
+		for i, c := range cands {
+			if c != want[i] {
+				t.Fatalf("key %d: source candidates %v != recomputed %v", k, cands, want)
+			}
+			if inSet[c] {
+				t.Fatalf("key %d: duplicate candidate %d", k, c)
+			}
+			inSet[c] = true
+		}
+		// The d-probe query returns the exact global count...
+		got, err := Query(addrs, k, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != truth[k] {
+			t.Fatalf("key %d: distributed count %d, want %d", k, got, truth[k])
+		}
+		// ...because the candidate partial counts sum to it, and no
+		// non-candidate worker holds any share of the key.
+		var fromCands int64
+		for w := range workers {
+			c := workers[w].Count(k)
+			if inSet[w] {
+				fromCands += c
+			} else if c != 0 {
+				t.Fatalf("key %d: non-candidate worker %d holds count %d", k, w, c)
+			}
+		}
+		if fromCands != truth[k] {
+			t.Fatalf("key %d: candidate partial counts sum to %d, want %d", k, fromCands, truth[k])
+		}
+	}
+}
+
+func TestDialSourceDValidatesChoices(t *testing.T) {
+	_, addrs := startWorkers(t, 3)
+	// d <= 0 is an error, not a panic, and must not leak connections.
+	if _, err := DialSourceD(addrs, ModePKG, 1, 0, 0); err == nil {
+		t.Fatal("DialSourceD with d=0 did not error")
+	}
+	// d > W clamps to W so candidate sets stay duplicate-free and point
+	// queries never sum one worker's partial count twice.
+	src, err := DialSourceD(addrs, ModePKG, 1, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for k := uint64(0); k < 50; k++ {
+		cands := src.Candidates(k)
+		if len(cands) != len(addrs) {
+			t.Fatalf("key %d: %d candidates, want clamp to %d", k, len(cands), len(addrs))
+		}
+		seen := map[int]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("key %d: duplicate candidate %d after clamping", k, c)
+			}
+			seen[c] = true
+		}
 	}
 }

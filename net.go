@@ -33,15 +33,23 @@ func ListenNetWorker(addr string) (*NetWorker, error) {
 	return transport.ListenWorker(addr)
 }
 
-// DialNetSource connects a source to the given worker addresses. All
-// sources of a stream must share the seed (their hash functions must
-// agree); start decorrelates shuffle round-robins.
+// DialNetSource connects a source to the given worker addresses with
+// the paper's two hash choices. All sources of a stream must share the
+// seed (their hash functions must agree); start decorrelates shuffle
+// round-robins.
 func DialNetSource(addrs []string, mode NetMode, seed uint64, start int) (*NetSource, error) {
 	return transport.DialSource(addrs, mode, seed, start)
 }
 
+// DialNetSourceD is DialNetSource generalized to d hash choices for PKG
+// ("Greedy-d"); point queries then probe a key's d candidates.
+func DialNetSourceD(addrs []string, mode NetMode, seed uint64, start, d int) (*NetSource, error) {
+	return transport.DialSourceD(addrs, mode, seed, start, d)
+}
+
 // NetQuery answers a distributed point query: it probes the listed
-// candidate workers (two under PKG) and sums their partial counts.
+// candidate workers (the source's d hash choices under PKG — two for
+// DialNetSource, d for DialNetSourceD) and sums their partial counts.
 func NetQuery(addrs []string, key uint64, candidates []int) (int64, error) {
 	return transport.Query(addrs, key, candidates)
 }

@@ -32,35 +32,68 @@
 package pkgstream
 
 import (
-	"pkgstream/internal/core"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/route"
 )
 
-// Partitioner routes messages, identified by 64-bit keys, to workers.
-type Partitioner = core.Partitioner
+// Router routes messages, identified by 64-bit keys, to workers. It is
+// the decision interface of the shared routing core (internal/route),
+// used identically by the engine, the simulators, and the TCP transport.
+type Router = route.Router
+
+// Partitioner is the historical name of Router.
+type Partitioner = route.Router
+
+// Strategy identifies a routing strategy of the shared core; the same
+// values select techniques in Simulate, Cluster and net sources.
+type Strategy = route.Strategy
+
+// The routing strategies studied in the paper.
+const (
+	// StrategyKG is key grouping: single-choice hashing ("H").
+	StrategyKG = route.StrategyKG
+	// StrategySG is shuffle grouping: round-robin routing.
+	StrategySG = route.StrategySG
+	// StrategyPKG is partial key grouping (Greedy-d with key splitting).
+	StrategyPKG = route.StrategyPKG
+	// StrategyPoTC is the power of two choices without key splitting.
+	StrategyPoTC = route.StrategyPoTC
+	// StrategyOnGreedy sends each new key to the least-loaded worker.
+	StrategyOnGreedy = route.StrategyOnGreedy
+	// StrategyOffGreedy is the clairvoyant LPT baseline.
+	StrategyOffGreedy = route.StrategyOffGreedy
+)
+
+// RouterConfig describes a router for NewRouter.
+type RouterConfig = route.Config
+
+// NewRouter constructs any strategy of the shared routing core from a
+// single config — the programmatic twin of the per-strategy
+// constructors below.
+func NewRouter(cfg RouterConfig) (Router, error) { return route.New(cfg) }
 
 // PKG is partial key grouping: the power of d choices (default 2) with
-// key splitting, deciding by a load view. See core.PKG.
-type PKG = core.PKG
+// key splitting, deciding by a load view. See route.PKG.
+type PKG = route.PKG
 
 // KeyGrouping is single-choice hash partitioning (the KG baseline).
-type KeyGrouping = core.KeyGrouping
+type KeyGrouping = route.KeyGrouping
 
 // ShuffleGrouping is round-robin partitioning (the SG baseline).
-type ShuffleGrouping = core.ShuffleGrouping
+type ShuffleGrouping = route.ShuffleGrouping
 
 // PoTC is the power of two choices without key splitting: per-key routing
 // table, no migration.
-type PoTC = core.PoTC
+type PoTC = route.PoTC
 
 // OnGreedy assigns each new key to the globally least-loaded worker.
-type OnGreedy = core.OnGreedy
+type OnGreedy = route.OnGreedy
 
 // OffGreedy is the clairvoyant LPT baseline built from exact frequencies.
-type OffGreedy = core.OffGreedy
+type OffGreedy = route.OffGreedy
 
 // KeyFreq is a key with its total stream frequency (OffGreedy input).
-type KeyFreq = core.KeyFreq
+type KeyFreq = route.KeyFreq
 
 // Load is a per-worker load vector: the true loads of a stream edge, or a
 // source's local estimate of them.
@@ -74,35 +107,35 @@ func NewLoad(n int) *Load { return metrics.NewLoad(n) }
 // source its own view updated with its own routed messages (local load
 // estimation), or share the true loads for a global oracle.
 func NewPKG(workers, choices int, seed uint64, view *Load) *PKG {
-	return core.NewPKG(workers, choices, seed, view)
+	return route.NewPKG(workers, choices, seed, view)
 }
 
 // NewKeyGrouping returns hash partitioning over `workers` workers.
 func NewKeyGrouping(workers int, seed uint64) *KeyGrouping {
-	return core.NewKeyGrouping(workers, seed)
+	return route.NewKeyGrouping(workers, seed)
 }
 
 // NewShuffleGrouping returns round-robin partitioning starting at offset
 // `start` (vary per source).
 func NewShuffleGrouping(workers, start int) *ShuffleGrouping {
-	return core.NewShuffleGrouping(workers, start)
+	return route.NewShuffleGrouping(workers, start)
 }
 
 // NewPoTC returns static power-of-two-choices partitioning deciding by
 // view (typically the true loads; PoTC requires global knowledge).
 func NewPoTC(workers int, seed uint64, view *Load) *PoTC {
-	return core.NewPoTC(workers, seed, view)
+	return route.NewPoTC(workers, seed, view)
 }
 
 // NewOnGreedy returns the online greedy baseline.
 func NewOnGreedy(workers int, view *Load) *OnGreedy {
-	return core.NewOnGreedy(workers, view)
+	return route.NewOnGreedy(workers, view)
 }
 
 // NewOffGreedy returns the offline greedy (LPT) baseline for a known
 // frequency distribution.
 func NewOffGreedy(workers int, seed uint64, freqs []KeyFreq) *OffGreedy {
-	return core.NewOffGreedy(workers, seed, freqs)
+	return route.NewOffGreedy(workers, seed, freqs)
 }
 
 // Jaccard returns the routing agreement between two destination traces:
