@@ -76,6 +76,25 @@ func NewHeavyHitters(w, k int, strategy HHStrategy, seed uint64) *HeavyHitters {
 	return heavyhitters.NewDistributed(w, k, strategy, seed)
 }
 
+// TopKAggregator is the SpaceSaving-backed WindowAggregator behind the
+// distributed top-k: per-instance partial summaries, merged downstream
+// with Berinde-style error accounting.
+type TopKAggregator = heavyhitters.TopKAgg
+
+// HHTopologyConfig parameterizes the distributed top-k topology on the
+// live engine.
+type HHTopologyConfig = heavyhitters.TopologyConfig
+
+// HHTopologyOutput collects the merged top-K of a topology run.
+type HHTopologyOutput = heavyhitters.TopologyOutput
+
+// BuildHeavyHittersTopology assembles the §VI.C distributed top-k as an
+// engine topology: item spouts → windowed SpaceSaving partials → merged
+// final stage → top-K sink.
+func BuildHeavyHittersTopology(cfg HHTopologyConfig) (*Topology, *HHTopologyOutput, error) {
+	return heavyhitters.BuildTopology(cfg)
+}
+
 // Word count (the paper's running example, §II.A).
 
 // WordCount is a word with its count.

@@ -75,7 +75,7 @@ func main() {
 	}
 
 	stats := rt.Stats()
-	loads := stats.Loads("counter")
+	loads := stats.Loads("counter.partial")
 	var max, sum int64
 	for _, l := range loads {
 		if l > max {

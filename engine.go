@@ -2,6 +2,7 @@ package pkgstream
 
 import (
 	"pkgstream/internal/engine"
+	"pkgstream/internal/window"
 )
 
 // Storm-like engine surface: build a Topology with NewTopologyBuilder,
@@ -92,3 +93,59 @@ func GroupGlobal() GroupingFactory { return engine.Global() }
 
 // GroupBroadcast delivers every tuple to every instance.
 func GroupBroadcast() GroupingFactory { return engine.Broadcast() }
+
+// Windowed two-phase aggregation (internal/window): because partial key
+// grouping splits each key over two workers, every PKG topology needs a
+// downstream phase that periodically merges partial results — the
+// aggregation period T trades worker memory against throughput (§V Q4,
+// Figure 5(b)). Declare one with
+// TopologyBuilder.WindowedAggregate(name, plan, parallelism), which
+// expands into a partial stage name+".partial" and a merging final
+// stage name.
+
+// WindowSpec configures window assignment (tumbling/sliding/global) and
+// flushing (period T, tuple count, lateness, memory cap) for a windowed
+// aggregation. The zero value is a single global window flushed at
+// stream end.
+type WindowSpec = window.Spec
+
+// WindowAggregator is the init/accumulate/merge/emit contract of a
+// two-phase aggregation.
+type WindowAggregator = window.Aggregator
+
+// WindowCombiner is the fast path for commutative int64 counters.
+type WindowCombiner = window.Combiner
+
+// WindowPlan binds a WindowAggregator to a WindowSpec; it is the
+// WindowedOp a TopologyBuilder.WindowedAggregate declaration consumes.
+// Build a fresh plan per topology run.
+type WindowPlan = window.Plan
+
+// WindowResult is the payload (Values[0]) of a final-stage output
+// tuple: one closed (key, window) pair and its aggregated value.
+type WindowResult = window.Result
+
+// WindowedOp is the engine-side contract WindowPlan implements.
+type WindowedOp = engine.WindowedOp
+
+// WindowStats are the per-instance windowing counters surfaced through
+// TopologyStats.Windows (and folded by TopologyStats.WindowTotals).
+type WindowStats = engine.WindowStats
+
+// NewWindowPlan validates spec and binds it to the aggregator.
+func NewWindowPlan(agg WindowAggregator, spec WindowSpec) (*WindowPlan, error) {
+	return window.NewPlan(agg, spec)
+}
+
+// MustWindowPlan is NewWindowPlan that panics on error, for fluent
+// topology construction.
+func MustWindowPlan(agg WindowAggregator, spec WindowSpec) *WindowPlan {
+	return window.MustPlan(agg, spec)
+}
+
+// CountAggregator counts tuples per (key, window) — a WindowCombiner.
+func CountAggregator() WindowAggregator { return window.Count{} }
+
+// SumAggregator sums the integer tuple field at the given Values index
+// per (key, window) — a WindowCombiner.
+func SumAggregator(field int) WindowAggregator { return window.Sum{Field: field} }

@@ -21,7 +21,7 @@ func run(cfg pkgstream.WordCountConfig) (*pkgstream.WordCountOutput, float64) {
 	if err := rt.Run(); err != nil {
 		panic(err)
 	}
-	loads := rt.Stats().Loads("counter")
+	loads := rt.Stats().Loads("counter.partial")
 	var max, sum int64
 	for _, l := range loads {
 		if l > max {

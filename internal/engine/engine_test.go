@@ -871,3 +871,110 @@ func TestRouteKeyPreservesExplicitHashAfterStringKey(t *testing.T) {
 		t.Fatalf("explicit KeyHash after conversion = %d, want 42", got)
 	}
 }
+
+// fakeOp is a minimal WindowedOp: the partial stage counts tuples and
+// flushes one summary tuple at cleanup; the final stage sums them.
+type fakeOp struct {
+	finalPar int
+	mu       *sync.Mutex
+	total    *int64
+}
+
+func (op *fakeOp) NewPartial() Bolt {
+	n := int64(0)
+	return &hookBolt{
+		exec: func(tu Tuple, _ Emitter) {
+			if !tu.Tick {
+				n++
+			}
+		},
+		cleanup: func(out Emitter) { out.Emit(Tuple{Key: "sum", Values: Values{n}}) },
+	}
+}
+
+func (op *fakeOp) NewFinal() Bolt {
+	return BoltFunc(func(tu Tuple, _ Emitter) {
+		if tu.Tick {
+			return
+		}
+		op.mu.Lock()
+		*op.total += tu.Values[0].(int64)
+		op.mu.Unlock()
+	})
+}
+
+func (op *fakeOp) FinalParallelism() int          { return op.finalPar }
+func (op *fakeOp) FinalGrouping() GroupingFactory { return Key() }
+func (op *fakeOp) TickEvery() time.Duration       { return 0 }
+
+// hookBolt adapts closures (with a cleanup hook, unlike BoltFunc).
+type hookBolt struct {
+	exec    func(Tuple, Emitter)
+	cleanup func(Emitter)
+}
+
+func (b *hookBolt) Prepare(*Context)             {}
+func (b *hookBolt) Execute(t Tuple, out Emitter) { b.exec(t, out) }
+func (b *hookBolt) Cleanup(out Emitter)          { b.cleanup(out) }
+
+func TestWindowedAggregateExpandsToTwoStages(t *testing.T) {
+	var mu sync.Mutex
+	var total int64
+	op := &fakeOp{finalPar: 2, mu: &mu, total: &total}
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i%17)
+	}
+	b := NewBuilder("wa", 1)
+	b.AddSpout("src", func() Spout { return &sliceSpout{keys: keys} }, 1)
+	b.WindowedAggregate("agg", op, 3).Input("src", Partial())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(top, Options{QueueSize: 128})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if got := len(st.PerInstance["agg.partial"]); got != 3 {
+		t.Fatalf("partial stage has %d instances, want 3", got)
+	}
+	if got := len(st.PerInstance["agg"]); got != 2 {
+		t.Fatalf("final stage has %d instances, want 2", got)
+	}
+	if st.TotalExecuted("agg.partial") != 500 {
+		t.Fatalf("partial executed %d, want 500", st.TotalExecuted("agg.partial"))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 500 {
+		t.Fatalf("final summed %d, want 500", total)
+	}
+}
+
+func TestWindowedAggregateNilOp(t *testing.T) {
+	b := NewBuilder("wa", 1)
+	b.AddSpout("src", func() Spout { return &sliceSpout{keys: []string{"a"}} }, 1)
+	b.WindowedAggregate("agg", nil, 3).Input("src", Shuffle())
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nil op") {
+		t.Fatalf("Build error = %v, want nil-op error", err)
+	}
+}
+
+func TestWindowTotalsFold(t *testing.T) {
+	s := Stats{Windows: map[string][]WindowStats{
+		"c": {
+			{Live: 1, MaxLive: 5, Flushes: 2, PartialsOut: 10, Merged: 0, WindowsClosed: 1, LateDropped: 0},
+			{Live: 2, MaxLive: 9, Flushes: 3, PartialsOut: 20, Merged: 4, WindowsClosed: 2, LateDropped: 1},
+		},
+	}}
+	got := s.WindowTotals("c")
+	want := WindowStats{Live: 3, MaxLive: 9, Flushes: 5, PartialsOut: 30, Merged: 4, WindowsClosed: 3, LateDropped: 1}
+	if got != want {
+		t.Fatalf("WindowTotals = %+v, want %+v", got, want)
+	}
+	if z := s.WindowTotals("missing"); z != (WindowStats{}) {
+		t.Fatalf("missing component totals = %+v", z)
+	}
+}

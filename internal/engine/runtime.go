@@ -39,9 +39,47 @@ type InstanceStats struct {
 	Emitted int64
 }
 
+// WindowStats are the windowed-aggregation counters of one bolt
+// instance (see internal/window): gauges and counters of the two-phase
+// partial → final plan, surfaced through Stats so the aggregation period
+// T's memory/throughput trade-off (paper §V Q4, Figure 5(b)) is
+// observable on the live engine.
+type WindowStats struct {
+	// Live is the number of live (key, window) accumulators right now.
+	Live int64
+	// MaxLive is the high-water mark of Live — the instance's memory
+	// footprint in partial counters.
+	MaxLive int64
+	// Flushes counts flush rounds (timer tick, tuple count, memory
+	// pressure, or cleanup).
+	Flushes int64
+	// PartialsOut counts partial states emitted downstream (partial
+	// stage only).
+	PartialsOut int64
+	// Merged counts partial states merged (final stage only).
+	Merged int64
+	// WindowsClosed counts (key, window) results emitted (final stage).
+	WindowsClosed int64
+	// LateDropped counts partials that arrived for an already-closed
+	// window and were dropped (final stage).
+	LateDropped int64
+}
+
+// WindowStatsSource is implemented by bolts that expose windowing
+// counters (the window subsystem's partial and final stages). The
+// runtime snapshots every instance that implements it into
+// Stats.Windows; implementations must be safe to read while the
+// topology runs.
+type WindowStatsSource interface {
+	WindowStats() WindowStats
+}
+
 // Stats is a snapshot of per-instance counters, keyed by component name.
 type Stats struct {
 	PerInstance map[string][]InstanceStats
+	// Windows holds the per-instance windowing counters of components
+	// whose bolts implement WindowStatsSource.
+	Windows map[string][]WindowStats
 }
 
 // Loads returns the executed-tuple counts of a component's instances —
@@ -60,6 +98,33 @@ func (s Stats) TotalExecuted(component string) int64 {
 	var t int64
 	for _, st := range s.PerInstance[component] {
 		t += st.Executed
+	}
+	return t
+}
+
+// Fold accumulates another instance's counters into w: counters and the
+// Live gauge sum, MaxLive takes the maximum across instances (the worst
+// single-instance footprint, the quantity Figure 5(b) plots). It is the
+// single aggregation rule for WindowStats, shared by WindowTotals and
+// the window subsystem's plan-level folds.
+func (w *WindowStats) Fold(x WindowStats) {
+	w.Live += x.Live
+	if x.MaxLive > w.MaxLive {
+		w.MaxLive = x.MaxLive
+	}
+	w.Flushes += x.Flushes
+	w.PartialsOut += x.PartialsOut
+	w.Merged += x.Merged
+	w.WindowsClosed += x.WindowsClosed
+	w.LateDropped += x.LateDropped
+}
+
+// WindowTotals folds a component's per-instance window counters into
+// one summary (see WindowStats.Fold).
+func (s Stats) WindowTotals(component string) WindowStats {
+	var t WindowStats
+	for _, w := range s.Windows[component] {
+		t.Fold(w)
 	}
 	return t
 }
@@ -95,6 +160,12 @@ type Runtime struct {
 
 	stats map[string][]*instStats
 
+	// winMu guards winSrc: bolt instances register themselves as window
+	// stats sources when they are created (instances start concurrently
+	// and Stats may be called while the topology runs).
+	winMu  sync.Mutex
+	winSrc map[string][]WindowStatsSource
+
 	mu       sync.Mutex
 	firstErr error
 }
@@ -113,7 +184,8 @@ func NewRuntime(top *Topology, opts Options) *Runtime {
 		// QueueSize keeps bounding in-flight tuples.
 		opts.BatchSize = opts.QueueSize
 	}
-	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{}}
+	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{},
+		winSrc: map[string][]WindowStatsSource{}}
 	for _, s := range top.spouts {
 		r.stats[s.name] = newInstStats(s.parallelism)
 	}
@@ -134,7 +206,7 @@ func newInstStats(n int) []*instStats {
 // Stats returns a snapshot of the per-instance counters. It may be called
 // while the topology runs (counters are read atomically) or after Run.
 func (r *Runtime) Stats() Stats {
-	snap := Stats{PerInstance: map[string][]InstanceStats{}}
+	snap := Stats{PerInstance: map[string][]InstanceStats{}, Windows: map[string][]WindowStats{}}
 	for name, insts := range r.stats {
 		out := make([]InstanceStats, len(insts))
 		for i, st := range insts {
@@ -145,7 +217,29 @@ func (r *Runtime) Stats() Stats {
 		}
 		snap.PerInstance[name] = out
 	}
+	r.winMu.Lock()
+	for name, srcs := range r.winSrc {
+		out := make([]WindowStats, len(srcs))
+		for i, src := range srcs {
+			if src != nil {
+				out[i] = src.WindowStats()
+			}
+		}
+		snap.Windows[name] = out
+	}
+	r.winMu.Unlock()
 	return snap
+}
+
+// registerWindowSource records a bolt instance that exposes windowing
+// counters, so Stats can snapshot it.
+func (r *Runtime) registerWindowSource(component string, index, parallelism int, src WindowStatsSource) {
+	r.winMu.Lock()
+	defer r.winMu.Unlock()
+	if r.winSrc[component] == nil {
+		r.winSrc[component] = make([]WindowStatsSource, parallelism)
+	}
+	r.winSrc[component][index] = src
 }
 
 func (r *Runtime) recordErr(err error) {
@@ -461,6 +555,9 @@ func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan []Tuple, em *emitt
 	defer em.Flush() // after Cleanup, before the caller signals downstream
 	st := r.stats[decl.name][index]
 	bolt := decl.factory()
+	if src, ok := bolt.(WindowStatsSource); ok {
+		r.registerWindowSource(decl.name, index, decl.parallelism, src)
+	}
 	ctx := &Context{Topology: r.top.name, Component: decl.name, Index: index, Parallelism: decl.parallelism}
 
 	broken := false

@@ -225,6 +225,48 @@ func (bd *BoltDecl) TickEvery(d time.Duration) *BoltDecl {
 	return bd
 }
 
+// WindowedOp describes a two-phase windowed aggregation operator pair:
+// a partial stage that accumulates under any grouping (partial key
+// grouping splits each key over two instances) and a final stage that
+// merges the periodically flushed partials and closes windows. It is
+// implemented by internal/window.Plan; the engine stays agnostic of the
+// window semantics and only wires the pair into the topology.
+type WindowedOp interface {
+	// NewPartial returns one partial-stage bolt instance.
+	NewPartial() Bolt
+	// NewFinal returns one final-stage bolt instance.
+	NewFinal() Bolt
+	// FinalParallelism is the final stage's instance count.
+	FinalParallelism() int
+	// FinalGrouping routes the partial→final edge (keyed for data,
+	// broadcast for watermark marks).
+	FinalGrouping() GroupingFactory
+	// TickEvery is the wall-clock flush period for the partial stage
+	// (0: no timer ticks).
+	TickEvery() time.Duration
+}
+
+// WindowedAggregate declares a two-phase windowed aggregation: a partial
+// stage named name+".partial" with the given parallelism, and the final
+// stage named name — the PKG-partial → KG-final plan every split-key
+// topology needs (paper §IV). Chain Input on the returned declaration to
+// subscribe the partial stage to its upstream (typically with Partial());
+// downstream bolts subscribe to name and receive the final stage's
+// output.
+func (b *Builder) WindowedAggregate(name string, op WindowedOp, parallelism int) *BoltDecl {
+	if op == nil {
+		b.errs = append(b.errs, fmt.Errorf("engine: windowed aggregate %q has nil op", name))
+		return &BoltDecl{b: b}
+	}
+	partial := b.AddBolt(name+".partial", op.NewPartial, parallelism)
+	if d := op.TickEvery(); d > 0 {
+		partial.TickEvery(d)
+	}
+	b.AddBolt(name, op.NewFinal, op.FinalParallelism()).
+		Input(name+".partial", op.FinalGrouping())
+	return partial
+}
+
 // Topology is a validated dataflow DAG ready to run.
 type Topology struct {
 	name   string

@@ -325,3 +325,43 @@ func TestTheoryShape(t *testing.T) {
 		}
 	}
 }
+
+func TestWindowTShape(t *testing.T) {
+	tables := WindowT(tiny, 3)
+	if len(tables) != 2 {
+		t.Fatalf("WindowT should produce engine + cluster tables")
+	}
+	eng := tables[0]
+	// As T grows down the rows: memory (max live counters) rises
+	// monotonically, flush traffic falls monotonically — the engine-side
+	// Figure 5(b) direction (wall-clock words/s is not asserted; flush
+	// traffic is the deterministic throughput-cost proxy).
+	for i := 1; i < len(eng.Rows); i++ {
+		prev, cur := eng.Rows[i-1], eng.Rows[i]
+		if cell(t, prev[2]) > cell(t, cur[2]) {
+			t.Errorf("T=%s→%s: max live counters fell %s→%s, want monotone rise with T",
+				prev[0], cur[0], prev[2], cur[2])
+		}
+		if cell(t, prev[3]) < cell(t, cur[3]) {
+			t.Errorf("T=%s→%s: partials flushed rose %s→%s, want monotone fall with T",
+				prev[0], cur[0], prev[3], cur[3])
+		}
+	}
+	// Endpoints differ by a wide margin (the sweep spans 256× in T).
+	if cell(t, eng.Rows[0][2])*2 > cell(t, eng.Rows[len(eng.Rows)-1][2]) {
+		t.Errorf("memory spread too small: %s vs %s",
+			eng.Rows[0][2], eng.Rows[len(eng.Rows)-1][2])
+	}
+	// The cluster model agrees on the direction: longer T, more memory,
+	// no less throughput.
+	clu := tables[1]
+	for i := 1; i < len(clu.Rows); i++ {
+		prev, cur := clu.Rows[i-1], clu.Rows[i]
+		if cell(t, prev[1]) > cell(t, cur[1]) {
+			t.Errorf("cluster T=%s→%s: throughput fell %s→%s", prev[0], cur[0], prev[1], cur[1])
+		}
+		if cell(t, prev[2]) > cell(t, cur[2]) {
+			t.Errorf("cluster T=%s→%s: memory fell %s→%s", prev[0], cur[0], prev[2], cur[2])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pkgstream/internal/cluster"
+	"pkgstream/internal/engine"
+	"pkgstream/internal/wordcount"
+)
+
+// WindowT sweeps the aggregation period T on the LIVE engine — the
+// windowed word count under PKG — reproducing the Figure 5(b)
+// memory-vs-throughput lever outside the simulator, then cross-checks
+// the direction against the discrete-event cluster model. T is a tuple
+// count on the engine (deterministic) and seconds in the simulator; the
+// shape to match is the direction: shrinking T cuts the partial stage's
+// memory (live counters) and its throughput (more flush traffic), both
+// monotonically.
+func WindowT(sc Scale, seed uint64) []Table {
+	words := int(sc.MessageCap / 4)
+	if words < 50_000 {
+		words = 50_000
+	}
+	eng := Table{
+		Title: "§V Q4 / Figure 5(b) on the engine — aggregation period T sweep (wordcount, PKG, 1 source, 9 workers)",
+		Columns: []string{"T(tuples)", "words/s", "max live counters", "partials flushed",
+			"flush rounds", "merged"},
+		Notes: []string{
+			"shape to check: as T shrinks, max live counters fall monotonically while flush",
+			"traffic (partials flushed) rises — the memory/throughput trade-off of Figure 5(b)",
+			"words/s is wall-clock and machine-dependent; the deterministic flush-traffic",
+			"column is the throughput cost's stable proxy",
+		},
+	}
+	for _, T := range []int{250, 1_000, 4_000, 16_000, 64_000} {
+		// A single source keeps the flush segmentation — and so the live
+		// counter and flush-traffic columns — deterministic in the seed:
+		// with concurrent sources the batch interleaving would decide
+		// which words share a flush period.
+		cfg := wordcount.Config{
+			Words: 2 * words, Vocab: 30_000, P1: 0.0932, Sources: 1, Workers: 9,
+			FlushEvery: T, K: 10, Grouping: wordcount.UsePKG, Seed: seed,
+		}
+		top, out, err := wordcount.Build(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: window-t: %v", err))
+		}
+		rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048})
+		start := time.Now()
+		if err := rt.Run(); err != nil {
+			panic(fmt.Sprintf("experiments: window-t: %v", err))
+		}
+		elapsed := time.Since(start).Seconds()
+		eng.AddRow(fmt.Sprint(T),
+			f0(float64(out.TotalWords)/elapsed),
+			fmt.Sprint(out.MaxCounterResidency),
+			fmt.Sprint(out.PartialsFlushed),
+			fmt.Sprint(out.FlushRounds),
+			fmt.Sprint(out.PartialsMerged))
+	}
+
+	clu := Table{
+		Title:   "cluster cross-check — PKG throughput and memory vs T (Figure 5(b) model, 0.4ms delay)",
+		Columns: []string{"T(s)", "throughput", "avg counters"},
+		Notes: []string{
+			"same direction as the engine sweep: longer T buys throughput at the cost of memory",
+		},
+	}
+	for _, T := range sc.Fig5bPeriods {
+		p := clusterParams(cluster.PKG, sc, seed)
+		p.AggPeriod = T
+		if min := p.Warmup + 3*T; p.Duration < min {
+			p.Duration = min
+		}
+		r, err := cluster.Run(p)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: window-t: %v", err))
+		}
+		clu.AddRow(f0(T), f0(r.Throughput), f0(r.AvgCounters))
+	}
+	return []Table{eng, clu}
+}

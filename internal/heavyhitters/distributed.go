@@ -90,7 +90,12 @@ func (d *Distributed) probeSet(item uint64) []int {
 
 // TopK merges the worker summaries (into capacity k) and returns the j
 // top items. Under PKG an individual item's merged error comes from at
-// most two summaries; under shuffle grouping, up to W.
+// most two summaries; under shuffle grouping, up to W. The one-shot
+// W-way Merge is deliberate: SpaceSaving merging is order-sensitive
+// (capacity truncation plus min-count slack at every step), so a
+// pairwise fold would inflate the error bounds — the streaming
+// TopKAgg/BuildTopology path accepts that as the price of incremental
+// aggregation, a synchronous query should not.
 func (d *Distributed) TopK(k, j int) []Counted {
 	return Merge(k, d.workers...).Top(j)
 }

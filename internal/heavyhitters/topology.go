@@ -1,0 +1,199 @@
+package heavyhitters
+
+import (
+	"fmt"
+	"sync"
+
+	"pkgstream/internal/engine"
+	"pkgstream/internal/rng"
+	"pkgstream/internal/window"
+)
+
+// TopKAgg is the §VI.C distributed top-k expressed as a shared
+// window.Aggregator over SpaceSaving summaries: the partial stage keeps
+// one summary per instance per window (Spec.PerInstance), flushes it
+// every aggregation period, and the final stage merges the flushed
+// summaries with Berinde-style error accounting. Under PKG each item
+// lives in at most two partial summaries per period, which is what
+// bounds the merged error.
+//
+// Merge is commutative but only approximately associative: every
+// pairwise SpaceSaving merge truncates to capacity and folds min-count
+// slack in, so the merged counts and error bounds depend slightly on
+// arrival order. The guarantees survive (estimates never
+// underestimate, errors stay bounded), but two runs of the same
+// topology may report marginally different counts for tail items —
+// TopologyConfig.Seed makes the stream reproducible, not the merge
+// order. Synchronous queries that can see all summaries at once should
+// use the one-shot W-way Merge instead (Distributed.TopK does).
+type TopKAgg struct {
+	// Capacity is each summary's capacity k.
+	Capacity int
+}
+
+// Init implements window.Aggregator.
+func (a TopKAgg) Init() window.State { return New(a.Capacity) }
+
+// Accumulate implements window.Aggregator: the item is the tuple's
+// KeyHash (integer-keyed stream).
+func (a TopKAgg) Accumulate(s window.State, t engine.Tuple) window.State {
+	ss := s.(*SpaceSaving)
+	ss.Update(t.KeyHash)
+	return ss
+}
+
+// Merge implements window.Aggregator.
+func (a TopKAgg) Merge(x, y window.State) window.State {
+	return Merge(a.Capacity, x.(*SpaceSaving), y.(*SpaceSaving))
+}
+
+// Output implements window.Aggregator: the merged summary itself, so
+// sinks can run point and top-j queries against it.
+func (a TopKAgg) Output(_ string, s window.State) any { return s.(*SpaceSaving) }
+
+// TopologyConfig parameterizes the distributed top-k topology on the
+// live engine: Zipf item spouts → windowed SpaceSaving partials (routed
+// per Strategy) → a merging final stage → a top-K sink.
+type TopologyConfig struct {
+	// Items is the number of items each spout instance emits.
+	Items int
+	// Vocab is the item universe size; item i is drawn Zipf-distributed
+	// with the given P1 head probability.
+	Vocab uint64
+	// P1 is the frequency of the most common item.
+	P1 float64
+	// Sources is the spout parallelism.
+	Sources int
+	// Workers is the summary (partial-stage) parallelism.
+	Workers int
+	// Capacity is the per-summary SpaceSaving capacity k.
+	Capacity int
+	// K is the top-k reported by the sink.
+	K int
+	// FlushEvery is the aggregation period T as a tuple count per
+	// partial instance (0: flush only at stream end).
+	FlushEvery int
+	// Strategy selects the routing scheme (ByPKG, ByKey, ByShuffle).
+	Strategy Strategy
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// TopologyOutput collects the merged result of a topology run.
+type TopologyOutput struct {
+	mu sync.Mutex
+	// Top is the final merged top-K.
+	Top []Counted
+	// SummariesMerged counts the partial summaries the final stage
+	// consumed: one per (instance, window, period) — at most W per
+	// period regardless of strategy, but under PKG each individual
+	// item's error spans at most two of them.
+	SummariesMerged int64
+}
+
+// itemSpout emits Zipf-distributed integer items as KeyHash-keyed
+// tuples.
+type itemSpout struct {
+	n    int
+	i    int
+	voc  uint64
+	s    float64
+	seed uint64
+	z    *rng.Zipf
+}
+
+func (s *itemSpout) Open(ctx *engine.Context) {
+	s.z = rng.NewZipf(rng.NewStream(s.seed, uint64(ctx.Index)), s.s, s.voc)
+}
+
+func (s *itemSpout) Close() {}
+
+func (s *itemSpout) Next(out engine.Emitter) bool {
+	if s.i >= s.n {
+		return false
+	}
+	out.Emit(engine.Tuple{KeyHash: s.z.Next()})
+	s.i++
+	return true
+}
+
+// topSink folds the final stage's merged summaries (one Result per
+// window) into the run's top-K.
+type topSink struct {
+	cfg  TopologyConfig
+	out  *TopologyOutput
+	plan *window.Plan
+	sum  *SpaceSaving
+}
+
+func (b *topSink) Prepare(*engine.Context) {}
+
+func (b *topSink) Execute(t engine.Tuple, _ engine.Emitter) {
+	if t.Tick {
+		return
+	}
+	s := t.Values[0].(window.Result).Value.(*SpaceSaving)
+	if b.sum == nil {
+		b.sum = s
+		return
+	}
+	b.sum = Merge(b.cfg.Capacity, b.sum, s)
+}
+
+func (b *topSink) Cleanup(engine.Emitter) {
+	b.out.mu.Lock()
+	defer b.out.mu.Unlock()
+	if b.sum != nil {
+		b.out.Top = b.sum.Top(b.cfg.K)
+	}
+	b.out.SummariesMerged = b.plan.FinalStats().Merged
+}
+
+// BuildTopology assembles the distributed top-k topology. The returned
+// TopologyOutput is filled when the topology finishes.
+func BuildTopology(cfg TopologyConfig) (*engine.Topology, *TopologyOutput, error) {
+	if cfg.Items <= 0 || cfg.Vocab == 0 || cfg.Sources <= 0 || cfg.Workers <= 0 {
+		return nil, nil, fmt.Errorf("heavyhitters: Items, Vocab, Sources and Workers must be positive")
+	}
+	if cfg.P1 <= 0 || cfg.P1 >= 1 {
+		return nil, nil, fmt.Errorf("heavyhitters: P1 = %v out of (0,1)", cfg.P1)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, nil, fmt.Errorf("heavyhitters: Capacity must be positive")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	var grouping engine.GroupingFactory
+	switch cfg.Strategy {
+	case ByPKG:
+		grouping = engine.Partial()
+	case ByKey:
+		grouping = engine.Key()
+	case ByShuffle:
+		grouping = engine.Shuffle()
+	default:
+		return nil, nil, fmt.Errorf("heavyhitters: unknown strategy %v", cfg.Strategy)
+	}
+	plan, err := window.NewPlan(TopKAgg{Capacity: cfg.Capacity},
+		window.Spec{PerInstance: true, EveryTuples: cfg.FlushEvery})
+	if err != nil {
+		return nil, nil, fmt.Errorf("heavyhitters: %v", err)
+	}
+
+	out := &TopologyOutput{}
+	s := rng.SolveZipfExponent(cfg.Vocab, cfg.P1)
+	b := engine.NewBuilder("heavyhitters-topk", cfg.Seed)
+	b.AddSpout("items", func() engine.Spout {
+		return &itemSpout{n: cfg.Items, voc: cfg.Vocab, s: s, seed: cfg.Seed}
+	}, cfg.Sources)
+	b.WindowedAggregate("summary", plan, cfg.Workers).Input("items", grouping)
+	b.AddBolt("topk", func() engine.Bolt {
+		return &topSink{cfg: cfg, out: out, plan: plan}
+	}, 1).Input("summary", engine.Global())
+	top, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return top, out, nil
+}

@@ -1,0 +1,108 @@
+package heavyhitters
+
+import (
+	"testing"
+
+	"pkgstream/internal/engine"
+)
+
+// runTopTopology builds and runs a distributed top-k topology, returning
+// its output and runtime stats.
+func runTopTopology(t *testing.T, cfg TopologyConfig) (*TopologyOutput, engine.Stats) {
+	t.Helper()
+	top, out, err := BuildTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 256})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out, rt.Stats()
+}
+
+func TestTopologyFindsHeadUnderEveryStrategy(t *testing.T) {
+	for _, s := range []Strategy{ByPKG, ByKey, ByShuffle} {
+		cfg := TopologyConfig{
+			Items: 30000, Vocab: 3000, P1: 0.1, Sources: 2, Workers: 6,
+			Capacity: 512, K: 10, FlushEvery: 5000, Strategy: s, Seed: 5,
+		}
+		out, st := runTopTopology(t, cfg)
+		if len(out.Top) == 0 {
+			t.Fatalf("strategy %v: empty top", s)
+		}
+		if out.Top[0].Item != 1 {
+			t.Errorf("strategy %v: top item %d, want the Zipf head 1", s, out.Top[0].Item)
+		}
+		total := int64(cfg.Items * cfg.Sources)
+		// SpaceSaving never underestimates, so the head count is at
+		// least its true frequency (≈ p1·total) and at most the stream.
+		if c := out.Top[0].Count; c < int64(0.07*float64(total)) || c > total {
+			t.Errorf("strategy %v: head count %d implausible for %d items", s, c, total)
+		}
+		if got := st.TotalExecuted("summary.partial"); got != total {
+			t.Errorf("strategy %v: partial stage executed %d, want %d", s, got, total)
+		}
+		if out.SummariesMerged == 0 {
+			t.Errorf("strategy %v: no summaries merged", s)
+		}
+	}
+}
+
+func TestTopologyPKGBalancesPartialLoad(t *testing.T) {
+	imbalance := func(s Strategy) float64 {
+		_, st := runTopTopology(t, TopologyConfig{
+			Items: 40000, Vocab: 4000, P1: 0.15, Sources: 2, Workers: 8,
+			Capacity: 256, K: 5, FlushEvery: 8000, Strategy: s, Seed: 11,
+		})
+		return st.Imbalance("summary.partial")
+	}
+	pkg, kg := imbalance(ByPKG), imbalance(ByKey)
+	if pkg*3 > kg {
+		t.Fatalf("PKG partial imbalance %v not well below KG %v", pkg, kg)
+	}
+}
+
+func TestTopologyPeriodicFlushBoundsMemory(t *testing.T) {
+	// Per-instance scope with a global window holds exactly one live
+	// summary per partial instance, flushed every period.
+	_, st := runTopTopology(t, TopologyConfig{
+		Items: 20000, Vocab: 2000, P1: 0.1, Sources: 1, Workers: 4,
+		Capacity: 128, K: 5, FlushEvery: 2000, Strategy: ByPKG, Seed: 3,
+	})
+	w := st.WindowTotals("summary.partial")
+	if w.MaxLive != 1 {
+		t.Errorf("per-instance scope MaxLive = %d, want 1", w.MaxLive)
+	}
+	// 20000 items across 4 workers at T=2000 → at least 10 flush rounds.
+	if w.Flushes < 10 {
+		t.Errorf("only %d flush rounds at T=2000", w.Flushes)
+	}
+	if got := st.WindowTotals("summary").Merged; got != w.PartialsOut {
+		t.Errorf("final merged %d summaries, partial flushed %d", got, w.PartialsOut)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	base := TopologyConfig{
+		Items: 100, Vocab: 50, P1: 0.1, Sources: 1, Workers: 2,
+		Capacity: 16, K: 3, Strategy: ByPKG,
+	}
+	bad := []func(*TopologyConfig){
+		func(c *TopologyConfig) { c.Items = 0 },
+		func(c *TopologyConfig) { c.Vocab = 0 },
+		func(c *TopologyConfig) { c.Sources = 0 },
+		func(c *TopologyConfig) { c.Workers = 0 },
+		func(c *TopologyConfig) { c.P1 = 0 },
+		func(c *TopologyConfig) { c.Capacity = 0 },
+		func(c *TopologyConfig) { c.Strategy = Strategy(99) },
+		func(c *TopologyConfig) { c.FlushEvery = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, _, err := BuildTopology(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

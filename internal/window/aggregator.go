@@ -1,0 +1,101 @@
+package window
+
+import (
+	"fmt"
+
+	"pkgstream/internal/engine"
+)
+
+// State is a per-(key, window) accumulator. The concrete type is owned
+// by the Aggregator; the subsystem only moves it around and hands it
+// back.
+type State = any
+
+// Aggregator defines one two-phase aggregation in combiner-lattice
+// style: the partial stage calls Init once per live (key, window) pair
+// and Accumulate per tuple; flushed partials travel downstream keyed by
+// the original key, and the final stage Merges the partials of each key
+// (at most d of them per flush round under PKG-d) and calls Output when
+// the window closes.
+//
+// Merge must be commutative and at least approximately associative:
+// partials arrive in no particular order, and a window that spans
+// several aggregation periods is merged incrementally. Exact
+// aggregations (counts, sums, sets) are order-independent; truncating
+// sketches (e.g. SpaceSaving summaries) may yield slightly
+// order-dependent results while keeping their bounds — see
+// heavyhitters.TopKAgg.
+type Aggregator interface {
+	// Init returns an empty accumulator.
+	Init() State
+	// Accumulate folds one tuple into the accumulator and returns it
+	// (implementations may mutate s in place and return it).
+	Accumulate(s State, t engine.Tuple) State
+	// Merge folds two partial accumulators into one.
+	Merge(a, b State) State
+	// Output converts a merged accumulator into the result value for
+	// one closed (key, window) pair.
+	Output(key string, s State) any
+}
+
+// Combiner is the fast path for commutative int64 counters (counts,
+// sums, min/max encoded as a word): when an Aggregator also implements
+// Combiner, both stages store raw int64s per live (key, window) pair —
+// no boxed interface state, no Init/Accumulate indirection on the hot
+// path — and merge by addition. Weigh extracts a tuple's contribution.
+type Combiner interface {
+	Aggregator
+	// Weigh returns the tuple's additive contribution.
+	Weigh(t engine.Tuple) int64
+}
+
+// Count counts tuples per (key, window) — the aggregation behind the
+// paper's running word count example. It is a Combiner, so live state is
+// one int64 per key.
+type Count struct{}
+
+// Init implements Aggregator.
+func (Count) Init() State { return int64(0) }
+
+// Accumulate implements Aggregator.
+func (Count) Accumulate(s State, _ engine.Tuple) State { return s.(int64) + 1 }
+
+// Merge implements Aggregator.
+func (Count) Merge(a, b State) State { return a.(int64) + b.(int64) }
+
+// Output implements Aggregator.
+func (Count) Output(_ string, s State) any { return s.(int64) }
+
+// Weigh implements Combiner.
+func (Count) Weigh(engine.Tuple) int64 { return 1 }
+
+// Sum sums an integer tuple field per (key, window). Like Count it is a
+// Combiner.
+type Sum struct {
+	// Field is the Values index of the addend (an int or int64).
+	Field int
+}
+
+// Init implements Aggregator.
+func (Sum) Init() State { return int64(0) }
+
+// Accumulate implements Aggregator.
+func (a Sum) Accumulate(s State, t engine.Tuple) State { return s.(int64) + a.Weigh(t) }
+
+// Merge implements Aggregator.
+func (Sum) Merge(a, b State) State { return a.(int64) + b.(int64) }
+
+// Output implements Aggregator.
+func (Sum) Output(_ string, s State) any { return s.(int64) }
+
+// Weigh implements Combiner.
+func (a Sum) Weigh(t engine.Tuple) int64 {
+	switch v := t.Values[a.Field].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	default:
+		panic(fmt.Sprintf("window: Sum field %d has non-integer type %T", a.Field, v))
+	}
+}

@@ -1,0 +1,202 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pkgstream/internal/engine"
+)
+
+// FinalBolt is the second stage of a windowed aggregation: it merges the
+// flushed partials of each (key, window) pair — under PKG at most two
+// per flush round, the bounded aggregation cost the paper argues for —
+// and emits one Result per pair once the combined watermark (the minimum
+// across all partial instances) passes the window's end. Partials
+// arriving for an already-closed window are dropped and counted as late.
+type FinalBolt struct {
+	plan *Plan
+	inst *instrumentation
+
+	states map[slot]State // general path
+	counts map[slot]int64 // Combiner fast path
+	wms    map[int]int64  // watermark per partial instance
+	closed int64          // windows ending ≤ closed have been emitted
+	// minEnd is the earliest end among live slots (MaxInt64 when none),
+	// so the frequent watermark advances that close nothing skip the
+	// full slot scan.
+	minEnd   int64
+	lastLive int // last value published to the stats gauge
+}
+
+// Prepare implements engine.Bolt.
+func (b *FinalBolt) Prepare(*engine.Context) {
+	if b.plan.comb != nil {
+		b.counts = map[slot]int64{}
+	} else {
+		b.states = map[slot]State{}
+	}
+	b.wms = map[int]int64{}
+	b.closed = math.MinInt64
+	b.minEnd = math.MaxInt64
+}
+
+// Execute implements engine.Bolt: marks advance the watermark, partials
+// merge.
+func (b *FinalBolt) Execute(t engine.Tuple, out engine.Emitter) {
+	if t.Tick {
+		if len(t.Values) == 1 {
+			if m, ok := t.Values[0].(mark); ok {
+				b.advance(m, out)
+			}
+		}
+		return // engine timer ticks carry no values and are ignored
+	}
+	ps, ok := t.Values[0].(partialState)
+	if !ok {
+		panic(fmt.Sprintf("window: final stage received a non-partial tuple (values %v); "+
+			"subscribe downstream bolts to the final stage, not the reverse", t.Values))
+	}
+	sp := &b.plan.spec
+	end := sp.end(ps.start)
+	if end <= b.closed {
+		b.inst.late.Add(1)
+		return
+	}
+	if end < b.minEnd {
+		b.minEnd = end
+	}
+	var sl slot
+	if sp.PerInstance {
+		sl = slot{start: ps.start}
+	} else {
+		sl = slot{hash: t.RouteKey(), key: t.Key, start: ps.start}
+	}
+	b.inst.merged.Add(1)
+	if b.counts != nil {
+		b.counts[sl] += ps.state.(int64)
+	} else if cur, ok := b.states[sl]; ok {
+		b.states[sl] = b.plan.agg.Merge(cur, ps.state)
+	} else {
+		// First partial for the pair: adopt it (the emitting instance
+		// dropped its reference at flush, so no aliasing).
+		b.states[sl] = ps.state
+	}
+	b.publishLive()
+}
+
+// publishLive updates the live-slot gauge when it changed.
+func (b *FinalBolt) publishLive() {
+	live := len(b.states)
+	if b.counts != nil {
+		live = len(b.counts)
+	}
+	if live != b.lastLive {
+		b.lastLive = live
+		b.inst.setLive(int64(live))
+	}
+}
+
+// Cleanup implements engine.Bolt: every remaining window closes at
+// stream end.
+func (b *FinalBolt) Cleanup(out engine.Emitter) {
+	b.closeUpTo(math.MaxInt64, out)
+}
+
+// WindowStats implements engine.WindowStatsSource.
+func (b *FinalBolt) WindowStats() engine.WindowStats { return b.inst.snapshot() }
+
+// advance folds one partial instance's watermark in and, once every
+// instance has reported, closes all windows the combined (minimum)
+// watermark has passed.
+func (b *FinalBolt) advance(m mark, out engine.Emitter) {
+	if old, ok := b.wms[m.from]; !ok || m.wm > old {
+		b.wms[m.from] = m.wm
+	}
+	if len(b.wms) < m.of {
+		return // some partial instance has not reported yet
+	}
+	wm := int64(math.MaxInt64)
+	for _, v := range b.wms {
+		if v < wm {
+			wm = v
+		}
+	}
+	b.closeUpTo(wm, out)
+}
+
+// closeUpTo emits and forgets every (key, window) whose end the
+// watermark has passed, in deterministic (start, key, hash) order. The
+// common advance that closes nothing is O(1): nothing can be due while
+// the watermark is short of the earliest live window end.
+func (b *FinalBolt) closeUpTo(wm int64, out engine.Emitter) {
+	if wm <= b.closed {
+		return
+	}
+	b.closed = wm
+	if wm < b.minEnd {
+		return
+	}
+	sp := &b.plan.spec
+	next := int64(math.MaxInt64)
+	var due []slot
+	if b.counts != nil {
+		for sl := range b.counts {
+			if end := sp.end(sl.start); end <= wm {
+				due = append(due, sl)
+			} else if end < next {
+				next = end
+			}
+		}
+	} else {
+		for sl := range b.states {
+			if end := sp.end(sl.start); end <= wm {
+				due = append(due, sl)
+			} else if end < next {
+				next = end
+			}
+		}
+	}
+	b.minEnd = next
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].start != due[j].start {
+			return due[i].start < due[j].start
+		}
+		if due[i].key != due[j].key {
+			return due[i].key < due[j].key
+		}
+		return due[i].hash < due[j].hash
+	})
+	for _, sl := range due {
+		var st State
+		if b.counts != nil {
+			st = b.counts[sl]
+			delete(b.counts, sl)
+		} else {
+			st = b.states[sl]
+			delete(b.states, sl)
+		}
+		b.emitResult(sl, st, out)
+	}
+	b.inst.windowsClosed.Add(int64(len(due)))
+	b.publishLive()
+}
+
+func (b *FinalBolt) emitResult(sl slot, st State, out engine.Emitter) {
+	sp := &b.plan.spec
+	res := Result{
+		Key:     sl.key,
+		KeyHash: sl.hash,
+		Start:   sl.start,
+		End:     sp.end(sl.start),
+		Value:   b.plan.agg.Output(sl.key, st),
+	}
+	t := engine.Tuple{Key: sl.key, Values: engine.Values{res}}
+	if sl.key == "" {
+		t.KeyHash = sl.hash
+	}
+	out.Emit(t)
+}

@@ -1,0 +1,152 @@
+package window
+
+import (
+	"math"
+
+	"pkgstream/internal/engine"
+)
+
+// PartialBolt is the first stage of a windowed aggregation: it
+// accumulates per-(key, window) partial state for the tuples routed to
+// it (under PKG each key lives on at most two instances, so partials are
+// genuinely partial) and flushes everything downstream every aggregation
+// period — on the engine's wall-clock tick, after Spec.EveryTuples
+// tuples, when the live-state cap is hit, and at stream end. Every flush
+// ends with a broadcast watermark mark so the final stage can close
+// windows.
+type PartialBolt struct {
+	plan *Plan
+	inst *instrumentation
+
+	ctx      engine.Context
+	states   map[slot]State // general path
+	counts   map[slot]int64 // Combiner fast path
+	wins     []int64        // window-assignment scratch
+	since    int            // tuples since the last flush
+	wm       int64          // max event time seen (math.MinInt64: none)
+	lastLive int            // last value published to the stats gauge
+}
+
+// Prepare implements engine.Bolt.
+func (b *PartialBolt) Prepare(ctx *engine.Context) {
+	b.ctx = *ctx
+	b.wm = math.MinInt64
+	if b.plan.comb != nil {
+		b.counts = map[slot]int64{}
+	} else {
+		b.states = map[slot]State{}
+	}
+}
+
+// Execute implements engine.Bolt: ticks flush, data accumulates.
+func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
+	if t.Tick {
+		b.flush(out, false)
+		return
+	}
+	sp := &b.plan.spec
+	if sp.Size <= 0 {
+		// Global window: no event time, no assignment — one slot per
+		// key (or per instance), the running-total hot path.
+		b.accumulate(t, 0)
+	} else {
+		ts := sp.TimeOf(t)
+		if ts > b.wm {
+			b.wm = ts
+		}
+		b.wins = sp.assign(ts, b.wins[:0])
+		for _, start := range b.wins {
+			b.accumulate(t, start)
+		}
+	}
+	live := b.live()
+	if live != b.lastLive {
+		b.lastLive = live
+		b.inst.setLive(int64(live))
+	}
+	b.since++
+	if (sp.EveryTuples > 0 && b.since >= sp.EveryTuples) ||
+		(sp.MaxLivePartials > 0 && live >= sp.MaxLivePartials) {
+		b.flush(out, false)
+	}
+}
+
+// Cleanup implements engine.Bolt: the last flush, marked final so the
+// final stage knows this instance will never send another partial.
+func (b *PartialBolt) Cleanup(out engine.Emitter) {
+	b.flush(out, true)
+}
+
+// WindowStats implements engine.WindowStatsSource.
+func (b *PartialBolt) WindowStats() engine.WindowStats { return b.inst.snapshot() }
+
+func (b *PartialBolt) live() int {
+	if b.counts != nil {
+		return len(b.counts)
+	}
+	return len(b.states)
+}
+
+// accumulate folds t into the accumulator of one (key, window) slot.
+func (b *PartialBolt) accumulate(t engine.Tuple, start int64) {
+	var sl slot
+	if b.plan.spec.PerInstance {
+		sl = slot{start: start}
+	} else {
+		sl = slot{hash: t.RouteKey(), key: t.Key, start: start}
+	}
+	if b.counts != nil {
+		b.counts[sl] += b.plan.comb.Weigh(t)
+		return
+	}
+	acc, ok := b.states[sl]
+	if !ok {
+		acc = b.plan.agg.Init()
+	}
+	b.states[sl] = b.plan.agg.Accumulate(acc, t)
+}
+
+// flush emits every live (key, window) partial downstream keyed by the
+// original key, clears the local state (the O(1)-memory step: worker
+// memory is bounded by one period's key arrivals), and broadcasts this
+// instance's watermark.
+func (b *PartialBolt) flush(out engine.Emitter, final bool) {
+	if n := b.live(); n > 0 {
+		b.inst.flushes.Add(1)
+		b.inst.partialsOut.Add(int64(n))
+		if b.counts != nil {
+			for sl, c := range b.counts {
+				b.emitPartial(out, sl, c)
+			}
+			clear(b.counts)
+		} else {
+			for sl, st := range b.states {
+				b.emitPartial(out, sl, st)
+			}
+			clear(b.states)
+		}
+	}
+	b.since = 0
+	b.lastLive = 0
+	b.inst.setLive(0)
+	wm := b.wm
+	if wm != math.MinInt64 {
+		wm -= int64(b.plan.spec.Lateness)
+	}
+	if final {
+		wm = math.MaxInt64
+	}
+	out.Emit(engine.Tuple{Tick: true, Values: engine.Values{mark{
+		from: b.ctx.Index, of: b.ctx.Parallelism, wm: wm,
+	}}})
+}
+
+func (b *PartialBolt) emitPartial(out engine.Emitter, sl slot, st State) {
+	t := engine.Tuple{Key: sl.key, Values: engine.Values{partialState{start: sl.start, state: st}}}
+	if sl.key == "" {
+		// Integer-keyed stream (or per-instance scope): forward the raw
+		// key hash so the final edge routes on it.
+		t.KeyHash = sl.hash
+	}
+	out.Emit(t)
+}

@@ -1,0 +1,126 @@
+package window
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pkgstream/internal/engine"
+)
+
+// Plan binds an Aggregator to a Spec and implements engine.WindowedOp:
+// it manufactures the PartialBolt/FinalBolt instance pair that
+// engine.Builder.WindowedAggregate expands into the PKG-partial →
+// KG-final two-stage plan. A Plan belongs to one topology run — its
+// stats accumulate over the instances it created, so build a fresh Plan
+// (and topology) per run.
+type Plan struct {
+	agg  Aggregator
+	comb Combiner // non-nil: the int64 fast path is active
+	spec Spec
+
+	mu    sync.Mutex
+	parts []*instrumentation
+	fins  []*instrumentation
+}
+
+var _ engine.WindowedOp = (*Plan)(nil)
+
+// NewPlan validates the spec and returns a Plan for the aggregator. If
+// agg also implements Combiner, both stages use the int64 fast path.
+func NewPlan(agg Aggregator, spec Spec) (*Plan, error) {
+	if agg == nil {
+		return nil, fmt.Errorf("window: nil aggregator")
+	}
+	ns, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{agg: agg, spec: ns}
+	if c, ok := agg.(Combiner); ok {
+		p.comb = c
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error, for fluent topology
+// construction with specs known to be valid.
+func MustPlan(agg Aggregator, spec Spec) *Plan {
+	p, err := NewPlan(agg, spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Spec returns the normalized spec the plan runs with.
+func (p *Plan) Spec() Spec { return p.spec }
+
+// NewPartial implements engine.WindowedOp.
+func (p *Plan) NewPartial() engine.Bolt {
+	in := &instrumentation{}
+	p.mu.Lock()
+	p.parts = append(p.parts, in)
+	p.mu.Unlock()
+	return &PartialBolt{plan: p, inst: in}
+}
+
+// NewFinal implements engine.WindowedOp.
+func (p *Plan) NewFinal() engine.Bolt {
+	in := &instrumentation{}
+	p.mu.Lock()
+	p.fins = append(p.fins, in)
+	p.mu.Unlock()
+	return &FinalBolt{plan: p, inst: in}
+}
+
+// FinalParallelism implements engine.WindowedOp.
+func (p *Plan) FinalParallelism() int { return p.spec.FinalParallelism }
+
+// TickEvery implements engine.WindowedOp: the wall-clock aggregation
+// period T drives the partial stage's flush ticks.
+func (p *Plan) TickEvery() time.Duration { return p.spec.Period }
+
+// FinalGrouping implements engine.WindowedOp. Flushed partials are key
+// grouped — both PKG partials of a key must meet at one final instance —
+// while watermark marks broadcast to every final instance. Per-instance
+// aggregations converge on a single final instance instead.
+func (p *Plan) FinalGrouping() engine.GroupingFactory {
+	if p.spec.PerInstance {
+		return engine.Global()
+	}
+	kg := engine.Key()
+	return func(n int, seed uint64, emitter int) engine.Grouping {
+		return markBroadcast{data: kg(n, seed, emitter)}
+	}
+}
+
+// markBroadcast broadcasts watermark marks (the only Tick-flagged tuples
+// on a partial→final edge) and key-groups everything else.
+type markBroadcast struct {
+	data engine.Grouping
+}
+
+// Select implements engine.Grouping.
+func (g markBroadcast) Select(t engine.Tuple) int {
+	if t.Tick {
+		return engine.BroadcastAll
+	}
+	return g.data.Select(t)
+}
+
+// PartialStats folds the counters of every partial instance created so
+// far (MaxLive is the maximum across instances — the worst
+// single-instance memory footprint).
+func (p *Plan) PartialStats() engine.WindowStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fold(p.parts)
+}
+
+// FinalStats folds the counters of every final instance created so far.
+func (p *Plan) FinalStats() engine.WindowStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fold(p.fins)
+}

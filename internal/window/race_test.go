@@ -1,0 +1,118 @@
+package window
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pkgstream/internal/engine"
+)
+
+// zipfishSpout emits a skewed integer-keyed stream with a logical clock.
+type zipfishSpout struct {
+	n, i int
+	base int64
+}
+
+func (s *zipfishSpout) Open(ctx *engine.Context) { s.base = int64(ctx.Index+1) * 31 }
+func (s *zipfishSpout) Close()                   {}
+func (s *zipfishSpout) Next(out engine.Emitter) bool {
+	if s.i >= s.n {
+		return false
+	}
+	s.i++
+	// A crude skew: key 1 gets ~25% of the stream.
+	key := uint64(s.i*7919%s.n) % 997
+	if s.i%4 == 0 {
+		key = 0
+	}
+	out.Emit(engine.Tuple{
+		Key:       fmt.Sprintf("k%d", key),
+		EmitNanos: s.base + int64(s.i)*int64(time.Millisecond),
+	})
+	return true
+}
+
+// TestConcurrentFlushRace drives every flush trigger at once — wall-clock
+// period ticks, tuple-count flushes, and the memory-pressure cap — from
+// four partial instances into two final instances, while Stats (and the
+// WindowStats sources behind it) are polled concurrently. Run under
+// -race this exercises the snapshot atomics and the tick/mark plumbing;
+// the count invariant catches tuples lost to racing flushes.
+func TestConcurrentFlushRace(t *testing.T) {
+	const (
+		sources  = 3
+		perSpout = 20000
+	)
+	plan := MustPlan(Count{}, Spec{
+		Size:             200 * time.Millisecond,
+		Slide:            100 * time.Millisecond,
+		Period:           2 * time.Millisecond,
+		EveryTuples:      97,
+		MaxLivePartials:  64,
+		Lateness:         time.Hour, // interleaving skews event time across sources: never drop
+		FinalParallelism: 2,
+	})
+	var total atomic.Int64
+	b := engine.NewBuilder("race", 1)
+	b.AddSpout("src", func() engine.Spout { return &zipfishSpout{n: perSpout} }, sources)
+	b.WindowedAggregate("count", plan, 4).Input("src", engine.Partial())
+	b.AddBolt("sink", func() engine.Bolt {
+		return engine.BoltFunc(func(tu engine.Tuple, _ engine.Emitter) {
+			if tu.Tick {
+				return
+			}
+			total.Add(tu.Values[0].(Result).Value.(int64))
+		})
+	}, 1).Input("count", engine.Global())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 512})
+
+	done := make(chan struct{})
+	var pollers sync.WaitGroup
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				st := rt.Stats()
+				_ = st.WindowTotals("count.partial")
+				_ = plan.PartialStats()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	err = rt.Run()
+	close(done)
+	pollers.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every tuple lands in exactly two sliding windows (size = 2×slide),
+	// so the summed window counts are exactly twice the stream.
+	want := int64(2 * sources * perSpout)
+	if got := total.Load(); got != want {
+		t.Fatalf("window counts sum to %d, want %d — tuples lost in a racing flush", got, want)
+	}
+	parts := plan.PartialStats()
+	// The cap is enforced to within one tuple's window fan-out (2 here:
+	// size = 2×slide).
+	if parts.MaxLive > 64+1 {
+		t.Errorf("MaxLive %d exceeded the pressure cap", parts.MaxLive)
+	}
+	if parts.Flushes < int64(sources*perSpout)/97/2 {
+		t.Errorf("suspiciously few flushes: %+v", parts)
+	}
+	if fin := plan.FinalStats(); fin.Merged != parts.PartialsOut {
+		t.Errorf("final merged %d != partials flushed %d", fin.Merged, parts.PartialsOut)
+	}
+}

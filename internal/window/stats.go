@@ -1,0 +1,51 @@
+package window
+
+import (
+	"sync/atomic"
+
+	"pkgstream/internal/engine"
+)
+
+// instrumentation is the live, atomically updated form of
+// engine.WindowStats for one bolt instance. Each instance is driven by a
+// single goroutine, so read-modify sequences need no CAS; atomics only
+// make the values safe to snapshot while the topology runs.
+type instrumentation struct {
+	live          atomic.Int64
+	maxLive       atomic.Int64
+	flushes       atomic.Int64
+	partialsOut   atomic.Int64
+	merged        atomic.Int64
+	windowsClosed atomic.Int64
+	late          atomic.Int64
+}
+
+// setLive records the live-accumulator gauge and its high-water mark.
+func (in *instrumentation) setLive(n int64) {
+	in.live.Store(n)
+	if n > in.maxLive.Load() {
+		in.maxLive.Store(n)
+	}
+}
+
+// snapshot returns the counters in engine.WindowStats form.
+func (in *instrumentation) snapshot() engine.WindowStats {
+	return engine.WindowStats{
+		Live:          in.live.Load(),
+		MaxLive:       in.maxLive.Load(),
+		Flushes:       in.flushes.Load(),
+		PartialsOut:   in.partialsOut.Load(),
+		Merged:        in.merged.Load(),
+		WindowsClosed: in.windowsClosed.Load(),
+		LateDropped:   in.late.Load(),
+	}
+}
+
+// fold combines instance snapshots with the shared WindowStats rule.
+func fold(ins []*instrumentation) engine.WindowStats {
+	var t engine.WindowStats
+	for _, in := range ins {
+		t.Fold(in.snapshot())
+	}
+	return t
+}

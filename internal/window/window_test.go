@@ -1,0 +1,404 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"pkgstream/internal/engine"
+)
+
+// ms stamps an event time in milliseconds.
+func ms(v int64) int64 { return v * int64(time.Millisecond) }
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Size: -time.Second},
+		{Size: time.Second, Slide: -time.Second},
+		{Period: -time.Second},
+		{Lateness: -time.Second},
+		{EveryTuples: -1},
+		{MaxLivePartials: -1},
+		{Slide: time.Second}, // Slide without Size
+		{FinalParallelism: -1},
+	}
+	for i, s := range bad {
+		if _, err := NewPlan(Count{}, s); err == nil {
+			t.Errorf("case %d: spec %+v accepted", i, s)
+		}
+	}
+	if _, err := NewPlan(nil, Spec{}); err == nil {
+		t.Error("nil aggregator accepted")
+	}
+	// Defaults: tumbling slide, final parallelism, PerInstance forcing.
+	p := MustPlan(Count{}, Spec{Size: time.Second, FinalParallelism: 3})
+	if p.Spec().Slide != time.Second || p.FinalParallelism() != 3 {
+		t.Fatalf("normalized spec %+v", p.Spec())
+	}
+	p = MustPlan(Count{}, Spec{PerInstance: true, FinalParallelism: 3})
+	if p.FinalParallelism() != 1 {
+		t.Fatal("PerInstance did not force FinalParallelism to 1")
+	}
+}
+
+func TestAssign(t *testing.T) {
+	starts := func(sp Spec, ts int64) []int64 {
+		n, err := sp.normalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n.assign(ts, nil)
+	}
+	// Global window.
+	if got := starts(Spec{}, ms(123)); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("global assign = %v", got)
+	}
+	// Tumbling: a boundary timestamp belongs to the window starting
+	// there, not the one ending there.
+	tumble := Spec{Size: 10 * time.Millisecond}
+	if got := starts(tumble, ms(9)); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("tumbling assign(9ms) = %v", got)
+	}
+	if got := starts(tumble, ms(10)); len(got) != 1 || got[0] != ms(10) {
+		t.Fatalf("tumbling assign(10ms) = %v", got)
+	}
+	// Sliding with overlap: ts 7ms with size 10ms, slide 5ms is in
+	// [5,15) and [0,10).
+	slide := Spec{Size: 10 * time.Millisecond, Slide: 5 * time.Millisecond}
+	if got := starts(slide, ms(7)); len(got) != 2 || got[0] != ms(5) || got[1] != 0 {
+		t.Fatalf("sliding assign(7ms) = %v", got)
+	}
+	// A boundary tuple leaves the oldest window: ts 10ms is in [10,20)
+	// and [5,15) but not [0,10).
+	if got := starts(slide, ms(10)); len(got) != 2 || got[0] != ms(10) || got[1] != ms(5) {
+		t.Fatalf("sliding assign(10ms) = %v", got)
+	}
+	// Slide > Size leaves gaps: [0,2) then [5,7); ts 3ms is uncovered.
+	gappy := Spec{Size: 2 * time.Millisecond, Slide: 5 * time.Millisecond}
+	if got := starts(gappy, ms(3)); len(got) != 0 {
+		t.Fatalf("gap assign(3ms) = %v", got)
+	}
+	if got := starts(gappy, ms(6)); len(got) != 1 || got[0] != ms(5) {
+		t.Fatalf("gap assign(6ms) = %v", got)
+	}
+	// Negative timestamps align on the same grid.
+	if got := starts(tumble, ms(-1)); len(got) != 1 || got[0] != ms(-10) {
+		t.Fatalf("tumbling assign(-1ms) = %v", got)
+	}
+}
+
+// listSpout replays a fixed tuple list (pre-stamped event times survive
+// the runtime's spout stamping, which only fills zero EmitNanos).
+type listSpout struct {
+	tuples []engine.Tuple
+	i      int
+}
+
+func (s *listSpout) Open(*engine.Context) {}
+func (s *listSpout) Close()               {}
+func (s *listSpout) Next(out engine.Emitter) bool {
+	if s.i >= len(s.tuples) {
+		return false
+	}
+	out.Emit(s.tuples[s.i])
+	s.i++
+	return true
+}
+
+// collector gathers final-stage Results.
+type collector struct {
+	mu  sync.Mutex
+	res []Result
+}
+
+func (c *collector) bolt() engine.Bolt {
+	return engine.BoltFunc(func(t engine.Tuple, _ engine.Emitter) {
+		if t.Tick {
+			return
+		}
+		c.mu.Lock()
+		c.res = append(c.res, t.Values[0].(Result))
+		c.mu.Unlock()
+	})
+}
+
+// byWindow indexes results as key → start → value.
+func (c *collector) byWindow() map[string]map[int64]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]map[int64]any{}
+	for _, r := range c.res {
+		if out[r.Key] == nil {
+			out[r.Key] = map[int64]any{}
+		}
+		out[r.Key][r.Start] = r.Value
+	}
+	return out
+}
+
+// runPlan executes spout → windowed aggregate (partial parallelism par)
+// → collector and returns the results and final stats.
+func runPlan(t *testing.T, plan *Plan, tuples []engine.Tuple, par int) (*collector, engine.Stats) {
+	t.Helper()
+	col := &collector{}
+	b := engine.NewBuilder("wtest", 1)
+	b.AddSpout("src", func() engine.Spout { return &listSpout{tuples: tuples} }, 1)
+	b.WindowedAggregate("agg", plan, par).Input("src", engine.Key())
+	b.AddBolt("sink", col.bolt, 1).Input("agg", engine.Global())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 256})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return col, rt.Stats()
+}
+
+func tup(key string, atMs int64) engine.Tuple {
+	return engine.Tuple{Key: key, EmitNanos: ms(atMs)}
+}
+
+func TestTumblingCountsAcrossBoundary(t *testing.T) {
+	// Tuples straddling a window boundary land in different windows,
+	// including the exact-boundary timestamp.
+	tuples := []engine.Tuple{
+		tup("a", 1), tup("a", 9), tup("b", 9),
+		tup("a", 10), // boundary: second window
+		tup("a", 11), tup("b", 25),
+	}
+	plan := MustPlan(Count{}, Spec{Size: 10 * time.Millisecond, EveryTuples: 2})
+	col, st := runPlan(t, plan, tuples, 1)
+	got := col.byWindow()
+	want := map[string]map[int64]any{
+		"a": {0: int64(2), ms(10): int64(2)},
+		"b": {0: int64(1), ms(20): int64(1)},
+	}
+	for k, wins := range want {
+		for start, v := range wins {
+			if got[k][start] != v {
+				t.Errorf("count[%s][%d] = %v, want %v", k, start, got[k][start], v)
+			}
+		}
+	}
+	if n := len(col.res); n != 4 {
+		t.Errorf("%d results, want 4: %+v", n, col.res)
+	}
+	if w := st.WindowTotals("agg"); w.LateDropped != 0 {
+		t.Errorf("unexpected late drops: %+v", w)
+	}
+}
+
+func TestLateTupleAfterFlush(t *testing.T) {
+	// Per-tuple flushes advance the watermark; a tuple arriving after
+	// its window closed is dropped at the final stage and counted.
+	tuples := []engine.Tuple{
+		tup("a", 5),
+		tup("a", 25), // watermark 25ms closes [0,10)
+		tup("a", 7),  // late: [0,10) already emitted
+	}
+	plan := MustPlan(Count{}, Spec{Size: 10 * time.Millisecond, EveryTuples: 1})
+	col, st := runPlan(t, plan, tuples, 1)
+	got := col.byWindow()
+	if got["a"][0] != int64(1) || got["a"][ms(20)] != int64(1) {
+		t.Fatalf("windows = %+v", got)
+	}
+	if w := st.WindowTotals("agg"); w.LateDropped != 1 {
+		t.Fatalf("LateDropped = %d, want 1 (%+v)", w.LateDropped, w)
+	}
+
+	// With enough allowed lateness the straggler still merges.
+	plan = MustPlan(Count{}, Spec{Size: 10 * time.Millisecond, EveryTuples: 1,
+		Lateness: 30 * time.Millisecond})
+	col, st = runPlan(t, plan, tuples, 1)
+	got = col.byWindow()
+	if got["a"][0] != int64(2) {
+		t.Fatalf("lateness-tolerant windows = %+v", got)
+	}
+	if w := st.WindowTotals("agg"); w.LateDropped != 0 {
+		t.Fatalf("LateDropped = %d, want 0", w.LateDropped)
+	}
+}
+
+func TestSlidingOverlapLargerThanPeriod(t *testing.T) {
+	// Size 50ms, slide 10ms: each window overlaps five flush periods
+	// (EveryTuples 3 flushes far more often than windows close), so
+	// every window is assembled from many merged partial fragments.
+	// Logical times start at 1ms: EmitNanos 0 means "unset" and would be
+	// wall-clock stamped by the runtime.
+	var tuples []engine.Tuple
+	for i := int64(0); i < 40; i++ {
+		tuples = append(tuples, tup(fmt.Sprintf("k%d", i%3), i*2+1))
+	}
+	spec := Spec{Size: 50 * time.Millisecond, Slide: 10 * time.Millisecond, EveryTuples: 3}
+	plan := MustPlan(Count{}, spec)
+	col, _ := runPlan(t, plan, tuples, 1)
+
+	// Brute-force reference.
+	norm, err := spec.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]map[int64]int64{}
+	for _, tu := range tuples {
+		for _, start := range norm.assign(tu.EmitNanos, nil) {
+			if want[tu.Key] == nil {
+				want[tu.Key] = map[int64]int64{}
+			}
+			want[tu.Key][start]++
+		}
+	}
+	got := col.byWindow()
+	for k, wins := range want {
+		for start, n := range wins {
+			if got[k][start] != n {
+				t.Errorf("count[%s][%dms] = %v, want %d", k, start/int64(time.Millisecond), got[k][start], n)
+			}
+		}
+	}
+	var results int
+	for _, wins := range want {
+		results += len(wins)
+	}
+	if len(col.res) != results {
+		t.Errorf("%d results, want %d", len(col.res), results)
+	}
+}
+
+func TestFlushOnPressure(t *testing.T) {
+	// The memory cap flushes before the live-state count can exceed it,
+	// whatever the period.
+	var tuples []engine.Tuple
+	for i := 0; i < 200; i++ {
+		tuples = append(tuples, tup(fmt.Sprintf("k%d", i), int64(i)))
+	}
+	plan := MustPlan(Count{}, Spec{MaxLivePartials: 10})
+	col, st := runPlan(t, plan, tuples, 1)
+	w := st.WindowTotals("agg.partial")
+	if w.MaxLive > 10 {
+		t.Fatalf("MaxLive = %d above cap 10", w.MaxLive)
+	}
+	if w.Flushes < 20 {
+		t.Fatalf("only %d pressure flushes for 200 keys at cap 10", w.Flushes)
+	}
+	var total int64
+	for _, r := range col.res {
+		total += r.Value.(int64)
+	}
+	if total != 200 {
+		t.Fatalf("results sum to %d, want 200", total)
+	}
+}
+
+// distinctAgg exercises the generic (non-Combiner) path: per-key set of
+// payload tokens, merged by union.
+type distinctAgg struct{}
+
+func (distinctAgg) Init() State { return map[string]struct{}{} }
+func (distinctAgg) Accumulate(s State, t engine.Tuple) State {
+	m := s.(map[string]struct{})
+	m[t.Values[0].(string)] = struct{}{}
+	return m
+}
+func (distinctAgg) Merge(a, b State) State {
+	ma, mb := a.(map[string]struct{}), b.(map[string]struct{})
+	for k := range mb {
+		ma[k] = struct{}{}
+	}
+	return ma
+}
+func (distinctAgg) Output(_ string, s State) any { return len(s.(map[string]struct{})) }
+
+func TestGenericAggregatorPath(t *testing.T) {
+	tok := func(key, v string, atMs int64) engine.Tuple {
+		return engine.Tuple{Key: key, EmitNanos: ms(atMs), Values: engine.Values{v}}
+	}
+	tuples := []engine.Tuple{
+		tok("a", "x", 1), tok("a", "y", 2), tok("a", "x", 3),
+		tok("b", "z", 4), tok("b", "z", 5),
+	}
+	// Flush every tuple so the final stage merges five fragments.
+	plan := MustPlan(distinctAgg{}, Spec{EveryTuples: 1})
+	col, _ := runPlan(t, plan, tuples, 2)
+	got := col.byWindow()
+	if got["a"][0] != 2 || got["b"][0] != 1 {
+		t.Fatalf("distinct = %+v", got)
+	}
+}
+
+func TestCleanupFlushReachesDownstream(t *testing.T) {
+	// With no flush period at all, every result is produced by the
+	// Cleanup cascade (partial → final → sink) — the general form of
+	// the seed's silently-dropped Cleanup emission.
+	var tuples []engine.Tuple
+	for i := 0; i < 500; i++ {
+		tuples = append(tuples, tup(fmt.Sprintf("k%d", i%37), int64(i)))
+	}
+	plan := MustPlan(Count{}, Spec{})
+	col, st := runPlan(t, plan, tuples, 3)
+	var total int64
+	for _, r := range col.res {
+		total += r.Value.(int64)
+		if r.End != math.MaxInt64 {
+			t.Fatalf("global window End = %d", r.End)
+		}
+	}
+	if total != 500 || len(col.res) != 37 {
+		t.Fatalf("cleanup flush lost data: total %d over %d results", total, len(col.res))
+	}
+	if w := st.WindowTotals("agg.partial"); w.Flushes != 3 {
+		t.Fatalf("Flushes = %d, want one cleanup flush per instance", w.Flushes)
+	}
+}
+
+func TestPerInstanceScope(t *testing.T) {
+	var tuples []engine.Tuple
+	for i := 0; i < 300; i++ {
+		tuples = append(tuples, engine.Tuple{KeyHash: uint64(i%7 + 1), EmitNanos: ms(int64(i))})
+	}
+	plan := MustPlan(Count{}, Spec{PerInstance: true, EveryTuples: 50})
+	col, st := runPlan(t, plan, tuples, 4)
+	// One global window, all instances merged into a single result.
+	if len(col.res) != 1 {
+		t.Fatalf("%d results, want 1", len(col.res))
+	}
+	if col.res[0].Value.(int64) != 300 {
+		t.Fatalf("merged count = %v, want 300", col.res[0].Value)
+	}
+	if w := st.WindowTotals("agg.partial"); w.MaxLive != 1 {
+		t.Fatalf("per-instance MaxLive = %d, want 1", w.MaxLive)
+	}
+}
+
+func TestEngineStatsExposeWindowCounters(t *testing.T) {
+	var tuples []engine.Tuple
+	for i := 0; i < 100; i++ {
+		tuples = append(tuples, tup(fmt.Sprintf("k%d", i%11), int64(i)))
+	}
+	plan := MustPlan(Count{}, Spec{EveryTuples: 10})
+	_, st := runPlan(t, plan, tuples, 2)
+	if len(st.Windows["agg.partial"]) != 2 || len(st.Windows["agg"]) != 1 {
+		t.Fatalf("Windows map incomplete: %+v", st.Windows)
+	}
+	parts := st.WindowTotals("agg.partial")
+	final := st.WindowTotals("agg")
+	if parts.PartialsOut == 0 || parts.Flushes == 0 {
+		t.Fatalf("partial counters empty: %+v", parts)
+	}
+	if final.Merged != parts.PartialsOut {
+		t.Fatalf("final merged %d != partials flushed %d", final.Merged, parts.PartialsOut)
+	}
+	if final.WindowsClosed != 11 {
+		t.Fatalf("WindowsClosed = %d, want 11", final.WindowsClosed)
+	}
+	// Plan-level folds agree with the runtime snapshot.
+	if p := plan.PartialStats(); p.PartialsOut != parts.PartialsOut {
+		t.Fatalf("plan partials %+v != stats %+v", p, parts)
+	}
+	if f := plan.FinalStats(); f.Merged != final.Merged {
+		t.Fatalf("plan final %+v != stats %+v", f, final)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"pkgstream/internal/engine"
 	"pkgstream/internal/rng"
+	"pkgstream/internal/window"
 )
 
 // GroupingChoice selects the stream partitioning of the word stream.
@@ -29,11 +30,12 @@ type Config struct {
 	P1 float64
 	// Sources is the spout parallelism.
 	Sources int
-	// Workers is the counter parallelism.
+	// Workers is the partial-counter parallelism.
 	Workers int
-	// FlushEvery makes each counter flush its partials downstream after
-	// this many words (count-based stand-in for the paper's T-second
-	// aggregation period; deterministic under test).
+	// FlushEvery is the aggregation period T as a tuple count: each
+	// partial instance flushes its live counters downstream after this
+	// many words (deterministic under test; 0 flushes only at stream
+	// end).
 	FlushEvery int
 	// K is the top-k size.
 	K int
@@ -50,12 +52,20 @@ type Output struct {
 	Top []WordCount
 	// TotalWords is the total number of occurrences aggregated.
 	TotalWords int64
-	// PartialsMerged is the number of partial counters the aggregator
-	// consumed.
+	// PartialsMerged is the number of partial counters the final stage
+	// consumed — the aggregation overhead PKG bounds at 2 per word per
+	// period and shuffle grouping does not.
 	PartialsMerged int64
-	// MaxCounterResidency is the largest number of live partial counters
-	// observed on any single counter instance (memory footprint).
+	// MaxCounterResidency is the largest number of live partial
+	// counters observed on any single partial instance (the memory
+	// footprint of Figure 5(b)).
 	MaxCounterResidency int
+	// PartialsFlushed is the total number of partial counters flushed
+	// downstream across all periods (the flush traffic shrinking T
+	// buys memory with).
+	PartialsFlushed int64
+	// FlushRounds is the number of flushes the partial stage ran.
+	FlushRounds int64
 }
 
 // wordSpout emits Zipf-distributed words "w<rank>". Each instance seeds
@@ -85,70 +95,50 @@ func (s *wordSpout) Next(out engine.Emitter) bool {
 	return true
 }
 
-// counterBolt keeps partial counts and flushes every FlushEvery words
-// (and at Cleanup).
-type counterBolt struct {
-	c          *Counter
-	flushEvery int
-	out        *Output
+// topkBolt is the selection sink: the window subsystem's final stage
+// delivers each word's merged total exactly once per window, and this
+// bolt keeps the bounded top-k heap plus the run's aggregate counters.
+// It selects, it does not aggregate — all merging happens in
+// internal/window.
+type topkBolt struct {
+	k    int
+	out  *Output
+	plan *window.Plan
+
+	h     wcHeap
+	total int64
 }
 
-func (b *counterBolt) Prepare(*engine.Context) { b.c = NewCounter() }
+func (b *topkBolt) Prepare(*engine.Context) {}
 
-func (b *counterBolt) Execute(t engine.Tuple, out engine.Emitter) {
-	if t.Tick {
-		b.flush(out)
-		return
-	}
-	b.c.Add(t.Key)
-	if b.flushEvery > 0 && b.c.Seen() >= int64(b.flushEvery) {
-		b.flush(out)
-	}
-}
-
-func (b *counterBolt) Cleanup(out engine.Emitter) { b.flush(out) }
-
-func (b *counterBolt) flush(out engine.Emitter) {
-	if n := b.c.Len(); n > 0 {
-		b.out.mu.Lock()
-		if n > b.out.MaxCounterResidency {
-			b.out.MaxCounterResidency = n
-		}
-		b.out.mu.Unlock()
-	}
-	for _, wc := range b.c.Flush() {
-		out.Emit(engine.Tuple{Key: wc.Word, Values: engine.Values{wc.Count}})
-	}
-}
-
-// aggregatorBolt merges partials and publishes the final top-k at
-// Cleanup.
-type aggregatorBolt struct {
-	agg *Aggregator
-	k   int
-	out *Output
-}
-
-func (b *aggregatorBolt) Prepare(*engine.Context) { b.agg = NewAggregator() }
-
-func (b *aggregatorBolt) Execute(t engine.Tuple, _ engine.Emitter) {
+func (b *topkBolt) Execute(t engine.Tuple, _ engine.Emitter) {
 	if t.Tick {
 		return
 	}
-	b.agg.Merge(WordCount{Word: t.Key, Count: t.Values[0].(int64)})
+	res := t.Values[0].(window.Result)
+	n := res.Value.(int64)
+	b.total += n
+	b.h.offer(WordCount{Word: res.Key, Count: n}, b.k)
 }
 
-func (b *aggregatorBolt) Cleanup(_ engine.Emitter) {
+func (b *topkBolt) Cleanup(engine.Emitter) {
+	top := b.h.drain()
+	parts := b.plan.PartialStats()
 	b.out.mu.Lock()
 	defer b.out.mu.Unlock()
-	b.out.Top = b.agg.Top(b.k)
-	b.out.TotalWords = b.agg.Total()
-	b.out.PartialsMerged = b.agg.Merged()
+	b.out.Top = top
+	b.out.TotalWords = b.total
+	b.out.PartialsMerged = b.plan.FinalStats().Merged
+	b.out.MaxCounterResidency = int(parts.MaxLive)
+	b.out.PartialsFlushed = parts.PartialsOut
+	b.out.FlushRounds = parts.Flushes
 }
 
 // Build assembles the streaming top-k word count topology: word spouts →
-// counters (grouped per Config.Grouping) → a single aggregator. The
-// returned Output is filled when the topology finishes.
+// windowed two-phase count (partial counters grouped per
+// Config.Grouping, merged by a single final instance) → a top-k
+// selection sink. The returned Output is filled when the topology
+// finishes.
 func Build(cfg Config) (*engine.Topology, *Output, error) {
 	if cfg.Words <= 0 || cfg.Vocab == 0 || cfg.Workers <= 0 || cfg.Sources <= 0 {
 		return nil, nil, fmt.Errorf("wordcount: Words, Vocab, Sources and Workers must be positive")
@@ -173,16 +163,18 @@ func Build(cfg Config) (*engine.Topology, *Output, error) {
 
 	out := &Output{}
 	s := rng.SolveZipfExponent(cfg.Vocab, cfg.P1)
+	plan, err := window.NewPlan(window.Count{}, window.Spec{EveryTuples: cfg.FlushEvery})
+	if err != nil {
+		return nil, nil, fmt.Errorf("wordcount: %v", err)
+	}
 	b := engine.NewBuilder("wordcount-"+string(cfg.Grouping), cfg.Seed)
 	b.AddSpout("words", func() engine.Spout {
 		return &wordSpout{n: cfg.Words, vocab: cfg.Vocab, s: s, seed: cfg.Seed}
 	}, cfg.Sources)
-	b.AddBolt("counter", func() engine.Bolt {
-		return &counterBolt{flushEvery: cfg.FlushEvery, out: out}
-	}, cfg.Workers).Input("words", grouping)
-	b.AddBolt("aggregator", func() engine.Bolt {
-		return &aggregatorBolt{k: cfg.K, out: out}
-	}, 1).Input("counter", engine.Key())
+	b.WindowedAggregate("counter", plan, cfg.Workers).Input("words", grouping)
+	b.AddBolt("topk", func() engine.Bolt {
+		return &topkBolt{k: cfg.K, out: out, plan: plan}
+	}, 1).Input("counter", engine.Global())
 	top, err := b.Build()
 	if err != nil {
 		return nil, nil, err

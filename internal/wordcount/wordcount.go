@@ -1,19 +1,20 @@
 // Package wordcount implements the paper's running example (§II.A):
-// streaming top-k word count. Counter workers hold partial counts for the
-// words routed to them and periodically flush them to a single aggregator
-// that merges partials and maintains the global top-k.
+// streaming top-k word count. The counting itself is the shared windowed
+// two-phase aggregation of internal/window — partial counters on the
+// workers, periodically flushed and merged downstream — so this package
+// only supplies the Zipf word source, the top-k selection sink, and the
+// topology wiring.
 //
-// Under key grouping each word has exactly one counter (no aggregation
-// needed, but skewed load); under shuffle grouping a word may have W
-// partial counters (balanced load, O(W·K) memory); under partial key
-// grouping each word has at most two partial counters — the paper's
-// middle ground, with near-perfect load balance at O(2K) memory and O(1)
-// aggregation per word.
+// Under key grouping each word has exactly one partial counter (no
+// merging needed, but skewed load); under shuffle grouping a word may
+// have W partial counters (balanced load, O(W·K) memory); under partial
+// key grouping each word has at most two — the paper's middle ground,
+// with near-perfect load balance at O(2K) memory and O(1) aggregation
+// per word.
 package wordcount
 
 import (
 	"container/heap"
-	"sort"
 )
 
 // WordCount is a word with its (partial or total) count.
@@ -22,94 +23,6 @@ type WordCount struct {
 	Count int64
 }
 
-// Counter accumulates partial counts on one worker.
-type Counter struct {
-	counts map[string]int64
-	seen   int64
-}
-
-// NewCounter returns an empty Counter.
-func NewCounter() *Counter {
-	return &Counter{counts: make(map[string]int64)}
-}
-
-// Add records one occurrence of word.
-func (c *Counter) Add(word string) { c.AddN(word, 1) }
-
-// AddN records n occurrences of word.
-func (c *Counter) AddN(word string, n int64) {
-	c.counts[word] += n
-	c.seen += n
-}
-
-// Len returns the number of live partial counters — the worker's memory
-// footprint in the paper's Figure 5(b).
-func (c *Counter) Len() int { return len(c.counts) }
-
-// Seen returns the number of word occurrences recorded since the last
-// flush.
-func (c *Counter) Seen() int64 { return c.seen }
-
-// Flush returns all partial counts (sorted by word for determinism) and
-// resets the counter — the periodic aggregation step.
-func (c *Counter) Flush() []WordCount {
-	out := make([]WordCount, 0, len(c.counts))
-	for w, n := range c.counts {
-		out = append(out, WordCount{Word: w, Count: n})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
-	c.counts = make(map[string]int64)
-	c.seen = 0
-	return out
-}
-
-// Aggregator merges partial counts into totals and answers top-k queries.
-type Aggregator struct {
-	totals map[string]int64
-	merged int64
-}
-
-// NewAggregator returns an empty Aggregator.
-func NewAggregator() *Aggregator {
-	return &Aggregator{totals: make(map[string]int64)}
-}
-
-// Merge folds one partial count into the totals.
-func (a *Aggregator) Merge(wc WordCount) {
-	a.totals[wc.Word] += wc.Count
-	a.merged++
-}
-
-// MergeAll folds a batch of partial counts.
-func (a *Aggregator) MergeAll(wcs []WordCount) {
-	for _, wc := range wcs {
-		a.Merge(wc)
-	}
-}
-
-// Merged returns the number of partial counters merged — the aggregation
-// overhead that PKG bounds at 2 per word and shuffle grouping does not.
-func (a *Aggregator) Merged() int64 { return a.merged }
-
-// Total returns the total word occurrences aggregated.
-func (a *Aggregator) Total() int64 {
-	var t int64
-	for _, n := range a.totals {
-		t += n
-	}
-	return t
-}
-
-// Distinct returns the number of distinct words aggregated.
-func (a *Aggregator) Distinct() int { return len(a.totals) }
-
-// Count returns the aggregated count of one word.
-func (a *Aggregator) Count(word string) int64 { return a.totals[word] }
-
-// Top returns the k most frequent words in decreasing count order (ties
-// broken alphabetically).
-func (a *Aggregator) Top(k int) []WordCount { return Top(a.totals, k) }
-
 // Top returns the k highest-count entries of a count map in decreasing
 // count order, using a bounded min-heap (O(K log k)).
 func Top(counts map[string]int64, k int) []WordCount {
@@ -117,23 +30,10 @@ func Top(counts map[string]int64, k int) []WordCount {
 		return nil
 	}
 	h := &wcHeap{}
-	heap.Init(h)
 	for w, n := range counts {
-		wc := WordCount{Word: w, Count: n}
-		if h.Len() < k {
-			heap.Push(h, wc)
-			continue
-		}
-		if less((*h)[0], wc) {
-			(*h)[0] = wc
-			heap.Fix(h, 0)
-		}
+		h.offer(WordCount{Word: w, Count: n}, k)
 	}
-	out := make([]WordCount, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(WordCount)
-	}
-	return out
+	return h.drain()
 }
 
 // less orders WordCounts ascending: by count, then reverse-alphabetical,
@@ -146,6 +46,7 @@ func less(a, b WordCount) bool {
 	return a.Word > b.Word
 }
 
+// wcHeap is a bounded min-heap keeping the k largest WordCounts.
 type wcHeap []WordCount
 
 func (h wcHeap) Len() int           { return len(h) }
@@ -153,3 +54,26 @@ func (h wcHeap) Less(i, j int) bool { return less(h[i], h[j]) }
 func (h wcHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *wcHeap) Push(x any)        { *h = append(*h, x.(WordCount)) }
 func (h *wcHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// offer admits wc if it belongs in the top k, evicting the current
+// minimum.
+func (h *wcHeap) offer(wc WordCount, k int) {
+	if h.Len() < k {
+		heap.Push(h, wc)
+		return
+	}
+	if less((*h)[0], wc) {
+		(*h)[0] = wc
+		heap.Fix(h, 0)
+	}
+}
+
+// drain empties the heap into a slice sorted by decreasing count
+// (alphabetical tie-break).
+func (h *wcHeap) drain() []WordCount {
+	out := make([]WordCount, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(WordCount)
+	}
+	return out
+}

@@ -9,39 +9,6 @@ import (
 	"pkgstream/internal/rng"
 )
 
-func TestCounterBasics(t *testing.T) {
-	c := NewCounter()
-	c.Add("the")
-	c.Add("the")
-	c.AddN("cat", 3)
-	if c.Len() != 2 || c.Seen() != 5 {
-		t.Fatalf("Len=%d Seen=%d", c.Len(), c.Seen())
-	}
-	out := c.Flush()
-	if len(out) != 2 {
-		t.Fatalf("flush returned %d entries", len(out))
-	}
-	// Sorted by word.
-	if out[0].Word != "cat" || out[0].Count != 3 || out[1].Word != "the" || out[1].Count != 2 {
-		t.Fatalf("flush = %+v", out)
-	}
-	if c.Len() != 0 || c.Seen() != 0 {
-		t.Fatal("flush did not reset counter")
-	}
-}
-
-func TestAggregatorMerge(t *testing.T) {
-	a := NewAggregator()
-	a.Merge(WordCount{"x", 2})
-	a.MergeAll([]WordCount{{"x", 3}, {"y", 1}})
-	if a.Count("x") != 5 || a.Count("y") != 1 || a.Count("zzz") != 0 {
-		t.Fatalf("counts wrong: x=%d y=%d", a.Count("x"), a.Count("y"))
-	}
-	if a.Total() != 6 || a.Distinct() != 2 || a.Merged() != 3 {
-		t.Fatalf("Total=%d Distinct=%d Merged=%d", a.Total(), a.Distinct(), a.Merged())
-	}
-}
-
 func TestTopOrderingAndTies(t *testing.T) {
 	counts := map[string]int64{"a": 5, "b": 5, "c": 10, "d": 1}
 	top := Top(counts, 3)
@@ -111,6 +78,7 @@ func TestBuildValidation(t *testing.T) {
 		func(c *Config) { c.P1 = 0 },
 		func(c *Config) { c.P1 = 1 },
 		func(c *Config) { c.Grouping = "nope" },
+		func(c *Config) { c.FlushEvery = -1 },
 	}
 	for i, mutate := range bad {
 		cfg := base
@@ -122,7 +90,7 @@ func TestBuildValidation(t *testing.T) {
 }
 
 // runTopology builds and runs a word count topology, returning the output
-// and per-counter loads.
+// and per-partial-counter loads.
 func runTopology(t *testing.T, cfg Config) (*Output, []int64) {
 	t.Helper()
 	top, out, err := Build(cfg)
@@ -133,7 +101,7 @@ func runTopology(t *testing.T, cfg Config) (*Output, []int64) {
 	if err := rt.Run(); err != nil {
 		t.Fatal(err)
 	}
-	return out, rt.Stats().Loads("counter")
+	return out, rt.Stats().Loads("counter.partial")
 }
 
 func TestEndToEndCountsExact(t *testing.T) {
@@ -245,15 +213,47 @@ func TestMemoryResidencyOrdering(t *testing.T) {
 	}
 }
 
-func BenchmarkCounterAdd(b *testing.B) {
-	c := NewCounter()
-	words := make([]string, 1000)
-	for i := range words {
-		words[i] = fmt.Sprintf("w%d", i)
+func TestCleanupFlushReachesSink(t *testing.T) {
+	// Regression for the seed's aggregatorBolt.Cleanup discarding its
+	// Emitter: with FlushEvery = 0 every count travels the partial →
+	// final → sink chain purely through Cleanup flushes, so any stage
+	// that drops its Cleanup emissions loses the whole stream.
+	out, _ := runTopology(t, Config{
+		Words: 5000, Vocab: 800, P1: 0.1, Sources: 2, Workers: 4,
+		FlushEvery: 0, K: 5, Grouping: UsePKG, Seed: 9,
+	})
+	if out.TotalWords != 10000 {
+		t.Fatalf("sink received %d words, want 10000 — Cleanup flush lost", out.TotalWords)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Add(words[i%1000])
+	if out.PartialsMerged == 0 || out.FlushRounds == 0 {
+		t.Fatalf("no partials flowed: merged=%d rounds=%d", out.PartialsMerged, out.FlushRounds)
+	}
+	if len(out.Top) != 5 || out.Top[0].Word != "w1" {
+		t.Fatalf("Top = %+v", out.Top)
+	}
+}
+
+func TestFlushTrafficGrowsAsTShrinks(t *testing.T) {
+	// The Figure 5(b) lever on the live topology: a shorter aggregation
+	// period T trades memory (fewer live counters) for flush traffic.
+	mk := func(T int) *Output {
+		out, _ := runTopology(t, Config{
+			Words: 20000, Vocab: 2000, P1: 0.09, Sources: 1, Workers: 4,
+			FlushEvery: T, K: 5, Grouping: UsePKG, Seed: 13,
+		})
+		return out
+	}
+	short, long := mk(200), mk(10000)
+	if short.MaxCounterResidency >= long.MaxCounterResidency {
+		t.Errorf("short T residency %d not below long T %d",
+			short.MaxCounterResidency, long.MaxCounterResidency)
+	}
+	if short.PartialsFlushed <= long.PartialsFlushed {
+		t.Errorf("short T flushed %d partials, not above long T %d",
+			short.PartialsFlushed, long.PartialsFlushed)
+	}
+	if short.TotalWords != long.TotalWords {
+		t.Errorf("totals differ across T: %d vs %d", short.TotalWords, long.TotalWords)
 	}
 }
 
