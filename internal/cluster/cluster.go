@@ -32,6 +32,7 @@ import (
 
 	"pkgstream/internal/dataset"
 	"pkgstream/internal/hash"
+	"pkgstream/internal/hotkey"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/route"
 )
@@ -53,6 +54,13 @@ const (
 	PKG = route.StrategyPKG
 	// SG is shuffle grouping.
 	SG = route.StrategySG
+	// DChoices is frequency-aware PKG (ICDE 2016 follow-up): the source
+	// classifies keys with its own sketch and widens hot keys to d > 2
+	// candidates. Flushing behaves as under PKG.
+	DChoices = route.StrategyDChoices
+	// WChoices spreads keys above the hot threshold round-robin over
+	// all workers.
+	WChoices = route.StrategyWChoices
 )
 
 // Params configures one simulated deployment.
@@ -70,6 +78,9 @@ type Params struct {
 	// Window is the maximum number of in-flight tuples (Storm's
 	// max.spout.pending); the closed loop saturates against it.
 	Window int
+	// Hot holds the hot-key knobs for the DChoices and WChoices methods
+	// (zero value: adaptive defaults).
+	Hot hotkey.Config
 	// Spec provides the key distribution; the stream is replayed
 	// endlessly for the duration of the simulation.
 	Spec dataset.Spec
@@ -244,6 +255,15 @@ func Run(p Params) (Result, error) {
 		part = route.NewPKG(p.Workers, 2, hashSeed, view)
 	case SG:
 		part = route.NewShuffleGrouping(p.Workers, 0)
+	case DChoices, WChoices:
+		r, err := route.New(route.Config{
+			Strategy: p.Method, Workers: p.Workers, Seed: hashSeed,
+			View: view, Hot: p.Hot,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		part = r
 	default:
 		return Result{}, fmt.Errorf("cluster: unknown method %v", p.Method)
 	}

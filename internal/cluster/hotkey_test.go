@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+
+	"pkgstream/internal/dataset"
+	"pkgstream/internal/rng"
+)
+
+// TestHotChoicesRelieveTheHotWorker runs the queueing model on an
+// extreme-skew stream: under KG (and, less so, PKG-2) the worker
+// holding the head key is the bottleneck; the frequency-aware methods
+// must cut the hottest worker's share and with it recover throughput.
+func TestHotChoicesRelieveTheHotWorker(t *testing.T) {
+	spec := dataset.Spec{
+		Name: "Zipf", Symbol: "Z2", Messages: 300_000, Keys: 50_000,
+		P1: rng.ZipfP1(50_000, 2.0), Kind: dataset.Zipf, DurationHours: 1,
+	}
+	run := func(m Method) Result {
+		p := Defaults(m)
+		p.Spec = spec
+		p.Workers = 20
+		p.CPUDelay = 0.001
+		p.Duration = 15
+		p.AggPeriod = 5
+		r, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	pkg := run(PKG)
+	dc := run(DChoices)
+	wc := run(WChoices)
+
+	// p1 ≈ 0.6: PKG-2 leaves ≥ 30% on one worker; the hot-key methods
+	// must spread it far thinner.
+	if pkg.HotShare < 0.25 {
+		t.Fatalf("PKG hot share %v unexpectedly low — test premise broken", pkg.HotShare)
+	}
+	if dc.HotShare >= pkg.HotShare/2 {
+		t.Errorf("D-Choices hot share %v not well below PKG's %v", dc.HotShare, pkg.HotShare)
+	}
+	if wc.HotShare >= pkg.HotShare/2 {
+		t.Errorf("W-Choices hot share %v not well below PKG's %v", wc.HotShare, pkg.HotShare)
+	}
+	// The relieved bottleneck buys throughput at this service time (the
+	// hot PKG worker saturates at 1/(0.3·1ms) ≈ 3.3k tuples/s).
+	if dc.Throughput <= pkg.Throughput {
+		t.Errorf("D-Choices throughput %v not above PKG's %v", dc.Throughput, pkg.Throughput)
+	}
+	if wc.Throughput <= pkg.Throughput {
+		t.Errorf("W-Choices throughput %v not above PKG's %v", wc.Throughput, pkg.Throughput)
+	}
+	// Flushing still runs for the hot-key methods (they are not KG).
+	if dc.AvgCounters <= 0 || wc.AvgCounters <= 0 {
+		t.Errorf("flushing inactive: dc=%v wc=%v live counters", dc.AvgCounters, wc.AvgCounters)
+	}
+}
+
+// TestHotChoicesDeterministic pins the discrete-event model: same
+// params, same result.
+func TestHotChoicesDeterministic(t *testing.T) {
+	p := Defaults(DChoices)
+	p.Spec = p.Spec.WithCap(200_000)
+	p.Duration = 10
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same-params runs differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"pkgstream/internal/hotkey"
 	"pkgstream/internal/route"
 )
 
@@ -28,22 +29,36 @@ type GroupingFactory func(n int, seed uint64, emitter int) Grouping
 // Router exposes a coordination-free strategy of the shared routing
 // core (internal/route) as an engine grouping: the returned factory
 // builds one router per emitting instance, backed by a per-emitter load
-// view for PKG (local load estimation, §III.B). d is the number of
-// choices for PKG and is ignored by the other strategies.
+// view for the view-consulting strategies (local load estimation,
+// §III.B) and a per-emitter hot-key classifier for the frequency-aware
+// ones. d is the number of choices for PKG and is ignored by the other
+// strategies (the D-Choices width travels in the hotkey knobs — see
+// HotRouter).
 //
-// Only KG, SG and PKG are accepted — precisely the strategies whose
-// decisions need no state shared across emitters. PoTC and OnGreedy
-// require a key→worker table agreed on by every emitter (the
-// coordination cost the paper's key splitting removes), so running them
-// per-emitter would silently break their single-destination contract;
-// OffGreedy additionally needs the whole key-frequency distribution up
-// front. All three are rejected here.
+// Only KG, SG, PKG, D-Choices and W-Choices are accepted — precisely
+// the strategies whose decisions need no state shared across emitters
+// (a D/W-Choices emitter owns its sketch just as a PKG emitter owns its
+// load estimate). PoTC and OnGreedy require a key→worker table agreed
+// on by every emitter (the coordination cost the paper's key splitting
+// removes), so running them per-emitter would silently break their
+// single-destination contract; OffGreedy additionally needs the whole
+// key-frequency distribution up front. All three are rejected here.
 func Router(s route.Strategy, d int) GroupingFactory {
+	return HotRouter(s, d, hotkey.Config{})
+}
+
+// HotRouter is Router with explicit hot-key knobs for the
+// frequency-aware strategies (D-Choices hot width hot.D, skew target
+// hot.Epsilon, sketch and refresh parameters); the other strategies
+// ignore hot. hot.Workers is filled per edge from the downstream
+// parallelism.
+func HotRouter(s route.Strategy, d int, hot hotkey.Config) GroupingFactory {
 	// Validate here, synchronously: the returned factory runs inside the
 	// runtime's instance goroutines, where a panic would kill the process
 	// instead of surfacing at the topology-construction call site.
 	switch s {
-	case route.StrategyKG, route.StrategySG, route.StrategyPKG:
+	case route.StrategyKG, route.StrategySG, route.StrategyPKG,
+		route.StrategyDChoices, route.StrategyWChoices:
 	case route.StrategyPoTC, route.StrategyOnGreedy:
 		panic(fmt.Sprintf("engine: %v needs a routing table shared across emitters and cannot run as a per-emitter streaming grouping", s))
 	case route.StrategyOffGreedy:
@@ -54,8 +69,15 @@ func Router(s route.Strategy, d int) GroupingFactory {
 	if d < 0 {
 		panic(fmt.Sprintf("engine: Router with negative d %d", d))
 	}
+	if s == route.StrategyDChoices || s == route.StrategyWChoices {
+		probe := hot
+		probe.Workers = 1 // any positive count; per-edge W arrives later
+		if err := probe.Validate(); err != nil {
+			panic(fmt.Sprintf("engine: %v", err))
+		}
+	}
 	return func(n int, seed uint64, emitter int) Grouping {
-		cfg := route.Config{Strategy: s, Workers: n, Seed: seed, D: d, Start: emitter}
+		cfg := route.Config{Strategy: s, Workers: n, Seed: seed, D: d, Start: emitter, Hot: hot}
 		if s.NeedsView() {
 			cfg.View = route.NewLoad(n)
 		}
@@ -63,7 +85,11 @@ func Router(s route.Strategy, d int) GroupingFactory {
 		if err != nil {
 			panic(fmt.Sprintf("engine: %v", err))
 		}
-		return &routerGrouping{r: r, view: cfg.View, oblivious: s == route.StrategySG}
+		g := &routerGrouping{r: r, view: cfg.View, oblivious: s == route.StrategySG}
+		if ha, ok := r.(route.HotAware); ok {
+			g.cls = ha.Classifier()
+		}
+		return g
 	}
 }
 
@@ -75,7 +101,17 @@ func Router(s route.Strategy, d int) GroupingFactory {
 type routerGrouping struct {
 	r         route.Router
 	view      *route.Load
-	oblivious bool // the router never reads the key (shuffle)
+	cls       *hotkey.Classifier // non-nil for the frequency-aware strategies
+	oblivious bool               // the router never reads the key (shuffle)
+}
+
+// HotkeyStats implements HotkeyStatsSource for frequency-aware edges;
+// the runtime snapshots it into Stats.Hotkeys.
+func (g *routerGrouping) HotkeyStats() (hotkey.Stats, bool) {
+	if g.cls == nil {
+		return hotkey.Stats{}, false
+	}
+	return g.cls.Stats(), true
 }
 
 func (g *routerGrouping) Select(t Tuple) int {
@@ -129,6 +165,24 @@ func PartialN(d int) GroupingFactory {
 		panic("engine: PartialN with d <= 0")
 	}
 	return Router(route.StrategyPKG, d)
+}
+
+// DChoices returns frequency-aware partial key grouping (the ICDE 2016
+// follow-up's D-Choices): each emitting instance classifies keys with
+// its own Space-Saving sketch and widens hot keys to d > 2 candidates
+// (hot.D, or per-key adaptive when 0) while the cold tail keeps PKG's
+// two. The windowed aggregation downstream absorbs the wider key
+// splitting unchanged — a key simply yields up to d (or W) partials per
+// period instead of two.
+func DChoices(hot hotkey.Config) GroupingFactory {
+	return HotRouter(route.StrategyDChoices, 0, hot)
+}
+
+// WChoices returns the follow-up's W-Choices grouping: keys above the
+// hot threshold round-robin over every downstream instance, the cold
+// tail keeps PKG's two candidates.
+func WChoices(hot hotkey.Config) GroupingFactory {
+	return HotRouter(route.StrategyWChoices, 0, hot)
 }
 
 // Global returns global grouping: every tuple goes to instance 0 —

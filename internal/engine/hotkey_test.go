@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"pkgstream/internal/hotkey"
+	"pkgstream/internal/rng"
+)
+
+// runHotTopology drives n Zipf words from one spout through the given
+// grouping into a 20-instance sink and returns the runtime stats.
+func runHotTopology(t *testing.T, g GroupingFactory, n int) Stats {
+	t.Helper()
+	z := rng.NewZipf(rng.New(7), rng.SolveZipfExponent(10_000, 0.4), 10_000)
+	b := NewBuilder("hot", 5)
+	b.AddSpout("src", func() Spout {
+		return &genSpout{n: n, gen: func(int) string { return "w" + itoa(z.Next()) }}
+	}, 1)
+	b.AddBolt("sink", func() Bolt { return BoltFunc(func(Tuple, Emitter) {}) }, 20).
+		Input("src", g)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(top, Options{})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rt.Stats()
+}
+
+func TestHotkeyStatsSurface(t *testing.T) {
+	const n = 40_000
+	z := rng.NewZipf(rng.New(7), rng.SolveZipfExponent(10_000, 0.5), 10_000)
+	b := NewBuilder("hot", 5)
+	b.AddSpout("src", func() Spout {
+		return &genSpout{n: n, gen: func(int) string {
+			return "w" + itoa(z.Next())
+		}}
+	}, 1)
+	b.AddBolt("sink", func() Bolt { return BoltFunc(func(Tuple, Emitter) {}) }, 20).
+		Input("src", DChoices(hotkey.Config{RefreshEvery: 256}))
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(top, Options{})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+
+	hs, ok := st.Hotkeys["src→sink"]
+	if !ok || len(hs) != 1 {
+		t.Fatalf("Stats.Hotkeys missing src→sink edge: %v", st.Hotkeys)
+	}
+	tot := st.HotkeyTotals("src→sink")
+	if tot.Observed != n {
+		t.Errorf("Observed = %d, want %d", tot.Observed, n)
+	}
+	if tot.ColdRouted+tot.HotRouted+tot.HeadRouted != n {
+		t.Errorf("per-class counts %d+%d+%d don't sum to %d",
+			tot.ColdRouted, tot.HotRouted, tot.HeadRouted, n)
+	}
+	// p1 = 0.5 on 20 workers: the top word must be classified beyond cold
+	// and carry a visible share of the routed messages.
+	if tot.HotKeys+tot.HeadKeys == 0 {
+		t.Error("no hot or head keys on a p1=0.5 stream")
+	}
+	if tot.HotRouted+tot.HeadRouted < n/4 {
+		t.Errorf("only %d of %d messages routed widened", tot.HotRouted+tot.HeadRouted, n)
+	}
+	// A plain PKG edge reports no hot-key stats.
+	if _, ok := rt.Stats().Hotkeys["nope"]; ok {
+		t.Error("unexpected edge")
+	}
+}
+
+func TestPKGEdgeHasNoHotkeyStats(t *testing.T) {
+	st := runHotTopology(t, Partial(), 2_000)
+	if len(st.Hotkeys) != 0 {
+		t.Errorf("PKG edge registered hot-key stats: %v", st.Hotkeys)
+	}
+}
+
+// TestHotChoicesBeatPKGOnSkew is the engine-level shape check: on a
+// heavily skewed stream over many workers, both frequency-aware
+// groupings must end with strictly lower sink imbalance than PKG-2.
+func TestHotChoicesBeatPKGOnSkew(t *testing.T) {
+	const n = 60_000
+	imb := func(g GroupingFactory) float64 {
+		z := rng.NewZipf(rng.New(11), 2.0, 100_000)
+		b := NewBuilder("imb", 9)
+		b.AddSpout("src", func() Spout {
+			return &genSpout{n: n, gen: func(int) string { return "w" + itoa(z.Next()) }}
+		}, 1)
+		b.AddBolt("sink", func() Bolt { return BoltFunc(func(Tuple, Emitter) {}) }, 50).
+			Input("src", g)
+		top, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := NewRuntime(top, Options{})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().Imbalance("sink")
+	}
+	pkg := imb(Partial())
+	dc := imb(DChoices(hotkey.Config{}))
+	wc := imb(WChoices(hotkey.Config{}))
+	if dc >= pkg || wc >= pkg {
+		t.Errorf("imbalance not improved: PKG=%v D-Choices=%v W-Choices=%v", pkg, dc, wc)
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

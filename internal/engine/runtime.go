@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pkgstream/internal/hash"
+	"pkgstream/internal/hotkey"
 )
 
 // Options configures a Runtime.
@@ -74,12 +75,33 @@ type WindowStatsSource interface {
 	WindowStats() WindowStats
 }
 
+// HotkeyStats are the frequency-aware routing counters of one emitting
+// instance on one edge (see internal/hotkey): the hot/head key
+// populations its classifier currently tracks and the number of
+// messages routed per class. Aliased so engine consumers need not
+// import internal/hotkey separately.
+type HotkeyStats = hotkey.Stats
+
+// HotkeyStatsSource is implemented by groupings whose router classifies
+// keys by frequency (D-Choices, W-Choices). The runtime snapshots every
+// edge grouping that reports ok into Stats.Hotkeys; implementations
+// must be safe to read while the topology runs.
+type HotkeyStatsSource interface {
+	// HotkeyStats returns the counters and whether this grouping is
+	// frequency-aware at all (a plain PKG edge reports false).
+	HotkeyStats() (HotkeyStats, bool)
+}
+
 // Stats is a snapshot of per-instance counters, keyed by component name.
 type Stats struct {
 	PerInstance map[string][]InstanceStats
 	// Windows holds the per-instance windowing counters of components
 	// whose bolts implement WindowStatsSource.
 	Windows map[string][]WindowStats
+	// Hotkeys holds the per-emitting-instance hot-key counters of every
+	// frequency-aware edge, keyed "from→to" (one slice entry per
+	// emitting instance of the upstream component).
+	Hotkeys map[string][]HotkeyStats
 }
 
 // Loads returns the executed-tuple counts of a component's instances —
@@ -129,6 +151,16 @@ func (s Stats) WindowTotals(component string) WindowStats {
 	return t
 }
 
+// HotkeyTotals folds an edge's per-emitter hot-key counters into one
+// summary (see hotkey.Stats.Fold). The edge is named "from→to".
+func (s Stats) HotkeyTotals(edge string) HotkeyStats {
+	var t HotkeyStats
+	for _, h := range s.Hotkeys[edge] {
+		t.Fold(h)
+	}
+	return t
+}
+
 // Imbalance returns max − avg of a component's executed counts.
 func (s Stats) Imbalance(component string) float64 {
 	loads := s.Loads(component)
@@ -160,11 +192,13 @@ type Runtime struct {
 
 	stats map[string][]*instStats
 
-	// winMu guards winSrc: bolt instances register themselves as window
-	// stats sources when they are created (instances start concurrently
-	// and Stats may be called while the topology runs).
+	// winMu guards winSrc and hkSrc: bolt instances and edge groupings
+	// register themselves as stats sources when they are created
+	// (instances start concurrently and Stats may be called while the
+	// topology runs).
 	winMu  sync.Mutex
 	winSrc map[string][]WindowStatsSource
+	hkSrc  map[string][]HotkeyStatsSource
 
 	mu       sync.Mutex
 	firstErr error
@@ -185,7 +219,8 @@ func NewRuntime(top *Topology, opts Options) *Runtime {
 		opts.BatchSize = opts.QueueSize
 	}
 	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{},
-		winSrc: map[string][]WindowStatsSource{}}
+		winSrc: map[string][]WindowStatsSource{},
+		hkSrc:  map[string][]HotkeyStatsSource{}}
 	for _, s := range top.spouts {
 		r.stats[s.name] = newInstStats(s.parallelism)
 	}
@@ -206,7 +241,8 @@ func newInstStats(n int) []*instStats {
 // Stats returns a snapshot of the per-instance counters. It may be called
 // while the topology runs (counters are read atomically) or after Run.
 func (r *Runtime) Stats() Stats {
-	snap := Stats{PerInstance: map[string][]InstanceStats{}, Windows: map[string][]WindowStats{}}
+	snap := Stats{PerInstance: map[string][]InstanceStats{},
+		Windows: map[string][]WindowStats{}, Hotkeys: map[string][]HotkeyStats{}}
 	for name, insts := range r.stats {
 		out := make([]InstanceStats, len(insts))
 		for i, st := range insts {
@@ -227,6 +263,15 @@ func (r *Runtime) Stats() Stats {
 		}
 		snap.Windows[name] = out
 	}
+	for edge, srcs := range r.hkSrc {
+		out := make([]HotkeyStats, len(srcs))
+		for i, src := range srcs {
+			if src != nil {
+				out[i], _ = src.HotkeyStats()
+			}
+		}
+		snap.Hotkeys[edge] = out
+	}
 	r.winMu.Unlock()
 	return snap
 }
@@ -240,6 +285,20 @@ func (r *Runtime) registerWindowSource(component string, index, parallelism int,
 		r.winSrc[component] = make([]WindowStatsSource, parallelism)
 	}
 	r.winSrc[component][index] = src
+}
+
+// registerHotkeySource records a frequency-aware edge grouping (one per
+// emitting instance), so Stats can snapshot its hot-key counters.
+func (r *Runtime) registerHotkeySource(edge string, index, parallelism int, src HotkeyStatsSource) {
+	if _, ok := src.HotkeyStats(); !ok {
+		return // a plain router edge: nothing to report
+	}
+	r.winMu.Lock()
+	defer r.winMu.Unlock()
+	if r.hkSrc[edge] == nil {
+		r.hkSrc[edge] = make([]HotkeyStatsSource, parallelism)
+	}
+	r.hkSrc[edge][index] = src
 }
 
 func (r *Runtime) recordErr(err error) {
@@ -448,6 +507,9 @@ func (r *Runtime) Run() error {
 				group := in.factory(dst.parallelism, seed, index)
 				if !keyOblivious(group) {
 					em.keyed = true
+				}
+				if hs, ok := group.(HotkeyStatsSource); ok {
+					r.registerHotkeySource(comp+"→"+dst.name, index, parallelism[comp], hs)
 				}
 				em.subs = append(em.subs, subscription{
 					chans: chans[dst.name],

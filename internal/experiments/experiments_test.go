@@ -365,3 +365,72 @@ func TestWindowTShape(t *testing.T) {
 		}
 	}
 }
+
+// TestHotkeyHeadlineOrdering is the acceptance gate for the
+// frequency-aware strategies: on the high-skew (z = 2.0) stream at
+// scale (W ≥ 50), D-Choices and W-Choices must achieve strictly lower
+// imbalance than PKG-2 — in the routing simulation AND on the live
+// engine, deterministically in the seeded harness. A regression in
+// either layer fails this test, and with it CI.
+func TestHotkeyHeadlineOrdering(t *testing.T) {
+	tables := Hotkey(tiny, 1)
+	if len(tables) != 2 {
+		t.Fatalf("Hotkey should produce simulation + engine tables, got %d", len(tables))
+	}
+	sim := tables[0]
+	checked := 0
+	for _, row := range sim.Rows {
+		z, w := cell(t, row[0]), cell(t, row[2])
+		if z < 2.0 || w < 50 {
+			continue
+		}
+		pkg, dc, wc := cell(t, row[3]), cell(t, row[4]), cell(t, row[5])
+		if dc >= pkg {
+			t.Errorf("sim z=%v W=%v: D-Choices %v not strictly below PKG %v", z, w, dc, pkg)
+		}
+		if wc >= pkg {
+			t.Errorf("sim z=%v W=%v: W-Choices %v not strictly below PKG %v", z, w, wc, pkg)
+		}
+		// "Near-perfect" vs "degrades": an order of magnitude between them.
+		if dc*10 >= pkg || wc*10 >= pkg {
+			t.Errorf("sim z=%v W=%v: hot-key strategies not an order of magnitude better (pkg=%v dc=%v wc=%v)",
+				z, w, pkg, dc, wc)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no z ≥ 2.0, W ≥ 50 rows in the simulation table")
+	}
+
+	eng := tables[1]
+	imb := map[string]float64{}
+	for _, row := range eng.Rows {
+		imb[row[0]] = cell(t, row[1])
+	}
+	for _, g := range []string{"pkg", "dchoices", "wchoices"} {
+		if _, ok := imb[g]; !ok {
+			t.Fatalf("engine table missing %q row: %v", g, eng.Rows)
+		}
+	}
+	if imb["dchoices"] >= imb["pkg"] || imb["wchoices"] >= imb["pkg"] {
+		t.Errorf("engine cross-check ordering broken: %v", imb)
+	}
+}
+
+// TestHotkeyDeterministic pins the experiment end to end: both tables
+// must be cell-for-cell identical across runs with the same seed (the
+// engine half uses a single source precisely to make routing,
+// classification and flush segmentation deterministic).
+func TestHotkeyDeterministic(t *testing.T) {
+	a, b := Hotkey(tiny, 5), Hotkey(tiny, 5)
+	for ti := range a {
+		for ri := range a[ti].Rows {
+			for ci := range a[ti].Rows[ri] {
+				if a[ti].Rows[ri][ci] != b[ti].Rows[ri][ci] {
+					t.Fatalf("table %d row %d cell %d differs: %q vs %q",
+						ti, ri, ci, a[ti].Rows[ri][ci], b[ti].Rows[ri][ci])
+				}
+			}
+		}
+	}
+}

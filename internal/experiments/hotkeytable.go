@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pkgstream/internal/dataset"
+	"pkgstream/internal/engine"
+	"pkgstream/internal/rng"
+	"pkgstream/internal/simulate"
+	"pkgstream/internal/wordcount"
+)
+
+// hotkeyZipf builds a Zipf stream with a *given* exponent z — the sweep
+// axis of the follow-up paper's evaluation ("When Two Choices Are not
+// Enough", ICDE 2016). ZipfP1 converts z to the head probability the
+// dataset generator is parameterized by.
+func hotkeyZipf(z float64, keys uint64, messages int64) dataset.Spec {
+	return dataset.Spec{
+		Name: "Zipf", Symbol: fmt.Sprintf("Z%.1f", z), Messages: messages,
+		Keys: keys, P1: rng.ZipfP1(keys, z), Kind: dataset.Zipf, DurationHours: 1,
+	}
+}
+
+// Hotkey reproduces the ICDE 2016 follow-up's headline result: PKG with
+// d = 2 balances well up to moderate skew and scale, but once a key's
+// share exceeds what two workers can absorb (p1 > 2/W) its imbalance
+// grows linearly with the stream, while D-Choices (hot keys widened to
+// the d candidates their frequency warrants) and W-Choices (head keys
+// spread over all W workers) hold near-perfect balance. The sweep
+// crosses skew z with scale W in the routing simulator, then
+// cross-checks one high-skew point on the live engine, where the
+// windowed aggregation absorbs the widened key splitting and the
+// classifier's population/per-class counters are observable.
+func Hotkey(sc Scale, seed uint64) []Table {
+	messages := sc.MessageCap
+	if messages > 500_000 {
+		messages = 500_000 // p1 and W govern the result, not stream length
+	}
+	const keys = 100_000
+
+	sim := Table{
+		Title: "ICDE'16 follow-up — imbalance fraction I(m)/m across skew z and scale W (local estimation, 1 source)",
+		Columns: []string{"z", "p1(%)", "W", "PKG", "D-C", "W-C",
+			"D-C hot|head", "W-C widened%"},
+		Notes: []string{
+			"PKG-2 parks p1/2 of the stream on one worker once p1 > 2/W: its fraction",
+			"approaches (p1/2 - 1/W) at z = 2.0 while D-C/W-C stay near zero (the paper's",
+			"Figure: two choices stop being enough at scale, frequency-awareness repairs it)",
+			"D-C hot|head is the classifier population at end of run; W-C widened% is the",
+			"share of messages its single threshold round-robins over all W",
+		},
+	}
+	for _, z := range []float64{0.8, 1.4, 2.0} {
+		spec := hotkeyZipf(z, keys, messages)
+		for _, w := range []int{10, 50, 100} {
+			row := []string{f1(z), f2(rng.ZipfP1(keys, z) * 100), fmt.Sprint(w)}
+			var hotHead, widened string
+			for _, m := range []simulate.Method{simulate.PKG, simulate.DChoices, simulate.WChoices} {
+				r := simulate.Run(spec, simulate.Options{
+					Workers: w, Method: m, Info: simulate.Local, Seed: seed,
+				})
+				row = append(row, sci(r.AvgImbalanceFraction))
+				if m == simulate.DChoices {
+					hotHead = fmt.Sprintf("%d|%d", r.Hotkey.HotKeys, r.Hotkey.HeadKeys)
+				}
+				if m == simulate.WChoices {
+					widened = f1(100 * float64(r.Hotkey.HotRouted+r.Hotkey.HeadRouted) /
+						float64(r.Messages))
+				}
+			}
+			sim.AddRow(append(row, hotHead, widened)...)
+		}
+	}
+
+	// Live-engine cross-check at the degenerate point (z = 2.0, W = 50):
+	// the same strict ordering must hold for the partial stage's executed
+	// loads, with the hot-key counters surfaced through engine Stats.
+	words := int(sc.MessageCap / 4)
+	if words < 50_000 {
+		words = 50_000
+	}
+	const vocab, workers = 30_000, 50
+	eng := Table{
+		Title: "engine cross-check — partial-stage imbalance at z = 2.0, W = 50 (windowed wordcount, 1 source)",
+		Columns: []string{"grouping", "imbalance", "I/m", "hot|head keys",
+			"widened msgs%", "partials flushed"},
+		Notes: []string{
+			"same ordering as the simulation: PKG-2 degenerate, D-C and W-C near-perfect",
+			"partials flushed is the aggregation cost of wider key splitting (W-C pays the",
+			"most: every widened key can hold a counter on all W workers)",
+		},
+	}
+	for _, g := range []wordcount.GroupingChoice{
+		wordcount.UsePKG, wordcount.UseDChoices, wordcount.UseWChoices,
+	} {
+		cfg := wordcount.Config{
+			// A single source keeps routing, classification and the flush
+			// segmentation deterministic in the seed.
+			Words: words, Vocab: vocab, P1: rng.ZipfP1(vocab, 2.0),
+			Sources: 1, Workers: workers, FlushEvery: 4_000, K: 10,
+			Grouping: g, Seed: seed,
+		}
+		top, out, err := wordcount.Build(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: hotkey: %v", err))
+		}
+		rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048})
+		if err := rt.Run(); err != nil {
+			panic(fmt.Sprintf("experiments: hotkey: %v", err))
+		}
+		st := rt.Stats()
+		imb := st.Imbalance("counter.partial")
+		hk := st.HotkeyTotals("words→counter.partial")
+		hotHead, widened := "-", "-"
+		if hk.Observed > 0 {
+			hotHead = fmt.Sprintf("%d|%d", hk.HotKeys, hk.HeadKeys)
+			widened = f1(100 * float64(hk.HotRouted+hk.HeadRouted) / float64(hk.Observed))
+		}
+		eng.AddRow(string(g), f0(imb),
+			sci(imb/float64(out.TotalWords)),
+			hotHead, widened, fmt.Sprint(out.PartialsFlushed))
+	}
+	return []Table{sim, eng}
+}

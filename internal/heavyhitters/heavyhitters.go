@@ -1,0 +1,34 @@
+// Package heavyhitters answers streaming top-k queries with the
+// distributed pattern of the paper's §VI.C: route items to two workers
+// with partial key grouping, keep one SPACESAVING summary per worker,
+// and merge exactly two summaries per key at query time — so the
+// per-item error depends on two summary error terms regardless of the
+// parallelism level, unlike shuffle grouping where it grows with W.
+//
+// The SpaceSaving summary itself lives in internal/sketch (it is shared
+// with the hot-key classifier of internal/hotkey); this package
+// re-exports it under its historical names and adds the distributed
+// query layers on top.
+package heavyhitters
+
+import "pkgstream/internal/sketch"
+
+// Counted is one item of a summary or query result: an item identifier
+// with its estimated count and overestimation bound.
+type Counted = sketch.Counted
+
+// SpaceSaving maintains the top-k items of a stream in O(k) space. See
+// sketch.SpaceSaving for the guarantees.
+type SpaceSaving = sketch.SpaceSaving
+
+// New returns a SpaceSaving summary with capacity k. It panics if
+// k <= 0.
+func New(k int) *SpaceSaving { return sketch.New(k) }
+
+// Merge combines several summaries into a fresh one with the given
+// capacity, degrading the error bounds by the sum of the inputs' error
+// terms (Berinde et al.) — which is why the paper's PKG split (exactly
+// two summaries per key) beats shuffle grouping (W summaries per key).
+func Merge(k int, summaries ...*SpaceSaving) *SpaceSaving {
+	return sketch.Merge(k, summaries...)
+}

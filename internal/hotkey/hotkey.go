@@ -1,0 +1,351 @@
+// Package hotkey makes routing frequency-aware. The source paper's PKG
+// balances well while every key can be served by two workers, but its
+// follow-up ("When Two Choices Are not Enough: Balancing at Scale in
+// Distributed Stream Processing", Nasir et al., ICDE 2016) shows that at
+// large W the head of a skewed key distribution must be spread over
+// d > 2 — or all — workers while the cold tail stays on two. The missing
+// piece is a streaming estimate of each key's frequency: this package
+// supplies it as a per-source Classifier over a Space-Saving sketch
+// (internal/sketch, shared with the heavy-hitters application).
+//
+// Each source owns one Classifier and feeds it every key it routes, so
+// classification needs zero coordination — exactly the property that
+// makes PKG practical. Sources dealt a round-robin share of the stream
+// see the same key distribution, so their sketches, and therefore their
+// classifications, agree up to sketch error without ever talking to each
+// other (the 2016 paper's observation).
+//
+// Classification is a pure function of the key's estimated frequency
+// p̂(k), the worker count W, and the skew target ε (the tolerated excess
+// over the ideal per-worker share 1/W). Spreading a key of frequency p
+// over d workers puts p/d on each; keeping that within (1+ε)/W needs
+//
+//	need(k) = ⌈p̂(k)·W/(1+ε)⌉ workers.
+//
+// The classes follow:
+//
+//	cold:  need ≤ 2        — two choices suffice (stay on PKG-2);
+//	hot:   2 < need ≤ dCap — D-Choices widens to d candidates;
+//	head:  need > dCap     — even d is not enough; use all W workers.
+//
+// dCap is the configured D-Choices parameter d (Config.D), or ⌈W/2⌉ when
+// D is left adaptive — once a key warrants more than half the workers,
+// spreading it over all of them is both simpler and strictly better.
+// The resulting frequency thresholds, HotThreshold = 2(1+ε)/W and
+// HeadThreshold = dCap·(1+ε)/W, are the 2016 paper's shape: functions of
+// W, d and the skew target only.
+package hotkey
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"pkgstream/internal/sketch"
+)
+
+// Class is a key's current routing class.
+type Class uint8
+
+// The three classes, in increasing frequency order.
+const (
+	// Cold keys keep the paper's two choices.
+	Cold Class = iota
+	// Hot keys warrant d > 2 candidate workers (D-Choices).
+	Hot
+	// Head keys warrant all W workers (W-Choices, or the D-Choices
+	// escalation when even d candidates cannot hold them).
+	Head
+)
+
+// String returns a short class label.
+func (c Class) String() string {
+	switch c {
+	case Cold:
+		return "cold"
+	case Hot:
+		return "hot"
+	case Head:
+		return "head"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Config parameterizes a Classifier. The zero value of every field picks
+// a sensible default; only Workers is required.
+type Config struct {
+	// Workers is the number of downstream workers W.
+	Workers int
+	// D is the number of candidate workers given to hot keys (the
+	// D-Choices parameter). 0 selects the adaptive policy: each hot key
+	// gets exactly the ⌈p̂·W/(1+ε)⌉ candidates its frequency warrants,
+	// capped at ⌈W/2⌉ beyond which the key is head. Fixed values must be
+	// ≥ 3 (2 would be plain PKG); values above W are clamped by the
+	// candidate construction.
+	D int
+	// Epsilon is the skew target: the tolerated relative excess over the
+	// ideal per-worker share 1/W when a key's traffic is split across
+	// its candidates. 0 means "default" (0.25); there is no way to
+	// request a literal zero target — use a small positive value (e.g.
+	// 1e-9) for the strict 2/W threshold. Smaller targets classify more
+	// keys as hot and spread them wider.
+	Epsilon float64
+	// SketchCapacity is the Space-Saving summary size. Default 5·W
+	// (minimum 64): the sketch's overestimation is then at most
+	// N/(5W) ≲ HotThreshold/10, so tail keys cannot be misclassified
+	// upward by sketch error alone.
+	SketchCapacity int
+	// RefreshEvery is the number of observations between classification
+	// rebuilds (default 512). Between rebuilds the classification is
+	// frozen, which bounds re-classification churn: a key's candidate
+	// set changes at most once per refresh.
+	RefreshEvery int
+	// Warmup is the minimum number of observations before any key is
+	// classified non-cold (default RefreshEvery): early estimates are
+	// too noisy to widen on. The first classification happens exactly at
+	// Warmup; later ones on multiples of RefreshEvery.
+	Warmup int
+}
+
+// withDefaults fills zero fields; it does not validate.
+func (c Config) withDefaults() Config {
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.25
+	}
+	if c.SketchCapacity == 0 {
+		c.SketchCapacity = 5 * c.Workers
+		if c.SketchCapacity < 64 {
+			c.SketchCapacity = 64
+		}
+	}
+	if c.RefreshEvery == 0 {
+		c.RefreshEvery = 512
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.RefreshEvery
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("hotkey: Workers must be positive, got %d", c.Workers)
+	}
+	if c.D < 0 || c.D == 1 || c.D == 2 {
+		return fmt.Errorf("hotkey: D must be 0 (adaptive) or ≥ 3, got %d", c.D)
+	}
+	if c.Epsilon < 0 || math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) {
+		return fmt.Errorf("hotkey: Epsilon must be a finite non-negative target, got %v", c.Epsilon)
+	}
+	if c.SketchCapacity < 0 || c.RefreshEvery < 0 || c.Warmup < 0 {
+		return fmt.Errorf("hotkey: negative SketchCapacity, RefreshEvery or Warmup")
+	}
+	return nil
+}
+
+// Stats is a snapshot of a Classifier's counters. All fields are safe to
+// read while the owning source routes.
+type Stats struct {
+	// Observed is the number of keys observed (messages routed).
+	Observed int64
+	// Tracked is the number of keys monitored by the sketch.
+	Tracked int64
+	// HotKeys and HeadKeys are the population of the hot and head
+	// classes at the last refresh (HotKeys excludes HeadKeys).
+	HotKeys, HeadKeys int64
+	// Refreshes counts classification rebuilds.
+	Refreshes int64
+	// ColdRouted, HotRouted and HeadRouted count observed messages by
+	// the class their key held at observation time.
+	ColdRouted, HotRouted, HeadRouted int64
+}
+
+// Fold accumulates another snapshot into s: counters and populations
+// sum (the total over sources), Refreshes takes the maximum.
+func (s *Stats) Fold(x Stats) {
+	s.Observed += x.Observed
+	s.Tracked += x.Tracked
+	s.HotKeys += x.HotKeys
+	s.HeadKeys += x.HeadKeys
+	if x.Refreshes > s.Refreshes {
+		s.Refreshes = x.Refreshes
+	}
+	s.ColdRouted += x.ColdRouted
+	s.HotRouted += x.HotRouted
+	s.HeadRouted += x.HeadRouted
+}
+
+// Classifier tracks key frequencies for one source and classifies each
+// key as cold, hot or head. It is owned by a single routing goroutine —
+// Observe, Class and Choices are not safe for concurrent use — but
+// Stats may be called from any goroutine while routing runs.
+type Classifier struct {
+	cfg  Config
+	dCap int
+	ss   *sketch.SpaceSaving
+	// choices holds the widened candidate count of every non-cold key as
+	// of the last refresh; absent keys are cold. Rebuilt, never mutated
+	// in place.
+	choices map[uint64]int
+
+	observed   atomic.Int64
+	tracked    atomic.Int64
+	hotKeys    atomic.Int64
+	headKeys   atomic.Int64
+	refreshes  atomic.Int64
+	coldRouted atomic.Int64
+	hotRouted  atomic.Int64
+	headRouted atomic.Int64
+}
+
+// NewClassifier returns a Classifier for the configuration. It panics on
+// an invalid Config (use Config.Validate to check first when wiring from
+// user input).
+func NewClassifier(cfg Config) *Classifier {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	dCap := cfg.D
+	if dCap == 0 {
+		dCap = (cfg.Workers + 1) / 2
+		if dCap < 3 {
+			dCap = 3
+		}
+	}
+	return &Classifier{
+		cfg:     cfg,
+		dCap:    dCap,
+		ss:      sketch.New(cfg.SketchCapacity),
+		choices: map[uint64]int{},
+	}
+}
+
+// Workers returns the configured worker count W.
+func (c *Classifier) Workers() int { return c.cfg.Workers }
+
+// DCap returns the effective D-Choices parameter: Config.D, or the
+// adaptive cap ⌈W/2⌉ beyond which a key is head.
+func (c *Classifier) DCap() int { return c.dCap }
+
+// HotThreshold returns the relative frequency above which a key is no
+// longer cold: 2(1+ε)/W, the point where two candidates can no longer
+// hold the key within the skew target.
+func (c *Classifier) HotThreshold() float64 {
+	return 2 * (1 + c.cfg.Epsilon) / float64(c.cfg.Workers)
+}
+
+// HeadThreshold returns the relative frequency above which a key is
+// head: dCap·(1+ε)/W, the point where even dCap candidates cannot hold
+// it within the skew target.
+func (c *Classifier) HeadThreshold() float64 {
+	return float64(c.dCap) * (1 + c.cfg.Epsilon) / float64(c.cfg.Workers)
+}
+
+// Observe records one routed message for key — updating the sketch and,
+// at Warmup and then on every RefreshEvery-th observation, rebuilding
+// the classification — and returns the key's class as of the last
+// rebuild together with the candidate count it warrants (2 / d / W),
+// counting the message into the per-class counters. Routers consume
+// both values from the single classification lookup.
+func (c *Classifier) Observe(key uint64) (Class, int) {
+	c.ss.Update(key)
+	n := c.ss.N()
+	c.observed.Store(n)
+	if n == int64(c.cfg.Warmup) ||
+		(n > int64(c.cfg.Warmup) && n%int64(c.cfg.RefreshEvery) == 0) {
+		c.refresh(n)
+	}
+	cl, d := c.classify(key)
+	switch cl {
+	case Head:
+		c.headRouted.Add(1)
+	case Hot:
+		c.hotRouted.Add(1)
+	default:
+		c.coldRouted.Add(1)
+	}
+	return cl, d
+}
+
+// classify resolves key against the frozen choices table in one lookup.
+func (c *Classifier) classify(key uint64) (Class, int) {
+	d, ok := c.choices[key]
+	switch {
+	case !ok:
+		return Cold, 2
+	case d >= c.cfg.Workers:
+		return Head, d
+	default:
+		return Hot, d
+	}
+}
+
+// refresh rebuilds the choices table from the sketch: every monitored
+// key whose estimated frequency warrants more than two workers enters
+// with its widened candidate count. Estimates use the sketch's upper
+// bound; with the default capacity the bound's slack is an order of
+// magnitude below HotThreshold, so it cannot promote tail keys.
+func (c *Classifier) refresh(n int64) {
+	w := c.cfg.Workers
+	slack := 1 + c.cfg.Epsilon
+	next := make(map[uint64]int, len(c.choices))
+	var hot, head int64
+	// Items is sorted by decreasing count: stop at the first cold key.
+	for _, it := range c.ss.Items() {
+		p := float64(it.Count) / float64(n)
+		need := int(math.Ceil(p * float64(w) / slack))
+		if need <= 2 {
+			break
+		}
+		if need > c.dCap {
+			next[it.Item] = w
+			head++
+			continue
+		}
+		if c.cfg.D > 0 {
+			need = c.cfg.D
+		}
+		if need > w {
+			need = w
+		}
+		next[it.Item] = need
+		hot++
+	}
+	c.choices = next
+	c.hotKeys.Store(hot)
+	c.headKeys.Store(head)
+	c.tracked.Store(int64(c.ss.Size()))
+	c.refreshes.Add(1)
+}
+
+// Class returns key's class as of the last refresh, without observing.
+func (c *Classifier) Class(key uint64) Class {
+	cl, _ := c.classify(key)
+	return cl
+}
+
+// Choices returns the number of candidate workers key's class warrants:
+// 2 when cold, the widened d when hot, W when head. Like Class it reads
+// the frozen classification and never mutates, so probe-set derivation
+// can call it freely.
+func (c *Classifier) Choices(key uint64) int {
+	_, d := c.classify(key)
+	return d
+}
+
+// Stats snapshots the counters. Safe to call from any goroutine.
+func (c *Classifier) Stats() Stats {
+	return Stats{
+		Observed:   c.observed.Load(),
+		Tracked:    c.tracked.Load(),
+		HotKeys:    c.hotKeys.Load(),
+		HeadKeys:   c.headKeys.Load(),
+		Refreshes:  c.refreshes.Load(),
+		ColdRouted: c.coldRouted.Load(),
+		HotRouted:  c.hotRouted.Load(),
+		HeadRouted: c.headRouted.Load(),
+	}
+}

@@ -1,0 +1,222 @@
+package hotkey
+
+import (
+	"math"
+	"testing"
+
+	"pkgstream/internal/rng"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Workers: -1},
+		{Workers: 10, D: 1},
+		{Workers: 10, D: 2},
+		{Workers: 10, D: -3},
+		{Workers: 10, Epsilon: -0.1},
+		{Workers: 10, Epsilon: math.NaN()},
+		{Workers: 10, RefreshEvery: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Config %+v validated", cfg)
+		}
+	}
+	good := []Config{
+		{Workers: 1},
+		{Workers: 50},
+		{Workers: 50, D: 3},
+		{Workers: 50, D: 100}, // clamped later, not rejected
+		{Workers: 50, Epsilon: 0.5, SketchCapacity: 10, RefreshEvery: 7, Warmup: 3},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Config %+v rejected: %v", cfg, err)
+		}
+	}
+}
+
+func TestThresholdsAreTheTwoChoiceBreakpoints(t *testing.T) {
+	c := NewClassifier(Config{Workers: 50, Epsilon: 0.25})
+	// Hot: two candidates exceed (1+ε)/W at p = 2(1+ε)/W.
+	if got, want := c.HotThreshold(), 2*1.25/50; math.Abs(got-want) > 1e-12 {
+		t.Errorf("HotThreshold = %v, want %v", got, want)
+	}
+	// Adaptive dCap = ⌈W/2⌉ = 25.
+	if c.DCap() != 25 {
+		t.Errorf("DCap = %d, want 25", c.DCap())
+	}
+	if got, want := c.HeadThreshold(), 25*1.25/50; math.Abs(got-want) > 1e-12 {
+		t.Errorf("HeadThreshold = %v, want %v", got, want)
+	}
+	// Fixed D moves the head threshold down with it.
+	f := NewClassifier(Config{Workers: 50, D: 5})
+	if f.DCap() != 5 {
+		t.Errorf("fixed DCap = %d, want 5", f.DCap())
+	}
+	if f.HeadThreshold() >= c.HeadThreshold() {
+		t.Errorf("fixed d=5 head threshold %v not below adaptive %v",
+			f.HeadThreshold(), c.HeadThreshold())
+	}
+}
+
+// feed drives n observations of a two-level distribution: key 1 with
+// probability p, the rest uniform over tail keys 2..K.
+func feed(c *Classifier, n int, p float64, tail uint64, seed uint64) {
+	src := rng.NewStream(seed, 0)
+	for i := 0; i < n; i++ {
+		if src.Float64() < p {
+			c.Observe(1)
+		} else {
+			c.Observe(2 + src.Uint64()%tail)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	// W = 50, ε = 0.25: hot above 5%, head above 62.5% (adaptive dCap 25).
+	c := NewClassifier(Config{Workers: 50, RefreshEvery: 256})
+	feed(c, 20_000, 0.30, 1000, 7)
+	if got := c.Class(1); got != Hot {
+		t.Fatalf("30%% key classified %v, want hot", got)
+	}
+	// The warranted width: need = ⌈0.3·50/1.25⌉ = 12 (±1 for estimate noise).
+	if d := c.Choices(1); d < 10 || d > 14 {
+		t.Errorf("30%% key got %d choices, want ≈12", d)
+	}
+	if got := c.Class(999999); got != Cold {
+		t.Errorf("unseen key classified %v, want cold", got)
+	}
+	if d := c.Choices(999999); d != 2 {
+		t.Errorf("cold key got %d choices, want 2", d)
+	}
+
+	head := NewClassifier(Config{Workers: 50, RefreshEvery: 256})
+	feed(head, 20_000, 0.80, 1000, 7)
+	if got := head.Class(1); got != Head {
+		t.Fatalf("80%% key classified %v, want head", got)
+	}
+	if d := head.Choices(1); d != 50 {
+		t.Errorf("head key got %d choices, want all 50", d)
+	}
+
+	st := head.Stats()
+	if st.HeadKeys != 1 || st.HotKeys != 0 {
+		t.Errorf("populations hot=%d head=%d, want 0/1", st.HotKeys, st.HeadKeys)
+	}
+	if st.Observed != 20_000 {
+		t.Errorf("Observed = %d, want 20000", st.Observed)
+	}
+	if st.HeadRouted == 0 || st.ColdRouted == 0 {
+		t.Errorf("per-class counts not maintained: %+v", st)
+	}
+	if got := st.ColdRouted + st.HotRouted + st.HeadRouted; got != st.Observed {
+		t.Errorf("class counts sum to %d, want %d", got, st.Observed)
+	}
+}
+
+func TestFixedDClassification(t *testing.T) {
+	// Fixed d = 5: a 30% key needs 12 > 5 workers, so it is head and
+	// escalates to all W.
+	c := NewClassifier(Config{Workers: 50, D: 5, RefreshEvery: 256})
+	feed(c, 20_000, 0.30, 1000, 7)
+	if got := c.Class(1); got != Head {
+		t.Fatalf("30%% key under d=5 classified %v, want head", got)
+	}
+	// A 10% key needs 4 ≤ 5: hot, with exactly the configured d.
+	c2 := NewClassifier(Config{Workers: 50, D: 5, RefreshEvery: 256})
+	feed(c2, 20_000, 0.10, 1000, 7)
+	if got := c2.Class(1); got != Hot {
+		t.Fatalf("10%% key under d=5 classified %v, want hot", got)
+	}
+	if d := c2.Choices(1); d != 5 {
+		t.Errorf("hot key under fixed d=5 got %d choices", d)
+	}
+}
+
+func TestWarmupKeepsEverythingCold(t *testing.T) {
+	c := NewClassifier(Config{Workers: 10, RefreshEvery: 1000, Warmup: 1000})
+	for i := 0; i < 999; i++ {
+		c.Observe(1) // 100% frequency, but below warmup
+	}
+	if got := c.Class(1); got != Cold {
+		t.Errorf("key classified %v before warmup, want cold", got)
+	}
+	c.Observe(1) // observation 1000 triggers the first refresh
+	if got := c.Class(1); got != Head {
+		t.Errorf("key classified %v after warmup, want head", got)
+	}
+	if c.Stats().Refreshes != 1 {
+		t.Errorf("Refreshes = %d, want 1", c.Stats().Refreshes)
+	}
+}
+
+func TestClassificationFrozenBetweenRefreshes(t *testing.T) {
+	c := NewClassifier(Config{Workers: 10, RefreshEvery: 100, Warmup: 100})
+	for i := 0; i < 100; i++ {
+		c.Observe(1)
+	}
+	if c.Class(1) != Head {
+		t.Fatal("single-key stream not head")
+	}
+	// 99 cold observations: the class must not change until the refresh.
+	for i := 0; i < 99; i++ {
+		c.Observe(uint64(10 + i))
+		if c.Class(1) != Head {
+			t.Fatalf("classification churned mid-period at observation %d", i)
+		}
+	}
+}
+
+func TestStatsFold(t *testing.T) {
+	a := Stats{Observed: 10, HotKeys: 1, Refreshes: 2, ColdRouted: 8, HotRouted: 2}
+	b := Stats{Observed: 5, HeadKeys: 1, Refreshes: 7, ColdRouted: 5}
+	a.Fold(b)
+	if a.Observed != 15 || a.HotKeys != 1 || a.HeadKeys != 1 || a.Refreshes != 7 ||
+		a.ColdRouted != 13 || a.HotRouted != 2 {
+		t.Errorf("Fold wrong: %+v", a)
+	}
+}
+
+func TestSmallWIsInert(t *testing.T) {
+	// W ≤ 2: the hot threshold exceeds 1, so nothing is ever widened.
+	c := NewClassifier(Config{Workers: 2, RefreshEvery: 64, Warmup: 64})
+	for i := 0; i < 1000; i++ {
+		c.Observe(1)
+	}
+	if c.Class(1) != Cold || c.Choices(1) != 2 {
+		t.Errorf("W=2 classifier widened: class=%v choices=%d", c.Class(1), c.Choices(1))
+	}
+}
+
+func TestWarmupBelowRefreshEvery(t *testing.T) {
+	// The first classification fires exactly at Warmup even when that is
+	// not a multiple of RefreshEvery.
+	c := NewClassifier(Config{Workers: 10, RefreshEvery: 512, Warmup: 64})
+	for i := 0; i < 64; i++ {
+		c.Observe(1)
+	}
+	if got := c.Class(1); got != Head {
+		t.Errorf("key classified %v right after a 64-observation warmup, want head", got)
+	}
+	if c.Stats().Refreshes != 1 {
+		t.Errorf("Refreshes = %d, want 1", c.Stats().Refreshes)
+	}
+}
+
+func TestObserveReturnsChoices(t *testing.T) {
+	c := NewClassifier(Config{Workers: 50, RefreshEvery: 256})
+	feed(c, 20_000, 0.30, 1000, 7)
+	cl, d := c.Observe(1)
+	if cl != Hot {
+		t.Fatalf("class %v, want hot", cl)
+	}
+	if d != c.Choices(1) || d <= 2 {
+		t.Errorf("Observe returned %d choices, Choices says %d", d, c.Choices(1))
+	}
+	cl, d = c.Observe(999_999)
+	if cl != Cold || d != 2 {
+		t.Errorf("cold key: class %v choices %d", cl, d)
+	}
+}

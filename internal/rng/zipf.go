@@ -156,30 +156,43 @@ func SolveZipfExponent(k uint64, p1 float64) float64 {
 	if p1 <= 1/float64(k) {
 		return 0
 	}
-	probeP1 := func(s float64) float64 {
-		h := k
-		if h > zipfHeadSize {
-			h = zipfHeadSize
-		}
-		sum := 0.0
-		for i := uint64(1); i <= h; i++ {
-			sum += math.Exp(-s * math.Log(float64(i)))
-		}
-		if k > h {
-			sum += powIntegral(float64(h)+0.5, float64(k)+0.5, s)
-		}
-		return 1 / sum
-	}
 	lo, hi := 0.0, 64.0
 	for i := 0; i < 100; i++ {
 		mid := (lo + hi) / 2
-		if probeP1(mid) < p1 {
+		if ZipfP1(k, mid) < p1 {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
 	return (lo + hi) / 2
+}
+
+// ZipfP1 returns the head probability P(rank 1) = 1/H(k, s) of a Zipf
+// distribution over k ranks with exponent s — the inverse of
+// SolveZipfExponent, used to build a dataset Spec for a *given* skew
+// exponent (e.g. the z sweeps of the ICDE 2016 follow-up's evaluation).
+// It uses the same head-table-plus-integral approximation of H(k, s) as
+// the sampler, so the pair round-trips.
+func ZipfP1(k uint64, s float64) float64 {
+	if k == 0 {
+		panic("rng: ZipfP1 with k == 0")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic(fmt.Sprintf("rng: ZipfP1 with invalid exponent %v", s))
+	}
+	h := k
+	if h > zipfHeadSize {
+		h = zipfHeadSize
+	}
+	sum := 0.0
+	for i := uint64(1); i <= h; i++ {
+		sum += math.Exp(-s * math.Log(float64(i)))
+	}
+	if k > h {
+		sum += powIntegral(float64(h)+0.5, float64(k)+0.5, s)
+	}
+	return 1 / sum
 }
 
 // LogNormalWeights samples k weights from a log-normal(mu, sigma)

@@ -1,0 +1,176 @@
+package route
+
+import (
+	"pkgstream/internal/hotkey"
+	"pkgstream/internal/metrics"
+)
+
+// DChoices is the frequency-aware generalization of PKG from the
+// authors' follow-up ("When Two Choices Are not Enough", ICDE 2016):
+// every source watches its own key frequencies with a Space-Saving
+// sketch (internal/hotkey) and widens the candidate set of exactly the
+// keys that need it —
+//
+//   - cold keys route over the same 2 candidates as PKG;
+//   - hot keys route over d > 2 candidates (the configured Hot.D, or
+//     per-key the ⌈p̂·W/(1+ε)⌉ workers the frequency warrants when
+//     Hot.D is adaptive);
+//   - head keys, which not even d candidates can hold within the skew
+//     target, route over all W.
+//
+// The per-key candidate sets are nested: the i-th candidate depends only
+// on (key, seed, W, i), so widening from 2 to d to W keeps every
+// earlier candidate. A key's state therefore never moves when its class
+// changes — widening only adds workers that may hold it, which is what
+// keeps probe sets (ProbeSet) supersets of the PKG-2 pair and lets the
+// windowed aggregation absorb the extra partials unchanged.
+//
+// Classification is per-source and the candidate sets are pure hash
+// functions, so the scheme inherits PKG's zero coordination: sources
+// share only the seed baked into the binary, never sketches or tables.
+type DChoices struct {
+	w     int
+	seeds []uint64
+	view  *metrics.Load
+	cls   *hotkey.Classifier
+	cands []int
+}
+
+// NewDChoices returns a D-Choices partitioner over w workers with hash
+// seeds derived from seed, the given load view, and a fresh hot-key
+// classifier configured by hc (hc.Workers is forced to w). It panics on
+// invalid arguments, like the other constructors; use New for
+// error-returning construction.
+func NewDChoices(w int, seed uint64, view *metrics.Load, hc hotkey.Config) *DChoices {
+	if w <= 0 {
+		panic("route: NewDChoices with w <= 0")
+	}
+	if view == nil || view.N() != w {
+		panic("route: NewDChoices with nil or mismatched view")
+	}
+	hc.Workers = w
+	n := w
+	if n < 2 {
+		n = 2 // the cold path always derives two candidates
+	}
+	return &DChoices{
+		w:     w,
+		seeds: choiceSeeds(seed, n),
+		view:  view,
+		cls:   hotkey.NewClassifier(hc),
+		cands: make([]int, n),
+	}
+}
+
+// Route implements Router: it observes the key in this source's sketch,
+// widens the candidate set to whatever the key's class warrants (a
+// single classification lookup yields both), and returns the
+// least-loaded candidate under the current view.
+func (g *DChoices) Route(key uint64) int {
+	_, d := g.cls.Observe(key)
+	cands := g.cands[:d]
+	candidates(cands, key, g.seeds[:d], g.w)
+	return leastLoaded(g.view, cands)
+}
+
+// Candidates returns the candidate workers the key's *current* class
+// yields (a fresh slice; 2 for cold keys). Unlike PKG.Candidates it
+// depends on this source's classification state, not only on the key.
+func (g *DChoices) Candidates(key uint64) []int {
+	d := g.cls.Choices(key)
+	out := make([]int, d)
+	candidates(out, key, g.seeds[:d], g.w)
+	return out
+}
+
+// Classifier returns this source's hot-key classifier.
+func (g *DChoices) Classifier() *hotkey.Classifier { return g.cls }
+
+// View returns the load view this partitioner consults.
+func (g *DChoices) View() *metrics.Load { return g.view }
+
+// Workers implements Router.
+func (g *DChoices) Workers() int { return g.w }
+
+// Name implements Router.
+func (g *DChoices) Name() string { return "D-C" }
+
+// WChoices is the follow-up paper's W-Choices: the simpler, more
+// aggressive sibling of DChoices. Every key above the hot threshold —
+// the paper's "head" of the distribution, the keys two candidates
+// cannot hold within the skew target — is dealt round-robin over all W
+// workers, spreading it perfectly; the cold tail keeps PKG's two
+// candidates and its key locality. W-Choices trades the widest possible
+// aggregation fan-in on head keys (one partial per worker) for the best
+// achievable balance, where D-Choices meters the fan-in per key.
+type WChoices struct {
+	w     int
+	seeds []uint64
+	view  *metrics.Load
+	cls   *hotkey.Classifier
+	rr    int
+	cands [2]int
+}
+
+// NewWChoices returns a W-Choices partitioner over w workers. start
+// offsets the head-key round-robin (vary it per source so parallel
+// sources do not march in lockstep). It panics on invalid arguments.
+func NewWChoices(w int, seed uint64, view *metrics.Load, hc hotkey.Config, start int) *WChoices {
+	if w <= 0 {
+		panic("route: NewWChoices with w <= 0")
+	}
+	if view == nil || view.N() != w {
+		panic("route: NewWChoices with nil or mismatched view")
+	}
+	hc.Workers = w
+	if start < 0 {
+		start = -start
+	}
+	return &WChoices{
+		w:     w,
+		seeds: choiceSeeds(seed, 2),
+		view:  view,
+		cls:   hotkey.NewClassifier(hc),
+		rr:    start % w,
+	}
+}
+
+// Route implements Router.
+func (g *WChoices) Route(key uint64) int {
+	if cl, _ := g.cls.Observe(key); cl != hotkey.Cold {
+		r := g.rr
+		g.rr++
+		if g.rr == g.w {
+			g.rr = 0
+		}
+		return r
+	}
+	candidates(g.cands[:], key, g.seeds, g.w)
+	return leastLoaded(g.view, g.cands[:])
+}
+
+// Classifier returns this source's hot-key classifier.
+func (g *WChoices) Classifier() *hotkey.Classifier { return g.cls }
+
+// View returns the load view this partitioner consults.
+func (g *WChoices) View() *metrics.Load { return g.view }
+
+// Workers implements Router.
+func (g *WChoices) Workers() int { return g.w }
+
+// Name implements Router.
+func (g *WChoices) Name() string { return "W-C" }
+
+// HotAware is implemented by routers that classify keys by frequency;
+// hosts use it to surface hot-key statistics without knowing the
+// concrete strategy.
+type HotAware interface {
+	Classifier() *hotkey.Classifier
+}
+
+var (
+	_ Router   = (*DChoices)(nil)
+	_ Router   = (*WChoices)(nil)
+	_ HotAware = (*DChoices)(nil)
+	_ HotAware = (*WChoices)(nil)
+)

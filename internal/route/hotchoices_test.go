@@ -1,0 +1,227 @@
+package route
+
+import (
+	"testing"
+
+	"pkgstream/internal/hotkey"
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/rng"
+)
+
+// asSet turns a candidate slice into a set.
+func asSet(cands []int) map[int]bool {
+	s := make(map[int]bool, len(cands))
+	for _, c := range cands {
+		s[c] = true
+	}
+	return s
+}
+
+// TestCandidatePrefixNesting is the structural property everything else
+// rests on: the i-th candidate of a key depends only on (key, seed, W,
+// i), so widening from 2 to d choices keeps the PKG-2 pair. Checked
+// directly on the shared construction across random keys, seeds and
+// worker counts, for every d up to 2W (the d > W clamp included).
+func TestCandidatePrefixNesting(t *testing.T) {
+	src := rng.NewStream(11, 0)
+	for trial := 0; trial < 200; trial++ {
+		w := 1 + int(src.Uint64()%80)
+		seed := src.Uint64()
+		key := src.Uint64()
+		max := 2 * w
+		if max < 2 {
+			max = 2
+		}
+		seeds := choiceSeeds(seed, max)
+		// choiceSeeds is itself prefix-stable.
+		for i, s := range choiceSeeds(seed, 2) {
+			if seeds[i] != s {
+				t.Fatalf("choiceSeeds not prefix-stable at %d", i)
+			}
+		}
+		prev := make([]int, 2)
+		candidates(prev, key, seeds[:2], w)
+		for d := 3; d <= max; d++ {
+			cur := make([]int, d)
+			candidates(cur, key, seeds[:d], w)
+			for i, c := range prev {
+				if cur[i] != c {
+					t.Fatalf("w=%d d=%d: widening moved candidate %d from %d to %d",
+						w, d, i, c, cur[i])
+				}
+			}
+			// Distinctness up to the clamp: the first min(d, w) entries
+			// are distinct workers in range.
+			set := asSet(cur[:min(d, w)])
+			if len(set) != min(d, w) {
+				t.Fatalf("w=%d d=%d: candidates not distinct: %v", w, d, cur)
+			}
+			for c := range set {
+				if c < 0 || c >= w {
+					t.Fatalf("w=%d d=%d: candidate %d out of range", w, d, c)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// hotStream drives a skewed stream through a router until its
+// classifier has refreshed: key 1 carries share p, the tail is uniform.
+func hotStream(r Router, n int, p float64, tail uint64, seed uint64) {
+	src := rng.NewStream(seed, 1)
+	for i := 0; i < n; i++ {
+		if src.Float64() < p {
+			r.Route(1)
+		} else {
+			r.Route(2 + src.Uint64()%tail)
+		}
+	}
+}
+
+// TestDChoicesWidensOverPKG2 checks the router-level superset property:
+// for the same (key, seed, W), the probe set of every key under
+// D-Choices contains the PKG-2 candidate pair — cold keys exactly, hot
+// and head keys as a strict superset.
+func TestDChoicesWidensOverPKG2(t *testing.T) {
+	const w, seed = 50, 99
+	view := metrics.NewLoad(w)
+	dc := NewDChoices(w, seed, view, hotkey.Config{RefreshEvery: 256})
+	hotStream(dc, 30_000, 0.4, 5000, 3)
+
+	pkg := NewPKG(w, 2, seed, metrics.NewLoad(w))
+	if dc.Classifier().Class(1) == hotkey.Cold {
+		t.Fatal("40% key not classified hot")
+	}
+	checked := 0
+	for _, key := range []uint64{1, 2, 3, 17, 999, 123456} {
+		ps := asSet(ProbeSet(dc, key))
+		for _, c := range dedup(pkg.Candidates(key)) {
+			if !ps[c] {
+				t.Errorf("key %d: PKG-2 candidate %d missing from D-Choices probe set %v",
+					key, c, ProbeSet(dc, key))
+			}
+		}
+		if dc.Classifier().Class(key) != hotkey.Cold {
+			if len(ps) <= 2 {
+				t.Errorf("hot key %d probe set %v not widened", key, ProbeSet(dc, key))
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no hot key exercised the widened path")
+	}
+}
+
+// TestProbeSetCoversRouting checks that ProbeSet agrees with what the
+// router could have chosen: with the classification frozen (large
+// refresh period), every destination Route returns is in the key's
+// probe set, for cold, hot and head keys, under both new strategies.
+func TestProbeSetCoversRouting(t *testing.T) {
+	const w = 20
+	build := func(s Strategy, hc hotkey.Config) Router {
+		r, err := New(Config{Strategy: s, Workers: w, Seed: 7, View: NewLoad(w), Hot: hc})
+		if err != nil {
+			t.Fatalf("New(%v): %v", s, err)
+		}
+		return r
+	}
+	for _, s := range []Strategy{StrategyDChoices, StrategyWChoices} {
+		r := build(s, hotkey.Config{RefreshEvery: 1024})
+		hotStream(r, 20_480, 0.5, 2000, 5)
+		hk := r.(HotAware).Classifier()
+		if hk.Class(1) == hotkey.Cold {
+			t.Fatalf("%v: hot key stayed cold", s)
+		}
+		for _, key := range []uint64{1, 2, 42, 777} {
+			ps := asSet(ProbeSet(r, key))
+			view := r.(interface{ View() *metrics.Load }).View()
+			for i := 0; i < 50; i++ {
+				// Nudge the view between routes so argmin cycles through
+				// candidates.
+				dst := r.Route(key)
+				view.Add(dst)
+				if !ps[dst] {
+					t.Fatalf("%v: key %d routed to %d outside probe set %v",
+						s, key, dst, ProbeSet(r, key))
+				}
+			}
+		}
+		// W-Choices head keys must be able to reach every worker.
+		if s == StrategyWChoices {
+			if got := len(ProbeSet(r, 1)); got != w {
+				t.Errorf("W-Choices head probe set has %d workers, want %d", got, w)
+			}
+		}
+	}
+}
+
+// TestDChoicesClampBeyondW exercises the d > W clamp path: a fixed
+// Hot.D far above W must yield exactly W distinct candidates for head
+// keys, and the probe set must stay within range and duplicate-free.
+func TestDChoicesClampBeyondW(t *testing.T) {
+	const w = 7
+	dc := NewDChoices(w, 3, metrics.NewLoad(w), hotkey.Config{D: 5 * w, RefreshEvery: 128})
+	hotStream(dc, 10_000, 0.9, 50, 9)
+	if dc.Classifier().Class(1) == hotkey.Cold {
+		t.Fatal("90% key stayed cold")
+	}
+	ps := ProbeSet(dc, 1)
+	if len(ps) != w {
+		t.Fatalf("clamped probe set %v, want all %d workers", ps, w)
+	}
+	if len(asSet(ps)) != w {
+		t.Fatalf("clamped probe set %v has duplicates", ps)
+	}
+}
+
+// TestWChoicesRoundRobinSpreadsHead checks that head traffic lands on
+// every worker with near-equal counts.
+func TestWChoicesRoundRobinSpreadsHead(t *testing.T) {
+	const w = 10
+	view := metrics.NewLoad(w)
+	wc := NewWChoices(w, 3, view, hotkey.Config{RefreshEvery: 128, Warmup: 128}, 0)
+	for i := 0; i < 128; i++ {
+		wc.Route(1) // warm the sketch: key 1 is the whole stream
+	}
+	counts := make([]int64, w)
+	for i := 0; i < 1000; i++ {
+		counts[wc.Route(1)]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("worker %d got %d head messages, want exactly 100 (round-robin): %v",
+				i, c, counts)
+		}
+	}
+}
+
+// TestHotStrategyConfigErrors checks the factory-level validation.
+func TestHotStrategyConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Strategy: StrategyDChoices, Workers: 10},                                               // no view
+		{Strategy: StrategyWChoices, Workers: 10},                                               // no view
+		{Strategy: StrategyDChoices, Workers: 10, View: NewLoad(4)},                             // mismatched view
+		{Strategy: StrategyDChoices, Workers: 10, View: NewLoad(10), Hot: hotkey.Config{D: 2}},  // D=2 is PKG
+		{Strategy: StrategyWChoices, Workers: 10, View: NewLoad(10), Hot: hotkey.Config{D: -1}}, // negative D
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	for _, s := range []Strategy{StrategyDChoices, StrategyWChoices} {
+		r, err := New(Config{Strategy: s, Workers: 10, View: NewLoad(10)})
+		if err != nil {
+			t.Errorf("%v with defaults rejected: %v", s, err)
+			continue
+		}
+		if r.Workers() != 10 {
+			t.Errorf("%v Workers = %d", s, r.Workers())
+		}
+		if !s.NeedsView() {
+			t.Errorf("%v should need a view", s)
+		}
+	}
+}

@@ -18,6 +18,12 @@
 //   - OffGreedy — offline greedy (LPT): keys sorted by decreasing
 //     frequency are assigned to the least-loaded worker; an unfair
 //     clairvoyant baseline.
+//   - DChoices — frequency-aware PKG from the authors' ICDE 2016
+//     follow-up: a per-source Space-Saving sketch (internal/hotkey)
+//     classifies keys, hot keys widen to d > 2 candidates, head keys
+//     to all W, the cold tail keeps 2.
+//   - WChoices — the follow-up's aggressive variant: every key above
+//     the hot threshold round-robins over all W workers.
 //
 // Every router is keyed on a 64-bit key hash. String keys enter the core
 // through KeyHash exactly once (the engine caches the result on the
@@ -39,6 +45,7 @@ import (
 	"fmt"
 
 	"pkgstream/internal/hash"
+	"pkgstream/internal/hotkey"
 	"pkgstream/internal/metrics"
 )
 
@@ -200,37 +207,62 @@ func candidates(dst []int, key uint64, seeds []uint64, w int) {
 // the set a distributed point query must probe (§VI.A): the d hash
 // candidates under PKG (deduplicated, since d > W pads with repeats),
 // the single hash destination under key grouping, and every worker for
-// key-oblivious strategies like shuffle. Like the candidate
-// construction it is a pure function of the key and the router's
-// construction parameters, so any party can recompute it. This is the
-// one implementation of probe-set derivation in the tree.
+// key-oblivious strategies like shuffle. For the frequency-aware
+// strategies the set widens with the key's *current* class — the d (or
+// W) candidates of a hot (or head) key under D-Choices, all workers for
+// a non-cold key under W-Choices — so it is a pure function of the key,
+// the router's construction parameters and its classification state; a
+// key that cooled down since routing may hold stale partials outside
+// its current probe set, the staleness window a query layer must bound
+// with its aggregation period. This is the one implementation of
+// probe-set derivation in the tree; deriving it never mutates the
+// router (in particular it does not observe the key in a classifier's
+// sketch).
 func ProbeSet(r Router, key uint64) []int {
 	switch p := r.(type) {
 	case *PKG:
-		cands := p.Candidates(key)
-		out := cands[:0]
-		for _, c := range cands {
-			dup := false
-			for _, seen := range out {
-				if seen == c {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				out = append(out, c)
-			}
+		return dedup(p.Candidates(key))
+	case *DChoices:
+		return dedup(p.Candidates(key))
+	case *WChoices:
+		if p.cls.Class(key) != hotkey.Cold {
+			return allWorkers(p.w)
 		}
-		return out
+		var cands [2]int
+		candidates(cands[:], key, p.seeds, p.w)
+		return dedup(cands[:])
 	case *KeyGrouping:
 		return []int{p.Route(key)}
 	default:
-		all := make([]int, r.Workers())
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return allWorkers(r.Workers())
 	}
+}
+
+// dedup removes repeated workers from a candidate slice in place,
+// preserving first-seen order (repeats arise when d exceeds W).
+func dedup(cands []int) []int {
+	out := cands[:0]
+	for _, c := range cands {
+		dup := false
+		for _, seen := range out {
+			if seen == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func allWorkers(w int) []int {
+	all := make([]int, w)
+	for i := range all {
+		all[i] = i
+	}
+	return all
 }
 
 // leastLoaded returns the candidate with the smallest load in view

@@ -1,6 +1,10 @@
 package route
 
-import "fmt"
+import (
+	"fmt"
+
+	"pkgstream/internal/hotkey"
+)
 
 // Strategy identifies one of the routing strategies studied in the
 // paper. It is the single strategy enumeration shared by every layer:
@@ -24,6 +28,13 @@ const (
 	// StrategyOffGreedy is the clairvoyant LPT baseline built from exact
 	// key frequencies.
 	StrategyOffGreedy
+	// StrategyDChoices is frequency-aware PKG (the ICDE 2016 follow-up's
+	// D-Choices): hot keys get d > 2 candidates, head keys all W, the
+	// cold tail keeps 2.
+	StrategyDChoices
+	// StrategyWChoices is the follow-up's W-Choices: keys above the hot
+	// threshold round-robin over all W workers, the cold tail keeps 2.
+	StrategyWChoices
 )
 
 // String returns the technique label used in the paper's tables.
@@ -41,6 +52,10 @@ func (s Strategy) String() string {
 		return "On-Greedy"
 	case StrategyOffGreedy:
 		return "Off-Greedy"
+	case StrategyDChoices:
+		return "D-C"
+	case StrategyWChoices:
+		return "W-C"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -50,7 +65,7 @@ func (s Strategy) String() string {
 // routing (and therefore requires Config.View).
 func (s Strategy) NeedsView() bool {
 	switch s {
-	case StrategyPKG, StrategyPoTC, StrategyOnGreedy:
+	case StrategyPKG, StrategyPoTC, StrategyOnGreedy, StrategyDChoices, StrategyWChoices:
 		return true
 	default:
 		return false
@@ -74,11 +89,19 @@ type Config struct {
 	// true loads for the global oracle, or a per-source estimate for
 	// local estimation. The caller records routed messages into it.
 	View *Load
-	// Start is the round-robin offset for shuffle grouping (vary it per
-	// source so parallel sources do not march in lockstep).
+	// Start is the round-robin offset for shuffle grouping and for the
+	// head-key round-robin of W-Choices (vary it per source so parallel
+	// sources do not march in lockstep).
 	Start int
 	// Freqs is the exact key-frequency distribution for OffGreedy.
 	Freqs []KeyFreq
+	// Hot holds the hot-key knobs for DChoices and WChoices: the
+	// D-Choices width Hot.D (0 = adaptive), the skew target Hot.Epsilon,
+	// and the sketch/refresh parameters. Hot.Workers is filled from
+	// Workers; the PKG field D above is not consulted by the hot-key
+	// strategies. Each router built from this Config owns a fresh
+	// classifier, so parallel sources keep independent sketches.
+	Hot hotkey.Config
 }
 
 // New constructs the router described by cfg. It returns an error (not a
@@ -117,6 +140,16 @@ func New(cfg Config) (Router, error) {
 		return NewOnGreedy(cfg.Workers, cfg.View), nil
 	case StrategyOffGreedy:
 		return NewOffGreedy(cfg.Workers, cfg.Seed, cfg.Freqs), nil
+	case StrategyDChoices, StrategyWChoices:
+		hc := cfg.Hot
+		hc.Workers = cfg.Workers
+		if err := hc.Validate(); err != nil {
+			return nil, fmt.Errorf("route: %v: %w", cfg.Strategy, err)
+		}
+		if cfg.Strategy == StrategyDChoices {
+			return NewDChoices(cfg.Workers, cfg.Seed, cfg.View, hc), nil
+		}
+		return NewWChoices(cfg.Workers, cfg.Seed, cfg.View, hc, cfg.Start), nil
 	default:
 		return nil, fmt.Errorf("route: unknown strategy %v", cfg.Strategy)
 	}

@@ -1,0 +1,98 @@
+package simulate
+
+import (
+	"testing"
+
+	"pkgstream/internal/dataset"
+	"pkgstream/internal/hotkey"
+	"pkgstream/internal/rng"
+)
+
+// zipfSpec builds a Zipf stream with a *given* exponent z — the sweep
+// axis of the ICDE 2016 follow-up's evaluation.
+func zipfSpec(z float64, keys uint64, messages int64) dataset.Spec {
+	return dataset.Spec{
+		Name: "Zipf", Symbol: "Z", Messages: messages, Keys: keys,
+		P1: rng.ZipfP1(keys, z), Kind: dataset.Zipf, DurationHours: 1,
+	}
+}
+
+// TestHotChoicesHoldWherePKGDegrades is the follow-up paper's headline
+// in simulation form: at W = 50 on a z = 2.0 stream the top key alone
+// carries ~60% of the traffic, PKG-2 can spread it over only two
+// workers, and both frequency-aware strategies must do strictly better.
+func TestHotChoicesHoldWherePKGDegrades(t *testing.T) {
+	spec := zipfSpec(2.0, 100_000, 150_000)
+	run := func(m Method) Result {
+		return Run(spec, Options{Workers: 50, Method: m, Info: Local, Seed: 11})
+	}
+	pkg := run(PKG)
+	dc := run(DChoices)
+	wc := run(WChoices)
+	if dc.FinalImbalance >= pkg.FinalImbalance {
+		t.Errorf("D-Choices imbalance %v not below PKG's %v", dc.FinalImbalance, pkg.FinalImbalance)
+	}
+	if wc.FinalImbalance >= pkg.FinalImbalance {
+		t.Errorf("W-Choices imbalance %v not below PKG's %v", wc.FinalImbalance, pkg.FinalImbalance)
+	}
+	// PKG-2 parks ~p1/2 ≈ 30% of the stream on one worker: its imbalance
+	// fraction is macroscopic, the hot-key strategies' must not be.
+	if pkg.AvgImbalanceFraction < 0.05 {
+		t.Errorf("PKG imbalance fraction %v unexpectedly healthy at W=50, z=2", pkg.AvgImbalanceFraction)
+	}
+	if dc.AvgImbalanceFraction > 0.02 {
+		t.Errorf("D-Choices imbalance fraction %v not near-perfect", dc.AvgImbalanceFraction)
+	}
+	if wc.AvgImbalanceFraction > 0.02 {
+		t.Errorf("W-Choices imbalance fraction %v not near-perfect", wc.AvgImbalanceFraction)
+	}
+}
+
+func TestHotChoicesDeterministic(t *testing.T) {
+	spec := zipfSpec(1.4, 50_000, 60_000)
+	for _, m := range []Method{DChoices, WChoices} {
+		opts := Options{Workers: 30, Sources: 4, Method: m, Info: Local, Seed: 3}
+		a, b := Run(spec, opts), Run(spec, opts)
+		if a.FinalImbalance != b.FinalImbalance || a.AvgImbalance != b.AvgImbalance {
+			t.Errorf("%v runs differ: %+v vs %+v", m, a.FinalImbalance, b.FinalImbalance)
+		}
+	}
+}
+
+func TestHotLabels(t *testing.T) {
+	cases := []struct {
+		opts Options
+		want string
+	}{
+		{Options{Method: DChoices}, "D-C"},
+		{Options{Method: DChoices, Hot: hotkey.Config{D: 5}}, "D-C5"},
+		{Options{Method: WChoices}, "W-C"},
+	}
+	for _, c := range cases {
+		if got := c.opts.Label(); got != c.want {
+			t.Errorf("Label = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestFixedDPlumbsThrough checks the Hot.D knob end to end: a fixed
+// hot width must also crush PKG-2's imbalance on an extreme head — on
+// this stream the 60% key needs ~24 workers, so under d = 4 it is
+// classified head and escalates to all W (the classifier's clamp),
+// while under the adaptive policy it gets exactly the ~24 candidates
+// its frequency warrants. Both land within a factor of ten of perfect.
+func TestFixedDPlumbsThrough(t *testing.T) {
+	spec := zipfSpec(2.0, 100_000, 120_000)
+	run := func(hot hotkey.Config, m Method) float64 {
+		return Run(spec, Options{Workers: 50, Method: m, Info: Local, Seed: 7, Hot: hot}).FinalImbalance
+	}
+	pkg := Run(spec, Options{Workers: 50, Method: PKG, Info: Local, Seed: 7}).FinalImbalance
+	fixed := run(hotkey.Config{D: 4}, DChoices)
+	adaptive := run(hotkey.Config{}, DChoices)
+	if fixed >= pkg/10 {
+		t.Errorf("fixed d=4 imbalance %v not well below PKG's %v", fixed, pkg)
+	}
+	if adaptive >= pkg/10 {
+		t.Errorf("adaptive imbalance %v not well below PKG's %v", adaptive, pkg)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"pkgstream/internal/dataset"
 	"pkgstream/internal/hash"
+	"pkgstream/internal/hotkey"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/route"
 )
@@ -37,6 +38,12 @@ const (
 	// OffGreedy is the clairvoyant LPT baseline (requires a pre-pass over
 	// the stream to collect exact key frequencies).
 	OffGreedy = route.StrategyOffGreedy
+	// DChoices is frequency-aware PKG (ICDE 2016 follow-up): hot keys
+	// widen to d > 2 candidates, head keys to all W, the tail keeps 2.
+	DChoices = route.StrategyDChoices
+	// WChoices spreads every key above the hot threshold round-robin
+	// over all W workers (the follow-up's aggressive variant).
+	WChoices = route.StrategyWChoices
 )
 
 // LoadInfo selects the load-information model available to PKG sources.
@@ -92,7 +99,13 @@ type Options struct {
 	Method Method
 	// D is the number of choices for PKG (default 2).
 	D int
-	// Info is the load-information model for PKG (default Global).
+	// Hot holds the hot-key knobs for DChoices and WChoices (see
+	// hotkey.Config; the zero value selects the adaptive defaults).
+	// Every source gets its own classifier — classification, like load
+	// estimation, is per-source state.
+	Hot hotkey.Config
+	// Info is the load-information model for PKG, DChoices and WChoices
+	// (default Global).
 	Info LoadInfo
 	// ProbeEveryHours is the probing period for Info == Probing.
 	ProbeEveryHours float64
@@ -127,8 +140,14 @@ func (o Options) withDefaults(streamLen int64) Options {
 	return o
 }
 
+// usesView reports whether the method consults per-source load views
+// (and therefore honors the Info model).
+func usesView(m Method) bool {
+	return m == PKG || m == DChoices || m == WChoices
+}
+
 // Label renders the technique label used in the paper's figures, e.g.
-// "H", "G", "L5", "L5P1".
+// "H", "G", "L5", "L5P1", "D-C", "W-C".
 func (o Options) Label() string {
 	switch o.Method {
 	case Hashing:
@@ -145,6 +164,10 @@ func (o Options) Label() string {
 			return fmt.Sprintf("L%d", max(1, o.Sources))
 		case Probing:
 			return fmt.Sprintf("L%dP%g", max(1, o.Sources), o.ProbeEveryHours*60)
+		}
+	case DChoices:
+		if o.Hot.D > 0 {
+			return fmt.Sprintf("D-C%d", o.Hot.D)
 		}
 	}
 	return o.Method.String()
@@ -185,6 +208,11 @@ type Result struct {
 	// Destinations are the per-message routing decisions
 	// (TrackDestinations only).
 	Destinations []int32
+
+	// Hotkey is the folded classifier snapshot of the frequency-aware
+	// methods (DChoices, WChoices): key populations and per-class routed
+	// counts summed over all sources. Zero for the other methods.
+	Hotkey hotkey.Stats
 }
 
 // Run simulates routing the spec's stream under the given options and
@@ -194,7 +222,7 @@ func Run(spec dataset.Spec, opts Options) Result {
 	if opts.Workers <= 0 {
 		panic("simulate: Options.Workers must be positive")
 	}
-	if opts.Method == PKG && opts.Info == Probing && opts.ProbeEveryHours <= 0 {
+	if usesView(opts.Method) && opts.Info == Probing && opts.ProbeEveryHours <= 0 {
 		panic("simulate: Probing requires a positive ProbeEveryHours")
 	}
 
@@ -247,7 +275,7 @@ func Run(spec dataset.Spec, opts Options) Result {
 			}
 		}
 		// Probing refresh, driven by the stream clock.
-		if opts.Method == PKG && opts.Info == Probing && msg.T >= nextProbe[s] {
+		if usesView(opts.Method) && opts.Info == Probing && msg.T >= nextProbe[s] {
 			views[s].CopyFrom(truth)
 			for msg.T >= nextProbe[s] {
 				nextProbe[s] += opts.ProbeEveryHours
@@ -288,6 +316,11 @@ func Run(spec dataset.Spec, opts Options) Result {
 	if opts.TrackMemory {
 		res.Counters = int64(len(pairs))
 		res.DistinctKeys = int64(len(keys))
+	}
+	for _, p := range parts {
+		if ha, ok := p.(route.HotAware); ok {
+			res.Hotkey.Fold(ha.Classifier().Stats())
+		}
 	}
 	return res
 }
@@ -348,7 +381,7 @@ func buildPartitioners(spec dataset.Spec, opts Options, truth *metrics.Load) ([]
 			parts[s] = shared
 		}
 		return parts, nil
-	case PKG:
+	case PKG, DChoices, WChoices:
 		views := make([]*metrics.Load, opts.Sources)
 		for s := range parts {
 			switch opts.Info {
@@ -357,7 +390,22 @@ func buildPartitioners(spec dataset.Spec, opts Options, truth *metrics.Load) ([]
 			default:
 				views[s] = metrics.NewLoad(w)
 			}
-			parts[s] = route.NewPKG(w, opts.D, hashSeed, views[s])
+			if opts.Method == PKG {
+				parts[s] = route.NewPKG(w, opts.D, hashSeed, views[s])
+				continue
+			}
+			// The frequency-aware strategies: same per-source views, plus
+			// a per-source classifier (built by the shared factory so the
+			// simulation exercises the same construction path as the
+			// engine and the transport).
+			r, err := route.New(route.Config{
+				Strategy: opts.Method, Workers: w, Seed: hashSeed,
+				View: views[s], Start: s, Hot: opts.Hot,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("simulate: %v", err))
+			}
+			parts[s] = r
 		}
 		return parts, views
 	default:

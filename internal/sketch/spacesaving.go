@@ -1,13 +1,19 @@
-// Package heavyhitters implements the SPACESAVING algorithm of Metwally
-// et al. (ICDT 2005) with the stream-summary data structure (O(1) per
-// update), mergeable summaries in the style of Berinde et al. (TODS
-// 2010), and the distributed top-k pattern of the paper's §VI.C: route
-// items to two workers with partial key grouping, keep one SpaceSaving
-// summary per worker, and merge exactly two summaries per key at query
-// time — so the per-item error depends on two summary error terms
-// regardless of the parallelism level, unlike shuffle grouping where it
-// grows with W.
-package heavyhitters
+// Package sketch holds the streaming frequency summaries shared across
+// the tree: the SPACESAVING algorithm of Metwally et al. (ICDT 2005)
+// with the stream-summary data structure (O(1) per update) and mergeable
+// summaries in the style of Berinde et al. (TODS 2010). It is the single
+// implementation behind both consumers:
+//
+//   - internal/heavyhitters answers distributed top-k queries over
+//     per-worker summaries (the paper's §VI.C application);
+//   - internal/hotkey classifies keys as cold/hot/head for the
+//     frequency-aware D-Choices and W-Choices routing strategies
+//     (Nasir et al., ICDE 2016), one sketch per source.
+//
+// Keeping one copy matters beyond hygiene: the routing layer's hot-key
+// thresholds lean on the same Err ≤ N/k overestimation bound the top-k
+// guarantees come from.
+package sketch
 
 import (
 	"fmt"
@@ -59,7 +65,7 @@ type SpaceSaving struct {
 // of monitored items). It panics if k <= 0.
 func New(k int) *SpaceSaving {
 	if k <= 0 {
-		panic("heavyhitters: New with k <= 0")
+		panic("sketch: New with k <= 0")
 	}
 	return &SpaceSaving{k: k, entries: make(map[uint64]*entry, k)}
 }
@@ -79,7 +85,7 @@ func (s *SpaceSaving) Update(item uint64) { s.UpdateN(item, 1) }
 // UpdateN records n occurrences of item. It panics if n <= 0.
 func (s *SpaceSaving) UpdateN(item uint64, n int64) {
 	if n <= 0 {
-		panic("heavyhitters: UpdateN with n <= 0")
+		panic("sketch: UpdateN with n <= 0")
 	}
 	s.n += n
 	if e, ok := s.entries[item]; ok {
@@ -237,7 +243,7 @@ func (s *SpaceSaving) Items() []Counted { return s.Top(s.k) }
 // grouping (W summaries per key).
 func Merge(k int, summaries ...*SpaceSaving) *SpaceSaving {
 	if k <= 0 {
-		panic("heavyhitters: Merge with k <= 0")
+		panic("sketch: Merge with k <= 0")
 	}
 	type acc struct {
 		count int64

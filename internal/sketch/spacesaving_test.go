@@ -1,4 +1,4 @@
-package heavyhitters
+package sketch
 
 import (
 	"strings"

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"pkgstream/internal/hotkey"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/route"
 )
@@ -187,6 +188,15 @@ const (
 	ModeKG = route.StrategyKG
 	// ModeSG routes round-robin.
 	ModeSG = route.StrategySG
+	// ModeDChoices routes with frequency-aware PKG (ICDE 2016
+	// follow-up): the source carries its own Space-Saving sketch and
+	// widens hot keys to d > 2 candidate workers. Nothing but the keys
+	// ever crosses the wire — classification is per-source, so zero
+	// coordination is preserved.
+	ModeDChoices = route.StrategyDChoices
+	// ModeWChoices spreads keys above the hot threshold round-robin
+	// over every worker, again from purely source-local state.
+	ModeWChoices = route.StrategyWChoices
 )
 
 // Source is a stream source holding one TCP connection per worker and a
@@ -211,9 +221,10 @@ func DialSource(addrs []string, mode Mode, seed uint64, start int) (*Source, err
 }
 
 // DialSourceD is DialSource generalized to d hash choices for PKG
-// ("Greedy-d"; d is ignored by the other modes). Point queries probe a
-// key's d candidate workers, so larger d trades query fan-out for
-// balance.
+// ("Greedy-d") and to the hot-key width for D-Choices (d ≤ 2 selects
+// the adaptive policy there; d is ignored by the other modes). Point
+// queries probe a key's candidate workers, so larger d trades query
+// fan-out for balance.
 func DialSourceD(addrs []string, mode Mode, seed uint64, start, d int) (*Source, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: no worker addresses")
@@ -249,6 +260,24 @@ func DialSourceD(addrs []string, mode Mode, seed uint64, start, d int) (*Source,
 		s.part = route.NewKeyGrouping(n, seed)
 	case ModeSG:
 		s.part = route.NewShuffleGrouping(n, start)
+	case ModeDChoices, ModeWChoices:
+		// This source's sketch: frequency classification, like the load
+		// estimate, never leaves the process. d ≤ 2 means adaptive (the
+		// classifier clamps fixed widths beyond W internally).
+		hc := hotkey.Config{}
+		if d > 2 {
+			hc.D = d
+		}
+		s.view = metrics.NewLoad(n)
+		r, err := route.New(route.Config{
+			Strategy: mode, Workers: n, Seed: seed, Start: start,
+			View: s.view, Hot: hc,
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.part = r
 	default:
 		s.Close()
 		return nil, fmt.Errorf("transport: unknown mode %d", mode)
@@ -311,7 +340,13 @@ func (s *Source) Close() error {
 }
 
 // Candidates returns the key's candidate workers under this source's
-// router (all workers for SG, one for KG, the d hash choices for PKG).
+// router (all workers for SG, one for KG, the d hash choices for PKG,
+// and the class-widened set for D-Choices/W-Choices). For the
+// frequency-aware modes the set reflects the key's *current* class: a
+// key that cooled down since it was last routed may hold stale partial
+// counts on workers outside the returned set, so exact point queries
+// across a class change must widen to the key's historical maximum (or
+// simply all workers).
 func (s *Source) Candidates(key uint64) []int {
 	return route.ProbeSet(s.part, key)
 }

@@ -20,8 +20,14 @@ type FinalBolt struct {
 
 	states map[slot]State // general path
 	counts map[slot]int64 // Combiner fast path
-	wms    map[int]int64  // watermark per partial instance
-	closed int64          // windows ending ≤ closed have been emitted
+	// strCounts/intCounts are the global-window Combiner fast path,
+	// mirroring PartialBolt: one window per key means the merge is a
+	// plain counter map keyed by the tuple key, with no slot-struct
+	// hashing per merged partial.
+	strCounts map[string]int64
+	intCounts map[uint64]int64
+	wms       map[int]int64 // watermark per partial instance
+	closed    int64         // windows ending ≤ closed have been emitted
 	// minEnd is the earliest end among live slots (MaxInt64 when none),
 	// so the frequent watermark advances that close nothing skip the
 	// full slot scan.
@@ -31,9 +37,14 @@ type FinalBolt struct {
 
 // Prepare implements engine.Bolt.
 func (b *FinalBolt) Prepare(*engine.Context) {
-	if b.plan.comb != nil {
+	sp := &b.plan.spec
+	switch {
+	case b.plan.comb != nil && sp.Size <= 0 && !sp.PerInstance:
+		b.strCounts = map[string]int64{}
+		b.intCounts = map[uint64]int64{}
+	case b.plan.comb != nil:
 		b.counts = map[slot]int64{}
-	} else {
+	default:
 		b.states = map[slot]State{}
 	}
 	b.wms = map[int]int64{}
@@ -58,6 +69,20 @@ func (b *FinalBolt) Execute(t engine.Tuple, out engine.Emitter) {
 			"subscribe downstream bolts to the final stage, not the reverse", t.Values))
 	}
 	sp := &b.plan.spec
+	if b.strCounts != nil {
+		// Global-window Combiner fast path: the single window can only
+		// close at stream end, so there is no late check and no minEnd
+		// bookkeeping — just the counter merge.
+		b.inst.merged.Add(1)
+		if t.Key != "" {
+			b.strCounts[t.Key] += ps.state.(int64)
+		} else {
+			b.intCounts[t.RouteKey()] += ps.state.(int64)
+		}
+		b.minEnd = math.MaxInt64
+		b.publishLive()
+		return
+	}
 	end := sp.end(ps.start)
 	if end <= b.closed {
 		b.inst.late.Add(1)
@@ -87,9 +112,14 @@ func (b *FinalBolt) Execute(t engine.Tuple, out engine.Emitter) {
 
 // publishLive updates the live-slot gauge when it changed.
 func (b *FinalBolt) publishLive() {
-	live := len(b.states)
-	if b.counts != nil {
+	var live int
+	switch {
+	case b.strCounts != nil:
+		live = len(b.strCounts) + len(b.intCounts)
+	case b.counts != nil:
 		live = len(b.counts)
+	default:
+		live = len(b.states)
 	}
 	if live != b.lastLive {
 		b.lastLive = live
@@ -138,6 +168,12 @@ func (b *FinalBolt) closeUpTo(wm int64, out engine.Emitter) {
 		return
 	}
 	sp := &b.plan.spec
+	if b.strCounts != nil {
+		// Global-window fast path: wm has reached MaxInt64 (stream end);
+		// every counter closes, in deterministic key order.
+		b.closeFast(out)
+		return
+	}
 	next := int64(math.MaxInt64)
 	var due []slot
 	if b.counts != nil {
@@ -182,6 +218,40 @@ func (b *FinalBolt) closeUpTo(wm int64, out engine.Emitter) {
 		b.emitResult(sl, st, out)
 	}
 	b.inst.windowsClosed.Add(int64(len(due)))
+	b.publishLive()
+}
+
+// closeFast drains the global-window counter maps: string keys in
+// lexicographic order, then integer keys by hash — the same
+// deterministic order the slot sort yields for start-0 slots.
+func (b *FinalBolt) closeFast(out engine.Emitter) {
+	n := len(b.strCounts) + len(b.intCounts)
+	if n == 0 {
+		return
+	}
+	keys := make([]string, 0, len(b.strCounts))
+	for k := range b.strCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// Restore the key's routing hash on the Result (the fast-path
+		// counter map does not carry it): one hash per closed key, at
+		// stream end only.
+		t := engine.Tuple{Key: k}
+		b.emitResult(slot{key: k, hash: t.RouteKey()}, b.strCounts[k], out)
+	}
+	hashes := make([]uint64, 0, len(b.intCounts))
+	for h := range b.intCounts {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	for _, h := range hashes {
+		b.emitResult(slot{hash: h}, b.intCounts[h], out)
+	}
+	clear(b.strCounts)
+	clear(b.intCounts)
+	b.inst.windowsClosed.Add(int64(n))
 	b.publishLive()
 }
 

@@ -2,6 +2,7 @@ package window
 
 import (
 	"math"
+	"sort"
 
 	"pkgstream/internal/engine"
 )
@@ -18,22 +19,34 @@ type PartialBolt struct {
 	plan *Plan
 	inst *instrumentation
 
-	ctx      engine.Context
-	states   map[slot]State // general path
-	counts   map[slot]int64 // Combiner fast path
-	wins     []int64        // window-assignment scratch
-	since    int            // tuples since the last flush
-	wm       int64          // max event time seen (math.MinInt64: none)
-	lastLive int            // last value published to the stats gauge
+	ctx    engine.Context
+	states map[slot]State // general path
+	counts map[slot]int64 // Combiner fast path
+	// strCounts/intCounts are the global-window Combiner fast path: with
+	// a single window per key there is no start component, so the live
+	// state is a plain counter map keyed by the tuple key itself — no
+	// slot-struct hashing on the hot path. String- and integer-keyed
+	// tuples each get the map their key lives in.
+	strCounts map[string]int64
+	intCounts map[uint64]int64
+	wins      []int64 // window-assignment scratch
+	since     int     // tuples since the last flush
+	wm        int64   // max event time seen (math.MinInt64: none)
+	lastLive  int     // last value published to the stats gauge
 }
 
 // Prepare implements engine.Bolt.
 func (b *PartialBolt) Prepare(ctx *engine.Context) {
 	b.ctx = *ctx
 	b.wm = math.MinInt64
-	if b.plan.comb != nil {
+	sp := &b.plan.spec
+	switch {
+	case b.plan.comb != nil && sp.Size <= 0 && !sp.PerInstance:
+		b.strCounts = map[string]int64{}
+		b.intCounts = map[uint64]int64{}
+	case b.plan.comb != nil:
 		b.counts = map[slot]int64{}
-	} else {
+	default:
 		b.states = map[slot]State{}
 	}
 }
@@ -48,7 +61,16 @@ func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
 	if sp.Size <= 0 {
 		// Global window: no event time, no assignment — one slot per
 		// key (or per instance), the running-total hot path.
-		b.accumulate(t, 0)
+		if b.strCounts != nil {
+			// Combiner + per-key: count straight off the key.
+			if t.Key != "" {
+				b.strCounts[t.Key] += b.plan.comb.Weigh(t)
+			} else {
+				b.intCounts[t.RouteKey()] += b.plan.comb.Weigh(t)
+			}
+		} else {
+			b.accumulate(t, 0)
+		}
 	} else {
 		ts := sp.TimeOf(t)
 		if ts > b.wm {
@@ -65,9 +87,10 @@ func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
 		b.inst.setLive(int64(live))
 	}
 	b.since++
-	if (sp.EveryTuples > 0 && b.since >= sp.EveryTuples) ||
-		(sp.MaxLivePartials > 0 && live >= sp.MaxLivePartials) {
+	if sp.EveryTuples > 0 && b.since >= sp.EveryTuples {
 		b.flush(out, false)
+	} else if sp.MaxLivePartials > 0 && live >= sp.MaxLivePartials {
+		b.flushPressure(out)
 	}
 }
 
@@ -81,6 +104,9 @@ func (b *PartialBolt) Cleanup(out engine.Emitter) {
 func (b *PartialBolt) WindowStats() engine.WindowStats { return b.inst.snapshot() }
 
 func (b *PartialBolt) live() int {
+	if b.strCounts != nil {
+		return len(b.strCounts) + len(b.intCounts)
+	}
 	if b.counts != nil {
 		return len(b.counts)
 	}
@@ -106,6 +132,84 @@ func (b *PartialBolt) accumulate(t engine.Tuple, start int64) {
 	b.states[sl] = b.plan.agg.Accumulate(acc, t)
 }
 
+// flushPressure handles the live-state cap without evicting everything:
+// whole windows are flushed oldest-first until the live count is at or
+// below half the cap (headroom, so the very next tuples do not
+// immediately re-trigger), keeping the hot — newest — windows resident
+// across the flush. The broadcast watermark is capped below the
+// earliest *retained* window's end, so the final stage can close the
+// evicted old windows but never one this instance still accumulates;
+// the straggler semantics are unchanged from a full flush.
+//
+// The global window (one window total) and the degenerate case of a
+// single live window fall back to the full flush — there is no older
+// window to prefer.
+func (b *PartialBolt) flushPressure(out engine.Emitter) {
+	sp := &b.plan.spec
+	if sp.Size <= 0 {
+		b.flush(out, false)
+		return
+	}
+	// Bucket the live slots by window start. (The counter-map fast path
+	// only serves the global window, so states/counts cover all slots
+	// here.)
+	buckets := map[int64][]slot{}
+	if b.counts != nil {
+		for sl := range b.counts {
+			buckets[sl.start] = append(buckets[sl.start], sl)
+		}
+	} else {
+		for sl := range b.states {
+			buckets[sl.start] = append(buckets[sl.start], sl)
+		}
+	}
+	if len(buckets) <= 1 {
+		b.flush(out, false)
+		return
+	}
+	starts := make([]int64, 0, len(buckets))
+	for st := range buckets {
+		starts = append(starts, st)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	target := sp.MaxLivePartials / 2
+	var flushed int64
+	idx := 0
+	for ; idx < len(starts) && b.live() > target; idx++ {
+		for _, sl := range buckets[starts[idx]] {
+			if b.counts != nil {
+				b.emitPartial(out, sl, b.counts[sl])
+				delete(b.counts, sl)
+			} else {
+				b.emitPartial(out, sl, b.states[sl])
+				delete(b.states, sl)
+			}
+			flushed++
+		}
+	}
+	b.inst.flushes.Add(1)
+	b.inst.partialsOut.Add(flushed)
+	b.since = 0
+	b.lastLive = b.live()
+	b.inst.setLive(int64(b.lastLive))
+
+	wm := b.wm
+	if wm != math.MinInt64 {
+		wm -= int64(sp.Lateness)
+	}
+	if idx < len(starts) {
+		// Windows from starts[idx] on stay resident: never advertise a
+		// watermark that would let the final stage close them.
+		if limit := sp.end(starts[idx]) - 1; limit < wm {
+			wm = limit
+		}
+	}
+	out.Emit(engine.Tuple{Tick: true, Values: engine.Values{mark{
+		from: b.ctx.Index, of: b.ctx.Parallelism, wm: wm,
+	}}})
+}
+
 // flush emits every live (key, window) partial downstream keyed by the
 // original key, clears the local state (the O(1)-memory step: worker
 // memory is bounded by one period's key arrivals), and broadcasts this
@@ -114,12 +218,22 @@ func (b *PartialBolt) flush(out engine.Emitter, final bool) {
 	if n := b.live(); n > 0 {
 		b.inst.flushes.Add(1)
 		b.inst.partialsOut.Add(int64(n))
-		if b.counts != nil {
+		switch {
+		case b.strCounts != nil:
+			for k, c := range b.strCounts {
+				b.emitPartial(out, slot{key: k}, c)
+			}
+			for h, c := range b.intCounts {
+				b.emitPartial(out, slot{hash: h}, c)
+			}
+			clear(b.strCounts)
+			clear(b.intCounts)
+		case b.counts != nil:
 			for sl, c := range b.counts {
 				b.emitPartial(out, sl, c)
 			}
 			clear(b.counts)
-		} else {
+		default:
 			for sl, st := range b.states {
 				b.emitPartial(out, sl, st)
 			}

@@ -402,3 +402,199 @@ func TestEngineStatsExposeWindowCounters(t *testing.T) {
 		t.Fatalf("plan final %+v != stats %+v", f, final)
 	}
 }
+
+// TestGlobalCombinerFastPathMixedKeys pins the specialized
+// global+per-key+combiner path (plain counter maps instead of slot
+// maps): string- and integer-keyed tuples in one stream, several flush
+// rounds, exact totals on the other side and deterministic key order.
+func TestGlobalCombinerFastPathMixedKeys(t *testing.T) {
+	var tuples []engine.Tuple
+	want := map[string]int64{}
+	wantInt := map[uint64]int64{}
+	for i := 0; i < 60; i++ {
+		if i%3 == 0 {
+			h := uint64(1000 + i%5)
+			tuples = append(tuples, engine.Tuple{KeyHash: h})
+			wantInt[h]++
+		} else {
+			k := fmt.Sprintf("k%d", i%7)
+			tuples = append(tuples, engine.Tuple{Key: k})
+			want[k]++
+		}
+	}
+	plan := MustPlan(Count{}, Spec{EveryTuples: 9}) // partial flushes mid-stream
+	col, st := runPlan(t, plan, tuples, 2)
+
+	gotStr := map[string]int64{}
+	gotInt := map[uint64]int64{}
+	for _, r := range col.res {
+		if r.Key != "" {
+			gotStr[r.Key] += r.Value.(int64)
+			// The fast path must still report the key's routing hash on
+			// the Result (the documented KeyHash contract).
+			if want := (&engine.Tuple{Key: r.Key}).RouteKey(); r.KeyHash != want {
+				t.Errorf("Result.KeyHash for %q = %#x, want %#x", r.Key, r.KeyHash, want)
+			}
+		} else {
+			gotInt[r.KeyHash] += r.Value.(int64)
+		}
+	}
+	for k, n := range want {
+		if gotStr[k] != n {
+			t.Errorf("count[%s] = %d, want %d", k, gotStr[k], n)
+		}
+	}
+	for h, n := range wantInt {
+		if gotInt[h] != n {
+			t.Errorf("count[%#x] = %d, want %d", h, gotInt[h], n)
+		}
+	}
+	if len(gotStr) != len(want) || len(gotInt) != len(wantInt) {
+		t.Errorf("key sets differ: got %d/%d want %d/%d",
+			len(gotStr), len(gotInt), len(want), len(wantInt))
+	}
+	// One closed window per key, every partial merged, none late.
+	w := st.WindowTotals("agg")
+	if w.WindowsClosed != int64(len(want)+len(wantInt)) {
+		t.Errorf("WindowsClosed = %d, want %d", w.WindowsClosed, len(want)+len(wantInt))
+	}
+	if w.LateDropped != 0 {
+		t.Errorf("LateDropped = %d", w.LateDropped)
+	}
+	if p := st.WindowTotals("agg.partial"); p.PartialsOut == 0 || p.Flushes < 6 {
+		t.Errorf("fast path did not flush per EveryTuples: %+v", p)
+	}
+}
+
+// capture is an Emitter recording everything a bolt emits.
+type capture struct{ out []engine.Tuple }
+
+func (c *capture) Emit(t engine.Tuple) { c.out = append(c.out, t) }
+
+// partialStarts extracts the window starts of the flushed partials in
+// an emission capture.
+func partialStarts(tuples []engine.Tuple) map[int64]int {
+	starts := map[int64]int{}
+	for _, t := range tuples {
+		if t.Tick {
+			continue
+		}
+		if ps, ok := t.Values[0].(partialState); ok {
+			starts[ps.start]++
+		}
+	}
+	return starts
+}
+
+// TestPressureFlushEvictsOldestWindowsFirst drives the partial bolt
+// directly: when the live-state cap hits, whole *old* windows are
+// flushed while the newest — hot — window stays resident, and the
+// broadcast watermark never allows the final stage to close a retained
+// window.
+func TestPressureFlushEvictsOldestWindowsFirst(t *testing.T) {
+	plan := MustPlan(Count{}, Spec{Size: 10 * time.Millisecond, MaxLivePartials: 6})
+	pb := plan.NewPartial().(*PartialBolt)
+	pb.Prepare(&engine.Context{Component: "p", Parallelism: 1})
+
+	var em capture
+	// Five keys in window [0, 10ms), then two in [10ms, 20ms): the cap
+	// (6) is reached on the sixth distinct slot.
+	for i, k := range []string{"a", "b", "c", "d", "e"} {
+		pb.Execute(tup(k, int64(1+i)), &em)
+	}
+	if len(em.out) != 0 {
+		t.Fatalf("premature flush: %d emissions", len(em.out))
+	}
+	pb.Execute(tup("f", 11), &em) // live hits 6 → pressure flush
+
+	starts := partialStarts(em.out)
+	if starts[0] != 5 {
+		t.Errorf("old window flushed %d partials, want 5", starts[0])
+	}
+	if starts[ms(10)] != 0 {
+		t.Errorf("hot window was flushed (%d partials), want resident", starts[ms(10)])
+	}
+	if pb.live() != 1 {
+		t.Errorf("live after pressure flush = %d, want 1 (the hot slot)", pb.live())
+	}
+	// The mark must cap below the retained window's end even though the
+	// instance has seen event time 11ms.
+	var wm int64 = math.MinInt64
+	for _, tu := range em.out {
+		if tu.Tick {
+			wm = tu.Values[0].(mark).wm
+		}
+	}
+	if want := ms(20) - 1; wm > want {
+		t.Errorf("pressure mark wm = %d, may close the retained window (end %d)", wm, ms(20))
+	}
+	if wm < ms(10) {
+		t.Errorf("pressure mark wm = %d too conservative to close the evicted window", wm)
+	}
+
+	// The retained window keeps accumulating and flushes with later
+	// rounds — no data loss.
+	em.out = nil
+	pb.Execute(tup("f", 12), &em)
+	pb.Cleanup(&em)
+	if got := partialStarts(em.out)[ms(10)]; got != 1 {
+		t.Errorf("retained slot flushed %d times at cleanup, want 1", got)
+	}
+	st := pb.WindowStats()
+	if st.PartialsOut != 6 {
+		t.Errorf("PartialsOut = %d, want 6", st.PartialsOut)
+	}
+}
+
+// TestPressureFlushSlidingExactness runs the full pipeline under a
+// tight cap with overlapping sliding windows: every count must survive
+// exactly (no late drops — the capped watermark is what guarantees a
+// retained window is never closed under the accumulating instance).
+func TestPressureFlushSlidingExactness(t *testing.T) {
+	var tuples []engine.Tuple
+	want := map[string]map[int64]int64{} // key → window start → count
+	spec := Spec{Size: 20 * time.Millisecond, Slide: 10 * time.Millisecond, MaxLivePartials: 8}
+	norm, err := spec.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("k%d", i%11)
+		ts := int64(1 + i/3) // nonzero logical clock creeping forward: many live windows
+		tuples = append(tuples, tup(k, ts))
+		for _, st := range norm.assign(ms(ts), nil) {
+			if want[k] == nil {
+				want[k] = map[int64]int64{}
+			}
+			want[k][st]++
+		}
+	}
+	plan := MustPlan(Count{}, spec)
+	col, st := runPlan(t, plan, tuples, 2)
+
+	got := map[string]map[int64]int64{}
+	for _, r := range col.res {
+		if got[r.Key] == nil {
+			got[r.Key] = map[int64]int64{}
+		}
+		got[r.Key][r.Start] += r.Value.(int64)
+	}
+	for k, wins := range want {
+		for start, n := range wins {
+			if got[k][start] != n {
+				t.Errorf("count[%s][%d] = %d, want %d", k, start, got[k][start], n)
+			}
+		}
+	}
+	w := st.WindowTotals("agg")
+	if w.LateDropped != 0 {
+		t.Errorf("LateDropped = %d under pressure flushing, want 0", w.LateDropped)
+	}
+	p := st.WindowTotals("agg.partial")
+	if p.MaxLive > 8+1 { // +1: sliding fan-out overshoot documented on the cap
+		t.Errorf("MaxLive = %d above cap", p.MaxLive)
+	}
+	if p.Flushes == 0 {
+		t.Error("no pressure flushes under a tight cap")
+	}
+}

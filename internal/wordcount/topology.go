@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pkgstream/internal/engine"
+	"pkgstream/internal/hotkey"
 	"pkgstream/internal/rng"
 	"pkgstream/internal/window"
 )
@@ -12,11 +13,14 @@ import (
 // GroupingChoice selects the stream partitioning of the word stream.
 type GroupingChoice string
 
-// The three configurations the paper deploys on Storm (§V Q4).
+// The three configurations the paper deploys on Storm (§V Q4), plus the
+// frequency-aware strategies of the ICDE 2016 follow-up.
 const (
-	UsePKG GroupingChoice = "pkg"
-	UseKG  GroupingChoice = "kg"
-	UseSG  GroupingChoice = "sg"
+	UsePKG      GroupingChoice = "pkg"
+	UseKG       GroupingChoice = "kg"
+	UseSG       GroupingChoice = "sg"
+	UseDChoices GroupingChoice = "dchoices"
+	UseWChoices GroupingChoice = "wchoices"
 )
 
 // Config parameterizes a streaming top-k word count topology.
@@ -157,6 +161,10 @@ func Build(cfg Config) (*engine.Topology, *Output, error) {
 		grouping = engine.Key()
 	case UseSG:
 		grouping = engine.Shuffle()
+	case UseDChoices:
+		grouping = engine.DChoices(hotkey.Config{})
+	case UseWChoices:
+		grouping = engine.WChoices(hotkey.Config{})
 	default:
 		return nil, nil, fmt.Errorf("wordcount: unknown grouping %q", cfg.Grouping)
 	}

@@ -10,7 +10,9 @@
 // to use and evaluate it:
 //
 //   - stream partitioners: PKG (Greedy-d), key grouping, shuffle
-//     grouping, static PoTC, On-Greedy and Off-Greedy baselines;
+//     grouping, static PoTC, On-Greedy and Off-Greedy baselines, plus
+//     the frequency-aware D-Choices and W-Choices of the authors'
+//     follow-up ("When Two Choices Are not Enough", ICDE 2016);
 //   - a miniature Storm-like stream processing engine with pluggable
 //     groupings (PKG is a drop-in GroupingFactory);
 //   - synthetic datasets matched to the paper's Table I statistics;
@@ -32,6 +34,7 @@
 package pkgstream
 
 import (
+	"pkgstream/internal/hotkey"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/route"
 )
@@ -62,6 +65,15 @@ const (
 	StrategyOnGreedy = route.StrategyOnGreedy
 	// StrategyOffGreedy is the clairvoyant LPT baseline.
 	StrategyOffGreedy = route.StrategyOffGreedy
+	// StrategyDChoices is frequency-aware PKG from the authors' ICDE
+	// 2016 follow-up: a per-source Space-Saving sketch classifies keys
+	// and hot keys widen to d > 2 candidates (head keys to all W) while
+	// the cold tail keeps 2.
+	StrategyDChoices = route.StrategyDChoices
+	// StrategyWChoices spreads every key above the hot threshold
+	// round-robin over all W workers (the follow-up's aggressive
+	// variant).
+	StrategyWChoices = route.StrategyWChoices
 )
 
 // RouterConfig describes a router for NewRouter.
@@ -94,6 +106,24 @@ type OffGreedy = route.OffGreedy
 
 // KeyFreq is a key with its total stream frequency (OffGreedy input).
 type KeyFreq = route.KeyFreq
+
+// DChoices is frequency-aware PKG (D-Choices, ICDE 2016 follow-up):
+// hot keys get the d > 2 candidates their frequency warrants, the cold
+// tail keeps 2. See route.DChoices.
+type DChoices = route.DChoices
+
+// WChoices spreads keys above the hot threshold over all W workers
+// round-robin (W-Choices). See route.WChoices.
+type WChoices = route.WChoices
+
+// HotkeyConfig holds the hot-key classification knobs shared by
+// DChoices and WChoices: the D-Choices width D (0 = per-key adaptive),
+// the skew target Epsilon, and the sketch/refresh parameters.
+type HotkeyConfig = hotkey.Config
+
+// HotkeyStats snapshots a classifier: tracked/hot/head key populations
+// and per-class routed message counts.
+type HotkeyStats = hotkey.Stats
 
 // Load is a per-worker load vector: the true loads of a stream edge, or a
 // source's local estimate of them.
@@ -136,6 +166,21 @@ func NewOnGreedy(workers int, view *Load) *OnGreedy {
 // frequency distribution.
 func NewOffGreedy(workers int, seed uint64, freqs []KeyFreq) *OffGreedy {
 	return route.NewOffGreedy(workers, seed, freqs)
+}
+
+// NewDChoices returns a D-Choices partitioner over `workers` workers
+// deciding by `view`, with a fresh per-source hot-key classifier
+// configured by hot (zero value: adaptive defaults). Like PKG, give
+// every source its own view — and its own DChoices instance, since the
+// sketch is per-source state.
+func NewDChoices(workers int, seed uint64, view *Load, hot HotkeyConfig) *DChoices {
+	return route.NewDChoices(workers, seed, view, hot)
+}
+
+// NewWChoices returns a W-Choices partitioner over `workers` workers;
+// start offsets the head-key round-robin (vary per source).
+func NewWChoices(workers int, seed uint64, view *Load, hot HotkeyConfig, start int) *WChoices {
+	return route.NewWChoices(workers, seed, view, hot, start)
 }
 
 // Jaccard returns the routing agreement between two destination traces:
