@@ -1,0 +1,109 @@
+// Command pkgnode is the worker daemon of a distributed PKG topology:
+// one process per node, speaking the internal/wire protocol over TCP.
+// It hosts one of two handler modes:
+//
+//	-mode counter   the classic PKG worker (§V): per-key partial counts
+//	                for the tuples routed to it, answering OpCount point
+//	                queries with its share of a key;
+//	-mode final     the windowed final stage (§IV distributed): merges
+//	                the flushed partials of a windowed aggregation,
+//	                closes windows once the minimum watermark across all
+//	                upstream sources passes their end, and serves the
+//	                closed (key, window) results to OpResults queries.
+//
+// A two-process windowed wordcount (the `pipeline` experiment's shape):
+//
+//	pkgnode -addr 127.0.0.1:7411 &
+//	pkgnode -addr 127.0.0.1:7412 &
+//	PKGNODE_ADDRS=127.0.0.1:7411,127.0.0.1:7412 \
+//	    go run ./cmd/pkgbench -exp pipeline -scale quick
+//
+// The final-stage window shape (-win-size/-win-slide) and the upstream
+// partial parallelism (-sources) must match the engine process's
+// declaration; the defaults match the pipeline experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pkgstream/internal/transport"
+	"pkgstream/internal/window"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7411", "TCP listen address")
+		mode    = flag.String("mode", "final", "counter | final")
+		sources = flag.Int("sources", 4, "final: number of upstream sources (the partial stage's parallelism)")
+		winSize = flag.Duration("win-size", time.Second, "final: window size in event time (0: one global window)")
+		slide   = flag.Duration("win-slide", 0, "final: window slide (0: tumbling)")
+		once    = flag.Bool("once", false, "final: exit once every source has sent its final mark")
+		quiet   = flag.Bool("quiet", false, "suppress the per-window result summary at shutdown")
+	)
+	flag.Parse()
+
+	var (
+		worker *transport.Worker
+		final  *window.FinalHandler
+		err    error
+	)
+	switch *mode {
+	case "counter":
+		worker, err = transport.ListenWorker(*addr)
+	case "final":
+		var plan *window.Plan
+		plan, err = window.NewPlan(window.Count{}, window.Spec{Size: *winSize, Slide: *slide})
+		if err == nil {
+			final, err = plan.NewFinalHandler(*sources)
+		}
+		if err == nil {
+			worker, err = transport.ListenHandler(*addr, final)
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q (counter | final)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkgnode:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pkgnode: mode=%s listening on %s\n", *mode, worker.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *once && final != nil {
+		done := make(chan struct{})
+		go func() {
+			for !final.Done() {
+				time.Sleep(10 * time.Millisecond)
+			}
+			close(done)
+		}()
+		select {
+		case <-sig:
+		case <-done:
+		}
+	} else {
+		<-sig
+	}
+
+	_ = worker.Close()
+	switch {
+	case final != nil:
+		st := final.Stats()
+		fmt.Printf("pkgnode: done=%v merged=%d windows=%d late=%d bad=%d\n",
+			final.Done(), st.Merged, st.WindowsClosed, st.LateDropped, final.BadFrames())
+		if !*quiet {
+			for _, r := range final.Results() {
+				fmt.Printf("  %s [%d, %d) = %d\n", r.Key, r.Start, r.End, r.Value)
+			}
+		}
+	default:
+		fmt.Printf("pkgnode: absorbed %d frames over %d keys\n",
+			worker.Processed(), worker.DistinctKeys())
+	}
+}

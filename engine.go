@@ -149,3 +149,47 @@ func CountAggregator() WindowAggregator { return window.Count{} }
 // SumAggregator sums the integer tuple field at the given Values index
 // per (key, window) — a WindowCombiner.
 func SumAggregator(field int) WindowAggregator { return window.Sum{Field: field} }
+
+// Distributed windowed aggregation (internal/wire + internal/window's
+// remote half): the final stage of a WindowedAggregate can live in
+// another process behind the TCP wire protocol — partials and
+// watermarks are serialized frames, and the remote node hosts the
+// merge. See README "Running distributed" and cmd/pkgnode.
+
+// WindowedOption customizes a WindowedAggregate declaration.
+type WindowedOption = engine.WindowedOption
+
+// WindowRemoteFinal replaces the aggregation's in-process final stage
+// with a forwarder shipping partials (key-grouped) and watermarks to
+// remote final nodes — pkgnode processes, or ListenNetFinal listeners.
+func WindowRemoteFinal(addrs ...string) WindowedOption { return engine.RemoteFinal(addrs...) }
+
+// WindowStateCodec is the optional WindowAggregator extension non-
+// Combiner aggregations need to cross a process boundary: partial
+// accumulators must have a wire form.
+type WindowStateCodec = window.StateCodec
+
+// WindowFinalHost hosts a windowed final stage behind a TCP worker:
+// partials merge, windows close on the minimum watermark across
+// sources, closed results serve point queries. Pass it to
+// ListenNetFinal (it is the transport handler).
+type WindowFinalHost = window.FinalHandler
+
+// NewWindowFinalHost builds the remote-final host for a plan. sources
+// is the number of upstream mark-emitting sources — the partial stage's
+// parallelism in a WindowRemoteFinal topology.
+func NewWindowFinalHost(plan *WindowPlan, sources int) (*WindowFinalHost, error) {
+	return plan.NewFinalHandler(sources)
+}
+
+// SourceMark returns the control tuple a spout emits to advertise that
+// source `source` will never again emit a tuple with event time below
+// wm. With GroupSourceAware on the spout→partial edge and
+// WindowSpec.Sources set, the aggregation's watermark becomes the exact
+// minimum across sources — no Lateness sizing for skewed clocks.
+func SourceMark(source int, wm int64) Tuple { return window.SourceMark(source, wm) }
+
+// GroupSourceAware wraps a spout→partial grouping so SourceMark tuples
+// broadcast to every partial instance while data routes through g
+// unchanged.
+func GroupSourceAware(g GroupingFactory) GroupingFactory { return window.SourceAware(g) }

@@ -1,110 +1,246 @@
-// PKG over a real network: workers listen on TCP loopback ports, two
-// uncoordinated sources stream a skewed workload at them with partial
-// key grouping on purely local load estimates, and point queries probe
-// only each key's two candidate workers. Nothing but keys crosses the
-// wire — no load gossip, no routing tables, no source-to-source
-// coordination.
+// A REAL two-process windowed wordcount: this program re-executes
+// itself as a final-stage node (child process), then runs the engine
+// half — spout → PKG partial counters — in the parent, shipping flushed
+// partials and watermarks to the child over the internal/wire TCP
+// protocol. The child merges them, closes windows on the minimum
+// watermark across the partial instances, and the parent drains the
+// closed (word, window) counts back out with point queries and
+// cross-checks them against a fully in-process run: the counts must be
+// identical.
 //
 //	go run ./examples/distributed
+//
+// The same child role is what cmd/pkgnode hosts as a standalone daemon.
 package main
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"pkgstream"
 )
 
+const (
+	sources   = 2
+	partials  = 6
+	perSource = 150_000
+	winSize   = 30 * time.Second // event-time window over the logical clock
+	flushT    = 4_000            // aggregation period T in tuples
+	tick      = 200 * time.Microsecond
+	seed      = 42
+)
+
+func spec() pkgstream.WindowSpec {
+	return pkgstream.WindowSpec{Size: winSize, EveryTuples: flushT, Sources: sources}
+}
+
+// wordSpout emits a skewed word stream on a pre-stamped logical clock
+// and advertises its progress with source marks, so the aggregation's
+// watermark is exact with zero lateness tuning.
+type wordSpout struct {
+	i, id int
+}
+
+func (s *wordSpout) Open(ctx *pkgstream.Context) { s.id = ctx.Index }
+func (s *wordSpout) Close()                      {}
+
+func (s *wordSpout) Next(out pkgstream.Emitter) bool {
+	if s.i >= perSource {
+		return false
+	}
+	s.i++
+	at := int64(time.Duration(s.i) * tick)
+	word := "gopher"
+	if r := (s.i*7919 + s.id*104729) % 100; r >= 25 {
+		word = fmt.Sprintf("w%d", r*r*(s.i%71)%3000)
+	}
+	out.Emit(pkgstream.Tuple{Key: word, EmitNanos: at})
+	if s.i%1000 == 0 {
+		out.Emit(pkgstream.SourceMark(s.id, at))
+	}
+	if s.i == perSource {
+		out.Emit(pkgstream.SourceMark(s.id, int64(1)<<62))
+	}
+	return s.i < perSource
+}
+
+// buildTopology declares the shared spout→partial half; opts selects
+// where the final stage lives.
+func buildTopology(opts ...pkgstream.WindowedOption) (*pkgstream.TopologyBuilder, *pkgstream.WindowPlan) {
+	plan := pkgstream.MustWindowPlan(pkgstream.CountAggregator(), spec())
+	b := pkgstream.NewTopologyBuilder("distributed", seed)
+	b.AddSpout("words", func() pkgstream.Spout { return &wordSpout{} }, sources)
+	b.WindowedAggregate("wc", plan, partials, opts...).
+		Input("words", pkgstream.GroupSourceAware(pkgstream.GroupPartial()))
+	return b, plan
+}
+
+// runNode is the CHILD process: a TCP worker hosting the windowed final
+// stage. It prints its address for the parent and serves until the
+// parent closes its stdin (after draining the results).
+func runNode() {
+	plan := pkgstream.MustWindowPlan(pkgstream.CountAggregator(), spec())
+	host, err := pkgstream.NewWindowFinalHost(plan, partials)
+	if err != nil {
+		panic(err)
+	}
+	w, err := pkgstream.ListenNetHandler("127.0.0.1:0", host)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("node: listening on %s\n", w.Addr())
+	_, _ = bufio.NewReader(os.Stdin).ReadString('\n') // EOF when the parent is done
+	_ = w.Close()
+}
+
+// spawnNode re-executes this binary with -node and reads the child's
+// listen address off its stdout.
+func spawnNode() (addr string, wait func(), err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd := exec.Command(exe, "-node")
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	line, err := bufio.NewReader(out).ReadString('\n')
+	if err != nil {
+		_ = cmd.Process.Kill()
+		return "", nil, fmt.Errorf("reading child address: %w", err)
+	}
+	addr = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "node: listening on "))
+	return addr, func() {
+		_ = in.Close() // stdin EOF tells the child to exit
+		_ = cmd.Wait()
+	}, nil
+}
+
+func key(word string, start int64) string { return fmt.Sprintf("%s@%d", word, start) }
+
 func main() {
-	const workers = 5
-	const seed = 42
-
-	// Start the worker fleet.
-	addrs := make([]string, workers)
-	fleet := make([]*pkgstream.NetWorker, workers)
-	for i := range fleet {
-		w, err := pkgstream.ListenNetWorker("127.0.0.1:0")
-		if err != nil {
-			panic(err)
-		}
-		fleet[i] = w
-		addrs[i] = w.Addr()
-		defer w.Close()
+	node := flag.Bool("node", false, "run as the final-stage child process")
+	flag.Parse()
+	if *node {
+		runNode()
+		return
 	}
-	fmt.Printf("started %d TCP workers\n", workers)
 
-	// Two independent sources, each with its own local load estimate.
-	spec := pkgstream.Wikipedia.WithCap(200_000)
-	var wg sync.WaitGroup
-	var queryCandidates func(key uint64) []int
+	// Reference run: everything in one process.
 	var mu sync.Mutex
-	for s := 0; s < 2; s++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			src, err := pkgstream.DialNetSource(addrs, pkgstream.NetPKG, seed, id)
-			if err != nil {
-				panic(err)
+	local := map[string]int64{}
+	b, _ := buildTopology()
+	b.AddBolt("sink", func() pkgstream.Bolt {
+		return pkgstream.BoltFunc(func(t pkgstream.Tuple, _ pkgstream.Emitter) {
+			if t.Tick {
+				return
 			}
-			defer src.Close()
-			stream := spec.Open(uint64(id) + 1)
-			for {
-				m, ok := stream.Next()
-				if !ok {
-					break
-				}
-				if err := src.Send(m.Key); err != nil {
-					panic(err)
-				}
-			}
-			if err := src.Flush(); err != nil {
-				panic(err)
-			}
+			res := t.Values[0].(pkgstream.WindowResult)
 			mu.Lock()
-			if queryCandidates == nil {
-				queryCandidates = src.Candidates
-			}
+			local[key(res.Key, res.Start)] += res.Value.(int64)
 			mu.Unlock()
-			fmt.Printf("source %d: sent %d keys, local estimate %v\n", id, src.Sent(), src.LocalLoads())
-		}(s)
+		})
+	}, 1).Input("wc", pkgstream.GroupGlobal())
+	top, err := b.Build()
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
+	if err := pkgstream.NewRuntime(top, pkgstream.RuntimeOptions{QueueSize: 2048}).Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("in-process run: %d (word, window) pairs\n", len(local))
 
-	// Wait for the workers to drain the sockets.
-	var total int64 = 2 * spec.Messages
-	for _, w := range fleet {
-		_ = w.WaitProcessed(1, 0) // nudge; real wait below
+	// Distributed run: the final stage lives in a child process.
+	addr, wait, err := spawnNode()
+	if err != nil {
+		panic(err)
 	}
-	for {
-		var seen int64
-		for _, w := range fleet {
-			seen += w.Processed()
-		}
-		if seen >= total {
-			break
-		}
+	fmt.Printf("spawned final-stage node at %s (child pid)\n", addr)
+	rb, _ := buildTopology(pkgstream.WindowRemoteFinal(addr))
+	rtop, err := rb.Build()
+	if err != nil {
+		panic(err)
+	}
+	start := time.Now()
+	if err := pkgstream.NewRuntime(rtop, pkgstream.RuntimeOptions{QueueSize: 2048}).Run(); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+
+	results, err := pkgstream.NetDrainResults(addr, 30*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	wait() // child exits on its own once every source finished
+
+	remote := map[string]int64{}
+	byWindow := map[int64][]pkgstream.NetWindowResult{}
+	for _, r := range results {
+		remote[key(r.Key, r.Start)] += r.Value
+		byWindow[r.Start] = append(byWindow[r.Start], r)
 	}
 
-	fmt.Println("\nworker loads (true, across both sources):")
-	var max, sum int64
-	for i, w := range fleet {
-		p := w.Processed()
-		fmt.Printf("  worker[%d] %s: %d messages, %d counters\n", i, w.Addr(), p, w.DistinctKeys())
-		if p > max {
-			max = p
+	total := int64(0)
+	diffs := 0
+	for k, v := range local {
+		if remote[k] != v {
+			diffs++
 		}
-		sum += p
+		total += v
 	}
-	imb := float64(max) - float64(sum)/float64(workers)
-	fmt.Printf("imbalance I = max-avg = %.0f (%.4f%% of %d messages)\n", imb, imb/float64(sum)*100, sum)
-
-	fmt.Println("\n2-probe distributed queries (hot keys):")
-	for _, key := range []uint64{1, 2, 3} {
-		cands := queryCandidates(key)
-		count, err := pkgstream.NetQuery(addrs, key, cands)
-		if err != nil {
-			panic(err)
+	for k := range remote {
+		if _, ok := local[k]; !ok {
+			diffs++
 		}
-		fmt.Printf("  key %d → %d (probed workers %v only)\n", key, count, cands)
+	}
+	fmt.Printf("distributed run: %d pairs drained from the node in %v (%.0f words/s through the wire)\n",
+		len(remote), elapsed.Round(time.Millisecond),
+		float64(sources*perSource)/elapsed.Seconds())
+	if diffs != 0 {
+		fmt.Printf("MISMATCH: %d (word, window) pairs differ between deployments\n", diffs)
+		os.Exit(1)
+	}
+	fmt.Printf("exact match: %d pairs, %d words — identical across process boundaries\n\n", len(local), total)
+
+	// Show the merged output: top words of the first few windows.
+	starts := make([]int64, 0, len(byWindow))
+	for st := range byWindow {
+		starts = append(starts, st)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	fmt.Println("top-3 per window (merged on the remote node):")
+	for _, st := range starts {
+		ws := byWindow[st]
+		sort.Slice(ws, func(i, j int) bool {
+			if ws[i].Value != ws[j].Value {
+				return ws[i].Value > ws[j].Value
+			}
+			return ws[i].Key < ws[j].Key
+		})
+		if len(ws) > 3 {
+			ws = ws[:3]
+		}
+		fmt.Printf("  [%4.0fs, %4.0fs)", time.Duration(st).Seconds(),
+			time.Duration(st+int64(winSize)).Seconds())
+		for _, wc := range ws {
+			fmt.Printf("  %-8s %6d", wc.Key, wc.Value)
+		}
+		fmt.Println()
 	}
 }

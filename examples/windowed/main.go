@@ -18,18 +18,20 @@ import (
 )
 
 const (
-	// One source: event time then advances monotonically, so the
-	// watermark is exact and no window ever sees a late tuple. Parallel
-	// sources with independent clocks can skew arbitrarily far apart
-	// (nothing couples their rates) and need WindowSpec.Lateness sized
-	// to that skew — see the README.
-	sources   = 1
+	// Two sources with deliberately skewed logical clocks: source 1 runs
+	// a full clockSkew behind source 0. Each source advertises its own
+	// event-time progress with SourceMark tuples, so the aggregation's
+	// watermark is the exact minimum across sources — no
+	// WindowSpec.Lateness sizing, and still zero late drops.
+	sources   = 2
+	clockSkew = 5 * time.Second
 	workers   = 9
-	perSource = 300_000                // words per source
+	perSource = 150_000                // words per source
 	tick      = 500 * time.Microsecond // logical time between words
 	hotEvery  = 50 * time.Second       // the trending word changes every 50s
 	winSize   = 30 * time.Second
 	winSlide  = 15 * time.Second
+	markEvery = 1_000 // words between SourceMark progress updates
 )
 
 var trending = []string{"gopher", "heron", "kraken"}
@@ -50,14 +52,22 @@ func (s *trendSpout) Next(out pkgstream.Emitter) bool {
 		return false
 	}
 	s.i++
-	at := time.Duration(s.i) * tick
+	at := time.Duration(s.i)*tick + time.Duration(s.idx)*clockSkew
 	word := trending[int(at/hotEvery)%len(trending)]
 	if r := (s.i*7919 + s.idx*104729) % 100; r >= 20 {
 		// The tail: a crude skewed draw over 5000 words.
 		word = fmt.Sprintf("w%d", r*r*(s.i%71)%5000)
 	}
 	out.Emit(pkgstream.Tuple{Key: word, EmitNanos: int64(at)})
-	return true
+	if s.i%markEvery == 0 {
+		// This source promises to never emit below `at` again.
+		out.Emit(pkgstream.SourceMark(s.idx, int64(at)))
+	}
+	if s.i == s.n {
+		// Final promise: release the watermark from this source's clock.
+		out.Emit(pkgstream.SourceMark(s.idx, int64(1)<<62))
+	}
+	return s.i < s.n
 }
 
 // windowSink collects each closed window's per-word totals.
@@ -87,12 +97,14 @@ func main() {
 	plan := pkgstream.MustWindowPlan(pkgstream.CountAggregator(), pkgstream.WindowSpec{
 		Size:        winSize,
 		Slide:       winSlide,
-		EveryTuples: 5_000, // aggregation period T (count-based, deterministic)
+		EveryTuples: 5_000,   // aggregation period T (count-based, deterministic)
+		Sources:     sources, // watermark = min over per-source marks, exactly
 	})
 
 	b := pkgstream.NewTopologyBuilder("trending", 42)
 	b.AddSpout("words", func() pkgstream.Spout { return &trendSpout{n: perSource} }, sources)
-	b.WindowedAggregate("trend", plan, workers).Input("words", pkgstream.GroupPartial())
+	b.WindowedAggregate("trend", plan, workers).
+		Input("words", pkgstream.GroupSourceAware(pkgstream.GroupPartial()))
 	b.AddBolt("sink", func() pkgstream.Bolt {
 		return &windowSink{mu: &mu, wins: wins}
 	}, 1).Input("trend", pkgstream.GroupGlobal())

@@ -246,21 +246,72 @@ type WindowedOp interface {
 	TickEvery() time.Duration
 }
 
+// RemoteWindowedOp is the optional WindowedOp extension behind the
+// RemoteFinal option: ops that can forward their final stage across a
+// process boundary return a forwarder-bolt factory for the given remote
+// node addresses. Implemented by internal/window.Plan.
+type RemoteWindowedOp interface {
+	WindowedOp
+	// NewRemoteFinal returns the factory for the forwarder replacing
+	// the in-process final stage; seed derives the key→node hash.
+	NewRemoteFinal(addrs []string, seed uint64) (func() Bolt, error)
+}
+
+// WindowedOption customizes a WindowedAggregate declaration.
+type WindowedOption func(*windowedCfg)
+
+type windowedCfg struct {
+	remote []string
+}
+
+// RemoteFinal replaces the aggregation's in-process final stage with a
+// forwarder that ships flushed partials (key-grouped) and watermark
+// marks to remote final nodes at the given addresses — the multi-process
+// form of the two-phase plan. The op must implement RemoteWindowedOp,
+// and the aggregation's output then materializes at the remote nodes
+// (query them with transport point queries); the local component named
+// by the declaration emits nothing.
+func RemoteFinal(addrs ...string) WindowedOption {
+	return func(c *windowedCfg) { c.remote = addrs }
+}
+
 // WindowedAggregate declares a two-phase windowed aggregation: a partial
 // stage named name+".partial" with the given parallelism, and the final
 // stage named name — the PKG-partial → KG-final plan every split-key
 // topology needs (paper §IV). Chain Input on the returned declaration to
 // subscribe the partial stage to its upstream (typically with Partial());
 // downstream bolts subscribe to name and receive the final stage's
-// output.
-func (b *Builder) WindowedAggregate(name string, op WindowedOp, parallelism int) *BoltDecl {
+// output. With the RemoteFinal option the final stage instead forwards
+// over TCP to remote nodes (see RemoteFinal).
+func (b *Builder) WindowedAggregate(name string, op WindowedOp, parallelism int, opts ...WindowedOption) *BoltDecl {
 	if op == nil {
 		b.errs = append(b.errs, fmt.Errorf("engine: windowed aggregate %q has nil op", name))
 		return &BoltDecl{b: b}
 	}
+	var cfg windowedCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
 	partial := b.AddBolt(name+".partial", op.NewPartial, parallelism)
 	if d := op.TickEvery(); d > 0 {
 		partial.TickEvery(d)
+	}
+	if len(cfg.remote) > 0 {
+		rop, ok := op.(RemoteWindowedOp)
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf(
+				"engine: windowed aggregate %q: op %T cannot host a remote final", name, op))
+			return partial
+		}
+		factory, err := rop.NewRemoteFinal(cfg.remote, b.seed)
+		if err != nil {
+			b.errs = append(b.errs, fmt.Errorf("engine: windowed aggregate %q: %w", name, err))
+			return partial
+		}
+		// One forwarder funnel: the key-grouped hop to the remote nodes
+		// happens inside it, so node count and parallelism stay free.
+		b.AddBolt(name, factory, 1).Input(name+".partial", op.FinalGrouping())
+		return partial
 	}
 	b.AddBolt(name, op.NewFinal, op.FinalParallelism()).
 		Input(name+".partial", op.FinalGrouping())

@@ -366,6 +366,29 @@ func TestWindowTShape(t *testing.T) {
 	}
 }
 
+// TestPipelineExactMatch is the acceptance gate for the multi-process
+// pipeline: the windowed wordcount must produce byte-identical
+// per-(word, window) counts whether the final stage merges in-process
+// or behind the TCP wire protocol — and, with one deterministic source,
+// the partial-stage imbalance must be identical too (the wire hop moves
+// the merge, not the routing).
+func TestPipelineExactMatch(t *testing.T) {
+	res := runPipeline(tiny, 3, "")
+	if !res.match {
+		for _, tb := range res.tables {
+			t.Log(tb.String())
+		}
+		t.Fatal("remote-final counts differ from the in-process engine")
+	}
+	if res.local.pairs == 0 || res.local.total == 0 {
+		t.Fatalf("degenerate run: %+v", res.local)
+	}
+	if res.local.imbalance != res.remote.imbalance {
+		t.Fatalf("partial imbalance differs: local %v, remote %v",
+			res.local.imbalance, res.remote.imbalance)
+	}
+}
+
 // TestHotkeyHeadlineOrdering is the acceptance gate for the
 // frequency-aware strategies: on the high-skew (z = 2.0) stream at
 // scale (W ≥ 50), D-Choices and W-Choices must achieve strictly lower

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pkgstream/internal/engine"
+	"pkgstream/internal/rng"
+	"pkgstream/internal/transport"
+	"pkgstream/internal/window"
+	"pkgstream/internal/wire"
+)
+
+// Pipeline runs the distributed deployment shape the paper evaluates
+// (§V runs PKG inside Storm across real workers): the same windowed
+// wordcount executes (a) entirely inside one engine process and (b) as
+// source→partial→(TCP)→final, with the final stage hosted behind the
+// wire protocol on remote nodes — and the two runs must produce
+// IDENTICAL per-(word, window) counts. By default the "remote" nodes
+// are in-process TCP loopback listeners (every frame still crosses the
+// stack); set PKGNODE_ADDRS to the comma-separated addresses of
+// running `pkgnode` processes to span real process boundaries (the CI
+// smoke job does exactly that).
+//
+// Fixed shape (the pkgnode defaults match it): 1 source, 4 partial
+// instances under PKG, tumbling 1s windows over a logical 1ms-per-word
+// clock, aggregation period T = 2000 tuples, 2 final nodes.
+func Pipeline(sc Scale, seed uint64) []Table {
+	res := runPipeline(sc, seed, os.Getenv("PKGNODE_ADDRS"))
+	return res.tables
+}
+
+// Pipeline shape constants — keep in sync with cmd/pkgnode's flag
+// defaults (-sources, -win-size) and the CI smoke job.
+const (
+	pipePartials = 4
+	pipeNodes    = 2
+	pipeWindow   = time.Second
+	pipeEvery    = 2000 // aggregation period T in tuples
+	pipeVocab    = 1000
+	pipeTick     = time.Millisecond
+	pipeMarks    = 500 // SourceMark cadence in tuples
+)
+
+// pipeSpout emits a deterministic Zipf word stream on a logical clock,
+// advertising progress with source marks.
+type pipeSpout struct {
+	n    int
+	seed uint64
+
+	i int
+	z *rng.Zipf
+}
+
+func (s *pipeSpout) Open(*engine.Context) {
+	s.z = rng.NewZipf(rng.New(s.seed), rng.SolveZipfExponent(pipeVocab, 0.15), pipeVocab)
+}
+func (s *pipeSpout) Close() {}
+
+func (s *pipeSpout) Next(out engine.Emitter) bool {
+	if s.i >= s.n {
+		return false
+	}
+	s.i++
+	at := int64(time.Duration(s.i) * pipeTick)
+	out.Emit(engine.Tuple{Key: fmt.Sprintf("w%d", s.z.Next()), EmitNanos: at})
+	if s.i%pipeMarks == 0 {
+		out.Emit(window.SourceMark(0, at))
+	}
+	if s.i == s.n {
+		out.Emit(window.SourceMark(0, int64(1)<<62))
+		return false
+	}
+	return true
+}
+
+func pipeSpec() window.Spec {
+	return window.Spec{Size: pipeWindow, EveryTuples: pipeEvery, Sources: 1}
+}
+
+// pipeRun is one measured deployment of the pipeline wordcount.
+type pipeRun struct {
+	counts    map[string]int64 // "word@start" → count
+	pairs     int
+	total     int64
+	imbalance float64
+	elapsed   time.Duration
+}
+
+// pipeResult is what runPipeline hands to Pipeline and to the tests.
+type pipeResult struct {
+	match          bool
+	local, remote  pipeRun
+	remoteDeployed string
+	tables         []Table
+}
+
+// pipeTopology declares the shared half of both deployments; finalize
+// is given the builder to attach the run's final stage.
+func pipeTopology(n int, seed uint64, opts ...engine.WindowedOption) (*engine.Builder, *window.Plan) {
+	plan := window.MustPlan(window.Count{}, pipeSpec())
+	b := engine.NewBuilder("pipeline", seed)
+	b.AddSpout("words", func() engine.Spout { return &pipeSpout{n: n, seed: seed} }, 1)
+	b.WindowedAggregate("wc", plan, pipePartials, opts...).
+		Input("words", window.SourceAware(engine.Partial()))
+	return b, plan
+}
+
+// runLocal executes the in-process deployment.
+func runLocal(n int, seed uint64) pipeRun {
+	var mu sync.Mutex
+	counts := map[string]int64{}
+	b, _ := pipeTopology(n, seed)
+	b.AddBolt("sink", func() engine.Bolt {
+		return engine.BoltFunc(func(t engine.Tuple, _ engine.Emitter) {
+			if t.Tick {
+				return
+			}
+			res := t.Values[0].(window.Result)
+			mu.Lock()
+			counts[fmt.Sprintf("%s@%d", res.Key, res.Start)] += res.Value.(int64)
+			mu.Unlock()
+		})
+	}, 1).Input("wc", engine.Global())
+	top, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pipeline: %v", err))
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048})
+	start := time.Now()
+	if err := rt.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: pipeline: %v", err))
+	}
+	return summarize(counts, rt.Stats().Imbalance("wc.partial"), time.Since(start))
+}
+
+// runRemote executes the distributed deployment against the given final
+// node addresses and drains their results.
+func runRemote(n int, seed uint64, addrs []string) pipeRun {
+	b, _ := pipeTopology(n, seed, engine.RemoteFinal(addrs...))
+	top, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pipeline: %v", err))
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048})
+	start := time.Now()
+	if err := rt.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: pipeline: %v", err))
+	}
+	elapsed := time.Since(start)
+
+	counts := map[string]int64{}
+	imb := rt.Stats().Imbalance("wc.partial")
+	for _, addr := range addrs {
+		for _, res := range drainNode(addr) {
+			counts[fmt.Sprintf("%s@%d", res.Key, res.Start)] += res.Value
+		}
+	}
+	return summarize(counts, imb, elapsed)
+}
+
+// drainNode pages a final node's closed windows out once it is done.
+func drainNode(addr string) []wire.WindowResult {
+	out, err := transport.DrainResults(addr, 30*time.Second)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pipeline: drain %s: %v", addr, err))
+	}
+	return out
+}
+
+func summarize(counts map[string]int64, imb float64, elapsed time.Duration) pipeRun {
+	r := pipeRun{counts: counts, pairs: len(counts), imbalance: imb, elapsed: elapsed}
+	for _, c := range counts {
+		r.total += c
+	}
+	return r
+}
+
+// equalCounts reports whether two per-(word, window) maps are
+// identical.
+func equalCounts(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// runPipeline executes both deployments and builds the report.
+// addrsEnv is a comma-separated remote node list ("" spins up
+// in-process loopback nodes).
+func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
+	n := int(sc.MessageCap)
+	res := pipeResult{remoteDeployed: "in-process TCP loopback nodes"}
+
+	var addrs []string
+	if addrsEnv != "" {
+		for _, a := range strings.Split(addrsEnv, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		res.remoteDeployed = fmt.Sprintf("external pkgnode processes (%s)", addrsEnv)
+	} else {
+		for i := 0; i < pipeNodes; i++ {
+			plan := window.MustPlan(window.Count{}, pipeSpec())
+			h, err := plan.NewFinalHandler(pipePartials)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: pipeline: %v", err))
+			}
+			w, err := transport.ListenHandler("127.0.0.1:0", h)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: pipeline: %v", err))
+			}
+			defer w.Close()
+			addrs = append(addrs, w.Addr())
+		}
+	}
+
+	res.local = runLocal(n, seed)
+	res.remote = runRemote(n, seed, addrs)
+	res.match = equalCounts(res.local.counts, res.remote.counts)
+
+	tb := Table{
+		Title: "pipeline — windowed wordcount: in-process engine vs source→partial→(TCP)→final",
+		Columns: []string{"deployment", "final nodes", "words", "(word,window) pairs",
+			"total count", "partial imbalance", "words/s"},
+		Notes: []string{
+			fmt.Sprintf("exact-count match: %v — per-(word, window) counts %s across deployments",
+				res.match, map[bool]string{true: "identical", false: "DIFFER"}[res.match]),
+			fmt.Sprintf("remote final stage: %s", res.remoteDeployed),
+			"partial imbalance is identical by construction: one deterministic source, same",
+			"seed, same PKG decisions — the wire hop changes where merges happen, not routing",
+		},
+	}
+	row := func(name string, nodes int, r pipeRun) {
+		tb.AddRow(name, fmt.Sprint(nodes), fmt.Sprint(n), fmt.Sprint(r.pairs),
+			fmt.Sprint(r.total), f1(r.imbalance),
+			f0(float64(n)/r.elapsed.Seconds()))
+	}
+	row("in-process", 1, res.local)
+	row("remote-final", len(addrs), res.remote)
+
+	if !res.match {
+		diff := Table{
+			Title:   "pipeline MISMATCH detail (first 20)",
+			Columns: []string{"(word@window)", "in-process", "remote"},
+		}
+		var keys []string
+		for k := range res.local.counts {
+			keys = append(keys, k)
+		}
+		for k := range res.remote.counts {
+			if _, ok := res.local.counts[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		shown := 0
+		for _, k := range keys {
+			if res.local.counts[k] != res.remote.counts[k] && shown < 20 {
+				diff.AddRow(k, fmt.Sprint(res.local.counts[k]), fmt.Sprint(res.remote.counts[k]))
+				shown++
+			}
+		}
+		res.tables = []Table{tb, diff}
+		return res
+	}
+	res.tables = []Table{tb}
+	return res
+}

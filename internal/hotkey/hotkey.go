@@ -96,6 +96,18 @@ type Config struct {
 	// N/(5W) ≲ HotThreshold/10, so tail keys cannot be misclassified
 	// upward by sketch error alone.
 	SketchCapacity int
+	// Hysteresis bounds re-classification churn around the thresholds:
+	// a key is promoted when its estimated frequency exceeds a class
+	// threshold, but demoted only once it falls below (1−Hysteresis)
+	// times that threshold, so an estimate oscillating near a boundary
+	// cannot flap the key's candidate set refresh after refresh (every
+	// class change moves partial state across workers downstream).
+	// Within the band a hot key's widened candidate count never
+	// shrinks either. 0 means "default" (0.2); as with Epsilon there is
+	// no way to request a literal zero band — use a small positive
+	// value (e.g. 1e-9) for hysteresis-free classification. Must be
+	// < 1.
+	Hysteresis float64
 	// RefreshEvery is the number of observations between classification
 	// rebuilds (default 512). Between rebuilds the classification is
 	// frozen, which bounds re-classification churn: a key's candidate
@@ -112,6 +124,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Epsilon == 0 {
 		c.Epsilon = 0.25
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 0.2
 	}
 	if c.SketchCapacity == 0 {
 		c.SketchCapacity = 5 * c.Workers
@@ -138,6 +153,9 @@ func (c Config) Validate() error {
 	}
 	if c.Epsilon < 0 || math.IsNaN(c.Epsilon) || math.IsInf(c.Epsilon, 0) {
 		return fmt.Errorf("hotkey: Epsilon must be a finite non-negative target, got %v", c.Epsilon)
+	}
+	if c.Hysteresis < 0 || c.Hysteresis >= 1 || math.IsNaN(c.Hysteresis) {
+		return fmt.Errorf("hotkey: Hysteresis must be in [0, 1), got %v", c.Hysteresis)
 	}
 	if c.SketchCapacity < 0 || c.RefreshEvery < 0 || c.Warmup < 0 {
 		return fmt.Errorf("hotkey: negative SketchCapacity, RefreshEvery or Warmup")
@@ -288,31 +306,65 @@ func (c *Classifier) classify(key uint64) (Class, int) {
 // with its widened candidate count. Estimates use the sketch's upper
 // bound; with the default capacity the bound's slack is an order of
 // magnitude below HotThreshold, so it cannot promote tail keys.
+//
+// Demotion is damped by Config.Hysteresis: a key keeps its class (and
+// its candidate count never shrinks) until its frequency falls below
+// (1−h) times the class threshold, so estimates oscillating around a
+// boundary cannot flap the candidate set — and with it the downstream
+// partial-state placement — on every rebuild.
 func (c *Classifier) refresh(n int64) {
 	w := c.cfg.Workers
 	slack := 1 + c.cfg.Epsilon
-	next := make(map[uint64]int, len(c.choices))
+	// Promotion boundaries in frequency form: need(k) > 2 ⟺ p > hotTh
+	// and need(k) > dCap ⟺ p > headTh (ceil(x) > m ⟺ x > m).
+	hotTh := 2 * slack / float64(w)
+	headTh := float64(c.dCap) * slack / float64(w)
+	keepHot := (1 - c.cfg.Hysteresis) * hotTh
+	keepHead := (1 - c.cfg.Hysteresis) * headTh
+	prev := c.choices
+	next := make(map[uint64]int, len(prev))
 	var hot, head int64
-	// Items is sorted by decreasing count: stop at the first cold key.
+	// Items is sorted by decreasing count: below the hot retention
+	// threshold nothing can be promoted or retained, so stop there.
 	for _, it := range c.ss.Items() {
 		p := float64(it.Count) / float64(n)
-		need := int(math.Ceil(p * float64(w) / slack))
-		if need <= 2 {
+		if p < keepHot {
 			break
 		}
-		if need > c.dCap {
-			next[it.Item] = w
+		old := prev[it.Item] // 0: was cold
+		var d int
+		switch {
+		case p > headTh || (old >= w && p >= keepHead):
+			// Head by promotion, or retained head within the band.
+			d = w
+		case p > hotTh || old > 2:
+			// Hot by promotion, or a previously widened key retained by
+			// hysteresis (p ≥ keepHot holds here). A demoted head key
+			// lands here too, at the width its frequency now warrants.
+			d = int(math.Ceil(p * float64(w) / slack))
+			if c.cfg.D > 0 {
+				d = c.cfg.D
+			}
+			if d < 3 {
+				d = 3 // a retained key inside the band still warrants > 2
+			}
+			if p <= hotTh && old > 2 && old < w && d < old {
+				d = old // no shrink INSIDE the band; above it the warranted
+				//         width governs, so a key that spiked wide and
+				//         settled lower (but still hot) narrows again
+			}
+			if d > w {
+				d = w
+			}
+		default:
+			continue // cold: in the band but never promoted
+		}
+		next[it.Item] = d
+		if d >= w {
 			head++
-			continue
+		} else {
+			hot++
 		}
-		if c.cfg.D > 0 {
-			need = c.cfg.D
-		}
-		if need > w {
-			need = w
-		}
-		next[it.Item] = need
-		hot++
 	}
 	c.choices = next
 	c.hotKeys.Store(hot)
@@ -334,6 +386,34 @@ func (c *Classifier) Class(key uint64) Class {
 func (c *Classifier) Choices(key uint64) int {
 	_, d := c.classify(key)
 	return d
+}
+
+// Snapshot captures the classifier's Space-Saving summary for
+// checkpointing (it is small: O(SketchCapacity)). Call it from the
+// owning routing goroutine, like Observe.
+func (c *Classifier) Snapshot() sketch.Summary { return c.ss.Snapshot() }
+
+// Restore replaces the classifier's sketch with a checkpointed summary
+// and — when the summary is past warmup — rebuilds the classification
+// immediately, so a restarted source classifies a known head key as
+// head on its very first message instead of routing it cold until the
+// sketch re-warms. A summary whose capacity differs from the configured
+// one is re-merged into the configured capacity.
+func (c *Classifier) Restore(sum sketch.Summary) error {
+	ss, err := sketch.FromSummary(sum)
+	if err != nil {
+		return fmt.Errorf("hotkey: restore: %w", err)
+	}
+	if sum.K != c.cfg.SketchCapacity {
+		ss = sketch.Merge(c.cfg.SketchCapacity, ss)
+	}
+	c.ss = ss
+	n := ss.N()
+	c.observed.Store(n)
+	if n >= int64(c.cfg.Warmup) && n > 0 {
+		c.refresh(n)
+	}
+	return nil
 }
 
 // Stats snapshots the counters. Safe to call from any goroutine.

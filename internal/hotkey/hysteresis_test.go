@@ -1,0 +1,204 @@
+package hotkey
+
+import (
+	"testing"
+
+	"pkgstream/internal/sketch"
+)
+
+// oscillate streams `periods` refresh periods into c, steering key 1's
+// *cumulative* estimated frequency to alternate between hi and lo
+// across refresh boundaries (a fixed per-period count would damp
+// towards the mean and stop crossing the threshold). The tail cycles
+// over 200 distinct keys, well under the sketch capacity, so estimates
+// are exact. Returns the number of class changes key 1 went through,
+// sampled at every refresh boundary.
+func oscillate(t *testing.T, c *Classifier, periods int, hi, lo float64) int {
+	t.Helper()
+	const period = 500
+	changes := 0
+	last := c.Class(1)
+	var total, ofKey int64
+	tail := uint64(0)
+	for p := 0; p < periods; p++ {
+		share := hi
+		if p%2 == 1 {
+			share = lo
+		}
+		want := int64(share * float64(total+period))
+		add := want - ofKey
+		if add < 0 {
+			add = 0
+		}
+		if add > period {
+			t.Fatalf("period %d: cannot reach share %v (needs %d of %d)", p, share, add, period)
+		}
+		for i := int64(0); i < period; i++ {
+			if i < add {
+				c.Observe(1)
+				ofKey++
+			} else {
+				c.Observe(100 + tail%200)
+				tail++
+			}
+			total++
+		}
+		if cl := c.Class(1); cl != last {
+			changes++
+			last = cl
+		}
+	}
+	return changes
+}
+
+// TestHysteresisBoundsChurn is the PR-4 satellite gate: a key whose
+// estimated frequency oscillates across the hot threshold flaps its
+// class on every sketch refresh without hysteresis, and changes class
+// at most once with the default band — because demotion now requires
+// falling below (1−h)·threshold, not merely below the threshold.
+func TestHysteresisBoundsChurn(t *testing.T) {
+	// W=50, ε=0.25 ⇒ hot threshold 2(1+ε)/W = 0.05. The cumulative
+	// frequency alternates 0.055 / 0.045: above the threshold, then
+	// inside the default band [0.04, 0.05).
+	base := Config{Workers: 50, RefreshEvery: 500, Warmup: 500}
+	const periods = 12
+
+	damped := NewClassifier(base) // default Hysteresis 0.2
+	if got := oscillate(t, damped, periods, 0.055, 0.045); got > 1 {
+		t.Fatalf("hysteresis: %d class changes over %d refreshes, want ≤ 1", got, periods)
+	}
+	if damped.Class(1) == Cold {
+		t.Fatal("hysteresis: oscillating key ended cold — it never fell below the band")
+	}
+
+	raw := base
+	raw.Hysteresis = 1e-9 // effectively no band
+	undamped := NewClassifier(raw)
+	if got := oscillate(t, undamped, periods, 0.055, 0.045); got < 4 {
+		t.Fatalf("without hysteresis only %d class changes — oscillation stream is not crossing the threshold", got)
+	}
+}
+
+// TestHysteresisStillDemotes: the band damps oscillation, it does not
+// pin classes — a key whose frequency genuinely collapses is demoted
+// once it falls below (1−h)·threshold.
+func TestHysteresisStillDemotes(t *testing.T) {
+	c := NewClassifier(Config{Workers: 50, RefreshEvery: 500, Warmup: 500})
+	// Promote: 10% of the first period.
+	if oscillate(t, c, 1, 0.10, 0.10); c.Class(1) == Cold {
+		t.Fatal("key at 10% not promoted")
+	}
+	// Starve the key entirely: cumulative share decays below 0.04.
+	if oscillate(t, c, 10, 0, 0); c.Class(1) != Cold {
+		t.Fatalf("starved key still %v", c.Class(1))
+	}
+}
+
+// TestHysteresisNoShrinkInsideBand: inside the band a hot key's widened
+// candidate count keeps its high-water mark instead of tracking the
+// estimate downwards (every shrink would strand partial state outside
+// the probe set downstream) — but ABOVE the band the warranted width
+// governs, so a key that spiked wide and settled lower narrows again.
+func TestHysteresisNoShrinkInsideBand(t *testing.T) {
+	c := NewClassifier(Config{Workers: 50, RefreshEvery: 500, Warmup: 500})
+	// period streams one 500-observation refresh period with `hits`
+	// observations of key 1 and an exact-sketch tail.
+	tail := uint64(0)
+	period := func(hits int) {
+		for i := 0; i < 500; i++ {
+			if i < hits {
+				c.Observe(1)
+			} else {
+				c.Observe(100 + tail%200)
+				tail++
+			}
+		}
+	}
+	// 40/500 = 8%: need = ceil(0.08·50/1.25) = 4 candidates.
+	period(40)
+	wide := c.Choices(1)
+	if wide != 4 {
+		t.Fatalf("hot key widened to %d, want 4", wide)
+	}
+	// Drop straight into the band: 42/1000 = 4.2% (hot threshold 5%,
+	// band floor 4%) — still hot, and the width keeps its high-water
+	// mark where the adaptive need would be the minimum 3.
+	period(2)
+	if cl := c.Class(1); cl == Cold {
+		t.Fatal("key demoted inside the band")
+	}
+	if got := c.Choices(1); got != wide {
+		t.Fatalf("candidate count changed %d → %d inside the band", wide, got)
+	}
+	// Climb back ABOVE the threshold at a lower level: 105/1500 = 7%,
+	// plainly hot again, and the warranted width ceil(0.07·40) = 3
+	// replaces the stale high-water mark — no ratchet outside the band.
+	period(63)
+	if got := c.Choices(1); got != 3 {
+		t.Fatalf("candidate count %d above the band, want the warranted 3", got)
+	}
+}
+
+// TestSnapshotRestoreClassifiesImmediately is the sketch-checkpoint
+// satellite's core property: a classifier restored from a snapshot
+// classifies a known head key as head before observing a single
+// message.
+func TestSnapshotRestoreClassifiesImmediately(t *testing.T) {
+	cfg := Config{Workers: 50, RefreshEvery: 512, Warmup: 512}
+	a := NewClassifier(cfg)
+	// Key 1 carries 70% of the stream — above the head threshold
+	// dCap(1+ε)/W = 25·1.25/50 = 0.625 (adaptive dCap = ⌈W/2⌉ = 25).
+	for i := 0; i < 4096; i++ {
+		if i%10 < 7 {
+			a.Observe(1)
+		} else {
+			a.Observe(100 + uint64(i)%50)
+		}
+	}
+	if a.Class(1) != Head {
+		t.Fatalf("source classifier has key 1 as %v, want head", a.Class(1))
+	}
+
+	b := NewClassifier(cfg)
+	if b.Class(1) != Cold {
+		t.Fatal("fresh classifier not cold")
+	}
+	if err := b.Restore(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Class(1) != Head {
+		t.Fatalf("restored classifier has key 1 as %v, want head immediately", b.Class(1))
+	}
+	if got, want := b.Stats().Observed, a.Stats().Observed; got != want {
+		t.Fatalf("restored observed %d, want %d", got, want)
+	}
+	// And it keeps classifying as the stream continues.
+	cl, d := b.Observe(1)
+	if cl != Head || d != 50 {
+		t.Fatalf("first observation after restore: class %v d %d", cl, d)
+	}
+}
+
+// TestRestoreRemergesCapacityMismatch: a checkpoint written under a
+// different sketch capacity is re-merged into the configured one
+// rather than silently changing the classifier's memory bound.
+func TestRestoreRemergesCapacityMismatch(t *testing.T) {
+	big := sketch.New(512)
+	for i := 0; i < 10_000; i++ {
+		if i%2 == 0 {
+			big.Update(7)
+		} else {
+			big.Update(uint64(i))
+		}
+	}
+	c := NewClassifier(Config{Workers: 50, SketchCapacity: 64})
+	if err := c.Restore(big.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Class(7) == Cold {
+		t.Fatal("head key lost in capacity re-merge")
+	}
+	if err := c.Restore(sketch.Summary{K: 0}); err == nil {
+		t.Fatal("corrupt summary accepted")
+	}
+}

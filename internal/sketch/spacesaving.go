@@ -298,6 +298,63 @@ func Merge(k int, summaries ...*SpaceSaving) *SpaceSaving {
 	return out
 }
 
+// Summary is a serializable snapshot of a SpaceSaving sketch: the
+// capacity, the total observation weight, and every monitored item with
+// its estimate and error bound. It is the checkpoint form the transport
+// layer persists (via internal/wire) so a restarted source does not
+// route head keys as cold until its sketch re-warms.
+type Summary struct {
+	// K is the summary capacity.
+	K int
+	// N is the total weight of updates observed.
+	N int64
+	// Items are the monitored items in decreasing count order.
+	Items []Counted
+}
+
+// Snapshot captures the sketch's current state. The snapshot is
+// detached: later updates do not affect it.
+func (s *SpaceSaving) Snapshot() Summary {
+	return Summary{K: s.k, N: s.n, Items: s.Items()}
+}
+
+// FromSummary rebuilds a sketch from a snapshot. The restored sketch is
+// equivalent to the one snapshotted: same capacity, same weight, same
+// per-item estimates and error bounds.
+func FromSummary(sum Summary) (*SpaceSaving, error) {
+	if sum.K <= 0 {
+		return nil, fmt.Errorf("sketch: summary capacity %d", sum.K)
+	}
+	if len(sum.Items) > sum.K {
+		return nil, fmt.Errorf("sketch: summary holds %d items over capacity %d",
+			len(sum.Items), sum.K)
+	}
+	if sum.N < 0 {
+		return nil, fmt.Errorf("sketch: negative summary weight %d", sum.N)
+	}
+	out := New(sum.K)
+	out.n = sum.N
+	// Insert in increasing count order so attach's head-first walk stays
+	// cheap, and reject duplicates/negative counts (a corrupt checkpoint
+	// must not build an inconsistent stream-summary).
+	for i := len(sum.Items) - 1; i >= 0; i-- {
+		c := sum.Items[i]
+		// Merged summaries may carry Err > Count (missing-item slack adds
+		// twice), so only negative values are rejected.
+		if c.Count < 0 || c.Err < 0 {
+			return nil, fmt.Errorf("sketch: summary item %d has count %d, err %d",
+				c.Item, c.Count, c.Err)
+		}
+		if _, dup := out.entries[c.Item]; dup {
+			return nil, fmt.Errorf("sketch: summary repeats item %d", c.Item)
+		}
+		e := &entry{item: c.Item, err: c.Err}
+		out.entries[c.Item] = e
+		out.attach(e, c.Count)
+	}
+	return out, nil
+}
+
 // String summarizes the sketch for debugging.
 func (s *SpaceSaving) String() string {
 	return fmt.Sprintf("SpaceSaving(k=%d, n=%d, monitored=%d, min=%d)",

@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	s := New(8)
+	// Overflow the capacity so evictions produce non-zero error bounds.
+	for i := 0; i < 40; i++ {
+		for k := uint64(0); k < 16; k++ {
+			if int(k)%((i%4)+1) == 0 {
+				s.Update(k)
+			}
+		}
+	}
+	sum := s.Snapshot()
+	if sum.K != 8 || sum.N != s.N() || len(sum.Items) != s.Size() {
+		t.Fatalf("snapshot %+v does not match sketch %v", sum, s)
+	}
+
+	r, err := FromSummary(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K() != s.K() || r.N() != s.N() || r.Size() != s.Size() || r.MinCount() != s.MinCount() {
+		t.Fatalf("restored %v, want %v", r, s)
+	}
+	if !reflect.DeepEqual(r.Items(), s.Items()) {
+		t.Fatalf("restored items %v, want %v", r.Items(), s.Items())
+	}
+	for k := uint64(0); k < 20; k++ {
+		if got, want := r.Estimate(k), s.Estimate(k); got != want {
+			t.Fatalf("key %d: restored estimate %+v, want %+v", k, got, want)
+		}
+	}
+
+	// The snapshot is detached: updating the original must not change it.
+	before := len(sum.Items)
+	s.Update(999)
+	if len(sum.Items) != before {
+		t.Fatal("snapshot aliased the live sketch")
+	}
+
+	// The restored sketch keeps working as a sketch.
+	r.Update(1)
+	if r.N() != sum.N+1 {
+		t.Fatalf("restored sketch N = %d after update, want %d", r.N(), sum.N+1)
+	}
+}
+
+func TestSnapshotRoundTripsThroughMerge(t *testing.T) {
+	// Merged summaries can carry Err > Count for items missing from one
+	// input; FromSummary must accept them (checkpoints of merged
+	// sketches are legal).
+	a, b := New(4), New(4)
+	for i := 0; i < 50; i++ {
+		a.Update(1)
+		b.Update(2)
+	}
+	m := Merge(4, a, b)
+	if _, err := FromSummary(m.Snapshot()); err != nil {
+		t.Fatalf("merged snapshot rejected: %v", err)
+	}
+}
+
+func TestFromSummaryRejectsCorruptCheckpoints(t *testing.T) {
+	cases := []Summary{
+		{K: 0, N: 1},
+		{K: 1, N: -1},
+		{K: 1, N: 5, Items: []Counted{{Item: 1, Count: 3}, {Item: 2, Count: 2}}},
+		{K: 4, N: 5, Items: []Counted{{Item: 1, Count: -3}}},
+		{K: 4, N: 5, Items: []Counted{{Item: 1, Count: 3, Err: -1}}},
+		{K: 4, N: 5, Items: []Counted{{Item: 1, Count: 3}, {Item: 1, Count: 2}}},
+	}
+	for i, sum := range cases {
+		if _, err := FromSummary(sum); err == nil {
+			t.Fatalf("case %d: corrupt summary %+v accepted", i, sum)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"sync"
+
+	"pkgstream/internal/wire"
+)
+
+// Handler is the pluggable processing side of a Worker: every decoded
+// frame the worker absorbs is dispatched to exactly one of these
+// methods. The worker SERIALIZES handler calls across all of its
+// connections, so a handler needs no locking for frame-driven state —
+// window.FinalHandler runs an ordinary single-threaded FinalBolt behind
+// this contract. State also read from *other* goroutines (a test
+// polling counts while sources stream) still needs the handler's own
+// synchronization.
+//
+// The pointer arguments are only valid for the duration of the call:
+// the worker reuses its decode buffers, so a handler that retains a
+// tuple or partial must copy it.
+type Handler interface {
+	// HandleTuple absorbs one stream tuple.
+	HandleTuple(t *wire.Tuple)
+	// HandlePartial absorbs one flushed (key, window) partial.
+	HandlePartial(p *wire.Partial)
+	// HandleMark absorbs one source watermark.
+	HandleMark(m wire.Mark)
+	// HandleQuery answers a point query; the reply is written back on
+	// the connection the query arrived on.
+	HandleQuery(q wire.Query) wire.Reply
+}
+
+// CountHandler is the classic PKG worker: a per-key partial counter
+// over everything routed to it. Tuples count 1 under their routing
+// hash; partials add their Combiner count (opaque states are counted
+// as 1 — a counter worker cannot merge them). It answers OpCount with
+// the key's partial count and OpStats with the number of frames
+// absorbed.
+type CountHandler struct {
+	mu        sync.Mutex
+	counts    map[uint64]int64
+	processed int64
+}
+
+// NewCountHandler returns an empty counter.
+func NewCountHandler() *CountHandler {
+	return &CountHandler{counts: make(map[uint64]int64)}
+}
+
+// HandleTuple implements Handler.
+func (h *CountHandler) HandleTuple(t *wire.Tuple) {
+	h.mu.Lock()
+	h.counts[t.KeyHash]++
+	h.processed++
+	h.mu.Unlock()
+}
+
+// HandlePartial implements Handler.
+func (h *CountHandler) HandlePartial(p *wire.Partial) {
+	n := p.Count
+	if p.Raw != nil {
+		n = 1
+	}
+	h.mu.Lock()
+	h.counts[p.KeyHash] += n
+	h.processed++
+	h.mu.Unlock()
+}
+
+// HandleMark implements Handler (counters have no windows to close).
+func (h *CountHandler) HandleMark(wire.Mark) {}
+
+// HandleQuery implements Handler.
+func (h *CountHandler) HandleQuery(q wire.Query) wire.Reply {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch q.Op {
+	case wire.OpCount:
+		return wire.Reply{Op: q.Op, Count: h.counts[q.Key]}
+	case wire.OpStats:
+		return wire.Reply{Op: q.Op, Count: h.processed}
+	default:
+		return wire.Reply{Op: q.Op}
+	}
+}
+
+// Count returns the partial count for key.
+func (h *CountHandler) Count(key uint64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts[key]
+}
+
+// DistinctKeys returns the number of live partial counters.
+func (h *CountHandler) DistinctKeys() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.counts)
+}

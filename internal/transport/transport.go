@@ -1,16 +1,19 @@
 // Package transport runs partial key grouping across real network
 // boundaries: worker processes listen on TCP, source processes hold one
-// connection per worker and route each key with a partitioner driven by
-// their own local load estimate — nothing but the key ever crosses the
-// wire, which is the paper's whole point: PKG needs no load gossip, no
-// routing-table synchronization and no coordination among sources.
+// connection per worker and route each frame with a partitioner driven
+// by their own local load estimate — nothing but keys and already-local
+// state ever crosses the wire, which is the paper's whole point: PKG
+// needs no load gossip, no routing-table synchronization and no
+// coordination among sources.
 //
-// The wire protocol is deliberately small: length-free fixed frames,
-// one byte of type followed by an 8-byte little-endian key.
-//
-//	data  frame: 'D' + key     (source → worker, fire and forget)
-//	query frame: 'Q' + key     (client → worker, answered with a count)
-//	count reply: 8-byte count  (worker → client)
+// Frames are the versioned, length-prefixed binary protocol of
+// internal/wire: tuples (fire and forget), windowed partials and
+// watermark marks (the two-phase aggregation's distributed form),
+// sketch snapshots (source checkpoints), and point-query
+// request/replies. The processing side of a worker is a pluggable
+// Handler — the classic partial counter (CountHandler), or the windowed
+// final stage (window.FinalHandler) so an aggregation's merge phase can
+// live in another process.
 //
 // A distributed point query probes only the key's candidate workers —
 // two under PKG — and sums their partial counts (§VI.A).
@@ -18,51 +21,68 @@ package transport
 
 import (
 	"bufio"
-	"encoding/binary"
+	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"pkgstream/internal/hotkey"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/route"
+	"pkgstream/internal/sketch"
+	"pkgstream/internal/wire"
 )
 
-// Frame types.
-const (
-	frameData  = 'D'
-	frameQuery = 'Q'
-)
-
-// frameSize is the fixed wire size of every request frame.
-const frameSize = 1 + 8
-
-// Worker is a TCP server holding partial counts for the keys routed to
-// it. It serves any number of concurrent sources and query clients.
+// Worker is a TCP server dispatching decoded frames to its Handler. It
+// serves any number of concurrent sources and query clients; handler
+// calls are serialized across connections.
 type Worker struct {
 	ln net.Listener
+	h  Handler
+	// counter is the default handler, kept for the counter-specific
+	// accessors (nil when a custom handler was supplied).
+	counter *CountHandler
+
+	// hmu serializes handler dispatch across connections, so handlers
+	// can run single-threaded state machines (window.FinalHandler).
+	hmu sync.Mutex
 
 	mu        sync.Mutex
-	counts    map[uint64]int64
 	processed int64
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-// ListenWorker starts a worker on addr (use "127.0.0.1:0" for an
-// ephemeral port).
+// ListenWorker starts a counting worker on addr (use "127.0.0.1:0" for
+// an ephemeral port) — the classic PKG worker holding partial counts
+// for the keys routed to it.
 func ListenWorker(addr string) (*Worker, error) {
+	h := NewCountHandler()
+	w, err := ListenHandler(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	w.counter = h
+	return w, nil
+}
+
+// ListenHandler starts a worker on addr with a custom frame handler —
+// the hosting primitive behind cmd/pkgnode.
+func ListenHandler(addr string, h Handler) (*Worker, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	w := &Worker{
 		ln:     ln,
-		counts: make(map[uint64]int64),
+		h:      h,
 		closed: make(chan struct{}),
 	}
 	w.wg.Add(1)
@@ -95,52 +115,91 @@ func (w *Worker) serve(conn net.Conn) {
 	defer w.wg.Done()
 	defer conn.Close()
 	r := bufio.NewReaderSize(conn, 1<<16)
-	var buf [frameSize]byte
+	var (
+		payload []byte
+		tup     wire.Tuple
+		par     wire.Partial
+		reply   []byte
+	)
 	for {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return // EOF or peer gone: the stream is done
+		kind, p, err := wire.ReadFrame(r, payload)
+		if err != nil {
+			return // EOF, peer gone, or protocol violation: drop the connection
 		}
-		key := binary.LittleEndian.Uint64(buf[1:])
-		switch buf[0] {
-		case frameData:
-			w.mu.Lock()
-			w.counts[key]++
-			w.processed++
-			w.mu.Unlock()
-		case frameQuery:
-			w.mu.Lock()
-			c := w.counts[key]
-			w.mu.Unlock()
-			var reply [8]byte
-			binary.LittleEndian.PutUint64(reply[:], uint64(c))
-			if _, err := conn.Write(reply[:]); err != nil {
+		payload = p
+		switch kind {
+		case wire.KindTuple:
+			if err := wire.DecodeTuple(p, &tup); err != nil {
+				return
+			}
+			w.hmu.Lock()
+			w.h.HandleTuple(&tup)
+			w.hmu.Unlock()
+			w.addProcessed(1)
+		case wire.KindPartial:
+			if err := wire.DecodePartial(p, &par); err != nil {
+				return
+			}
+			w.hmu.Lock()
+			w.h.HandlePartial(&par)
+			w.hmu.Unlock()
+			w.addProcessed(1)
+		case wire.KindMark:
+			m, err := wire.DecodeMark(p)
+			if err != nil {
+				return
+			}
+			w.hmu.Lock()
+			w.h.HandleMark(m)
+			w.hmu.Unlock()
+		case wire.KindQuery:
+			q, err := wire.DecodeQuery(p)
+			if err != nil {
+				return
+			}
+			w.hmu.Lock()
+			rep := w.h.HandleQuery(q)
+			w.hmu.Unlock()
+			reply = wire.AppendReply(reply[:0], &rep)
+			if _, err := conn.Write(reply); err != nil {
 				return
 			}
 		default:
-			return // protocol violation: drop the connection
+			return // sketch/reply frames have no business here: drop
 		}
 	}
 }
 
-// Processed returns the number of data frames absorbed.
+func (w *Worker) addProcessed(n int64) {
+	w.mu.Lock()
+	w.processed += n
+	w.mu.Unlock()
+}
+
+// Processed returns the number of data frames (tuples and partials)
+// absorbed.
 func (w *Worker) Processed() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.processed
 }
 
-// DistinctKeys returns the number of live partial counters.
+// DistinctKeys returns the number of live partial counters (0 for a
+// custom handler).
 func (w *Worker) DistinctKeys() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.counts)
+	if w.counter == nil {
+		return 0
+	}
+	return w.counter.DistinctKeys()
 }
 
-// Count returns the worker's partial count for key.
+// Count returns the worker's partial count for key (0 for a custom
+// handler).
 func (w *Worker) Count(key uint64) int64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.counts[key]
+	if w.counter == nil {
+		return 0
+	}
+	return w.counter.Count(key)
 }
 
 // WaitProcessed blocks until the worker has absorbed at least n data
@@ -199,16 +258,52 @@ const (
 	ModeWChoices = route.StrategyWChoices
 )
 
+// SourceOptions parameterizes DialSourceOpts. The zero value of every
+// field except Mode picks the historical defaults.
+type SourceOptions struct {
+	// Mode is the partitioning strategy.
+	Mode Mode
+	// Seed derives the candidate hash functions; it must match across
+	// the sources of one stream (the only thing they share — baked into
+	// the binary, never communicated).
+	Seed uint64
+	// Start decorrelates shuffle round-robins of parallel sources.
+	Start int
+	// D is the number of hash choices for PKG ("Greedy-d") and the
+	// hot-key width for D-Choices; 0 selects 2 (PKG) / adaptive
+	// (D-Choices). Ignored by the other modes.
+	D int
+	// SourceID identifies this source in the watermark marks it emits
+	// (wire.Mark.Source); 0 adopts Start. Parallel sources feeding one
+	// final stage must use distinct IDs, since the final advances on
+	// the minimum watermark across live sources.
+	SourceID int
+	// Hot carries the hot-key classification knobs for the
+	// frequency-aware modes (Workers is filled from the address count).
+	Hot hotkey.Config
+	// SketchPath checkpoints the hot-key sketch of the frequency-aware
+	// modes: restored on dial when the file exists (so a restarted
+	// source classifies head keys as head from its first message
+	// instead of routing them cold until the sketch re-warms), written
+	// on Close. Setting it for a sketch-free mode is an error.
+	SketchPath string
+}
+
 // Source is a stream source holding one TCP connection per worker and a
 // router over them. Each Source keeps its own local load estimate —
 // parallel sources never talk to each other.
 type Source struct {
 	conns []net.Conn
 	bufs  []*bufio.Writer
+	rds   []*bufio.Reader
 	part  route.Router
 	pkg   *route.PKG
 	view  *metrics.Load
 	sent  int64
+
+	id         uint32
+	sketchPath string
+	scratch    []byte
 }
 
 // DialSource connects to the given worker addresses with the paper's two
@@ -217,7 +312,7 @@ type Source struct {
 // into the binary, not communicated). start decorrelates shuffle
 // round-robins of parallel sources.
 func DialSource(addrs []string, mode Mode, seed uint64, start int) (*Source, error) {
-	return DialSourceD(addrs, mode, seed, start, 2)
+	return DialSourceOpts(addrs, SourceOptions{Mode: mode, Seed: seed, Start: start, D: 2})
 }
 
 // DialSourceD is DialSource generalized to d hash choices for PKG
@@ -226,11 +321,25 @@ func DialSource(addrs []string, mode Mode, seed uint64, start int) (*Source, err
 // queries probe a key's candidate workers, so larger d trades query
 // fan-out for balance.
 func DialSourceD(addrs []string, mode Mode, seed uint64, start, d int) (*Source, error) {
+	if mode == ModePKG && d <= 0 {
+		// Explicitly requesting zero choices is an error here; only the
+		// options struct's zero value means "default" (DialSourceOpts).
+		return nil, fmt.Errorf("transport: PKG needs at least one choice, got d=%d", d)
+	}
+	return DialSourceOpts(addrs, SourceOptions{Mode: mode, Seed: seed, Start: start, D: d})
+}
+
+// DialSourceOpts is the fully parameterized dial.
+func DialSourceOpts(addrs []string, o SourceOptions) (*Source, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: no worker addresses")
 	}
-	if mode == ModePKG {
-		if d <= 0 {
+	d := o.D
+	if o.Mode == ModePKG {
+		if d == 0 {
+			d = 2 // the paper's two choices
+		}
+		if d < 0 {
 			return nil, fmt.Errorf("transport: PKG needs at least one choice, got d=%d", d)
 		}
 		if d > len(addrs) {
@@ -240,7 +349,10 @@ func DialSourceD(addrs []string, mode Mode, seed uint64, start, d int) (*Source,
 			d = len(addrs)
 		}
 	}
-	s := &Source{}
+	s := &Source{id: uint32(o.SourceID)}
+	if o.SourceID == 0 {
+		s.id = uint32(o.Start)
+	}
 	for _, a := range addrs {
 		conn, err := net.DialTimeout("tcp", a, 5*time.Second)
 		if err != nil {
@@ -249,28 +361,29 @@ func DialSourceD(addrs []string, mode Mode, seed uint64, start, d int) (*Source,
 		}
 		s.conns = append(s.conns, conn)
 		s.bufs = append(s.bufs, bufio.NewWriterSize(conn, 1<<16))
+		s.rds = append(s.rds, bufio.NewReaderSize(conn, 1<<12))
 	}
 	n := len(addrs)
-	switch mode {
+	switch o.Mode {
 	case ModePKG:
 		s.view = metrics.NewLoad(n)
-		s.pkg = route.NewPKG(n, d, seed, s.view)
+		s.pkg = route.NewPKG(n, d, o.Seed, s.view)
 		s.part = s.pkg
 	case ModeKG:
-		s.part = route.NewKeyGrouping(n, seed)
+		s.part = route.NewKeyGrouping(n, o.Seed)
 	case ModeSG:
-		s.part = route.NewShuffleGrouping(n, start)
+		s.part = route.NewShuffleGrouping(n, o.Start)
 	case ModeDChoices, ModeWChoices:
 		// This source's sketch: frequency classification, like the load
 		// estimate, never leaves the process. d ≤ 2 means adaptive (the
 		// classifier clamps fixed widths beyond W internally).
-		hc := hotkey.Config{}
-		if d > 2 {
+		hc := o.Hot
+		if d > 2 && hc.D == 0 {
 			hc.D = d
 		}
 		s.view = metrics.NewLoad(n)
 		r, err := route.New(route.Config{
-			Strategy: mode, Workers: n, Seed: seed, Start: start,
+			Strategy: o.Mode, Workers: n, Seed: o.Seed, Start: o.Start,
 			View: s.view, Hot: hc,
 		})
 		if err != nil {
@@ -280,28 +393,112 @@ func DialSourceD(addrs []string, mode Mode, seed uint64, start, d int) (*Source,
 		s.part = r
 	default:
 		s.Close()
-		return nil, fmt.Errorf("transport: unknown mode %d", mode)
+		return nil, fmt.Errorf("transport: unknown mode %d", o.Mode)
+	}
+	if o.SketchPath != "" {
+		if _, ok := s.part.(route.HotAware); !ok {
+			s.Close()
+			return nil, fmt.Errorf("transport: SketchPath set for mode %v, which keeps no sketch", o.Mode)
+		}
+		if err := s.restoreSketch(o.SketchPath); err != nil {
+			// sketchPath is still unset here, so the failure-path Close
+			// cannot overwrite the (possibly corrupt) checkpoint with a
+			// fresh empty sketch — the evidence survives for inspection.
+			s.Close()
+			return nil, err
+		}
+		s.sketchPath = o.SketchPath
 	}
 	return s, nil
 }
 
-// Send routes one key to its worker.
+// Send routes one key to its worker — the classic fire-and-forget data
+// path, now a minimal wire tuple.
 func (s *Source) Send(key uint64) error {
 	w := s.part.Route(key)
 	if s.view != nil {
 		s.view.Add(w)
 	}
-	var buf [frameSize]byte
-	buf[0] = frameData
-	binary.LittleEndian.PutUint64(buf[1:], key)
-	if _, err := s.bufs[w].Write(buf[:]); err != nil {
+	var err error
+	s.scratch, err = wire.AppendTuple(s.scratch[:0], &wire.Tuple{KeyHash: key})
+	if err != nil {
+		return err
+	}
+	if _, err := s.bufs[w].Write(s.scratch); err != nil {
 		return fmt.Errorf("transport: send to worker %d: %w", w, err)
 	}
 	s.sent++
 	return nil
 }
 
-// Sent returns the number of keys sent.
+// SendTuple routes one full tuple (string key, event time, values) by
+// its KeyHash.
+func (s *Source) SendTuple(t *wire.Tuple) error {
+	w := s.part.Route(t.KeyHash)
+	if s.view != nil {
+		s.view.Add(w)
+	}
+	var err error
+	s.scratch, err = wire.AppendTuple(s.scratch[:0], t)
+	if err != nil {
+		return err
+	}
+	if _, err := s.bufs[w].Write(s.scratch); err != nil {
+		return fmt.Errorf("transport: send to worker %d: %w", w, err)
+	}
+	s.sent++
+	return nil
+}
+
+// SendPartial routes one flushed (key, window) partial by its KeyHash.
+// The final stage key-groups partials, so use ModeKG when the
+// destination workers host a windowed final stage — all partials of a
+// key must meet at one node.
+func (s *Source) SendPartial(p *wire.Partial) error {
+	w := s.part.Route(p.KeyHash)
+	if s.view != nil {
+		s.view.Add(w)
+	}
+	s.scratch = wire.AppendPartial(s.scratch[:0], p)
+	if _, err := s.bufs[w].Write(s.scratch); err != nil {
+		return fmt.Errorf("transport: send partial to worker %d: %w", w, err)
+	}
+	s.sent++
+	return nil
+}
+
+// SendMark broadcasts this source's watermark to every worker: the
+// source promises to never again send a tuple or partial with event
+// time below wm (math.MaxInt64: this source is done). Buffered frames
+// are flushed first so the promise arrives after everything it covers.
+func (s *Source) SendMark(wm int64) error {
+	return s.SendMarkFrom(s.id, wm)
+}
+
+// SendMarkFrom is SendMark with an explicit source ID — for funnels
+// that relay the watermarks of several upstream sources (the windowed
+// remote-final forwarder relays one mark per partial instance) over a
+// single connection set.
+func (s *Source) SendMarkFrom(source uint32, wm int64) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.scratch = wire.AppendMark(s.scratch[:0], wire.Mark{Source: source, WM: wm})
+	for i, b := range s.bufs {
+		if _, err := b.Write(s.scratch); err != nil {
+			return fmt.Errorf("transport: mark to worker %d: %w", i, err)
+		}
+		if err := b.Flush(); err != nil {
+			return fmt.Errorf("transport: mark to worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SourceID returns the ID this source stamps on its watermark marks.
+func (s *Source) SourceID() uint32 { return s.id }
+
+// Sent returns the number of data frames sent.
 func (s *Source) Sent() int64 { return s.sent }
 
 // LocalLoads returns this source's local load estimate (nil for KG/SG).
@@ -322,14 +519,49 @@ func (s *Source) Flush() error {
 	return nil
 }
 
-// Close flushes and closes all connections.
+// QueryWorker sends a point query to worker w over this source's
+// connection and waits for the reply. The source's buffered frames to
+// that worker are flushed first, so — frames being processed in
+// connection order — the reply reflects everything this source sent
+// before the query.
+func (s *Source) QueryWorker(w int, q wire.Query) (wire.Reply, error) {
+	if w < 0 || w >= len(s.conns) {
+		return wire.Reply{}, fmt.Errorf("transport: worker %d out of range", w)
+	}
+	s.scratch = wire.AppendQuery(s.scratch[:0], q)
+	if _, err := s.bufs[w].Write(s.scratch); err != nil {
+		return wire.Reply{}, err
+	}
+	if err := s.bufs[w].Flush(); err != nil {
+		return wire.Reply{}, err
+	}
+	if err := s.conns[w].SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return wire.Reply{}, err
+	}
+	defer s.conns[w].SetReadDeadline(time.Time{})
+	kind, payload, err := wire.ReadFrame(s.rds[w], nil)
+	if err != nil {
+		return wire.Reply{}, fmt.Errorf("transport: query worker %d: %w", w, err)
+	}
+	if kind != wire.KindReply {
+		return wire.Reply{}, fmt.Errorf("transport: worker %d answered with %v", w, kind)
+	}
+	return wire.DecodeReply(payload)
+}
+
+// Close flushes and closes all connections, checkpointing the hot-key
+// sketch first when a SketchPath was configured.
 func (s *Source) Close() error {
 	var first error
-	for i, b := range s.bufs {
+	if s.sketchPath != "" {
+		if err := s.saveSketch(); err != nil {
+			first = err
+		}
+	}
+	for _, b := range s.bufs {
 		if err := b.Flush(); err != nil && first == nil {
 			first = err
 		}
-		_ = i
 	}
 	for _, c := range s.conns {
 		if err := c.Close(); err != nil && first == nil {
@@ -351,6 +583,80 @@ func (s *Source) Candidates(key uint64) []int {
 	return route.ProbeSet(s.part, key)
 }
 
+// SketchSummary snapshots this source's hot-key sketch; ok is false for
+// modes that keep none.
+func (s *Source) SketchSummary() (sketch.Summary, bool) {
+	ha, ok := s.part.(route.HotAware)
+	if !ok {
+		return sketch.Summary{}, false
+	}
+	return ha.Classifier().Snapshot(), true
+}
+
+// saveSketch wire-encodes the sketch snapshot and writes it atomically.
+func (s *Source) saveSketch() error {
+	sum, ok := s.SketchSummary()
+	if !ok {
+		return nil
+	}
+	ws := summaryToWire(sum)
+	buf := wire.AppendSketch(nil, &ws)
+	tmp := s.sketchPath + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("transport: checkpoint sketch: %w", err)
+	}
+	if err := os.Rename(tmp, s.sketchPath); err != nil {
+		return fmt.Errorf("transport: checkpoint sketch: %w", err)
+	}
+	return nil
+}
+
+// restoreSketch re-warms the classifier from a checkpoint file, if one
+// exists. A missing file is not an error (first run); a corrupt one is.
+func (s *Source) restoreSketch(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("transport: restore sketch: %w", err)
+	}
+	kind, payload, err := wire.ReadFrame(bytes.NewReader(raw), nil)
+	if err != nil {
+		return fmt.Errorf("transport: restore sketch %s: %w", path, err)
+	}
+	if kind != wire.KindSketch {
+		return fmt.Errorf("transport: restore sketch %s: unexpected %v frame", path, kind)
+	}
+	ws, err := wire.DecodeSketch(payload)
+	if err != nil {
+		return fmt.Errorf("transport: restore sketch %s: %w", path, err)
+	}
+	ha := s.part.(route.HotAware) // checked at dial
+	if err := ha.Classifier().Restore(wireToSummary(ws)); err != nil {
+		return fmt.Errorf("transport: restore sketch %s: %w", path, err)
+	}
+	return nil
+}
+
+// summaryToWire converts a sketch summary to its wire form.
+func summaryToWire(sum sketch.Summary) wire.Sketch {
+	ws := wire.Sketch{K: sum.K, N: sum.N, Items: make([]wire.SketchItem, len(sum.Items))}
+	for i, it := range sum.Items {
+		ws.Items[i] = wire.SketchItem{Item: it.Item, Count: it.Count, Err: it.Err}
+	}
+	return ws
+}
+
+// wireToSummary converts a wire sketch back to a sketch summary.
+func wireToSummary(ws wire.Sketch) sketch.Summary {
+	sum := sketch.Summary{K: ws.K, N: ws.N, Items: make([]sketch.Counted, len(ws.Items))}
+	for i, it := range ws.Items {
+		sum.Items[i] = sketch.Counted{Item: it.Item, Count: it.Count, Err: it.Err}
+	}
+	return sum
+}
+
 // Query answers a distributed point query for key against the given
 // worker addresses using a fresh connection per probe: it sums the
 // partial counts of the key's candidate workers only.
@@ -360,33 +666,76 @@ func Query(addrs []string, key uint64, candidates []int) (int64, error) {
 		if w < 0 || w >= len(addrs) {
 			return 0, fmt.Errorf("transport: candidate %d out of range", w)
 		}
-		c, err := queryOne(addrs[w], key)
+		rep, err := QueryAddr(addrs[w], wire.Query{Op: wire.OpCount, Key: key})
 		if err != nil {
 			return 0, err
 		}
-		total += c
+		total += rep.Count
 	}
 	return total, nil
 }
 
-func queryOne(addr string, key uint64) (int64, error) {
+// DrainResults polls a windowed final node until every upstream source
+// has sent its final mark (Reply.Done), then pages through its closed
+// (key, window) results — the client half of window.FinalHandler's
+// OpResults protocol (Query.Key carries the page offset; results are
+// append-only, so offsets are stable).
+func DrainResults(addr string, timeout time.Duration) ([]wire.WindowResult, error) {
+	// Wait on the cheap fixed-size status probe; shipping result pages
+	// only starts once the node is done.
+	deadline := time.Now().Add(timeout)
+	var rep wire.Reply
+	for {
+		var err error
+		rep, err = QueryAddr(addr, wire.Query{Op: wire.OpStats})
+		if err == nil && rep.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("transport: %s not done after %v (%d results)",
+					addr, timeout, rep.Count)
+			}
+			return nil, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var out []wire.WindowResult
+	for int64(len(out)) < rep.Count {
+		next, err := QueryAddr(addr, wire.Query{Op: wire.OpResults, Key: uint64(len(out))})
+		if err != nil {
+			return nil, err
+		}
+		if len(next.Results) == 0 {
+			return nil, fmt.Errorf("transport: drain %s stalled at %d/%d results",
+				addr, len(out), rep.Count)
+		}
+		out = append(out, next.Results...)
+	}
+	return out, nil
+}
+
+// QueryAddr sends one point query to a worker address over a fresh
+// connection and returns the reply.
+func QueryAddr(addr string, q wire.Query) (wire.Reply, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		return 0, fmt.Errorf("transport: query dial %s: %w", addr, err)
+		return wire.Reply{}, fmt.Errorf("transport: query dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	var buf [frameSize]byte
-	buf[0] = frameQuery
-	binary.LittleEndian.PutUint64(buf[1:], key)
-	if _, err := conn.Write(buf[:]); err != nil {
-		return 0, err
+	buf := wire.AppendQuery(nil, q)
+	if _, err := conn.Write(buf); err != nil {
+		return wire.Reply{}, err
 	}
-	var reply [8]byte
 	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
-		return 0, err
+		return wire.Reply{}, err
 	}
-	if _, err := io.ReadFull(conn, reply[:]); err != nil {
-		return 0, err
+	kind, payload, err := wire.ReadFrame(bufio.NewReader(conn), nil)
+	if err != nil {
+		return wire.Reply{}, fmt.Errorf("transport: query %s: %w", addr, err)
 	}
-	return int64(binary.LittleEndian.Uint64(reply[:])), nil
+	if kind != wire.KindReply {
+		return wire.Reply{}, fmt.Errorf("transport: %s answered with %v", addr, kind)
+	}
+	return wire.DecodeReply(payload)
 }

@@ -32,7 +32,12 @@ type PartialBolt struct {
 	wins      []int64 // window-assignment scratch
 	since     int     // tuples since the last flush
 	wm        int64   // max event time seen (math.MinInt64: none)
-	lastLive  int     // last value published to the stats gauge
+	// srcWMs holds the latest SourceMark watermark per source; once any
+	// source reports (or Spec.Sources demands it), the instance
+	// watermark becomes the minimum across sources instead of the
+	// Lateness-padded maximum event time.
+	srcWMs   map[int]int64
+	lastLive int // last value published to the stats gauge
 }
 
 // Prepare implements engine.Bolt.
@@ -51,9 +56,21 @@ func (b *PartialBolt) Prepare(ctx *engine.Context) {
 	}
 }
 
-// Execute implements engine.Bolt: ticks flush, data accumulates.
+// Execute implements engine.Bolt: source marks advance the per-source
+// watermark, other ticks flush, data accumulates.
 func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
 	if t.Tick {
+		if len(t.Values) == 1 {
+			if sm, ok := t.Values[0].(srcMark); ok {
+				if b.srcWMs == nil {
+					b.srcWMs = map[int]int64{}
+				}
+				if old, seen := b.srcWMs[sm.src]; !seen || sm.wm > old {
+					b.srcWMs[sm.src] = sm.wm
+				}
+				return
+			}
+		}
 		b.flush(out, false)
 		return
 	}
@@ -194,10 +211,7 @@ func (b *PartialBolt) flushPressure(out engine.Emitter) {
 	b.lastLive = b.live()
 	b.inst.setLive(int64(b.lastLive))
 
-	wm := b.wm
-	if wm != math.MinInt64 {
-		wm -= int64(sp.Lateness)
-	}
+	wm := b.watermark()
 	if idx < len(starts) {
 		// Windows from starts[idx] on stay resident: never advertise a
 		// watermark that would let the final stage close them.
@@ -243,16 +257,39 @@ func (b *PartialBolt) flush(out engine.Emitter, final bool) {
 	b.since = 0
 	b.lastLive = 0
 	b.inst.setLive(0)
-	wm := b.wm
-	if wm != math.MinInt64 {
-		wm -= int64(b.plan.spec.Lateness)
-	}
+	wm := b.watermark()
 	if final {
 		wm = math.MaxInt64
 	}
 	out.Emit(engine.Tuple{Tick: true, Values: engine.Values{mark{
 		from: b.ctx.Index, of: b.ctx.Parallelism, wm: wm,
 	}}})
+}
+
+// watermark returns this instance's current watermark. With source
+// marks in play (any seen, or Spec.Sources demanding them) it is the
+// exact minimum across per-source promises — no Lateness padding, and
+// held at the floor until every expected source has reported. The
+// legacy form is the maximum event time seen minus the allowed
+// lateness.
+func (b *PartialBolt) watermark() int64 {
+	sp := &b.plan.spec
+	if len(b.srcWMs) > 0 || sp.Sources > 0 {
+		if len(b.srcWMs) < sp.Sources {
+			return math.MinInt64 // some source has not reported yet
+		}
+		wm := int64(math.MaxInt64)
+		for _, v := range b.srcWMs {
+			if v < wm {
+				wm = v
+			}
+		}
+		return wm
+	}
+	if b.wm == math.MinInt64 {
+		return math.MinInt64
+	}
+	return b.wm - int64(sp.Lateness)
 }
 
 func (b *PartialBolt) emitPartial(out engine.Emitter, sl slot, st State) {

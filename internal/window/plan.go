@@ -109,6 +109,16 @@ func (g markBroadcast) Select(t engine.Tuple) int {
 	return g.data.Select(t)
 }
 
+// HotkeyStats implements engine.HotkeyStatsSource by delegation, so a
+// SourceAware-wrapped frequency-aware grouping still reports its
+// classifier counters through Stats.Hotkeys.
+func (g markBroadcast) HotkeyStats() (engine.HotkeyStats, bool) {
+	if hs, ok := g.data.(engine.HotkeyStatsSource); ok {
+		return hs.HotkeyStats()
+	}
+	return engine.HotkeyStats{}, false
+}
+
 // PartialStats folds the counters of every partial instance created so
 // far (MaxLive is the maximum across instances — the worst
 // single-instance memory footprint).

@@ -1,0 +1,383 @@
+package window
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pkgstream/internal/engine"
+	"pkgstream/internal/transport"
+	"pkgstream/internal/wire"
+)
+
+// This file is the distributed half of the windowed two-phase
+// aggregation: the partial stage stays in the engine process, and the
+// final stage — merging partials and closing windows on watermarks —
+// lives behind a TCP boundary in another process (cmd/pkgnode). Two
+// pieces make that span:
+//
+//   - remoteFinal, a forwarder bolt that replaces the in-process final
+//     stage: it encodes every flushed partial as a wire.Partial and
+//     key-groups it over the remote node addresses, and relays every
+//     partial instance's watermark as a wire.Mark (one remote "source"
+//     per partial instance);
+//   - FinalHandler, the transport.Handler that hosts an ordinary
+//     FinalBolt on the remote side: partials merge, windows close once
+//     the minimum watermark across all live sources passes their end,
+//     and closed results are collected for OpResults point queries.
+
+// StateCodec is the optional Aggregator extension a remote final needs
+// on the general (non-Combiner) path: partial accumulators must have a
+// wire form to cross the process boundary. Combiner aggregators travel
+// as a single int64 and need no codec.
+type StateCodec interface {
+	// EncodeState serializes one partial accumulator.
+	EncodeState(s State) []byte
+	// DecodeState reverses EncodeState.
+	DecodeState(b []byte) (State, error)
+}
+
+// ResultCodec is the optional Aggregator extension for shipping
+// non-int64 window results in OpResults replies. Without it, a remote
+// final whose Output is not an int64 reports the result as unencodable
+// (FinalHandler.Unencodable) instead of guessing.
+type ResultCodec interface {
+	// EncodeResult serializes one closed window's output value.
+	EncodeResult(key string, v any) []byte
+}
+
+// NewRemoteFinal returns an engine.Bolt factory for the forwarder that
+// replaces this plan's in-process final stage (engine.RemoteFinal wires
+// it up): flushed partials are key-grouped over the remote node
+// addresses — all partials of a key must meet at one node — and
+// watermark marks are broadcast to every node. seed derives the
+// key→node hash; reuse it for any out-of-band per-key node lookup.
+// It errors when the plan's aggregator has neither the int64 fast path
+// nor a StateCodec, or when addrs is empty.
+func (p *Plan) NewRemoteFinal(addrs []string, seed uint64) (func() engine.Bolt, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("window: remote final with no node addresses")
+	}
+	var codec StateCodec
+	if p.comb == nil {
+		c, ok := p.agg.(StateCodec)
+		if !ok {
+			return nil, fmt.Errorf("window: aggregator %T has no int64 fast path and no StateCodec; partial states need a wire form to cross processes", p.agg)
+		}
+		codec = c
+	}
+	return func() engine.Bolt {
+		in := &instrumentation{}
+		p.mu.Lock()
+		p.fins = append(p.fins, in)
+		p.mu.Unlock()
+		return &remoteFinal{plan: p, addrs: addrs, seed: seed, codec: codec, inst: in}
+	}, nil
+}
+
+// remoteFinal forwards the partial stage's output over TCP instead of
+// merging locally. It runs as a single funnel instance: the one
+// key-grouped hop to the remote nodes happens here, so remote node
+// count and partial parallelism stay independent.
+type remoteFinal struct {
+	plan  *Plan
+	addrs []string
+	seed  uint64
+	codec StateCodec // nil on the Combiner fast path
+	inst  *instrumentation
+
+	src     *transport.Source
+	scratch wire.Partial
+}
+
+// Prepare implements engine.Bolt: it dials the remote nodes. A dial
+// failure panics, which the engine runtime converts into a topology
+// error (factories and Prepare run inside instance goroutines).
+func (b *remoteFinal) Prepare(*engine.Context) {
+	src, err := transport.DialSourceOpts(b.addrs, transport.SourceOptions{
+		Mode: transport.ModeKG, Seed: b.seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("window: remote final: %v", err))
+	}
+	b.src = src
+}
+
+// Execute implements engine.Bolt: partials are encoded and key-grouped
+// to their node, marks are relayed per partial instance.
+func (b *remoteFinal) Execute(t engine.Tuple, out engine.Emitter) {
+	if t.Tick {
+		if len(t.Values) == 1 {
+			if m, ok := t.Values[0].(mark); ok {
+				if err := b.src.SendMarkFrom(uint32(m.from), m.wm); err != nil {
+					panic(fmt.Sprintf("window: remote final: %v", err))
+				}
+				b.inst.flushes.Add(1)
+			}
+		}
+		return // engine timer ticks carry no values and are ignored
+	}
+	ps, ok := t.Values[0].(partialState)
+	if !ok {
+		panic(fmt.Sprintf("window: remote final received a non-partial tuple (values %v)", t.Values))
+	}
+	p := &b.scratch
+	p.KeyHash = t.RouteKey()
+	p.Key = t.Key
+	p.Start = ps.start
+	if b.codec == nil {
+		p.Count = ps.state.(int64)
+		p.Raw = nil
+	} else {
+		p.Count = 0
+		p.Raw = b.codec.EncodeState(ps.state)
+	}
+	if err := b.src.SendPartial(p); err != nil {
+		panic(fmt.Sprintf("window: remote final: %v", err))
+	}
+	b.inst.partialsOut.Add(1)
+}
+
+// Cleanup implements engine.Bolt: by the time the forwarder's input
+// closes, every partial instance has sent its final mark (already
+// relayed in Execute), so only the connections remain to be flushed.
+func (b *remoteFinal) Cleanup(engine.Emitter) {
+	if b.src != nil {
+		if err := b.src.Close(); err != nil {
+			panic(fmt.Sprintf("window: remote final: %v", err))
+		}
+	}
+}
+
+// WindowStats implements engine.WindowStatsSource: PartialsOut counts
+// forwarded partials and Flushes counts relayed marks.
+func (b *remoteFinal) WindowStats() engine.WindowStats { return b.inst.snapshot() }
+
+// FinalHandler hosts a windowed final stage behind a transport.Worker:
+// the remote half of a RemoteFinal topology, and the engine room of
+// `pkgnode -mode final`. Decoded partials merge into an ordinary
+// FinalBolt; marks advance its watermark, which is the minimum across
+// all live sources (one source per upstream partial instance); closed
+// windows are collected and served to OpResults queries.
+//
+// The transport worker serializes handler calls, and the handler's own
+// mutex covers the accessors, so a FinalHandler is safe to inspect
+// while sources stream.
+type FinalHandler struct {
+	mu      sync.Mutex
+	plan    *Plan
+	bolt    *FinalBolt
+	codec   StateCodec // nil on the Combiner fast path
+	rc      ResultCodec
+	sources int
+	finals  map[uint32]bool
+	results []wire.WindowResult
+	bad     int64
+	unenc   int64
+	done    bool
+}
+
+// NewFinalHandler builds the hosting handler for this plan's final
+// stage. sources is the number of distinct upstream sources that will
+// send marks — for a RemoteFinal topology, the partial stage's
+// parallelism; windows close once the minimum watermark over all of
+// them passes their end, and the handler reports Done once every source
+// has sent its final (math.MaxInt64) mark.
+func (p *Plan) NewFinalHandler(sources int) (*FinalHandler, error) {
+	if sources <= 0 {
+		return nil, fmt.Errorf("window: final handler needs a positive source count, got %d", sources)
+	}
+	var codec StateCodec
+	if p.comb == nil {
+		c, ok := p.agg.(StateCodec)
+		if !ok {
+			return nil, fmt.Errorf("window: aggregator %T has no int64 fast path and no StateCodec; partial states need a wire form to cross processes", p.agg)
+		}
+		codec = c
+	}
+	h := &FinalHandler{
+		plan:    p,
+		bolt:    p.NewFinal().(*FinalBolt),
+		codec:   codec,
+		sources: sources,
+		finals:  map[uint32]bool{},
+	}
+	if rc, ok := p.agg.(ResultCodec); ok {
+		h.rc = rc
+	}
+	h.bolt.Prepare(&engine.Context{Component: "remote-final", Parallelism: 1})
+	return h, nil
+}
+
+// collector is the emitter the hosted FinalBolt closes windows into; it
+// runs under h.mu (every bolt call sits inside the handler lock).
+type resultCollector FinalHandler
+
+// Emit implements engine.Emitter.
+func (c *resultCollector) Emit(t engine.Tuple) {
+	h := (*FinalHandler)(c)
+	res, ok := t.Values[0].(Result)
+	if !ok {
+		h.bad++
+		return
+	}
+	wr := wire.WindowResult{KeyHash: res.KeyHash, Key: res.Key, Start: res.Start, End: res.End}
+	switch v := res.Value.(type) {
+	case int64:
+		wr.Value = v
+	default:
+		if h.rc == nil {
+			h.unenc++
+			return
+		}
+		wr.Raw = h.rc.EncodeResult(res.Key, v)
+	}
+	h.results = append(h.results, wr)
+}
+
+// HandleTuple implements transport.Handler: a final node consumes
+// partials, not raw tuples — tuples are counted as protocol misuse.
+func (h *FinalHandler) HandleTuple(*wire.Tuple) {
+	h.mu.Lock()
+	h.bad++
+	h.mu.Unlock()
+}
+
+// HandlePartial implements transport.Handler.
+func (h *FinalHandler) HandlePartial(p *wire.Partial) {
+	var st State
+	if p.Raw != nil {
+		if h.codec == nil {
+			h.mu.Lock()
+			h.bad++
+			h.mu.Unlock()
+			return
+		}
+		var err error
+		if st, err = h.codec.DecodeState(p.Raw); err != nil {
+			h.mu.Lock()
+			h.bad++
+			h.mu.Unlock()
+			return
+		}
+	} else {
+		st = p.Count
+	}
+	t := engine.Tuple{Key: p.Key, KeyHash: p.KeyHash,
+		Values: engine.Values{partialState{start: p.Start, state: st}}}
+	h.mu.Lock()
+	h.bolt.Execute(t, (*resultCollector)(h))
+	h.mu.Unlock()
+}
+
+// HandleMark implements transport.Handler: the mark advances the hosted
+// bolt's per-source watermark table; final marks tick off sources until
+// the handler is done.
+func (h *FinalHandler) HandleMark(m wire.Mark) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.bolt.advance(mark{from: int(m.Source), of: h.sources, wm: m.WM}, (*resultCollector)(h))
+	if m.Final() {
+		h.finals[m.Source] = true
+		if len(h.finals) >= h.sources {
+			h.done = true
+		}
+	}
+}
+
+// resultsPage bounds one OpResults reply so large drains stay well
+// under wire.MaxPayload; clients page with Query.Key as the offset.
+const resultsPage = 32768
+
+// HandleQuery implements transport.Handler.
+//
+//	OpResults — one page of closed windows starting at offset Query.Key
+//	            (Count carries the total so far; results are append-only,
+//	            so paging by offset is stable), plus Done;
+//	OpCount   — the total over closed windows of the queried key hash;
+//	OpStats   — the number of closed windows.
+func (h *FinalHandler) HandleQuery(q wire.Query) wire.Reply {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch q.Op {
+	case wire.OpResults:
+		off := int(q.Key)
+		if off < 0 || off > len(h.results) {
+			off = len(h.results)
+		}
+		end := off + resultsPage
+		if end > len(h.results) {
+			end = len(h.results)
+		}
+		out := make([]wire.WindowResult, end-off)
+		copy(out, h.results[off:end])
+		return wire.Reply{Op: q.Op, Done: h.done, Count: int64(len(h.results)), Results: out}
+	case wire.OpCount:
+		var total int64
+		for i := range h.results {
+			if h.results[i].KeyHash == q.Key {
+				total += h.results[i].Value
+			}
+		}
+		return wire.Reply{Op: q.Op, Done: h.done, Count: total}
+	case wire.OpStats:
+		return wire.Reply{Op: q.Op, Done: h.done, Count: int64(len(h.results))}
+	default:
+		return wire.Reply{Op: q.Op}
+	}
+}
+
+// Done reports whether every expected source has sent its final mark
+// (at which point every window has closed).
+func (h *FinalHandler) Done() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.done
+}
+
+// WaitDone blocks until Done or the timeout expires.
+func (h *FinalHandler) WaitDone(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for !h.Done() {
+		if time.Now().After(deadline) {
+			h.mu.Lock()
+			n := len(h.finals)
+			h.mu.Unlock()
+			return fmt.Errorf("window: final handler saw %d/%d final marks after %v",
+				n, h.sources, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// Results returns a copy of the closed windows so far.
+func (h *FinalHandler) Results() []wire.WindowResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]wire.WindowResult, len(h.results))
+	copy(out, h.results)
+	return out
+}
+
+// BadFrames counts frames the handler could not apply (raw tuples,
+// undecodable states) — nonzero means a misconfigured topology, never
+// silent data loss.
+func (h *FinalHandler) BadFrames() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bad
+}
+
+// Unencodable counts closed windows whose result value had no wire form
+// (non-int64 Output and no ResultCodec).
+func (h *FinalHandler) Unencodable() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.unenc
+}
+
+// Stats returns the hosted final stage's window counters.
+func (h *FinalHandler) Stats() engine.WindowStats {
+	return h.bolt.WindowStats()
+}

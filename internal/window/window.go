@@ -68,6 +68,16 @@ type Spec struct {
 	// windows assign one tuple to ⌈Size/Slide⌉ windows). 0 means
 	// uncapped.
 	MaxLivePartials int
+	// Sources is the number of distinct stream sources expected to
+	// advertise their event-time progress with SourceMark tuples. When
+	// set (or when any source mark arrives), the partial stage's
+	// watermark is the MINIMUM over the per-source marks instead of the
+	// maximum event time seen minus Lateness — exact for parallel
+	// sources with arbitrarily skewed clocks, no manual lateness knob.
+	// The watermark holds still until every expected source has
+	// reported at least once. 0 with no marks keeps the legacy
+	// max-minus-Lateness watermark.
+	Sources int
 	// PerInstance scopes the accumulator per (instance, window) instead
 	// of per (key, window) — for sketch-like aggregators (e.g. one
 	// SpaceSaving summary per worker, §VI.C) whose state covers every
@@ -92,6 +102,9 @@ func (s Spec) normalized() (Spec, error) {
 	}
 	if s.EveryTuples < 0 || s.MaxLivePartials < 0 {
 		return s, fmt.Errorf("window: negative EveryTuples or MaxLivePartials")
+	}
+	if s.Sources < 0 {
+		return s, fmt.Errorf("window: negative Sources")
 	}
 	if s.Size == 0 && s.Slide != 0 {
 		return s, fmt.Errorf("window: Slide set without Size")
@@ -177,6 +190,36 @@ type Result struct {
 type partialState struct {
 	start int64
 	state State
+}
+
+// srcMark is the watermark control tuple a SPOUT emits (via SourceMark)
+// to advertise its own event-time progress: the source promises to
+// never again emit a tuple with event time below wm. The partial stage
+// records the maximum per source and takes the minimum across sources
+// as its watermark — the end-to-end form of "track per-source minima"
+// that replaces the Spec.Lateness knob for multi-source topologies.
+type srcMark struct {
+	src int
+	wm  int64
+}
+
+// SourceMark returns the control tuple a spout emits to advertise that
+// source `source` will never again emit a tuple with event time below
+// wm. Emit it on an edge wrapped with SourceAware so it reaches every
+// partial instance. Distinct parallel sources must use distinct IDs
+// (the spout's Context.Index is the natural choice).
+func SourceMark(source int, wm int64) engine.Tuple {
+	return engine.Tuple{Tick: true, Values: engine.Values{srcMark{src: source, wm: wm}}}
+}
+
+// SourceAware wraps a spout→partial grouping factory so SourceMark
+// tuples (engine Tick tuples) broadcast to every partial instance while
+// data tuples route through g unchanged — every partial instance must
+// hear every source to take a minimum across them.
+func SourceAware(g engine.GroupingFactory) engine.GroupingFactory {
+	return func(n int, seed uint64, emitter int) engine.Grouping {
+		return markBroadcast{data: g(n, seed, emitter)}
+	}
 }
 
 // mark is the watermark control tuple a partial instance broadcasts

@@ -1,0 +1,803 @@
+// Package wire is the serialized form of everything that crosses a
+// process boundary in a distributed PKG topology. The paper's whole
+// point is *practical* load balancing for distributed stream processing
+// engines — §V evaluates PKG across real Storm workers — and the
+// windowed two-phase aggregation (internal/window) only spans processes
+// once partials, watermarks and sketch summaries have a wire form. This
+// package supplies it as a length-prefixed binary codec, hand-rolled
+// (no reflection, no gob) so the tuple hot path stays at tens of
+// millions of frames per second.
+//
+// Every frame is
+//
+//	version (1 byte) | kind (1 byte) | payload length (uint32 LE) | payload
+//
+// The version byte makes the protocol evolvable: a decoder rejects
+// frames from a different version instead of misreading them. Payload
+// lengths are bounded (MaxPayload) so a corrupt or hostile header can
+// never drive an allocation. Decoding NEVER panics — every truncation,
+// overflow and unknown tag returns an error (FuzzRoundTrip in this
+// package holds that line).
+//
+// The five frame families:
+//
+//	Tuple    — a stream tuple: uint64 routing hash, optional string
+//	           key, typed values (source → worker, fire and forget);
+//	Partial  — one flushed (key, window) partial accumulator of the
+//	           windowed two-phase aggregation (partial stage → final);
+//	Mark     — a watermark from one source, identified by its source
+//	           ID so the final stage can advance on the minimum across
+//	           live sources;
+//	Sketch   — a Space-Saving summary snapshot, used to checkpoint a
+//	           source's hot-key classifier across restarts;
+//	Query /  — a point-query request and its reply (client → worker →
+//	Reply      client): per-key counts, closed window results, or
+//	           node statistics.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version emitted and accepted by this build.
+const Version = 1
+
+// HeaderSize is the fixed size of every frame header.
+const HeaderSize = 6
+
+// MaxPayload bounds a frame's payload so a corrupt length field cannot
+// drive an allocation (16 MiB is orders of magnitude above any frame
+// this tree emits).
+const MaxPayload = 1 << 24
+
+// Kind identifies a frame family.
+type Kind uint8
+
+// The frame kinds.
+const (
+	KindInvalid Kind = iota
+	// KindTuple is a stream tuple.
+	KindTuple
+	// KindPartial is one flushed (key, window) partial state.
+	KindPartial
+	// KindMark is a source watermark.
+	KindMark
+	// KindSketch is a Space-Saving summary snapshot.
+	KindSketch
+	// KindQuery is a point-query request.
+	KindQuery
+	// KindReply is a point-query reply.
+	KindReply
+	kindEnd
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindTuple:
+		return "tuple"
+	case KindPartial:
+		return "partial"
+	case KindMark:
+		return "mark"
+	case KindSketch:
+		return "sketch"
+	case KindQuery:
+		return "query"
+	case KindReply:
+		return "reply"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Tuple is the wire form of a stream tuple: the 64-bit routing hash
+// every strategy routes on, the optional string key, the event-time
+// stamp, and a small set of typed values. Supported value types are
+// int64, int (encoded as int64), uint64, float64, bool, string and
+// []byte; AppendTuple reports anything else as an error instead of
+// guessing.
+type Tuple struct {
+	// KeyHash is the 64-bit routing hash (engine.Tuple.KeyHash).
+	KeyHash uint64
+	// Key is the string key ("" for integer-keyed streams).
+	Key string
+	// EmitNanos is the event-time stamp in nanoseconds.
+	EmitNanos int64
+	// Tick marks control tuples.
+	Tick bool
+	// Values is the payload.
+	Values []any
+}
+
+// Partial is the wire form of one flushed (key, window) partial
+// accumulator. On the Combiner fast path the state is a single int64
+// (Count); general aggregator states travel as opaque bytes (Raw,
+// encoded by a window.StateCodec).
+type Partial struct {
+	// KeyHash is the 64-bit routing hash (the final stage key-groups
+	// partials on it).
+	KeyHash uint64
+	// Key is the original string key ("" for integer-keyed streams).
+	Key string
+	// Start is the window start in event-time nanoseconds.
+	Start int64
+	// Count is the int64 accumulator of the Combiner fast path.
+	Count int64
+	// Raw is the encoded accumulator of a general aggregator; nil
+	// selects the Count fast path.
+	Raw []byte
+}
+
+// Mark is the wire form of a watermark: source Source promises to never
+// again send a tuple or partial with event time below WM. A WM of
+// math.MaxInt64 is the source's final mark — "this source is done". The
+// receiving final stage advances on the minimum across all live
+// sources, which is what removes the manual lateness knob for
+// multi-source topologies.
+type Mark struct {
+	// Source identifies the emitting source (globally unique per
+	// stream; a remote windowed plan uses the partial instance index).
+	Source uint32
+	// WM is the watermark in event-time nanoseconds.
+	WM int64
+}
+
+// Final reports whether this is the source's final mark.
+func (m Mark) Final() bool { return m.WM == math.MaxInt64 }
+
+// SketchItem is one monitored item of a Space-Saving summary.
+type SketchItem struct {
+	// Item is the item identifier (a key hash).
+	Item uint64
+	// Count is the estimated frequency (never negative).
+	Count int64
+	// Err bounds the overestimation of Count (never negative).
+	Err int64
+}
+
+// Sketch is the wire form of a Space-Saving summary — the O(5W)
+// checkpoint a source persists so a restart does not route head keys as
+// cold until the sketch re-warms.
+type Sketch struct {
+	// K is the summary capacity.
+	K int
+	// N is the total observation weight.
+	N int64
+	// Items are the monitored items (at most K).
+	Items []SketchItem
+}
+
+// QueryOp selects what a Query asks for.
+type QueryOp uint8
+
+// The query operations.
+const (
+	// OpCount asks for the node's count for Key (a counter worker's
+	// partial count, or a final node's total over closed windows).
+	OpCount QueryOp = 1
+	// OpResults asks a final node for its closed window results so far
+	// plus whether every expected source has sent its final mark.
+	OpResults QueryOp = 2
+	// OpStats asks for the node's absorbed frame count.
+	OpStats QueryOp = 3
+)
+
+// Query is a point-query request.
+type Query struct {
+	// Op selects the operation.
+	Op QueryOp
+	// Key is the queried key hash (OpCount only).
+	Key uint64
+}
+
+// WindowResult is one closed (key, window) pair in an OpResults reply.
+type WindowResult struct {
+	// KeyHash is the key's routing hash.
+	KeyHash uint64
+	// Key is the string key ("" for integer-keyed streams).
+	Key string
+	// Start and End delimit the window in event-time nanoseconds.
+	Start, End int64
+	// Value is the aggregated value on the int64 fast path.
+	Value int64
+	// Raw is the encoded value of a general aggregator; nil selects
+	// Value.
+	Raw []byte
+}
+
+// Reply is a point-query reply.
+type Reply struct {
+	// Op echoes the request operation.
+	Op QueryOp
+	// Count answers OpCount and OpStats.
+	Count int64
+	// Done reports whether every expected source has sent its final
+	// mark (OpResults).
+	Done bool
+	// Results are the closed windows so far (OpResults).
+	Results []WindowResult
+}
+
+// Value type tags.
+const (
+	tInt64 byte = iota + 1
+	tUint64
+	tFloat64
+	tBool
+	tString
+	tBytes
+)
+
+// frame reserves a header for kind k on dst and returns (dst, payload
+// start) — finish backfills the length.
+func frame(dst []byte, k Kind) ([]byte, int) {
+	dst = append(dst, Version, byte(k), 0, 0, 0, 0)
+	return dst, len(dst)
+}
+
+// finish backfills the payload length of the frame whose payload starts
+// at `start`.
+func finish(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
+	return dst
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendTuple appends t as a framed KindTuple to dst and returns the
+// extended slice. It reports an error (leaving dst unchanged in the
+// returned slice) if a value has an unsupported type.
+func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
+	undo := len(dst)
+	dst, start := frame(dst, KindTuple)
+	var flags byte
+	if t.Tick {
+		flags |= 1
+	}
+	if t.Key != "" {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = appendU64(dst, t.KeyHash)
+	dst = appendI64(dst, t.EmitNanos)
+	if t.Key != "" {
+		dst = appendStr(dst, t.Key)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(t.Values)))
+	for _, v := range t.Values {
+		switch v := v.(type) {
+		case int64:
+			dst = append(dst, tInt64)
+			dst = appendI64(dst, v)
+		case int:
+			dst = append(dst, tInt64)
+			dst = appendI64(dst, int64(v))
+		case uint64:
+			dst = append(dst, tUint64)
+			dst = appendU64(dst, v)
+		case float64:
+			dst = append(dst, tFloat64)
+			dst = appendU64(dst, math.Float64bits(v))
+		case bool:
+			dst = append(dst, tBool)
+			if v {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		case string:
+			dst = append(dst, tString)
+			dst = appendStr(dst, v)
+		case []byte:
+			dst = append(dst, tBytes)
+			dst = appendBytes(dst, v)
+		default:
+			return dst[:undo], fmt.Errorf("wire: tuple value of unsupported type %T", v)
+		}
+	}
+	return finish(dst, start), nil
+}
+
+// AppendPartial appends p as a framed KindPartial to dst.
+func AppendPartial(dst []byte, p *Partial) []byte {
+	dst, start := frame(dst, KindPartial)
+	var flags byte
+	if p.Key != "" {
+		flags |= 1
+	}
+	if p.Raw != nil {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = appendU64(dst, p.KeyHash)
+	dst = appendI64(dst, p.Start)
+	if p.Raw != nil {
+		dst = appendBytes(dst, p.Raw)
+	} else {
+		dst = appendI64(dst, p.Count)
+	}
+	if p.Key != "" {
+		dst = appendStr(dst, p.Key)
+	}
+	return finish(dst, start)
+}
+
+// AppendMark appends m as a framed KindMark to dst.
+func AppendMark(dst []byte, m Mark) []byte {
+	dst, start := frame(dst, KindMark)
+	dst = binary.AppendUvarint(dst, uint64(m.Source))
+	dst = appendI64(dst, m.WM)
+	return finish(dst, start)
+}
+
+// AppendSketch appends s as a framed KindSketch to dst. Items with
+// negative counts or error bounds are rejected by the decoder, not the
+// encoder — a sketch snapshot never contains them.
+func AppendSketch(dst []byte, s *Sketch) []byte {
+	dst, start := frame(dst, KindSketch)
+	dst = binary.AppendUvarint(dst, uint64(s.K))
+	dst = appendI64(dst, s.N)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Items)))
+	for _, it := range s.Items {
+		dst = appendU64(dst, it.Item)
+		dst = binary.AppendUvarint(dst, uint64(it.Count))
+		dst = binary.AppendUvarint(dst, uint64(it.Err))
+	}
+	return finish(dst, start)
+}
+
+// AppendQuery appends q as a framed KindQuery to dst.
+func AppendQuery(dst []byte, q Query) []byte {
+	dst, start := frame(dst, KindQuery)
+	dst = append(dst, byte(q.Op))
+	dst = appendU64(dst, q.Key)
+	return finish(dst, start)
+}
+
+// AppendReply appends r as a framed KindReply to dst.
+func AppendReply(dst []byte, r *Reply) []byte {
+	dst, start := frame(dst, KindReply)
+	dst = append(dst, byte(r.Op))
+	dst = appendI64(dst, r.Count)
+	if r.Done {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Results)))
+	for i := range r.Results {
+		res := &r.Results[i]
+		var flags byte
+		if res.Key != "" {
+			flags |= 1
+		}
+		if res.Raw != nil {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+		dst = appendU64(dst, res.KeyHash)
+		dst = appendI64(dst, res.Start)
+		dst = appendI64(dst, res.End)
+		if res.Raw != nil {
+			dst = appendBytes(dst, res.Raw)
+		} else {
+			dst = appendI64(dst, res.Value)
+		}
+		if res.Key != "" {
+			dst = appendStr(dst, res.Key)
+		}
+	}
+	return finish(dst, start)
+}
+
+// reader is a bounds-checked cursor over one payload. All take methods
+// return an error instead of panicking on truncated input.
+type reader struct {
+	b   []byte
+	off int
+}
+
+var errTruncated = fmt.Errorf("wire: truncated payload")
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, errTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad uvarint")
+	}
+	r.off += n
+	return v, nil
+}
+
+// length reads a uvarint length and checks it fits the remaining
+// payload, so a corrupt length can never drive an allocation beyond the
+// frame it arrived in.
+func (r *reader) length() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)-r.off) {
+		return 0, fmt.Errorf("wire: length %d exceeds payload", v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.length()
+	if err != nil {
+		return "", err
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.length()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:r.off+n])
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// DecodeTuple decodes a KindTuple payload into t, reusing t.Values'
+// capacity. On error t's contents are unspecified.
+func DecodeTuple(p []byte, t *Tuple) error {
+	r := reader{b: p}
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	t.Tick = flags&1 != 0
+	t.Key = ""
+	if t.KeyHash, err = r.u64(); err != nil {
+		return err
+	}
+	if t.EmitNanos, err = r.i64(); err != nil {
+		return err
+	}
+	if flags&2 != 0 {
+		if t.Key, err = r.str(); err != nil {
+			return err
+		}
+		if t.Key == "" {
+			return fmt.Errorf("wire: tuple key flag set on empty key")
+		}
+	}
+	n, err := r.length() // each value is ≥ 1 byte, so count ≤ remaining
+	if err != nil {
+		return err
+	}
+	t.Values = t.Values[:0]
+	for i := 0; i < n; i++ {
+		tag, err := r.byte()
+		if err != nil {
+			return err
+		}
+		var v any
+		switch tag {
+		case tInt64:
+			v, err = r.i64()
+		case tUint64:
+			v, err = r.u64()
+		case tFloat64:
+			var bits uint64
+			bits, err = r.u64()
+			v = math.Float64frombits(bits)
+		case tBool:
+			var b byte
+			b, err = r.byte()
+			v = b != 0
+		case tString:
+			v, err = r.str()
+		case tBytes:
+			v, err = r.bytes()
+		default:
+			return fmt.Errorf("wire: unknown value tag %d", tag)
+		}
+		if err != nil {
+			return err
+		}
+		t.Values = append(t.Values, v)
+	}
+	return r.done()
+}
+
+// DecodePartial decodes a KindPartial payload into p.
+func DecodePartial(b []byte, p *Partial) error {
+	r := reader{b: b}
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	p.Key = ""
+	p.Raw = nil
+	p.Count = 0
+	if p.KeyHash, err = r.u64(); err != nil {
+		return err
+	}
+	if p.Start, err = r.i64(); err != nil {
+		return err
+	}
+	if flags&2 != 0 {
+		if p.Raw, err = r.bytes(); err != nil {
+			return err
+		}
+		if p.Raw == nil { // zero-length state still selects the Raw path
+			p.Raw = []byte{}
+		}
+	} else if p.Count, err = r.i64(); err != nil {
+		return err
+	}
+	if flags&1 != 0 {
+		if p.Key, err = r.str(); err != nil {
+			return err
+		}
+		if p.Key == "" {
+			return fmt.Errorf("wire: partial key flag set on empty key")
+		}
+	}
+	return r.done()
+}
+
+// DecodeMark decodes a KindMark payload.
+func DecodeMark(b []byte) (Mark, error) {
+	r := reader{b: b}
+	src, err := r.uvarint()
+	if err != nil {
+		return Mark{}, err
+	}
+	if src > math.MaxUint32 {
+		return Mark{}, fmt.Errorf("wire: mark source %d overflows uint32", src)
+	}
+	wm, err := r.i64()
+	if err != nil {
+		return Mark{}, err
+	}
+	if err := r.done(); err != nil {
+		return Mark{}, err
+	}
+	return Mark{Source: uint32(src), WM: wm}, nil
+}
+
+// DecodeSketch decodes a KindSketch payload.
+func DecodeSketch(b []byte) (Sketch, error) {
+	r := reader{b: b}
+	k, err := r.uvarint()
+	if err != nil {
+		return Sketch{}, err
+	}
+	if k == 0 || k > MaxPayload {
+		return Sketch{}, fmt.Errorf("wire: sketch capacity %d out of range", k)
+	}
+	n, err := r.i64()
+	if err != nil {
+		return Sketch{}, err
+	}
+	if n < 0 {
+		return Sketch{}, fmt.Errorf("wire: negative sketch weight %d", n)
+	}
+	cnt, err := r.uvarint()
+	if err != nil {
+		return Sketch{}, err
+	}
+	if cnt > k {
+		return Sketch{}, fmt.Errorf("wire: sketch holds %d items over capacity %d", cnt, k)
+	}
+	// Each item is ≥ 10 encoded bytes; the bound keeps a corrupt count
+	// from pre-allocating beyond what the payload could actually hold.
+	if cnt > uint64(len(b))/10 {
+		return Sketch{}, errTruncated
+	}
+	s := Sketch{K: int(k), N: n, Items: make([]SketchItem, 0, cnt)}
+	for i := uint64(0); i < cnt; i++ {
+		item, err := r.u64()
+		if err != nil {
+			return Sketch{}, err
+		}
+		c, err := r.uvarint()
+		if err != nil {
+			return Sketch{}, err
+		}
+		e, err := r.uvarint()
+		if err != nil {
+			return Sketch{}, err
+		}
+		if c > math.MaxInt64 || e > math.MaxInt64 {
+			return Sketch{}, fmt.Errorf("wire: sketch item overflows int64")
+		}
+		s.Items = append(s.Items, SketchItem{Item: item, Count: int64(c), Err: int64(e)})
+	}
+	if err := r.done(); err != nil {
+		return Sketch{}, err
+	}
+	return s, nil
+}
+
+// DecodeQuery decodes a KindQuery payload.
+func DecodeQuery(b []byte) (Query, error) {
+	r := reader{b: b}
+	op, err := r.byte()
+	if err != nil {
+		return Query{}, err
+	}
+	switch QueryOp(op) {
+	case OpCount, OpResults, OpStats:
+	default:
+		return Query{}, fmt.Errorf("wire: unknown query op %d", op)
+	}
+	key, err := r.u64()
+	if err != nil {
+		return Query{}, err
+	}
+	if err := r.done(); err != nil {
+		return Query{}, err
+	}
+	return Query{Op: QueryOp(op), Key: key}, nil
+}
+
+// DecodeReply decodes a KindReply payload.
+func DecodeReply(b []byte) (Reply, error) {
+	r := reader{b: b}
+	op, err := r.byte()
+	if err != nil {
+		return Reply{}, err
+	}
+	count, err := r.i64()
+	if err != nil {
+		return Reply{}, err
+	}
+	doneB, err := r.byte()
+	if err != nil {
+		return Reply{}, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return Reply{}, err
+	}
+	// Each result is ≥ 26 encoded bytes; dividing keeps a corrupt count
+	// from pre-allocating far beyond what the payload could hold.
+	if n > uint64(len(b))/26 {
+		return Reply{}, errTruncated
+	}
+	rep := Reply{Op: QueryOp(op), Count: count, Done: doneB != 0}
+	if n > 0 {
+		rep.Results = make([]WindowResult, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var res WindowResult
+		flags, err := r.byte()
+		if err != nil {
+			return Reply{}, err
+		}
+		if res.KeyHash, err = r.u64(); err != nil {
+			return Reply{}, err
+		}
+		if res.Start, err = r.i64(); err != nil {
+			return Reply{}, err
+		}
+		if res.End, err = r.i64(); err != nil {
+			return Reply{}, err
+		}
+		if flags&2 != 0 {
+			if res.Raw, err = r.bytes(); err != nil {
+				return Reply{}, err
+			}
+			if res.Raw == nil {
+				res.Raw = []byte{}
+			}
+		} else if res.Value, err = r.i64(); err != nil {
+			return Reply{}, err
+		}
+		if flags&1 != 0 {
+			if res.Key, err = r.str(); err != nil {
+				return Reply{}, err
+			}
+			if res.Key == "" {
+				return Reply{}, fmt.Errorf("wire: result key flag set on empty key")
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := r.done(); err != nil {
+		return Reply{}, err
+	}
+	return rep, nil
+}
+
+// ReadFrame reads one frame from r: it validates the header, bounds the
+// payload, and returns the kind with the payload bytes (reusing buf's
+// capacity when it suffices). io.EOF is returned exactly at a clean
+// frame boundary; a header or payload cut short mid-frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) (Kind, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return KindInvalid, nil, err // io.EOF only on a clean boundary
+	}
+	kind, n, err := ParseHeader(hdr)
+	if err != nil {
+		return KindInvalid, nil, err
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return KindInvalid, nil, err
+	}
+	return kind, buf, nil
+}
+
+// ParseHeader validates a frame header and returns its kind and payload
+// length.
+func ParseHeader(hdr [HeaderSize]byte) (Kind, int, error) {
+	if hdr[0] != Version {
+		return KindInvalid, 0, fmt.Errorf("wire: version %d, want %d", hdr[0], Version)
+	}
+	kind := Kind(hdr[1])
+	if kind == KindInvalid || kind >= kindEnd {
+		return KindInvalid, 0, fmt.Errorf("wire: unknown frame kind %d", hdr[1])
+	}
+	n := binary.LittleEndian.Uint32(hdr[2:])
+	if n > MaxPayload {
+		return KindInvalid, 0, fmt.Errorf("wire: payload length %d exceeds limit %d", n, MaxPayload)
+	}
+	return kind, int(n), nil
+}

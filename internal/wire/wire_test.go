@@ -1,0 +1,352 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// encodeAll returns one encoded frame per kind, exercising every
+// optional field combination worth a seed.
+func encodeAll(t testing.TB) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	add := func(b []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, b)
+	}
+	add(AppendTuple(nil, &Tuple{KeyHash: 0xdeadbeef, EmitNanos: 12345}))
+	add(AppendTuple(nil, &Tuple{
+		KeyHash: 7, Key: "gopher", EmitNanos: -3, Tick: true,
+		Values: []any{int64(-42), 42, uint64(1) << 63, 3.14, true, false, "str", []byte{1, 2, 3}},
+	}))
+	add(AppendPartial(nil, &Partial{KeyHash: 9, Key: "word", Start: 1e9, Count: 17}), nil)
+	add(AppendPartial(nil, &Partial{KeyHash: 9, Start: -5, Raw: []byte{0xca, 0xfe}}), nil)
+	add(AppendMark(nil, Mark{Source: 3, WM: 1 << 40}), nil)
+	add(AppendMark(nil, Mark{Source: math.MaxUint32, WM: math.MaxInt64}), nil)
+	add(AppendSketch(nil, &Sketch{K: 4, N: 100, Items: []SketchItem{
+		{Item: 1, Count: 60, Err: 0}, {Item: 2, Count: 30, Err: 10},
+	}}), nil)
+	add(AppendQuery(nil, Query{Op: OpCount, Key: 77}), nil)
+	add(AppendQuery(nil, Query{Op: OpResults}), nil)
+	add(AppendReply(nil, &Reply{Op: OpCount, Count: 12}), nil)
+	add(AppendReply(nil, &Reply{Op: OpResults, Done: true, Results: []WindowResult{
+		{KeyHash: 1, Key: "a", Start: 0, End: 30e9, Value: 5},
+		{KeyHash: 2, Start: 30e9, End: 60e9, Raw: []byte{9}},
+	}}), nil)
+	return frames
+}
+
+// decodeFrame decodes one framed payload by kind, returning the decoded
+// value for equality checks.
+func decodeFrame(kind Kind, payload []byte) (any, error) {
+	switch kind {
+	case KindTuple:
+		var tu Tuple
+		err := DecodeTuple(payload, &tu)
+		return tu, err
+	case KindPartial:
+		var p Partial
+		err := DecodePartial(payload, &p)
+		return p, err
+	case KindMark:
+		return DecodeMark(payload)
+	case KindSketch:
+		return DecodeSketch(payload)
+	case KindQuery:
+		return DecodeQuery(payload)
+	case KindReply:
+		return DecodeReply(payload)
+	default:
+		panic("unreachable: ReadFrame only returns known kinds")
+	}
+}
+
+// reencode encodes a decoded frame value back to wire form.
+func reencode(v any) []byte {
+	switch v := v.(type) {
+	case Tuple:
+		b, err := AppendTuple(nil, &v)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	case Partial:
+		return AppendPartial(nil, &v)
+	case Mark:
+		return AppendMark(nil, v)
+	case Sketch:
+		return AppendSketch(nil, &v)
+	case Query:
+		return AppendQuery(nil, v)
+	case Reply:
+		return AppendReply(nil, &v)
+	default:
+		panic("unreachable")
+	}
+}
+
+func TestRoundTripAllFrameKinds(t *testing.T) {
+	for i, fr := range encodeAll(t) {
+		kind, payload, err := ReadFrame(bytes.NewReader(fr), nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		v, err := decodeFrame(kind, payload)
+		if err != nil {
+			t.Fatalf("frame %d (%v): %v", i, kind, err)
+		}
+		if got := reencode(v); !bytes.Equal(got, fr) {
+			t.Fatalf("frame %d (%v): re-encoded bytes differ\n got %x\nwant %x", i, kind, got, fr)
+		}
+	}
+}
+
+func TestTupleRoundTripValues(t *testing.T) {
+	in := Tuple{
+		KeyHash: 123, Key: "k", EmitNanos: 55, Tick: true,
+		Values: []any{int64(1), 2, uint64(3), 4.5, true, "s", []byte{6}},
+	}
+	b, err := AppendTuple(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Tuple
+	if err := DecodeTuple(b[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	// int encodes as int64 by design.
+	want := Tuple{
+		KeyHash: 123, Key: "k", EmitNanos: 55, Tick: true,
+		Values: []any{int64(1), int64(2), uint64(3), 4.5, true, "s", []byte{6}},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("round trip:\n got %#v\nwant %#v", out, want)
+	}
+	if _, err := AppendTuple(nil, &Tuple{Values: []any{struct{}{}}}); err == nil {
+		t.Fatal("unsupported value type accepted")
+	}
+}
+
+func TestDecodeValuesReuseAcrossCalls(t *testing.T) {
+	b1, _ := AppendTuple(nil, &Tuple{KeyHash: 1, Values: []any{int64(1), int64(2)}})
+	b2, _ := AppendTuple(nil, &Tuple{KeyHash: 2})
+	var tu Tuple
+	if err := DecodeTuple(b1[HeaderSize:], &tu); err != nil {
+		t.Fatal(err)
+	}
+	if len(tu.Values) != 2 {
+		t.Fatalf("values = %v", tu.Values)
+	}
+	if err := DecodeTuple(b2[HeaderSize:], &tu); err != nil {
+		t.Fatal(err)
+	}
+	if len(tu.Values) != 0 || tu.KeyHash != 2 {
+		t.Fatalf("reused decode kept stale state: %#v", tu)
+	}
+}
+
+func TestHeaderRejections(t *testing.T) {
+	good, _ := AppendTuple(nil, &Tuple{KeyHash: 1})
+
+	// Wrong version.
+	bad := append([]byte(nil), good...)
+	bad[0] = 99
+	if _, _, err := ReadFrame(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Unknown kind.
+	bad = append([]byte(nil), good...)
+	bad[1] = 200
+	if _, _, err := ReadFrame(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Oversized payload length: rejected before any allocation.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[2:], MaxPayload+1)
+	if _, _, err := ReadFrame(bytes.NewReader(bad), nil); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestTruncationNeverPanics(t *testing.T) {
+	for i, fr := range encodeAll(t) {
+		// Every strict prefix must error (ReadFrame short read, or the
+		// per-kind decoder on a cut payload) — and never panic.
+		for cut := 0; cut < len(fr); cut++ {
+			_, _, err := ReadFrame(bytes.NewReader(fr[:cut]), nil)
+			if cut == 0 {
+				if err != io.EOF {
+					t.Fatalf("frame %d: empty read err = %v, want io.EOF", i, err)
+				}
+				continue
+			}
+			if err == nil {
+				t.Fatalf("frame %d truncated at %d accepted", i, cut)
+			}
+		}
+		// A truncated *payload* handed straight to the decoder errors too.
+		kind, payload, err := ReadFrame(bytes.NewReader(fr), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := decodeFrame(kind, payload[:cut]); err == nil {
+				t.Fatalf("frame %d (%v): payload truncated at %d/%d accepted",
+					i, kind, cut, len(payload))
+			}
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	for i, fr := range encodeAll(t) {
+		kind, payload, err := ReadFrame(bytes.NewReader(fr), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown := append(append([]byte(nil), payload...), 0)
+		if _, err := decodeFrame(kind, grown); err == nil {
+			t.Fatalf("frame %d (%v): trailing byte accepted", i, kind)
+		}
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var stream []byte
+	frames := encodeAll(t)
+	for _, fr := range frames {
+		stream = append(stream, fr...)
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := 0; ; i++ {
+		kind, payload, err := ReadFrame(r, buf)
+		if err == io.EOF {
+			if i != len(frames) {
+				t.Fatalf("EOF after %d frames, want %d", i, len(frames))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeFrame(kind, payload); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = payload
+	}
+	// A stream cut mid-frame reports ErrUnexpectedEOF, not a clean EOF.
+	r = bytes.NewReader(stream[:len(stream)-1])
+	var err error
+	for err == nil {
+		_, _, err = ReadFrame(r, nil)
+	}
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("mid-frame cut err = %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+}
+
+// FuzzRoundTrip feeds arbitrary bytes through the frame reader and every
+// decoder: nothing may panic, and anything that decodes must re-encode
+// and re-decode to the same value (the codec is self-consistent even on
+// adversarial input that happens to parse).
+func FuzzRoundTrip(f *testing.F) {
+	for _, fr := range encodeAll(f) {
+		f.Add(fr)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, byte(KindTuple), 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := ReadFrame(bytes.NewReader(data), nil)
+		if err == nil {
+			if v, derr := decodeFrame(kind, payload); derr == nil {
+				re := reencode(v)
+				k2, p2, err2 := ReadFrame(bytes.NewReader(re), nil)
+				if err2 != nil || k2 != kind {
+					t.Fatalf("re-encode of decoded %v failed: %v", kind, err2)
+				}
+				v2, derr2 := decodeFrame(k2, p2)
+				if derr2 != nil {
+					t.Fatalf("re-decode of %v failed: %v", kind, derr2)
+				}
+				if !reflect.DeepEqual(v, v2) {
+					t.Fatalf("%v not stable:\n got %#v\nwant %#v", kind, v2, v)
+				}
+			}
+		}
+		// Raw payload bytes against every decoder: must never panic.
+		var tu Tuple
+		var pa Partial
+		_ = DecodeTuple(data, &tu)
+		_ = DecodePartial(data, &pa)
+		_, _ = DecodeMark(data)
+		_, _ = DecodeSketch(data)
+		_, _ = DecodeQuery(data)
+		_, _ = DecodeReply(data)
+	})
+}
+
+// TestSeedCorpusCoversAllKinds regenerates the committed fuzz seed
+// corpus when WIRE_WRITE_CORPUS=1 and otherwise verifies the files are
+// present and decodable — the corpus is part of the repo so CI fuzzing
+// starts from every frame kind, not from scratch.
+func TestSeedCorpusCoversAllKinds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzRoundTrip")
+	frames := encodeAll(t)
+	if os.Getenv("WIRE_WRITE_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, fr := range frames {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(fr)) + ")\n"
+			name := filepath.Join(dir, "seed-"+Kind(fr[1]).String()+"-"+strconv.Itoa(i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fuzz seed corpus missing (run with WIRE_WRITE_CORPUS=1 to regenerate): %v", err)
+	}
+	covered := map[Kind]bool{}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz corpus file", e.Name())
+		}
+		quoted := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		data, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		kind, payload, err := ReadFrame(strings.NewReader(data), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if _, err := decodeFrame(kind, payload); err != nil {
+			t.Fatalf("%s (%v): %v", e.Name(), kind, err)
+		}
+		covered[kind] = true
+	}
+	for k := KindTuple; k < kindEnd; k++ {
+		if k != KindInvalid && !covered[k] {
+			t.Fatalf("seed corpus missing frame kind %v", k)
+		}
+	}
+}

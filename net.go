@@ -1,8 +1,11 @@
 package pkgstream
 
 import (
+	"time"
+
 	"pkgstream/internal/rebalance"
 	"pkgstream/internal/transport"
+	"pkgstream/internal/wire"
 )
 
 // Network transport surface: PKG across real TCP boundaries, plus the
@@ -26,7 +29,43 @@ const (
 	NetKG = transport.ModeKG
 	// NetSG routes round-robin.
 	NetSG = transport.ModeSG
+	// NetDChoices routes with frequency-aware PKG: the source's own
+	// Space-Saving sketch widens hot keys beyond two workers.
+	NetDChoices = transport.ModeDChoices
+	// NetWChoices spreads keys above the hot threshold over all workers.
+	NetWChoices = transport.ModeWChoices
 )
+
+// NetSourceOptions is the fully parameterized dial configuration —
+// including SketchPath, which checkpoints the frequency-aware modes'
+// sketch across source restarts (restored on dial, written on Close).
+type NetSourceOptions = transport.SourceOptions
+
+// NetHandler is the pluggable processing side of a TCP worker; every
+// decoded wire frame dispatches to it (calls are serialized).
+type NetHandler = transport.Handler
+
+// NetWindowResult is one closed (key, window) pair drained from a
+// remote windowed final node.
+type NetWindowResult = wire.WindowResult
+
+// DialNetSourceOpts dials a source with full options (sketch
+// checkpointing, explicit source ID, hot-key knobs).
+func DialNetSourceOpts(addrs []string, o NetSourceOptions) (*NetSource, error) {
+	return transport.DialSourceOpts(addrs, o)
+}
+
+// ListenNetHandler starts a TCP worker dispatching to a custom handler
+// — e.g. a WindowFinalHost, making the node a windowed final stage.
+func ListenNetHandler(addr string, h NetHandler) (*NetWorker, error) {
+	return transport.ListenHandler(addr, h)
+}
+
+// NetDrainResults polls a windowed final node until every source has
+// finished, then pages out its closed (key, window) results.
+func NetDrainResults(addr string, timeout time.Duration) ([]NetWindowResult, error) {
+	return transport.DrainResults(addr, timeout)
+}
 
 // ListenNetWorker starts a worker on addr ("127.0.0.1:0" for ephemeral).
 func ListenNetWorker(addr string) (*NetWorker, error) {
