@@ -1,26 +1,42 @@
 // Command pkgnode is the worker daemon of a distributed PKG topology:
 // one process per node, speaking the internal/wire protocol over TCP.
-// It hosts one of two handler modes:
+// It hosts one of three handler modes:
 //
 //	-mode counter   the classic PKG worker (§V): per-key partial counts
 //	                for the tuples routed to it, answering OpCount point
 //	                queries with its share of a key;
-//	-mode final     the windowed final stage (§IV distributed): merges
-//	                the flushed partials of a windowed aggregation,
+//	-mode partial   the windowed PARTIAL stage (§IV fully distributed):
+//	                accumulates per-(key, window) state for the raw
+//	                tuples the engine's flow-controlled wire edge routes
+//	                to it, flushes every aggregation period, and
+//	                forwards the partials — key-grouped, with bounded
+//	                retry — to the final nodes given by -final;
+//	-mode final     the windowed final stage: merges flushed partials,
 //	                closes windows once the minimum watermark across all
 //	                upstream sources passes their end, and serves the
-//	                closed (key, window) results to OpResults queries.
+//	                closed (key, window) results to OpResults queries
+//	                and Subscribe push sessions.
 //
-// A two-process windowed wordcount (the `pipeline` experiment's shape):
+// A three-process windowed wordcount (the `pipeline` experiment's fully
+// distributed shape — start finals first, partials dial them):
 //
-//	pkgnode -addr 127.0.0.1:7411 &
-//	pkgnode -addr 127.0.0.1:7412 &
-//	PKGNODE_ADDRS=127.0.0.1:7411,127.0.0.1:7412 \
+//	pkgnode -mode final -addr 127.0.0.1:7411 -sources 2 &
+//	pkgnode -mode final -addr 127.0.0.1:7412 -sources 2 &
+//	pkgnode -mode partial -addr 127.0.0.1:7421 -id 0 -nodes 2 \
+//	    -final 127.0.0.1:7411,127.0.0.1:7412 &
+//	pkgnode -mode partial -addr 127.0.0.1:7422 -id 1 -nodes 2 \
+//	    -final 127.0.0.1:7411,127.0.0.1:7412 &
+//	PKGNODE_PARTIAL_ADDRS=127.0.0.1:7421,127.0.0.1:7422 \
+//	PKGNODE_FINAL_ADDRS=127.0.0.1:7411,127.0.0.1:7412 \
 //	    go run ./cmd/pkgbench -exp pipeline -scale quick
 //
-// The final-stage window shape (-win-size/-win-slide) and the upstream
-// partial parallelism (-sources) must match the engine process's
-// declaration; the defaults match the pipeline experiment.
+// A final node's -sources is the number of nodes/instances feeding it:
+// the upstream partial stage's parallelism for the engine-side
+// remote-final shape, or -nodes for the fully distributed shape. A
+// partial node's -sources is the number of engine STREAM sources
+// (spouts advertising SourceMark watermarks). The window shape
+// (-win-size/-win-slide/-every) and -seed must match the engine
+// process's declaration; the defaults match the pipeline experiment.
 package main
 
 import (
@@ -38,34 +54,79 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7411", "TCP listen address")
-		mode    = flag.String("mode", "final", "counter | final")
-		sources = flag.Int("sources", 4, "final: number of upstream sources (the partial stage's parallelism)")
-		winSize = flag.Duration("win-size", time.Second, "final: window size in event time (0: one global window)")
-		slide   = flag.Duration("win-slide", 0, "final: window slide (0: tumbling)")
-		once    = flag.Bool("once", false, "final: exit once every source has sent its final mark")
+		mode    = flag.String("mode", "final", "counter | partial | final")
+		sources = flag.Int("sources", -1, "final: upstream sources feeding this node (default 4 — the engine partial parallelism; use -nodes for the fully distributed shape); partial: engine stream sources (default 1)")
+		winSize = flag.Duration("win-size", time.Second, "partial/final: window size in event time (0: one global window)")
+		slide   = flag.Duration("win-slide", 0, "partial/final: window slide (0: tumbling)")
+		every   = flag.Int("every", 2000, "partial: flush after this many tuples (the aggregation period T)")
+		period  = flag.Duration("period", 0, "partial: also flush on this wall-clock period (0: off)")
+		finals  = flag.String("final", "", "partial: comma-separated final node addresses (required)")
+		id      = flag.Int("id", 0, "partial: this node's index among the partial nodes")
+		nodes   = flag.Int("nodes", 2, "partial: total number of partial nodes")
+		seed    = flag.Uint64("seed", 3, "partial: key→final-node hash seed (must match across partial nodes)")
+		once    = flag.Bool("once", false, "partial/final: exit once every source has sent its final mark")
 		quiet   = flag.Bool("quiet", false, "suppress the per-window result summary at shutdown")
 	)
 	flag.Parse()
 
 	var (
-		worker *transport.Worker
-		final  *window.FinalHandler
-		err    error
+		worker  *transport.Worker
+		final   *window.FinalHandler
+		partial *window.PartialHandler
+		err     error
 	)
+	done := func() bool { return false }
 	switch *mode {
 	case "counter":
 		worker, err = transport.ListenWorker(*addr)
+	case "partial":
+		srcs := *sources
+		if srcs < 0 {
+			srcs = 1 // one engine stream source, the pipeline experiment's shape
+		}
+		var plan *window.Plan
+		plan, err = window.NewPlan(window.Count{}, window.Spec{
+			Size: *winSize, Slide: *slide, EveryTuples: *every, Sources: srcs,
+		})
+		if err == nil {
+			partial, err = plan.NewPartialHandler(window.PartialHandlerOptions{
+				ID: *id, Nodes: *nodes, Seed: *seed,
+				FinalAddrs: transport.SplitAddrs(*finals),
+			})
+		}
+		if err == nil {
+			worker, err = transport.ListenHandler(*addr, partial)
+		}
+		if err == nil {
+			done = partial.Done
+			if *period > 0 {
+				go func() {
+					t := time.NewTicker(*period)
+					defer t.Stop()
+					for range t.C {
+						partial.Tick()
+					}
+				}()
+			}
+		}
 	case "final":
+		srcs := *sources
+		if srcs < 0 {
+			srcs = 4 // the engine-side partial parallelism of the pipeline experiment
+		}
 		var plan *window.Plan
 		plan, err = window.NewPlan(window.Count{}, window.Spec{Size: *winSize, Slide: *slide})
 		if err == nil {
-			final, err = plan.NewFinalHandler(*sources)
+			final, err = plan.NewFinalHandler(srcs)
 		}
 		if err == nil {
 			worker, err = transport.ListenHandler(*addr, final)
 		}
+		if err == nil {
+			done = final.Done
+		}
 	default:
-		err = fmt.Errorf("unknown mode %q (counter | final)", *mode)
+		err = fmt.Errorf("unknown mode %q (counter | partial | final)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pkgnode:", err)
@@ -75,24 +136,34 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	if *once && final != nil {
-		done := make(chan struct{})
+	if *once && (final != nil || partial != nil) {
+		finished := make(chan struct{})
 		go func() {
-			for !final.Done() {
+			for !done() {
 				time.Sleep(10 * time.Millisecond)
 			}
-			close(done)
+			close(finished)
 		}()
 		select {
 		case <-sig:
-		case <-done:
+		case <-finished:
 		}
 	} else {
 		<-sig
 	}
 
 	_ = worker.Close()
+	exit := 0
 	switch {
+	case partial != nil:
+		st := partial.Stats()
+		es := partial.EdgeStats()
+		fmt.Printf("pkgnode: done=%v tuples=%d flushes=%d partials-out=%d retries=%d bad=%d\n",
+			partial.Done(), partial.Processed(), st.Flushes, es.Frames, es.Retries, partial.BadFrames())
+		if err := partial.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "pkgnode: forwarding failed:", err)
+			exit = 1
+		}
 	case final != nil:
 		st := final.Stats()
 		fmt.Printf("pkgnode: done=%v merged=%d windows=%d late=%d bad=%d\n",
@@ -106,4 +177,5 @@ func main() {
 		fmt.Printf("pkgnode: absorbed %d frames over %d keys\n",
 			worker.Processed(), worker.DistinctKeys())
 	}
+	os.Exit(exit)
 }

@@ -164,6 +164,26 @@ type WindowedOption = engine.WindowedOption
 // remote final nodes — pkgnode processes, or ListenNetFinal listeners.
 func WindowRemoteFinal(addrs ...string) WindowedOption { return engine.RemoteFinal(addrs...) }
 
+// WindowRemotePartial runs the aggregation's PARTIAL stage on remote
+// nodes (`pkgnode -mode partial`, or NewWindowPartialHost listeners):
+// raw tuples cross a credit-flow-controlled wire edge — a slow node
+// stalls the spout exactly like a full local queue, never ballooning a
+// TCP buffer — and the nodes forward their flushed partials to their
+// configured final nodes. The spec must use SourceMark watermarks
+// (WindowSpec.Sources ≥ 1).
+func WindowRemotePartial(addrs ...string) WindowedOption { return engine.RemotePartial(addrs...) }
+
+// EdgeStats are the flow counters of one remote topology edge: frames
+// shipped, credit stalls (remote backpressure made visible), reconnect
+// retries and exhausted failures. Per-component snapshots live in
+// TopologyStats.Edges.
+type EdgeStats = engine.EdgeStats
+
+// EdgeError is the typed failure a topology run returns when a remote
+// edge exhausted its bounded retries — errors.As it out of Run's error
+// to learn which component lost which nodes.
+type EdgeError = engine.EdgeError
+
 // WindowStateCodec is the optional WindowAggregator extension non-
 // Combiner aggregations need to cross a process boundary: partial
 // accumulators must have a wire form.
@@ -177,9 +197,29 @@ type WindowFinalHost = window.FinalHandler
 
 // NewWindowFinalHost builds the remote-final host for a plan. sources
 // is the number of upstream mark-emitting sources — the partial stage's
-// parallelism in a WindowRemoteFinal topology.
+// parallelism in a WindowRemoteFinal topology, or the partial NODE
+// count in a WindowRemotePartial one.
 func NewWindowFinalHost(plan *WindowPlan, sources int) (*WindowFinalHost, error) {
 	return plan.NewFinalHandler(sources)
+}
+
+// WindowPartialHost hosts a windowed PARTIAL stage behind a TCP
+// worker: tuples accumulate per (key, window), flushes follow the
+// plan's aggregation period, and partials forward — with bounded-
+// backoff retry — to the final nodes. Pass it to ListenNetHandler.
+type WindowPartialHost = window.PartialHandler
+
+// WindowPartialHostOptions configures a hosted partial stage: this
+// node's index, the partial node count, the final node addresses and
+// the shared key→final hash seed.
+type WindowPartialHostOptions = window.PartialHandlerOptions
+
+// NewWindowPartialHost builds the remote-partial host for a plan — the
+// engine room of `pkgnode -mode partial`. The plan must use SourceMark
+// watermarks (WindowSpec.Sources ≥ 1), and the final nodes must be
+// listening (they are dialed here).
+func NewWindowPartialHost(plan *WindowPlan, o WindowPartialHostOptions) (*WindowPartialHost, error) {
+	return plan.NewPartialHandler(o)
 }
 
 // SourceMark returns the control tuple a spout emits to advertise that

@@ -1,16 +1,25 @@
-// A REAL two-process windowed wordcount: this program re-executes
-// itself as a final-stage node (child process), then runs the engine
-// half — spout → PKG partial counters — in the parent, shipping flushed
-// partials and watermarks to the child over the internal/wire TCP
-// protocol. The child merges them, closes windows on the minimum
-// watermark across the partial instances, and the parent drains the
-// closed (word, window) counts back out with point queries and
-// cross-checks them against a fully in-process run: the counts must be
-// identical.
+// A REAL multi-process windowed wordcount: this program re-executes
+// itself as worker nodes (child processes) and cross-checks every
+// deployment shape against a fully in-process run — the counts must be
+// identical each time.
 //
-//	go run ./examples/distributed
+//  1. In-process: spout → PKG partials → final, one process.
 //
-// The same child role is what cmd/pkgnode hosts as a standalone daemon.
+//  2. Remote final: the engine half runs in the parent, shipping
+//     flushed partials and watermarks to a final-stage child over the
+//     internal/wire TCP protocol; results drain back with point
+//     queries.
+//
+//  3. Fully distributed (the paper's §V shape): the parent keeps only
+//     the spouts — raw tuples cross a credit-flow-controlled wire edge
+//     to a PARTIAL-stage child, which accumulates windows and forwards
+//     its partials to the final-stage child; closed windows arrive by
+//     push subscription, no polling.
+//
+//     go run ./examples/distributed
+//
+// The same child roles are what cmd/pkgnode hosts as standalone
+// daemons (-mode partial | final).
 package main
 
 import (
@@ -82,12 +91,13 @@ func buildTopology(opts ...pkgstream.WindowedOption) (*pkgstream.TopologyBuilder
 	return b, plan
 }
 
-// runNode is the CHILD process: a TCP worker hosting the windowed final
-// stage. It prints its address for the parent and serves until the
-// parent closes its stdin (after draining the results).
-func runNode() {
+// runFinalNode is a CHILD process: a TCP worker hosting the windowed
+// final stage for `srcs` upstream mark sources. It prints its address
+// for the parent and serves until the parent closes its stdin (after
+// draining the results).
+func runFinalNode(srcs int) {
 	plan := pkgstream.MustWindowPlan(pkgstream.CountAggregator(), spec())
-	host, err := pkgstream.NewWindowFinalHost(plan, partials)
+	host, err := pkgstream.NewWindowFinalHost(plan, srcs)
 	if err != nil {
 		panic(err)
 	}
@@ -100,14 +110,33 @@ func runNode() {
 	_ = w.Close()
 }
 
-// spawnNode re-executes this binary with -node and reads the child's
-// listen address off its stdout.
-func spawnNode() (addr string, wait func(), err error) {
+// runPartialNode is a CHILD process: a TCP worker hosting the windowed
+// PARTIAL stage, forwarding its flushed state to the final node.
+func runPartialNode(finalAddr string) {
+	plan := pkgstream.MustWindowPlan(pkgstream.CountAggregator(), spec())
+	host, err := pkgstream.NewWindowPartialHost(plan, pkgstream.WindowPartialHostOptions{
+		ID: 0, Nodes: 1, FinalAddrs: []string{finalAddr}, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	w, err := pkgstream.ListenNetHandler("127.0.0.1:0", host)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("node: listening on %s\n", w.Addr())
+	_, _ = bufio.NewReader(os.Stdin).ReadString('\n')
+	_ = w.Close()
+}
+
+// spawnNode re-executes this binary with the given role flags and
+// reads the child's listen address off its stdout.
+func spawnNode(args ...string) (addr string, wait func(), err error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return "", nil, err
 	}
-	cmd := exec.Command(exe, "-node")
+	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	in, err := cmd.StdinPipe()
 	if err != nil {
@@ -135,10 +164,16 @@ func spawnNode() (addr string, wait func(), err error) {
 func key(word string, start int64) string { return fmt.Sprintf("%s@%d", word, start) }
 
 func main() {
-	node := flag.Bool("node", false, "run as the final-stage child process")
+	node := flag.Bool("node", false, "run as a final-stage child process")
+	srcs := flag.Int("sources", partials, "final child: upstream mark sources")
+	partialNode := flag.String("partial-node", "", "run as a partial-stage child forwarding to this final address")
 	flag.Parse()
+	if *partialNode != "" {
+		runPartialNode(*partialNode)
+		return
+	}
 	if *node {
-		runNode()
+		runFinalNode(*srcs)
 		return
 	}
 
@@ -167,7 +202,7 @@ func main() {
 	fmt.Printf("in-process run: %d (word, window) pairs\n", len(local))
 
 	// Distributed run: the final stage lives in a child process.
-	addr, wait, err := spawnNode()
+	addr, wait, err := spawnNode("-node")
 	if err != nil {
 		panic(err)
 	}
@@ -217,6 +252,59 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("exact match: %d pairs, %d words — identical across process boundaries\n\n", len(local), total)
+
+	// Fully distributed run: the PARTIAL stage leaves the parent too.
+	// Spouts feed a credit-flow-controlled wire edge; the partial child
+	// accumulates windows and forwards to its own final child; closed
+	// windows come back by push subscription — three real processes.
+	faddr, waitFinal, err := spawnNode("-node", "-sources", "1")
+	if err != nil {
+		panic(err)
+	}
+	paddr, waitPartial, err := spawnNode("-partial-node", faddr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("spawned partial node %s → final node %s\n", paddr, faddr)
+	fb, _ := buildTopology(pkgstream.WindowRemotePartial(paddr))
+	ftop, err := fb.Build()
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	if err := pkgstream.NewRuntime(ftop, pkgstream.RuntimeOptions{QueueSize: 2048}).Run(); err != nil {
+		panic(err)
+	}
+	pushed, err := pkgstream.NetSubscribeResults(faddr, 30*time.Second)
+	elapsed3 := time.Since(start)
+	if err != nil {
+		panic(err)
+	}
+	waitPartial()
+	waitFinal()
+	full := map[string]int64{}
+	for _, r := range pushed {
+		full[key(r.Key, r.Start)] += r.Value
+	}
+	diffs = 0
+	for k, v := range local {
+		if full[k] != v {
+			diffs++
+		}
+	}
+	for k := range full {
+		if _, ok := local[k]; !ok {
+			diffs++
+		}
+	}
+	fmt.Printf("three-process run: %d pairs pushed back in %v (%.0f words/s spout→wire→partial→final)\n",
+		len(full), elapsed3.Round(time.Millisecond),
+		float64(sources*perSource)/elapsed3.Seconds())
+	if diffs != 0 {
+		fmt.Printf("MISMATCH: %d (word, window) pairs differ in the three-process run\n", diffs)
+		os.Exit(1)
+	}
+	fmt.Printf("exact match again: the full pipeline shape preserves every count\n\n")
 
 	// Show the merged output: top words of the first few windows.
 	starts := make([]int64, 0, len(byWindow))

@@ -1,0 +1,69 @@
+// Package edge unifies every topology hop — the bounded in-process
+// channels of the engine runtime and the TCP tuple path to a remote
+// worker — behind one flow-controlled Edge abstraction. The paper's
+// deployment shape (§V) is fully distributed: spouts, PKG-partial
+// workers and final aggregators on separate machines, with the skewed
+// heavy traffic on the spout→partial *tuple* edge. That edge is only
+// honest when it carries the same backpressure contract as a local
+// channel: a slow receiver must stall the sender, never balloon a TCP
+// buffer or drop.
+//
+// Two implementations:
+//
+//   - Local wraps the engine's bounded batch channels — the PR 1 hot
+//     path, unchanged: Send is one channel operation per batch, and
+//     backpressure is the channel blocking when the receiver lags;
+//   - Wire carries tuples over TCP with credit-based flow control
+//     (wire.Credit / wire.Ack): the sender keeps at most Window
+//     unacknowledged data frames in flight per connection, so a slow
+//     remote worker stalls the upstream spout exactly like a full
+//     local channel does.
+package edge
+
+// Edge is one directed topology hop fanning out to n destination
+// instances. Implementations deliver batches in order per destination
+// and exert backpressure by blocking Send.
+type Edge[T any] interface {
+	// Send delivers one batch to destination instance dst, blocking
+	// while the destination's buffer (Local) or credit window (Wire) is
+	// exhausted — the backpressure signal that stalls the emitter. The
+	// callee takes ownership of the batch slice.
+	Send(dst int, batch []T) error
+	// Watermark broadcasts a source's event-time promise ("source will
+	// never again send below wm") to every destination, after flushing
+	// any buffered data the promise covers. Local edges carry
+	// watermarks in-band as data (the engine's mark tuples), so their
+	// Watermark is a no-op.
+	Watermark(source uint32, wm int64) error
+	// Flush pushes buffered frames toward the destinations (a no-op
+	// for Local, whose Send is unbuffered).
+	Flush() error
+	// Close flushes and releases the sender side of the edge.
+	Close() error
+}
+
+// Stats are the counters of one edge, snapshot-safe while the edge is
+// in use.
+type Stats struct {
+	// Frames counts data batches (Local) or data frames (Wire) sent.
+	Frames int64
+	// Marks counts watermark broadcasts.
+	Marks int64
+	// Stalls counts sends that blocked on an exhausted credit window
+	// (Wire only — the visible form of remote backpressure reaching
+	// the sender).
+	Stalls int64
+	// Retries counts reconnect attempts after send failures.
+	Retries int64
+	// Failures counts operations that exhausted their retries.
+	Failures int64
+}
+
+// Fold accumulates another edge's counters into s.
+func (s *Stats) Fold(x Stats) {
+	s.Frames += x.Frames
+	s.Marks += x.Marks
+	s.Stalls += x.Stalls
+	s.Retries += x.Retries
+	s.Failures += x.Failures
+}

@@ -1,0 +1,352 @@
+package edge
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pkgstream/internal/route"
+	"pkgstream/internal/transport"
+	"pkgstream/internal/wire"
+)
+
+func TestLocalEdgeDelivery(t *testing.T) {
+	e := NewLocal[int](2, 4)
+	if e.Instances() != 2 {
+		t.Fatalf("instances = %d", e.Instances())
+	}
+	if err := e.Send(0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Send(1, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Watermark(0, 99); err != nil {
+		t.Fatal(err) // in-band: no-op, never an error
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e.CloseRecv()
+	var got []int
+	for b := range e.Recv(0) {
+		got = append(got, b...)
+	}
+	for b := range e.Recv(1) {
+		got = append(got, b...)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("received %v", got)
+	}
+}
+
+func TestLocalEdgeSendUnlessDone(t *testing.T) {
+	e := NewLocal[int](1, 1)
+	done := make(chan struct{})
+	if !e.SendUnlessDone(0, []int{1}, done) {
+		t.Fatal("send into empty queue abandoned")
+	}
+	// The queue is full; a closed done channel must win the race.
+	close(done)
+	if e.SendUnlessDone(0, []int{2}, done) {
+		t.Fatal("send into full queue delivered after done")
+	}
+}
+
+// gatedHandler blocks every tuple on the gate — the deliberately slowed
+// worker of the credit-stall regression test.
+type gatedHandler struct {
+	gate    chan struct{}
+	handled atomic.Int64
+}
+
+func (h *gatedHandler) HandleTuple(*wire.Tuple) {
+	<-h.gate
+	h.handled.Add(1)
+}
+func (h *gatedHandler) HandlePartial(*wire.Partial)         {}
+func (h *gatedHandler) HandleMark(wire.Mark)                {}
+func (h *gatedHandler) HandleQuery(q wire.Query) wire.Reply { return wire.Reply{Op: q.Op} }
+
+// TestWireEdgeCreditStall is the flow-control regression gate: a slowed
+// worker must stall the sender at exactly the credit window — bounded
+// in-flight frames, no unbounded buffering, no drops — and everything
+// must drain once the worker resumes.
+func TestWireEdgeCreditStall(t *testing.T) {
+	const window, total = 8, 100
+	h := &gatedHandler{gate: make(chan struct{})}
+	w, err := transport.ListenHandler("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	e, err := DialWire([]string{w.Addr()}, WireOptions{Seed: 7, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	sendErr := make(chan error, 1)
+	go func() {
+		tup := wire.Tuple{}
+		for i := 0; i < total; i++ {
+			tup.KeyHash = uint64(i + 1)
+			if err := e.SendTuple(&tup); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- e.Flush()
+	}()
+
+	// The sender must reach the window and then stall there: with the
+	// worker gated, not one frame beyond the window may leave.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Sent() < window {
+		if time.Now().After(deadline) {
+			t.Fatalf("sender reached only %d/%d frames", e.Sent(), window)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := e.Sent(); got != window {
+		t.Fatalf("gated worker: %d frames in flight, want exactly the window %d", got, window)
+	}
+	select {
+	case err := <-sendErr:
+		t.Fatalf("sender finished while the worker was gated: %v", err)
+	default:
+	}
+
+	// Resume the worker: credits replenish and everything drains.
+	close(h.gate)
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitProcessed(total, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Stalls == 0 {
+		t.Fatal("no stalls recorded — the send path never saw backpressure")
+	}
+	if st.Frames != total {
+		t.Fatalf("frames = %d, want %d", st.Frames, total)
+	}
+	if st.Failures != 0 || st.Retries != 0 {
+		t.Fatalf("unexpected retries/failures: %+v", st)
+	}
+}
+
+// TestWireEdgeRoutesWithinProbeSet: tuples land only on their candidate
+// nodes, and the probe set the edge reports covers them — the property
+// distributed point queries rely on.
+func TestWireEdgeRoutesWithinProbeSet(t *testing.T) {
+	var ws []*transport.Worker
+	var addrs []string
+	for i := 0; i < 4; i++ {
+		w, err := transport.ListenWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		ws = append(ws, w)
+		addrs = append(addrs, w.Addr())
+	}
+	e, err := DialWire(addrs, WireOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const perKey, keys = 50, 20
+	tup := wire.Tuple{}
+	for k := 1; k <= keys; k++ {
+		for i := 0; i < perKey; i++ {
+			tup.KeyHash = uint64(k) * 0x9e3779b97f4a7c15
+			if err := e.SendTuple(&tup); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(perKey * keys)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var sum int64
+		for _, w := range ws {
+			sum += w.Processed()
+		}
+		if sum >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers absorbed %d/%d", sum, total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for k := 1; k <= keys; k++ {
+		key := uint64(k) * 0x9e3779b97f4a7c15
+		cands := e.Candidates(key)
+		if len(cands) != 2 {
+			t.Fatalf("key %d: %d candidates under PKG, want 2", k, len(cands))
+		}
+		inSet := map[int]bool{}
+		for _, c := range cands {
+			inSet[c] = true
+		}
+		var covered int64
+		for i, w := range ws {
+			if c := w.Count(key); c > 0 {
+				if !inSet[i] {
+					t.Fatalf("key %d: %d tuples on node %d outside probe set %v", k, c, i, cands)
+				}
+				covered += c
+			}
+		}
+		if covered != perKey {
+			t.Fatalf("key %d: probe set covers %d/%d tuples", k, covered, perKey)
+		}
+	}
+	if ll := e.LocalLoads(); len(ll) != 4 {
+		t.Fatalf("local loads = %v", ll)
+	}
+}
+
+// TestWireEdgeReconnects: a vanished node is redialed with backoff and
+// the edge keeps delivering — the first slice of node-failure handling.
+func TestWireEdgeReconnects(t *testing.T) {
+	w, err := transport.ListenWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := w.Addr()
+	e, err := DialWire([]string{addr}, WireOptions{Seed: 3, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	tup := wire.Tuple{KeyHash: 11}
+	for i := 0; i < 5; i++ {
+		if err := e.SendTuple(&tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitProcessed(5, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the node, then bring a fresh one up on the same address.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := transport.ListenWorker(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+
+	// A watermark broadcast straddling the restart rides the redial
+	// path too — marks are re-deliverable promises, and a restart
+	// landing between two marks must not kill the edge.
+	if err := e.Watermark(0, 100); err != nil {
+		t.Fatalf("watermark across restart: %v", err)
+	}
+
+	// Sends ride the redial path (the reader marked the connection
+	// broken); everything sent after the restart must reach the new
+	// node.
+	deadline := time.Now().Add(10 * time.Second)
+	sent := int64(0)
+	for w2.Processed() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replacement node absorbed %d frames (edge stats %+v)", w2.Processed(), e.Stats())
+		}
+		if err := e.SendTuple(&tup); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+		if err := e.Flush(); err != nil {
+			// A flush straddling the crash may fail once; the next
+			// SendTuple redials.
+			continue
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := e.Stats(); st.Retries == 0 {
+		t.Fatalf("no retries recorded across a node restart: %+v", st)
+	}
+}
+
+// TestWireEdgeWatermarkOrdering: a watermark broadcast flushes the data
+// it covers first, so the receiver never sees the promise before the
+// tuples.
+func TestWireEdgeWatermarkOrdering(t *testing.T) {
+	h := transport.NewCountHandler()
+	rec := &recordingHandler{inner: h}
+	w, err := transport.ListenHandler("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	e, err := DialWire([]string{w.Addr()}, WireOptions{Seed: 1, ModeSet: true, Mode: route.StrategyKG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tup := wire.Tuple{KeyHash: 5, EmitNanos: 10}
+	for i := 0; i < 3; i++ {
+		if err := e.SendTuple(&tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Watermark(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitProcessed(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.markAt != 3 {
+		t.Fatalf("mark arrived after %d tuples, want 3", rec.markAt)
+	}
+	if st := e.Stats(); st.Marks != 1 {
+		t.Fatalf("marks = %d", st.Marks)
+	}
+}
+
+type recordingHandler struct {
+	inner  transport.Handler
+	mu     sync.Mutex
+	seen   int
+	markAt int
+}
+
+func (r *recordingHandler) HandleTuple(t *wire.Tuple) {
+	r.mu.Lock()
+	r.seen++
+	r.mu.Unlock()
+	r.inner.HandleTuple(t)
+}
+func (r *recordingHandler) HandlePartial(p *wire.Partial) { r.inner.HandlePartial(p) }
+func (r *recordingHandler) HandleMark(m wire.Mark) {
+	r.mu.Lock()
+	r.markAt = r.seen
+	r.mu.Unlock()
+	r.inner.HandleMark(m)
+}
+func (r *recordingHandler) HandleQuery(q wire.Query) wire.Reply { return r.inner.HandleQuery(q) }

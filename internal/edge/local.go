@@ -1,0 +1,78 @@
+package edge
+
+// Local is the in-process Edge: one bounded batch channel per
+// destination instance, exactly the engine runtime's PR 1 hot path.
+// Send is a single channel operation per batch — deliberately nothing
+// else, not even a counter: the engine's emitters already account
+// emits, and an atomic here would tax the BatchSize=1 configuration
+// once per tuple. Backpressure is the channel blocking when the
+// destination's queue is full. Many senders may share one Local (every
+// upstream instance of an engine edge does); the receive side is torn
+// down once by the owner with CloseRecv after all senders are done.
+type Local[T any] struct {
+	chans []chan []T
+}
+
+// NewLocal returns a Local edge to n destination instances, each with a
+// buffer of capacity batches.
+func NewLocal[T any](n, capacity int) *Local[T] {
+	chans := make([]chan []T, n)
+	for i := range chans {
+		chans[i] = make(chan []T, capacity)
+	}
+	return &Local[T]{chans: chans}
+}
+
+// Instances returns the destination instance count.
+func (e *Local[T]) Instances() int { return len(e.chans) }
+
+// Send implements Edge: one blocking channel send. It never fails.
+func (e *Local[T]) Send(dst int, batch []T) error {
+	e.chans[dst] <- batch
+	return nil
+}
+
+// SendUnlessDone is Send abandoned when done closes first — for timer
+// goroutines that must never block on an edge whose receivers already
+// finished. It reports whether the batch was delivered.
+func (e *Local[T]) SendUnlessDone(dst int, batch []T, done <-chan struct{}) bool {
+	select {
+	case e.chans[dst] <- batch:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// Watermark implements Edge. Local topologies carry watermarks in-band
+// as data (the engine's mark tuples broadcast by their grouping), so
+// there is nothing separate to send.
+func (e *Local[T]) Watermark(uint32, int64) error { return nil }
+
+// Flush implements Edge: Send is unbuffered on top of the channel, so
+// there is nothing to flush.
+func (e *Local[T]) Flush() error { return nil }
+
+// Close implements Edge. The sender side holds no resources; the
+// receive side is closed separately (CloseRecv) once ALL senders are
+// done, which is the owner's call to make, not any single sender's.
+func (e *Local[T]) Close() error { return nil }
+
+// Recv returns the receive channel of destination instance dst; it
+// yields batches until CloseRecv.
+func (e *Local[T]) Recv(dst int) <-chan []T { return e.chans[dst] }
+
+// Chans exposes the raw destination channels — the devirtualized view
+// of this edge for a send loop hot enough that even an interface call
+// per batch shows up (the engine's BatchSize=1 configuration sends one
+// batch per tuple). `e.Chans()[dst] <- batch` IS e.Send(dst, batch);
+// nothing else may be done with the slice.
+func (e *Local[T]) Chans() []chan []T { return e.chans }
+
+// CloseRecv closes every destination channel. Call exactly once, after
+// all senders have finished.
+func (e *Local[T]) CloseRecv() {
+	for _, ch := range e.chans {
+		close(ch)
+	}
+}

@@ -1,0 +1,418 @@
+package edge
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pkgstream/internal/hotkey"
+	"pkgstream/internal/route"
+	"pkgstream/internal/wire"
+)
+
+// WireOptions parameterizes DialWire. The zero value of every field
+// except Seed picks sensible defaults (PKG routing, the paper's two
+// choices, a 1024-frame credit window).
+type WireOptions struct {
+	// Mode is the routing strategy over the destination nodes. The zero
+	// value selects PKG (StrategyKG is never a useful default for a
+	// tuple edge; ask for it explicitly via ModeSet).
+	Mode route.Strategy
+	// ModeSet forces Mode to be honored verbatim, so StrategyKG (whose
+	// value is 0, indistinguishable from "unset") is reachable.
+	ModeSet bool
+	// Seed derives the candidate hash functions; it must match across
+	// every sender of one stream.
+	Seed uint64
+	// Start decorrelates shuffle round-robins of parallel senders.
+	Start int
+	// D is the candidate count for PKG (0: the paper's 2) and the
+	// fixed hot width for D-Choices.
+	D int
+	// Hot carries the hot-key classification knobs for the
+	// frequency-aware modes.
+	Hot hotkey.Config
+	// Window is the credit window per connection: the maximum number
+	// of unacknowledged data frames kept in flight (default 1024).
+	// Reaching it stalls Send until the worker's cumulative Ack
+	// catches up — remote backpressure with bounded buffering.
+	Window int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+// wireConn is one flow-controlled connection of a Wire edge. The
+// sending goroutine owns conn writes and the buffered writer; a
+// dedicated reader goroutine consumes Ack frames and wakes blocked
+// senders through cond.
+type wireConn struct {
+	conn net.Conn
+	w    *bufio.Writer
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	sent  int64 // data frames written (possibly still buffered)
+	acked int64 // cumulative absorbed count from worker Acks
+	err   error // sticky: reader saw a broken connection
+}
+
+// Wire is the TCP Edge: tuples routed over the destination nodes by a
+// coordination-free router (the same per-source load estimate and
+// hot-key sketch the in-process groupings use — nothing but keys
+// crosses the wire), with credit-based flow control per connection. A
+// Wire belongs to a single sending goroutine, like an engine grouping;
+// Stats may be read from anywhere.
+type Wire struct {
+	addrs  []string
+	opts   WireOptions
+	part   route.Router
+	view   *route.Load
+	cs     []*wireConn
+	window int64
+
+	scratch []byte
+
+	frames   atomic.Int64
+	marks    atomic.Int64
+	stalls   atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+}
+
+var _ Edge[wire.Tuple] = (*Wire)(nil)
+
+// SendAttempts bounds delivery attempts per frame: the first try plus
+// three redial-and-resend rounds with doubling backoff (~175ms total),
+// enough to ride out a node restart without masking a dead peer for
+// long. Exported so callers that wrap edge failures (the window
+// forwarders' EdgeError) report the count this edge actually used.
+const SendAttempts = 4
+
+// DialWire connects a flow-controlled tuple edge to the given node
+// addresses. Each connection opens with a wire.Credit frame declaring
+// the window, and a reader goroutine consumes the worker's cumulative
+// Acks; SendTuple then blocks whenever a connection has Window
+// unacknowledged frames in flight.
+func DialWire(addrs []string, o WireOptions) (*Wire, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("edge: no node addresses")
+	}
+	if o.Mode == 0 && !o.ModeSet {
+		o.Mode = route.StrategyPKG
+	}
+	if o.Window <= 0 {
+		o.Window = 1024
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	w := &Wire{addrs: addrs, opts: o, window: int64(o.Window)}
+	n := len(addrs)
+	cfg := route.Config{
+		Strategy: o.Mode, Workers: n, Seed: o.Seed, Start: o.Start,
+		D: o.D, Hot: o.Hot,
+	}
+	if o.Mode == route.StrategyPKG && cfg.D == 0 {
+		cfg.D = 2
+	}
+	if cfg.D > n {
+		cfg.D = n
+	}
+	if o.Mode.NeedsView() {
+		w.view = route.NewLoad(n)
+		cfg.View = w.view
+	}
+	part, err := route.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("edge: %w", err)
+	}
+	w.part = part
+	for i, a := range addrs {
+		if err := w.connect(i, a); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// connect (re)establishes connection i and opens its credit session.
+func (w *Wire) connect(i int, addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, w.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("edge: dial %s: %w", addr, err)
+	}
+	c := &wireConn{conn: conn, w: bufio.NewWriterSize(conn, 1<<16)}
+	c.cond = sync.NewCond(&c.mu)
+	// A dedicated buffer: connect runs inside sendFrame's retry path,
+	// whose frame argument may alias w.scratch.
+	credit := wire.AppendCredit(nil, wire.Credit{Window: w.window})
+	if _, err := c.w.Write(credit); err != nil {
+		conn.Close()
+		return fmt.Errorf("edge: credit to %s: %w", addr, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		conn.Close()
+		return fmt.Errorf("edge: credit to %s: %w", addr, err)
+	}
+	for len(w.cs) <= i {
+		w.cs = append(w.cs, nil)
+	}
+	w.cs[i] = c
+	go w.readAcks(c)
+	return nil
+}
+
+// readAcks consumes the worker's cumulative Ack frames, replenishing
+// the connection's credit. It exits when the connection breaks (the
+// sticky error wakes and fails any blocked sender).
+func (w *Wire) readAcks(c *wireConn) {
+	r := bufio.NewReaderSize(c.conn, 1<<12)
+	var buf []byte
+	for {
+		kind, payload, err := wire.ReadFrame(r, buf)
+		if err != nil {
+			c.mu.Lock()
+			if c.err == nil {
+				c.err = fmt.Errorf("edge: connection lost: %w", err)
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		buf = payload
+		if kind != wire.KindAck {
+			continue // tolerate unexpected control frames
+		}
+		a, err := wire.DecodeAck(payload)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if a.Count > c.acked {
+			c.acked = a.Count
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	}
+}
+
+// acquire claims one credit on connection i, blocking while the window
+// is exhausted. It flushes the connection's buffered frames before
+// waiting — the worker can only ack what has actually reached it.
+func (w *Wire) acquire(c *wireConn) error {
+	c.mu.Lock()
+	if c.err == nil && c.sent-c.acked >= w.window {
+		w.stalls.Add(1)
+		// Everything buffered must be on the wire before blocking, or
+		// the worker can never drain and the stall never ends.
+		c.mu.Unlock()
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		for c.err == nil && c.sent-c.acked >= w.window {
+			c.cond.Wait()
+		}
+	}
+	err := c.err
+	if err == nil {
+		c.sent++
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Route returns the destination node SendTuple would pick for key,
+// without sending (candidate derivation for tests and probes).
+func (w *Wire) Route(key uint64) int { return w.part.Route(key) }
+
+// SendTuple routes one tuple by its KeyHash and ships it under credit
+// flow control — the per-tuple form the engine's remote-partial
+// forwarder drives. On a broken connection it redials the destination
+// with bounded backoff (the credit session restarts from zero) before
+// giving up.
+func (w *Wire) SendTuple(t *wire.Tuple) error {
+	dst := w.part.Route(t.KeyHash)
+	if w.view != nil {
+		w.view.Add(dst)
+	}
+	var err error
+	w.scratch, err = wire.AppendTuple(w.scratch[:0], t)
+	if err != nil {
+		return err
+	}
+	return w.sendFrame(dst, w.scratch)
+}
+
+// Send implements Edge: the caller has already routed the batch to
+// dst, so the edge charges its own load view for the whole batch and
+// ships frame by frame — each tuple consumes one credit, and a batch
+// may stall mid-way when the window exhausts (per-destination FIFO is
+// preserved; the remainder follows once credit returns).
+func (w *Wire) Send(dst int, batch []wire.Tuple) error {
+	if w.view != nil {
+		for range batch {
+			w.view.Add(dst)
+		}
+	}
+	for i := range batch {
+		var err error
+		w.scratch, err = wire.AppendTuple(w.scratch[:0], &batch[i])
+		if err != nil {
+			return err
+		}
+		if err := w.sendFrame(dst, w.scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withRedial runs op against dst's connection, redialing with bounded
+// backoff and re-running op on each fresh connection until it succeeds
+// or SendAttempts is exhausted. Frames already in flight on a dead
+// connection may or may not have been absorbed — reconnecting is
+// at-least-once for the operation being retried and best-effort for
+// the buffered tail, which is the honest contract when the peer
+// process vanished mid-stream.
+func (w *Wire) withRedial(dst int, op func(c *wireConn) error) error {
+	err := op(w.cs[dst])
+	if err == nil {
+		return nil
+	}
+	backoff := 25 * time.Millisecond
+	for attempt := 1; attempt < SendAttempts; attempt++ {
+		w.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+		w.cs[dst].conn.Close()
+		if derr := w.connect(dst, w.addrs[dst]); derr != nil {
+			err = derr
+			continue
+		}
+		if err = op(w.cs[dst]); err == nil {
+			return nil
+		}
+	}
+	w.failures.Add(1)
+	return err
+}
+
+// sendFrame ships one encoded data frame to dst under flow control,
+// riding the redial path when the connection is gone (the credit
+// session restarts from zero on a fresh connection).
+func (w *Wire) sendFrame(dst int, frame []byte) error {
+	err := w.withRedial(dst, func(c *wireConn) error {
+		if err := w.acquire(c); err != nil {
+			return err
+		}
+		_, err := c.w.Write(frame)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("edge: node %d (%s) unreachable after retries: %w", dst, w.addrs[dst], err)
+	}
+	w.frames.Add(1)
+	return nil
+}
+
+// Watermark implements Edge: buffered data is flushed first so the
+// promise arrives after everything it covers, then the mark broadcasts
+// to every node. Marks are control traffic and consume no credit, but
+// they ride the same redial path as data — a node restart that lands
+// on a mark relay (spouts emit marks every few hundred tuples, so many
+// restarts do) must not kill an edge whose tuple path would survive it.
+func (w *Wire) Watermark(source uint32, wm int64) error {
+	w.scratch = wire.AppendMark(w.scratch[:0], wire.Mark{Source: source, WM: wm})
+	for i := range w.cs {
+		if err := w.markConn(i, w.scratch); err != nil {
+			return err
+		}
+	}
+	w.marks.Add(1)
+	return nil
+}
+
+// markConn flushes connection dst's buffered data and writes one mark
+// frame behind it, riding the redial path when the connection is gone.
+// Data buffered on a dead connection is lost with it; the mark — a
+// monotone promise, safe to re-deliver — goes out on the fresh
+// connection.
+func (w *Wire) markConn(dst int, frame []byte) error {
+	err := w.withRedial(dst, func(c *wireConn) error {
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		if _, err := c.w.Write(frame); err != nil {
+			return err
+		}
+		return c.w.Flush()
+	})
+	if err != nil {
+		return fmt.Errorf("edge: mark to node %d (%s) failed after retries: %w", dst, w.addrs[dst], err)
+	}
+	return nil
+}
+
+// Flush implements Edge: every connection's buffered frames go out.
+func (w *Wire) Flush() error {
+	for i, c := range w.cs {
+		if err := c.w.Flush(); err != nil {
+			return fmt.Errorf("edge: flush node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close implements Edge: flush and close every connection (their
+// reader goroutines exit on the close).
+func (w *Wire) Close() error {
+	var first error
+	for _, c := range w.cs {
+		if c == nil {
+			continue
+		}
+		if err := c.w.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := c.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Candidates returns the key's candidate nodes under this edge's
+// router — the probe set point queries must cover (widened for hot
+// keys under the frequency-aware modes, exactly as transport sources
+// report it).
+func (w *Wire) Candidates(key uint64) []int {
+	return route.ProbeSet(w.part, key)
+}
+
+// LocalLoads returns the edge's local load estimate (nil for KG/SG).
+func (w *Wire) LocalLoads() []int64 {
+	if w.view == nil {
+		return nil
+	}
+	return w.view.Snapshot()
+}
+
+// Sent returns the number of data frames sent.
+func (w *Wire) Sent() int64 { return w.frames.Load() }
+
+// Stats snapshots the edge counters.
+func (w *Wire) Stats() Stats {
+	return Stats{
+		Frames:   w.frames.Load(),
+		Marks:    w.marks.Load(),
+		Stalls:   w.stalls.Load(),
+		Retries:  w.retries.Load(),
+		Failures: w.failures.Load(),
+	}
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"fmt"
+
+	"pkgstream/internal/hotkey"
+	"pkgstream/internal/route"
+)
+
+// EdgeError is the typed failure of a remote topology edge: a forwarder
+// exhausted its bounded retries against a node and broke its instance.
+// It survives the runtime's panic recovery intact, so Run callers can
+// pull it out with errors.As and learn WHICH node of WHICH component
+// died — the difference between "the topology failed" and an actionable
+// node-failure report.
+type EdgeError struct {
+	// Component is the forwarding component ("wc.partial", "wc").
+	Component string
+	// Addr is the unreachable node address.
+	Addr string
+	// Attempts is the number of delivery attempts made.
+	Attempts int
+	// Err is the final underlying error.
+	Err error
+}
+
+// Error implements error.
+func (e *EdgeError) Error() string {
+	return fmt.Sprintf("engine: edge %s → %s failed after %d attempts: %v",
+		e.Component, e.Addr, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *EdgeError) Unwrap() error { return e.Err }
+
+// RemotePartialConfig parameterizes the spout→remote-partial tuple
+// edge of a RemotePartial aggregation.
+type RemotePartialConfig struct {
+	// Addrs are the partial node addresses (required).
+	Addrs []string
+	// Strategy routes tuples over the nodes: PKG by default, or
+	// D-Choices / W-Choices to widen hot keys with the forwarder's own
+	// per-source sketch (nothing but keys crosses the wire, exactly as
+	// with in-process groupings).
+	Strategy route.Strategy
+	// StrategySet forces Strategy to be honored verbatim (so KG, whose
+	// value is the zero Strategy, is expressible).
+	StrategySet bool
+	// D is the candidate count for PKG (0: the paper's 2).
+	D int
+	// Hot carries the hot-key knobs for the frequency-aware strategies.
+	Hot hotkey.Config
+	// Window is the credit window per node connection in data frames
+	// (0: the edge default, 1024). Reaching it stalls the forwarder —
+	// and through the engine's bounded queues, the spout — until the
+	// node acks: end-to-end backpressure across the process boundary.
+	Window int
+}
+
+// RemotePartialOp is the optional WindowedOp extension behind the
+// RemotePartial option: ops that can run their partial stage on remote
+// nodes return a forwarder-bolt factory shipping raw tuples over a
+// flow-controlled wire edge. Implemented by internal/window.Plan.
+type RemotePartialOp interface {
+	WindowedOp
+	// NewRemotePartial returns the factory for the tuple forwarder
+	// replacing the in-process partial stage; seed derives the edge's
+	// candidate hash functions.
+	NewRemotePartial(cfg RemotePartialConfig, seed uint64) (func() Bolt, error)
+}
+
+// RemotePartial runs the aggregation's PARTIAL stage on remote nodes:
+// the local component named name+".partial" becomes a forwarder that
+// ships raw tuples to the given addresses over a credit-flow-controlled
+// wire edge (PKG-routed by default), and the remote nodes — pkgnode
+// -mode partial, hosting window.PartialHandler — accumulate, flush and
+// forward partials to their configured final nodes. No final stage runs
+// locally; results materialize at the final nodes (drain them with
+// transport.SubscribeResults or DrainResults). A slow or stalled
+// partial node exhausts the edge's credit window, which blocks the
+// forwarder, fills its bounded input queue, and stalls the spout —
+// exactly the backpressure chain a local channel provides. The op must
+// implement RemotePartialOp and use SourceMark watermarks
+// (Spec.Sources ≥ 1): stream end is signalled by final marks, not by a
+// channel close, across a process boundary.
+func RemotePartial(addrs ...string) WindowedOption {
+	return RemotePartialOpts(RemotePartialConfig{Addrs: addrs})
+}
+
+// RemotePartialOpts is RemotePartial with explicit edge knobs (routing
+// strategy, hot-key widening, credit window).
+func RemotePartialOpts(cfg RemotePartialConfig) WindowedOption {
+	return func(c *windowedCfg) { c.remotePartial = &cfg }
+}

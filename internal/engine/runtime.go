@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pkgstream/internal/edge"
 	"pkgstream/internal/hash"
 	"pkgstream/internal/hotkey"
 )
@@ -92,6 +93,21 @@ type HotkeyStatsSource interface {
 	HotkeyStats() (HotkeyStats, bool)
 }
 
+// EdgeStats are the counters of one flow-controlled edge (see
+// internal/edge): frames shipped, watermark broadcasts, credit stalls
+// (the visible form of remote backpressure reaching this process), and
+// the retry/failure tally of the reconnect path. Aliased so engine
+// consumers need not import internal/edge separately.
+type EdgeStats = edge.Stats
+
+// EdgeStatsSource is implemented by bolts that drive a remote edge (the
+// window subsystem's forwarders). The runtime snapshots every instance
+// that implements it into Stats.Edges; implementations must be safe to
+// read while the topology runs.
+type EdgeStatsSource interface {
+	EdgeStats() EdgeStats
+}
+
 // Stats is a snapshot of per-instance counters, keyed by component name.
 type Stats struct {
 	PerInstance map[string][]InstanceStats
@@ -102,6 +118,10 @@ type Stats struct {
 	// frequency-aware edge, keyed "from→to" (one slice entry per
 	// emitting instance of the upstream component).
 	Hotkeys map[string][]HotkeyStats
+	// Edges holds the per-instance remote-edge counters of components
+	// whose bolts implement EdgeStatsSource (the forwarders of
+	// RemotePartial / RemoteFinal topologies).
+	Edges map[string][]EdgeStats
 }
 
 // Loads returns the executed-tuple counts of a component's instances —
@@ -161,6 +181,16 @@ func (s Stats) HotkeyTotals(edge string) HotkeyStats {
 	return t
 }
 
+// EdgeTotals folds a component's per-instance remote-edge counters
+// into one summary (see edge.Stats.Fold).
+func (s Stats) EdgeTotals(component string) EdgeStats {
+	var t EdgeStats
+	for _, e := range s.Edges[component] {
+		t.Fold(e)
+	}
+	return t
+}
+
 // Imbalance returns max − avg of a component's executed counts.
 func (s Stats) Imbalance(component string) float64 {
 	loads := s.Loads(component)
@@ -192,13 +222,14 @@ type Runtime struct {
 
 	stats map[string][]*instStats
 
-	// winMu guards winSrc and hkSrc: bolt instances and edge groupings
-	// register themselves as stats sources when they are created
-	// (instances start concurrently and Stats may be called while the
-	// topology runs).
-	winMu  sync.Mutex
-	winSrc map[string][]WindowStatsSource
-	hkSrc  map[string][]HotkeyStatsSource
+	// winMu guards winSrc, hkSrc and edgeSrc: bolt instances and edge
+	// groupings register themselves as stats sources when they are
+	// created (instances start concurrently and Stats may be called
+	// while the topology runs).
+	winMu   sync.Mutex
+	winSrc  map[string][]WindowStatsSource
+	hkSrc   map[string][]HotkeyStatsSource
+	edgeSrc map[string][]EdgeStatsSource
 
 	mu       sync.Mutex
 	firstErr error
@@ -219,8 +250,9 @@ func NewRuntime(top *Topology, opts Options) *Runtime {
 		opts.BatchSize = opts.QueueSize
 	}
 	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{},
-		winSrc: map[string][]WindowStatsSource{},
-		hkSrc:  map[string][]HotkeyStatsSource{}}
+		winSrc:  map[string][]WindowStatsSource{},
+		hkSrc:   map[string][]HotkeyStatsSource{},
+		edgeSrc: map[string][]EdgeStatsSource{}}
 	for _, s := range top.spouts {
 		r.stats[s.name] = newInstStats(s.parallelism)
 	}
@@ -242,7 +274,8 @@ func newInstStats(n int) []*instStats {
 // while the topology runs (counters are read atomically) or after Run.
 func (r *Runtime) Stats() Stats {
 	snap := Stats{PerInstance: map[string][]InstanceStats{},
-		Windows: map[string][]WindowStats{}, Hotkeys: map[string][]HotkeyStats{}}
+		Windows: map[string][]WindowStats{}, Hotkeys: map[string][]HotkeyStats{},
+		Edges: map[string][]EdgeStats{}}
 	for name, insts := range r.stats {
 		out := make([]InstanceStats, len(insts))
 		for i, st := range insts {
@@ -263,14 +296,23 @@ func (r *Runtime) Stats() Stats {
 		}
 		snap.Windows[name] = out
 	}
-	for edge, srcs := range r.hkSrc {
+	for edgeName, srcs := range r.hkSrc {
 		out := make([]HotkeyStats, len(srcs))
 		for i, src := range srcs {
 			if src != nil {
 				out[i], _ = src.HotkeyStats()
 			}
 		}
-		snap.Hotkeys[edge] = out
+		snap.Hotkeys[edgeName] = out
+	}
+	for name, srcs := range r.edgeSrc {
+		out := make([]EdgeStats, len(srcs))
+		for i, src := range srcs {
+			if src != nil {
+				out[i] = src.EdgeStats()
+			}
+		}
+		snap.Edges[name] = out
 	}
 	r.winMu.Unlock()
 	return snap
@@ -289,16 +331,27 @@ func (r *Runtime) registerWindowSource(component string, index, parallelism int,
 
 // registerHotkeySource records a frequency-aware edge grouping (one per
 // emitting instance), so Stats can snapshot its hot-key counters.
-func (r *Runtime) registerHotkeySource(edge string, index, parallelism int, src HotkeyStatsSource) {
+func (r *Runtime) registerHotkeySource(edgeName string, index, parallelism int, src HotkeyStatsSource) {
 	if _, ok := src.HotkeyStats(); !ok {
 		return // a plain router edge: nothing to report
 	}
 	r.winMu.Lock()
 	defer r.winMu.Unlock()
-	if r.hkSrc[edge] == nil {
-		r.hkSrc[edge] = make([]HotkeyStatsSource, parallelism)
+	if r.hkSrc[edgeName] == nil {
+		r.hkSrc[edgeName] = make([]HotkeyStatsSource, parallelism)
 	}
-	r.hkSrc[edge][index] = src
+	r.hkSrc[edgeName][index] = src
+}
+
+// registerEdgeSource records a bolt instance that drives a remote edge,
+// so Stats can snapshot its flow-control counters.
+func (r *Runtime) registerEdgeSource(component string, index, parallelism int, src EdgeStatsSource) {
+	r.winMu.Lock()
+	defer r.winMu.Unlock()
+	if r.edgeSrc[component] == nil {
+		r.edgeSrc[component] = make([]EdgeStatsSource, parallelism)
+	}
+	r.edgeSrc[component][index] = src
 }
 
 func (r *Runtime) recordErr(err error) {
@@ -309,13 +362,52 @@ func (r *Runtime) recordErr(err error) {
 	}
 }
 
+// instanceErr converts a recovered panic value into the instance's
+// topology error. Panic values that are themselves errors are wrapped
+// (not stringified), so typed failures — a remote forwarder's
+// *EdgeError after exhausted retries — survive to the Run caller's
+// errors.As.
+func instanceErr(kind, name string, index int, p any) error {
+	if err, ok := p.(error); ok {
+		return fmt.Errorf("engine: %s %s[%d] failed: %w", kind, name, index, err)
+	}
+	return fmt.Errorf("engine: %s %s[%d] panicked: %v", kind, name, index, p)
+}
+
 // subscription is one downstream edge of an emitting instance. Routed
 // tuples accumulate in a per-destination buffer and move downstream a
-// batch at a time.
+// batch at a time through the edge abstraction — in-process topologies
+// wire an edge.Local here (one bounded channel per destination, the
+// unchanged PR 1 hot path: the interface costs one virtual call per
+// BATCH, not per tuple).
 type subscription struct {
+	out edge.Edge[Tuple]
+	// chans is the devirtualized view of a local edge (nil for any
+	// other Edge implementation): at BatchSize 1 the interface call
+	// per batch is an interface call per TUPLE, so the hot loop sends
+	// straight into the channel when it can. Today Run wires ONLY
+	// Local edges into subscriptions — remote hops ride forwarder
+	// bolts (window.tupleForwarder/remoteFinal), which own their Wire
+	// edge directly — so the interface branch below is the seam for a
+	// future non-Local subscription edge, not a path the current
+	// runtime exercises.
 	chans []chan []Tuple
+	n     int // destination parallelism
 	group Grouping
 	bufs  [][]Tuple
+}
+
+// send moves one batch through the subscription's edge. A Send that
+// fails breaks the emitting instance (the panic is caught by the
+// instance guard); Local edges never fail.
+func (s *subscription) send(dst int, batch []Tuple) {
+	if s.chans != nil {
+		s.chans[dst] <- batch
+		return
+	}
+	if err := s.out.Send(dst, batch); err != nil {
+		panic(err)
+	}
 }
 
 // emitter routes the tuples of one instance. stamp is true for spouts,
@@ -361,7 +453,7 @@ func (e *emitter) Emit(t Tuple) {
 		s := &e.subs[i]
 		dst := s.group.Select(t)
 		if dst == BroadcastAll {
-			for d := range s.chans {
+			for d := 0; d < s.n; d++ {
 				e.push(s, d, t)
 			}
 			continue
@@ -374,7 +466,10 @@ func (e *emitter) Emit(t Tuple) {
 // downstream when it reaches the flush threshold. Ticks flush the
 // destination immediately (after any buffered data, preserving edge
 // FIFO) so forwarded timer signals are never delayed behind a partial
-// batch.
+// batch. A Send that blocks IS the backpressure signal — local edges
+// block on a full channel, wire edges on an exhausted credit window —
+// and a Send that fails breaks the emitting instance (the panic is
+// caught by the instance guard and surfaces as the topology error).
 func (e *emitter) push(s *subscription, dst int, t Tuple) {
 	buf := s.bufs[dst]
 	if buf == nil {
@@ -382,7 +477,7 @@ func (e *emitter) push(s *subscription, dst int, t Tuple) {
 	}
 	buf = append(buf, t)
 	if len(buf) >= e.batch || t.Tick {
-		s.chans[dst] <- buf
+		s.send(dst, buf)
 		buf = nil
 	}
 	s.bufs[dst] = buf
@@ -401,7 +496,7 @@ func (e *emitter) Flush() {
 		s := &e.subs[i]
 		for d, buf := range s.bufs {
 			if len(buf) > 0 {
-				s.chans[d] <- buf
+				s.send(d, buf)
 				s.bufs[d] = nil
 			}
 		}
@@ -414,20 +509,16 @@ func (e *emitter) Flush() {
 func (r *Runtime) Run() error {
 	top := r.top
 
-	// Input channels per bolt instance. Channels carry batches; the
-	// capacity is the tuple budget divided by the batch size, so
+	// One local edge per bolt: a bounded batch channel per instance.
+	// The capacity is the tuple budget divided by the batch size, so
 	// QueueSize keeps meaning "about this many buffered tuples".
 	qcap := r.opts.QueueSize / r.opts.BatchSize
 	if qcap < 1 {
 		qcap = 1
 	}
-	chans := map[string][]chan []Tuple{}
+	edges := map[string]*edge.Local[Tuple]{}
 	for _, b := range top.bolts {
-		cs := make([]chan []Tuple, b.parallelism)
-		for i := range cs {
-			cs[i] = make(chan []Tuple, qcap)
-		}
-		chans[b.name] = cs
+		edges[b.name] = edge.NewLocal[Tuple](b.parallelism, qcap)
 	}
 
 	// Upstream sender counts per bolt: when all senders (upstream
@@ -481,18 +572,17 @@ func (r *Runtime) Run() error {
 		if b.tickEvery > 0 {
 			closerWG.Add(1)
 			tickers.Add(1)
-			go r.runTicker(b, chans[b.name], realDone[b.name], closerWG, &tickers)
+			go r.runTicker(b, edges[b.name], realDone[b.name], closerWG, &tickers)
 		}
 	}
-	// Channel closers: wait for real senders + ticker, then close.
+	// Edge closers: wait for real senders + ticker, then close the
+	// receive side.
 	for _, b := range top.bolts {
 		b := b
 		go func() {
 			senders[b.name].Wait()
 			closers[b.name].Wait()
-			for _, ch := range chans[b.name] {
-				close(ch)
-			}
+			edges[b.name].CloseRecv()
 		}()
 	}
 
@@ -512,7 +602,9 @@ func (r *Runtime) Run() error {
 					r.registerHotkeySource(comp+"→"+dst.name, index, parallelism[comp], hs)
 				}
 				em.subs = append(em.subs, subscription{
-					chans: chans[dst.name],
+					out:   edges[dst.name],
+					chans: edges[dst.name].Chans(),
+					n:     dst.parallelism,
 					group: group,
 					bufs:  make([][]Tuple, dst.parallelism),
 				})
@@ -540,7 +632,7 @@ func (r *Runtime) Run() error {
 						}
 					}
 				}()
-				r.runBolt(b, i, chans[b.name][i], newEmitter(b.name, i, false))
+				r.runBolt(b, i, edges[b.name].Recv(i), newEmitter(b.name, i, false))
 			}()
 		}
 	}
@@ -574,7 +666,7 @@ func (r *Runtime) Run() error {
 	return r.firstErr
 }
 
-func (r *Runtime) runTicker(b boltDecl, chans []chan []Tuple, done <-chan struct{},
+func (r *Runtime) runTicker(b boltDecl, e *edge.Local[Tuple], done <-chan struct{},
 	closerWG, tickers *sync.WaitGroup) {
 	defer tickers.Done()
 	defer closerWG.Done()
@@ -585,12 +677,10 @@ func (r *Runtime) runTicker(b boltDecl, chans []chan []Tuple, done <-chan struct
 		case <-done:
 			return
 		case <-ticker.C:
-			for _, ch := range chans {
+			for i := 0; i < e.Instances(); i++ {
 				// Ticks are timing signals: each ships immediately as its
 				// own singleton batch instead of waiting behind data.
-				select {
-				case ch <- []Tuple{{Tick: true}}:
-				case <-done:
+				if !e.SendUnlessDone(i, []Tuple{{Tick: true}}, done) {
 					return
 				}
 			}
@@ -602,7 +692,7 @@ func (r *Runtime) runSpout(decl spoutDecl, index int, em *emitter) {
 	defer em.Flush() // registered first so it runs after the recover below
 	defer func() {
 		if p := recover(); p != nil {
-			r.recordErr(fmt.Errorf("engine: spout %s[%d] panicked: %v", decl.name, index, p))
+			r.recordErr(instanceErr("spout", decl.name, index, p))
 		}
 	}()
 	sp := decl.factory()
@@ -620,6 +710,9 @@ func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan []Tuple, em *emitt
 	if src, ok := bolt.(WindowStatsSource); ok {
 		r.registerWindowSource(decl.name, index, decl.parallelism, src)
 	}
+	if src, ok := bolt.(EdgeStatsSource); ok {
+		r.registerEdgeSource(decl.name, index, decl.parallelism, src)
+	}
 	ctx := &Context{Topology: r.top.name, Component: decl.name, Index: index, Parallelism: decl.parallelism}
 
 	broken := false
@@ -627,7 +720,7 @@ func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan []Tuple, em *emitt
 		defer func() {
 			if p := recover(); p != nil {
 				broken = true
-				r.recordErr(fmt.Errorf("engine: bolt %s[%d] panicked: %v", decl.name, index, p))
+				r.recordErr(instanceErr("bolt", decl.name, index, p))
 			}
 		}()
 		f()
@@ -659,7 +752,7 @@ func (r *Runtime) execBatch(bolt Bolt, batch []Tuple, em *emitter, st *instStats
 		}
 		if p := recover(); p != nil {
 			*broken = true
-			r.recordErr(fmt.Errorf("engine: bolt %s[%d] panicked: %v", name, index, p))
+			r.recordErr(instanceErr("bolt", name, index, p))
 		}
 	}()
 	for _, t := range batch {

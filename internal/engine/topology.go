@@ -261,7 +261,8 @@ type RemoteWindowedOp interface {
 type WindowedOption func(*windowedCfg)
 
 type windowedCfg struct {
-	remote []string
+	remote        []string
+	remotePartial *RemotePartialConfig
 }
 
 // RemoteFinal replaces the aggregation's in-process final stage with a
@@ -291,6 +292,30 @@ func (b *Builder) WindowedAggregate(name string, op WindowedOp, parallelism int,
 	var cfg windowedCfg
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.remotePartial != nil {
+		if len(cfg.remote) > 0 {
+			b.errs = append(b.errs, fmt.Errorf(
+				"engine: windowed aggregate %q: RemotePartial and RemoteFinal are exclusive (partial nodes forward to their own finals)", name))
+			return &BoltDecl{b: b}
+		}
+		rop, ok := op.(RemotePartialOp)
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf(
+				"engine: windowed aggregate %q: op %T cannot run its partial stage remotely", name, op))
+			return &BoltDecl{b: b}
+		}
+		factory, err := rop.NewRemotePartial(*cfg.remotePartial, b.seed)
+		if err != nil {
+			b.errs = append(b.errs, fmt.Errorf("engine: windowed aggregate %q: %w", name, err))
+			return &BoltDecl{b: b}
+		}
+		// One forwarder funnel: the flow-controlled, PKG-routed hop to
+		// the partial nodes happens inside it on ONE per-source load
+		// view and sketch, so node count and the declared parallelism
+		// stay independent. No timer ticks: flush cadence is the partial
+		// nodes' business now.
+		return b.AddBolt(name+".partial", factory, 1)
 	}
 	partial := b.AddBolt(name+".partial", op.NewPartial, parallelism)
 	if d := op.TickEvery(); d > 0 {

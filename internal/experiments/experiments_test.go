@@ -380,12 +380,21 @@ func TestPipelineExactMatch(t *testing.T) {
 		}
 		t.Fatal("remote-final counts differ from the in-process engine")
 	}
+	if !res.match3 {
+		for _, tb := range res.tables {
+			t.Log(tb.String())
+		}
+		t.Fatal("remote-partial counts differ from the in-process engine")
+	}
 	if res.local.pairs == 0 || res.local.total == 0 {
 		t.Fatalf("degenerate run: %+v", res.local)
 	}
 	if res.local.imbalance != res.remote.imbalance {
 		t.Fatalf("partial imbalance differs: local %v, remote %v",
 			res.local.imbalance, res.remote.imbalance)
+	}
+	if res.remote3.total != res.local.total {
+		t.Fatalf("remote-partial total %d, want %d", res.remote3.total, res.local.total)
 	}
 }
 

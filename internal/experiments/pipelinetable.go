@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -15,35 +14,42 @@ import (
 	"pkgstream/internal/wire"
 )
 
-// Pipeline runs the distributed deployment shape the paper evaluates
+// Pipeline runs the distributed deployment shapes the paper evaluates
 // (§V runs PKG inside Storm across real workers): the same windowed
-// wordcount executes (a) entirely inside one engine process and (b) as
-// source→partial→(TCP)→final, with the final stage hosted behind the
-// wire protocol on remote nodes — and the two runs must produce
-// IDENTICAL per-(word, window) counts. By default the "remote" nodes
-// are in-process TCP loopback listeners (every frame still crosses the
-// stack); set PKGNODE_ADDRS to the comma-separated addresses of
-// running `pkgnode` processes to span real process boundaries (the CI
-// smoke job does exactly that).
+// wordcount executes (a) entirely inside one engine process, (b) as
+// source→partial→(TCP)→final with the FINAL stage hosted behind the
+// wire protocol on remote nodes, and (c) as the fully distributed
+// spout→(TCP)→partial→(TCP)→final shape, where the partial stage
+// itself runs on remote nodes behind the credit-flow-controlled tuple
+// edge — and all three runs must produce IDENTICAL per-(word, window)
+// counts. By default the "remote" nodes are in-process TCP loopback
+// listeners (every frame still crosses the stack); set PKGNODE_ADDRS
+// to the addresses of running `pkgnode -mode final` processes for
+// shape (b), and PKGNODE_PARTIAL_ADDRS + PKGNODE_FINAL_ADDRS to the
+// addresses of `-mode partial` and `-mode final` process pairs for
+// shape (c) — the CI smoke jobs do exactly that.
 //
 // Fixed shape (the pkgnode defaults match it): 1 source, 4 partial
 // instances under PKG, tumbling 1s windows over a logical 1ms-per-word
-// clock, aggregation period T = 2000 tuples, 2 final nodes.
+// clock, aggregation period T = 2000 tuples, 2 final nodes — and for
+// the fully distributed shape, 2 partial nodes routed by the tuple
+// edge's own PKG.
 func Pipeline(sc Scale, seed uint64) []Table {
 	res := runPipeline(sc, seed, os.Getenv("PKGNODE_ADDRS"))
 	return res.tables
 }
 
 // Pipeline shape constants — keep in sync with cmd/pkgnode's flag
-// defaults (-sources, -win-size) and the CI smoke job.
+// defaults (-sources, -nodes, -win-size) and the CI smoke jobs.
 const (
-	pipePartials = 4
-	pipeNodes    = 2
-	pipeWindow   = time.Second
-	pipeEvery    = 2000 // aggregation period T in tuples
-	pipeVocab    = 1000
-	pipeTick     = time.Millisecond
-	pipeMarks    = 500 // SourceMark cadence in tuples
+	pipePartials     = 4
+	pipeNodes        = 2
+	pipePartialNodes = 2
+	pipeWindow       = time.Second
+	pipeEvery        = 2000 // aggregation period T in tuples
+	pipeVocab        = 1000
+	pipeTick         = time.Millisecond
+	pipeMarks        = 500 // SourceMark cadence in tuples
 )
 
 // pipeSpout emits a deterministic Zipf word stream on a logical clock,
@@ -93,10 +99,13 @@ type pipeRun struct {
 
 // pipeResult is what runPipeline hands to Pipeline and to the tests.
 type pipeResult struct {
-	match          bool
-	local, remote  pipeRun
-	remoteDeployed string
-	tables         []Table
+	match           bool // remote-final counts == in-process counts
+	match3          bool // remote-partial counts == in-process counts
+	local, remote   pipeRun
+	remote3         pipeRun // fully distributed: remote partial AND final
+	remoteDeployed  string
+	remote3Deployed string
+	tables          []Table
 }
 
 // pipeTopology declares the shared half of both deployments; finalize
@@ -172,6 +181,56 @@ func drainNode(addr string) []wire.WindowResult {
 	return out
 }
 
+// runRemotePartial executes the fully distributed deployment: the
+// engine process keeps only the spout and a forwarder; tuples cross the
+// flow-controlled wire edge to the partial nodes, which forward their
+// flushed partials to the final nodes. Results are collected with the
+// push subscription (no drain poll), and the partial imbalance is
+// computed over the partial NODES' absorbed-tuple counts (OpStats) —
+// the paper's worker-load vector, measured across real sockets.
+func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
+	b, _ := pipeTopology(n, seed, engine.RemotePartial(paddrs...))
+	top, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pipeline: %v", err))
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048})
+	start := time.Now()
+	if err := rt.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: pipeline: %v", err))
+	}
+	elapsed := time.Since(start)
+
+	loads := make([]int64, len(paddrs))
+	for i, addr := range paddrs {
+		rep, err := transport.QueryAddr(addr, wire.Query{Op: wire.OpStats})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: pipeline: stats %s: %v", addr, err))
+		}
+		loads[i] = rep.Count
+	}
+	var max, sum int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	imb := float64(max) - float64(sum)/float64(len(loads))
+
+	counts := map[string]int64{}
+	for _, addr := range faddrs {
+		res, err := transport.SubscribeResults(addr, 30*time.Second)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: pipeline: subscribe %s: %v", addr, err))
+		}
+		for _, r := range res {
+			counts[fmt.Sprintf("%s@%d", r.Key, r.Start)] += r.Value
+		}
+	}
+	return summarize(counts, imb, elapsed)
+}
+
 func summarize(counts map[string]int64, imb float64, elapsed time.Duration) pipeRun {
 	r := pipeRun{counts: counts, pairs: len(counts), imbalance: imb, elapsed: elapsed}
 	for _, c := range counts {
@@ -194,51 +253,95 @@ func equalCounts(a, b map[string]int64) bool {
 	return true
 }
 
-// runPipeline executes both deployments and builds the report.
-// addrsEnv is a comma-separated remote node list ("" spins up
-// in-process loopback nodes).
+// runPipeline executes all three deployments and builds the report.
+// addrsEnv is a comma-separated final-node list for the remote-final
+// shape ("" spins up in-process loopback nodes); the fully distributed
+// shape reads PKGNODE_PARTIAL_ADDRS and PKGNODE_FINAL_ADDRS the same
+// way.
 func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
 	n := int(sc.MessageCap)
-	res := pipeResult{remoteDeployed: "in-process TCP loopback nodes"}
+	res := pipeResult{
+		remoteDeployed:  "in-process TCP loopback nodes",
+		remote3Deployed: "in-process TCP loopback nodes",
+	}
+
+	var workers []*transport.Worker
+	defer func() {
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	}()
+	listenLoop := func(h transport.Handler) string {
+		w, err := transport.ListenHandler("127.0.0.1:0", h)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: pipeline: %v", err))
+		}
+		workers = append(workers, w)
+		return w.Addr()
+	}
+	newFinals := func(nodes, sources int) []string {
+		addrs := make([]string, nodes)
+		for i := range addrs {
+			plan := window.MustPlan(window.Count{}, pipeSpec())
+			h, err := plan.NewFinalHandler(sources)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: pipeline: %v", err))
+			}
+			addrs[i] = listenLoop(h)
+		}
+		return addrs
+	}
 
 	var addrs []string
 	if addrsEnv != "" {
-		for _, a := range strings.Split(addrsEnv, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				addrs = append(addrs, a)
-			}
-		}
+		addrs = transport.SplitAddrs(addrsEnv)
 		res.remoteDeployed = fmt.Sprintf("external pkgnode processes (%s)", addrsEnv)
 	} else {
-		for i := 0; i < pipeNodes; i++ {
+		addrs = newFinals(pipeNodes, pipePartials)
+	}
+
+	// The fully distributed shape: partial nodes forwarding to their
+	// own final nodes.
+	var paddrs, faddrs []string
+	if pa, fa := os.Getenv("PKGNODE_PARTIAL_ADDRS"), os.Getenv("PKGNODE_FINAL_ADDRS"); pa != "" && fa != "" {
+		paddrs, faddrs = transport.SplitAddrs(pa), transport.SplitAddrs(fa)
+		res.remote3Deployed = fmt.Sprintf("external pkgnode processes (%s → %s)", pa, fa)
+	} else {
+		faddrs = newFinals(pipeNodes, pipePartialNodes)
+		paddrs = make([]string, pipePartialNodes)
+		for i := range paddrs {
 			plan := window.MustPlan(window.Count{}, pipeSpec())
-			h, err := plan.NewFinalHandler(pipePartials)
+			h, err := plan.NewPartialHandler(window.PartialHandlerOptions{
+				ID: i, Nodes: pipePartialNodes, FinalAddrs: faddrs, Seed: seed,
+			})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: pipeline: %v", err))
 			}
-			w, err := transport.ListenHandler("127.0.0.1:0", h)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: pipeline: %v", err))
-			}
-			defer w.Close()
-			addrs = append(addrs, w.Addr())
+			paddrs[i] = listenLoop(h)
 		}
 	}
 
 	res.local = runLocal(n, seed)
 	res.remote = runRemote(n, seed, addrs)
+	res.remote3 = runRemotePartial(n, seed, paddrs, faddrs)
 	res.match = equalCounts(res.local.counts, res.remote.counts)
+	res.match3 = equalCounts(res.local.counts, res.remote3.counts)
 
 	tb := Table{
-		Title: "pipeline — windowed wordcount: in-process engine vs source→partial→(TCP)→final",
-		Columns: []string{"deployment", "final nodes", "words", "(word,window) pairs",
+		Title: "pipeline — windowed wordcount: in-process vs remote final vs remote partial+final",
+		Columns: []string{"deployment", "nodes", "words", "(word,window) pairs",
 			"total count", "partial imbalance", "words/s"},
 		Notes: []string{
-			fmt.Sprintf("exact-count match: %v — per-(word, window) counts %s across deployments",
+			fmt.Sprintf("exact-count match (remote-final): %v — per-(word, window) counts %s",
 				res.match, map[bool]string{true: "identical", false: "DIFFER"}[res.match]),
+			fmt.Sprintf("exact-count match (remote-partial): %v — per-(word, window) counts %s",
+				res.match3, map[bool]string{true: "identical", false: "DIFFER"}[res.match3]),
 			fmt.Sprintf("remote final stage: %s", res.remoteDeployed),
-			"partial imbalance is identical by construction: one deterministic source, same",
-			"seed, same PKG decisions — the wire hop changes where merges happen, not routing",
+			fmt.Sprintf("remote partial stage: %s; tuples cross a credit-flow-controlled wire edge",
+				res.remote3Deployed),
+			"remote-final partial imbalance equals in-process by construction (same seed, same",
+			"PKG decisions); remote-partial imbalance is over the partial NODES' tuple counts,",
+			"routed by the tuple edge's own PKG, and results arrive via push subscription",
 		},
 	}
 	row := func(name string, nodes int, r pipeRun) {
@@ -248,17 +351,29 @@ func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
 	}
 	row("in-process", 1, res.local)
 	row("remote-final", len(addrs), res.remote)
+	row("remote-partial+final", len(paddrs)+len(faddrs), res.remote3)
 
-	if !res.match {
+	res.tables = []Table{tb}
+	for _, bad := range []struct {
+		label string
+		run   pipeRun
+		ok    bool
+	}{
+		{"remote-final", res.remote, res.match},
+		{"remote-partial", res.remote3, res.match3},
+	} {
+		if bad.ok {
+			continue
+		}
 		diff := Table{
-			Title:   "pipeline MISMATCH detail (first 20)",
-			Columns: []string{"(word@window)", "in-process", "remote"},
+			Title:   fmt.Sprintf("pipeline MISMATCH detail, %s (first 20)", bad.label),
+			Columns: []string{"(word@window)", "in-process", bad.label},
 		}
 		var keys []string
 		for k := range res.local.counts {
 			keys = append(keys, k)
 		}
-		for k := range res.remote.counts {
+		for k := range bad.run.counts {
 			if _, ok := res.local.counts[k]; !ok {
 				keys = append(keys, k)
 			}
@@ -266,14 +381,12 @@ func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
 		sort.Strings(keys)
 		shown := 0
 		for _, k := range keys {
-			if res.local.counts[k] != res.remote.counts[k] && shown < 20 {
-				diff.AddRow(k, fmt.Sprint(res.local.counts[k]), fmt.Sprint(res.remote.counts[k]))
+			if res.local.counts[k] != bad.run.counts[k] && shown < 20 {
+				diff.AddRow(k, fmt.Sprint(res.local.counts[k]), fmt.Sprint(bad.run.counts[k]))
 				shown++
 			}
 		}
-		res.tables = []Table{tb, diff}
-		return res
+		res.tables = append(res.tables, diff)
 	}
-	res.tables = []Table{tb}
 	return res
 }

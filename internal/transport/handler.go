@@ -30,6 +30,31 @@ type Handler interface {
 	HandleQuery(q wire.Query) wire.Reply
 }
 
+// ResultSink is the push half of a Subscribe session: the worker hands
+// one to the handler when a connection subscribes, and the handler
+// writes server-initiated Reply frames through it whenever it has news
+// (closed windows, the final Done). Push is safe to call from any
+// handler method (writes are serialized with the connection's query
+// replies and acks); a failed Push means the subscriber is gone and
+// the handler should drop the sink.
+type ResultSink interface {
+	// Push writes one OpResults-shaped reply on the subscribed
+	// connection.
+	Push(rep *wire.Reply) error
+}
+
+// PushHandler is the optional Handler extension for push delivery: a
+// worker that receives a wire.Subscribe frame dispatches it here with
+// a sink bound to the subscribing connection. Handlers that do not
+// implement it make Subscribe a protocol violation (the connection
+// drops), so a counter node cannot be subscribed to by mistake.
+type PushHandler interface {
+	Handler
+	// HandleSubscribe registers a subscriber. The sink stays valid
+	// until a Push fails.
+	HandleSubscribe(s wire.Subscribe, sink ResultSink)
+}
+
 // CountHandler is the classic PKG worker: a per-key partial counter
 // over everything routed to it. Tuples count 1 under their routing
 // hash; partials add their Combiner count (opaque states are counted

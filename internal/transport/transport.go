@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +53,7 @@ type Worker struct {
 
 	mu        sync.Mutex
 	processed int64
+	conns     map[net.Conn]struct{}
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -84,6 +86,7 @@ func ListenHandler(addr string, h Handler) (*Worker, error) {
 		ln:     ln,
 		h:      h,
 		closed: make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
 	}
 	w.wg.Add(1)
 	go w.acceptLoop()
@@ -114,6 +117,22 @@ func (w *Worker) acceptLoop() {
 func (w *Worker) serve(conn net.Conn) {
 	defer w.wg.Done()
 	defer conn.Close()
+	w.mu.Lock()
+	w.conns[conn] = struct{}{}
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	select {
+	case <-w.closed:
+		// Close swept w.conns before this connection registered (the
+		// accept → register window): it would never be closed, and an
+		// idle peer would pin Close's wg.Wait forever. Bail instead.
+		return
+	default:
+	}
 	r := bufio.NewReaderSize(conn, 1<<16)
 	var (
 		payload []byte
@@ -121,6 +140,36 @@ func (w *Worker) serve(conn net.Conn) {
 		par     wire.Partial
 		reply   []byte
 	)
+	// wmu serializes every write on this connection: query replies from
+	// this goroutine, flow-control acks, and — once subscribed — result
+	// frames pushed by handler calls running on OTHER connections.
+	wmu := &sync.Mutex{}
+	// Credit flow control, armed by a wire.Credit frame: the sender
+	// keeps at most `window` unacknowledged data frames in flight, and
+	// this side replenishes it with cumulative Acks as the handler
+	// absorbs them (every window/2 frames, so the sender's window can
+	// never drain to zero with the worker idle).
+	var fcWindow, fcProcessed, fcAcked int64
+	var ackBuf []byte
+	ack := func() bool {
+		fcAcked = fcProcessed
+		ackBuf = wire.AppendAck(ackBuf[:0], wire.Ack{Count: fcProcessed})
+		wmu.Lock()
+		_, err := conn.Write(ackBuf)
+		wmu.Unlock()
+		return err == nil
+	}
+	absorbed := func() bool {
+		w.addProcessed(1)
+		if fcWindow <= 0 {
+			return true
+		}
+		fcProcessed++
+		if every := fcWindow / 2; fcProcessed-fcAcked > every {
+			return ack()
+		}
+		return true
+	}
 	for {
 		kind, p, err := wire.ReadFrame(r, payload)
 		if err != nil {
@@ -135,7 +184,9 @@ func (w *Worker) serve(conn net.Conn) {
 			w.hmu.Lock()
 			w.h.HandleTuple(&tup)
 			w.hmu.Unlock()
-			w.addProcessed(1)
+			if !absorbed() {
+				return
+			}
 		case wire.KindPartial:
 			if err := wire.DecodePartial(p, &par); err != nil {
 				return
@@ -143,7 +194,9 @@ func (w *Worker) serve(conn net.Conn) {
 			w.hmu.Lock()
 			w.h.HandlePartial(&par)
 			w.hmu.Unlock()
-			w.addProcessed(1)
+			if !absorbed() {
+				return
+			}
 		case wire.KindMark:
 			m, err := wire.DecodeMark(p)
 			if err != nil {
@@ -151,6 +204,24 @@ func (w *Worker) serve(conn net.Conn) {
 			}
 			w.hmu.Lock()
 			w.h.HandleMark(m)
+			w.hmu.Unlock()
+		case wire.KindCredit:
+			c, err := wire.DecodeCredit(p)
+			if err != nil {
+				return
+			}
+			fcWindow = c.Window
+		case wire.KindSubscribe:
+			s, err := wire.DecodeSubscribe(p)
+			if err != nil {
+				return
+			}
+			ph, ok := w.h.(PushHandler)
+			if !ok {
+				return // this node has nothing to push: protocol misuse
+			}
+			w.hmu.Lock()
+			ph.HandleSubscribe(s, &connSink{mu: wmu, conn: conn})
 			w.hmu.Unlock()
 		case wire.KindQuery:
 			q, err := wire.DecodeQuery(p)
@@ -161,13 +232,42 @@ func (w *Worker) serve(conn net.Conn) {
 			rep := w.h.HandleQuery(q)
 			w.hmu.Unlock()
 			reply = wire.AppendReply(reply[:0], &rep)
-			if _, err := conn.Write(reply); err != nil {
+			wmu.Lock()
+			_, err = conn.Write(reply)
+			wmu.Unlock()
+			if err != nil {
 				return
 			}
 		default:
-			return // sketch/reply frames have no business here: drop
+			return // sketch/ack/reply frames have no business here: drop
 		}
 	}
+}
+
+// connSink pushes result frames on a subscribed connection, serialized
+// with the connection's other writes. A write deadline keeps a stuck
+// subscriber from stalling the handler chain indefinitely — the sink
+// fails instead, and the handler drops it.
+type connSink struct {
+	mu   *sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+// Push implements ResultSink. The whole body — including the encode
+// into the sink's scratch buffer — runs under the connection's write
+// mutex, so concurrent Push calls (a handler pushing from its own
+// timer goroutine while the serve loop answers a query) stay safe.
+func (s *connSink) Push(rep *wire.Reply) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = wire.AppendReply(s.buf[:0], rep)
+	if err := s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	defer s.conn.SetWriteDeadline(time.Time{})
+	_, err := s.conn.Write(s.buf)
+	return err
 }
 
 func (w *Worker) addProcessed(n int64) {
@@ -218,7 +318,11 @@ func (w *Worker) WaitProcessed(n int64, timeout time.Duration) error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, drops every live connection, and waits for
+// the serve goroutines to finish. Dropping (rather than draining)
+// matters for teardown liveness: a source that never hangs up must not
+// pin the worker open — it observes the close as a connection error
+// and may redial elsewhere or retry.
 func (w *Worker) Close() error {
 	select {
 	case <-w.closed:
@@ -227,6 +331,11 @@ func (w *Worker) Close() error {
 	}
 	close(w.closed)
 	err := w.ln.Close()
+	w.mu.Lock()
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.mu.Unlock()
 	w.wg.Wait()
 	return err
 }
@@ -713,6 +822,68 @@ func DrainResults(addr string, timeout time.Duration) ([]wire.WindowResult, erro
 		out = append(out, next.Results...)
 	}
 	return out, nil
+}
+
+// SubscribeResults registers with a windowed final node for push
+// delivery and accumulates the pushed closed-window results until the
+// node reports Done — the drain-free replacement for DrainResults:
+// instead of polling OpStats, the node writes a Reply frame on this
+// connection the moment windows close, so results arrive with no poll
+// interval in the latency path.
+func SubscribeResults(addr string, timeout time.Duration) ([]wire.WindowResult, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: subscribe dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	buf := wire.AppendSubscribe(nil, wire.Subscribe{})
+	if _, err := conn.Write(buf); err != nil {
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReaderSize(conn, 1<<16)
+	var out []wire.WindowResult
+	var payload []byte
+	for {
+		kind, p, err := wire.ReadFrame(r, payload)
+		if err != nil {
+			return nil, fmt.Errorf("transport: subscribe %s after %d results: %w",
+				addr, len(out), err)
+		}
+		payload = p
+		if kind != wire.KindReply {
+			return nil, fmt.Errorf("transport: %s pushed a %v frame", addr, kind)
+		}
+		rep, err := wire.DecodeReply(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep.Results...)
+		// The node sets Done on the last frame of a fully caught-up
+		// push (its result log is final and everything from the
+		// subscription offset has been delivered), so Done alone ends
+		// the session — correct for any Subscribe offset, since
+		// Reply.Count is the node's TOTAL log length, not the
+		// subscriber's share.
+		if rep.Done {
+			return out, nil
+		}
+	}
+}
+
+// SplitAddrs parses a comma-separated node address list (the form the
+// PKGNODE_*_ADDRS environment variables and pkgnode's -final flag
+// take), trimming whitespace and dropping empty entries.
+func SplitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // QueryAddr sends one point query to a worker address over a fresh

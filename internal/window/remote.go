@@ -2,7 +2,9 @@ package window
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pkgstream/internal/engine"
@@ -71,8 +73,147 @@ func (p *Plan) NewRemoteFinal(addrs []string, seed uint64) (func() engine.Bolt, 
 		p.mu.Lock()
 		p.fins = append(p.fins, in)
 		p.mu.Unlock()
-		return &remoteFinal{plan: p, addrs: addrs, seed: seed, codec: codec, inst: in}
+		return &remoteFinal{
+			plan: p,
+			inst: in,
+			snd: partialSender{
+				comp: "remote-final", addrs: addrs, codec: codec,
+				opts: transport.SourceOptions{Mode: transport.ModeKG, Seed: seed},
+			},
+		}
 	}, nil
+}
+
+// partialSender ships flushed partials and watermark marks to the final
+// nodes over transport, key-grouped so all partials of a key meet at
+// one node. Send failures — a final node restarting, a dropped
+// connection — are retried with bounded backoff over a fresh dial; only
+// exhausted retries surface, as a typed *engine.EdgeError, so the
+// topology fails cleanly and diagnosably instead of panicking on the
+// first broken pipe. Both forwarding shapes share it: the in-engine
+// remoteFinal bolt and the pkgnode-side PartialHandler.
+type partialSender struct {
+	comp  string
+	addrs []string
+	opts  transport.SourceOptions
+	codec StateCodec // nil on the Combiner fast path
+
+	src     *transport.Source
+	scratch wire.Partial
+
+	frames   atomic.Int64
+	marks    atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+}
+
+// sendAttempts bounds delivery attempts per frame: the first send plus
+// three redial-and-resend rounds with doubling backoff (~175ms total),
+// enough to ride out a node restart without masking a dead peer for
+// long.
+const sendAttempts = 4
+
+// dial (re)connects to the final nodes.
+func (s *partialSender) dial() error {
+	src, err := transport.DialSourceOpts(s.addrs, s.opts)
+	if err != nil {
+		return err
+	}
+	s.src = src
+	return nil
+}
+
+// withRetry runs op, redialing with bounded backoff on failure. During
+// a reconnect, frames buffered on the dead connection may or may not
+// have been absorbed — delivery across a node restart is at-least-once
+// for the frame being retried and best-effort for the buffered tail.
+func (s *partialSender) withRetry(op func() error) error {
+	err := op()
+	if err == nil {
+		return nil
+	}
+	backoff := 25 * time.Millisecond
+	for attempt := 1; attempt < sendAttempts; attempt++ {
+		s.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+		if s.src != nil {
+			s.src.Close()
+			s.src = nil
+		}
+		if err = s.dial(); err != nil {
+			continue
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	s.failures.Add(1)
+	return &engine.EdgeError{
+		Component: s.comp,
+		Addr:      strings.Join(s.addrs, ","),
+		Attempts:  sendAttempts,
+		Err:       err,
+	}
+}
+
+// sendPartial encodes and ships one flushed (key, window) partial.
+func (s *partialSender) sendPartial(key string, hash uint64, ps partialState) error {
+	p := &s.scratch
+	p.KeyHash = hash
+	p.Key = key
+	p.Start = ps.start
+	if s.codec == nil {
+		p.Count = ps.state.(int64)
+		p.Raw = nil
+	} else {
+		p.Count = 0
+		p.Raw = s.codec.EncodeState(ps.state)
+	}
+	err := s.withRetry(func() error {
+		if s.src == nil {
+			return fmt.Errorf("window: %s: not connected", s.comp)
+		}
+		return s.src.SendPartial(p)
+	})
+	if err == nil {
+		s.frames.Add(1)
+	}
+	return err
+}
+
+// sendMark relays one watermark under the given source ID.
+func (s *partialSender) sendMark(from uint32, wm int64) error {
+	err := s.withRetry(func() error {
+		if s.src == nil {
+			return fmt.Errorf("window: %s: not connected", s.comp)
+		}
+		return s.src.SendMarkFrom(from, wm)
+	})
+	if err == nil {
+		s.marks.Add(1)
+	}
+	return err
+}
+
+// close flushes and releases the connections.
+func (s *partialSender) close() error {
+	if s.src == nil {
+		return nil
+	}
+	err := s.src.Close()
+	s.src = nil
+	return err
+}
+
+// EdgeStats snapshots the sender's flow counters in engine form.
+func (s *partialSender) EdgeStats() engine.EdgeStats {
+	return engine.EdgeStats{
+		Frames:   s.frames.Load(),
+		Marks:    s.marks.Load(),
+		Retries:  s.retries.Load(),
+		Failures: s.failures.Load(),
+	}
 }
 
 // remoteFinal forwards the partial stage's output over TCP instead of
@@ -80,37 +221,31 @@ func (p *Plan) NewRemoteFinal(addrs []string, seed uint64) (func() engine.Bolt, 
 // key-grouped hop to the remote nodes happens here, so remote node
 // count and partial parallelism stay independent.
 type remoteFinal struct {
-	plan  *Plan
-	addrs []string
-	seed  uint64
-	codec StateCodec // nil on the Combiner fast path
-	inst  *instrumentation
-
-	src     *transport.Source
-	scratch wire.Partial
+	plan *Plan
+	inst *instrumentation
+	snd  partialSender
 }
 
 // Prepare implements engine.Bolt: it dials the remote nodes. A dial
 // failure panics, which the engine runtime converts into a topology
 // error (factories and Prepare run inside instance goroutines).
 func (b *remoteFinal) Prepare(*engine.Context) {
-	src, err := transport.DialSourceOpts(b.addrs, transport.SourceOptions{
-		Mode: transport.ModeKG, Seed: b.seed,
-	})
-	if err != nil {
+	if err := b.snd.dial(); err != nil {
 		panic(fmt.Sprintf("window: remote final: %v", err))
 	}
-	b.src = src
 }
 
 // Execute implements engine.Bolt: partials are encoded and key-grouped
-// to their node, marks are relayed per partial instance.
+// to their node, marks are relayed per partial instance. Send failures
+// retry with bounded backoff inside the sender; an exhausted retry
+// panics with the typed *engine.EdgeError, which the runtime surfaces
+// through Run — the topology fails cleanly, naming the dead nodes.
 func (b *remoteFinal) Execute(t engine.Tuple, out engine.Emitter) {
 	if t.Tick {
 		if len(t.Values) == 1 {
 			if m, ok := t.Values[0].(mark); ok {
-				if err := b.src.SendMarkFrom(uint32(m.from), m.wm); err != nil {
-					panic(fmt.Sprintf("window: remote final: %v", err))
+				if err := b.snd.sendMark(uint32(m.from), m.wm); err != nil {
+					panic(err)
 				}
 				b.inst.flushes.Add(1)
 			}
@@ -121,19 +256,8 @@ func (b *remoteFinal) Execute(t engine.Tuple, out engine.Emitter) {
 	if !ok {
 		panic(fmt.Sprintf("window: remote final received a non-partial tuple (values %v)", t.Values))
 	}
-	p := &b.scratch
-	p.KeyHash = t.RouteKey()
-	p.Key = t.Key
-	p.Start = ps.start
-	if b.codec == nil {
-		p.Count = ps.state.(int64)
-		p.Raw = nil
-	} else {
-		p.Count = 0
-		p.Raw = b.codec.EncodeState(ps.state)
-	}
-	if err := b.src.SendPartial(p); err != nil {
-		panic(fmt.Sprintf("window: remote final: %v", err))
+	if err := b.snd.sendPartial(t.Key, t.RouteKey(), ps); err != nil {
+		panic(err)
 	}
 	b.inst.partialsOut.Add(1)
 }
@@ -142,16 +266,18 @@ func (b *remoteFinal) Execute(t engine.Tuple, out engine.Emitter) {
 // closes, every partial instance has sent its final mark (already
 // relayed in Execute), so only the connections remain to be flushed.
 func (b *remoteFinal) Cleanup(engine.Emitter) {
-	if b.src != nil {
-		if err := b.src.Close(); err != nil {
-			panic(fmt.Sprintf("window: remote final: %v", err))
-		}
+	if err := b.snd.close(); err != nil {
+		panic(fmt.Sprintf("window: remote final: %v", err))
 	}
 }
 
 // WindowStats implements engine.WindowStatsSource: PartialsOut counts
 // forwarded partials and Flushes counts relayed marks.
 func (b *remoteFinal) WindowStats() engine.WindowStats { return b.inst.snapshot() }
+
+// EdgeStats implements engine.EdgeStatsSource: the forwarder's frame,
+// retry and failure counters surface through Stats.Edges.
+func (b *remoteFinal) EdgeStats() engine.EdgeStats { return b.snd.EdgeStats() }
 
 // FinalHandler hosts a windowed final stage behind a transport.Worker:
 // the remote half of a RemoteFinal topology, and the engine room of
@@ -172,9 +298,18 @@ type FinalHandler struct {
 	sources int
 	finals  map[uint32]bool
 	results []wire.WindowResult
+	subs    []*finalSub
 	bad     int64
 	unenc   int64
 	done    bool
+}
+
+// finalSub is one push subscription: a sink bound to the subscriber's
+// connection and the result-log offset it has been fed up to.
+type finalSub struct {
+	sink     transport.ResultSink
+	off      int
+	toldDone bool
 }
 
 // NewFinalHandler builds the hosting handler for this plan's final
@@ -272,7 +407,8 @@ func (h *FinalHandler) HandlePartial(p *wire.Partial) {
 
 // HandleMark implements transport.Handler: the mark advances the hosted
 // bolt's per-source watermark table; final marks tick off sources until
-// the handler is done.
+// the handler is done. Windows only close here (watermark advances),
+// so this is also the single point where push subscribers get fed.
 func (h *FinalHandler) HandleMark(m wire.Mark) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -283,6 +419,69 @@ func (h *FinalHandler) HandleMark(m wire.Mark) {
 			h.done = true
 		}
 	}
+	h.pushAll()
+}
+
+// HandleSubscribe implements transport.PushHandler: the connection
+// starts receiving server-initiated Reply frames — the backlog from the
+// requested offset immediately, every subsequently closed window as its
+// watermark passes, and a final Done frame — removing the DrainResults
+// poll from the latency path.
+func (h *FinalHandler) HandleSubscribe(s wire.Subscribe, sink transport.ResultSink) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	off := int(s.Offset)
+	if off < 0 || off > len(h.results) {
+		off = len(h.results)
+	}
+	sub := &finalSub{sink: sink, off: off}
+	if h.pushTo(sub) {
+		h.subs = append(h.subs, sub)
+	}
+}
+
+// pushAll feeds every subscriber the results it has not seen, dropping
+// subscribers whose sink failed. Runs under h.mu.
+func (h *FinalHandler) pushAll() {
+	if len(h.subs) == 0 {
+		return
+	}
+	alive := h.subs[:0]
+	for _, sub := range h.subs {
+		if h.pushTo(sub) {
+			alive = append(alive, sub)
+		}
+	}
+	for i := len(alive); i < len(h.subs); i++ {
+		h.subs[i] = nil
+	}
+	h.subs = alive
+}
+
+// pushTo writes the subscriber's outstanding results (paged, so one
+// push stays well under wire.MaxPayload) and, once the node is done,
+// exactly one Done frame. It reports whether the sink is still alive.
+func (h *FinalHandler) pushTo(sub *finalSub) bool {
+	for sub.off < len(h.results) || (h.done && !sub.toldDone) {
+		end := sub.off + resultsPage
+		if end > len(h.results) {
+			end = len(h.results)
+		}
+		rep := wire.Reply{
+			Op:      wire.OpResults,
+			Done:    h.done && end == len(h.results),
+			Count:   int64(len(h.results)),
+			Results: h.results[sub.off:end],
+		}
+		if err := sub.sink.Push(&rep); err != nil {
+			return false
+		}
+		sub.off = end
+		if rep.Done {
+			sub.toldDone = true
+		}
+	}
+	return true
 }
 
 // resultsPage bounds one OpResults reply so large drains stay well

@@ -33,6 +33,21 @@
 //	Query /  — a point-query request and its reply (client → worker →
 //	Reply      client): per-key counts, closed window results, or
 //	           node statistics.
+//
+// Three control families added for flow-controlled edges and push
+// delivery (PR 5):
+//
+//	Credit    — sender → worker: opens a credit-based flow-control
+//	            session on the connection, declaring the maximum number
+//	            of unacknowledged data frames the sender will keep in
+//	            flight;
+//	Ack       — worker → sender: the cumulative count of data frames
+//	            absorbed on this connection, replenishing the sender's
+//	            credit window (a slow worker therefore stalls its
+//	            sender instead of ballooning the TCP buffer);
+//	Subscribe — client → final node: register this connection for push
+//	            delivery of closed-window results (Reply frames are
+//	            then server-initiated, removing the poll).
 package wire
 
 import (
@@ -71,6 +86,12 @@ const (
 	KindQuery
 	// KindReply is a point-query reply.
 	KindReply
+	// KindCredit opens a flow-control session (sender → worker).
+	KindCredit
+	// KindAck replenishes a sender's credit window (worker → sender).
+	KindAck
+	// KindSubscribe registers a connection for result pushes.
+	KindSubscribe
 	kindEnd
 )
 
@@ -89,6 +110,12 @@ func (k Kind) String() string {
 		return "query"
 	case KindReply:
 		return "reply"
+	case KindCredit:
+		return "credit"
+	case KindAck:
+		return "ack"
+	case KindSubscribe:
+		return "subscribe"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -220,6 +247,39 @@ type Reply struct {
 	Done bool
 	// Results are the closed windows so far (OpResults).
 	Results []WindowResult
+}
+
+// Credit opens a credit-based flow-control session on a connection
+// (sender → worker). The sender promises to keep at most Window data
+// frames (tuples and partials; marks and queries are control traffic
+// and exempt) unacknowledged in flight, and the worker answers with
+// cumulative Ack frames as it absorbs them. A connection that never
+// sends Credit runs un-flow-controlled, exactly as before — the
+// session is strictly opt-in, so old senders keep working.
+type Credit struct {
+	// Window is the maximum number of unacknowledged data frames the
+	// sender keeps in flight (≥ 1).
+	Window int64
+}
+
+// Ack replenishes a sender's credit window (worker → sender): Count is
+// the cumulative number of data frames the worker has absorbed — not a
+// delta — so a lost or reordered Ack can only under-report, never
+// double-credit.
+type Ack struct {
+	// Count is the cumulative absorbed data-frame count (≥ 0).
+	Count int64
+}
+
+// Subscribe registers the connection it arrives on for push delivery of
+// closed-window results: the final node then writes server-initiated
+// Reply frames (OpResults-shaped) whenever windows close, removing the
+// DrainResults poll from latency-sensitive consumers.
+type Subscribe struct {
+	// Offset is the index into the node's append-only result log at
+	// which pushes start (0: everything, including results that closed
+	// before the subscription).
+	Offset int64
 }
 
 // Value type tags.
@@ -407,6 +467,27 @@ func AppendReply(dst []byte, r *Reply) []byte {
 			dst = appendStr(dst, res.Key)
 		}
 	}
+	return finish(dst, start)
+}
+
+// AppendCredit appends c as a framed KindCredit to dst.
+func AppendCredit(dst []byte, c Credit) []byte {
+	dst, start := frame(dst, KindCredit)
+	dst = binary.AppendUvarint(dst, uint64(c.Window))
+	return finish(dst, start)
+}
+
+// AppendAck appends a as a framed KindAck to dst.
+func AppendAck(dst []byte, a Ack) []byte {
+	dst, start := frame(dst, KindAck)
+	dst = binary.AppendUvarint(dst, uint64(a.Count))
+	return finish(dst, start)
+}
+
+// AppendSubscribe appends s as a framed KindSubscribe to dst.
+func AppendSubscribe(dst []byte, s Subscribe) []byte {
+	dst, start := frame(dst, KindSubscribe)
+	dst = binary.AppendUvarint(dst, uint64(s.Offset))
 	return finish(dst, start)
 }
 
@@ -756,6 +837,54 @@ func DecodeReply(b []byte) (Reply, error) {
 		return Reply{}, err
 	}
 	return rep, nil
+}
+
+// DecodeCredit decodes a KindCredit payload.
+func DecodeCredit(b []byte) (Credit, error) {
+	r := reader{b: b}
+	w, err := r.uvarint()
+	if err != nil {
+		return Credit{}, err
+	}
+	if w == 0 || w > math.MaxInt64 {
+		return Credit{}, fmt.Errorf("wire: credit window %d out of range", w)
+	}
+	if err := r.done(); err != nil {
+		return Credit{}, err
+	}
+	return Credit{Window: int64(w)}, nil
+}
+
+// DecodeAck decodes a KindAck payload.
+func DecodeAck(b []byte) (Ack, error) {
+	r := reader{b: b}
+	n, err := r.uvarint()
+	if err != nil {
+		return Ack{}, err
+	}
+	if n > math.MaxInt64 {
+		return Ack{}, fmt.Errorf("wire: ack count %d overflows int64", n)
+	}
+	if err := r.done(); err != nil {
+		return Ack{}, err
+	}
+	return Ack{Count: int64(n)}, nil
+}
+
+// DecodeSubscribe decodes a KindSubscribe payload.
+func DecodeSubscribe(b []byte) (Subscribe, error) {
+	r := reader{b: b}
+	off, err := r.uvarint()
+	if err != nil {
+		return Subscribe{}, err
+	}
+	if off > math.MaxInt64 {
+		return Subscribe{}, fmt.Errorf("wire: subscribe offset %d overflows int64", off)
+	}
+	if err := r.done(); err != nil {
+		return Subscribe{}, err
+	}
+	return Subscribe{Offset: int64(off)}, nil
 }
 
 // ReadFrame reads one frame from r: it validates the header, bounds the

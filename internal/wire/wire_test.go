@@ -43,6 +43,12 @@ func encodeAll(t testing.TB) [][]byte {
 		{KeyHash: 1, Key: "a", Start: 0, End: 30e9, Value: 5},
 		{KeyHash: 2, Start: 30e9, End: 60e9, Raw: []byte{9}},
 	}}), nil)
+	add(AppendCredit(nil, Credit{Window: 1}), nil)
+	add(AppendCredit(nil, Credit{Window: 1 << 20}), nil)
+	add(AppendAck(nil, Ack{Count: 0}), nil)
+	add(AppendAck(nil, Ack{Count: math.MaxInt64}), nil)
+	add(AppendSubscribe(nil, Subscribe{Offset: 0}), nil)
+	add(AppendSubscribe(nil, Subscribe{Offset: 32768}), nil)
 	return frames
 }
 
@@ -66,6 +72,12 @@ func decodeFrame(kind Kind, payload []byte) (any, error) {
 		return DecodeQuery(payload)
 	case KindReply:
 		return DecodeReply(payload)
+	case KindCredit:
+		return DecodeCredit(payload)
+	case KindAck:
+		return DecodeAck(payload)
+	case KindSubscribe:
+		return DecodeSubscribe(payload)
 	default:
 		panic("unreachable: ReadFrame only returns known kinds")
 	}
@@ -90,6 +102,12 @@ func reencode(v any) []byte {
 		return AppendQuery(nil, v)
 	case Reply:
 		return AppendReply(nil, &v)
+	case Credit:
+		return AppendCredit(nil, v)
+	case Ack:
+		return AppendAck(nil, v)
+	case Subscribe:
+		return AppendSubscribe(nil, v)
 	default:
 		panic("unreachable")
 	}
@@ -294,6 +312,9 @@ func FuzzRoundTrip(f *testing.F) {
 		_, _ = DecodeSketch(data)
 		_, _ = DecodeQuery(data)
 		_, _ = DecodeReply(data)
+		_, _ = DecodeCredit(data)
+		_, _ = DecodeAck(data)
+		_, _ = DecodeSubscribe(data)
 	})
 }
 

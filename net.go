@@ -49,6 +49,14 @@ type NetHandler = transport.Handler
 // remote windowed final node.
 type NetWindowResult = wire.WindowResult
 
+// NetPartial is the wire form of one flushed (key, window) partial
+// accumulator — what NetSource.SendPartial ships to a final host.
+type NetPartial = wire.Partial
+
+// NetTuple is the wire form of a stream tuple — what
+// NetSource.SendTuple ships to a worker or partial host.
+type NetTuple = wire.Tuple
+
 // DialNetSourceOpts dials a source with full options (sketch
 // checkpointing, explicit source ID, hot-key knobs).
 func DialNetSourceOpts(addrs []string, o NetSourceOptions) (*NetSource, error) {
@@ -65,6 +73,15 @@ func ListenNetHandler(addr string, h NetHandler) (*NetWorker, error) {
 // finished, then pages out its closed (key, window) results.
 func NetDrainResults(addr string, timeout time.Duration) ([]NetWindowResult, error) {
 	return transport.DrainResults(addr, timeout)
+}
+
+// NetSubscribeResults registers with a windowed final node for PUSH
+// delivery and accumulates the pushed closed-window results until the
+// node reports done — the drain-free replacement for NetDrainResults:
+// results arrive the moment windows close, with no poll interval in
+// the latency path.
+func NetSubscribeResults(addr string, timeout time.Duration) ([]NetWindowResult, error) {
+	return transport.SubscribeResults(addr, timeout)
 }
 
 // ListenNetWorker starts a worker on addr ("127.0.0.1:0" for ephemeral).
