@@ -158,8 +158,10 @@ func main() {
 	case partial != nil:
 		st := partial.Stats()
 		es := partial.EdgeStats()
-		fmt.Printf("pkgnode: done=%v tuples=%d flushes=%d partials-out=%d retries=%d bad=%d\n",
-			partial.Done(), partial.Processed(), st.Flushes, es.Frames, es.Retries, partial.BadFrames())
+		// frames counts what arrived on the wire; tuples/frames is the
+		// effective inbound batching ratio.
+		fmt.Printf("pkgnode: done=%v tuples=%d frames=%d flushes=%d partials-out=%d retries=%d bad=%d\n",
+			partial.Done(), partial.Processed(), worker.Frames(), st.Flushes, es.Frames, es.Retries, partial.BadFrames())
 		if err := partial.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "pkgnode: forwarding failed:", err)
 			exit = 1
@@ -174,8 +176,8 @@ func main() {
 			}
 		}
 	default:
-		fmt.Printf("pkgnode: absorbed %d frames over %d keys\n",
-			worker.Processed(), worker.DistinctKeys())
+		fmt.Printf("pkgnode: absorbed %d tuples in %d frames over %d keys\n",
+			worker.Processed(), worker.Frames(), worker.DistinctKeys())
 	}
 	os.Exit(exit)
 }

@@ -173,9 +173,21 @@ func WindowRemoteFinal(addrs ...string) WindowedOption { return engine.RemoteFin
 // (WindowSpec.Sources ≥ 1).
 func WindowRemotePartial(addrs ...string) WindowedOption { return engine.RemotePartial(addrs...) }
 
-// EdgeStats are the flow counters of one remote topology edge: frames
-// shipped, credit stalls (remote backpressure made visible), reconnect
-// retries and exhausted failures. Per-component snapshots live in
+// RemotePartialConfig carries the explicit knobs of the spout→partial
+// wire edge: routing strategy, credit window (in tuples), and the
+// tuple-batching parameters (batch size, batch bytes, linger).
+type RemotePartialConfig = engine.RemotePartialConfig
+
+// WindowRemotePartialOpts is WindowRemotePartial with explicit edge
+// configuration.
+func WindowRemotePartialOpts(cfg RemotePartialConfig) WindowedOption {
+	return engine.RemotePartialOpts(cfg)
+}
+
+// EdgeStats are the flow counters of one remote topology edge: tuples
+// and frames shipped (their ratio is the effective batching depth),
+// credit stalls (remote backpressure made visible), reconnect retries
+// and exhausted failures. Per-component snapshots live in
 // TopologyStats.Edges.
 type EdgeStats = engine.EdgeStats
 

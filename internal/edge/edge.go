@@ -45,8 +45,12 @@ type Edge[T any] interface {
 // Stats are the counters of one edge, snapshot-safe while the edge is
 // in use.
 type Stats struct {
-	// Frames counts data batches (Local) or data frames (Wire) sent.
+	// Frames counts data batches (Local) or data frames (Wire) sent —
+	// a Wire batch frame carrying n tuples counts once.
 	Frames int64
+	// Tuples counts individual tuples shipped (Wire only — the credit
+	// denomination; Frames × batch size in the steady state).
+	Tuples int64
 	// Marks counts watermark broadcasts.
 	Marks int64
 	// Stalls counts sends that blocked on an exhausted credit window
@@ -62,6 +66,7 @@ type Stats struct {
 // Fold accumulates another edge's counters into s.
 func (s *Stats) Fold(x Stats) {
 	s.Frames += x.Frames
+	s.Tuples += x.Tuples
 	s.Marks += x.Marks
 	s.Stalls += x.Stalls
 	s.Retries += x.Retries

@@ -58,7 +58,9 @@ func TestLocalEdgeSendUnlessDone(t *testing.T) {
 }
 
 // gatedHandler blocks every tuple on the gate — the deliberately slowed
-// worker of the credit-stall regression test.
+// worker of the credit-stall regression test. It implements only the
+// base Handler (no HandleTupleBatch), so the worker unrolls batch
+// frames into per-tuple calls and the gate still bites tuple by tuple.
 type gatedHandler struct {
 	gate    chan struct{}
 	handled atomic.Int64
@@ -73,19 +75,161 @@ func (h *gatedHandler) HandleMark(wire.Mark)                {}
 func (h *gatedHandler) HandleQuery(q wire.Query) wire.Reply { return wire.Reply{Op: q.Op} }
 
 // TestWireEdgeCreditStall is the flow-control regression gate: a slowed
-// worker must stall the sender at exactly the credit window — bounded
-// in-flight frames, no unbounded buffering, no drops — and everything
-// must drain once the worker resumes.
+// worker must stall the sender at exactly Window in-flight TUPLES —
+// bounded buffering, no drops — and everything must drain once the
+// worker resumes. The unbatched subtest pins the pre-batch per-frame
+// semantics; the batched subtest uses a batch size that does not
+// divide the window, so the boundary lands mid-batch and the edge must
+// split the batch into sub-frames rather than overshoot by even one
+// tuple.
 func TestWireEdgeCreditStall(t *testing.T) {
-	const window, total = 8, 100
-	h := &gatedHandler{gate: make(chan struct{})}
-	w, err := transport.ListenHandler("127.0.0.1:0", h)
+	for _, tc := range []struct {
+		name       string
+		batch      int
+		wantFrames int64 // frames sent at the stall point
+	}{
+		// 8 per-tuple frames in flight at the stall.
+		{name: "unbatched", batch: 1, wantFrames: 8},
+		// Batches of 3: two full frames (6 tuples), then the third
+		// batch straddles the window and ships a 2-tuple sub-frame.
+		{name: "batched-straddle", batch: 3, wantFrames: 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const window, total = 8, 100
+			h := &gatedHandler{gate: make(chan struct{})}
+			w, err := transport.ListenHandler("127.0.0.1:0", h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+
+			e, err := DialWire([]string{w.Addr()}, WireOptions{
+				Seed: 7, Window: window, MaxBatchTuples: tc.batch,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sendErr := make(chan error, 1)
+			go func() {
+				tup := wire.Tuple{}
+				for i := 0; i < total; i++ {
+					tup.KeyHash = uint64(i + 1)
+					if err := e.SendTuple(&tup); err != nil {
+						sendErr <- err
+						return
+					}
+				}
+				sendErr <- e.Flush()
+			}()
+
+			// The sender must reach the window and then stall there: with
+			// the worker gated, not one tuple beyond the window may leave.
+			deadline := time.Now().Add(5 * time.Second)
+			for e.SentTuples() < window {
+				if time.Now().After(deadline) {
+					t.Fatalf("sender reached only %d/%d tuples", e.SentTuples(), window)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			time.Sleep(100 * time.Millisecond)
+			if got := e.SentTuples(); got != window {
+				t.Fatalf("gated worker: %d tuples in flight, want exactly the window %d", got, window)
+			}
+			if got := e.Sent(); got != tc.wantFrames {
+				t.Fatalf("gated worker: %d frames sent, want %d", got, tc.wantFrames)
+			}
+			select {
+			case err := <-sendErr:
+				t.Fatalf("sender finished while the worker was gated: %v", err)
+			default:
+			}
+
+			// Resume the worker: credits replenish and everything drains.
+			close(h.gate)
+			if err := <-sendErr; err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.WaitProcessed(total, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			st := e.Stats()
+			if st.Stalls == 0 {
+				t.Fatal("no stalls recorded — the send path never saw backpressure")
+			}
+			if st.Tuples != total {
+				t.Fatalf("tuples = %d, want %d", st.Tuples, total)
+			}
+			if tc.batch == 1 && st.Frames != total {
+				t.Fatalf("unbatched frames = %d, want %d", st.Frames, total)
+			}
+			if tc.batch > 1 && st.Frames >= st.Tuples {
+				t.Fatalf("batched run shipped %d frames for %d tuples — no batching happened", st.Frames, st.Tuples)
+			}
+			if st.Failures != 0 || st.Retries != 0 {
+				t.Fatalf("unexpected retries/failures: %+v", st)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// seqRecorder records the KeyHash arrival order. While gated, tuples
+// block; closing abort makes blocked (and subsequent) tuples drop
+// unrecorded — a worker that dies mid-batch without absorbing what was
+// in flight.
+type seqRecorder struct {
+	gate  chan struct{} // nil: record immediately
+	abort chan struct{}
+
+	mu  sync.Mutex
+	seq []uint64
+}
+
+func (h *seqRecorder) HandleTuple(t *wire.Tuple) {
+	if h.gate != nil {
+		select {
+		case <-h.gate:
+		case <-h.abort:
+			return
+		}
+	}
+	h.mu.Lock()
+	h.seq = append(h.seq, t.KeyHash)
+	h.mu.Unlock()
+}
+func (h *seqRecorder) HandlePartial(*wire.Partial)         {}
+func (h *seqRecorder) HandleMark(wire.Mark)                {}
+func (h *seqRecorder) HandleQuery(q wire.Query) wire.Reply { return wire.Reply{Op: q.Op} }
+
+func (h *seqRecorder) snapshot() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.seq...)
+}
+
+// TestWireEdgeBatchFIFOAcrossRedial: the sender stalls mid-batch on a
+// gated worker, the worker dies, and a replacement comes up on the
+// same address. The edge must redial, resend the pending sub-frame,
+// and finish the stream — with the replacement observing a strictly
+// increasing key sequence (per-destination FIFO holds across the
+// stall/redial even though the batch was split around it).
+func TestWireEdgeBatchFIFOAcrossRedial(t *testing.T) {
+	const window, batch, total = 8, 3, 50
+	h1 := &seqRecorder{gate: make(chan struct{}), abort: make(chan struct{})}
+	w1, err := transport.ListenHandler("127.0.0.1:0", h1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w.Close()
-
-	e, err := DialWire([]string{w.Addr()}, WireOptions{Seed: 7, Window: window})
+	addr := w1.Addr()
+	e, err := DialWire([]string{addr}, WireOptions{
+		Seed: 5, Window: window, MaxBatchTuples: batch,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,8 +238,8 @@ func TestWireEdgeCreditStall(t *testing.T) {
 	sendErr := make(chan error, 1)
 	go func() {
 		tup := wire.Tuple{}
-		for i := 0; i < total; i++ {
-			tup.KeyHash = uint64(i + 1)
+		for i := 1; i <= total; i++ {
+			tup.KeyHash = uint64(i)
 			if err := e.SendTuple(&tup); err != nil {
 				sendErr <- err
 				return
@@ -104,45 +248,89 @@ func TestWireEdgeCreditStall(t *testing.T) {
 		sendErr <- e.Flush()
 	}()
 
-	// The sender must reach the window and then stall there: with the
-	// worker gated, not one frame beyond the window may leave.
+	// Wait for the mid-batch stall: 3+3 tuples in two full frames, then
+	// a 2-tuple sub-frame exhausts the window with one tuple pending.
 	deadline := time.Now().Add(5 * time.Second)
-	for e.Sent() < window {
+	for e.SentTuples() < window {
 		if time.Now().After(deadline) {
-			t.Fatalf("sender reached only %d/%d frames", e.Sent(), window)
+			t.Fatalf("sender reached only %d/%d tuples", e.SentTuples(), window)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	time.Sleep(100 * time.Millisecond)
-	if got := e.Sent(); got != window {
-		t.Fatalf("gated worker: %d frames in flight, want exactly the window %d", got, window)
-	}
-	select {
-	case err := <-sendErr:
-		t.Fatalf("sender finished while the worker was gated: %v", err)
-	default:
-	}
 
-	// Resume the worker: credits replenish and everything drains.
-	close(h.gate)
+	// Kill the gated worker mid-batch (its blocked tuples drop
+	// unrecorded) and bring an ungated replacement up on the address.
+	close(h1.abort)
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := &seqRecorder{}
+	w2, err := transport.ListenHandler(addr, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+
 	if err := <-sendErr; err != nil {
 		t.Fatal(err)
 	}
 	if err := e.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WaitProcessed(total, 5*time.Second); err != nil {
+	// The stream's tail must land on the replacement, in order.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		seq := h2.snapshot()
+		if len(seq) > 0 && seq[len(seq)-1] == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replacement saw %v, never the final tuple (edge stats %+v)", seq, e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	seq := h2.snapshot()
+	for i := 1; i < len(seq); i++ {
+		if seq[i] <= seq[i-1] {
+			t.Fatalf("FIFO violated across redial: %v", seq)
+		}
+	}
+	if st := e.Stats(); st.Retries == 0 {
+		t.Fatalf("no retries recorded across the restart: %+v", st)
+	}
+}
+
+// TestWireFlushCloseNilConnGuard: a nil connection slot (a redial in
+// flight, or a connect failure left mid-dial) must not panic Flush —
+// the guard Close always had — and a send toward the empty slot
+// redials instead of dereferencing it.
+func TestWireFlushCloseNilConnGuard(t *testing.T) {
+	w, err := transport.ListenWorker("127.0.0.1:0")
+	if err != nil {
 		t.Fatal(err)
 	}
-	st := e.Stats()
-	if st.Stalls == 0 {
-		t.Fatal("no stalls recorded — the send path never saw backpressure")
+	defer w.Close()
+	e, err := DialWire([]string{w.Addr()}, WireOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if st.Frames != total {
-		t.Fatalf("frames = %d, want %d", st.Frames, total)
+	e.cs[0].conn.Close()
+	e.cs[0] = nil
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush with a nil slot: %v", err)
 	}
-	if st.Failures != 0 || st.Retries != 0 {
-		t.Fatalf("unexpected retries/failures: %+v", st)
+	if err := e.SendTuple(&wire.Tuple{KeyHash: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush after redial: %v", err)
+	}
+	if err := w.WaitProcessed(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	e.cs[0] = nil // leave the slot empty again: Close must skip it
+	if err := e.Close(); err != nil {
+		t.Fatalf("close with a nil slot: %v", err)
 	}
 }
 

@@ -16,7 +16,7 @@ import (
 
 // WireOptions parameterizes DialWire. The zero value of every field
 // except Seed picks sensible defaults (PKG routing, the paper's two
-// choices, a 1024-frame credit window).
+// choices, a 1024-tuple credit window, 256-tuple batches).
 type WireOptions struct {
 	// Mode is the routing strategy over the destination nodes. The zero
 	// value selects PKG (StrategyKG is never a useful default for a
@@ -37,10 +37,28 @@ type WireOptions struct {
 	// frequency-aware modes.
 	Hot hotkey.Config
 	// Window is the credit window per connection: the maximum number
-	// of unacknowledged data frames kept in flight (default 1024).
-	// Reaching it stalls Send until the worker's cumulative Ack
-	// catches up — remote backpressure with bounded buffering.
+	// of unacknowledged TUPLES kept in flight (default 1024) — tuples,
+	// not frames, so batching never changes how much data a slow
+	// worker admits. Reaching it stalls Send until the worker's
+	// cumulative Ack catches up — remote backpressure with bounded
+	// buffering.
 	Window int
+	// MaxBatchTuples caps how many tuples accumulate per destination
+	// before they ship as one wire.KindTupleBatch frame (default 256,
+	// clamped to Window). 1 disables batching: every tuple ships as
+	// its own KindTuple frame, the pre-batch path.
+	MaxBatchTuples int
+	// MaxBatchBytes caps the encoded bytes accumulated per batch
+	// (default 32 KiB) — bounds worst-case batch latency and memory
+	// for large tuples regardless of MaxBatchTuples.
+	MaxBatchBytes int
+	// Linger, when positive, runs a background flusher that ships any
+	// partially filled batch (and the connection's buffered bytes) at
+	// this interval, bounding how long a trickling stream can strand
+	// tuples in a batch buffer. 0 keeps the edge a strictly
+	// single-goroutine object: batches ship only when full or on
+	// Flush/Watermark/Close.
+	Linger time.Duration
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
 }
@@ -55,17 +73,38 @@ type wireConn struct {
 
 	mu    sync.Mutex
 	cond  *sync.Cond
-	sent  int64 // data frames written (possibly still buffered)
+	sent  int64 // tuples written (possibly still buffered)
 	acked int64 // cumulative absorbed count from worker Acks
 	err   error // sticky: reader saw a broken connection
+}
+
+// wireBatch is one destination's accumulating encode buffer: tuple
+// bodies packed contiguously (wire.AppendTupleBody), plus each tuple's
+// start offset so a batch that straddles the credit window can be
+// split into sub-frames at any tuple boundary. Both slices are reused
+// across batches — the steady state allocates nothing.
+type wireBatch struct {
+	body  []byte
+	offs  []int
+	count int
+}
+
+func (b *wireBatch) reset() {
+	b.body = b.body[:0]
+	b.offs = b.offs[:0]
+	b.count = 0
 }
 
 // Wire is the TCP Edge: tuples routed over the destination nodes by a
 // coordination-free router (the same per-source load estimate and
 // hot-key sketch the in-process groupings use — nothing but keys
-// crosses the wire), with credit-based flow control per connection. A
-// Wire belongs to a single sending goroutine, like an engine grouping;
-// Stats may be read from anywhere.
+// crosses the wire), with credit-based flow control per connection.
+// Tuples accumulate in per-destination batch buffers and ship as
+// KindTupleBatch frames — one header, one credit acquisition and one
+// (or zero) syscall per batch instead of per tuple. A Wire belongs to
+// a single sending goroutine, like an engine grouping (the optional
+// Linger flusher is internally synchronized); Stats may be read from
+// anywhere.
 type Wire struct {
 	addrs  []string
 	opts   WireOptions
@@ -75,8 +114,19 @@ type Wire struct {
 	window int64
 
 	scratch []byte
+	hdr     []byte
+	batches []wireBatch
+
+	// lmu guards batches, conns and scratch buffers against the Linger
+	// flusher; nil when no flusher runs, so the single-goroutine hot
+	// path pays one nil check instead of a lock.
+	lmu        *sync.Mutex
+	lingerStop chan struct{} // immutable after DialWire; closed via lingerOnce
+	lingerOnce sync.Once
+	flushErr   error // sticky first error seen by the flusher
 
 	frames   atomic.Int64
+	tuples   atomic.Int64
 	marks    atomic.Int64
 	stalls   atomic.Int64
 	retries  atomic.Int64
@@ -94,9 +144,9 @@ const SendAttempts = 4
 
 // DialWire connects a flow-controlled tuple edge to the given node
 // addresses. Each connection opens with a wire.Credit frame declaring
-// the window, and a reader goroutine consumes the worker's cumulative
-// Acks; SendTuple then blocks whenever a connection has Window
-// unacknowledged frames in flight.
+// the tuple-denominated window, and a reader goroutine consumes the
+// worker's cumulative Acks; SendTuple then blocks whenever a
+// connection has Window unacknowledged tuples in flight.
 func DialWire(addrs []string, o WireOptions) (*Wire, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("edge: no node addresses")
@@ -107,11 +157,27 @@ func DialWire(addrs []string, o WireOptions) (*Wire, error) {
 	if o.Window <= 0 {
 		o.Window = 1024
 	}
+	if o.MaxBatchTuples == 0 {
+		o.MaxBatchTuples = 256
+	}
+	if o.MaxBatchTuples < 1 {
+		o.MaxBatchTuples = 1
+	}
+	if o.MaxBatchTuples > o.Window {
+		o.MaxBatchTuples = o.Window
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 32 << 10
+	}
+	if o.MaxBatchBytes > wire.MaxPayload-16 {
+		o.MaxBatchBytes = wire.MaxPayload - 16
+	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
 	w := &Wire{addrs: addrs, opts: o, window: int64(o.Window)}
 	n := len(addrs)
+	w.batches = make([]wireBatch, n)
 	cfg := route.Config{
 		Strategy: o.Mode, Workers: n, Seed: o.Seed, Start: o.Start,
 		D: o.D, Hot: o.Hot,
@@ -137,7 +203,58 @@ func DialWire(addrs []string, o WireOptions) (*Wire, error) {
 			return nil, err
 		}
 	}
+	if o.Linger > 0 && o.MaxBatchTuples > 1 {
+		w.lmu = &sync.Mutex{}
+		w.lingerStop = make(chan struct{})
+		go w.lingerLoop()
+	}
 	return w, nil
+}
+
+func (w *Wire) lock() {
+	if w.lmu != nil {
+		w.lmu.Lock()
+	}
+}
+
+func (w *Wire) unlock() {
+	if w.lmu != nil {
+		w.lmu.Unlock()
+	}
+}
+
+// lingerLoop ships partially filled batches and buffered bytes every
+// Linger interval, so a trickling stream never strands tuples waiting
+// for a batch to fill. Errors latch into flushErr and surface on the
+// sender's next call — the flusher itself has nobody to report to.
+func (w *Wire) lingerLoop() {
+	t := time.NewTicker(w.opts.Linger)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.lingerStop:
+			return
+		case <-t.C:
+			w.lmu.Lock()
+			for i := range w.batches {
+				if w.batches[i].count == 0 {
+					continue
+				}
+				if err := w.flushBatch(i); err != nil {
+					if w.flushErr == nil {
+						w.flushErr = err
+					}
+					break
+				}
+			}
+			for _, c := range w.cs {
+				if c != nil && c.w.Buffered() > 0 {
+					_ = c.w.Flush() // a broken conn turns up as a sticky read error
+				}
+			}
+			w.lmu.Unlock()
+		}
+	}
 }
 
 // connect (re)establishes connection i and opens its credit session.
@@ -146,10 +263,10 @@ func (w *Wire) connect(i int, addr string) error {
 	if err != nil {
 		return fmt.Errorf("edge: dial %s: %w", addr, err)
 	}
-	c := &wireConn{conn: conn, w: bufio.NewWriterSize(conn, 1<<16)}
+	c := &wireConn{conn: conn, w: bufio.NewWriterSize(conn, 1<<17)}
 	c.cond = sync.NewCond(&c.mu)
-	// A dedicated buffer: connect runs inside sendFrame's retry path,
-	// whose frame argument may alias w.scratch.
+	// A dedicated buffer: connect runs inside the retry path, whose
+	// frame argument may alias w.scratch.
 	credit := wire.AppendCredit(nil, wire.Credit{Window: w.window})
 	if _, err := c.w.Write(credit); err != nil {
 		conn.Close()
@@ -201,10 +318,25 @@ func (w *Wire) readAcks(c *wireConn) {
 	}
 }
 
-// acquire claims one credit on connection i, blocking while the window
-// is exhausted. It flushes the connection's buffered frames before
-// waiting — the worker can only ack what has actually reached it.
+// acquire claims one tuple credit on the connection, blocking while
+// the window is exhausted. It flushes the connection's buffered frames
+// before waiting — the worker can only ack what has actually reached
+// it.
 func (w *Wire) acquire(c *wireConn) error {
+	n, err := w.acquireUpTo(c, 1)
+	if err == nil && n != 1 {
+		return errors.New("edge: zero-credit acquire") // unreachable: want ≥ 1
+	}
+	return err
+}
+
+// acquireUpTo claims between 1 and want tuple credits, blocking while
+// no credit is available at all. Returning a partial grant is what
+// lets a batch straddle the window boundary: the sender ships a
+// sub-frame of exactly the granted tuples and blocks for the rest, so
+// a stalled worker holds the sender at exactly Window tuples in
+// flight.
+func (w *Wire) acquireUpTo(c *wireConn, want int) (int, error) {
 	c.mu.Lock()
 	if c.err == nil && c.sent-c.acked >= w.window {
 		w.stalls.Add(1)
@@ -212,85 +344,184 @@ func (w *Wire) acquire(c *wireConn) error {
 		// the worker can never drain and the stall never ends.
 		c.mu.Unlock()
 		if err := c.w.Flush(); err != nil {
-			return err
+			return 0, err
 		}
 		c.mu.Lock()
 		for c.err == nil && c.sent-c.acked >= w.window {
 			c.cond.Wait()
 		}
 	}
-	err := c.err
-	if err == nil {
-		c.sent++
+	if err := c.err; err != nil {
+		c.mu.Unlock()
+		return 0, err
 	}
+	n := int(w.window - (c.sent - c.acked))
+	if n > want {
+		n = want
+	}
+	c.sent += int64(n)
 	c.mu.Unlock()
-	return err
+	return n, nil
 }
 
 // Route returns the destination node SendTuple would pick for key,
 // without sending (candidate derivation for tests and probes).
 func (w *Wire) Route(key uint64) int { return w.part.Route(key) }
 
-// SendTuple routes one tuple by its KeyHash and ships it under credit
-// flow control — the per-tuple form the engine's remote-partial
-// forwarder drives. On a broken connection it redials the destination
-// with bounded backoff (the credit session restarts from zero) before
-// giving up.
+// SendTuple routes one tuple by its KeyHash — the per-tuple form the
+// engine's remote-partial forwarder drives. The tuple's body is
+// appended to its destination's batch buffer; the batch ships as one
+// KindTupleBatch frame when it reaches MaxBatchTuples or
+// MaxBatchBytes (or on Flush/Watermark/Close, or the Linger tick).
+// With MaxBatchTuples 1 it ships immediately as a KindTuple frame.
+// Credit is acquired per tuple either way; on a broken connection the
+// shipping path redials with bounded backoff (the credit session
+// restarts from zero) before giving up.
 func (w *Wire) SendTuple(t *wire.Tuple) error {
 	dst := w.part.Route(t.KeyHash)
 	if w.view != nil {
 		w.view.Add(dst)
 	}
-	var err error
-	w.scratch, err = wire.AppendTuple(w.scratch[:0], t)
-	if err != nil {
-		return err
+	if w.opts.MaxBatchTuples <= 1 {
+		var err error
+		w.scratch, err = wire.AppendTuple(w.scratch[:0], t)
+		if err != nil {
+			return err
+		}
+		return w.sendFrame(dst, w.scratch)
 	}
-	return w.sendFrame(dst, w.scratch)
+	w.lock()
+	err := w.batchTuple(dst, t)
+	w.unlock()
+	return err
 }
 
 // Send implements Edge: the caller has already routed the batch to
-// dst, so the edge charges its own load view for the whole batch and
-// ships frame by frame — each tuple consumes one credit, and a batch
+// dst, so the edge charges its own load view for the whole batch in
+// one operation and appends every tuple to dst's batch buffer — each
+// tuple still consumes one credit when its batch ships, and a batch
 // may stall mid-way when the window exhausts (per-destination FIFO is
 // preserved; the remainder follows once credit returns).
 func (w *Wire) Send(dst int, batch []wire.Tuple) error {
 	if w.view != nil {
-		for range batch {
-			w.view.Add(dst)
-		}
+		w.view.AddN(dst, int64(len(batch)))
 	}
-	for i := range batch {
-		var err error
-		w.scratch, err = wire.AppendTuple(w.scratch[:0], &batch[i])
-		if err != nil {
-			return err
+	if w.opts.MaxBatchTuples <= 1 {
+		for i := range batch {
+			var err error
+			w.scratch, err = wire.AppendTuple(w.scratch[:0], &batch[i])
+			if err != nil {
+				return err
+			}
+			if err := w.sendFrame(dst, w.scratch); err != nil {
+				return err
+			}
 		}
-		if err := w.sendFrame(dst, w.scratch); err != nil {
+		return nil
+	}
+	w.lock()
+	defer w.unlock()
+	for i := range batch {
+		if err := w.batchTuple(dst, &batch[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// batchTuple appends one tuple body to dst's batch buffer, shipping
+// the batch when it fills. Callers hold the linger lock when one
+// exists.
+func (w *Wire) batchTuple(dst int, t *wire.Tuple) error {
+	if w.flushErr != nil {
+		return w.flushErr
+	}
+	b := &w.batches[dst]
+	b.offs = append(b.offs, len(b.body))
+	var err error
+	if b.body, err = wire.AppendTupleBody(b.body, t); err != nil {
+		b.offs = b.offs[:len(b.offs)-1]
+		return err
+	}
+	b.count++
+	if b.count >= w.opts.MaxBatchTuples || len(b.body) >= w.opts.MaxBatchBytes {
+		return w.flushBatch(dst)
+	}
+	return nil
+}
+
+// flushBatch ships destination dst's accumulated batch, splitting at
+// the credit window: each sub-frame's tuples acquire their credits up
+// front, so a batch straddling the window boundary stalls mid-batch
+// with exactly Window tuples in flight — backpressure semantics are
+// identical to the per-tuple path, just with amortized framing.
+// Callers hold the linger lock when one exists.
+func (w *Wire) flushBatch(dst int) error {
+	b := &w.batches[dst]
+	if b.count == 0 {
+		return nil
+	}
+	done := 0
+	for done < b.count {
+		var granted int
+		err := w.withRedial(dst, func(c *wireConn) error {
+			n, err := w.acquireUpTo(c, b.count-done)
+			if err != nil {
+				return err
+			}
+			granted = n
+			start, end := b.offs[done], len(b.body)
+			if done+n < b.count {
+				end = b.offs[done+n]
+			}
+			w.hdr = wire.AppendTupleBatchHeader(w.hdr[:0], n, end-start)
+			if _, err := c.w.Write(w.hdr); err != nil {
+				return err
+			}
+			_, err = c.w.Write(b.body[start:end])
+			return err
+		})
+		if err != nil {
+			// The edge is terminally failing toward dst; the undelivered
+			// remainder goes down with it (the same best-effort contract
+			// as frames buffered on a dead connection).
+			b.reset()
+			return fmt.Errorf("edge: node %d (%s) unreachable after retries: %w", dst, w.addrs[dst], err)
+		}
+		done += granted
+		w.frames.Add(1)
+		w.tuples.Add(int64(granted))
+	}
+	b.reset()
+	return nil
+}
+
 // withRedial runs op against dst's connection, redialing with bounded
 // backoff and re-running op on each fresh connection until it succeeds
-// or SendAttempts is exhausted. Frames already in flight on a dead
-// connection may or may not have been absorbed — reconnecting is
-// at-least-once for the operation being retried and best-effort for
-// the buffered tail, which is the honest contract when the peer
-// process vanished mid-stream.
+// or SendAttempts is exhausted. A nil slot (a connect failure left
+// mid-dial, or a redial in flight) skips straight to redialing instead
+// of dereferencing it. Frames already in flight on a dead connection
+// may or may not have been absorbed — reconnecting is at-least-once
+// for the operation being retried and best-effort for the buffered
+// tail, which is the honest contract when the peer process vanished
+// mid-stream.
 func (w *Wire) withRedial(dst int, op func(c *wireConn) error) error {
-	err := op(w.cs[dst])
-	if err == nil {
-		return nil
+	var err error
+	if c := w.cs[dst]; c != nil {
+		if err = op(c); err == nil {
+			return nil
+		}
+	} else {
+		err = errors.New("edge: no live connection")
 	}
 	backoff := 25 * time.Millisecond
 	for attempt := 1; attempt < SendAttempts; attempt++ {
 		w.retries.Add(1)
 		time.Sleep(backoff)
 		backoff *= 2
-		w.cs[dst].conn.Close()
+		if c := w.cs[dst]; c != nil {
+			c.conn.Close()
+		}
 		if derr := w.connect(dst, w.addrs[dst]); derr != nil {
 			err = derr
 			continue
@@ -303,9 +534,9 @@ func (w *Wire) withRedial(dst int, op func(c *wireConn) error) error {
 	return err
 }
 
-// sendFrame ships one encoded data frame to dst under flow control,
-// riding the redial path when the connection is gone (the credit
-// session restarts from zero on a fresh connection).
+// sendFrame ships one encoded per-tuple data frame to dst under flow
+// control, riding the redial path when the connection is gone (the
+// credit session restarts from zero on a fresh connection).
 func (w *Wire) sendFrame(dst int, frame []byte) error {
 	err := w.withRedial(dst, func(c *wireConn) error {
 		if err := w.acquire(c); err != nil {
@@ -318,16 +549,28 @@ func (w *Wire) sendFrame(dst int, frame []byte) error {
 		return fmt.Errorf("edge: node %d (%s) unreachable after retries: %w", dst, w.addrs[dst], err)
 	}
 	w.frames.Add(1)
+	w.tuples.Add(1)
 	return nil
 }
 
-// Watermark implements Edge: buffered data is flushed first so the
-// promise arrives after everything it covers, then the mark broadcasts
-// to every node. Marks are control traffic and consume no credit, but
-// they ride the same redial path as data — a node restart that lands
-// on a mark relay (spouts emit marks every few hundred tuples, so many
-// restarts do) must not kill an edge whose tuple path would survive it.
+// Watermark implements Edge: batched and buffered data is flushed
+// first so the promise arrives after everything it covers, then the
+// mark broadcasts to every node. Marks are control traffic and
+// consume no credit, but they ride the same redial path as data — a
+// node restart that lands on a mark relay (spouts emit marks every
+// few hundred tuples, so many restarts do) must not kill an edge
+// whose tuple path would survive it.
 func (w *Wire) Watermark(source uint32, wm int64) error {
+	w.lock()
+	defer w.unlock()
+	if w.flushErr != nil {
+		return w.flushErr
+	}
+	for i := range w.cs {
+		if err := w.flushBatch(i); err != nil {
+			return err
+		}
+	}
 	w.scratch = wire.AppendMark(w.scratch[:0], wire.Mark{Source: source, WM: wm})
 	for i := range w.cs {
 		if err := w.markConn(i, w.scratch); err != nil {
@@ -359,22 +602,46 @@ func (w *Wire) markConn(dst int, frame []byte) error {
 	return nil
 }
 
-// Flush implements Edge: every connection's buffered frames go out.
+// Flush implements Edge: every destination's accumulated batch ships
+// and every connection's buffered frames go out. Nil connection slots
+// (a redial in flight) are skipped, matching Close.
 func (w *Wire) Flush() error {
-	for i, c := range w.cs {
-		if err := c.w.Flush(); err != nil {
-			return fmt.Errorf("edge: flush node %d: %w", i, err)
+	w.lock()
+	defer w.unlock()
+	if w.flushErr != nil {
+		return w.flushErr
+	}
+	for i := range w.cs {
+		if err := w.flushBatch(i); err != nil {
+			return err
+		}
+		if c := w.cs[i]; c != nil { // flushBatch may have redialed: re-read
+			if err := c.w.Flush(); err != nil {
+				return fmt.Errorf("edge: flush node %d: %w", i, err)
+			}
 		}
 	}
 	return nil
 }
 
-// Close implements Edge: flush and close every connection (their
-// reader goroutines exit on the close).
+// Close implements Edge: stop the linger flusher, ship any accumulated
+// batches, then flush and close every connection (their reader
+// goroutines exit on the close).
 func (w *Wire) Close() error {
+	if w.lingerStop != nil {
+		w.lingerOnce.Do(func() { close(w.lingerStop) })
+	}
+	w.lock()
+	defer w.unlock()
 	var first error
-	for _, c := range w.cs {
+	for i, c := range w.cs {
 		if c == nil {
+			continue
+		}
+		if err := w.flushBatch(i); err != nil && first == nil {
+			first = err
+		}
+		if c = w.cs[i]; c == nil { // flushBatch may have redialed: re-read
 			continue
 		}
 		if err := c.w.Flush(); err != nil && first == nil {
@@ -403,13 +670,18 @@ func (w *Wire) LocalLoads() []int64 {
 	return w.view.Snapshot()
 }
 
-// Sent returns the number of data frames sent.
+// Sent returns the number of data frames sent (one per batch).
 func (w *Wire) Sent() int64 { return w.frames.Load() }
+
+// SentTuples returns the number of tuples shipped — the credit
+// denomination, and Frames × batch size in the steady state.
+func (w *Wire) SentTuples() int64 { return w.tuples.Load() }
 
 // Stats snapshots the edge counters.
 func (w *Wire) Stats() Stats {
 	return Stats{
 		Frames:   w.frames.Load(),
+		Tuples:   w.tuples.Load(),
 		Marks:    w.marks.Load(),
 		Stalls:   w.stalls.Load(),
 		Retries:  w.retries.Load(),

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"pkgstream/internal/hotkey"
 	"pkgstream/internal/route"
@@ -50,11 +51,24 @@ type RemotePartialConfig struct {
 	D int
 	// Hot carries the hot-key knobs for the frequency-aware strategies.
 	Hot hotkey.Config
-	// Window is the credit window per node connection in data frames
+	// Window is the credit window per node connection in TUPLES
 	// (0: the edge default, 1024). Reaching it stalls the forwarder —
 	// and through the engine's bounded queues, the spout — until the
 	// node acks: end-to-end backpressure across the process boundary.
 	Window int
+	// MaxBatchTuples caps how many tuples the edge accumulates per
+	// node before shipping them as one wire.KindTupleBatch frame (0:
+	// the edge default, 256, clamped to Window). 1 restores per-tuple
+	// KindTuple frames.
+	MaxBatchTuples int
+	// MaxBatchBytes caps the encoded bytes per batch (0: the edge
+	// default, 32 KiB).
+	MaxBatchBytes int
+	// Linger bounds how long a partially filled batch may wait for
+	// more tuples before the edge ships it anyway (0: the forwarder
+	// default, 2ms; negative: no linger flusher — batches ship only
+	// when full or at watermarks).
+	Linger time.Duration
 }
 
 // RemotePartialOp is the optional WindowedOp extension behind the
@@ -88,7 +102,7 @@ func RemotePartial(addrs ...string) WindowedOption {
 }
 
 // RemotePartialOpts is RemotePartial with explicit edge knobs (routing
-// strategy, hot-key widening, credit window).
+// strategy, hot-key widening, credit window, tuple batching).
 func RemotePartialOpts(cfg RemotePartialConfig) WindowedOption {
 	return func(c *windowedCfg) { c.remotePartial = &cfg }
 }

@@ -189,7 +189,16 @@ func drainNode(addr string) []wire.WindowResult {
 // computed over the partial NODES' absorbed-tuple counts (OpStats) —
 // the paper's worker-load vector, measured across real sockets.
 func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
-	b, _ := pipeTopology(n, seed, engine.RemotePartial(paddrs...))
+	// Explicit edge knobs, exercising the batched wire path end to end:
+	// 256-tuple batches under a 1024-tuple credit window, with a short
+	// linger so the tail of a skewed stream never waits on a full batch.
+	b, _ := pipeTopology(n, seed, engine.RemotePartialOpts(engine.RemotePartialConfig{
+		Addrs:          paddrs,
+		Window:         1024,
+		MaxBatchTuples: 256,
+		MaxBatchBytes:  32 << 10,
+		Linger:         2 * time.Millisecond,
+	}))
 	top, err := b.Build()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: pipeline: %v", err))

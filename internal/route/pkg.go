@@ -3,6 +3,7 @@ package route
 import (
 	"fmt"
 
+	"pkgstream/internal/hash"
 	"pkgstream/internal/metrics"
 )
 
@@ -59,6 +60,19 @@ func NewPKG(w, d int, seed uint64, view *metrics.Load) *PKG {
 // under the current view. The caller records the message into the
 // relevant load vectors afterwards.
 func (g *PKG) Route(key uint64) int {
+	if len(g.seeds) == 2 && g.w >= 2 {
+		// The paper's d = 2, inlined: same candidate construction as
+		// candidates() without staging the pair through g.cands.
+		r0 := int(mod(hash.Mix64(key, g.seeds[0]), uint64(g.w)))
+		r1 := int(mod(hash.Mix64(key, g.seeds[1]), uint64(g.w-1)))
+		if r1 >= r0 {
+			r1++
+		}
+		if g.view.Get(r1) < g.view.Get(r0) {
+			return r1
+		}
+		return r0
+	}
 	candidates(g.cands, key, g.seeds, g.w)
 	return leastLoaded(g.view, g.cands)
 }

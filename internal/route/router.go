@@ -163,6 +163,18 @@ func choiceSeeds(seed uint64, d int) []uint64 {
 	return seeds
 }
 
+// mod is x % m with the u64 division strength-reduced to a mask when m
+// is a power of two (the common 2-worker local edge, and m = 1 for the
+// second of two choices). Same value always — routing stays a pure
+// function of (key, seeds, w) — just without the ~25-cycle divide on
+// the per-tuple path.
+func mod(x, m uint64) uint64 {
+	if m&(m-1) == 0 {
+		return x & (m - 1)
+	}
+	return x % m
+}
+
 // candidates fills dst with the d candidate workers of key, one per hash
 // function, sampled *without replacement*: with naive independent hashes
 // the two choices of a key collide with probability 1/W, and when the
@@ -174,6 +186,19 @@ func choiceSeeds(seed uint64, d int) []uint64 {
 // property. This is the only copy of the construction in the tree; every
 // layer that needs a candidate set obtains it from this package.
 func candidates(dst []int, key uint64, seeds []uint64, w int) {
+	if len(seeds) == 2 && w >= 2 {
+		// The paper's d = 2 on the per-tuple hot path: the general
+		// construction below collapses to "second choice drawn from the
+		// w−1 workers other than the first". Identical output, none of
+		// the selection bookkeeping.
+		r0 := int(mod(hash.Mix64(key, seeds[0]), uint64(w)))
+		r1 := int(mod(hash.Mix64(key, seeds[1]), uint64(w-1)))
+		if r1 >= r0 {
+			r1++
+		}
+		dst[0], dst[1] = r0, r1
+		return
+	}
 	var buf [8]int
 	var sel []int // ascending list of already-chosen candidates
 	if len(seeds) <= len(buf) {
@@ -188,7 +213,7 @@ func candidates(dst []int, key uint64, seeds []uint64, w int) {
 			dst[i] = dst[0]
 			continue
 		}
-		r := int(hash.Mix64(key, s) % uint64(w-i))
+		r := int(mod(hash.Mix64(key, s), uint64(w-i)))
 		// Shift past chosen candidates in ascending order to land on the
 		// r-th *unchosen* worker.
 		pos := 0
@@ -269,9 +294,10 @@ func allWorkers(w int) []int {
 // (first-listed wins ties, keeping routing deterministic).
 func leastLoaded(view *metrics.Load, cands []int) int {
 	best := cands[0]
+	bestLoad := view.Get(best)
 	for _, c := range cands[1:] {
-		if view.Get(c) < view.Get(best) {
-			best = c
+		if l := view.Get(c); l < bestLoad {
+			best, bestLoad = c, l
 		}
 	}
 	return best

@@ -30,6 +30,20 @@ type Handler interface {
 	HandleQuery(q wire.Query) wire.Reply
 }
 
+// TupleBatchHandler is the optional Handler extension for batched
+// tuple frames (wire.KindTupleBatch): the worker hands the whole
+// decoded batch over in ONE serialized call — one lock acquisition,
+// one ack-accounting pass — instead of n HandleTuple dispatches.
+// Handlers without it keep working: the worker unrolls the batch into
+// per-tuple HandleTuple calls under a single lock hold. The slice, the
+// tuples and their Values are only valid for the duration of the call
+// (the worker reuses its decode buffers).
+type TupleBatchHandler interface {
+	Handler
+	// HandleTupleBatch absorbs one decoded tuple batch.
+	HandleTupleBatch(ts []wire.Tuple)
+}
+
 // ResultSink is the push half of a Subscribe session: the worker hands
 // one to the handler when a connection subscribes, and the handler
 // writes server-initiated Reply frames through it whenever it has news
@@ -77,6 +91,17 @@ func (h *CountHandler) HandleTuple(t *wire.Tuple) {
 	h.mu.Lock()
 	h.counts[t.KeyHash]++
 	h.processed++
+	h.mu.Unlock()
+}
+
+// HandleTupleBatch implements TupleBatchHandler: the whole batch
+// counts under one lock acquisition.
+func (h *CountHandler) HandleTupleBatch(ts []wire.Tuple) {
+	h.mu.Lock()
+	for i := range ts {
+		h.counts[ts[i].KeyHash]++
+	}
+	h.processed += int64(len(ts))
 	h.mu.Unlock()
 }
 

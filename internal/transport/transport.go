@@ -53,6 +53,7 @@ type Worker struct {
 
 	mu        sync.Mutex
 	processed int64
+	frames    int64
 	conns     map[net.Conn]struct{}
 
 	wg     sync.WaitGroup
@@ -133,22 +134,29 @@ func (w *Worker) serve(conn net.Conn) {
 		return
 	default:
 	}
-	r := bufio.NewReaderSize(conn, 1<<16)
+	r := bufio.NewReaderSize(conn, 1<<17)
 	var (
 		payload []byte
 		tup     wire.Tuple
+		tups    []wire.Tuple
 		par     wire.Partial
 		reply   []byte
 	)
+	// Batch frames dispatch in one call when the handler supports it;
+	// otherwise the worker unrolls the batch into per-tuple calls under
+	// a single lock hold.
+	bh, _ := w.h.(TupleBatchHandler)
 	// wmu serializes every write on this connection: query replies from
 	// this goroutine, flow-control acks, and — once subscribed — result
 	// frames pushed by handler calls running on OTHER connections.
 	wmu := &sync.Mutex{}
 	// Credit flow control, armed by a wire.Credit frame: the sender
-	// keeps at most `window` unacknowledged data frames in flight, and
-	// this side replenishes it with cumulative Acks as the handler
-	// absorbs them (every window/2 frames, so the sender's window can
-	// never drain to zero with the worker idle).
+	// keeps at most `window` unacknowledged TUPLES in flight (a batch
+	// of n costs n), and this side replenishes it with cumulative Acks
+	// as the handler absorbs them (every window/2 tuples, so the
+	// sender's window can never drain to zero with the worker idle).
+	// Acks are per batch, never per tuple — one accounting pass and at
+	// most one ack write however many tuples a frame carried.
 	var fcWindow, fcProcessed, fcAcked int64
 	var ackBuf []byte
 	ack := func() bool {
@@ -159,42 +167,64 @@ func (w *Worker) serve(conn net.Conn) {
 		wmu.Unlock()
 		return err == nil
 	}
-	absorbed := func() bool {
-		w.addProcessed(1)
+	absorbedN := func(n int64) bool {
+		w.addProcessed(n)
 		if fcWindow <= 0 {
 			return true
 		}
-		fcProcessed++
+		fcProcessed += n
 		if every := fcWindow / 2; fcProcessed-fcAcked > every {
 			return ack()
 		}
 		return true
 	}
 	for {
-		kind, p, err := wire.ReadFrame(r, payload)
+		// Zero-copy read: p aliases r's buffer for frames that fit it
+		// (the decoders below copy anything a decoded value retains),
+		// with payload as the spill buffer for oversized frames.
+		kind, p, err := wire.ReadFrameBuffered(r, &payload)
 		if err != nil {
 			return // EOF, peer gone, or protocol violation: drop the connection
 		}
-		payload = p
 		switch kind {
 		case wire.KindTuple:
 			if err := wire.DecodeTuple(p, &tup); err != nil {
 				return
 			}
+			w.addFrames(1)
 			w.hmu.Lock()
 			w.h.HandleTuple(&tup)
 			w.hmu.Unlock()
-			if !absorbed() {
+			if !absorbedN(1) {
+				return
+			}
+		case wire.KindTupleBatch:
+			var err error
+			if tups, err = wire.DecodeTupleBatch(p, tups); err != nil {
+				return
+			}
+			w.addFrames(1)
+			w.hmu.Lock()
+			if bh != nil {
+				bh.HandleTupleBatch(tups)
+			} else {
+				for i := range tups {
+					w.h.HandleTuple(&tups[i])
+				}
+			}
+			w.hmu.Unlock()
+			if !absorbedN(int64(len(tups))) {
 				return
 			}
 		case wire.KindPartial:
 			if err := wire.DecodePartial(p, &par); err != nil {
 				return
 			}
+			w.addFrames(1)
 			w.hmu.Lock()
 			w.h.HandlePartial(&par)
 			w.hmu.Unlock()
-			if !absorbed() {
+			if !absorbedN(1) {
 				return
 			}
 		case wire.KindMark:
@@ -276,12 +306,28 @@ func (w *Worker) addProcessed(n int64) {
 	w.mu.Unlock()
 }
 
-// Processed returns the number of data frames (tuples and partials)
-// absorbed.
+func (w *Worker) addFrames(n int64) {
+	w.mu.Lock()
+	w.frames += n
+	w.mu.Unlock()
+}
+
+// Processed returns the number of data items (tuples and partials)
+// absorbed — tuples inside a batch frame count individually, so the
+// number is framing-independent.
 func (w *Worker) Processed() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.processed
+}
+
+// Frames returns the number of data frames absorbed (a tuple batch
+// counts once). Processed/Frames is the effective batching ratio on
+// the receive side.
+func (w *Worker) Frames() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.frames
 }
 
 // DistinctKeys returns the number of live partial counters (0 for a
@@ -843,7 +889,7 @@ func SubscribeResults(addr string, timeout time.Duration) ([]wire.WindowResult, 
 	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
-	r := bufio.NewReaderSize(conn, 1<<16)
+	r := bufio.NewReaderSize(conn, 1<<17)
 	var out []wire.WindowResult
 	var payload []byte
 	for {

@@ -1,12 +1,15 @@
 package transport
 
 import (
+	"io"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"pkgstream/internal/rng"
 	"pkgstream/internal/route"
+	"pkgstream/internal/wire"
 )
 
 // startWorkers spins up n workers on ephemeral loopback ports.
@@ -268,6 +271,96 @@ func TestProtocolViolationDropsConnection(t *testing.T) {
 	}
 	if got != 1 {
 		t.Fatalf("count after violation = %d", got)
+	}
+}
+
+// TestWorkerBatchDispatchCoalescesAcks drives a worker over a raw
+// credit session: a TupleBatch frame of n tuples must be absorbed as
+// ONE frame (one HandleTupleBatch dispatch for batch-aware handlers)
+// and acknowledged with ONE cumulative tuple-denominated Ack — not n
+// of either. Acks still fire on the half-window cadence, so a small
+// batch below the threshold stays silently absorbed until a later
+// batch tips it over.
+func TestWorkerBatchDispatchCoalescesAcks(t *testing.T) {
+	h := NewCountHandler()
+	w, err := ListenHandler("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	conn, err := net.Dial("tcp", w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	readAck := func() wire.Ack {
+		t.Helper()
+		var hdr [wire.HeaderSize]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		kind, n, err := wire.ParseHeader(hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != wire.KindAck {
+			t.Fatalf("kind = %v, want ack", kind)
+		}
+		p := make([]byte, n)
+		if _, err := io.ReadFull(conn, p); err != nil {
+			t.Fatal(err)
+		}
+		a, err := wire.DecodeAck(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	batch := func(keys ...uint64) []byte {
+		ts := make([]wire.Tuple, len(keys))
+		for i, k := range keys {
+			ts[i] = wire.Tuple{KeyHash: k}
+		}
+		f, err := wire.AppendTupleBatch(nil, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	// Window 8 → the worker acks cumulatively once >4 tuples are unacked.
+	buf := wire.AppendCredit(nil, wire.Credit{Window: 8})
+	buf = append(buf, batch(1, 2, 3, 4, 5)...)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if a := readAck(); a.Count != 5 {
+		t.Fatalf("ack after 5-tuple batch = %d, want cumulative 5", a.Count)
+	}
+	// 2 more tuples: below the half-window threshold, no ack yet; the
+	// next batch must coalesce them into one cumulative count.
+	if _, err := conn.Write(batch(6, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(batch(8, 9, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if a := readAck(); a.Count != 10 {
+		t.Fatalf("ack after 2+3 tuples = %d, want cumulative 10", a.Count)
+	}
+	if err := w.WaitProcessed(10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Frames(); got != 3 {
+		t.Fatalf("frames = %d, want 3 (one per batch)", got)
+	}
+	if got := w.Processed(); got != 10 {
+		t.Fatalf("processed = %d tuples, want 10", got)
+	}
+	if got := h.Count(3); got != 1 {
+		t.Fatalf("count(3) = %d, want 1", got)
 	}
 }
 

@@ -164,6 +164,27 @@ func (h *PartialHandler) HandleTuple(t *wire.Tuple) {
 	h.processed++
 }
 
+// HandleTupleBatch implements transport.TupleBatchHandler: a whole
+// decoded batch accumulates under one lock acquisition — the receive
+// half of the batched spout→partial edge.
+func (h *PartialHandler) HandleTupleBatch(ts []wire.Tuple) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		h.bad += int64(len(ts)) // tuples after every source's final mark: protocol misuse
+		return
+	}
+	for i := range ts {
+		t := &ts[i]
+		et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos, Tick: t.Tick}
+		if len(t.Values) > 0 {
+			et.Values = append(engine.Values{}, t.Values...)
+		}
+		h.bolt.Execute(et, (*relay)(h))
+	}
+	h.processed += int64(len(ts))
+}
+
 // HandlePartial implements transport.Handler: a partial node consumes
 // raw tuples, not partials — partials are counted as protocol misuse.
 func (h *PartialHandler) HandlePartial(*wire.Partial) {
@@ -327,11 +348,24 @@ type tupleForwarder struct {
 	seen    map[int]bool // source IDs observed in marks
 }
 
-// Prepare implements engine.Bolt: it dials the partial nodes.
+// Prepare implements engine.Bolt: it dials the partial nodes. The
+// edge batches tuples by default; the forwarder turns the linger
+// flusher on (2ms unless configured) because engine timer ticks never
+// reach this edge — without it a trickling spout could strand a
+// partial batch until the next mark.
 func (b *tupleForwarder) Prepare(ctx *engine.Context) {
+	linger := b.cfg.Linger
+	if linger == 0 {
+		linger = 2 * time.Millisecond
+	}
+	if linger < 0 {
+		linger = 0
+	}
 	e, err := edge.DialWire(b.cfg.Addrs, edge.WireOptions{
 		Mode: b.cfg.Strategy, ModeSet: b.cfg.StrategySet, Seed: b.seed,
 		Start: ctx.Index, D: b.cfg.D, Hot: b.cfg.Hot, Window: b.cfg.Window,
+		MaxBatchTuples: b.cfg.MaxBatchTuples, MaxBatchBytes: b.cfg.MaxBatchBytes,
+		Linger: linger,
 	})
 	if err != nil {
 		panic(&engine.EdgeError{

@@ -39,18 +39,32 @@
 //
 //	Credit    — sender → worker: opens a credit-based flow-control
 //	            session on the connection, declaring the maximum number
-//	            of unacknowledged data frames the sender will keep in
+//	            of unacknowledged tuples the sender will keep in
 //	            flight;
-//	Ack       — worker → sender: the cumulative count of data frames
+//	Ack       — worker → sender: the cumulative count of tuples
 //	            absorbed on this connection, replenishing the sender's
 //	            credit window (a slow worker therefore stalls its
 //	            sender instead of ballooning the TCP buffer);
 //	Subscribe — client → final node: register this connection for push
 //	            delivery of closed-window results (Reply frames are
 //	            then server-initiated, removing the poll).
+//
+// One data family added for batched edges (PR 6):
+//
+//	TupleBatch — n stream tuples under ONE header: a uvarint count
+//	             followed by n contiguous tuple bodies (the KindTuple
+//	             payload layout, which is self-delimiting — no
+//	             per-tuple header, version byte, or length prefix).
+//	             This is what lets a flow-controlled edge amortize
+//	             framing, syscalls and credit accounting over a whole
+//	             batch. The protocol version stays 1: kinds are part
+//	             of the header validation, so a pre-batch decoder
+//	             rejects a TupleBatch frame cleanly ("unknown frame
+//	             kind") instead of misreading it.
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -92,6 +106,8 @@ const (
 	KindAck
 	// KindSubscribe registers a connection for result pushes.
 	KindSubscribe
+	// KindTupleBatch is a batch of stream tuples under one header.
+	KindTupleBatch
 	kindEnd
 )
 
@@ -116,6 +132,8 @@ func (k Kind) String() string {
 		return "ack"
 	case KindSubscribe:
 		return "subscribe"
+	case KindTupleBatch:
+		return "tuple-batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -251,23 +269,26 @@ type Reply struct {
 
 // Credit opens a credit-based flow-control session on a connection
 // (sender → worker). The sender promises to keep at most Window data
-// frames (tuples and partials; marks and queries are control traffic
-// and exempt) unacknowledged in flight, and the worker answers with
-// cumulative Ack frames as it absorbs them. A connection that never
-// sends Credit runs un-flow-controlled, exactly as before — the
+// items unacknowledged in flight, and the worker answers with
+// cumulative Ack frames as it absorbs them. The window is denominated
+// in TUPLES, not frames: a KindTuple or KindPartial frame costs one
+// credit, a KindTupleBatch of n tuples costs n — so batching changes
+// the framing, never the amount of buffered data a slow worker admits.
+// Marks and queries are control traffic and exempt. A connection that
+// never sends Credit runs un-flow-controlled, exactly as before — the
 // session is strictly opt-in, so old senders keep working.
 type Credit struct {
-	// Window is the maximum number of unacknowledged data frames the
-	// sender keeps in flight (≥ 1).
+	// Window is the maximum number of unacknowledged tuples the sender
+	// keeps in flight (≥ 1).
 	Window int64
 }
 
 // Ack replenishes a sender's credit window (worker → sender): Count is
-// the cumulative number of data frames the worker has absorbed — not a
-// delta — so a lost or reordered Ack can only under-report, never
-// double-credit.
+// the cumulative number of tuples the worker has absorbed (n per
+// tuple batch) — not a delta — so a lost or reordered Ack can only
+// under-report, never double-credit.
 type Ack struct {
-	// Count is the cumulative absorbed data-frame count (≥ 0).
+	// Count is the cumulative absorbed tuple count (≥ 0).
 	Count int64
 }
 
@@ -330,9 +351,41 @@ func appendBytes(dst []byte, b []byte) []byte {
 func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
 	undo := len(dst)
 	dst, start := frame(dst, KindTuple)
+	dst, err := AppendTupleBody(dst, t)
+	if err != nil {
+		return dst[:undo], err
+	}
+	return finish(dst, start), nil
+}
+
+// AppendTupleBody appends t's encoded body — the KindTuple payload
+// layout, with no frame header — to dst. Bodies are self-delimiting, so
+// a batched edge accumulates them contiguously in a per-destination
+// buffer and frames the whole run as one KindTupleBatch. On an
+// unsupported value type the returned slice is dst unchanged.
+func AppendTupleBody(dst []byte, t *Tuple) ([]byte, error) {
+	undo := len(dst)
 	var flags byte
 	if t.Tick {
 		flags |= 1
+	}
+	if t.Key == "" && len(t.Values) == 0 {
+		// Hash-only tuple — the per-tuple cost of a routing-heavy
+		// stream: emit the fixed 18-byte body with one append and two
+		// direct stores instead of four appends. Reused buffers take
+		// the reslice arm and skip append's zeroing.
+		n := len(dst)
+		if cap(dst)-n >= tupleBodyMin {
+			dst = dst[:n+tupleBodyMin]
+		} else {
+			dst = append(dst, make([]byte, tupleBodyMin)...)
+		}
+		b := dst[n:]
+		b[0] = flags
+		binary.LittleEndian.PutUint64(b[1:], t.KeyHash)
+		binary.LittleEndian.PutUint64(b[9:], uint64(t.EmitNanos))
+		b[17] = 0 // value count
+		return dst, nil
 	}
 	if t.Key != "" {
 		flags |= 2
@@ -375,7 +428,35 @@ func AppendTuple(dst []byte, t *Tuple) ([]byte, error) {
 			return dst[:undo], fmt.Errorf("wire: tuple value of unsupported type %T", v)
 		}
 	}
+	return dst, nil
+}
+
+// AppendTupleBatch appends ts as one framed KindTupleBatch to dst: a
+// uvarint tuple count followed by the tuples' contiguous bodies. On an
+// unsupported value type the returned slice is dst unchanged.
+func AppendTupleBatch(dst []byte, ts []Tuple) ([]byte, error) {
+	undo := len(dst)
+	dst, start := frame(dst, KindTupleBatch)
+	dst = binary.AppendUvarint(dst, uint64(len(ts)))
+	for i := range ts {
+		var err error
+		if dst, err = AppendTupleBody(dst, &ts[i]); err != nil {
+			return dst[:undo], err
+		}
+	}
 	return finish(dst, start), nil
+}
+
+// AppendTupleBatchHeader appends the frame header and count prefix of a
+// KindTupleBatch whose count tuple bodies span bodyLen bytes. The
+// near-zero-copy half of the batched edge: the sender writes this
+// prefix and then the accumulated body buffer straight to its
+// connection, never assembling header and bodies into one allocation.
+func AppendTupleBatchHeader(dst []byte, count, bodyLen int) []byte {
+	dst, start := frame(dst, KindTupleBatch)
+	dst = binary.AppendUvarint(dst, uint64(count))
+	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start+bodyLen))
+	return dst
 }
 
 // AppendPartial appends p as a framed KindPartial to dst.
@@ -578,18 +659,78 @@ func (r *reader) done() error {
 // capacity. On error t's contents are unspecified.
 func DecodeTuple(p []byte, t *Tuple) error {
 	r := reader{b: p}
-	flags, err := r.byte()
+	if err := decodeTupleBody(&r, t); err != nil {
+		return err
+	}
+	return r.done()
+}
+
+// tupleBodyMin is the smallest encoded tuple body: flags (1), key hash
+// (8), emit time (8), value count (≥ 1). DecodeTupleBatch divides by it
+// to keep a corrupt batch count from pre-allocating beyond what the
+// payload could actually hold.
+const tupleBodyMin = 18
+
+// DecodeTupleBatch decodes a KindTupleBatch payload, returning the
+// tuples appended to ts[:0] — steady-state callers pass the previous
+// result back in, so the slice and each element's Values capacity are
+// reused and decoding allocates nothing. On error the returned slice's
+// contents are unspecified (its capacity remains reusable).
+func DecodeTupleBatch(p []byte, ts []Tuple) ([]Tuple, error) {
+	r := reader{b: p}
+	n, err := r.uvarint()
 	if err != nil {
-		return err
+		return ts, err
 	}
-	t.Tick = flags&1 != 0
-	t.Key = ""
-	if t.KeyHash, err = r.u64(); err != nil {
-		return err
+	if n > uint64(len(p))/tupleBodyMin {
+		return ts, errTruncated
 	}
-	if t.EmitNanos, err = r.i64(); err != nil {
-		return err
+	ts = ts[:0]
+	for i := uint64(0); i < n; i++ {
+		if len(ts) < cap(ts) {
+			ts = ts[:len(ts)+1]
+		} else {
+			ts = append(ts, Tuple{})
+		}
+		if err := decodeTupleBody(&r, &ts[len(ts)-1]); err != nil {
+			return ts, err
+		}
 	}
+	if err := r.done(); err != nil {
+		return ts, err
+	}
+	return ts, nil
+}
+
+// decodeTupleBody decodes one self-delimiting tuple body at r's cursor,
+// reusing t.Values' capacity.
+func decodeTupleBody(r *reader, t *Tuple) error {
+	var flags byte
+	if r.off+tupleBodyMin <= len(r.b) {
+		// Whole minimum body in range: read the 17-byte fixed prefix
+		// under the one bounds check above instead of three.
+		b := r.b[r.off:]
+		flags = b[0]
+		t.KeyHash = binary.LittleEndian.Uint64(b[1:])
+		t.EmitNanos = int64(binary.LittleEndian.Uint64(b[9:]))
+		r.off += 17
+		t.Tick = flags&1 != 0
+		t.Key = ""
+	} else {
+		var err error
+		if flags, err = r.byte(); err != nil {
+			return err
+		}
+		t.Tick = flags&1 != 0
+		t.Key = ""
+		if t.KeyHash, err = r.u64(); err != nil {
+			return err
+		}
+		if t.EmitNanos, err = r.i64(); err != nil {
+			return err
+		}
+	}
+	var err error
 	if flags&2 != 0 {
 		if t.Key, err = r.str(); err != nil {
 			return err
@@ -598,8 +739,16 @@ func DecodeTuple(p []byte, t *Tuple) error {
 			return fmt.Errorf("wire: tuple key flag set on empty key")
 		}
 	}
-	n, err := r.length() // each value is ≥ 1 byte, so count ≤ remaining
-	if err != nil {
+	// Value count: almost always a single-byte uvarint (< 128 values),
+	// read inline; the general path still handles the rest.
+	var n int
+	if r.off < len(r.b) && r.b[r.off] < 0x80 {
+		n = int(r.b[r.off])
+		r.off++
+		if n > len(r.b)-r.off {
+			return fmt.Errorf("wire: length %d exceeds payload", n)
+		}
+	} else if n, err = r.length(); err != nil { // ≥ 1 byte each: count ≤ remaining
 		return err
 	}
 	t.Values = t.Values[:0]
@@ -634,7 +783,7 @@ func DecodeTuple(p []byte, t *Tuple) error {
 		}
 		t.Values = append(t.Values, v)
 	}
-	return r.done()
+	return nil
 }
 
 // DecodePartial decodes a KindPartial payload into p.
@@ -912,6 +1061,60 @@ func ReadFrame(r io.Reader, buf []byte) (Kind, []byte, error) {
 		return KindInvalid, nil, err
 	}
 	return kind, buf, nil
+}
+
+// ReadFrameBuffered is ReadFrame for a *bufio.Reader, without copying
+// the payload out of the reader's buffer: for frames that fit the
+// buffer the returned payload ALIASES it and is valid only until the
+// next operation on r — the receive half of the near-zero-copy batched
+// edge (decode reads the bytes in place; everything a decoded value
+// retains is copied by the decoder). Frames larger than r's buffer
+// fall back to a copying read into *buf, reusing and growing it as
+// ReadFrame would. EOF semantics match ReadFrame: io.EOF exactly at a
+// clean frame boundary, io.ErrUnexpectedEOF mid-frame.
+func ReadFrameBuffered(r *bufio.Reader, buf *[]byte) (Kind, []byte, error) {
+	hdr, err := r.Peek(HeaderSize)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return KindInvalid, nil, err
+	}
+	var h [HeaderSize]byte
+	copy(h[:], hdr)
+	kind, n, err := ParseHeader(h)
+	if err != nil {
+		return KindInvalid, nil, err
+	}
+	if HeaderSize+n <= r.Size() {
+		p, err := r.Peek(HeaderSize + n)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return KindInvalid, nil, err
+		}
+		// Discard only advances the read cursor: p stays intact until
+		// the next fill, i.e. until the caller reads the next frame.
+		if _, err := r.Discard(HeaderSize + n); err != nil {
+			return KindInvalid, nil, err
+		}
+		return kind, p[HeaderSize:], nil
+	}
+	if _, err := r.Discard(HeaderSize); err != nil {
+		return KindInvalid, nil, err
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return KindInvalid, nil, err
+	}
+	return kind, b, nil
 }
 
 // ParseHeader validates a frame header and returns its kind and payload

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"io"
@@ -49,6 +50,15 @@ func encodeAll(t testing.TB) [][]byte {
 	add(AppendAck(nil, Ack{Count: math.MaxInt64}), nil)
 	add(AppendSubscribe(nil, Subscribe{Offset: 0}), nil)
 	add(AppendSubscribe(nil, Subscribe{Offset: 32768}), nil)
+	// Batch frames last, so the earlier seed filenames (indexed by
+	// position here) stay stable across corpus regenerations.
+	add(AppendTupleBatch(nil, []Tuple{
+		{KeyHash: 0xfeed, EmitNanos: 1},
+		{KeyHash: 8, Key: "batched", EmitNanos: -9, Tick: true,
+			Values: []any{int64(5), uint64(6), 2.5, true, "v", []byte{7}}},
+		{KeyHash: 1 << 60},
+	}))
+	add(AppendTupleBatch(nil, nil))
 	return frames
 }
 
@@ -78,6 +88,9 @@ func decodeFrame(kind Kind, payload []byte) (any, error) {
 		return DecodeAck(payload)
 	case KindSubscribe:
 		return DecodeSubscribe(payload)
+	case KindTupleBatch:
+		ts, err := DecodeTupleBatch(payload, nil)
+		return ts, err
 	default:
 		panic("unreachable: ReadFrame only returns known kinds")
 	}
@@ -108,6 +121,12 @@ func reencode(v any) []byte {
 		return AppendAck(nil, v)
 	case Subscribe:
 		return AppendSubscribe(nil, v)
+	case []Tuple:
+		b, err := AppendTupleBatch(nil, v)
+		if err != nil {
+			panic(err)
+		}
+		return b
 	default:
 		panic("unreachable")
 	}
@@ -170,6 +189,83 @@ func TestDecodeValuesReuseAcrossCalls(t *testing.T) {
 	}
 	if len(tu.Values) != 0 || tu.KeyHash != 2 {
 		t.Fatalf("reused decode kept stale state: %#v", tu)
+	}
+}
+
+// TestTupleBatchReuseAcrossCalls: the decode slice and each element's
+// Values capacity survive across calls — the worker's steady-state
+// zero-allocation path.
+func TestTupleBatchReuseAcrossCalls(t *testing.T) {
+	b1, err := AppendTupleBatch(nil, []Tuple{
+		{KeyHash: 1, Values: []any{int64(10), int64(11)}},
+		{KeyHash: 2, Values: []any{"x"}},
+		{KeyHash: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := AppendTupleBatch(nil, []Tuple{{KeyHash: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := DecodeTupleBatch(b1[HeaderSize:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0].KeyHash != 1 || len(ts[0].Values) != 2 || ts[1].Values[0] != "x" {
+		t.Fatalf("first decode: %#v", ts)
+	}
+	ts, err = DecodeTupleBatch(b2[HeaderSize:], ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].KeyHash != 4 || len(ts[0].Values) != 0 {
+		t.Fatalf("reused decode kept stale state: %#v", ts)
+	}
+}
+
+// TestTupleBatchHeaderMatchesAppend: framing pre-encoded bodies with
+// AppendTupleBatchHeader is byte-identical to AppendTupleBatch — the
+// edge's two-write send path speaks exactly the same frame.
+func TestTupleBatchHeaderMatchesAppend(t *testing.T) {
+	ts := []Tuple{
+		{KeyHash: 5, Key: "k", EmitNanos: 9, Values: []any{int64(1)}},
+		{KeyHash: 6, Tick: true},
+	}
+	want, err := AppendTupleBatch(nil, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bodies []byte
+	for i := range ts {
+		if bodies, err = AppendTupleBody(bodies, &ts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := AppendTupleBatchHeader(nil, len(ts), len(bodies))
+	got = append(got, bodies...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("two-write framing differs\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestTupleBatchCorruptCount: a count field claiming more tuples than
+// the payload could physically hold is rejected before any allocation.
+func TestTupleBatchCorruptCount(t *testing.T) {
+	b, err := AppendTupleBatch(nil, []Tuple{{KeyHash: 1}, {KeyHash: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), b[HeaderSize:]...)
+	payload[0] = 0xfa // count 250 over two encoded bodies
+	if _, err := DecodeTupleBatch(payload, nil); err == nil {
+		t.Fatal("corrupt batch count accepted")
+	}
+	// A count just one over the real tuple run errors too (truncation,
+	// not a bad allocation bound).
+	payload[0] = 3
+	if _, err := DecodeTupleBatch(payload, nil); err == nil {
+		t.Fatal("over-counted batch accepted")
 	}
 }
 
@@ -274,6 +370,59 @@ func TestReadFrameStream(t *testing.T) {
 	}
 }
 
+// TestReadFrameBufferedMatchesReadFrame drives the zero-copy buffered
+// reader over the full frame corpus with a deliberately tiny bufio
+// buffer, so small frames take the aliasing Peek path and large ones
+// the copying spill path — every frame must decode to exactly what
+// ReadFrame yields, and EOF semantics must match (clean boundary:
+// io.EOF; mid-frame cut: io.ErrUnexpectedEOF).
+func TestReadFrameBufferedMatchesReadFrame(t *testing.T) {
+	var stream []byte
+	frames := encodeAll(t)
+	for _, fr := range frames {
+		stream = append(stream, fr...)
+	}
+	for _, size := range []int{16, 64, 1 << 16} {
+		br := bufio.NewReaderSize(bytes.NewReader(stream), size)
+		plain := bytes.NewReader(stream)
+		var spill, buf []byte
+		for i := 0; ; i++ {
+			kind, payload, err := ReadFrameBuffered(br, &spill)
+			wantKind, wantPayload, wantErr := ReadFrame(plain, buf)
+			if err != wantErr || kind != wantKind {
+				t.Fatalf("size %d frame %d: (%v, %v), want (%v, %v)", size, i, kind, err, wantKind, wantErr)
+			}
+			if err == io.EOF {
+				if i != len(frames) {
+					t.Fatalf("size %d: EOF after %d frames, want %d", size, i, len(frames))
+				}
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(payload, wantPayload) {
+				t.Fatalf("size %d frame %d: payload mismatch", size, i)
+			}
+			// Decode before the next read: the payload may alias the
+			// bufio buffer and is only valid until then.
+			if _, err := decodeFrame(kind, payload); err != nil {
+				t.Fatalf("size %d frame %d: %v", size, i, err)
+			}
+			buf = wantPayload
+		}
+		// A stream cut mid-frame reports ErrUnexpectedEOF, not io.EOF.
+		br = bufio.NewReaderSize(bytes.NewReader(stream[:len(stream)-1]), size)
+		var err error
+		for err == nil {
+			_, _, err = ReadFrameBuffered(br, &spill)
+		}
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("size %d: mid-frame cut err = %v, want %v", size, err, io.ErrUnexpectedEOF)
+		}
+	}
+}
+
 // FuzzRoundTrip feeds arbitrary bytes through the frame reader and every
 // decoder: nothing may panic, and anything that decodes must re-encode
 // and re-decode to the same value (the codec is self-consistent even on
@@ -315,6 +464,7 @@ func FuzzRoundTrip(f *testing.F) {
 		_, _ = DecodeCredit(data)
 		_, _ = DecodeAck(data)
 		_, _ = DecodeSubscribe(data)
+		_, _ = DecodeTupleBatch(data, nil)
 	})
 }
 
