@@ -40,6 +40,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"pkgstream/internal/metrics"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/window"
 )
@@ -55,6 +57,8 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7411", "TCP listen address")
 		mode    = flag.String("mode", "final", "counter | partial | final")
+		mAddr   = flag.String("metrics", "", "serve GET /metrics (Prometheus text) and /debug/pprof/* on this address (empty: off)")
+		statsEv = flag.Duration("stats-every", 0, "log a one-line JSON stats snapshot on this period (0: off)")
 		sources = flag.Int("sources", -1, "final: upstream sources feeding this node (default 4 — the engine partial parallelism; use -nodes for the fully distributed shape); partial: engine stream sources (default 1)")
 		winSize = flag.Duration("win-size", time.Second, "partial/final: window size in event time (0: one global window)")
 		slide   = flag.Duration("win-slide", 0, "partial/final: window slide (0: tumbling)")
@@ -132,7 +136,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pkgnode:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("pkgnode: mode=%s listening on %s\n", *mode, worker.Addr())
+
+	snap := nodeSnapshot(*mode, worker, partial, final)
+	var msrv *metrics.Server
+	if *mAddr != "" {
+		msrv, err = metrics.ListenAndServe(*mAddr, nodeRegistry(worker, partial, final))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pkgnode: metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if msrv != nil {
+		fmt.Printf("pkgnode: mode=%s listening on %s, metrics on http://%s/metrics\n",
+			*mode, worker.Addr(), msrv.Addr())
+	} else {
+		fmt.Printf("pkgnode: mode=%s listening on %s\n", *mode, worker.Addr())
+	}
+	if *statsEv > 0 {
+		go func() {
+			t := time.NewTicker(*statsEv)
+			defer t.Stop()
+			for range t.C {
+				line, err := json.Marshal(snap())
+				if err != nil {
+					continue
+				}
+				fmt.Printf("pkgnode: stats %s\n", line)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -152,6 +184,11 @@ func main() {
 		<-sig
 	}
 
+	if msrv != nil {
+		// Drain any in-flight scrape before the process goes away — a
+		// SIGTERM'd node never strands a scraper mid-response.
+		_ = msrv.Close()
+	}
 	_ = worker.Close()
 	exit := 0
 	switch {
@@ -180,4 +217,93 @@ func main() {
 			worker.Processed(), worker.Frames(), worker.DistinctKeys())
 	}
 	os.Exit(exit)
+}
+
+// nodeRegistry builds the node's /metrics registry: wire-edge counters,
+// window counters and latency histograms, pull-model — every scrape
+// reads the live atomics, nothing is pushed or buffered.
+func nodeRegistry(worker *transport.Worker, partial *window.PartialHandler, final *window.FinalHandler) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.Counter("pkgnode_frames_total", "", worker.Frames)
+	switch {
+	case partial != nil:
+		reg.Counter("pkgnode_tuples_total", "", partial.Processed)
+		reg.Counter("pkgnode_bad_frames_total", "", partial.BadFrames)
+		reg.Gauge("pkgnode_tuples_per_frame", "", func() float64 {
+			if f := worker.Frames(); f > 0 {
+				return float64(partial.Processed()) / float64(f)
+			}
+			return 0
+		})
+		reg.Gauge("pkgnode_live_partials", "", func() float64 {
+			return float64(partial.Stats().Live)
+		})
+		reg.Counter("pkgnode_flushes_total", "", func() int64 { return partial.Stats().Flushes })
+		reg.Counter("pkgnode_partials_out_total", "", func() int64 { return partial.Stats().PartialsOut })
+		reg.Counter("pkgnode_edge_frames_total", "", func() int64 { return partial.EdgeStats().Frames })
+		reg.Counter("pkgnode_edge_stalls_total", "", func() int64 { return partial.EdgeStats().Stalls })
+		reg.Counter("pkgnode_edge_retries_total", "", func() int64 { return partial.EdgeStats().Retries })
+		reg.Histogram("pkgnode_latency_seconds", "", partial.LatencyStats)
+	case final != nil:
+		reg.Counter("pkgnode_tuples_total", "", worker.Processed)
+		reg.Counter("pkgnode_bad_frames_total", "", final.BadFrames)
+		reg.Counter("pkgnode_merged_total", "", func() int64 { return final.Stats().Merged })
+		reg.Counter("pkgnode_windows_closed_total", "", func() int64 { return final.Stats().WindowsClosed })
+		reg.Counter("pkgnode_late_dropped_total", "", func() int64 { return final.Stats().LateDropped })
+		reg.Gauge("pkgnode_live_partials", "", func() float64 {
+			return float64(final.Stats().Live)
+		})
+		reg.Histogram("pkgnode_staleness_seconds", "", final.StalenessStats)
+	default: // counter worker
+		reg.Counter("pkgnode_tuples_total", "", worker.Processed)
+		reg.Gauge("pkgnode_distinct_keys", "", func() float64 {
+			return float64(worker.DistinctKeys())
+		})
+	}
+	return reg
+}
+
+// nodeSnapshot returns a closure producing the -stats-every JSON line:
+// a flat map, one line per tick, grep- and jq-friendly.
+func nodeSnapshot(mode string, worker *transport.Worker, partial *window.PartialHandler, final *window.FinalHandler) func() map[string]any {
+	return func() map[string]any {
+		m := map[string]any{"mode": mode, "frames": worker.Frames()}
+		switch {
+		case partial != nil:
+			st := partial.Stats()
+			es := partial.EdgeStats()
+			lat := partial.LatencyStats()
+			m["tuples"] = partial.Processed()
+			m["done"] = partial.Done()
+			m["flushes"] = st.Flushes
+			m["partials_out"] = st.PartialsOut
+			m["live"] = st.Live
+			m["edge_frames"] = es.Frames
+			m["edge_stalls"] = es.Stalls
+			m["edge_retries"] = es.Retries
+			if lat.Count > 0 {
+				m["lat_count"] = lat.Count
+				m["lat_p50_ms"] = float64(lat.Quantile(0.5)) / 1e6
+				m["lat_p99_ms"] = float64(lat.Quantile(0.99)) / 1e6
+			}
+		case final != nil:
+			st := final.Stats()
+			stale := final.StalenessStats()
+			m["tuples"] = worker.Processed()
+			m["done"] = final.Done()
+			m["merged"] = st.Merged
+			m["windows_closed"] = st.WindowsClosed
+			m["late_dropped"] = st.LateDropped
+			m["live"] = st.Live
+			if stale.Count > 0 {
+				m["stale_count"] = stale.Count
+				m["stale_p50_ms"] = float64(stale.Quantile(0.5)) / 1e6
+				m["stale_p99_ms"] = float64(stale.Quantile(0.99)) / 1e6
+			}
+		default:
+			m["tuples"] = worker.Processed()
+			m["distinct_keys"] = worker.DistinctKeys()
+		}
+		return m
+	}
 }

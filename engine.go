@@ -196,6 +196,16 @@ type EdgeStats = engine.EdgeStats
 // to learn which component lost which nodes.
 type EdgeError = engine.EdgeError
 
+// LatencyStats is one end-to-end latency histogram snapshot:
+// constant-memory and mergeable across instances, with Quantile(p) for
+// p50/p99/p999 and Sub for interval rates. Per-series snapshots live in
+// TopologyStats.Latency — a sink component's name carries emit→sink
+// delivery latency, a windowed partial stage's name carries
+// emit→arrival latency, and "<final>.staleness" carries window-close
+// staleness. Sampling is governed by RuntimeOptions.LatencySample, and
+// RuntimeOptions.MetricsAddr serves every series over GET /metrics.
+type LatencyStats = engine.LatencyStats
+
 // WindowStateCodec is the optional WindowAggregator extension non-
 // Combiner aggregations need to cross a process boundary: partial
 // accumulators must have a wire form.

@@ -460,6 +460,58 @@ func TestEmitNanosStamped(t *testing.T) {
 	}
 }
 
+// TestSinkLatencyObserved: sink components (bolts with no downstream)
+// record emit→delivery latency of sampled tuples into Stats.Latency.
+func TestSinkLatencyObserved(t *testing.T) {
+	keys := zipfKeys(2000, 7)
+	b := NewBuilder("t", 42)
+	b.AddSpout("src", func() Spout { return &sliceSpout{keys: keys} }, 1)
+	b.AddBolt("sink", func() Bolt { return BoltFunc(func(Tuple, Emitter) {}) }, 2).
+		Input("src", Shuffle())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(top, Options{QueueSize: 64, LatencySample: 10})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	lat := st.LatencyTotals("sink")
+	// 1-in-10 sampling over 2000 tuples: exactly 200 observations (the
+	// emitter counts deterministically), all with sane non-negative
+	// latencies.
+	if want := int64(len(keys) / 10); lat.Count != want {
+		t.Fatalf("latency count = %d, want %d", lat.Count, want)
+	}
+	if p99 := lat.Quantile(0.99); p99 <= 0 || p99 > int64(time.Minute) {
+		t.Fatalf("implausible sink p99: %v", time.Duration(p99))
+	}
+	if len(st.Latency["sink"]) != 2 {
+		t.Fatalf("latency instances = %d, want 2", len(st.Latency["sink"]))
+	}
+}
+
+// TestLatencySampleDisabled: a negative LatencySample turns stamping
+// off entirely — no tuple carries a LatStamp, no histogram fills.
+func TestLatencySampleDisabled(t *testing.T) {
+	b := NewBuilder("t", 42)
+	b.AddSpout("src", func() Spout { return &sliceSpout{keys: zipfKeys(500, 7)} }, 1)
+	b.AddBolt("sink", func() Bolt { return BoltFunc(func(Tuple, Emitter) {}) }, 1).
+		Input("src", Shuffle())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(top, Options{QueueSize: 64, LatencySample: -1})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lat := rt.Stats().LatencyTotals("sink"); lat.Count != 0 {
+		t.Fatalf("latency recorded with sampling disabled: %+v", lat)
+	}
+}
+
 func TestBoltPanicIsReportedNotFatal(t *testing.T) {
 	b := NewBuilder("t", 3)
 	b.AddSpout("src", func() Spout { return &sliceSpout{keys: zipfKeys(1000, 9)} }, 1)

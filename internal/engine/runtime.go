@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"pkgstream/internal/edge"
 	"pkgstream/internal/hash"
 	"pkgstream/internal/hotkey"
+	"pkgstream/internal/metrics"
 )
 
 // Options configures a Runtime.
@@ -31,6 +33,19 @@ type Options struct {
 	// clamped to QueueSize so small queues keep bounding in-flight
 	// tuples.
 	BatchSize int
+	// LatencySample is the spout-emit sampling interval for end-to-end
+	// latency measurement: one in every LatencySample data tuples gets
+	// a wall-clock stamp (Tuple.LatStamp) that the observation points —
+	// sink delivery, the windowed partial stage, remote partial
+	// handlers — turn into a latency histogram observation. Sampling
+	// bounds both the clock-call cost on the emit path and the +4 bytes
+	// a stamp adds to a tuple's wire body. 0 means the default of 64;
+	// negative disables latency stamping entirely.
+	LatencySample int
+	// MetricsAddr, when non-empty, serves GET /metrics (the Prometheus
+	// text exposition of MetricsRegistry) and /debug/pprof/* on this
+	// address for the duration of Run.
+	MetricsAddr string
 }
 
 // InstanceStats are the counters of one processing element instance.
@@ -108,6 +123,30 @@ type EdgeStatsSource interface {
 	EdgeStats() EdgeStats
 }
 
+// LatencyStats is one latency histogram snapshot (nanosecond
+// observations): mergeable across instances, quantile-queryable for
+// p50/p99/p999, and subtractable so two reads yield interval rates.
+// Aliased so engine consumers need not import internal/metrics.
+type LatencyStats = metrics.HistSnapshot
+
+// LatencySeries is one named latency histogram a bolt exposes. Suffix
+// is appended to the component name to form the Stats.Latency key:
+// "" for the component's own arrival latency, ".staleness" for the
+// final stage's window-close staleness.
+type LatencySeries struct {
+	Suffix string
+	Stats  LatencyStats
+}
+
+// LatencyStatsSource is implemented by bolts that observe per-tuple
+// latency (the window subsystem's partial stage) or window-close
+// staleness (the final stage). The runtime snapshots every instance
+// that implements it into Stats.Latency; implementations must be safe
+// to read while the topology runs.
+type LatencyStatsSource interface {
+	LatencySeries() []LatencySeries
+}
+
 // Stats is a snapshot of per-instance counters, keyed by component name.
 type Stats struct {
 	PerInstance map[string][]InstanceStats
@@ -122,6 +161,13 @@ type Stats struct {
 	// whose bolts implement EdgeStatsSource (the forwarders of
 	// RemotePartial / RemoteFinal topologies).
 	Edges map[string][]EdgeStats
+	// Latency holds per-instance latency histograms keyed by series
+	// name: a sink component's name for emit→sink delivery latency, a
+	// windowed partial stage's name for emit→partial arrival latency,
+	// and a final stage's name + ".staleness" for window-close
+	// staleness (flush wall time − window end). Only sampled tuples
+	// (Options.LatencySample) contribute.
+	Latency map[string][]LatencyStats
 }
 
 // Loads returns the executed-tuple counts of a component's instances —
@@ -191,6 +237,16 @@ func (s Stats) EdgeTotals(component string) EdgeStats {
 	return t
 }
 
+// LatencyTotals merges a series' per-instance latency histograms into
+// one snapshot, ready for Quantile(0.5/0.99/0.999).
+func (s Stats) LatencyTotals(series string) LatencyStats {
+	var t LatencyStats
+	for _, h := range s.Latency[series] {
+		t = t.Merge(h)
+	}
+	return t
+}
+
 // Imbalance returns max − avg of a component's executed counts.
 func (s Stats) Imbalance(component string) float64 {
 	loads := s.Loads(component)
@@ -211,6 +267,10 @@ func (s Stats) Imbalance(component string) float64 {
 type instStats struct {
 	executed atomic.Int64
 	emitted  atomic.Int64
+	// lat is the emit→delivery latency histogram of a SINK instance (a
+	// bolt with no downstream edges) — nil everywhere else. Sampled
+	// tuples carrying a LatStamp observe into it on arrival.
+	lat *metrics.Histogram
 }
 
 // Runtime executes a Topology: one goroutine per instance, bounded
@@ -230,6 +290,10 @@ type Runtime struct {
 	winSrc  map[string][]WindowStatsSource
 	hkSrc   map[string][]HotkeyStatsSource
 	edgeSrc map[string][]EdgeStatsSource
+	latSrc  map[string][]LatencyStatsSource
+
+	regOnce sync.Once
+	reg     *metrics.Registry
 
 	mu       sync.Mutex
 	firstErr error
@@ -249,15 +313,40 @@ func NewRuntime(top *Topology, opts Options) *Runtime {
 		// QueueSize keeps bounding in-flight tuples.
 		opts.BatchSize = opts.QueueSize
 	}
+	if opts.LatencySample == 0 {
+		opts.LatencySample = 64
+	}
+	if opts.LatencySample < 0 {
+		opts.LatencySample = 0 // disabled
+	}
 	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{},
 		winSrc:  map[string][]WindowStatsSource{},
 		hkSrc:   map[string][]HotkeyStatsSource{},
-		edgeSrc: map[string][]EdgeStatsSource{}}
+		edgeSrc: map[string][]EdgeStatsSource{},
+		latSrc:  map[string][]LatencyStatsSource{}}
 	for _, s := range top.spouts {
 		r.stats[s.name] = newInstStats(s.parallelism)
 	}
 	for _, b := range top.bolts {
 		r.stats[b.name] = newInstStats(b.parallelism)
+	}
+	if opts.LatencySample > 0 {
+		// Sink instances (bolts nothing subscribes to) observe sampled
+		// tuples' emit→delivery latency on arrival.
+		hasDown := map[string]bool{}
+		for _, b := range top.bolts {
+			for _, in := range b.inputs {
+				hasDown[in.from] = true
+			}
+		}
+		for _, b := range top.bolts {
+			if hasDown[b.name] {
+				continue
+			}
+			for _, st := range r.stats[b.name] {
+				st.lat = metrics.NewHistogram()
+			}
+		}
 	}
 	return r
 }
@@ -275,13 +364,19 @@ func newInstStats(n int) []*instStats {
 func (r *Runtime) Stats() Stats {
 	snap := Stats{PerInstance: map[string][]InstanceStats{},
 		Windows: map[string][]WindowStats{}, Hotkeys: map[string][]HotkeyStats{},
-		Edges: map[string][]EdgeStats{}}
+		Edges: map[string][]EdgeStats{}, Latency: map[string][]LatencyStats{}}
 	for name, insts := range r.stats {
 		out := make([]InstanceStats, len(insts))
 		for i, st := range insts {
 			out[i] = InstanceStats{
 				Executed: st.executed.Load(),
 				Emitted:  st.emitted.Load(),
+			}
+			if st.lat != nil {
+				if snap.Latency[name] == nil {
+					snap.Latency[name] = make([]LatencyStats, len(insts))
+				}
+				snap.Latency[name][i] = st.lat.Snapshot()
 			}
 		}
 		snap.PerInstance[name] = out
@@ -313,6 +408,20 @@ func (r *Runtime) Stats() Stats {
 			}
 		}
 		snap.Edges[name] = out
+	}
+	for comp, srcs := range r.latSrc {
+		for i, src := range srcs {
+			if src == nil {
+				continue
+			}
+			for _, se := range src.LatencySeries() {
+				name := comp + se.Suffix
+				if snap.Latency[name] == nil {
+					snap.Latency[name] = make([]LatencyStats, len(srcs))
+				}
+				snap.Latency[name][i] = se.Stats
+			}
+		}
 	}
 	r.winMu.Unlock()
 	return snap
@@ -352,6 +461,61 @@ func (r *Runtime) registerEdgeSource(component string, index, parallelism int, s
 		r.edgeSrc[component] = make([]EdgeStatsSource, parallelism)
 	}
 	r.edgeSrc[component][index] = src
+}
+
+// registerLatencySource records a bolt instance that observes latency,
+// so Stats can snapshot its histograms.
+func (r *Runtime) registerLatencySource(component string, index, parallelism int, src LatencyStatsSource) {
+	r.winMu.Lock()
+	defer r.winMu.Unlock()
+	if r.latSrc[component] == nil {
+		r.latSrc[component] = make([]LatencyStatsSource, parallelism)
+	}
+	r.latSrc[component][index] = src
+}
+
+// MetricsRegistry returns the runtime's metrics registry — executed/
+// emitted counters per component and every latency series, all read
+// live from Stats at scrape time. Options.MetricsAddr serves it over
+// HTTP for the duration of Run; embedders can also mount it themselves.
+func (r *Runtime) MetricsRegistry() *metrics.Registry {
+	r.regOnce.Do(func() {
+		reg := metrics.NewRegistry()
+		register := func(name string) {
+			insts := r.stats[name]
+			labels := fmt.Sprintf("component=%q", name)
+			reg.Counter("pkgstream_tuples_executed_total", labels, func() int64 {
+				var t int64
+				for _, st := range insts {
+					t += st.executed.Load()
+				}
+				return t
+			})
+			reg.Counter("pkgstream_tuples_emitted_total", labels, func() int64 {
+				var t int64
+				for _, st := range insts {
+					t += st.emitted.Load()
+				}
+				return t
+			})
+		}
+		for _, s := range r.top.spouts {
+			register(s.name)
+		}
+		for _, b := range r.top.bolts {
+			register(b.name)
+		}
+		reg.HistogramVec("pkgstream_latency_seconds", func() map[string]metrics.HistSnapshot {
+			st := r.Stats()
+			out := make(map[string]metrics.HistSnapshot, len(st.Latency))
+			for name := range st.Latency {
+				out[name] = st.LatencyTotals(name)
+			}
+			return out
+		})
+		r.reg = reg
+	})
+	return r.reg
 }
 
 func (r *Runtime) recordErr(err error) {
@@ -423,6 +587,17 @@ type emitter struct {
 	stamped int
 	pending int // emits not yet added to the shared counter
 	now     int64
+	// latEvery samples spout emits for latency measurement: every
+	// latEvery-th data tuple gets a wall-clock LatStamp (one
+	// clock call per latEvery emits — the emit-path overhead knob).
+	// Zero (bolts, or sampling disabled) stamps nothing.
+	latEvery int
+	// sinceLat counts DOWN to the next stamp so the per-tuple cost is
+	// one decrement and one zero test; emitters that never stamp
+	// (bolts, sampling disabled) start at MaxInt64 and simply never
+	// reach zero. A tuple that can't take the stamp (a tick, or a
+	// caller-stamped replay) defers it to the next emit.
+	sinceLat int64
 }
 
 // Emit implements Emitter. It blocks when a destination queue is full
@@ -437,6 +612,14 @@ func (e *emitter) Emit(t Tuple) {
 		}
 		e.stamped++
 		t.EmitNanos = e.now
+	}
+	if e.sinceLat--; e.sinceLat == 0 {
+		if t.Tick || t.LatStamp != 0 {
+			e.sinceLat = 1
+		} else {
+			e.sinceLat = int64(e.latEvery)
+			t.LatStamp = LatStampNow()
+		}
 	}
 	if e.keyed {
 		t.RouteKey() // hash the key once; every edge routes on the cached hash
@@ -508,6 +691,14 @@ func (e *emitter) Flush() {
 // instance error (a recovered panic), if any.
 func (r *Runtime) Run() error {
 	top := r.top
+
+	if r.opts.MetricsAddr != "" {
+		srv, err := metrics.ListenAndServe(r.opts.MetricsAddr, r.MetricsRegistry())
+		if err != nil {
+			return fmt.Errorf("engine: metrics server: %w", err)
+		}
+		defer srv.Close()
+	}
 
 	// One local edge per bolt: a bounded batch channel per instance.
 	// The capacity is the tuple budget divided by the batch size, so
@@ -588,6 +779,13 @@ func (r *Runtime) Run() error {
 
 	newEmitter := func(comp string, index int, stamp bool) *emitter {
 		em := &emitter{stats: r.stats[comp][index], stamp: stamp, batch: r.opts.BatchSize}
+		em.sinceLat = math.MaxInt64
+		if stamp {
+			em.latEvery = r.opts.LatencySample
+			if em.latEvery > 0 {
+				em.sinceLat = int64(em.latEvery)
+			}
+		}
 		for _, dst := range downstream[comp] {
 			for _, in := range dst.inputs {
 				if in.from != comp {
@@ -713,6 +911,9 @@ func (r *Runtime) runBolt(decl boltDecl, index int, in <-chan []Tuple, em *emitt
 	if src, ok := bolt.(EdgeStatsSource); ok {
 		r.registerEdgeSource(decl.name, index, decl.parallelism, src)
 	}
+	if src, ok := bolt.(LatencyStatsSource); ok {
+		r.registerLatencySource(decl.name, index, decl.parallelism, src)
+	}
 	ctx := &Context{Topology: r.top.name, Component: decl.name, Index: index, Parallelism: decl.parallelism}
 
 	broken := false
@@ -755,9 +956,15 @@ func (r *Runtime) execBatch(bolt Bolt, batch []Tuple, em *emitter, st *instStats
 			r.recordErr(instanceErr("bolt", name, index, p))
 		}
 	}()
+	lat := st.lat
 	for _, t := range batch {
 		if !t.Tick {
 			data++
+			if lat != nil && t.LatStamp != 0 {
+				// A sampled tuple arriving at a sink: the end of its
+				// emit→delivery measurement.
+				lat.Observe(LatSince(t.LatStamp))
+			}
 		}
 		bolt.Execute(t, em)
 	}

@@ -47,10 +47,48 @@ type Tuple struct {
 	Values Values
 	// EmitNanos is stamped by the runtime when a spout first emits the
 	// tuple (if zero); bolts that derive tuples may copy it forward to
-	// measure end-to-end latency at a sink.
+	// measure end-to-end latency at a sink. Windowed topologies often
+	// pre-stamp it with LOGICAL event time for deterministic window
+	// assignment, which is why latency measurement does not read it —
+	// see LatStamp.
 	EmitNanos int64
+	// LatStamp is the wall-clock latency stamp: the runtime sets it
+	// (via LatStampNow) on a sampled 1-in-Options.LatencySample subset
+	// of spout emits (never overwriting a caller's value), downstream
+	// observation points — sink delivery, the windowed partial stage,
+	// remote partial handlers — resolve it against their own clock with
+	// LatSince, and forwarders copy it across process boundaries in the
+	// tuple body. Independent of EmitNanos so logical event time and
+	// measured wall latency never fight over one field, and
+	// deliberately 4 bytes — absolute microseconds truncated to 32
+	// bits — so carrying it does not grow the Tuple struct (the emit
+	// path moves tuples by value; +8 bytes measured ~14% on the batched
+	// hot path). Zero means "not sampled".
+	LatStamp uint32
 	// Tick marks engine-generated timer tuples (see BoltDecl.TickEvery).
 	Tick bool
+}
+
+// LatStampNow reads the wall clock as a latency stamp: absolute
+// microseconds truncated to 32 bits. Stamps wrap every ~71.6 minutes
+// and LatSince resolves the wrap, so any in-flight latency below ~35
+// minutes — half the wrap period, far beyond any streaming tuple's
+// life — measures exactly. 0 is reserved as Tuple.LatStamp's "not
+// sampled" sentinel; the one genuine zero per wrap maps to 1 (a 1 µs
+// error once per 71.6 minutes).
+func LatStampNow() uint32 {
+	if s := uint32(uint64(time.Now().UnixNano()) / 1000); s != 0 {
+		return s
+	}
+	return 1
+}
+
+// LatSince returns the nanoseconds elapsed since a LatStampNow stamp,
+// resolving the 32-bit wrap (exact below ~35 minutes of flight time).
+// Cross-machine clock skew can drive it negative; histogram
+// observation clamps that to zero.
+func LatSince(stamp uint32) int64 {
+	return int64(int32(uint32(uint64(time.Now().UnixNano())/1000)-stamp)) * 1000
 }
 
 // RouteKey returns the 64-bit key the routing core routes on, computing

@@ -1,9 +1,15 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"pkgstream/internal/engine"
+	"pkgstream/internal/window"
 )
 
 // tiny is a minimal scale so the whole registry runs in seconds.
@@ -395,6 +401,91 @@ func TestPipelineExactMatch(t *testing.T) {
 	}
 	if res.remote3.total != res.local.total {
 		t.Fatalf("remote-partial total %d, want %d", res.remote3.total, res.local.total)
+	}
+	// Every deployment mode must report sampled end-to-end latency, with
+	// sane quantile ordering — including the fully distributed shape,
+	// whose histogram is merged from the partial nodes' OpStats replies.
+	for _, r := range []struct {
+		name string
+		run  pipeRun
+	}{{"in-process", res.local}, {"remote-final", res.remote}, {"remote-partial", res.remote3}} {
+		if r.run.lat.Count == 0 {
+			t.Errorf("%s: no latency observations", r.name)
+			continue
+		}
+		p50, p99 := r.run.lat.Quantile(0.5), r.run.lat.Quantile(0.99)
+		if p50 <= 0 || p99 < p50 {
+			t.Errorf("%s: implausible quantiles p50=%d p99=%d", r.name, p50, p99)
+		}
+	}
+}
+
+// TestPipelineStatsWhileStreaming hammers Stats() — per-instance
+// counters, window totals, imbalance, AND the latency histograms with
+// their quantile math — from concurrent pollers while the pipeline
+// wordcount streams. Run under -race (CI does) this is the proof that
+// live observability never torments the data path; the final counts
+// must still be complete.
+func TestPipelineStatsWhileStreaming(t *testing.T) {
+	const n = 40000
+	var mu sync.Mutex
+	counts := map[string]int64{}
+	b, _ := pipeTopology(n, 3)
+	b.AddBolt("sink", func() engine.Bolt {
+		return engine.BoltFunc(func(tu engine.Tuple, _ engine.Emitter) {
+			if tu.Tick {
+				return
+			}
+			res := tu.Values[0].(window.Result)
+			mu.Lock()
+			counts[fmt.Sprintf("%s@%d", res.Key, res.Start)] += res.Value.(int64)
+			mu.Unlock()
+		})
+	}, 1).Input("wc", engine.Global())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048, LatencySample: 8})
+
+	done := make(chan struct{})
+	var pollers sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					st := rt.Stats()
+					_ = st.Imbalance("wc.partial")
+					lat := st.LatencyTotals("wc.partial")
+					_ = lat.Quantile(0.5)
+					_ = lat.Quantile(0.999)
+					_ = st.LatencyTotals("wc.staleness")
+					_ = st.LatencyTotals("sink")
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	err = rt.Run()
+	close(done)
+	pollers.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("window counts sum to %d, want %d", total, n)
+	}
+	if lat := rt.Stats().LatencyTotals("wc.partial"); lat.Count == 0 {
+		t.Fatal("no latency observations after the run")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pkgstream/internal/engine"
+	"pkgstream/internal/metrics"
 	"pkgstream/internal/rng"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/window"
@@ -95,6 +96,11 @@ type pipeRun struct {
 	total     int64
 	imbalance float64
 	elapsed   time.Duration
+	// lat is the emit→partial-arrival latency histogram of the run's
+	// sampled tuples (engine.Options.LatencySample), folded across the
+	// partial instances — or, for the fully distributed shape, merged
+	// from the partial NODES' OpStats replies across real sockets.
+	lat metrics.HistSnapshot
 }
 
 // pipeResult is what runPipeline hands to Pipeline and to the tests.
@@ -144,7 +150,10 @@ func runLocal(n int, seed uint64) pipeRun {
 	if err := rt.Run(); err != nil {
 		panic(fmt.Sprintf("experiments: pipeline: %v", err))
 	}
-	return summarize(counts, rt.Stats().Imbalance("wc.partial"), time.Since(start))
+	st := rt.Stats()
+	r := summarize(counts, st.Imbalance("wc.partial"), time.Since(start))
+	r.lat = st.LatencyTotals("wc.partial")
+	return r
 }
 
 // runRemote executes the distributed deployment against the given final
@@ -163,13 +172,16 @@ func runRemote(n int, seed uint64, addrs []string) pipeRun {
 	elapsed := time.Since(start)
 
 	counts := map[string]int64{}
-	imb := rt.Stats().Imbalance("wc.partial")
+	st := rt.Stats()
+	imb := st.Imbalance("wc.partial")
 	for _, addr := range addrs {
 		for _, res := range drainNode(addr) {
 			counts[fmt.Sprintf("%s@%d", res.Key, res.Start)] += res.Value
 		}
 	}
-	return summarize(counts, imb, elapsed)
+	r := summarize(counts, imb, elapsed)
+	r.lat = st.LatencyTotals("wc.partial")
+	return r
 }
 
 // drainNode pages a final node's closed windows out once it is done.
@@ -211,12 +223,16 @@ func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
 	elapsed := time.Since(start)
 
 	loads := make([]int64, len(paddrs))
+	var lat metrics.HistSnapshot
 	for i, addr := range paddrs {
 		rep, err := transport.QueryAddr(addr, wire.Query{Op: wire.OpStats})
 		if err != nil {
 			panic(fmt.Sprintf("experiments: pipeline: stats %s: %v", addr, err))
 		}
 		loads[i] = rep.Count
+		// The nodes' arrival-latency histograms ride the same reply —
+		// cross-process latency without scraping anything.
+		lat = lat.Merge(window.HistFromWire(rep.Lat))
 	}
 	var max, sum int64
 	for _, l := range loads {
@@ -237,7 +253,9 @@ func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
 			counts[fmt.Sprintf("%s@%d", r.Key, r.Start)] += r.Value
 		}
 	}
-	return summarize(counts, imb, elapsed)
+	r := summarize(counts, imb, elapsed)
+	r.lat = lat
+	return r
 }
 
 func summarize(counts map[string]int64, imb float64, elapsed time.Duration) pipeRun {
@@ -339,7 +357,8 @@ func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
 	tb := Table{
 		Title: "pipeline — windowed wordcount: in-process vs remote final vs remote partial+final",
 		Columns: []string{"deployment", "nodes", "words", "(word,window) pairs",
-			"total count", "partial imbalance", "words/s"},
+			"total count", "partial imbalance", "words/s",
+			"p50 ms", "p99 ms", "p99.9 ms"},
 		Notes: []string{
 			fmt.Sprintf("exact-count match (remote-final): %v — per-(word, window) counts %s",
 				res.match, map[bool]string{true: "identical", false: "DIFFER"}[res.match]),
@@ -351,12 +370,18 @@ func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
 			"remote-final partial imbalance equals in-process by construction (same seed, same",
 			"PKG decisions); remote-partial imbalance is over the partial NODES' tuple counts,",
 			"routed by the tuple edge's own PKG, and results arrive via push subscription",
+			"latency columns are emit→partial-arrival wall time of sampled tuples (1 in 64",
+			"spout emits): routing + queues in-process, plus the credit-flow-controlled wire",
+			"edge for remote-partial (pulled off the nodes' OpStats replies, no HTTP)",
 		},
 	}
 	row := func(name string, nodes int, r pipeRun) {
 		tb.AddRow(name, fmt.Sprint(nodes), fmt.Sprint(n), fmt.Sprint(r.pairs),
 			fmt.Sprint(r.total), f1(r.imbalance),
-			f0(float64(n)/r.elapsed.Seconds()))
+			f0(float64(n)/r.elapsed.Seconds()),
+			f2(float64(r.lat.Quantile(0.5))/1e6),
+			f2(float64(r.lat.Quantile(0.99))/1e6),
+			f2(float64(r.lat.Quantile(0.999))/1e6))
 	}
 	row("in-process", 1, res.local)
 	row("remote-final", len(addrs), res.remote)

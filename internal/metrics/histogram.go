@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-bucketed latency histogram (HDR-style): power-of-two major
+// buckets subdivided into 2^histSubBits linear sub-buckets, so every
+// bucket's width is at most 1/2^histSubBits ≈ 3.1% of its value. The
+// layout is chosen so Observe is two atomic adds — one bucket
+// increment, one sum add — with the bucket index computed from the
+// value's bit length alone: constant memory, no locks, mergeable by
+// bucket-wise addition, and quantiles that are exact up to the bucket
+// width. Values are nanoseconds by convention, but nothing below
+// depends on the unit.
+const (
+	// histSubBits is the linear subdivision of each power-of-two major
+	// bucket: 2^5 = 32 sub-buckets, bounding the relative quantile
+	// error at ~3.1%.
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+
+	// histMaxMajor caps the bucket table: values up to 2^(histMaxMajor+
+	// histSubBits-1) — about 73 minutes in nanoseconds — resolve to a
+	// real bucket, and everything beyond clamps into the last one
+	// (counted, summed exactly, quantile saturated at HistMaxValue).
+	histMaxMajor = 37
+
+	// HistBuckets is the fixed bucket count of a Histogram.
+	HistBuckets = (histMaxMajor + 1) * histSubCount
+
+	// HistMaxValue is the largest value the histogram resolves without
+	// clamping (the upper bound of the last bucket): 2^42 − 1 ns.
+	HistMaxValue = int64(1)<<(histMaxMajor+histSubBits) - 1
+)
+
+// Histogram is a constant-memory, lock-free latency histogram. The
+// zero value is ready to use; share one per series and call Observe
+// from any number of goroutines. Reads (Snapshot) are wait-free and
+// may run concurrently with writes — a snapshot taken mid-Observe can
+// be off by the in-flight observation, never torn.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	sum     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// histIndex maps a value to its bucket. Values below histSubCount are
+// their own bucket (the linear region, exact); above, the bucket is
+// (major, sub) where major counts powers of two past the linear region
+// and sub is the next histSubBits bits of the value — contiguous with
+// the linear region by construction.
+func histIndex(v int64) int {
+	if v < histSubCount {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // k ≥ histSubBits
+	idx := (k-histSubBits+1)<<histSubBits | int(v>>(k-histSubBits)&(histSubCount-1))
+	if idx >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return idx
+}
+
+// HistBucketMax returns the inclusive upper bound of bucket i — the
+// value Quantile reports when the requested rank lands in it. Values
+// past the table clamp into the last bucket, so its bound doubles as
+// the quantile saturation point (HistMaxValue).
+func HistBucketMax(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	major := i >> histSubBits
+	sub := int64(i & (histSubCount - 1))
+	k := major + histSubBits - 1
+	return (histSubCount+sub+1)<<(k-histSubBits) - 1
+}
+
+// Observe records one value: exactly two atomic adds on the hot path.
+// Negative values (wall-clock skew on a remote hop) clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns the histogram's current contents. It is safe while
+// Observe runs; counts are read atomically bucket by bucket.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Sum = h.sum.Load()
+	top := -1
+	var counts [HistBuckets]int64
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			counts[i] = c
+			s.Count += c
+			top = i
+		}
+	}
+	if top >= 0 {
+		s.Counts = append([]int64(nil), counts[:top+1]...)
+	}
+	return s
+}
+
+// HistSnapshot is an immutable point-in-time view of a Histogram:
+// bucket counts with trailing zeroes trimmed, the observation count,
+// and the exact sum. Snapshots merge (cross-instance folds), subtract
+// (interval rates from two reads), and answer quantiles.
+type HistSnapshot struct {
+	// Counts are the per-bucket observation counts, index-aligned with
+	// the live histogram's buckets, trailing zero buckets trimmed.
+	Counts []int64
+	// Count is the total number of observations.
+	Count int64
+	// Sum is the exact sum of observed values (clamped at zero each).
+	Sum int64
+}
+
+// Quantile returns the value at quantile p ∈ (0, 1] — the upper bound
+// of the bucket holding the ⌈p·Count⌉-th smallest observation, exact
+// to within the bucket width (≈3.1%). Zero observations yield 0;
+// quantiles of clamped observations saturate at HistMaxValue. Quantile
+// is monotone in p by construction.
+func (s HistSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return HistBucketMax(i)
+		}
+	}
+	return HistBucketMax(HistBuckets - 1)
+}
+
+// Mean returns the exact mean of the observed values (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Merge returns the bucket-wise sum of two snapshots — the fold that
+// turns per-instance histograms into a component total.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if len(o.Counts) > len(s.Counts) {
+		s, o = o, s
+	}
+	out := HistSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	out.Counts = append([]int64(nil), s.Counts...)
+	for i, c := range o.Counts {
+		out.Counts[i] += c
+	}
+	return out
+}
+
+// Sub returns the bucket-wise difference s − o: the observations that
+// landed between two reads of the same histogram, from which interval
+// rates and interval quantiles derive. Buckets that went backwards
+// (o from a different or reset histogram) clamp to zero.
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Sum: s.Sum - o.Sum}
+	out.Counts = append([]int64(nil), s.Counts...)
+	for i, c := range o.Counts {
+		if i >= len(out.Counts) {
+			break
+		}
+		out.Counts[i] -= c
+	}
+	top := -1
+	for i := range out.Counts {
+		if out.Counts[i] < 0 {
+			out.Counts[i] = 0
+		}
+		if out.Counts[i] != 0 {
+			top = i
+		}
+		out.Count += out.Counts[i]
+	}
+	out.Counts = out.Counts[:top+1]
+	if top < 0 {
+		out.Counts = nil
+	}
+	return out
+}
+
+// Sparse returns the non-empty buckets as parallel (index, count)
+// slices — the compact wire form of a snapshot.
+func (s HistSnapshot) Sparse() (idx []uint32, counts []int64) {
+	for i, c := range s.Counts {
+		if c != 0 {
+			idx = append(idx, uint32(i))
+			counts = append(counts, c)
+		}
+	}
+	return idx, counts
+}
+
+// FromSparse rebuilds a snapshot from its Sparse form. Out-of-range
+// indexes clamp into the last bucket; the pair slices are read up to
+// the shorter length.
+func FromSparse(idx []uint32, counts []int64, sum int64) HistSnapshot {
+	n := len(idx)
+	if len(counts) < n {
+		n = len(counts)
+	}
+	s := HistSnapshot{Sum: sum}
+	for i := 0; i < n; i++ {
+		j := int(idx[i])
+		if j >= HistBuckets {
+			j = HistBuckets - 1
+		}
+		if j >= len(s.Counts) {
+			s.Counts = append(s.Counts, make([]int64, j+1-len(s.Counts))...)
+		}
+		s.Counts[j] += counts[i]
+		s.Count += counts[i]
+	}
+	return s
+}

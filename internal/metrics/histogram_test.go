@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestHistogramZeroObservations(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || len(s.Counts) != 0 {
+		t.Fatalf("empty snapshot not empty: %+v", s)
+	}
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		if q := s.Quantile(p); q != 0 {
+			t.Errorf("Quantile(%v) of empty = %d, want 0", p, q)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("Mean of empty = %v, want 0", s.Mean())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(42)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Sum != 42000 {
+		t.Fatalf("count/sum = %d/%d, want 1000/42000", s.Count, s.Sum)
+	}
+	nonzero := 0
+	for _, c := range s.Counts {
+		if c != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("%d non-empty buckets, want 1", nonzero)
+	}
+	// Every quantile answers with the one bucket's bound, within the
+	// bucket-width error (42 is in the linear region: exact).
+	for _, p := range []float64{0.001, 0.5, 0.999, 1} {
+		if q := s.Quantile(p); q != 42 {
+			t.Errorf("Quantile(%v) = %d, want 42", p, q)
+		}
+	}
+}
+
+func TestHistogramLinearRegionExact(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < histSubCount; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for v := 0; v < histSubCount; v++ {
+		if s.Counts[v] != 1 {
+			t.Fatalf("bucket %d = %d, want exactly 1 (linear region is exact)", v, s.Counts[v])
+		}
+	}
+}
+
+func TestHistogramClampPastTop(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * HistMaxValue) // far past the top bucket
+	h.Observe(HistMaxValue + 1)
+	h.Observe(-5) // negative: clamps to zero, not a panic
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3 (clamped values are still counted)", s.Count)
+	}
+	if got := s.Counts[HistBuckets-1]; got != 2 {
+		t.Fatalf("top bucket = %d, want 2", got)
+	}
+	if s.Counts[0] != 1 {
+		t.Fatalf("bucket 0 = %d, want 1 (negative clamps to zero)", s.Counts[0])
+	}
+	if q := s.Quantile(1); q != HistMaxValue {
+		t.Fatalf("p100 = %d, want saturation at HistMaxValue %d", q, HistMaxValue)
+	}
+	// Sum clamps negatives to zero but keeps clamped large values exact.
+	if want := 101*HistMaxValue + 1; s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+}
+
+func TestHistogramMergeDisjoint(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(10) // linear region
+		b.Observe(1 << 20)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", m.Count)
+	}
+	if want := int64(100*10 + 100*(1<<20)); m.Sum != want {
+		t.Fatalf("merged sum = %d, want %d", m.Sum, want)
+	}
+	if m.Counts[10] != 100 || m.Counts[histIndex(1<<20)] != 100 {
+		t.Fatalf("merged buckets wrong: low=%d high=%d", m.Counts[10], m.Counts[histIndex(1<<20)])
+	}
+	// Merge in the other order is identical.
+	m2 := b.Snapshot().Merge(a.Snapshot())
+	if m2.Count != m.Count || m2.Sum != m.Sum || len(m2.Counts) != len(m.Counts) {
+		t.Fatalf("merge is not commutative: %+v vs %+v", m, m2)
+	}
+}
+
+func TestHistogramSubDiffer(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 50; i++ {
+		h.Observe(100)
+	}
+	before := h.Snapshot()
+	for i := 0; i < 25; i++ {
+		h.Observe(5000)
+	}
+	diff := h.Snapshot().Sub(before)
+	if diff.Count != 25 {
+		t.Fatalf("interval count = %d, want 25", diff.Count)
+	}
+	if diff.Sum != 25*5000 {
+		t.Fatalf("interval sum = %d, want %d", diff.Sum, 25*5000)
+	}
+	if got := diff.Counts[histIndex(5000)]; got != 25 {
+		t.Fatalf("interval bucket = %d, want 25", got)
+	}
+	if got := diff.Quantile(0.5); float64(got) < 5000 || float64(got) > 5000*1.04 {
+		t.Fatalf("interval p50 = %d, want ≈5000", got)
+	}
+	// Differ against a fresh histogram's larger snapshot clamps, never
+	// goes negative.
+	neg := before.Sub(h.Snapshot())
+	for i, c := range neg.Counts {
+		if c < 0 {
+			t.Fatalf("bucket %d negative after Sub: %d", i, c)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotone is the property test: for any observed
+// set, Quantile must be non-decreasing in p, and every reported value
+// must be a valid bucket upper bound ≥ the true value's bucket.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var h Histogram
+	for i := 0; i < 10000; i++ {
+		// Log-uniform-ish values spanning the linear region through the
+		// clamp: shift a random 10-bit mantissa by a random exponent.
+		v := int64((next() % 1024) << (next() % 45))
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for p := 0.001; p <= 1.0; p += 0.001 {
+		q := s.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: p=%v gives %d after %d", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramBucketBoundsConsistent(t *testing.T) {
+	// Every bucket's upper bound must itself map back into that bucket,
+	// and bounds must be strictly increasing — the two invariants the
+	// quantile answer depends on.
+	prev := int64(-1)
+	for i := 0; i < HistBuckets; i++ {
+		ub := HistBucketMax(i)
+		if ub <= prev {
+			t.Fatalf("bucket %d bound %d not increasing past %d", i, ub, prev)
+		}
+		if got := histIndex(ub); got != i {
+			t.Fatalf("bucket %d bound %d maps to bucket %d", i, ub, got)
+		}
+		prev = ub
+	}
+	if HistBucketMax(HistBuckets-1) != HistMaxValue {
+		t.Fatalf("last bound %d != HistMaxValue %d", HistBucketMax(HistBuckets-1), HistMaxValue)
+	}
+}
+
+// TestHistogramMatchesReservoir cross-checks the histogram's quantiles
+// against the exact-sample Reservoir on the same stream: every
+// histogram quantile must sit within one bucket width (~3.1%, plus the
+// reservoir's own sampling slack) of the exact percentile.
+func TestHistogramMatchesReservoir(t *testing.T) {
+	const n = 50000
+	res := NewReservoir(n, 42) // capacity = stream: exact, no sampling error
+	var h Histogram
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < n; i++ {
+		// A dense stream spanning three decades of buckets; density
+		// keeps the exact interpolated percentile and the histogram's
+		// bucket bound within one bucket width at every p.
+		v := int64(1000 + next()%1000000)
+		res.Add(float64(v))
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, p := range []float64{0.50, 0.90, 0.99, 0.999} {
+		exact := res.Percentile(p * 100)
+		got := float64(s.Quantile(p))
+		// The histogram reports its bucket's upper bound: got ∈
+		// [exact, exact·(1+2^-histSubBits)] up to interpolation slack.
+		lo, hi := exact*0.999, exact*(1+1.0/histSubCount)*1.001
+		if got < lo || got > hi {
+			t.Errorf("p%g: histogram %v outside [%v, %v] around exact %v", p*100, got, lo, hi, exact)
+		}
+	}
+}
+
+func TestHistogramSparseRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 31, 32, 1000, 123456789, HistMaxValue + 99} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	idx, counts := s.Sparse()
+	back := FromSparse(idx, counts, s.Sum)
+	if back.Count != s.Count || back.Sum != s.Sum {
+		t.Fatalf("sparse round trip count/sum: %+v vs %+v", back, s)
+	}
+	for i := range s.Counts {
+		if s.Counts[i] != back.Counts[i] {
+			t.Fatalf("sparse round trip bucket %d: %d vs %d", i, back.Counts[i], s.Counts[i])
+		}
+	}
+}
+
+// BenchmarkLatencyObserve is the hot-path budget gate: Observe must be
+// two atomic adds — ≲20 ns/op, zero allocations (CI bench-smoke).
+func BenchmarkLatencyObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 127)
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a small pull-model metrics registry: components register
+// named counters, gauges and latency histograms as closures, and every
+// scrape (WritePrometheus) reads the live values — no sample pushing,
+// no background goroutines, and registration closures must therefore
+// be safe to call while the component runs. Registration order is
+// irrelevant: output is grouped by metric name and sorted, so scrapes
+// are deterministic and diffable.
+type Registry struct {
+	mu      sync.Mutex
+	entries []regEntry
+}
+
+type regEntry struct {
+	name    string
+	labels  string // raw Prometheus label pairs, `a="b",c="d"`; "" for none
+	kind    byte   // 'c'ounter, 'g'auge, 'h'istogram, 'v'ec-of-histograms
+	counter func() int64
+	gauge   func() float64
+	hist    func() HistSnapshot
+	vec     func() map[string]HistSnapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a monotone int64 metric. labels is a raw
+// Prometheus label list (`node="0"`), or "".
+func (r *Registry) Counter(name, labels string, f func() int64) {
+	r.add(regEntry{name: name, labels: labels, kind: 'c', counter: f})
+}
+
+// Gauge registers an instantaneous float64 metric.
+func (r *Registry) Gauge(name, labels string, f func() float64) {
+	r.add(regEntry{name: name, labels: labels, kind: 'g', gauge: f})
+}
+
+// Histogram registers a latency histogram whose observations are
+// NANOSECONDS; it is exposed as a Prometheus summary in seconds —
+// quantile series for p50/p99/p999 plus _sum and _count.
+func (r *Registry) Histogram(name, labels string, f func() HistSnapshot) {
+	r.add(regEntry{name: name, labels: labels, kind: 'h', hist: f})
+}
+
+// HistogramVec registers a dynamic family of latency histograms under
+// one metric name: each scrape calls f and emits one summary per map
+// entry, keyed by the `series` label. It serves sources whose series
+// names only exist at runtime (per-component latency in a topology).
+func (r *Registry) HistogramVec(name string, f func() map[string]HistSnapshot) {
+	r.add(regEntry{name: name, kind: 'v', vec: f})
+}
+
+func (r *Registry) add(e regEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, e)
+}
+
+// quantiles exposed for every histogram: the p50/p99/p999 the paper's
+// latency evaluation reads.
+var histQuantiles = []struct {
+	label string
+	p     float64
+}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}}
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format, grouped by name with one TYPE line each,
+// names and labels sorted for deterministic scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := append([]regEntry(nil), r.entries...)
+	r.mu.Unlock()
+
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].labels < entries[j].labels
+	})
+
+	var b strings.Builder
+	lastName := ""
+	for _, e := range entries {
+		if e.name != lastName {
+			lastName = e.name
+			typ := "counter"
+			switch e.kind {
+			case 'g':
+				typ = "gauge"
+			case 'h', 'v':
+				typ = "summary"
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, typ)
+		}
+		switch e.kind {
+		case 'c':
+			fmt.Fprintf(&b, "%s %d\n", seriesName(e.name, e.labels), e.counter())
+		case 'g':
+			fmt.Fprintf(&b, "%s %g\n", seriesName(e.name, e.labels), e.gauge())
+		case 'h':
+			writeHist(&b, e.name, e.labels, e.hist())
+		case 'v':
+			m := e.vec()
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				writeHist(&b, e.name, fmt.Sprintf("series=%q", k), m[k])
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHist emits one histogram as a Prometheus summary: quantile
+// series in SECONDS (observations are nanoseconds), then _sum and
+// _count.
+func writeHist(b *strings.Builder, name, labels string, s HistSnapshot) {
+	for _, q := range histQuantiles {
+		ql := fmt.Sprintf("quantile=%q", q.label)
+		if labels != "" {
+			ql = labels + "," + ql
+		}
+		fmt.Fprintf(b, "%s{%s} %g\n", name, ql, float64(s.Quantile(q.p))/1e9)
+	}
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, braced(labels), float64(s.Sum)/1e9)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(labels), s.Count)
+}
+
+func seriesName(name, labels string) string { return name + braced(labels) }
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

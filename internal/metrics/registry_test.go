@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRegistryWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pkg_tuples_total", `node="1"`, func() int64 { return 42 })
+	reg.Counter("pkg_tuples_total", `node="0"`, func() int64 { return 7 })
+	reg.Gauge("pkg_ratio", "", func() float64 { return 2.5 })
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1e6) // 1ms
+	}
+	reg.Histogram("pkg_latency_seconds", "", h.Snapshot)
+	reg.HistogramVec("pkg_lat_vec_seconds", func() map[string]HistSnapshot {
+		return map[string]HistSnapshot{"b": h.Snapshot(), "a": h.Snapshot()}
+	})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE pkg_tuples_total counter\n",
+		`pkg_tuples_total{node="0"} 7` + "\n",
+		`pkg_tuples_total{node="1"} 42` + "\n",
+		"# TYPE pkg_ratio gauge\npkg_ratio 2.5\n",
+		"# TYPE pkg_latency_seconds summary\n",
+		`pkg_latency_seconds{quantile="0.5"} 0.001`,
+		"pkg_latency_seconds_count 100\n",
+		`pkg_lat_vec_seconds{series="a",quantile="0.99"}`,
+		`pkg_lat_vec_seconds{series="b",quantile="0.999"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Labeled series of one name sort deterministically: node="0" first.
+	if strings.Index(out, `node="0"`) > strings.Index(out, `node="1"`) {
+		t.Errorf("label ordering not deterministic:\n%s", out)
+	}
+	// quantile("0.5") of 100×1ms is the bucket bound: within 3.2% above.
+	var p50 float64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `pkg_latency_seconds{quantile="0.5"} `) {
+			fmt.Sscanf(strings.Fields(line)[1], "%g", &p50)
+		}
+	}
+	if p50 < 0.001 || p50 > 0.001*1.04 {
+		t.Errorf("p50 %v outside [1ms, 1.04ms]", p50)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "", func() int64 { return 1 })
+	srv, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("GET /metrics: code=%d body=%q", code, body)
+	}
+	code, body = get("/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("GET /debug/pprof/: code=%d body truncated=%q", code, body[:min(len(body), 120)])
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("clean shutdown: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"pkgstream/internal/engine"
 )
@@ -136,6 +137,18 @@ func (b *FinalBolt) Cleanup(out engine.Emitter) {
 // WindowStats implements engine.WindowStatsSource.
 func (b *FinalBolt) WindowStats() engine.WindowStats { return b.inst.snapshot() }
 
+// LatencySeries implements engine.LatencyStatsSource: the final stage's
+// window-close staleness, published under component + ".staleness".
+func (b *FinalBolt) LatencySeries() []engine.LatencySeries {
+	return []engine.LatencySeries{{Suffix: ".staleness", Stats: b.inst.hist.Snapshot()}}
+}
+
+// wallClockFloor separates wall-clock event times from logical ones:
+// only window ends at or above it (≈ year 2001 in Unix nanoseconds)
+// produce staleness observations. Topologies that drive windows off a
+// small logical clock would otherwise record "now − tiny end" garbage.
+const wallClockFloor = 1e15
+
 // advance folds one partial instance's watermark in and, once every
 // instance has reported, closes all windows the combined (minimum)
 // watermark has passed.
@@ -206,6 +219,7 @@ func (b *FinalBolt) closeUpTo(wm int64, out engine.Emitter) {
 		}
 		return due[i].hash < due[j].hash
 	})
+	now := time.Now().UnixNano()
 	for _, sl := range due {
 		var st State
 		if b.counts != nil {
@@ -214,6 +228,12 @@ func (b *FinalBolt) closeUpTo(wm int64, out engine.Emitter) {
 		} else {
 			st = b.states[sl]
 			delete(b.states, sl)
+		}
+		if end := sp.end(sl.start); end >= wallClockFloor {
+			// Staleness: how far behind the window's end the flush that
+			// closed it ran — the visible cost of the aggregation period
+			// T (paper §V Q4). Only meaningful for wall-clock event time.
+			b.inst.hist.Observe(now - end)
 		}
 		b.emitResult(sl, st, out)
 	}

@@ -74,6 +74,13 @@ func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
 		b.flush(out, false)
 		return
 	}
+	if t.LatStamp != 0 {
+		// A sampled tuple: observe emit→arrival latency. This is the
+		// paper-relevant end-to-end leg — spout emit through routing,
+		// queues and (for remote deployments) the wire, to the moment
+		// the partial stage takes the tuple.
+		b.inst.hist.Observe(engine.LatSince(t.LatStamp))
+	}
 	sp := &b.plan.spec
 	if sp.Size <= 0 {
 		// Global window: no event time, no assignment — one slot per
@@ -119,6 +126,13 @@ func (b *PartialBolt) Cleanup(out engine.Emitter) {
 
 // WindowStats implements engine.WindowStatsSource.
 func (b *PartialBolt) WindowStats() engine.WindowStats { return b.inst.snapshot() }
+
+// LatencySeries implements engine.LatencyStatsSource: the partial
+// stage's emit→arrival latency, published under the component's own
+// name (empty suffix).
+func (b *PartialBolt) LatencySeries() []engine.LatencySeries {
+	return []engine.LatencySeries{{Stats: b.inst.hist.Snapshot()}}
+}
 
 func (b *PartialBolt) live() int {
 	if b.strCounts != nil {

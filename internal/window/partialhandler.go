@@ -9,6 +9,7 @@ import (
 
 	"pkgstream/internal/edge"
 	"pkgstream/internal/engine"
+	"pkgstream/internal/metrics"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/wire"
 )
@@ -156,7 +157,7 @@ func (h *PartialHandler) HandleTuple(t *wire.Tuple) {
 		h.bad++ // a tuple after every source's final mark: protocol misuse
 		return
 	}
-	et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos, Tick: t.Tick}
+	et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos, LatStamp: t.LatStamp, Tick: t.Tick}
 	if len(t.Values) > 0 {
 		et.Values = append(engine.Values{}, t.Values...)
 	}
@@ -176,7 +177,7 @@ func (h *PartialHandler) HandleTupleBatch(ts []wire.Tuple) {
 	}
 	for i := range ts {
 		t := &ts[i]
-		et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos, Tick: t.Tick}
+		et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos, LatStamp: t.LatStamp, Tick: t.Tick}
 		if len(t.Values) > 0 {
 			et.Values = append(engine.Values{}, t.Values...)
 		}
@@ -233,13 +234,18 @@ func (h *PartialHandler) Tick() {
 //
 //	OpStats — the number of tuples absorbed, plus Done (the basis for
 //	          cross-node imbalance measurements: per-node tuple counts
-//	          are exactly the paper's worker-load vector).
+//	          are exactly the paper's worker-load vector) and the node's
+//	          emit→arrival latency histogram, so a source pulls remote
+//	          latency summaries over the query channel without HTTP.
 func (h *PartialHandler) HandleQuery(q wire.Query) wire.Reply {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	switch q.Op {
 	case wire.OpStats:
-		return wire.Reply{Op: q.Op, Done: h.done, Count: h.processed}
+		return wire.Reply{
+			Op: q.Op, Done: h.done, Count: h.processed,
+			Lat: wireHist(h.bolt.inst.hist.Snapshot()),
+		}
 	default:
 		return wire.Reply{Op: q.Op}
 	}
@@ -279,6 +285,12 @@ func (h *PartialHandler) BadFrames() int64 {
 // Stats returns the hosted partial stage's window counters.
 func (h *PartialHandler) Stats() engine.WindowStats {
 	return h.bolt.WindowStats()
+}
+
+// LatencyStats returns the hosted partial stage's emit→arrival latency
+// histogram (sampled tuples only).
+func (h *PartialHandler) LatencyStats() metrics.HistSnapshot {
+	return h.bolt.inst.hist.Snapshot()
 }
 
 // EdgeStats returns the partial→final forwarding counters.
@@ -402,6 +414,7 @@ func (b *tupleForwarder) Execute(t engine.Tuple, out engine.Emitter) {
 	s.KeyHash = t.RouteKey()
 	s.Key = t.Key
 	s.EmitNanos = t.EmitNanos
+	s.LatStamp = t.LatStamp
 	s.Tick = false
 	s.Values = append(s.Values[:0], t.Values...)
 	if err := b.e.SendTuple(s); err != nil {

@@ -85,6 +85,8 @@ func TestConcurrentFlushRace(t *testing.T) {
 			default:
 				st := rt.Stats()
 				_ = st.WindowTotals("count.partial")
+				_ = st.LatencyTotals("count.partial")
+				_ = st.LatencyTotals("count.staleness")
 				_ = plan.PartialStats()
 				time.Sleep(100 * time.Microsecond)
 			}

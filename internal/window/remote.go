@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pkgstream/internal/engine"
+	"pkgstream/internal/metrics"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/wire"
 )
@@ -494,7 +495,8 @@ const resultsPage = 32768
 //	            (Count carries the total so far; results are append-only,
 //	            so paging by offset is stable), plus Done;
 //	OpCount   — the total over closed windows of the queried key hash;
-//	OpStats   — the number of closed windows.
+//	OpStats   — the number of closed windows, plus the node's
+//	            window-close staleness histogram.
 func (h *FinalHandler) HandleQuery(q wire.Query) wire.Reply {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -520,7 +522,10 @@ func (h *FinalHandler) HandleQuery(q wire.Query) wire.Reply {
 		}
 		return wire.Reply{Op: q.Op, Done: h.done, Count: total}
 	case wire.OpStats:
-		return wire.Reply{Op: q.Op, Done: h.done, Count: int64(len(h.results))}
+		return wire.Reply{
+			Op: q.Op, Done: h.done, Count: int64(len(h.results)),
+			Stale: wireHist(h.bolt.inst.hist.Snapshot()),
+		}
 	default:
 		return wire.Reply{Op: q.Op}
 	}
@@ -579,4 +584,10 @@ func (h *FinalHandler) Unencodable() int64 {
 // Stats returns the hosted final stage's window counters.
 func (h *FinalHandler) Stats() engine.WindowStats {
 	return h.bolt.WindowStats()
+}
+
+// StalenessStats returns the hosted final stage's window-close
+// staleness histogram (wall-clock windows only).
+func (h *FinalHandler) StalenessStats() metrics.HistSnapshot {
+	return h.bolt.inst.hist.Snapshot()
 }

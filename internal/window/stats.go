@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 
 	"pkgstream/internal/engine"
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/wire"
 )
 
 // instrumentation is the live, atomically updated form of
@@ -18,6 +20,11 @@ type instrumentation struct {
 	merged        atomic.Int64
 	windowsClosed atomic.Int64
 	late          atomic.Int64
+	// hist is the instance's latency histogram: the partial stage
+	// observes emit→arrival latency of sampled tuples, the final stage
+	// observes window-close staleness. One instance is always exactly
+	// one of the two, so a single field serves both.
+	hist metrics.Histogram
 }
 
 // setLive records the live-accumulator gauge and its high-water mark.
@@ -48,4 +55,33 @@ func fold(ins []*instrumentation) engine.WindowStats {
 		t.Fold(in.snapshot())
 	}
 	return t
+}
+
+// wireHist converts a histogram snapshot to its wire form (nil when
+// empty — the reply section then omits it entirely).
+func wireHist(s metrics.HistSnapshot) *wire.LatencyHist {
+	if s.Count == 0 {
+		return nil
+	}
+	idx, counts := s.Sparse()
+	h := &wire.LatencyHist{Sum: s.Sum, Buckets: make([]wire.HistBucket, len(idx))}
+	for i := range idx {
+		h.Buckets[i] = wire.HistBucket{Index: idx[i], Count: counts[i]}
+	}
+	return h
+}
+
+// HistFromWire converts a wire latency histogram back to a mergeable
+// snapshot (the zero snapshot for nil — a pre-histogram node's reply).
+func HistFromWire(h *wire.LatencyHist) metrics.HistSnapshot {
+	if h == nil {
+		return metrics.HistSnapshot{}
+	}
+	idx := make([]uint32, len(h.Buckets))
+	counts := make([]int64, len(h.Buckets))
+	for i, b := range h.Buckets {
+		idx[i] = b.Index
+		counts[i] = b.Count
+	}
+	return metrics.FromSparse(idx, counts, h.Sum)
 }

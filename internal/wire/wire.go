@@ -152,6 +152,11 @@ type Tuple struct {
 	Key string
 	// EmitNanos is the event-time stamp in nanoseconds.
 	EmitNanos int64
+	// LatStamp is the wall-clock latency stamp of a sampled tuple
+	// (engine.Tuple.LatStamp, absolute microseconds mod 2^32); 0 means
+	// "not sampled" and costs nothing on the wire — the 4-byte stamp
+	// travels only when present (flag bit 4).
+	LatStamp uint32
 	// Tick marks control tuples.
 	Tick bool
 	// Values is the payload.
@@ -254,6 +259,27 @@ type WindowResult struct {
 	Raw []byte
 }
 
+// HistBucket is one non-empty bucket of a wire latency histogram.
+type HistBucket struct {
+	// Index is the bucket index in the log-linear layout of
+	// internal/metrics (metrics.HistSnapshot.Sparse).
+	Index uint32
+	// Count is the bucket's observation count (never negative).
+	Count int64
+}
+
+// LatencyHist is the wire form of a latency histogram snapshot: the
+// sparse non-empty buckets plus the observation sum in nanoseconds.
+// Mergeable on the receiving side (metrics.FromSparse + Merge), so a
+// source pulls per-node latency summaries over the existing OpStats
+// query without HTTP.
+type LatencyHist struct {
+	// Sum is the total of all observations in nanoseconds.
+	Sum int64
+	// Buckets are the non-empty buckets in ascending index order.
+	Buckets []HistBucket
+}
+
 // Reply is a point-query reply.
 type Reply struct {
 	// Op echoes the request operation.
@@ -265,6 +291,13 @@ type Reply struct {
 	Done bool
 	// Results are the closed windows so far (OpResults).
 	Results []WindowResult
+	// Lat is the node's tuple-latency histogram (OpStats, optional —
+	// encoded as a trailing section, so pre-histogram decoders that
+	// reject trailing bytes simply predate this field).
+	Lat *LatencyHist
+	// Stale is the node's window-close staleness histogram (OpStats,
+	// optional).
+	Stale *LatencyHist
 }
 
 // Credit opens a credit-based flow-control session on a connection
@@ -335,6 +368,10 @@ func appendI64(dst []byte, v int64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, uint64(v))
 }
 
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
 func appendStr(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
@@ -369,7 +406,7 @@ func AppendTupleBody(dst []byte, t *Tuple) ([]byte, error) {
 	if t.Tick {
 		flags |= 1
 	}
-	if t.Key == "" && len(t.Values) == 0 {
+	if t.Key == "" && len(t.Values) == 0 && t.LatStamp == 0 {
 		// Hash-only tuple — the per-tuple cost of a routing-heavy
 		// stream: emit the fixed 18-byte body with one append and two
 		// direct stores instead of four appends. Reused buffers take
@@ -390,9 +427,15 @@ func AppendTupleBody(dst []byte, t *Tuple) ([]byte, error) {
 	if t.Key != "" {
 		flags |= 2
 	}
+	if t.LatStamp != 0 {
+		flags |= 4
+	}
 	dst = append(dst, flags)
 	dst = appendU64(dst, t.KeyHash)
 	dst = appendI64(dst, t.EmitNanos)
+	if t.LatStamp != 0 {
+		dst = appendU32(dst, t.LatStamp)
+	}
 	if t.Key != "" {
 		dst = appendStr(dst, t.Key)
 	}
@@ -548,7 +591,42 @@ func AppendReply(dst []byte, r *Reply) []byte {
 			dst = appendStr(dst, res.Key)
 		}
 	}
+	if r.Lat != nil || r.Stale != nil {
+		// Trailing histogram section: id-tagged so either histogram can
+		// travel alone and new ids stay decodable-past.
+		var n byte
+		if r.Lat != nil {
+			n++
+		}
+		if r.Stale != nil {
+			n++
+		}
+		dst = append(dst, n)
+		if r.Lat != nil {
+			dst = appendHist(dst, histIDLat, r.Lat)
+		}
+		if r.Stale != nil {
+			dst = appendHist(dst, histIDStale, r.Stale)
+		}
+	}
 	return finish(dst, start)
+}
+
+// Histogram ids of the Reply trailing section.
+const (
+	histIDLat   byte = 1
+	histIDStale byte = 2
+)
+
+func appendHist(dst []byte, id byte, h *LatencyHist) []byte {
+	dst = append(dst, id)
+	dst = appendI64(dst, h.Sum)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Buckets)))
+	for _, b := range h.Buckets {
+		dst = binary.AppendUvarint(dst, uint64(b.Index))
+		dst = binary.AppendUvarint(dst, uint64(b.Count))
+	}
+	return dst
 }
 
 // AppendCredit appends c as a framed KindCredit to dst.
@@ -602,6 +680,15 @@ func (r *reader) u64() (uint64, error) {
 func (r *reader) i64() (int64, error) {
 	v, err := r.u64()
 	return int64(v), err
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
 }
 
 func (r *reader) uvarint() (uint64, error) {
@@ -731,6 +818,12 @@ func decodeTupleBody(r *reader, t *Tuple) error {
 		}
 	}
 	var err error
+	t.LatStamp = 0
+	if flags&4 != 0 {
+		if t.LatStamp, err = r.u32(); err != nil {
+			return err
+		}
+	}
 	if flags&2 != 0 {
 		if t.Key, err = r.str(); err != nil {
 			return err
@@ -982,10 +1075,80 @@ func DecodeReply(b []byte) (Reply, error) {
 		}
 		rep.Results = append(rep.Results, res)
 	}
+	if r.off < len(r.b) {
+		// Trailing histogram section — absent entirely in pre-histogram
+		// frames, which is what keeps both directions compatible.
+		nh, err := r.byte()
+		if err != nil {
+			return Reply{}, err
+		}
+		if nh == 0 {
+			// The encoder only writes the section when at least one
+			// histogram is present, so an empty section is corruption —
+			// and rejecting it keeps plain trailing bytes an error.
+			return Reply{}, fmt.Errorf("wire: empty reply histogram section")
+		}
+		for i := byte(0); i < nh; i++ {
+			id, err := r.byte()
+			if err != nil {
+				return Reply{}, err
+			}
+			h, err := decodeHist(&r)
+			if err != nil {
+				return Reply{}, err
+			}
+			switch id {
+			case histIDLat:
+				rep.Lat = h
+			case histIDStale:
+				rep.Stale = h
+			default:
+				return Reply{}, fmt.Errorf("wire: unknown reply histogram id %d", id)
+			}
+		}
+	}
 	if err := r.done(); err != nil {
 		return Reply{}, err
 	}
 	return rep, nil
+}
+
+func decodeHist(r *reader) (*LatencyHist, error) {
+	sum, err := r.i64()
+	if err != nil {
+		return nil, err
+	}
+	nb, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each bucket is ≥ 2 encoded bytes; the bound keeps a corrupt count
+	// from pre-allocating beyond what the payload could actually hold.
+	if nb > uint64(len(r.b)-r.off)/2 {
+		return nil, errTruncated
+	}
+	h := &LatencyHist{Sum: sum}
+	if nb > 0 {
+		h.Buckets = make([]HistBucket, 0, nb)
+	}
+	for i := uint64(0); i < nb; i++ {
+		idx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if idx > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: histogram bucket index %d overflows uint32", idx)
+		}
+		c, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if c > math.MaxInt64 {
+			return nil, fmt.Errorf("wire: histogram bucket count overflows int64")
+		}
+		h.Buckets = append(h.Buckets, HistBucket{Index: uint32(idx), Count: int64(c)})
+	}
+	return h, nil
 }
 
 // DecodeCredit decodes a KindCredit payload.

@@ -59,6 +59,16 @@ func encodeAll(t testing.TB) [][]byte {
 		{KeyHash: 1 << 60},
 	}))
 	add(AppendTupleBatch(nil, nil))
+	add(AppendTuple(nil, &Tuple{KeyHash: 11, EmitNanos: 77, LatStamp: 1234567}))
+	add(AppendTupleBatch(nil, []Tuple{
+		{KeyHash: 12, EmitNanos: 1, LatStamp: 4e9},
+		{KeyHash: 13, EmitNanos: 2},
+	}))
+	// Replies carrying the optional trailing histogram section stay out
+	// of this corpus: TestTruncationNeverPanics requires every strict
+	// payload prefix to error, and cutting exactly at the section
+	// boundary yields a valid pre-histogram reply by design (that is the
+	// compatibility contract). TestReplyHistRoundTrip covers them.
 	return frames
 }
 
@@ -266,6 +276,91 @@ func TestTupleBatchCorruptCount(t *testing.T) {
 	payload[0] = 3
 	if _, err := DecodeTupleBatch(payload, nil); err == nil {
 		t.Fatal("over-counted batch accepted")
+	}
+}
+
+// TestTupleLatStampRoundTrip: the sampled-latency stamp travels only
+// when present — a zero stamp keeps the 18-byte hash-only body.
+func TestTupleLatStampRoundTrip(t *testing.T) {
+	plain, err := AppendTuple(nil, &Tuple{KeyHash: 1, EmitNanos: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != HeaderSize+tupleBodyMin {
+		t.Fatalf("zero-stamp tuple is %d bytes, want the %d-byte fast path",
+			len(plain), HeaderSize+tupleBodyMin)
+	}
+	stamped, err := AppendTuple(nil, &Tuple{KeyHash: 1, EmitNanos: 2, LatStamp: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stamped) != len(plain)+4 {
+		t.Fatalf("stamp costs %d bytes, want 4", len(stamped)-len(plain))
+	}
+	var out Tuple
+	if err := DecodeTuple(stamped[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.LatStamp != 3 || out.KeyHash != 1 || out.EmitNanos != 2 {
+		t.Fatalf("round trip: %#v", out)
+	}
+	// Decoding an unstamped tuple into the same struct resets the stamp.
+	if err := DecodeTuple(plain[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.LatStamp != 0 {
+		t.Fatalf("stale LatStamp survived reuse: %d", out.LatStamp)
+	}
+}
+
+// TestReplyHistRoundTrip: the optional trailing histogram section of an
+// OpStats reply — each combination round-trips, a pre-histogram reply
+// decodes with nil histograms, and corrupt sections are rejected.
+func TestReplyHistRoundTrip(t *testing.T) {
+	lat := &LatencyHist{Sum: 12345, Buckets: []HistBucket{{Index: 3, Count: 7}, {Index: 200, Count: 1}}}
+	stale := &LatencyHist{Sum: 9e9, Buckets: []HistBucket{{Index: 1100, Count: 4}}}
+	for _, rep := range []Reply{
+		{Op: OpStats, Count: 10, Lat: lat},
+		{Op: OpStats, Count: 10, Stale: stale},
+		{Op: OpStats, Count: 10, Done: true, Lat: lat, Stale: stale},
+		{Op: OpStats, Count: 10, Lat: &LatencyHist{}}, // empty histogram still travels
+	} {
+		b := AppendReply(nil, &rep)
+		got, err := DecodeReply(b[HeaderSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rep) {
+			t.Fatalf("round trip:\n got %#v\nwant %#v", got, rep)
+		}
+	}
+	// A reply without the section decodes to nil histograms (what an old
+	// node's frames look like).
+	old := AppendReply(nil, &Reply{Op: OpStats, Count: 5})
+	got, err := DecodeReply(old[HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lat != nil || got.Stale != nil {
+		t.Fatalf("pre-histogram reply grew histograms: %#v", got)
+	}
+	// Every strict truncation of the section errors; so do an unknown
+	// histogram id and trailing bytes after the section.
+	full := AppendReply(nil, &Reply{Op: OpStats, Lat: lat, Stale: stale})
+	base := AppendReply(nil, &Reply{Op: OpStats})
+	for cut := len(base) - HeaderSize + 1; cut < len(full)-HeaderSize; cut++ {
+		if _, err := DecodeReply(full[HeaderSize:][:cut]); err == nil {
+			t.Fatalf("section truncated at %d accepted", cut)
+		}
+	}
+	bad := append(append([]byte(nil), full[HeaderSize:]...), 0)
+	if _, err := DecodeReply(bad); err == nil {
+		t.Fatal("trailing byte after section accepted")
+	}
+	bad = append([]byte(nil), full[HeaderSize:]...)
+	bad[len(base)-HeaderSize+1] = 99 // first id byte
+	if _, err := DecodeReply(bad); err == nil {
+		t.Fatal("unknown histogram id accepted")
 	}
 }
 
