@@ -43,12 +43,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/trace"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/window"
 )
@@ -70,8 +72,20 @@ func main() {
 		seed    = flag.Uint64("seed", 3, "partial: key→final-node hash seed (must match across partial nodes)")
 		once    = flag.Bool("once", false, "partial/final: exit once every source has sent its final mark")
 		quiet   = flag.Bool("quiet", false, "suppress the per-window result summary at shutdown")
+		tRing   = flag.Int("trace-ring", 0, "flight-recorder depth in spans (0: the default, 4096)")
 	)
 	flag.Parse()
+
+	// Name this process in trace spans and flight-recorder dumps before
+	// anything records: the engine queries them back by OpTrace and
+	// groups cross-process traces by these names.
+	trace.SetProcess(fmt.Sprintf("pkgnode-%s@%s", *mode, *addr))
+	if *tRing > 0 {
+		trace.Default.Resize(*tRing)
+	}
+	// SIGQUIT dumps the flight recorder and keeps serving — the
+	// live-inspection idiom (`kill -QUIT <pid>`).
+	defer trace.HandleSIGQUIT()()
 
 	var (
 		worker  *transport.Worker
@@ -140,7 +154,8 @@ func main() {
 	snap := nodeSnapshot(*mode, worker, partial, final)
 	var msrv *metrics.Server
 	if *mAddr != "" {
-		msrv, err = metrics.ListenAndServe(*mAddr, nodeRegistry(worker, partial, final))
+		msrv, err = metrics.ListenAndServeMux(*mAddr, nodeRegistry(worker, partial, final),
+			map[string]http.Handler{"/debug/pktrace": trace.Handler(trace.Default)})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pkgnode: metrics:", err)
 			os.Exit(1)
@@ -285,6 +300,7 @@ func nodeSnapshot(mode string, worker *transport.Worker, partial *window.Partial
 				m["lat_count"] = lat.Count
 				m["lat_p50_ms"] = float64(lat.Quantile(0.5)) / 1e6
 				m["lat_p99_ms"] = float64(lat.Quantile(0.99)) / 1e6
+				m["lat_p999_ms"] = float64(lat.Quantile(0.999)) / 1e6
 			}
 		case final != nil:
 			st := final.Stats()
@@ -299,6 +315,7 @@ func nodeSnapshot(mode string, worker *transport.Worker, partial *window.Partial
 				m["stale_count"] = stale.Count
 				m["stale_p50_ms"] = float64(stale.Quantile(0.5)) / 1e6
 				m["stale_p99_ms"] = float64(stale.Quantile(0.99)) / 1e6
+				m["stale_p999_ms"] = float64(stale.Quantile(0.999)) / 1e6
 			}
 		default:
 			m["tuples"] = worker.Processed()

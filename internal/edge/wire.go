@@ -11,6 +11,7 @@ import (
 
 	"pkgstream/internal/hotkey"
 	"pkgstream/internal/route"
+	"pkgstream/internal/trace"
 	"pkgstream/internal/wire"
 )
 
@@ -87,12 +88,16 @@ type wireBatch struct {
 	body  []byte
 	offs  []int
 	count int
+	// traced holds the trace IDs of traced tuples buffered in body;
+	// when the batch ships they get HopWireSend spans.
+	traced []uint64
 }
 
 func (b *wireBatch) reset() {
 	b.body = b.body[:0]
 	b.offs = b.offs[:0]
 	b.count = 0
+	b.traced = b.traced[:0]
 }
 
 // Wire is the TCP Edge: tuples routed over the destination nodes by a
@@ -124,6 +129,12 @@ type Wire struct {
 	lingerStop chan struct{} // immutable after DialWire; closed via lingerOnce
 	lingerOnce sync.Once
 	flushErr   error // sticky first error seen by the flusher
+
+	// waitNs accumulates credit-wait time during the current shipping
+	// operation (flushBatch/sendFrame reset it, acquireUpTo adds to it)
+	// so HopWireSend spans can report how long their batch sat on an
+	// exhausted window. Guarded by the same discipline as batches.
+	waitNs int64
 
 	frames   atomic.Int64
 	tuples   atomic.Int64
@@ -340,6 +351,8 @@ func (w *Wire) acquireUpTo(c *wireConn, want int) (int, error) {
 	c.mu.Lock()
 	if c.err == nil && c.sent-c.acked >= w.window {
 		w.stalls.Add(1)
+		inflight := c.sent - c.acked
+		stallStart := trace.Now()
 		// Everything buffered must be on the wire before blocking, or
 		// the worker can never drain and the stall never ends.
 		c.mu.Unlock()
@@ -350,6 +363,11 @@ func (w *Wire) acquireUpTo(c *wireConn, want int) (int, error) {
 		for c.err == nil && c.sent-c.acked >= w.window {
 			c.cond.Wait()
 		}
+		// One flight-recorder entry per stall, spanning begin→end (Dur
+		// is the wait; Arg1 the in-flight tuples that caused it).
+		wait := trace.Now() - stallStart
+		w.waitNs += wait
+		trace.Add(0, trace.HopEvent, stallStart, wait, inflight, 0, "credit-stall")
 	}
 	if err := c.err; err != nil {
 		c.mu.Unlock()
@@ -382,13 +400,19 @@ func (w *Wire) SendTuple(t *wire.Tuple) error {
 	if w.view != nil {
 		w.view.Add(dst)
 	}
+	if t.TraceID != 0 {
+		// The remote hop's routing decision, recorded with the same
+		// explanation the in-process groupings trace.
+		trace.Add(t.TraceID, trace.HopRoute, trace.Now(), 0, int64(dst), 0,
+			route.Explain(w.part, t.KeyHash).String())
+	}
 	if w.opts.MaxBatchTuples <= 1 {
 		var err error
 		w.scratch, err = wire.AppendTuple(w.scratch[:0], t)
 		if err != nil {
 			return err
 		}
-		return w.sendFrame(dst, w.scratch)
+		return w.sendFrame(dst, w.scratch, t.TraceID)
 	}
 	w.lock()
 	err := w.batchTuple(dst, t)
@@ -413,7 +437,7 @@ func (w *Wire) Send(dst int, batch []wire.Tuple) error {
 			if err != nil {
 				return err
 			}
-			if err := w.sendFrame(dst, w.scratch); err != nil {
+			if err := w.sendFrame(dst, w.scratch, batch[i].TraceID); err != nil {
 				return err
 			}
 		}
@@ -443,6 +467,9 @@ func (w *Wire) batchTuple(dst int, t *wire.Tuple) error {
 		b.offs = b.offs[:len(b.offs)-1]
 		return err
 	}
+	if t.TraceID != 0 {
+		b.traced = append(b.traced, t.TraceID)
+	}
 	b.count++
 	if b.count >= w.opts.MaxBatchTuples || len(b.body) >= w.opts.MaxBatchBytes {
 		return w.flushBatch(dst)
@@ -460,6 +487,11 @@ func (w *Wire) flushBatch(dst int) error {
 	b := &w.batches[dst]
 	if b.count == 0 {
 		return nil
+	}
+	var shipStart int64
+	if len(b.traced) > 0 {
+		w.waitNs = 0
+		shipStart = trace.Now()
 	}
 	done := 0
 	for done < b.count {
@@ -492,6 +524,17 @@ func (w *Wire) flushBatch(dst int) error {
 		w.frames.Add(1)
 		w.tuples.Add(int64(granted))
 	}
+	if len(b.traced) > 0 {
+		// Every traced tuple the batch carried gets one HopWireSend
+		// span: Dur covers the whole ship (including credit waits),
+		// Arg1 is the batch size framing amortized over, Arg2 the
+		// credit-wait share of Dur.
+		dur := trace.Now() - shipStart
+		for _, id := range b.traced {
+			trace.Add(id, trace.HopWireSend, shipStart, dur,
+				int64(b.count), w.waitNs, w.addrs[dst])
+		}
+	}
 	b.reset()
 	return nil
 }
@@ -517,6 +560,7 @@ func (w *Wire) withRedial(dst int, op func(c *wireConn) error) error {
 	backoff := 25 * time.Millisecond
 	for attempt := 1; attempt < SendAttempts; attempt++ {
 		w.retries.Add(1)
+		trace.Event("redial "+w.addrs[dst], int64(dst), int64(attempt))
 		time.Sleep(backoff)
 		backoff *= 2
 		if c := w.cs[dst]; c != nil {
@@ -531,13 +575,19 @@ func (w *Wire) withRedial(dst int, op func(c *wireConn) error) error {
 		}
 	}
 	w.failures.Add(1)
+	trace.Event("backoff-exhausted "+w.addrs[dst], int64(dst), SendAttempts)
 	return err
 }
 
 // sendFrame ships one encoded per-tuple data frame to dst under flow
 // control, riding the redial path when the connection is gone (the
 // credit session restarts from zero on a fresh connection).
-func (w *Wire) sendFrame(dst int, frame []byte) error {
+func (w *Wire) sendFrame(dst int, frame []byte, traceID uint64) error {
+	var start int64
+	if traceID != 0 {
+		w.waitNs = 0
+		start = trace.Now()
+	}
 	err := w.withRedial(dst, func(c *wireConn) error {
 		if err := w.acquire(c); err != nil {
 			return err
@@ -547,6 +597,10 @@ func (w *Wire) sendFrame(dst int, frame []byte) error {
 	})
 	if err != nil {
 		return fmt.Errorf("edge: node %d (%s) unreachable after retries: %w", dst, w.addrs[dst], err)
+	}
+	if traceID != 0 {
+		trace.Add(traceID, trace.HopWireSend, start, trace.Now()-start,
+			1, w.waitNs, w.addrs[dst])
 	}
 	w.frames.Add(1)
 	w.tuples.Add(1)

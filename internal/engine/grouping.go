@@ -114,6 +114,17 @@ func (g *routerGrouping) HotkeyStats() (hotkey.Stats, bool) {
 	return g.cls.Stats(), true
 }
 
+// explainNote implements the emitter's route-tracing hook: it renders
+// the routing decision for key-based strategies (strategy, key class,
+// candidate set, per-candidate loads) without mutating the router —
+// route.Explain never observes the key in a classifier's sketch.
+func (g *routerGrouping) explainNote(t *Tuple) string {
+	if g.oblivious {
+		return g.r.Name()
+	}
+	return route.Explain(g.r, t.RouteKey()).String()
+}
+
 func (g *routerGrouping) Select(t Tuple) int {
 	var key uint64
 	if !g.oblivious {

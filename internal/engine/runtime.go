@@ -11,6 +11,7 @@ import (
 	"pkgstream/internal/hash"
 	"pkgstream/internal/hotkey"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/trace"
 )
 
 // Options configures a Runtime.
@@ -46,6 +47,19 @@ type Options struct {
 	// text exposition of MetricsRegistry) and /debug/pprof/* on this
 	// address for the duration of Run.
 	MetricsAddr string
+	// TraceSample is the spout-emit sampling interval for distributed
+	// tracing: one in every TraceSample data tuples gets a fresh trace
+	// ID (Tuple.TraceID) and every layer it passes appends a span to
+	// the process's ring buffer (internal/trace). Independent of
+	// LatencySample so the two measurements never fight over sampling
+	// budget. 0 or negative disables tracing — unlike latency stamping
+	// it is strictly opt-in, so the default emit path pays only the
+	// countdown decrement that never reaches zero.
+	TraceSample int
+	// TraceRing, when positive, resizes the process-global span ring
+	// (trace.Default) to keep the last TraceRing spans — the flight
+	// recorder depth. 0 keeps trace.DefaultRingSpans.
+	TraceRing int
 }
 
 // InstanceStats are the counters of one processing element instance.
@@ -319,6 +333,12 @@ func NewRuntime(top *Topology, opts Options) *Runtime {
 	if opts.LatencySample < 0 {
 		opts.LatencySample = 0 // disabled
 	}
+	if opts.TraceSample < 0 {
+		opts.TraceSample = 0 // disabled (and the opt-out default)
+	}
+	if opts.TraceRing > 0 {
+		trace.Default.Resize(opts.TraceRing)
+	}
 	r := &Runtime{top: top, opts: opts, stats: map[string][]*instStats{},
 		winSrc:  map[string][]WindowStatsSource{},
 		hkSrc:   map[string][]HotkeyStatsSource{},
@@ -513,6 +533,45 @@ func (r *Runtime) MetricsRegistry() *metrics.Registry {
 			}
 			return out
 		})
+		// The paper's headline metric, live: per-worker load (executed
+		// tuples per bolt instance — the load vector I(t) is computed
+		// on) and the imbalance fraction (max − avg) / total of each
+		// component, the normalization of the paper's figures.
+		bolts := make([]string, 0, len(r.top.bolts))
+		for _, b := range r.top.bolts {
+			bolts = append(bolts, b.name)
+		}
+		reg.GaugeVec("pkgstream_worker_load", func() map[string]float64 {
+			out := map[string]float64{}
+			for _, name := range bolts {
+				for i, st := range r.stats[name] {
+					out[fmt.Sprintf("component=%q,instance=\"%d\"", name, i)] =
+						float64(st.executed.Load())
+				}
+			}
+			return out
+		})
+		reg.GaugeVec("pkgstream_imbalance_fraction", func() map[string]float64 {
+			out := map[string]float64{}
+			for _, name := range bolts {
+				var max, sum int64
+				n := len(r.stats[name])
+				for _, st := range r.stats[name] {
+					l := st.executed.Load()
+					if l > max {
+						max = l
+					}
+					sum += l
+				}
+				if n == 0 || sum == 0 {
+					out[fmt.Sprintf("component=%q", name)] = 0
+					continue
+				}
+				imb := float64(max) - float64(sum)/float64(n)
+				out[fmt.Sprintf("component=%q", name)] = imb / float64(sum)
+			}
+			return out
+		})
 		r.reg = reg
 	})
 	return r.reg
@@ -559,6 +618,11 @@ type subscription struct {
 	n     int // destination parallelism
 	group Grouping
 	bufs  [][]Tuple
+	// traced collects, per destination, the trace IDs buffered in bufs
+	// awaiting the batch send — when the batch ships, each gets a
+	// HopEnqueue span whose duration is the channel-send block time
+	// (i.e. the backpressure a traced tuple actually experienced).
+	traced [][]uint64
 }
 
 // send moves one batch through the subscription's edge. A Send that
@@ -587,6 +651,8 @@ type emitter struct {
 	stamped int
 	pending int // emits not yet added to the shared counter
 	now     int64
+	// comp is the emitting component's name — the note of HopEmit spans.
+	comp string
 	// latEvery samples spout emits for latency measurement: every
 	// latEvery-th data tuple gets a wall-clock LatStamp (one
 	// clock call per latEvery emits — the emit-path overhead knob).
@@ -598,6 +664,11 @@ type emitter struct {
 	// reach zero. A tuple that can't take the stamp (a tick, or a
 	// caller-stamped replay) defers it to the next emit.
 	sinceLat int64
+	// traceEvery / sinceTrace sample spout emits into distributed
+	// traces, the same countdown idiom as latEvery / sinceLat: every
+	// traceEvery-th data tuple gets a fresh TraceID and a HopEmit span.
+	traceEvery int
+	sinceTrace int64
 }
 
 // Emit implements Emitter. It blocks when a destination queue is full
@@ -621,6 +692,15 @@ func (e *emitter) Emit(t Tuple) {
 			t.LatStamp = LatStampNow()
 		}
 	}
+	if e.sinceTrace--; e.sinceTrace == 0 {
+		if t.Tick || t.TraceID != 0 {
+			e.sinceTrace = 1 // defer to the next emit
+		} else {
+			e.sinceTrace = int64(e.traceEvery)
+			t.TraceID = trace.NewID()
+			trace.Add(t.TraceID, trace.HopEmit, trace.Now(), 0, 0, 0, e.comp)
+		}
+	}
 	if e.keyed {
 		t.RouteKey() // hash the key once; every edge routes on the cached hash
 	}
@@ -634,7 +714,12 @@ func (e *emitter) Emit(t Tuple) {
 	}
 	for i := range e.subs {
 		s := &e.subs[i]
-		dst := s.group.Select(t)
+		var dst int
+		if t.TraceID != 0 {
+			dst = e.traceSelect(s, t)
+		} else {
+			dst = s.group.Select(t)
+		}
 		if dst == BroadcastAll {
 			for d := 0; d < s.n; d++ {
 				e.push(s, d, t)
@@ -643,6 +728,32 @@ func (e *emitter) Emit(t Tuple) {
 		}
 		e.push(s, dst, t)
 	}
+}
+
+// explainer is implemented by groupings that can render a routing
+// decision for a trace span (routerGrouping, i.e. every key-based
+// strategy); unknown groupings trace the chosen destination alone.
+type explainer interface {
+	explainNote(t *Tuple) string
+}
+
+// traceSelect is Select for traced tuples: it times the routing
+// decision and records a HopRoute span carrying the chosen worker and
+// — for key-based strategies — the strategy, key class, candidate set
+// and per-candidate loads. It takes the tuple by value so the copy,
+// whose address explainNote needs, escapes HERE — in Emit, &t would
+// force every tuple onto the heap, traced or not (measured ~90 ns and
+// an allocation per emit on the batched path).
+func (e *emitter) traceSelect(s *subscription, t Tuple) int {
+	start := trace.Now()
+	dst := s.group.Select(t)
+	dur := trace.Now() - start
+	note := ""
+	if ex, ok := s.group.(explainer); ok {
+		note = ex.explainNote(&t)
+	}
+	trace.Add(t.TraceID, trace.HopRoute, start, dur, int64(dst), 0, note)
+	return dst
 }
 
 // push appends t to the destination's pending batch, sending the batch
@@ -659,11 +770,33 @@ func (e *emitter) push(s *subscription, dst int, t Tuple) {
 		buf = make([]Tuple, 0, e.batch)
 	}
 	buf = append(buf, t)
+	if t.TraceID != 0 {
+		s.traced[dst] = append(s.traced[dst], t.TraceID)
+	}
 	if len(buf) >= e.batch || t.Tick {
-		s.send(dst, buf)
+		e.send(s, dst, buf)
 		buf = nil
 	}
 	s.bufs[dst] = buf
+}
+
+// send moves one batch through the subscription, recording a HopEnqueue
+// span for every traced tuple it carries (Dur = send block time, Arg1 =
+// batch size, Arg2 = destination instance). Untraced batches pay one
+// empty-slice check.
+func (e *emitter) send(s *subscription, dst int, batch []Tuple) {
+	ids := s.traced[dst]
+	if len(ids) == 0 {
+		s.send(dst, batch)
+		return
+	}
+	start := trace.Now()
+	s.send(dst, batch)
+	dur := trace.Now() - start
+	for _, id := range ids {
+		trace.Add(id, trace.HopEnqueue, start, dur, int64(len(batch)), int64(dst), "")
+	}
+	s.traced[dst] = ids[:0]
 }
 
 // Flush sends every pending partial batch downstream and settles the
@@ -679,7 +812,7 @@ func (e *emitter) Flush() {
 		s := &e.subs[i]
 		for d, buf := range s.bufs {
 			if len(buf) > 0 {
-				s.send(d, buf)
+				e.send(s, d, buf)
 				s.bufs[d] = nil
 			}
 		}
@@ -778,12 +911,17 @@ func (r *Runtime) Run() error {
 	}
 
 	newEmitter := func(comp string, index int, stamp bool) *emitter {
-		em := &emitter{stats: r.stats[comp][index], stamp: stamp, batch: r.opts.BatchSize}
+		em := &emitter{stats: r.stats[comp][index], stamp: stamp, batch: r.opts.BatchSize, comp: comp}
 		em.sinceLat = math.MaxInt64
+		em.sinceTrace = math.MaxInt64
 		if stamp {
 			em.latEvery = r.opts.LatencySample
 			if em.latEvery > 0 {
 				em.sinceLat = int64(em.latEvery)
+			}
+			em.traceEvery = r.opts.TraceSample
+			if em.traceEvery > 0 {
+				em.sinceTrace = int64(em.traceEvery)
 			}
 		}
 		for _, dst := range downstream[comp] {
@@ -800,11 +938,12 @@ func (r *Runtime) Run() error {
 					r.registerHotkeySource(comp+"→"+dst.name, index, parallelism[comp], hs)
 				}
 				em.subs = append(em.subs, subscription{
-					out:   edges[dst.name],
-					chans: edges[dst.name].Chans(),
-					n:     dst.parallelism,
-					group: group,
-					bufs:  make([][]Tuple, dst.parallelism),
+					out:    edges[dst.name],
+					chans:  edges[dst.name].Chans(),
+					n:      dst.parallelism,
+					group:  group,
+					bufs:   make([][]Tuple, dst.parallelism),
+					traced: make([][]uint64, dst.parallelism),
 				})
 			}
 		}
@@ -861,6 +1000,11 @@ func (r *Runtime) Run() error {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.firstErr != nil {
+		// Flight-recorder post-mortem: what the process was doing in the
+		// spans leading up to the failure, on stderr next to the error.
+		trace.DumpFailure(r.firstErr.Error())
+	}
 	return r.firstErr
 }
 
@@ -965,6 +1109,15 @@ func (r *Runtime) execBatch(bolt Bolt, batch []Tuple, em *emitter, st *instStats
 				// emit→delivery measurement.
 				lat.Observe(LatSince(t.LatStamp))
 			}
+		}
+		if t.TraceID != 0 {
+			// A traced tuple reaching this worker: Dur is the handler
+			// time, the note names the component the trace crossed into.
+			start := trace.Now()
+			bolt.Execute(t, em)
+			trace.Add(t.TraceID, trace.HopDispatch, start, trace.Now()-start,
+				int64(index), 0, name)
+			continue
 		}
 		bolt.Execute(t, em)
 	}

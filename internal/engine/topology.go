@@ -15,7 +15,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"time"
+	"unsafe"
 
 	"pkgstream/internal/route"
 )
@@ -39,10 +41,18 @@ type Tuple struct {
 	// is 0 routes as the empty key, so integer-keyed streams should set
 	// a hash of their ID (any 64-bit mix), not a raw ID that may be 0.
 	KeyHash uint64
-	// hashedKey records which Key value KeyHash was computed from, so a
-	// bolt that rekeys a received tuple (t.Key = newKey; out.Emit(t))
-	// gets a fresh hash instead of routing by the stale one.
-	hashedKey string
+	// hashedPtr/hashedLen record which Key value KeyHash was computed
+	// from — the data pointer and length of that string — so a bolt
+	// that rekeys a received tuple (t.Key = newKey; out.Emit(t)) gets a
+	// fresh hash instead of routing by the stale one. Matching on
+	// (pointer, length) is sound: two string headers with the same data
+	// pointer and length hold the same bytes. The pair costs 10 bytes
+	// where a string field costs 16, which is what keeps Tuple at 80
+	// bytes with the 8-byte TraceID on board — the emit path moves
+	// tuples by value, and +8 bytes measured ~14% on the batched hot
+	// path (see LatStamp). Keys longer than 64 KiB are simply never
+	// cached (hashed on every RouteKey), so the length fits uint16.
+	hashedPtr *byte
 	// Values is the payload.
 	Values Values
 	// EmitNanos is stamped by the runtime when a spout first emits the
@@ -52,6 +62,15 @@ type Tuple struct {
 	// assignment, which is why latency measurement does not read it —
 	// see LatStamp.
 	EmitNanos int64
+	// TraceID identifies the distributed trace this tuple belongs to:
+	// the runtime assigns a fresh non-zero ID to a sampled
+	// 1-in-Options.TraceSample subset of spout emits, every layer the
+	// tuple passes appends a span to its process's ring buffer
+	// (internal/trace), and forwarders carry the ID across process
+	// boundaries in the tuple body (wire flag bit 8). Zero means "not
+	// traced" and is the only per-tuple cost of the disabled path.
+	// Declared before the narrow fields so the struct packs to 80 bytes.
+	TraceID uint64
 	// LatStamp is the wall-clock latency stamp: the runtime sets it
 	// (via LatStampNow) on a sampled 1-in-Options.LatencySample subset
 	// of spout emits (never overwriting a caller's value), downstream
@@ -65,6 +84,8 @@ type Tuple struct {
 	// path moves tuples by value; +8 bytes measured ~14% on the batched
 	// hot path). Zero means "not sampled".
 	LatStamp uint32
+	// hashedLen is the length half of the hash cache (see hashedPtr).
+	hashedLen uint16
 	// Tick marks engine-generated timer tuples (see BoltDecl.TickEvery).
 	Tick bool
 }
@@ -93,20 +114,24 @@ func LatSince(stamp uint32) int64 {
 
 // RouteKey returns the 64-bit key the routing core routes on, computing
 // and caching the hash of Key unless the cache already matches it (the
-// match is a pointer-fast string compare for forwarded tuples). Tuples
-// with an explicit KeyHash and no Key (integer-keyed streams) pass
-// through untouched.
+// match compares the key string's data pointer and length — the
+// pointer-fast path for forwarded tuples, and header equality implies
+// byte equality, so a hit is always sound). Tuples with an explicit
+// KeyHash and no Key (integer-keyed streams) pass through untouched.
 func (t *Tuple) RouteKey() uint64 {
 	if t.Key == "" {
-		if t.hashedKey != "" {
+		if t.hashedPtr != nil {
 			// The key was cleared after a string key's hash was cached.
 			// If KeyHash is still that stale cache, rehash as the empty
 			// key; if the caller overwrote it (string→integer key
 			// conversion: set KeyHash, clear Key), their value stands.
-			if t.KeyHash == route.KeyHash(t.hashedKey) {
+			// The cached pointer keeps the old key's bytes reachable, so
+			// rebuilding the string it was computed from is safe.
+			if t.KeyHash == route.KeyHash(unsafe.String(t.hashedPtr, int(t.hashedLen))) {
 				t.KeyHash = route.KeyHash("")
 			}
-			t.hashedKey = ""
+			t.hashedPtr = nil
+			t.hashedLen = 0
 		} else if t.KeyHash == 0 {
 			// Nothing cached and no explicit hash: the empty string key,
 			// routed by its own hash so it lands with fresh Tuple{Key: ""}
@@ -116,9 +141,17 @@ func (t *Tuple) RouteKey() uint64 {
 		}
 		return t.KeyHash
 	}
-	if t.KeyHash == 0 || t.hashedKey != t.Key {
+	if t.KeyHash == 0 || t.hashedPtr != unsafe.StringData(t.Key) || int(t.hashedLen) != len(t.Key) {
 		t.KeyHash = route.KeyHash(t.Key)
-		t.hashedKey = t.Key
+		if len(t.Key) <= math.MaxUint16 {
+			t.hashedPtr = unsafe.StringData(t.Key)
+			t.hashedLen = uint16(len(t.Key))
+		} else {
+			// Oversized keys are hashed on every call rather than widening
+			// the cache; no real key is 64 KiB.
+			t.hashedPtr = nil
+			t.hashedLen = 0
+		}
 	}
 	return t.KeyHash
 }

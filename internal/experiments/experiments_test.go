@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"pkgstream/internal/engine"
+	"pkgstream/internal/trace"
 	"pkgstream/internal/window"
 )
 
@@ -486,6 +488,116 @@ func TestPipelineStatsWhileStreaming(t *testing.T) {
 	}
 	if lat := rt.Stats().LatencyTotals("wc.partial"); lat.Count == 0 {
 		t.Fatal("no latency observations after the run")
+	}
+}
+
+// TestPipelineTraceWhileStreaming streams the pipeline wordcount with
+// every tuple traced (TraceSample 1) while concurrent pollers hammer
+// Stats() and drain the /debug/pktrace handler mid-stream — the ring is
+// being overwritten by the data path while WriteChrome snapshots it.
+// Run under -race (CI does) this is the proof that full-rate tracing
+// and its query surface never torment the data path; the final counts
+// must still be complete and at least one trace must assemble
+// end-to-end (emit through window close).
+func TestPipelineTraceWhileStreaming(t *testing.T) {
+	const n = 40000
+	var mu sync.Mutex
+	counts := map[string]int64{}
+	b, _ := pipeTopology(n, 3)
+	b.AddBolt("sink", func() engine.Bolt {
+		return engine.BoltFunc(func(tu engine.Tuple, _ engine.Emitter) {
+			if tu.Tick {
+				return
+			}
+			res := tu.Values[0].(window.Result)
+			mu.Lock()
+			counts[fmt.Sprintf("%s@%d", res.Key, res.Start)] += res.Value.(int64)
+			mu.Unlock()
+		})
+	}, 1).Input("wc", engine.Global())
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.NewRuntime(top, engine.Options{
+		QueueSize: 2048, LatencySample: 8, TraceSample: 1,
+	})
+	// Full-rate tracing of 40k tuples records ~340k spans, and the tail
+	// of the run is emit-free: the spout finishes while the sink still
+	// drains, so the flush/merge/close burst (tens of thousands of spans
+	// with every slot traced) evicts every emit span from any
+	// ring that can't hold the whole run. Widen the ring to cover it all
+	// (~40 MiB for the test's duration) so the end-to-end assertion
+	// below is deterministic, and restore after.
+	oldCap := trace.Default.Cap()
+	trace.Default.Resize(1 << 19)
+	defer trace.Default.Resize(oldCap)
+
+	srv := httptest.NewServer(trace.Handler(trace.Default))
+	defer srv.Close()
+	done := make(chan struct{})
+	var pollers sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		pollers.Add(1)
+		go func(p int) {
+			defer pollers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					if p == 0 {
+						// One poller drains the chrome-trace endpoint
+						// (a full ring snapshot + JSON render per hit).
+						resp, err := srv.Client().Get(srv.URL)
+						if err == nil {
+							resp.Body.Close()
+						}
+					} else {
+						st := rt.Stats()
+						_ = st.Imbalance("wc.partial")
+						_ = st.LatencyTotals("wc.partial").Quantile(0.99)
+						_ = trace.ByTrace(trace.Default.Snapshot())
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}(p)
+	}
+	err = rt.Run()
+	close(done)
+	pollers.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("window counts sum to %d, want %d", total, n)
+	}
+	// The ring holds the last spans of a full-rate run; the newest
+	// traces must still assemble across the whole local hop chain.
+	assembled := trace.ByTrace(trace.Default.Snapshot())
+	complete := 0
+	for _, spans := range assembled {
+		var emit, closed bool
+		for _, s := range spans {
+			emit = emit || s.Hop == trace.HopEmit
+			closed = closed || s.Hop == trace.HopWindowClose
+		}
+		if emit && closed {
+			complete++
+		}
+	}
+	if complete == 0 {
+		byHop := map[trace.Hop]int{}
+		for _, s := range trace.Default.Snapshot() {
+			byHop[s.Hop]++
+		}
+		t.Fatalf("no end-to-end trace assembled from %d retained traces (cap=%d total=%d hops=%v)",
+			len(assembled), trace.Default.Cap(), trace.Default.Total(), byHop)
 	}
 }
 

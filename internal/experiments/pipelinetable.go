@@ -10,6 +10,7 @@ import (
 	"pkgstream/internal/engine"
 	"pkgstream/internal/metrics"
 	"pkgstream/internal/rng"
+	"pkgstream/internal/trace"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/window"
 	"pkgstream/internal/wire"
@@ -51,6 +52,10 @@ const (
 	pipeVocab        = 1000
 	pipeTick         = time.Millisecond
 	pipeMarks        = 500 // SourceMark cadence in tuples
+	// pipeTraceSample traces 1 in this many spout emits during the fully
+	// distributed run — enough traces to assemble a cross-process causal
+	// path without crowding the flight-recorder rings.
+	pipeTraceSample = 1000
 )
 
 // pipeSpout emits a deterministic Zipf word stream on a logical clock,
@@ -215,7 +220,10 @@ func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: pipeline: %v", err))
 	}
-	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048})
+	// This is the run that exercises every hop, so it is the one that
+	// traces: 1-in-pipeTraceSample spout emits carry a trace ID across
+	// both wire edges, and the nodes' rings are queried back afterwards.
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048, TraceSample: pipeTraceSample})
 	start := time.Now()
 	if err := rt.Run(); err != nil {
 		panic(fmt.Sprintf("experiments: pipeline: %v", err))
@@ -256,6 +264,116 @@ func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
 	r := summarize(counts, imb, elapsed)
 	r.lat = lat
 	return r
+}
+
+// pipeTraces assembles cross-process traces after the fully
+// distributed run: the engine-local ring plus every node's OpTrace
+// reply, grouped by trace ID. Loopback nodes share this process's ring
+// and are deduped by process name; a node that cannot be queried
+// contributes a gap, not a failure — tracing is diagnostic output.
+func pipeTraces(nodeAddrs []string) map[uint64][]trace.Span {
+	proc := trace.Process()
+	local := trace.Default.Snapshot()
+	all := make([]trace.Span, 0, len(local))
+	for _, s := range local {
+		s.Proc = proc
+		all = append(all, s)
+	}
+	for _, addr := range nodeAddrs {
+		rep, err := transport.QueryAddr(addr, wire.Query{Op: wire.OpTrace})
+		if err != nil {
+			continue
+		}
+		if rep.Proc == "" || rep.Proc == proc {
+			continue // loopback node: its spans are already in the local ring
+		}
+		all = append(all, transport.SpansFromWire(rep.Proc, rep.Spans)...)
+	}
+	return trace.ByTrace(all)
+}
+
+// pipeTraceRoles reports which deployment roles a trace has spans
+// from: the spout/routing engine, the partial stage, the final stage.
+// Classification is by hop, not process name, so it works identically
+// for loopback nodes (one process) and real pkgnode processes.
+func pipeTraceRoles(spans []trace.Span) (spout, partial, final bool) {
+	for _, s := range spans {
+		switch s.Hop {
+		case trace.HopEmit, trace.HopRoute, trace.HopEnqueue:
+			spout = true
+		case trace.HopPartial, trace.HopFlush:
+			partial = true
+		case trace.HopMerge, trace.HopWindowClose, trace.HopResult:
+			final = true
+		}
+	}
+	return
+}
+
+// pipeTraceTable renders the assembled traces: the most complete trace
+// hop by hop with per-hop timings, plus one greppable summary line per
+// fully assembled trace (the multiproc CI smoke gates on `roles=3`).
+func pipeTraceTable(byID map[uint64][]trace.Span) Table {
+	tb := Table{
+		Title:   "pipeline tracing — cross-process per-tuple causal path (fully distributed run)",
+		Columns: []string{"hop", "process", "+ms", "dur µs", "arg1", "arg2", "note"},
+	}
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	roleCount := func(spans []trace.Span) int {
+		sp, pa, fi := pipeTraceRoles(spans)
+		return b2i(sp) + b2i(pa) + b2i(fi)
+	}
+	ids := make([]uint64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var best uint64
+	bestRoles, bestSpans, complete := -1, -1, 0
+	for _, id := range ids {
+		roles, n := roleCount(byID[id]), len(byID[id])
+		if roles == 3 {
+			complete++
+		}
+		if roles > bestRoles || (roles == bestRoles && n > bestSpans) {
+			best, bestRoles, bestSpans = id, roles, n
+		}
+	}
+	if best != 0 {
+		spans := byID[best]
+		t0 := spans[0].Start
+		for _, s := range spans {
+			tb.AddRow(s.Hop.String(), s.Proc,
+				f2(float64(s.Start-t0)/1e6), f1(float64(s.Dur)/1e3),
+				fmt.Sprint(s.Arg1), fmt.Sprint(s.Arg2), s.Note)
+		}
+		last := spans[len(spans)-1]
+		tb.Notes = append(tb.Notes, fmt.Sprintf(
+			"shown: trace %016x — spout emit → %s in %.2f ms over %d hops",
+			best, last.Hop, float64(last.Start+last.Dur-t0)/1e6, len(spans)))
+	}
+	tb.Notes = append(tb.Notes, fmt.Sprintf(
+		"assembled traces: %d; spanning all three roles (spout/route, partial, final): %d",
+		len(byID), complete))
+	shown := 0
+	for _, id := range ids {
+		if roleCount(byID[id]) != 3 || shown >= 8 {
+			continue
+		}
+		shown++
+		procs := map[string]bool{}
+		for _, s := range byID[id] {
+			procs[s.Proc] = true
+		}
+		tb.Notes = append(tb.Notes, fmt.Sprintf("trace %016x: procs=%d roles=3 spans=%d",
+			id, len(procs), len(byID[id])))
+	}
+	return tb
 }
 
 func summarize(counts map[string]int64, imb float64, elapsed time.Duration) pipeRun {
@@ -348,11 +466,21 @@ func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
 		}
 	}
 
+	// Name the engine process for trace spans before anything records:
+	// assembled cross-process traces group spans by these names.
+	trace.SetProcess("engine")
+
 	res.local = runLocal(n, seed)
 	res.remote = runRemote(n, seed, addrs)
 	res.remote3 = runRemotePartial(n, seed, paddrs, faddrs)
 	res.match = equalCounts(res.local.counts, res.remote.counts)
 	res.match3 = equalCounts(res.local.counts, res.remote3.counts)
+
+	// Pull every node's retained spans back over the query channel and
+	// assemble the fully distributed run's traces (the nodes are still
+	// listening — loopback workers close at return, external pkgnodes at
+	// their own shutdown).
+	traceTable := pipeTraceTable(pipeTraces(append(append([]string{}, paddrs...), faddrs...)))
 
 	tb := Table{
 		Title: "pipeline — windowed wordcount: in-process vs remote final vs remote partial+final",
@@ -387,7 +515,7 @@ func runPipeline(sc Scale, seed uint64, addrsEnv string) pipeResult {
 	row("remote-final", len(addrs), res.remote)
 	row("remote-partial+final", len(paddrs)+len(faddrs), res.remote3)
 
-	res.tables = []Table{tb}
+	res.tables = []Table{tb, traceTable}
 	for _, bad := range []struct {
 		label string
 		run   pipeRun

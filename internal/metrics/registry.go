@@ -23,11 +23,12 @@ type Registry struct {
 type regEntry struct {
 	name    string
 	labels  string // raw Prometheus label pairs, `a="b",c="d"`; "" for none
-	kind    byte   // 'c'ounter, 'g'auge, 'h'istogram, 'v'ec-of-histograms
+	kind    byte   // 'c'ounter, 'g'auge, 'h'istogram, 'v'ec-of-histograms, 'G'auge-vec
 	counter func() int64
 	gauge   func() float64
 	hist    func() HistSnapshot
 	vec     func() map[string]HistSnapshot
+	gvec    func() map[string]float64
 }
 
 // NewRegistry returns an empty registry.
@@ -57,6 +58,15 @@ func (r *Registry) Histogram(name, labels string, f func() HistSnapshot) {
 // names only exist at runtime (per-component latency in a topology).
 func (r *Registry) HistogramVec(name string, f func() map[string]HistSnapshot) {
 	r.add(regEntry{name: name, kind: 'v', vec: f})
+}
+
+// GaugeVec registers a dynamic family of gauges under one metric name:
+// each scrape calls f and emits one sample per map entry, keyed by the
+// entry's raw Prometheus label list (`component="c",instance="0"`). It
+// serves sources whose label sets only exist at runtime — per-worker
+// load gauges of a topology whose components are user-named.
+func (r *Registry) GaugeVec(name string, f func() map[string]float64) {
+	r.add(regEntry{name: name, kind: 'G', gvec: f})
 }
 
 func (r *Registry) add(e regEntry) {
@@ -94,7 +104,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			lastName = e.name
 			typ := "counter"
 			switch e.kind {
-			case 'g':
+			case 'g', 'G':
 				typ = "gauge"
 			case 'h', 'v':
 				typ = "summary"
@@ -117,6 +127,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			sort.Strings(keys)
 			for _, k := range keys {
 				writeHist(&b, e.name, fmt.Sprintf("series=%q", k), m[k])
+			}
+		case 'G':
+			m := e.gvec()
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s %g\n", seriesName(e.name, k), m[k])
 			}
 		}
 	}

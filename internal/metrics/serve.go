@@ -22,11 +22,22 @@ type Server struct {
 // free one — read the bound address back with Addr). The server runs
 // on its own goroutine until Close.
 func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	return ListenAndServeMux(addr, reg, nil)
+}
+
+// ListenAndServeMux is ListenAndServe with extra handlers mounted on
+// the same mux (path → handler) — debug endpoints that belong to the
+// process rather than the registry, like the trace ring's
+// /debug/pktrace.
+func ListenAndServeMux(addr string, reg *Registry, extra map[string]http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)

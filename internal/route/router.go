@@ -263,6 +263,57 @@ func ProbeSet(r Router, key uint64) []int {
 	}
 }
 
+// Explanation describes one routing decision for tracing: the strategy
+// name, the key's frequency class (frequency-aware strategies only),
+// the candidate set the decision chose from, and the per-candidate
+// loads of the router's view at explanation time.
+type Explanation struct {
+	// Strategy is the router's short name ("PKG", "D-C", ...).
+	Strategy string
+	// Class is the key's frequency class ("cold", "hot", "head"); ""
+	// when the strategy is not frequency-aware.
+	Class string
+	// Cands is the candidate set (ProbeSet of the key).
+	Cands []int
+	// Loads holds the view's load for each candidate, aligned with
+	// Cands; nil when the router consults no view.
+	Loads []int64
+}
+
+// Explain derives the Explanation of routing key under r. Like
+// ProbeSet it never mutates the router — in particular it does not
+// observe the key in a classifier's sketch — so a tracing layer can
+// call it right after Route without perturbing the decision sequence.
+func Explain(r Router, key uint64) Explanation {
+	ex := Explanation{Strategy: r.Name(), Cands: ProbeSet(r, key)}
+	if ha, ok := r.(HotAware); ok {
+		ex.Class = ha.Classifier().Class(key).String()
+	}
+	if v, ok := r.(interface{ View() *metrics.Load }); ok {
+		if view := v.View(); view != nil {
+			ex.Loads = make([]int64, len(ex.Cands))
+			for i, c := range ex.Cands {
+				ex.Loads[i] = view.Get(c)
+			}
+		}
+	}
+	return ex
+}
+
+// String renders the explanation as a trace note, e.g.
+// "PKG cands=[3 7] loads=[120 98]" or "D-C class=hot cands=[1 4 6 2]".
+func (ex Explanation) String() string {
+	s := ex.Strategy
+	if ex.Class != "" {
+		s += " class=" + ex.Class
+	}
+	s += fmt.Sprintf(" cands=%v", ex.Cands)
+	if ex.Loads != nil {
+		s += fmt.Sprintf(" loads=%v", ex.Loads)
+	}
+	return s
+}
+
 // dedup removes repeated workers from a candidate slice in place,
 // preserving first-seen order (repeats arise when d exceeds W).
 func dedup(cands []int) []int {

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array
+// (chrome://tracing and Perfetto both load it). Timestamps are
+// MICROseconds; ph "X" is a complete event, "M" is metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  uint32         `json:"pid"`
+	Tid  uint32         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromePid derives a stable numeric pid for a process name (the
+// format wants numbers; a process_name metadata event carries the
+// string).
+func chromePid(proc string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(proc); i++ {
+		h = (h ^ uint32(proc[i])) * 16777619
+	}
+	return h&0x7fffffff | 1
+}
+
+// WriteChrome writes spans as a Chrome trace_event JSON array. Spans
+// without a Proc get proc; each trace ID becomes one "thread" so the
+// timeline shows a traced tuple's hops on one row. Flight-recorder
+// events (trace 0) share the 0 row.
+func WriteChrome(w *json.Encoder, proc string, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans)+4)
+	named := map[string]bool{}
+	for _, s := range spans {
+		p := s.Proc
+		if p == "" {
+			p = proc
+		}
+		pid := chromePid(p)
+		if !named[p] {
+			named[p] = true
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": p},
+			})
+		}
+		ev := chromeEvent{
+			Name: s.Hop.String(),
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  pid,
+			Tid:  uint32(s.Trace) ^ uint32(s.Trace>>32),
+			Args: map[string]any{
+				"trace": fmt.Sprintf("%016x", s.Trace),
+				"arg1":  s.Arg1,
+				"arg2":  s.Arg2,
+			},
+		}
+		if s.Note != "" {
+			ev.Args["note"] = s.Note
+		}
+		events = append(events, ev)
+	}
+	return w.Encode(events)
+}
+
+// Handler serves r as Chrome trace_event JSON — mount it on the
+// metrics mux as /debug/pktrace. Load the response in chrome://tracing
+// or https://ui.perfetto.dev to see every retained span on a timeline.
+func Handler(r *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChrome(json.NewEncoder(w), Process(), r.Snapshot())
+	})
+}
+
+// HandleSIGQUIT makes SIGQUIT dump the Default ring to stderr and keep
+// running — the JVM's thread-dump idiom applied to the flight
+// recorder: `kill -QUIT <pid>` inspects a live node without stopping
+// it. Note this replaces the Go runtime's default SIGQUIT behavior
+// (stack dump + exit) for this process. The returned stop function
+// restores delivery and ends the goroutine.
+func HandleSIGQUIT() (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				Default.Dump(os.Stderr, "SIGQUIT")
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func span(id uint64, start int64) Span {
+	return Span{Trace: id, Start: start, Hop: HopEmit}
+}
+
+// TestRingLazyAllocation: a never-recorded ring answers every query
+// without allocating its buffer — the regression test for the
+// divide-by-zero a nil buffer once caused in Snapshot's wrap
+// arithmetic (via Resize on a fresh ring).
+func TestRingLazyAllocation(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring snapshot = %v", got)
+	}
+	if r.Total() != 0 || r.Cap() != 8 {
+		t.Fatalf("fresh ring total=%d cap=%d", r.Total(), r.Cap())
+	}
+	r.Resize(16) // must not panic, must not allocate
+	if r.buf != nil {
+		t.Fatal("Resize allocated a never-recorded ring's buffer")
+	}
+	if r.Cap() != 16 {
+		t.Fatalf("cap after resize = %d, want 16", r.Cap())
+	}
+	r.Record(span(1, 10))
+	if got := r.Snapshot(); len(got) != 1 || got[0].Trace != 1 {
+		t.Fatalf("after first record: %v", got)
+	}
+}
+
+// TestRingWrapOrder: once full, Record evicts the oldest span and
+// Snapshot returns survivors oldest first.
+func TestRingWrapOrder(t *testing.T) {
+	r := NewRing(4)
+	for i := int64(1); i <= 10; i++ {
+		r.Record(span(uint64(i), i))
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(7 + i); s.Trace != want {
+			t.Fatalf("snapshot[%d].Trace = %d, want %d", i, s.Trace, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+}
+
+// TestRingResizeCarriesNewest: shrinking keeps the newest spans.
+func TestRingResizeCarriesNewest(t *testing.T) {
+	r := NewRing(8)
+	for i := int64(1); i <= 6; i++ {
+		r.Record(span(uint64(i), i))
+	}
+	r.Resize(3)
+	got := r.Snapshot()
+	if len(got) != 3 || got[0].Trace != 4 || got[2].Trace != 6 {
+		t.Fatalf("after shrink: %v", got)
+	}
+	// Growing keeps everything and continues recording seamlessly.
+	r.Resize(10)
+	r.Record(span(7, 7))
+	if got := r.Snapshot(); len(got) != 4 || got[3].Trace != 7 {
+		t.Fatalf("after grow: %v", got)
+	}
+}
+
+func TestNewIDNonZeroAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if id == 0 {
+			t.Fatal("zero trace ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestByTrace: grouping drops flight-recorder events (Trace 0) and
+// sorts each trace's spans by start time.
+func TestByTrace(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, Start: 30, Hop: HopRoute},
+		{Trace: 2, Start: 5, Hop: HopEmit},
+		{Trace: 0, Start: 1, Hop: HopEvent, Note: "redial"},
+		{Trace: 1, Start: 10, Hop: HopEmit},
+	}
+	got := ByTrace(spans)
+	if len(got) != 2 {
+		t.Fatalf("groups = %d, want 2", len(got))
+	}
+	g := got[1]
+	if len(g) != 2 || g[0].Hop != HopEmit || g[1].Hop != HopRoute {
+		t.Fatalf("trace 1 out of order: %v", g)
+	}
+}
+
+func TestDumpRendersEventsAndTraces(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Span{Trace: 0xabcd, Start: 1e9, Dur: 500, Hop: HopDispatch})
+	r.Record(Span{Start: 2e9, Hop: HopEvent, Note: "credit-stall"})
+	var b strings.Builder
+	r.Dump(&b, "test")
+	out := b.String()
+	for _, want := range []string{"reason=\"test\"", "000000000000abcd", "dispatch", "credit-stall", "spans=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHopNames(t *testing.T) {
+	if HopEmit.String() != "emit" || HopWindowClose.String() != "window-close" {
+		t.Fatal("hop names drifted")
+	}
+	if got := Hop(200).String(); got != "hop(200)" {
+		t.Fatalf("unknown hop renders %q", got)
+	}
+}

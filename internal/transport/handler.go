@@ -3,6 +3,7 @@ package transport
 import (
 	"sync"
 
+	"pkgstream/internal/trace"
 	"pkgstream/internal/wire"
 )
 
@@ -92,6 +93,9 @@ func (h *CountHandler) HandleTuple(t *wire.Tuple) {
 	h.counts[t.KeyHash]++
 	h.processed++
 	h.mu.Unlock()
+	if t.TraceID != 0 {
+		trace.Add(t.TraceID, trace.HopDispatch, trace.Now(), 0, 0, 0, "counter")
+	}
 }
 
 // HandleTupleBatch implements TupleBatchHandler: the whole batch
@@ -103,6 +107,11 @@ func (h *CountHandler) HandleTupleBatch(ts []wire.Tuple) {
 	}
 	h.processed += int64(len(ts))
 	h.mu.Unlock()
+	for i := range ts {
+		if ts[i].TraceID != 0 {
+			trace.Add(ts[i].TraceID, trace.HopDispatch, trace.Now(), 0, 0, 0, "counter")
+		}
+	}
 }
 
 // HandlePartial implements Handler.
@@ -129,9 +138,38 @@ func (h *CountHandler) HandleQuery(q wire.Query) wire.Reply {
 		return wire.Reply{Op: q.Op, Count: h.counts[q.Key]}
 	case wire.OpStats:
 		return wire.Reply{Op: q.Op, Count: h.processed}
+	case wire.OpTrace:
+		return wire.Reply{Op: q.Op, Proc: trace.Process(), Spans: TraceSpans()}
 	default:
 		return wire.Reply{Op: q.Op}
 	}
+}
+
+// TraceSpans snapshots the process-global trace ring in wire form —
+// the payload of an OpTrace reply (nil when nothing was recorded).
+func TraceSpans() []wire.Span {
+	spans := trace.Default.Snapshot()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]wire.Span, len(spans))
+	for i, s := range spans {
+		out[i] = wire.Span{Trace: s.Trace, Start: s.Start, Dur: s.Dur,
+			Arg1: s.Arg1, Arg2: s.Arg2, Hop: byte(s.Hop), Note: s.Note}
+	}
+	return out
+}
+
+// SpansFromWire converts an OpTrace reply's spans back to trace spans,
+// stamping the replying process's name on each — the assembly input
+// for cross-process traces (trace.ByTrace).
+func SpansFromWire(proc string, ss []wire.Span) []trace.Span {
+	out := make([]trace.Span, len(ss))
+	for i, s := range ss {
+		out[i] = trace.Span{Trace: s.Trace, Start: s.Start, Dur: s.Dur,
+			Arg1: s.Arg1, Arg2: s.Arg2, Hop: trace.Hop(s.Hop), Proc: proc, Note: s.Note}
+	}
+	return out
 }
 
 // Count returns the partial count for key.

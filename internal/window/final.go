@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pkgstream/internal/engine"
+	"pkgstream/internal/trace"
 )
 
 // FinalBolt is the second stage of a windowed aggregation: it merges the
@@ -19,6 +20,7 @@ type FinalBolt struct {
 	plan *Plan
 	inst *instrumentation
 
+	ctx    engine.Context
 	states map[slot]State // general path
 	counts map[slot]int64 // Combiner fast path
 	// strCounts/intCounts are the global-window Combiner fast path,
@@ -34,10 +36,15 @@ type FinalBolt struct {
 	// full slot scan.
 	minEnd   int64
 	lastLive int // last value published to the stats gauge
+	// traced maps the (key, window) slots a traced partial merged into
+	// to its trace ID, so the window close that emits the slot's Result
+	// can finish the trace. Lazily allocated.
+	traced map[slot]uint64
 }
 
 // Prepare implements engine.Bolt.
-func (b *FinalBolt) Prepare(*engine.Context) {
+func (b *FinalBolt) Prepare(ctx *engine.Context) {
+	b.ctx = *ctx
 	sp := &b.plan.spec
 	switch {
 	case b.plan.comb != nil && sp.Size <= 0 && !sp.PerInstance:
@@ -77,8 +84,17 @@ func (b *FinalBolt) Execute(t engine.Tuple, out engine.Emitter) {
 		b.inst.merged.Add(1)
 		if t.Key != "" {
 			b.strCounts[t.Key] += ps.state.(int64)
+			if t.TraceID != 0 {
+				b.tagTrace(slot{key: t.Key}, t.TraceID)
+			}
 		} else {
 			b.intCounts[t.RouteKey()] += ps.state.(int64)
+			if t.TraceID != 0 {
+				b.tagTrace(slot{hash: t.RouteKey()}, t.TraceID)
+			}
+		}
+		if t.TraceID != 0 {
+			trace.Add(t.TraceID, trace.HopMerge, trace.Now(), 0, 0, 0, b.ctx.Component)
 		}
 		b.minEnd = math.MaxInt64
 		b.publishLive()
@@ -108,7 +124,34 @@ func (b *FinalBolt) Execute(t engine.Tuple, out engine.Emitter) {
 		// dropped its reference at flush, so no aliasing).
 		b.states[sl] = ps.state
 	}
+	if t.TraceID != 0 {
+		b.tagTrace(sl, t.TraceID)
+		trace.Add(t.TraceID, trace.HopMerge, trace.Now(), 0, sl.start, 0, b.ctx.Component)
+	}
 	b.publishLive()
+}
+
+// tagTrace remembers that a traced partial merged into sl, so the
+// close that emits sl's Result can finish the trace. A second traced
+// partial for the same slot overwrites the first — one trace per
+// Result is enough for assembly.
+func (b *FinalBolt) tagTrace(sl slot, id uint64) {
+	if b.traced == nil {
+		b.traced = map[slot]uint64{}
+	}
+	b.traced[sl] = id
+}
+
+// takeTrace removes and returns the trace ID tagged on sl (0: none).
+func (b *FinalBolt) takeTrace(sl slot) uint64 {
+	if b.traced == nil {
+		return 0
+	}
+	id, ok := b.traced[sl]
+	if ok {
+		delete(b.traced, sl)
+	}
+	return id
 }
 
 // publishLive updates the live-slot gauge when it changed.
@@ -235,7 +278,7 @@ func (b *FinalBolt) closeUpTo(wm int64, out engine.Emitter) {
 			// T (paper §V Q4). Only meaningful for wall-clock event time.
 			b.inst.hist.Observe(now - end)
 		}
-		b.emitResult(sl, st, out)
+		b.emitResult(sl, st, out, b.takeTrace(sl), len(due))
 	}
 	b.inst.windowsClosed.Add(int64(len(due)))
 	b.publishLive()
@@ -259,7 +302,8 @@ func (b *FinalBolt) closeFast(out engine.Emitter) {
 		// counter map does not carry it): one hash per closed key, at
 		// stream end only.
 		t := engine.Tuple{Key: k}
-		b.emitResult(slot{key: k, hash: t.RouteKey()}, b.strCounts[k], out)
+		// The fast-path merge tagged traces on the bare key slot.
+		b.emitResult(slot{key: k, hash: t.RouteKey()}, b.strCounts[k], out, b.takeTrace(slot{key: k}), n)
 	}
 	hashes := make([]uint64, 0, len(b.intCounts))
 	for h := range b.intCounts {
@@ -267,7 +311,7 @@ func (b *FinalBolt) closeFast(out engine.Emitter) {
 	}
 	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
 	for _, h := range hashes {
-		b.emitResult(slot{hash: h}, b.intCounts[h], out)
+		b.emitResult(slot{hash: h}, b.intCounts[h], out, b.takeTrace(slot{hash: h}), n)
 	}
 	clear(b.strCounts)
 	clear(b.intCounts)
@@ -275,7 +319,10 @@ func (b *FinalBolt) closeFast(out engine.Emitter) {
 	b.publishLive()
 }
 
-func (b *FinalBolt) emitResult(sl slot, st State, out engine.Emitter) {
+// emitResult ships one closed (key, window) downstream. id is the
+// trace riding the slot (0: untraced); closing is the size of the
+// close batch the slot belongs to.
+func (b *FinalBolt) emitResult(sl slot, st State, out engine.Emitter, id uint64, closing int) {
 	sp := &b.plan.spec
 	res := Result{
 		Key:     sl.key,
@@ -287,6 +334,12 @@ func (b *FinalBolt) emitResult(sl slot, st State, out engine.Emitter) {
 	t := engine.Tuple{Key: sl.key, Values: engine.Values{res}}
 	if sl.key == "" {
 		t.KeyHash = sl.hash
+	}
+	if id != 0 {
+		t.TraceID = id
+		now := trace.Now()
+		trace.Add(id, trace.HopWindowClose, now, 0, sl.start, int64(closing), b.ctx.Component)
+		trace.Add(id, trace.HopResult, now, 0, 0, 0, b.ctx.Component)
 	}
 	out.Emit(t)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pkgstream/internal/engine"
+	"pkgstream/internal/trace"
 )
 
 // PartialBolt is the first stage of a windowed aggregation: it
@@ -38,6 +39,11 @@ type PartialBolt struct {
 	// Lateness-padded maximum event time.
 	srcWMs   map[int]int64
 	lastLive int // last value published to the stats gauge
+	// traced maps the (key, window) slots a traced tuple folded into to
+	// its trace ID, so the flush that ships the slot's state downstream
+	// can tag the outgoing partial and record the HopFlush span. Lazily
+	// allocated — untraced streams never touch it.
+	traced map[slot]uint64
 }
 
 // Prepare implements engine.Bolt.
@@ -92,8 +98,20 @@ func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
 			} else {
 				b.intCounts[t.RouteKey()] += b.plan.comb.Weigh(t)
 			}
+			if t.TraceID != 0 {
+				// The counter maps key slots bare (no hash for string
+				// keys), matching flush's slot reconstruction.
+				if t.Key != "" {
+					b.tagTrace(slot{key: t.Key}, t.TraceID)
+				} else {
+					b.tagTrace(slot{hash: t.RouteKey()}, t.TraceID)
+				}
+			}
 		} else {
 			b.accumulate(t, 0)
+			if t.TraceID != 0 {
+				b.tagTrace(b.slotOf(&t, 0), t.TraceID)
+			}
 		}
 	} else {
 		ts := sp.TimeOf(t)
@@ -104,6 +122,15 @@ func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
 		for _, start := range b.wins {
 			b.accumulate(t, start)
 		}
+		if t.TraceID != 0 {
+			for _, start := range b.wins {
+				b.tagTrace(b.slotOf(&t, start), t.TraceID)
+			}
+		}
+	}
+	if t.TraceID != 0 {
+		trace.Add(t.TraceID, trace.HopPartial, trace.Now(), 0,
+			int64(b.live()), 0, b.ctx.Component)
 	}
 	live := b.live()
 	if live != b.lastLive {
@@ -144,14 +171,27 @@ func (b *PartialBolt) live() int {
 	return len(b.states)
 }
 
+// slotOf derives the (key, window) slot t folds into — the same
+// construction accumulate uses, shared with trace tagging.
+func (b *PartialBolt) slotOf(t *engine.Tuple, start int64) slot {
+	if b.plan.spec.PerInstance {
+		return slot{start: start}
+	}
+	return slot{hash: t.RouteKey(), key: t.Key, start: start}
+}
+
+// tagTrace remembers that a traced tuple folded into sl, so the flush
+// shipping sl's state can carry the trace onward.
+func (b *PartialBolt) tagTrace(sl slot, id uint64) {
+	if b.traced == nil {
+		b.traced = map[slot]uint64{}
+	}
+	b.traced[sl] = id
+}
+
 // accumulate folds t into the accumulator of one (key, window) slot.
 func (b *PartialBolt) accumulate(t engine.Tuple, start int64) {
-	var sl slot
-	if b.plan.spec.PerInstance {
-		sl = slot{start: start}
-	} else {
-		sl = slot{hash: t.RouteKey(), key: t.Key, start: start}
-	}
+	sl := b.slotOf(&t, start)
 	if b.counts != nil {
 		b.counts[sl] += b.plan.comb.Weigh(t)
 		return
@@ -312,6 +352,15 @@ func (b *PartialBolt) emitPartial(out engine.Emitter, sl slot, st State) {
 		// Integer-keyed stream (or per-instance scope): forward the raw
 		// key hash so the final edge routes on it.
 		t.KeyHash = sl.hash
+	}
+	if b.traced != nil {
+		if id, ok := b.traced[sl]; ok {
+			// A traced tuple folded into this slot: the flush carries the
+			// trace across the final edge.
+			delete(b.traced, sl)
+			t.TraceID = id
+			trace.Add(id, trace.HopFlush, trace.Now(), 0, sl.start, 0, b.ctx.Component)
+		}
 	}
 	out.Emit(t)
 }

@@ -10,6 +10,7 @@ import (
 	"pkgstream/internal/edge"
 	"pkgstream/internal/engine"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/trace"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/wire"
 )
@@ -143,7 +144,7 @@ func (r *relay) Emit(t engine.Tuple) {
 		h.bad++
 		return
 	}
-	h.err = h.snd.sendPartial(t.Key, t.RouteKey(), ps)
+	h.err = h.snd.sendPartial(t.Key, t.RouteKey(), ps, t.TraceID)
 }
 
 // HandleTuple implements transport.Handler: one stream tuple
@@ -157,7 +158,8 @@ func (h *PartialHandler) HandleTuple(t *wire.Tuple) {
 		h.bad++ // a tuple after every source's final mark: protocol misuse
 		return
 	}
-	et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos, LatStamp: t.LatStamp, Tick: t.Tick}
+	et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos,
+		TraceID: t.TraceID, LatStamp: t.LatStamp, Tick: t.Tick}
 	if len(t.Values) > 0 {
 		et.Values = append(engine.Values{}, t.Values...)
 	}
@@ -177,7 +179,8 @@ func (h *PartialHandler) HandleTupleBatch(ts []wire.Tuple) {
 	}
 	for i := range ts {
 		t := &ts[i]
-		et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos, LatStamp: t.LatStamp, Tick: t.Tick}
+		et := engine.Tuple{Key: t.Key, KeyHash: t.KeyHash, EmitNanos: t.EmitNanos,
+			TraceID: t.TraceID, LatStamp: t.LatStamp, Tick: t.Tick}
 		if len(t.Values) > 0 {
 			et.Values = append(engine.Values{}, t.Values...)
 		}
@@ -236,7 +239,9 @@ func (h *PartialHandler) Tick() {
 //	          cross-node imbalance measurements: per-node tuple counts
 //	          are exactly the paper's worker-load vector) and the node's
 //	          emit→arrival latency histogram, so a source pulls remote
-//	          latency summaries over the query channel without HTTP.
+//	          latency summaries over the query channel without HTTP;
+//	OpTrace — the process name plus the retained trace spans, for
+//	          cross-process trace assembly.
 func (h *PartialHandler) HandleQuery(q wire.Query) wire.Reply {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -245,6 +250,11 @@ func (h *PartialHandler) HandleQuery(q wire.Query) wire.Reply {
 		return wire.Reply{
 			Op: q.Op, Done: h.done, Count: h.processed,
 			Lat: wireHist(h.bolt.inst.hist.Snapshot()),
+		}
+	case wire.OpTrace:
+		return wire.Reply{
+			Op: q.Op, Done: h.done,
+			Proc: trace.Process(), Spans: transport.TraceSpans(),
 		}
 	default:
 		return wire.Reply{Op: q.Op}
@@ -414,6 +424,7 @@ func (b *tupleForwarder) Execute(t engine.Tuple, out engine.Emitter) {
 	s.KeyHash = t.RouteKey()
 	s.Key = t.Key
 	s.EmitNanos = t.EmitNanos
+	s.TraceID = t.TraceID
 	s.LatStamp = t.LatStamp
 	s.Tick = false
 	s.Values = append(s.Values[:0], t.Values...)

@@ -9,6 +9,7 @@ import (
 
 	"pkgstream/internal/engine"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/trace"
 	"pkgstream/internal/transport"
 	"pkgstream/internal/wire"
 )
@@ -136,6 +137,7 @@ func (s *partialSender) withRetry(op func() error) error {
 	backoff := 25 * time.Millisecond
 	for attempt := 1; attempt < sendAttempts; attempt++ {
 		s.retries.Add(1)
+		trace.Event("redial "+strings.Join(s.addrs, ","), 0, int64(attempt))
 		time.Sleep(backoff)
 		backoff *= 2
 		if s.src != nil {
@@ -150,6 +152,7 @@ func (s *partialSender) withRetry(op func() error) error {
 		}
 	}
 	s.failures.Add(1)
+	trace.Event("backoff-exhausted "+strings.Join(s.addrs, ","), 0, sendAttempts)
 	return &engine.EdgeError{
 		Component: s.comp,
 		Addr:      strings.Join(s.addrs, ","),
@@ -159,17 +162,24 @@ func (s *partialSender) withRetry(op func() error) error {
 }
 
 // sendPartial encodes and ships one flushed (key, window) partial.
-func (s *partialSender) sendPartial(key string, hash uint64, ps partialState) error {
+// traceID, when nonzero, rides the wire so the final node continues
+// the trace; the ship itself is recorded as a wire-send span.
+func (s *partialSender) sendPartial(key string, hash uint64, ps partialState, traceID uint64) error {
 	p := &s.scratch
 	p.KeyHash = hash
 	p.Key = key
 	p.Start = ps.start
+	p.TraceID = traceID
 	if s.codec == nil {
 		p.Count = ps.state.(int64)
 		p.Raw = nil
 	} else {
 		p.Count = 0
 		p.Raw = s.codec.EncodeState(ps.state)
+	}
+	var start int64
+	if traceID != 0 {
+		start = trace.Now()
 	}
 	err := s.withRetry(func() error {
 		if s.src == nil {
@@ -179,6 +189,9 @@ func (s *partialSender) sendPartial(key string, hash uint64, ps partialState) er
 	})
 	if err == nil {
 		s.frames.Add(1)
+		if traceID != 0 {
+			trace.Add(traceID, trace.HopWireSend, start, trace.Now()-start, 1, 0, s.comp)
+		}
 	}
 	return err
 }
@@ -257,7 +270,7 @@ func (b *remoteFinal) Execute(t engine.Tuple, out engine.Emitter) {
 	if !ok {
 		panic(fmt.Sprintf("window: remote final received a non-partial tuple (values %v)", t.Values))
 	}
-	if err := b.snd.sendPartial(t.Key, t.RouteKey(), ps); err != nil {
+	if err := b.snd.sendPartial(t.Key, t.RouteKey(), ps, t.TraceID); err != nil {
 		panic(err)
 	}
 	b.inst.partialsOut.Add(1)
@@ -399,7 +412,7 @@ func (h *FinalHandler) HandlePartial(p *wire.Partial) {
 	} else {
 		st = p.Count
 	}
-	t := engine.Tuple{Key: p.Key, KeyHash: p.KeyHash,
+	t := engine.Tuple{Key: p.Key, KeyHash: p.KeyHash, TraceID: p.TraceID,
 		Values: engine.Values{partialState{start: p.Start, state: st}}}
 	h.mu.Lock()
 	h.bolt.Execute(t, (*resultCollector)(h))
@@ -496,7 +509,9 @@ const resultsPage = 32768
 //	            so paging by offset is stable), plus Done;
 //	OpCount   — the total over closed windows of the queried key hash;
 //	OpStats   — the number of closed windows, plus the node's
-//	            window-close staleness histogram.
+//	            window-close staleness histogram;
+//	OpTrace   — the process name plus the retained trace spans, for
+//	            cross-process trace assembly.
 func (h *FinalHandler) HandleQuery(q wire.Query) wire.Reply {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -525,6 +540,11 @@ func (h *FinalHandler) HandleQuery(q wire.Query) wire.Reply {
 		return wire.Reply{
 			Op: q.Op, Done: h.done, Count: int64(len(h.results)),
 			Stale: wireHist(h.bolt.inst.hist.Snapshot()),
+		}
+	case wire.OpTrace:
+		return wire.Reply{
+			Op: q.Op, Done: h.done,
+			Proc: trace.Process(), Spans: transport.TraceSpans(),
 		}
 	default:
 		return wire.Reply{Op: q.Op}

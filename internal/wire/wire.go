@@ -157,6 +157,10 @@ type Tuple struct {
 	// "not sampled" and costs nothing on the wire — the 4-byte stamp
 	// travels only when present (flag bit 4).
 	LatStamp uint32
+	// TraceID is the distributed trace ID of a sampled tuple
+	// (engine.Tuple.TraceID); 0 means "not traced" and costs nothing on
+	// the wire — the 8-byte ID travels only when present (flag bit 8).
+	TraceID uint64
 	// Tick marks control tuples.
 	Tick bool
 	// Values is the payload.
@@ -180,6 +184,10 @@ type Partial struct {
 	// Raw is the encoded accumulator of a general aggregator; nil
 	// selects the Count fast path.
 	Raw []byte
+	// TraceID carries a traced tuple's trace ID onto the partial that
+	// ships its window state downstream (flag bit 4); 0 means "no
+	// traced tuple touched this window" and costs nothing on the wire.
+	TraceID uint64
 }
 
 // Mark is the wire form of a watermark: source Source promises to never
@@ -234,6 +242,10 @@ const (
 	OpResults QueryOp = 2
 	// OpStats asks for the node's absorbed frame count.
 	OpStats QueryOp = 3
+	// OpTrace asks for the node's retained trace spans (the flight
+	// recorder ring) plus its process name, so a client can assemble
+	// cross-process traces without HTTP.
+	OpTrace QueryOp = 4
 )
 
 // Query is a point-query request.
@@ -280,6 +292,25 @@ type LatencyHist struct {
 	Buckets []HistBucket
 }
 
+// Span is the wire form of one trace span (internal/trace.Span): a hop
+// of a traced tuple's life, or a flight-recorder event (Trace 0). Spans
+// travel in OpTrace replies as a trailing section so the pipeline
+// experiment can assemble a tuple's cross-process causal path over the
+// existing query channel.
+type Span struct {
+	// Trace is the tuple's trace ID (0 for flight-recorder events).
+	Trace uint64
+	// Start is the span's wall-clock start in nanoseconds since the
+	// epoch; Dur its duration in nanoseconds.
+	Start, Dur int64
+	// Arg1, Arg2 are hop-specific integers.
+	Arg1, Arg2 int64
+	// Hop identifies the emitting layer (trace.Hop).
+	Hop byte
+	// Note is a short human-readable detail line.
+	Note string
+}
+
 // Reply is a point-query reply.
 type Reply struct {
 	// Op echoes the request operation.
@@ -298,6 +329,14 @@ type Reply struct {
 	// Stale is the node's window-close staleness histogram (OpStats,
 	// optional).
 	Stale *LatencyHist
+	// Proc names the replying process (OpTrace — the process tag the
+	// client stamps onto the returned spans when assembling
+	// cross-process traces).
+	Proc string
+	// Spans are the node's retained trace spans (OpTrace, oldest
+	// first — encoded as trailing section id 3, invisible to decoders
+	// that predate it exactly like the histograms).
+	Spans []Span
 }
 
 // Credit opens a credit-based flow-control session on a connection
@@ -406,7 +445,7 @@ func AppendTupleBody(dst []byte, t *Tuple) ([]byte, error) {
 	if t.Tick {
 		flags |= 1
 	}
-	if t.Key == "" && len(t.Values) == 0 && t.LatStamp == 0 {
+	if t.Key == "" && len(t.Values) == 0 && t.LatStamp == 0 && t.TraceID == 0 {
 		// Hash-only tuple — the per-tuple cost of a routing-heavy
 		// stream: emit the fixed 18-byte body with one append and two
 		// direct stores instead of four appends. Reused buffers take
@@ -430,11 +469,17 @@ func AppendTupleBody(dst []byte, t *Tuple) ([]byte, error) {
 	if t.LatStamp != 0 {
 		flags |= 4
 	}
+	if t.TraceID != 0 {
+		flags |= 8
+	}
 	dst = append(dst, flags)
 	dst = appendU64(dst, t.KeyHash)
 	dst = appendI64(dst, t.EmitNanos)
 	if t.LatStamp != 0 {
 		dst = appendU32(dst, t.LatStamp)
+	}
+	if t.TraceID != 0 {
+		dst = appendU64(dst, t.TraceID)
 	}
 	if t.Key != "" {
 		dst = appendStr(dst, t.Key)
@@ -512,9 +557,15 @@ func AppendPartial(dst []byte, p *Partial) []byte {
 	if p.Raw != nil {
 		flags |= 2
 	}
+	if p.TraceID != 0 {
+		flags |= 4
+	}
 	dst = append(dst, flags)
 	dst = appendU64(dst, p.KeyHash)
 	dst = appendI64(dst, p.Start)
+	if p.TraceID != 0 {
+		dst = appendU64(dst, p.TraceID)
+	}
 	if p.Raw != nil {
 		dst = appendBytes(dst, p.Raw)
 	} else {
@@ -591,14 +642,19 @@ func AppendReply(dst []byte, r *Reply) []byte {
 			dst = appendStr(dst, res.Key)
 		}
 	}
-	if r.Lat != nil || r.Stale != nil {
-		// Trailing histogram section: id-tagged so either histogram can
-		// travel alone and new ids stay decodable-past.
+	spanSec := r.Spans != nil || r.Proc != ""
+	if r.Lat != nil || r.Stale != nil || spanSec {
+		// Trailing optional section: id-tagged entries so any subset can
+		// travel alone; pre-section decoders reject the trailing bytes
+		// cleanly and so simply predate these fields.
 		var n byte
 		if r.Lat != nil {
 			n++
 		}
 		if r.Stale != nil {
+			n++
+		}
+		if spanSec {
 			n++
 		}
 		dst = append(dst, n)
@@ -608,14 +664,30 @@ func AppendReply(dst []byte, r *Reply) []byte {
 		if r.Stale != nil {
 			dst = appendHist(dst, histIDStale, r.Stale)
 		}
+		if spanSec {
+			dst = append(dst, secIDSpans)
+			dst = appendStr(dst, r.Proc)
+			dst = binary.AppendUvarint(dst, uint64(len(r.Spans)))
+			for i := range r.Spans {
+				s := &r.Spans[i]
+				dst = appendU64(dst, s.Trace)
+				dst = appendI64(dst, s.Start)
+				dst = appendI64(dst, s.Dur)
+				dst = appendI64(dst, s.Arg1)
+				dst = appendI64(dst, s.Arg2)
+				dst = append(dst, s.Hop)
+				dst = appendStr(dst, s.Note)
+			}
+		}
 	}
 	return finish(dst, start)
 }
 
-// Histogram ids of the Reply trailing section.
+// Entry ids of the Reply trailing section.
 const (
 	histIDLat   byte = 1
 	histIDStale byte = 2
+	secIDSpans  byte = 3
 )
 
 func appendHist(dst []byte, id byte, h *LatencyHist) []byte {
@@ -824,6 +896,12 @@ func decodeTupleBody(r *reader, t *Tuple) error {
 			return err
 		}
 	}
+	t.TraceID = 0
+	if flags&8 != 0 {
+		if t.TraceID, err = r.u64(); err != nil {
+			return err
+		}
+	}
 	if flags&2 != 0 {
 		if t.Key, err = r.str(); err != nil {
 			return err
@@ -889,11 +967,17 @@ func DecodePartial(b []byte, p *Partial) error {
 	p.Key = ""
 	p.Raw = nil
 	p.Count = 0
+	p.TraceID = 0
 	if p.KeyHash, err = r.u64(); err != nil {
 		return err
 	}
 	if p.Start, err = r.i64(); err != nil {
 		return err
+	}
+	if flags&4 != 0 {
+		if p.TraceID, err = r.u64(); err != nil {
+			return err
+		}
 	}
 	if flags&2 != 0 {
 		if p.Raw, err = r.bytes(); err != nil {
@@ -998,7 +1082,7 @@ func DecodeQuery(b []byte) (Query, error) {
 		return Query{}, err
 	}
 	switch QueryOp(op) {
-	case OpCount, OpResults, OpStats:
+	case OpCount, OpResults, OpStats, OpTrace:
 	default:
 		return Query{}, fmt.Errorf("wire: unknown query op %d", op)
 	}
@@ -1076,7 +1160,7 @@ func DecodeReply(b []byte) (Reply, error) {
 		rep.Results = append(rep.Results, res)
 	}
 	if r.off < len(r.b) {
-		// Trailing histogram section — absent entirely in pre-histogram
+		// Trailing optional section — absent entirely in pre-section
 		// frames, which is what keeps both directions compatible.
 		nh, err := r.byte()
 		if err != nil {
@@ -1084,26 +1168,30 @@ func DecodeReply(b []byte) (Reply, error) {
 		}
 		if nh == 0 {
 			// The encoder only writes the section when at least one
-			// histogram is present, so an empty section is corruption —
-			// and rejecting it keeps plain trailing bytes an error.
-			return Reply{}, fmt.Errorf("wire: empty reply histogram section")
+			// entry is present, so an empty section is corruption — and
+			// rejecting it keeps plain trailing bytes an error.
+			return Reply{}, fmt.Errorf("wire: empty reply trailing section")
 		}
 		for i := byte(0); i < nh; i++ {
 			id, err := r.byte()
 			if err != nil {
 				return Reply{}, err
 			}
-			h, err := decodeHist(&r)
-			if err != nil {
-				return Reply{}, err
-			}
 			switch id {
 			case histIDLat:
-				rep.Lat = h
+				if rep.Lat, err = decodeHist(&r); err != nil {
+					return Reply{}, err
+				}
 			case histIDStale:
-				rep.Stale = h
+				if rep.Stale, err = decodeHist(&r); err != nil {
+					return Reply{}, err
+				}
+			case secIDSpans:
+				if err = decodeSpanSection(&r, &rep); err != nil {
+					return Reply{}, err
+				}
 			default:
-				return Reply{}, fmt.Errorf("wire: unknown reply histogram id %d", id)
+				return Reply{}, fmt.Errorf("wire: unknown reply section id %d", id)
 			}
 		}
 	}
@@ -1111,6 +1199,54 @@ func DecodeReply(b []byte) (Reply, error) {
 		return Reply{}, err
 	}
 	return rep, nil
+}
+
+// decodeSpanSection decodes the span entry (secIDSpans) of a Reply's
+// trailing section: the replying process name plus its retained spans.
+func decodeSpanSection(r *reader, rep *Reply) error {
+	var err error
+	if rep.Proc, err = r.str(); err != nil {
+		return err
+	}
+	ns, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	// Each span is ≥ 42 encoded bytes (five fixed 8-byte fields, a hop
+	// byte, a note length); the bound keeps a corrupt count from
+	// pre-allocating beyond what the payload could actually hold.
+	if ns > uint64(len(r.b)-r.off)/42 {
+		return errTruncated
+	}
+	if ns > 0 {
+		rep.Spans = make([]Span, 0, ns)
+	}
+	for i := uint64(0); i < ns; i++ {
+		var s Span
+		if s.Trace, err = r.u64(); err != nil {
+			return err
+		}
+		if s.Start, err = r.i64(); err != nil {
+			return err
+		}
+		if s.Dur, err = r.i64(); err != nil {
+			return err
+		}
+		if s.Arg1, err = r.i64(); err != nil {
+			return err
+		}
+		if s.Arg2, err = r.i64(); err != nil {
+			return err
+		}
+		if s.Hop, err = r.byte(); err != nil {
+			return err
+		}
+		if s.Note, err = r.str(); err != nil {
+			return err
+		}
+		rep.Spans = append(rep.Spans, s)
+	}
+	return nil
 }
 
 func decodeHist(r *reader) (*LatencyHist, error) {

@@ -64,11 +64,23 @@ func encodeAll(t testing.TB) [][]byte {
 		{KeyHash: 12, EmitNanos: 1, LatStamp: 4e9},
 		{KeyHash: 13, EmitNanos: 2},
 	}))
-	// Replies carrying the optional trailing histogram section stay out
-	// of this corpus: TestTruncationNeverPanics requires every strict
-	// payload prefix to error, and cutting exactly at the section
-	// boundary yields a valid pre-histogram reply by design (that is the
-	// compatibility contract). TestReplyHistRoundTrip covers them.
+	add(AppendTuple(nil, &Tuple{KeyHash: 21, EmitNanos: 5, TraceID: 0x0123456789abcdef}))
+	add(AppendTuple(nil, &Tuple{
+		KeyHash: 22, Key: "traced", EmitNanos: 6, LatStamp: 9, TraceID: 1,
+		Values: []any{int64(3)},
+	}))
+	add(AppendPartial(nil, &Partial{KeyHash: 9, Key: "word", Start: 2e9, Count: 3, TraceID: math.MaxUint64}), nil)
+	add(AppendTupleBatch(nil, []Tuple{
+		{KeyHash: 14, EmitNanos: 3, TraceID: 7},
+		{KeyHash: 15, EmitNanos: 4},
+	}))
+	add(AppendQuery(nil, Query{Op: OpTrace}), nil)
+	// Replies carrying the optional trailing section (histograms, spans)
+	// stay out of this corpus: TestTruncationNeverPanics requires every
+	// strict payload prefix to error, and cutting exactly at the section
+	// boundary yields a valid pre-section reply by design (that is the
+	// compatibility contract). TestReplyHistRoundTrip and
+	// TestReplySpansRoundTrip cover them.
 	return frames
 }
 
@@ -361,6 +373,143 @@ func TestReplyHistRoundTrip(t *testing.T) {
 	bad[len(base)-HeaderSize+1] = 99 // first id byte
 	if _, err := DecodeReply(bad); err == nil {
 		t.Fatal("unknown histogram id accepted")
+	}
+}
+
+// TestTupleTraceIDRoundTrip: the trace ID travels only on sampled
+// tuples — a zero ID keeps the 18-byte hash-only body, a set one costs
+// exactly 8 bytes (flag bit 8).
+func TestTupleTraceIDRoundTrip(t *testing.T) {
+	plain, err := AppendTuple(nil, &Tuple{KeyHash: 1, EmitNanos: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != HeaderSize+tupleBodyMin {
+		t.Fatalf("untraced tuple is %d bytes, want the %d-byte fast path",
+			len(plain), HeaderSize+tupleBodyMin)
+	}
+	traced, err := AppendTuple(nil, &Tuple{KeyHash: 1, EmitNanos: 2, TraceID: 0xfeedface})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+8 {
+		t.Fatalf("trace ID costs %d bytes, want 8", len(traced)-len(plain))
+	}
+	var out Tuple
+	if err := DecodeTuple(traced[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 0xfeedface || out.KeyHash != 1 || out.EmitNanos != 2 {
+		t.Fatalf("round trip: %#v", out)
+	}
+	// Decoding an untraced tuple into the same struct resets the ID.
+	if err := DecodeTuple(plain[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 0 {
+		t.Fatalf("stale TraceID survived reuse: %d", out.TraceID)
+	}
+	// Both optional scalars together stack in flag order: stamp then ID.
+	both, err := AppendTuple(nil, &Tuple{KeyHash: 1, EmitNanos: 2, LatStamp: 3, TraceID: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != len(plain)+12 {
+		t.Fatalf("stamp+trace cost %d bytes, want 12", len(both)-len(plain))
+	}
+	if err := DecodeTuple(both[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.LatStamp != 3 || out.TraceID != 4 {
+		t.Fatalf("round trip: %#v", out)
+	}
+}
+
+// TestPartialTraceIDRoundTrip: flag bit 4 carries a traced partial's
+// ID; untraced partials are unchanged on the wire and decode resets a
+// reused struct's ID.
+func TestPartialTraceIDRoundTrip(t *testing.T) {
+	plain := AppendPartial(nil, &Partial{KeyHash: 5, Key: "w", Start: 1e9, Count: 2})
+	traced := AppendPartial(nil, &Partial{KeyHash: 5, Key: "w", Start: 1e9, Count: 2, TraceID: 77})
+	if len(traced) != len(plain)+8 {
+		t.Fatalf("trace ID costs %d bytes, want 8", len(traced)-len(plain))
+	}
+	var out Partial
+	if err := DecodePartial(traced[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 77 || out.Key != "w" || out.Count != 2 {
+		t.Fatalf("round trip: %#v", out)
+	}
+	if err := DecodePartial(plain[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 0 {
+		t.Fatalf("stale TraceID survived reuse: %d", out.TraceID)
+	}
+}
+
+// TestReplySpansRoundTrip: the span entry (secIDSpans) of a Reply's
+// trailing section — an OpTrace reply's payload. Combinations round
+// trip (alone and alongside histograms), a pre-span reply decodes with
+// no spans, and corrupt sections are rejected.
+func TestReplySpansRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Trace: 0xabc, Start: 100, Dur: 5, Arg1: 2, Arg2: -1, Hop: 1, Note: "PKG cands=[1 0]"},
+		{Trace: 0xabc, Start: 105, Hop: 9},
+		{Start: 7, Hop: 11, Note: "redial 127.0.0.1:7411"}, // flight event, Trace 0
+	}
+	lat := &LatencyHist{Sum: 42, Buckets: []HistBucket{{Index: 2, Count: 3}}}
+	for _, rep := range []Reply{
+		{Op: OpTrace, Proc: "pkgnode-final@127.0.0.1:7411", Spans: spans},
+		{Op: OpTrace, Proc: "engine"}, // recorded nothing: Proc travels, no spans
+		{Op: OpTrace, Spans: spans[:1]},
+		{Op: OpStats, Count: 9, Lat: lat, Proc: "p", Spans: spans[1:]},
+	} {
+		b := AppendReply(nil, &rep)
+		got, err := DecodeReply(b[HeaderSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rep) {
+			t.Fatalf("round trip:\n got %#v\nwant %#v", got, rep)
+		}
+	}
+	// A reply without the section decodes to no spans (an old node).
+	old := AppendReply(nil, &Reply{Op: OpTrace})
+	got, err := DecodeReply(old[HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spans != nil || got.Proc != "" {
+		t.Fatalf("pre-span reply grew spans: %#v", got)
+	}
+	// Every strict truncation of the span section errors.
+	full := AppendReply(nil, &Reply{Op: OpTrace, Proc: "p", Spans: spans})
+	base := AppendReply(nil, &Reply{Op: OpTrace})
+	for cut := len(base) - HeaderSize + 1; cut < len(full)-HeaderSize; cut++ {
+		if _, err := DecodeReply(full[HeaderSize:][:cut]); err == nil {
+			t.Fatalf("span section truncated at %d accepted", cut)
+		}
+	}
+	// A span count claiming more spans than the payload could physically
+	// hold is rejected before any allocation.
+	corrupt := AppendReply(nil, &Reply{Op: OpTrace, Proc: "p", Spans: spans[:1]})
+	payload := append([]byte(nil), corrupt[HeaderSize:]...)
+	// Layout: ...section count, secIDSpans, proc str "p" (uvarint 1 + 'p'),
+	// span count — the last uvarint before the fixed span fields.
+	idx := len(corrupt) - HeaderSize - (42 + len(spans[0].Note)) - 1
+	if payload[idx] != 1 {
+		t.Fatalf("test layout drifted: byte at %d = %d, want span count 1", idx, payload[idx])
+	}
+	payload[idx] = 250
+	if _, err := DecodeReply(payload); err == nil {
+		t.Fatal("corrupt span count accepted")
+	}
+	// Trailing bytes after the section stay an error.
+	bad := append(append([]byte(nil), full[HeaderSize:]...), 0)
+	if _, err := DecodeReply(bad); err == nil {
+		t.Fatal("trailing byte after span section accepted")
 	}
 }
 
