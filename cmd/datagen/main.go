@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"pkgstream"
@@ -29,7 +30,10 @@ func main() {
 	if *symbol != "" {
 		ds, err := pkgstream.DatasetBySymbol(*symbol)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
+			// Structured diagnostic on stderr; the dataset tables are
+			// program output and stay on stdout.
+			slog.New(slog.NewJSONHandler(os.Stderr, nil)).
+				Error("datagen failed", "err", err)
 			os.Exit(1)
 		}
 		inspect(ds.WithCap(*capFlag), *seed, *dump, *topFlag)

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -87,7 +88,10 @@ func main() {
 	fmt.Printf("pkgbench: done in %v\n", time.Since(suiteStart).Round(time.Millisecond))
 }
 
+// fatal logs the error as a structured diagnostic on stderr — the
+// experiment tables themselves are program output and stay on stdout.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pkgbench:", err)
+	slog.New(slog.NewJSONHandler(os.Stderr, nil)).
+		Error("pkgbench failed", "err", err)
 	os.Exit(1)
 }

@@ -37,12 +37,20 @@
 // (spouts advertising SourceMark watermarks). The window shape
 // (-win-size/-win-slide/-every) and -seed must match the engine
 // process's declaration; the defaults match the pipeline experiment.
+//
+// Diagnostics are structured JSON lines on stderr (log/slog), each
+// stamped with the node's role, addr and (partial mode) id; closed
+// window results — program output — stay on stdout. With -metrics set,
+// the HTTP listener additionally serves /healthz (liveness: 200 while
+// the process serves) and /readyz (readiness: 503 once the node is
+// done or its forwarder has latched a fatal error, 200 otherwise).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,8 +67,8 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7411", "TCP listen address")
 		mode    = flag.String("mode", "final", "counter | partial | final")
-		mAddr   = flag.String("metrics", "", "serve GET /metrics (Prometheus text) and /debug/pprof/* on this address (empty: off)")
-		statsEv = flag.Duration("stats-every", 0, "log a one-line JSON stats snapshot on this period (0: off)")
+		mAddr   = flag.String("metrics", "", "serve GET /metrics (Prometheus text), /healthz, /readyz and /debug/pprof/* on this address (empty: off)")
+		statsEv = flag.Duration("stats-every", 0, "log a JSON stats snapshot on this period (0: off)")
 		sources = flag.Int("sources", -1, "final: upstream sources feeding this node (default 4 — the engine partial parallelism; use -nodes for the fully distributed shape); partial: engine stream sources (default 1)")
 		winSize = flag.Duration("win-size", time.Second, "partial/final: window size in event time (0: one global window)")
 		slide   = flag.Duration("win-slide", 0, "partial/final: window slide (0: tumbling)")
@@ -75,6 +83,14 @@ func main() {
 		tRing   = flag.Int("trace-ring", 0, "flight-recorder depth in spans (0: the default, 4096)")
 	)
 	flag.Parse()
+
+	// Every diagnostic line carries the node's identity — aggregating
+	// the fleet's stderr into one stream stays greppable by node.
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(
+		slog.String("role", *mode), slog.String("addr", *addr))
+	if *mode == "partial" {
+		logger = logger.With(slog.Int("id", *id))
+	}
 
 	// Name this process in trace spans and flight-recorder dumps before
 	// anything records: the engine queries them back by OpTrace and
@@ -147,7 +163,7 @@ func main() {
 		err = fmt.Errorf("unknown mode %q (counter | partial | final)", *mode)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pkgnode:", err)
+		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -155,28 +171,27 @@ func main() {
 	var msrv *metrics.Server
 	if *mAddr != "" {
 		msrv, err = metrics.ListenAndServeMux(*mAddr, nodeRegistry(worker, partial, final),
-			map[string]http.Handler{"/debug/pktrace": trace.Handler(trace.Default)})
+			map[string]http.Handler{
+				"/debug/pktrace": trace.Handler(trace.Default),
+				"/healthz":       healthHandler(),
+				"/readyz":        readyHandler(done, partial),
+			})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pkgnode: metrics:", err)
+			logger.Error("metrics listener failed", "err", err)
 			os.Exit(1)
 		}
 	}
 	if msrv != nil {
-		fmt.Printf("pkgnode: mode=%s listening on %s, metrics on http://%s/metrics\n",
-			*mode, worker.Addr(), msrv.Addr())
+		logger.Info("listening", "metrics", "http://"+msrv.Addr()+"/metrics")
 	} else {
-		fmt.Printf("pkgnode: mode=%s listening on %s\n", *mode, worker.Addr())
+		logger.Info("listening")
 	}
 	if *statsEv > 0 {
 		go func() {
 			t := time.NewTicker(*statsEv)
 			defer t.Stop()
 			for range t.C {
-				line, err := json.Marshal(snap())
-				if err != nil {
-					continue
-				}
-				fmt.Printf("pkgnode: stats %s\n", line)
+				logger.Info("stats", "snap", snap())
 			}
 		}()
 	}
@@ -212,26 +227,64 @@ func main() {
 		es := partial.EdgeStats()
 		// frames counts what arrived on the wire; tuples/frames is the
 		// effective inbound batching ratio.
-		fmt.Printf("pkgnode: done=%v tuples=%d frames=%d flushes=%d partials-out=%d retries=%d bad=%d\n",
-			partial.Done(), partial.Processed(), worker.Frames(), st.Flushes, es.Frames, es.Retries, partial.BadFrames())
+		logger.Info("shutdown",
+			"done", partial.Done(), "tuples", partial.Processed(),
+			"frames", worker.Frames(), "flushes", st.Flushes,
+			"partials_out", es.Frames, "retries", es.Retries,
+			"bad", partial.BadFrames())
 		if err := partial.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "pkgnode: forwarding failed:", err)
+			logger.Error("forwarding failed", "err", err)
 			exit = 1
 		}
 	case final != nil:
 		st := final.Stats()
-		fmt.Printf("pkgnode: done=%v merged=%d windows=%d late=%d bad=%d\n",
-			final.Done(), st.Merged, st.WindowsClosed, st.LateDropped, final.BadFrames())
+		logger.Info("shutdown",
+			"done", final.Done(), "merged", st.Merged,
+			"windows", st.WindowsClosed, "late", st.LateDropped,
+			"bad", final.BadFrames())
 		if !*quiet {
 			for _, r := range final.Results() {
 				fmt.Printf("  %s [%d, %d) = %d\n", r.Key, r.Start, r.End, r.Value)
 			}
 		}
 	default:
-		fmt.Printf("pkgnode: absorbed %d tuples in %d frames over %d keys\n",
-			worker.Processed(), worker.Frames(), worker.DistinctKeys())
+		logger.Info("shutdown",
+			"tuples", worker.Processed(), "frames", worker.Frames(),
+			"distinct_keys", worker.DistinctKeys())
 	}
 	os.Exit(exit)
+}
+
+// healthHandler is the liveness probe: 200 as long as the process can
+// serve HTTP at all. A node that is done but still serving queries is
+// alive — use /readyz to gate traffic.
+func healthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// readyHandler is the readiness probe: 503 once the node has absorbed
+// its final source marks (done — it will take no new work) or, on a
+// partial node, once the forwarder has latched a fatal error; 200
+// otherwise. The JSON body carries both facts either way.
+func readyHandler(done func() bool, partial *window.PartialHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var ferr error
+		if partial != nil {
+			ferr = partial.Err()
+		}
+		body := map[string]any{"ready": ferr == nil && !done(), "done": done()}
+		if ferr != nil {
+			body["err"] = ferr.Error()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !body["ready"].(bool) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(body)
+	})
 }
 
 // nodeRegistry builds the node's /metrics registry: wire-edge counters,
@@ -240,6 +293,9 @@ func main() {
 func nodeRegistry(worker *transport.Worker, partial *window.PartialHandler, final *window.FinalHandler) *metrics.Registry {
 	reg := metrics.NewRegistry()
 	reg.Counter("pkgnode_frames_total", "", worker.Frames)
+	reg.Gauge("pkgnode_service_time_seconds", "", func() float64 {
+		return float64(worker.ServiceNanos()) / 1e9
+	})
 	switch {
 	case partial != nil:
 		reg.Counter("pkgnode_tuples_total", "", partial.Processed)
@@ -252,6 +308,9 @@ func nodeRegistry(worker *transport.Worker, partial *window.PartialHandler, fina
 		})
 		reg.Gauge("pkgnode_live_partials", "", func() float64 {
 			return float64(partial.Stats().Live)
+		})
+		reg.Gauge("pkgnode_watermark_lag_seconds", "", func() float64 {
+			return float64(partial.Stats().WMLagNs) / 1e9
 		})
 		reg.Counter("pkgnode_flushes_total", "", func() int64 { return partial.Stats().Flushes })
 		reg.Counter("pkgnode_partials_out_total", "", func() int64 { return partial.Stats().PartialsOut })
@@ -268,6 +327,9 @@ func nodeRegistry(worker *transport.Worker, partial *window.PartialHandler, fina
 		reg.Gauge("pkgnode_live_partials", "", func() float64 {
 			return float64(final.Stats().Live)
 		})
+		reg.Gauge("pkgnode_watermark_lag_seconds", "", func() float64 {
+			return float64(final.Stats().WMLagNs) / 1e9
+		})
 		reg.Histogram("pkgnode_staleness_seconds", "", final.StalenessStats)
 	default: // counter worker
 		reg.Counter("pkgnode_tuples_total", "", worker.Processed)
@@ -278,11 +340,16 @@ func nodeRegistry(worker *transport.Worker, partial *window.PartialHandler, fina
 	return reg
 }
 
-// nodeSnapshot returns a closure producing the -stats-every JSON line:
-// a flat map, one line per tick, grep- and jq-friendly.
+// nodeSnapshot returns a closure producing the -stats-every snapshot:
+// a flat map rendered as one nested JSON object per slog line, grep-
+// and jq-friendly (`jq .snap`). Latency quantiles ride alongside the
+// edge's credit counters (stalls, cumulative wait, in-flight, queued)
+// and the watermark-lag gauge, so one line answers both "how fast" and
+// "what is it waiting on".
 func nodeSnapshot(mode string, worker *transport.Worker, partial *window.PartialHandler, final *window.FinalHandler) func() map[string]any {
 	return func() map[string]any {
-		m := map[string]any{"mode": mode, "frames": worker.Frames()}
+		m := map[string]any{"mode": mode, "frames": worker.Frames(),
+			"service_us": float64(worker.ServiceNanos()) / 1e3}
 		switch {
 		case partial != nil:
 			st := partial.Stats()
@@ -293,9 +360,13 @@ func nodeSnapshot(mode string, worker *transport.Worker, partial *window.Partial
 			m["flushes"] = st.Flushes
 			m["partials_out"] = st.PartialsOut
 			m["live"] = st.Live
+			m["wm_lag_ms"] = float64(st.WMLagNs) / 1e6
 			m["edge_frames"] = es.Frames
 			m["edge_stalls"] = es.Stalls
 			m["edge_retries"] = es.Retries
+			m["edge_inflight"] = es.InFlight
+			m["edge_queue"] = es.Queue
+			m["edge_wait_ms"] = float64(es.WaitNs) / 1e6
 			if lat.Count > 0 {
 				m["lat_count"] = lat.Count
 				m["lat_p50_ms"] = float64(lat.Quantile(0.5)) / 1e6
@@ -311,6 +382,7 @@ func nodeSnapshot(mode string, worker *transport.Worker, partial *window.Partial
 			m["windows_closed"] = st.WindowsClosed
 			m["late_dropped"] = st.LateDropped
 			m["live"] = st.Live
+			m["wm_lag_ms"] = float64(st.WMLagNs) / 1e6
 			if stale.Count > 0 {
 				m["stale_count"] = stale.Count
 				m["stale_p50_ms"] = float64(stale.Quantile(0.5)) / 1e6

@@ -1,0 +1,215 @@
+// Command pkgtop is the cluster's top(1): it polls every node's
+// OpStats over the wire query channel (no HTTP, no scrape configs),
+// merges the fleet through internal/obs, and renders one screen —
+// per-node loads, latency quantiles, watermark lag, window backlog and
+// edge backpressure, plus the cluster roll-up: merged latency
+// histogram, the paper's imbalance fraction over the partial nodes'
+// load vector, the slowest node's watermark lag.
+//
+// Against the pipeline experiment's fully distributed shape:
+//
+//	pkgtop -partials 127.0.0.1:7521,127.0.0.1:7522 \
+//	       -finals 127.0.0.1:7511,127.0.0.1:7512
+//
+// The address flags fall back to PKGNODE_PARTIAL_ADDRS and
+// PKGNODE_FINAL_ADDRS, so the same environment that points pkgbench at
+// a running cluster points pkgtop at it too. -json polls once, prints
+// a single JSON document on stdout and exits — the CI smoke gates on
+// its merged p99 and watermark-lag fields. The merged quantiles are
+// computed by histogram merge only (obs.Merge), so they are exactly
+// what merging the per-node OpStats replies by hand would give.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/obs"
+	"pkgstream/internal/transport"
+)
+
+func main() {
+	var (
+		partials = flag.String("partials", os.Getenv("PKGNODE_PARTIAL_ADDRS"), "comma-separated partial-node addresses (default $PKGNODE_PARTIAL_ADDRS)")
+		finals   = flag.String("finals", os.Getenv("PKGNODE_FINAL_ADDRS"), "comma-separated final-node addresses (default $PKGNODE_FINAL_ADDRS)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period")
+		count    = flag.Int("n", 0, "exit after this many refreshes (0: run until interrupted)")
+		jsonOnce = flag.Bool("json", false, "poll once, print one JSON document on stdout, exit")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(slog.String("role", "pkgtop"))
+	paddrs := transport.SplitAddrs(*partials)
+	faddrs := transport.SplitAddrs(*finals)
+	if len(paddrs)+len(faddrs) == 0 {
+		logger.Error("no nodes to poll", "hint", "set -partials/-finals or PKGNODE_PARTIAL_ADDRS/PKGNODE_FINAL_ADDRS")
+		os.Exit(2)
+	}
+
+	poll := func() []obs.Node {
+		return append(obs.Poll(paddrs, "partial"), obs.Poll(faddrs, "final")...)
+	}
+
+	if *jsonOnce {
+		nodes := poll()
+		bad := 0
+		for _, nd := range nodes {
+			if nd.Err != nil {
+				bad++
+				logger.Error("poll failed", "addr", nd.Addr, "err", nd.Err)
+			}
+		}
+		out, err := json.MarshalIndent(document(nodes), "", "  ")
+		if err != nil {
+			logger.Error("encoding failed", "err", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		nodes := poll()
+		fmt.Print("\033[H\033[2J")
+		render(nodes)
+	}
+}
+
+// histJSON is a histogram rendered for output: the observation count
+// and the three headline quantiles in milliseconds.
+type histJSON struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+func quantiles(s metrics.HistSnapshot) *histJSON {
+	if s.Count == 0 {
+		return nil
+	}
+	return &histJSON{
+		Count:  s.Count,
+		P50Ms:  float64(s.Quantile(0.5)) / 1e6,
+		P99Ms:  float64(s.Quantile(0.99)) / 1e6,
+		P999Ms: float64(s.Quantile(0.999)) / 1e6,
+	}
+}
+
+// nodeJSON is one node's row in the -json document.
+type nodeJSON struct {
+	Addr      string    `json:"addr"`
+	Role      string    `json:"role"`
+	Err       string    `json:"err,omitempty"`
+	Done      bool      `json:"done"`
+	Count     int64     `json:"count"`
+	Lat       *histJSON `json:"lat,omitempty"`
+	Stale     *histJSON `json:"stale,omitempty"`
+	WMLagNs   int64     `json:"watermark_lag_ns"`
+	Backlog   int64     `json:"backlog"`
+	ServiceNs int64     `json:"service_ns"`
+	Edge      *obs.Edge `json:"edge,omitempty"`
+	Credit    *histJSON `json:"credit_wait,omitempty"`
+}
+
+type clusterJSON struct {
+	Lat        *histJSON `json:"lat,omitempty"`
+	Stale      *histJSON `json:"stale,omitempty"`
+	CreditWait *histJSON `json:"credit_wait,omitempty"`
+	obs.Cluster
+}
+
+// document assembles the one-shot JSON document: every node's decoded
+// reply plus the merged cluster view.
+func document(nodes []obs.Node) map[string]any {
+	cl := obs.Merge(nodes)
+	rows := make([]nodeJSON, len(nodes))
+	for i, nd := range nodes {
+		rows[i] = nodeJSON{
+			Addr: nd.Addr, Role: nd.Role, Done: nd.Done, Count: nd.Count,
+			Lat: quantiles(nd.Lat), Stale: quantiles(nd.Stale),
+			WMLagNs:   nd.Telemetry.WatermarkLagNs,
+			Backlog:   nd.Telemetry.WindowBacklog,
+			ServiceNs: nd.Telemetry.ServiceNs,
+			Credit:    quantiles(nd.CreditWait),
+		}
+		if nd.Err != nil {
+			rows[i].Err = nd.Err.Error()
+		}
+		if t := nd.Telemetry; t.EdgeFrames > 0 {
+			e := obs.Edge{Addr: nd.Addr, Role: nd.Role,
+				Frames: t.EdgeFrames, Stalls: t.EdgeStalls, WaitNs: t.EdgeWaitNs,
+				Ratio: float64(t.EdgeStalls) / float64(t.EdgeFrames)}
+			rows[i].Edge = &e
+		}
+	}
+	return map[string]any{
+		"nodes": rows,
+		"cluster": clusterJSON{
+			Lat: quantiles(cl.Lat), Stale: quantiles(cl.Stale),
+			CreditWait: quantiles(cl.CreditWait), Cluster: cl,
+		},
+	}
+}
+
+// render prints the top-style screen for one poll.
+func render(nodes []obs.Node) {
+	cl := obs.Merge(nodes)
+	fmt.Printf("pkgtop  %s  nodes=%d  imbalance=%.1f (%.2f%%)  max-wm-lag=%s  backlog=%d\n",
+		time.Now().Format("15:04:05"), len(nodes),
+		cl.Imbalance, cl.ImbalanceFraction*100,
+		time.Duration(cl.MaxWatermarkLagNs).Round(time.Millisecond), cl.Backlog)
+	if cl.Lat.Count > 0 {
+		fmt.Printf("cluster lat: n=%d p50=%.2fms p99=%.2fms p99.9=%.2fms",
+			cl.Lat.Count,
+			float64(cl.Lat.Quantile(0.5))/1e6,
+			float64(cl.Lat.Quantile(0.99))/1e6,
+			float64(cl.Lat.Quantile(0.999))/1e6)
+		if cl.Stale.Count > 0 {
+			fmt.Printf("   staleness p99=%.2fms", float64(cl.Stale.Quantile(0.99))/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-22s %-8s %10s %6s %9s %9s %9s %8s %7s\n",
+		"ADDR", "ROLE", "COUNT", "DONE", "P99 ms", "WM LAG", "BACKLOG", "INFLIGHT", "STALL%")
+	for _, nd := range nodes {
+		if nd.Err != nil {
+			fmt.Printf("%-22s %-8s %s\n", nd.Addr, nd.Role, "UNREACHABLE: "+nd.Err.Error())
+			continue
+		}
+		p99 := "-"
+		if h := nd.Lat; h.Count == 0 {
+			h = nd.Stale
+			if h.Count > 0 {
+				p99 = fmt.Sprintf("%.2f", float64(h.Quantile(0.99))/1e6)
+			}
+		} else {
+			p99 = fmt.Sprintf("%.2f", float64(h.Quantile(0.99))/1e6)
+		}
+		t := nd.Telemetry
+		stall := "-"
+		if t.EdgeFrames > 0 {
+			stall = fmt.Sprintf("%.2f", float64(t.EdgeStalls)/float64(t.EdgeFrames)*100)
+		}
+		fmt.Printf("%-22s %-8s %10d %6v %9s %9s %9d %8d %7s\n",
+			nd.Addr, nd.Role, nd.Count, nd.Done, p99,
+			time.Duration(t.WatermarkLagNs).Round(time.Millisecond),
+			t.WindowBacklog, t.EdgeInFlight, stall)
+	}
+	for _, e := range cl.Edges {
+		fmt.Printf("edge %-22s frames=%d stalls=%d wait=%s backpressure=%.2f%%\n",
+			e.Addr, e.Frames, e.Stalls,
+			time.Duration(e.WaitNs).Round(time.Microsecond), e.Ratio*100)
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -48,20 +49,17 @@ func main() {
 	case "sg":
 		cfg.Grouping = pkgstream.WordCountSG
 	default:
-		fmt.Fprintf(os.Stderr, "wordcount: unknown grouping %q (pkg|kg|sg)\n", *grouping)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown grouping %q (pkg|kg|sg)", *grouping))
 	}
 	top, out, err := pkgstream.BuildWordCount(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wordcount:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	rt := pkgstream.NewRuntime(top, pkgstream.RuntimeOptions{QueueSize: *queue})
 	start := time.Now()
 	if err := rt.Run(); err != nil {
-		fmt.Fprintln(os.Stderr, "wordcount:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	elapsed := time.Since(start)
 
@@ -94,6 +92,14 @@ func main() {
 	fmt.Printf("partials merged at aggregator: %d (%.2f per word)\n",
 		out.PartialsMerged, float64(out.PartialsMerged)/float64(out.TotalWords))
 	fmt.Printf("max live counters on one worker: %d\n", out.MaxCounterResidency)
+}
+
+// fatal logs the error as a structured diagnostic on stderr; the run
+// summary itself is program output and stays on stdout.
+func fatal(err error) {
+	slog.New(slog.NewJSONHandler(os.Stderr, nil)).
+		Error("wordcount failed", "err", err)
+	os.Exit(1)
 }
 
 func bars(n int) string {

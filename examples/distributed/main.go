@@ -26,6 +26,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/exec"
 	"sort"
@@ -35,6 +36,20 @@ import (
 
 	"pkgstream"
 )
+
+// diag builds the role's structured stderr logger — child stderr is
+// passed through to the parent's, so every diagnostic line says which
+// process it came from. The run narrative stays program output on
+// stdout (the parent parses the children's "node: listening on" line).
+func diag(role string) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(slog.String("role", role))
+}
+
+// fatal logs err through the role's logger and exits.
+func fatal(role string, err error) {
+	diag(role).Error("failed", "err", err)
+	os.Exit(1)
+}
 
 const (
 	sources   = 2
@@ -99,11 +114,11 @@ func runFinalNode(srcs int) {
 	plan := pkgstream.MustWindowPlan(pkgstream.CountAggregator(), spec())
 	host, err := pkgstream.NewWindowFinalHost(plan, srcs)
 	if err != nil {
-		panic(err)
+		fatal("final-child", err)
 	}
 	w, err := pkgstream.ListenNetHandler("127.0.0.1:0", host)
 	if err != nil {
-		panic(err)
+		fatal("final-child", err)
 	}
 	fmt.Printf("node: listening on %s\n", w.Addr())
 	_, _ = bufio.NewReader(os.Stdin).ReadString('\n') // EOF when the parent is done
@@ -118,11 +133,11 @@ func runPartialNode(finalAddr string) {
 		ID: 0, Nodes: 1, FinalAddrs: []string{finalAddr}, Seed: seed,
 	})
 	if err != nil {
-		panic(err)
+		fatal("partial-child", err)
 	}
 	w, err := pkgstream.ListenNetHandler("127.0.0.1:0", host)
 	if err != nil {
-		panic(err)
+		fatal("partial-child", err)
 	}
 	fmt.Printf("node: listening on %s\n", w.Addr())
 	_, _ = bufio.NewReader(os.Stdin).ReadString('\n')
@@ -194,33 +209,33 @@ func main() {
 	}, 1).Input("wc", pkgstream.GroupGlobal())
 	top, err := b.Build()
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	if err := pkgstream.NewRuntime(top, pkgstream.RuntimeOptions{QueueSize: 2048}).Run(); err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	fmt.Printf("in-process run: %d (word, window) pairs\n", len(local))
 
 	// Distributed run: the final stage lives in a child process.
 	addr, wait, err := spawnNode("-node")
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	fmt.Printf("spawned final-stage node at %s (child pid)\n", addr)
 	rb, _ := buildTopology(pkgstream.WindowRemoteFinal(addr))
 	rtop, err := rb.Build()
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	start := time.Now()
 	if err := pkgstream.NewRuntime(rtop, pkgstream.RuntimeOptions{QueueSize: 2048}).Run(); err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	elapsed := time.Since(start)
 
 	results, err := pkgstream.NetDrainResults(addr, 30*time.Second)
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	wait() // child exits on its own once every source finished
 
@@ -259,26 +274,26 @@ func main() {
 	// windows come back by push subscription — three real processes.
 	faddr, waitFinal, err := spawnNode("-node", "-sources", "1")
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	paddr, waitPartial, err := spawnNode("-partial-node", faddr)
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	fmt.Printf("spawned partial node %s → final node %s\n", paddr, faddr)
 	fb, _ := buildTopology(pkgstream.WindowRemotePartial(paddr))
 	ftop, err := fb.Build()
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	start = time.Now()
 	if err := pkgstream.NewRuntime(ftop, pkgstream.RuntimeOptions{QueueSize: 2048}).Run(); err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	pushed, err := pkgstream.NetSubscribeResults(faddr, 30*time.Second)
 	elapsed3 := time.Since(start)
 	if err != nil {
-		panic(err)
+		fatal("parent", err)
 	}
 	waitPartial()
 	waitFinal()

@@ -61,6 +61,20 @@ type Stats struct {
 	Retries int64
 	// Failures counts operations that exhausted their retries.
 	Failures int64
+	// WaitNs is the total nanoseconds sends spent stalled on an
+	// exhausted credit window (Wire only) — WaitNs over wall time is
+	// the fraction of the run the edge was backpressured.
+	WaitNs int64
+	// InFlight is the number of unacknowledged tuples in flight across
+	// the edge's connections at snapshot time (Wire only — a gauge, not
+	// a counter; folding sums the gauges).
+	InFlight int64
+	// Queue is the number of tuples buffered in per-destination batch
+	// buffers, encoded but not yet framed, at snapshot time (Wire only,
+	// populated when the edge runs a linger flusher — without one the
+	// edge is single-goroutine and buffers cannot be read safely from a
+	// stats poller).
+	Queue int64
 }
 
 // Fold accumulates another edge's counters into s.
@@ -71,4 +85,7 @@ func (s *Stats) Fold(x Stats) {
 	s.Stalls += x.Stalls
 	s.Retries += x.Retries
 	s.Failures += x.Failures
+	s.WaitNs += x.WaitNs
+	s.InFlight += x.InFlight
+	s.Queue += x.Queue
 }

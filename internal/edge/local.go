@@ -69,6 +69,19 @@ func (e *Local[T]) Recv(dst int) <-chan []T { return e.chans[dst] }
 // nothing else may be done with the slice.
 func (e *Local[T]) Chans() []chan []T { return e.chans }
 
+// Queued returns the number of batches currently buffered across the
+// destination channels — the edge's queue-depth gauge. It is computed
+// from the channels' lengths at read time (len on a channel is safe
+// concurrently), so the Send hot path stays exactly one channel
+// operation with no added accounting.
+func (e *Local[T]) Queued() int64 {
+	var n int64
+	for _, ch := range e.chans {
+		n += int64(len(ch))
+	}
+	return n
+}
+
 // CloseRecv closes every destination channel. Call exactly once, after
 // all senders have finished.
 func (e *Local[T]) CloseRecv() {

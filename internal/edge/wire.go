@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pkgstream/internal/hotkey"
+	"pkgstream/internal/metrics"
 	"pkgstream/internal/route"
 	"pkgstream/internal/trace"
 	"pkgstream/internal/wire"
@@ -118,6 +119,12 @@ type Wire struct {
 	cs     []*wireConn
 	window int64
 
+	// csMu guards mutations of the cs slice (connect) against Stats
+	// readers summing in-flight credit. The sending goroutine's own
+	// reads of cs stay lock-free: connect runs on that goroutine (or
+	// under lmu), so the sender always observes its own writes.
+	csMu sync.Mutex
+
 	scratch []byte
 	hdr     []byte
 	batches []wireBatch
@@ -142,6 +149,18 @@ type Wire struct {
 	stalls   atomic.Int64
 	retries  atomic.Int64
 	failures atomic.Int64
+
+	// waitTotal accumulates credit-wait time across the edge's
+	// lifetime, and creditWait buckets the individual waits — both
+	// touched only on the stall path (the window is exhausted and the
+	// sender is about to block), never on an unobstructed send.
+	waitTotal  atomic.Int64
+	creditWait metrics.Histogram
+	// lastQueue caches the queue gauge for stats reads that find lmu
+	// held — the sender keeps lmu across a whole flushBatch, including
+	// credit stalls, and a poller must never block behind a stall it is
+	// trying to observe.
+	lastQueue atomic.Int64
 }
 
 var _ Edge[wire.Tuple] = (*Wire)(nil)
@@ -287,10 +306,12 @@ func (w *Wire) connect(i int, addr string) error {
 		conn.Close()
 		return fmt.Errorf("edge: credit to %s: %w", addr, err)
 	}
+	w.csMu.Lock()
 	for len(w.cs) <= i {
 		w.cs = append(w.cs, nil)
 	}
 	w.cs[i] = c
+	w.csMu.Unlock()
 	go w.readAcks(c)
 	return nil
 }
@@ -367,6 +388,8 @@ func (w *Wire) acquireUpTo(c *wireConn, want int) (int, error) {
 		// is the wait; Arg1 the in-flight tuples that caused it).
 		wait := trace.Now() - stallStart
 		w.waitNs += wait
+		w.waitTotal.Add(wait)
+		w.creditWait.Observe(wait)
 		trace.Add(0, trace.HopEvent, stallStart, wait, inflight, 0, "credit-stall")
 	}
 	if err := c.err; err != nil {
@@ -731,14 +754,52 @@ func (w *Wire) Sent() int64 { return w.frames.Load() }
 // denomination, and Frames × batch size in the steady state.
 func (w *Wire) SentTuples() int64 { return w.tuples.Load() }
 
-// Stats snapshots the edge counters.
+// Stats snapshots the edge counters and gauges. The in-flight gauge
+// sums sent−acked over the live connections under their locks, and the
+// queue gauge counts batch-buffered tuples when a linger flusher
+// serializes access to them — both read-time work, nothing added to
+// the send path.
 func (w *Wire) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Frames:   w.frames.Load(),
 		Tuples:   w.tuples.Load(),
 		Marks:    w.marks.Load(),
 		Stalls:   w.stalls.Load(),
 		Retries:  w.retries.Load(),
 		Failures: w.failures.Load(),
+		WaitNs:   w.waitTotal.Load(),
 	}
+	w.csMu.Lock()
+	cs := append(make([]*wireConn, 0, len(w.cs)), w.cs...)
+	w.csMu.Unlock()
+	for _, c := range cs {
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		s.InFlight += c.sent - c.acked
+		c.mu.Unlock()
+	}
+	if w.lmu != nil {
+		// TryLock, not Lock: a credit-stalled sender holds lmu for the
+		// whole stall, and a monitor polling stats to *observe* that
+		// stall must not deadlock behind it. On contention serve the
+		// last value seen.
+		if w.lmu.TryLock() {
+			for i := range w.batches {
+				s.Queue += int64(w.batches[i].count)
+			}
+			w.lmu.Unlock()
+			w.lastQueue.Store(s.Queue)
+		} else {
+			s.Queue = w.lastQueue.Load()
+		}
+	}
+	return s
+}
+
+// CreditWait snapshots the credit-stall wait-time histogram: one
+// observation per stall, the wait in nanoseconds.
+func (w *Wire) CreditWait() metrics.HistSnapshot {
+	return w.creditWait.Snapshot()
 }

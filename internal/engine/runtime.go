@@ -94,6 +94,11 @@ type WindowStats struct {
 	// LateDropped counts partials that arrived for an already-closed
 	// window and were dropped (final stage).
 	LateDropped int64
+	// WMLagNs is the instance's watermark lag in nanoseconds at
+	// snapshot time: for wall-clock event timelines, how far the
+	// watermark trails wall clock; for logical timelines, how long ago
+	// the watermark last advanced. 0 until the first advance.
+	WMLagNs int64
 }
 
 // WindowStatsSource is implemented by bolts that expose windowing
@@ -219,6 +224,12 @@ func (w *WindowStats) Fold(x WindowStats) {
 	w.Merged += x.Merged
 	w.WindowsClosed += x.WindowsClosed
 	w.LateDropped += x.LateDropped
+	if x.WMLagNs > w.WMLagNs {
+		// The fold keeps the worst lag: the slowest instance is the one
+		// holding results back (window close waits for the minimum
+		// watermark).
+		w.WMLagNs = x.WMLagNs
+	}
 }
 
 // WindowTotals folds a component's per-instance window counters into
@@ -569,6 +580,55 @@ func (r *Runtime) MetricsRegistry() *metrics.Registry {
 				}
 				imb := float64(max) - float64(sum)/float64(n)
 				out[fmt.Sprintf("component=%q", name)] = imb / float64(sum)
+			}
+			return out
+		})
+		// Backpressure and progress gauges: per-component watermark lag
+		// and window backlog (from every WindowStatsSource) plus edge
+		// queue depth, in-flight credit and cumulative credit-wait time
+		// (from every EdgeStatsSource). All read live at scrape time.
+		reg.GaugeVec("pkgstream_watermark_lag_seconds", func() map[string]float64 {
+			st := r.Stats()
+			out := make(map[string]float64, len(st.Windows))
+			for name := range st.Windows {
+				out[fmt.Sprintf("component=%q", name)] =
+					float64(st.WindowTotals(name).WMLagNs) / 1e9
+			}
+			return out
+		})
+		reg.GaugeVec("pkgstream_window_backlog", func() map[string]float64 {
+			st := r.Stats()
+			out := make(map[string]float64, len(st.Windows))
+			for name := range st.Windows {
+				out[fmt.Sprintf("component=%q", name)] =
+					float64(st.WindowTotals(name).Live)
+			}
+			return out
+		})
+		reg.GaugeVec("pkgstream_edge_queue_depth", func() map[string]float64 {
+			st := r.Stats()
+			out := make(map[string]float64, len(st.Edges))
+			for name := range st.Edges {
+				out[fmt.Sprintf("component=%q", name)] =
+					float64(st.EdgeTotals(name).Queue)
+			}
+			return out
+		})
+		reg.GaugeVec("pkgstream_edge_inflight_tuples", func() map[string]float64 {
+			st := r.Stats()
+			out := make(map[string]float64, len(st.Edges))
+			for name := range st.Edges {
+				out[fmt.Sprintf("component=%q", name)] =
+					float64(st.EdgeTotals(name).InFlight)
+			}
+			return out
+		})
+		reg.GaugeVec("pkgstream_edge_credit_wait_seconds_total", func() map[string]float64 {
+			st := r.Stats()
+			out := make(map[string]float64, len(st.Edges))
+			for name := range st.Edges {
+				out[fmt.Sprintf("component=%q", name)] =
+					float64(st.EdgeTotals(name).WaitNs) / 1e9
 			}
 			return out
 		})

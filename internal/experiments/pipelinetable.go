@@ -9,6 +9,7 @@ import (
 
 	"pkgstream/internal/engine"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/obs"
 	"pkgstream/internal/rng"
 	"pkgstream/internal/trace"
 	"pkgstream/internal/transport"
@@ -230,26 +231,19 @@ func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
 	}
 	elapsed := time.Since(start)
 
-	loads := make([]int64, len(paddrs))
-	var lat metrics.HistSnapshot
-	for i, addr := range paddrs {
-		rep, err := transport.QueryAddr(addr, wire.Query{Op: wire.OpStats})
-		if err != nil {
-			panic(fmt.Sprintf("experiments: pipeline: stats %s: %v", addr, err))
+	// The partial nodes' loads and arrival-latency histograms ride the
+	// OpStats replies — cross-process measurements without scraping
+	// anything. obs owns the poll/merge arithmetic (pkgtop shows the
+	// same numbers live).
+	nodes := obs.Poll(paddrs, "partial")
+	for _, nd := range nodes {
+		if nd.Err != nil {
+			panic(fmt.Sprintf("experiments: pipeline: stats %s: %v", nd.Addr, nd.Err))
 		}
-		loads[i] = rep.Count
-		// The nodes' arrival-latency histograms ride the same reply —
-		// cross-process latency without scraping anything.
-		lat = lat.Merge(window.HistFromWire(rep.Lat))
 	}
-	var max, sum int64
-	for _, l := range loads {
-		if l > max {
-			max = l
-		}
-		sum += l
-	}
-	imb := float64(max) - float64(sum)/float64(len(loads))
+	cl := obs.Merge(nodes)
+	lat := cl.Lat
+	imb := cl.Imbalance
 
 	counts := map[string]int64{}
 	for _, addr := range faddrs {

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSnapshot builds a snapshot from 0–200 observations spread across
+// the histogram's whole range (sub-µs to beyond the clamp), so the
+// properties are exercised over empty, sparse and saturated shapes.
+func randSnapshot(r *rand.Rand) HistSnapshot {
+	var h Histogram
+	n := r.Intn(201)
+	for i := 0; i < n; i++ {
+		// Random magnitude 1ns..~1000s, occasionally past the clamp.
+		v := int64(1) << r.Intn(42)
+		v += r.Int63n(v + 1)
+		if r.Intn(50) == 0 {
+			v = HistMaxValue + r.Int63n(1<<20)
+		}
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+// equalSnap compares two snapshots semantically: identical totals, sums
+// and per-bucket counts, ignoring trailing-zero-trimming differences.
+func equalSnap(a, b HistSnapshot) bool {
+	if a.Count != b.Count || a.Sum != b.Sum {
+		return false
+	}
+	n := len(a.Counts)
+	if len(b.Counts) > n {
+		n = len(b.Counts)
+	}
+	at := func(s HistSnapshot, i int) int64 {
+		if i < len(s.Counts) {
+			return s.Counts[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if at(a, i) != at(b, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHistogramMergeProperties is the algebra the observability plane
+// leans on: obs merges per-node histograms in whatever order the polls
+// land, and interval rates subtract a previous snapshot back out — so
+// Merge must be commutative and associative with the zero snapshot as
+// identity, and Sub must invert it. Checked over randomized snapshots.
+func TestHistogramMergeProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var zero HistSnapshot
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randSnapshot(r), randSnapshot(r), randSnapshot(r)
+
+		if got, want := a.Merge(b), b.Merge(a); !equalSnap(got, want) {
+			t.Fatalf("trial %d: Merge not commutative:\na+b = %+v\nb+a = %+v", trial, got, want)
+		}
+		if got, want := a.Merge(b).Merge(c), a.Merge(b.Merge(c)); !equalSnap(got, want) {
+			t.Fatalf("trial %d: Merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", trial, got, want)
+		}
+		if got := a.Merge(zero); !equalSnap(got, a) {
+			t.Fatalf("trial %d: zero is not Merge identity: a+0 = %+v, a = %+v", trial, got, a)
+		}
+		if got := zero.Merge(a); !equalSnap(got, a) {
+			t.Fatalf("trial %d: zero is not left identity: 0+a = %+v, a = %+v", trial, got, a)
+		}
+		if got := a.Merge(b).Sub(b); !equalSnap(got, a) {
+			t.Fatalf("trial %d: Sub does not invert Merge: (a+b)-b = %+v, a = %+v", trial, got, a)
+		}
+		// Quantiles of a merge are bounded by the inputs' extremes.
+		if a.Count > 0 && b.Count > 0 {
+			m := a.Merge(b)
+			for _, p := range []float64{0.5, 0.99, 0.999} {
+				qa, qb, qm := a.Quantile(p), b.Quantile(p), m.Quantile(p)
+				lo, hi := qa, qb
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if qm < lo || qm > hi {
+					t.Fatalf("trial %d: merged q%.3f = %d outside [%d, %d]", trial, p, qm, lo, hi)
+				}
+			}
+		}
+	}
+}

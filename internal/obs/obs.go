@@ -1,0 +1,169 @@
+// Package obs is the cluster observability plane: it polls OpStats
+// from running nodes over the query channel (the same frames the
+// pipeline experiment uses — no HTTP scrape), decodes each reply into a
+// Node, and merges the fleet into one Cluster view: merged latency /
+// staleness / credit-wait histograms, the paper's imbalance metric over
+// the partial nodes' load vector, the slowest node's watermark lag, and
+// per-edge backpressure ratios. cmd/pkgtop renders this view; the
+// pipeline experiment computes its remote-partial row from it, so the
+// two can never disagree about what the cluster did.
+package obs
+
+import (
+	"pkgstream/internal/metrics"
+	"pkgstream/internal/transport"
+	"pkgstream/internal/window"
+	"pkgstream/internal/wire"
+)
+
+// Node is one node's decoded OpStats reply. The zero value of every
+// field except Addr/Role means "the node did not report it" — a node
+// running a pre-telemetry build still decodes into a usable Node.
+type Node struct {
+	// Addr is the address that was polled; Role is the caller's label
+	// for it ("partial", "final") and is carried through to output —
+	// the reply itself does not name the node's role.
+	Addr string `json:"addr"`
+	Role string `json:"role,omitempty"`
+	// Done mirrors the reply's completion flag; Count is the node's
+	// headline counter (absorbed tuples on a partial node — the
+	// paper's worker load — closed windows on a final node).
+	Done  bool  `json:"done"`
+	Count int64 `json:"count"`
+	// Lat is the node's emit→arrival latency histogram and Stale its
+	// window-close staleness histogram, whichever the node reports.
+	Lat   metrics.HistSnapshot `json:"-"`
+	Stale metrics.HistSnapshot `json:"-"`
+	// Telemetry is the reply's backpressure/progress section, zero if
+	// the node predates it; CreditWait is its optional histogram.
+	Telemetry  wire.Telemetry       `json:"telemetry"`
+	CreditWait metrics.HistSnapshot `json:"-"`
+	// Err records a poll failure for this node; all other fields are
+	// zero when set. Polling a fleet never fails as a whole.
+	Err error `json:"-"`
+}
+
+// Poll queries every address for OpStats and decodes the replies, in
+// order. Per-node failures land in Node.Err — callers that want the old
+// all-or-nothing behavior check every Err; pkgtop renders the gap.
+func Poll(addrs []string, role string) []Node {
+	nodes := make([]Node, len(addrs))
+	for i, addr := range addrs {
+		nodes[i] = Node{Addr: addr, Role: role}
+		rep, err := transport.QueryAddr(addr, wire.Query{Op: wire.OpStats})
+		if err != nil {
+			nodes[i].Err = err
+			continue
+		}
+		nodes[i].Done = rep.Done
+		nodes[i].Count = rep.Count
+		nodes[i].Lat = window.HistFromWire(rep.Lat)
+		nodes[i].Stale = window.HistFromWire(rep.Stale)
+		if rep.Telemetry != nil {
+			nodes[i].Telemetry = *rep.Telemetry
+			nodes[i].Telemetry.CreditWait = nil // hist lives in CreditWait below
+			nodes[i].CreditWait = window.HistFromWire(rep.Telemetry.CreditWait)
+		}
+	}
+	return nodes
+}
+
+// Edge is one node's outbound-edge backpressure summary.
+type Edge struct {
+	Addr string `json:"addr"`
+	Role string `json:"role,omitempty"`
+	// Frames/Stalls/WaitNs mirror the node's telemetry; Ratio is
+	// Stalls/Frames — the fraction of shipped frames that blocked on
+	// credit, the visible form of downstream backpressure.
+	Frames int64   `json:"frames"`
+	Stalls int64   `json:"stalls"`
+	WaitNs int64   `json:"wait_ns"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// Cluster is the merged fleet view.
+type Cluster struct {
+	// Lat, Stale and CreditWait are the nodes' histograms merged —
+	// quantiles of Lat are cluster-wide latency quantiles, identical
+	// to merging the raw OpStats replies directly (Merge is the only
+	// aggregation applied).
+	Lat        metrics.HistSnapshot `json:"-"`
+	Stale      metrics.HistSnapshot `json:"-"`
+	CreditWait metrics.HistSnapshot `json:"-"`
+	// Loads is the partial nodes' Count vector — the paper's
+	// worker-load vector I(t) measured across real sockets. Imbalance
+	// is max(Loads) − avg(Loads) (the paper's metric) and
+	// ImbalanceFraction normalizes it by the total, matching the
+	// engine's pkgstream_imbalance_fraction gauge.
+	Loads             []int64 `json:"loads"`
+	Imbalance         float64 `json:"imbalance"`
+	ImbalanceFraction float64 `json:"imbalance_fraction"`
+	// MaxWatermarkLagNs is the slowest node's watermark lag — the
+	// cluster cannot close windows faster than this node allows.
+	// Backlog sums live (key, window) accumulators across the fleet.
+	MaxWatermarkLagNs int64 `json:"max_watermark_lag_ns"`
+	Backlog           int64 `json:"backlog"`
+	// MaxServiceNs is the slowest node's dispatch service-time EWMA.
+	MaxServiceNs int64 `json:"max_service_ns"`
+	// Edges holds one backpressure summary per node that shipped at
+	// least one frame.
+	Edges []Edge `json:"edges"`
+}
+
+// Merge folds polled nodes into the cluster view. Nodes with Err set
+// contribute nothing; the load vector (and so the imbalance metric) is
+// taken over the partial-role nodes, matching the pipeline experiment.
+func Merge(nodes []Node) Cluster {
+	var c Cluster
+	for i := range nodes {
+		nd := &nodes[i]
+		if nd.Err != nil {
+			continue
+		}
+		c.Lat = c.Lat.Merge(nd.Lat)
+		c.Stale = c.Stale.Merge(nd.Stale)
+		c.CreditWait = c.CreditWait.Merge(nd.CreditWait)
+		if nd.Role != "final" {
+			c.Loads = append(c.Loads, nd.Count)
+		}
+		t := nd.Telemetry
+		if t.WatermarkLagNs > c.MaxWatermarkLagNs {
+			c.MaxWatermarkLagNs = t.WatermarkLagNs
+		}
+		if t.ServiceNs > c.MaxServiceNs {
+			c.MaxServiceNs = t.ServiceNs
+		}
+		c.Backlog += t.WindowBacklog
+		if t.EdgeFrames > 0 {
+			c.Edges = append(c.Edges, Edge{
+				Addr: nd.Addr, Role: nd.Role,
+				Frames: t.EdgeFrames, Stalls: t.EdgeStalls, WaitNs: t.EdgeWaitNs,
+				Ratio: float64(t.EdgeStalls) / float64(t.EdgeFrames),
+			})
+		}
+	}
+	c.Imbalance, c.ImbalanceFraction = Imbalance(c.Loads)
+	return c
+}
+
+// Imbalance computes the paper's load-imbalance metric over a load
+// vector: max − avg in absolute tuples, and the same normalized by the
+// total. Zero-length or all-zero vectors report 0 — identical to the
+// pipeline experiment's arithmetic, which this promotes.
+func Imbalance(loads []int64) (abs, fraction float64) {
+	if len(loads) == 0 {
+		return 0, 0
+	}
+	var max, sum int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	abs = float64(max) - float64(sum)/float64(len(loads))
+	if sum > 0 {
+		fraction = abs / float64(sum)
+	}
+	return abs, fraction
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pkgstream/internal/engine"
+	"pkgstream/internal/transport"
+	"pkgstream/internal/window"
+	"pkgstream/internal/wire"
+)
+
+// obsSpout emits a deterministic word stream on a logical clock with
+// source marks, ending with the end-of-stream mark — the same shape the
+// pipeline experiment drives through the cluster.
+type obsSpout struct{ n, i int }
+
+func (s *obsSpout) Open(*engine.Context) {}
+func (s *obsSpout) Close()               {}
+
+func (s *obsSpout) Next(out engine.Emitter) bool {
+	if s.i >= s.n {
+		return false
+	}
+	s.i++
+	at := int64(s.i) * int64(time.Millisecond)
+	out.Emit(engine.Tuple{Key: fmt.Sprintf("w%d", (s.i*s.i)%97), EmitNanos: at})
+	if s.i%500 == 0 {
+		out.Emit(window.SourceMark(0, at))
+	}
+	if s.i == s.n {
+		out.Emit(window.SourceMark(0, int64(1)<<62))
+		return false
+	}
+	return true
+}
+
+// startCluster stands up a loopback partial+final fleet and returns
+// their addresses plus the handlers (for WaitDone).
+func startCluster(t *testing.T, partialNodes, finalNodes int) (paddrs, faddrs []string, partials []*window.PartialHandler, finals []*window.FinalHandler) {
+	t.Helper()
+	spec := window.Spec{Size: time.Second, EveryTuples: 1500, Sources: 1}
+	for i := 0; i < finalNodes; i++ {
+		plan := window.MustPlan(window.Count{}, spec)
+		h, err := plan.NewFinalHandler(partialNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := transport.ListenHandler("127.0.0.1:0", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		finals = append(finals, h)
+		faddrs = append(faddrs, w.Addr())
+	}
+	for i := 0; i < partialNodes; i++ {
+		plan := window.MustPlan(window.Count{}, spec)
+		h, err := plan.NewPartialHandler(window.PartialHandlerOptions{
+			ID: i, Nodes: partialNodes, FinalAddrs: faddrs, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := transport.ListenHandler("127.0.0.1:0", h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		partials = append(partials, h)
+		paddrs = append(paddrs, w.Addr())
+	}
+	return paddrs, faddrs, partials, finals
+}
+
+// buildRuntime wires the spout through the flow-controlled tuple edge
+// to the partial nodes.
+func buildRuntime(t *testing.T, total int, paddrs []string) *engine.Runtime {
+	t.Helper()
+	spec := window.Spec{Size: time.Second, EveryTuples: 1500, Sources: 1}
+	plan := window.MustPlan(window.Count{}, spec)
+	b := engine.NewBuilder("obs", 21)
+	b.AddSpout("words", func() engine.Spout { return &obsSpout{n: total} }, 1)
+	b.WindowedAggregate("wc", plan, 2, engine.RemotePartial(paddrs...)).
+		Input("words", window.SourceAware(engine.Partial()))
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.NewRuntime(top, engine.Options{QueueSize: 512})
+}
+
+// TestMergeMatchesDirectMerge is the aggregator's exactness gate: the
+// cluster view's merged latency histogram (and so its p99) must be
+// byte-identical to merging the per-node OpStats replies by hand —
+// obs applies histogram merge and nothing else.
+func TestMergeMatchesDirectMerge(t *testing.T) {
+	const total = 20_000
+	paddrs, faddrs, partials, finals := startCluster(t, 2, 2)
+	rt := buildRuntime(t, total, paddrs)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range partials {
+		if err := h.WaitDone(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range finals {
+		if err := h.WaitDone(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	nodes := Poll(paddrs, "partial")
+	for _, nd := range nodes {
+		if nd.Err != nil {
+			t.Fatalf("poll %s: %v", nd.Addr, nd.Err)
+		}
+	}
+	cl := Merge(append(nodes, Poll(faddrs, "final")...))
+
+	// The reference: query each node directly and fold by hand.
+	var direct int64
+	var directLat = cl.Lat.Sub(cl.Lat) // zero snapshot
+	var loads []int64
+	for _, addr := range paddrs {
+		rep, err := transport.QueryAddr(addr, wire.Query{Op: wire.OpStats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads = append(loads, rep.Count)
+		direct += rep.Count
+		directLat = directLat.Merge(window.HistFromWire(rep.Lat))
+	}
+	if direct != total {
+		t.Fatalf("partial nodes absorbed %d tuples, want %d", direct, total)
+	}
+	var sum int64
+	for _, l := range cl.Loads {
+		sum += l
+	}
+	if sum != total || len(cl.Loads) != len(paddrs) {
+		t.Fatalf("cluster loads %v sum %d, want %d over %d nodes", cl.Loads, sum, total, len(paddrs))
+	}
+	if cl.Lat.Count != directLat.Count || cl.Lat.Sum != directLat.Sum {
+		t.Fatalf("merged hist differs: obs %+v direct %+v", cl.Lat, directLat)
+	}
+	for _, p := range []float64{0.5, 0.99, 0.999} {
+		if a, b := cl.Lat.Quantile(p), directLat.Quantile(p); a != b {
+			t.Fatalf("q%.3f: obs %d != direct %d", p, a, b)
+		}
+	}
+	abs, frac := Imbalance(loads)
+	if cl.Imbalance != abs || cl.ImbalanceFraction != frac {
+		t.Fatalf("imbalance: obs (%v, %v) != direct (%v, %v)", cl.Imbalance, cl.ImbalanceFraction, abs, frac)
+	}
+	// The stream ended on the logical timeline, so every node's lag is
+	// "time since the watermark last advanced" — strictly positive.
+	if cl.MaxWatermarkLagNs <= 0 {
+		t.Fatalf("max watermark lag %d, want > 0 after end of stream", cl.MaxWatermarkLagNs)
+	}
+}
+
+// TestPollWhileStreaming is the -race gate for the new telemetry: while
+// the pipeline streams across the wire, hammer every read path the
+// observability plane uses — OpStats polls (edge gauges, credit-wait
+// histogram, watermark lag), the engine's Stats fold, and the metrics
+// registry's text exposition, which walks the new gauge series.
+func TestPollWhileStreaming(t *testing.T) {
+	const total = 40_000
+	paddrs, faddrs, partials, finals := startCluster(t, 2, 1)
+	rt := buildRuntime(t, total, paddrs)
+	runDone := make(chan error, 1)
+	go func() { runDone <- rt.Run() }()
+
+	var polls int
+	for {
+		select {
+		case err := <-runDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+			if polls == 0 {
+				t.Fatal("stream finished before a single poll landed")
+			}
+			for _, h := range partials {
+				if err := h.WaitDone(10 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, h := range finals {
+				if err := h.WaitDone(10 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cl := Merge(append(Poll(paddrs, "partial"), Poll(faddrs, "final")...))
+			var sum int64
+			for _, l := range cl.Loads {
+				sum += l
+			}
+			if sum != total {
+				t.Fatalf("loads %v sum %d after concurrent polling, want %d", cl.Loads, sum, total)
+			}
+			return
+		default:
+		}
+		polls++
+		nodes := append(Poll(paddrs, "partial"), Poll(faddrs, "final")...)
+		Merge(nodes) // exercise the fold concurrently with the stream
+		st := rt.Stats()
+		_ = st.EdgeTotals("wc.partial")   // queue/in-flight/credit-wait gauges
+		_ = st.WindowTotals("wc.partial") // watermark-lag fold
+		var buf bytes.Buffer
+		if err := rt.MetricsRegistry().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, series := range []string{
+			"pkgstream_watermark_lag_seconds",
+			"pkgstream_window_backlog",
+			"pkgstream_edge_queue_depth",
+			"pkgstream_edge_inflight_tuples",
+			"pkgstream_edge_credit_wait_seconds_total",
+		} {
+			if !strings.Contains(buf.String(), series) {
+				t.Fatalf("registry exposition is missing %s", series)
+			}
+		}
+	}
+}
+
+// TestImbalanceArithmetic pins the promoted helper to the experiment's
+// arithmetic.
+func TestImbalanceArithmetic(t *testing.T) {
+	cases := []struct {
+		loads []int64
+		abs   float64
+		frac  float64
+	}{
+		{nil, 0, 0},
+		{[]int64{0, 0}, 0, 0},
+		{[]int64{10, 10}, 0, 0},
+		{[]int64{30, 10}, 10, 0.25},
+		{[]int64{4, 0, 0, 0}, 3, 0.75},
+	}
+	for _, c := range cases {
+		abs, frac := Imbalance(c.loads)
+		if abs != c.abs || frac != c.frac {
+			t.Errorf("Imbalance(%v) = (%v, %v), want (%v, %v)", c.loads, abs, frac, c.abs, c.frac)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pkgstream/internal/hotkey"
@@ -56,9 +57,18 @@ type Worker struct {
 	frames    int64
 	conns     map[net.Conn]struct{}
 
+	// serviceNs is the per-tuple service-time EWMA of handler dispatch,
+	// in nanoseconds — fed by 1-in-serviceSampleEvery data frames per
+	// connection, so the unsampled frame path never reads a clock.
+	serviceNs atomic.Int64
+
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
+
+// serviceSampleEvery is the per-connection sampling period of the
+// service-time EWMA: one timed dispatch per this many data frames.
+const serviceSampleEvery = 64
 
 // ListenWorker starts a counting worker on addr (use "127.0.0.1:0" for
 // an ephemeral port) — the classic PKG worker holding partial counts
@@ -159,6 +169,11 @@ func (w *Worker) serve(conn net.Conn) {
 	// most one ack write however many tuples a frame carried.
 	var fcWindow, fcProcessed, fcAcked int64
 	var ackBuf []byte
+	// Service-time sampling countdown: every serviceSampleEvery-th data
+	// frame times its handler dispatch (two clock reads inside the hmu
+	// hold) and folds the per-tuple duration into the worker EWMA. The
+	// other frames pay one decrement and a branch.
+	svc := int64(serviceSampleEvery)
 	ack := func() bool {
 		fcAcked = fcProcessed
 		ackBuf = wire.AppendAck(ackBuf[:0], wire.Ack{Count: fcProcessed})
@@ -193,7 +208,14 @@ func (w *Worker) serve(conn net.Conn) {
 			}
 			w.addFrames(1)
 			w.hmu.Lock()
-			w.h.HandleTuple(&tup)
+			if svc--; svc <= 0 {
+				svc = serviceSampleEvery
+				t0 := time.Now()
+				w.h.HandleTuple(&tup)
+				w.recordService(time.Since(t0).Nanoseconds(), 1)
+			} else {
+				w.h.HandleTuple(&tup)
+			}
 			w.hmu.Unlock()
 			if !absorbedN(1) {
 				return
@@ -205,12 +227,20 @@ func (w *Worker) serve(conn net.Conn) {
 			}
 			w.addFrames(1)
 			w.hmu.Lock()
+			var t0 time.Time
+			if svc--; svc <= 0 {
+				svc = serviceSampleEvery
+				t0 = time.Now()
+			}
 			if bh != nil {
 				bh.HandleTupleBatch(tups)
 			} else {
 				for i := range tups {
 					w.h.HandleTuple(&tups[i])
 				}
+			}
+			if !t0.IsZero() && len(tups) > 0 {
+				w.recordService(time.Since(t0).Nanoseconds(), int64(len(tups)))
 			}
 			w.hmu.Unlock()
 			if !absorbedN(int64(len(tups))) {
@@ -222,7 +252,14 @@ func (w *Worker) serve(conn net.Conn) {
 			}
 			w.addFrames(1)
 			w.hmu.Lock()
-			w.h.HandlePartial(&par)
+			if svc--; svc <= 0 {
+				svc = serviceSampleEvery
+				t0 := time.Now()
+				w.h.HandlePartial(&par)
+				w.recordService(time.Since(t0).Nanoseconds(), 1)
+			} else {
+				w.h.HandlePartial(&par)
+			}
 			w.hmu.Unlock()
 			if !absorbedN(1) {
 				return
@@ -261,6 +298,15 @@ func (w *Worker) serve(conn net.Conn) {
 			w.hmu.Lock()
 			rep := w.h.HandleQuery(q)
 			w.hmu.Unlock()
+			if rep.Op == wire.OpStats {
+				// The dispatch-path service-time EWMA belongs to the
+				// worker, not the handler: stamp it onto every stats
+				// reply so pollers see per-node service rates uniformly.
+				if rep.Telemetry == nil {
+					rep.Telemetry = &wire.Telemetry{}
+				}
+				rep.Telemetry.ServiceNs = w.ServiceNanos()
+			}
 			reply = wire.AppendReply(reply[:0], &rep)
 			wmu.Lock()
 			_, err = conn.Write(reply)
@@ -299,6 +345,31 @@ func (s *connSink) Push(rep *wire.Reply) error {
 	_, err := s.conn.Write(s.buf)
 	return err
 }
+
+// recordService folds one sampled dispatch (dur nanoseconds over n
+// tuples) into the per-tuple service-time EWMA with α = 1/8. The CAS
+// loop keeps concurrent connections' updates from tearing; samples are
+// rare enough that contention is immaterial.
+func (w *Worker) recordService(dur, n int64) {
+	per := dur / n
+	for {
+		old := w.serviceNs.Load()
+		nv := per
+		if old != 0 {
+			nv = old + (per-old)/8
+		}
+		if w.serviceNs.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ServiceNanos returns the worker's per-tuple service-time EWMA in
+// nanoseconds: how long one tuple holds the dispatch path, sampled
+// every serviceSampleEvery data frames per connection (0 until the
+// first sample lands). This is the per-worker service rate a placement
+// controller needs to weigh heterogeneous workers.
+func (w *Worker) ServiceNanos() int64 { return w.serviceNs.Load() }
 
 func (w *Worker) addProcessed(n int64) {
 	w.mu.Lock()

@@ -35,7 +35,8 @@ type FinalBolt struct {
 	// so the frequent watermark advances that close nothing skip the
 	// full slot scan.
 	minEnd   int64
-	lastLive int // last value published to the stats gauge
+	noted    int64 // last combined watermark fed to the lag gauge
+	lastLive int   // last value published to the stats gauge
 	// traced maps the (key, window) slots a traced partial merged into
 	// to its trace ID, so the window close that emits the slot's Result
 	// can finish the trace. Lazily allocated.
@@ -58,6 +59,7 @@ func (b *FinalBolt) Prepare(ctx *engine.Context) {
 	b.wms = map[int]int64{}
 	b.closed = math.MinInt64
 	b.minEnd = math.MaxInt64
+	b.noted = math.MinInt64
 }
 
 // Execute implements engine.Bolt: marks advance the watermark, partials
@@ -207,6 +209,12 @@ func (b *FinalBolt) advance(m mark, out engine.Emitter) {
 		if v < wm {
 			wm = v
 		}
+	}
+	if wm > b.noted {
+		// The combined watermark rose: feed the lag gauge (marks are
+		// control traffic, so this stays off the merge hot path).
+		b.noted = wm
+		b.inst.noteWM(wm)
 	}
 	b.closeUpTo(wm, out)
 }

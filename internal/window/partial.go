@@ -33,6 +33,7 @@ type PartialBolt struct {
 	wins      []int64 // window-assignment scratch
 	since     int     // tuples since the last flush
 	wm        int64   // max event time seen (math.MinInt64: none)
+	noted     int64   // last watermark fed to the lag gauge
 	// srcWMs holds the latest SourceMark watermark per source; once any
 	// source reports (or Spec.Sources demands it), the instance
 	// watermark becomes the minimum across sources instead of the
@@ -50,6 +51,7 @@ type PartialBolt struct {
 func (b *PartialBolt) Prepare(ctx *engine.Context) {
 	b.ctx = *ctx
 	b.wm = math.MinInt64
+	b.noted = math.MinInt64
 	sp := &b.plan.spec
 	switch {
 	case b.plan.comb != nil && sp.Size <= 0 && !sp.PerInstance:
@@ -73,6 +75,14 @@ func (b *PartialBolt) Execute(t engine.Tuple, out engine.Emitter) {
 				}
 				if old, seen := b.srcWMs[sm.src]; !seen || sm.wm > old {
 					b.srcWMs[sm.src] = sm.wm
+					// The instance watermark (minimum across sources) may
+					// have risen with this source's promise — feed the
+					// watermark-lag gauge. Marks are control traffic, so
+					// the O(sources) minimum stays off the data path.
+					if cur := b.watermark(); cur > b.noted && cur != math.MinInt64 {
+						b.noted = cur
+						b.inst.noteWM(cur)
+					}
 				}
 				return
 			}

@@ -249,7 +249,8 @@ func (h *PartialHandler) HandleQuery(q wire.Query) wire.Reply {
 	case wire.OpStats:
 		return wire.Reply{
 			Op: q.Op, Done: h.done, Count: h.processed,
-			Lat: wireHist(h.bolt.inst.hist.Snapshot()),
+			Lat:       wireHist(h.bolt.inst.hist.Snapshot()),
+			Telemetry: telemetry(h.bolt.WindowStats(), h.snd.EdgeStats(), metrics.HistSnapshot{}),
 		}
 	case wire.OpTrace:
 		return wire.Reply{

@@ -537,9 +537,12 @@ func (h *FinalHandler) HandleQuery(q wire.Query) wire.Reply {
 		}
 		return wire.Reply{Op: q.Op, Done: h.done, Count: total}
 	case wire.OpStats:
+		// A final node has no outbound edge: the edge fields stay zero
+		// and only the window-progress half of the telemetry is live.
 		return wire.Reply{
 			Op: q.Op, Done: h.done, Count: int64(len(h.results)),
-			Stale: wireHist(h.bolt.inst.hist.Snapshot()),
+			Stale:     wireHist(h.bolt.inst.hist.Snapshot()),
+			Telemetry: telemetry(h.bolt.WindowStats(), engine.EdgeStats{}, metrics.HistSnapshot{}),
 		}
 	case wire.OpTrace:
 		return wire.Reply{

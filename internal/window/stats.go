@@ -1,10 +1,12 @@
 package window
 
 import (
+	"math"
 	"sync/atomic"
 
 	"pkgstream/internal/engine"
 	"pkgstream/internal/metrics"
+	"pkgstream/internal/trace"
 	"pkgstream/internal/wire"
 )
 
@@ -25,6 +27,12 @@ type instrumentation struct {
 	// observes window-close staleness. One instance is always exactly
 	// one of the two, so a single field serves both.
 	hist metrics.Histogram
+	// wmValue / wmAdvanced record the instance watermark's last advance:
+	// the watermark value and the wall-clock instant it rose. Both feed
+	// the read-time watermark-lag gauge; neither is touched on the data
+	// hot path (watermarks advance on marks, which are control traffic).
+	wmValue    atomic.Int64
+	wmAdvanced atomic.Int64
 }
 
 // setLive records the live-accumulator gauge and its high-water mark.
@@ -33,6 +41,32 @@ func (in *instrumentation) setLive(n int64) {
 	if n > in.maxLive.Load() {
 		in.maxLive.Store(n)
 	}
+}
+
+// noteWM records a watermark advance: the new value and the wall-clock
+// instant it rose. Bolts call it from their mark-handling paths only.
+func (in *instrumentation) noteWM(wm int64) {
+	in.wmValue.Store(wm)
+	in.wmAdvanced.Store(trace.Now())
+}
+
+// wmLagNs computes the watermark-lag gauge at read time. On a
+// wall-clock event timeline (the watermark value itself is a plausible
+// Unix nanosecond) the lag is now − watermark — the classic "how far
+// behind real time is event-time progress". On a logical timeline
+// (small synthetic event times, or the MaxInt64 end-of-stream promise)
+// that difference is meaningless, so the lag degrades to now − last
+// advance: how long the watermark has sat still. Either way a stalled
+// source shows up as growing lag; 0 means no watermark yet.
+func (in *instrumentation) wmLagNs() int64 {
+	adv := in.wmAdvanced.Load()
+	if adv == 0 {
+		return 0
+	}
+	if wm := in.wmValue.Load(); wm >= wallClockFloor && wm < math.MaxInt64/2 {
+		return trace.Now() - wm
+	}
+	return trace.Now() - adv
 }
 
 // snapshot returns the counters in engine.WindowStats form.
@@ -45,6 +79,7 @@ func (in *instrumentation) snapshot() engine.WindowStats {
 		Merged:        in.merged.Load(),
 		WindowsClosed: in.windowsClosed.Load(),
 		LateDropped:   in.late.Load(),
+		WMLagNs:       in.wmLagNs(),
 	}
 }
 
@@ -69,6 +104,23 @@ func wireHist(s metrics.HistSnapshot) *wire.LatencyHist {
 		h.Buckets[i] = wire.HistBucket{Index: idx[i], Count: counts[i]}
 	}
 	return h
+}
+
+// telemetry assembles the OpStats telemetry section of a hosted stage:
+// the bolt's watermark lag and live-window backlog plus its outbound
+// edge's backpressure counters. ServiceNs stays zero — the transport
+// worker stamps its own dispatch EWMA onto the reply.
+func telemetry(ws engine.WindowStats, es engine.EdgeStats, creditWait metrics.HistSnapshot) *wire.Telemetry {
+	return &wire.Telemetry{
+		EdgeInFlight:   es.InFlight,
+		EdgeQueue:      es.Queue,
+		EdgeFrames:     es.Frames,
+		EdgeStalls:     es.Stalls,
+		EdgeWaitNs:     es.WaitNs,
+		WatermarkLagNs: ws.WMLagNs,
+		WindowBacklog:  ws.Live,
+		CreditWait:     wireHist(creditWait),
+	}
 }
 
 // HistFromWire converts a wire latency histogram back to a mergeable

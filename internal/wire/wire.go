@@ -337,6 +337,40 @@ type Reply struct {
 	// first — encoded as trailing section id 3, invisible to decoders
 	// that predate it exactly like the histograms).
 	Spans []Span
+	// Telemetry is the node's backpressure and progress snapshot
+	// (OpStats, optional — trailing section id 4, same compatibility
+	// rule as the histograms and spans).
+	Telemetry *Telemetry
+}
+
+// Telemetry is a node's backpressure and progress snapshot, carried on
+// OpStats replies so a cluster-level poller (internal/obs, cmd/pkgtop)
+// can merge one view without scraping every node's /metrics endpoint.
+// The zero value means "nothing to report"; every field is a snapshot
+// at reply time, not a delta.
+type Telemetry struct {
+	// EdgeInFlight is the number of unacknowledged tuples currently in
+	// flight on the node's outbound flow-controlled edge; EdgeQueue is
+	// the number of tuples buffered in local edge queues.
+	EdgeInFlight, EdgeQueue int64
+	// EdgeFrames counts frames sent on the outbound edge; EdgeStalls
+	// counts sends that blocked on an exhausted credit window, and
+	// EdgeWaitNs is the total nanoseconds those stalls lasted — the
+	// stalls/frames and wait/wall ratios are the edge's backpressure
+	// signal.
+	EdgeFrames, EdgeStalls, EdgeWaitNs int64
+	// WatermarkLagNs is how far, in nanoseconds, the node's minimum
+	// source watermark trailed wall clock when it last advanced on a
+	// wall-clock timeline (0 until a wall-clock mark arrives, frozen at
+	// its last value once sources finish).
+	WatermarkLagNs int64
+	// WindowBacklog is the number of open (live) window slots.
+	WindowBacklog int64
+	// ServiceNs is the node's per-tuple service-time EWMA on the
+	// dispatch path, in nanoseconds (0 until sampled).
+	ServiceNs int64
+	// CreditWait is the credit-stall wait-time histogram (optional).
+	CreditWait *LatencyHist
 }
 
 // Credit opens a credit-based flow-control session on a connection
@@ -643,7 +677,7 @@ func AppendReply(dst []byte, r *Reply) []byte {
 		}
 	}
 	spanSec := r.Spans != nil || r.Proc != ""
-	if r.Lat != nil || r.Stale != nil || spanSec {
+	if r.Lat != nil || r.Stale != nil || spanSec || r.Telemetry != nil {
 		// Trailing optional section: id-tagged entries so any subset can
 		// travel alone; pre-section decoders reject the trailing bytes
 		// cleanly and so simply predate these fields.
@@ -655,6 +689,9 @@ func AppendReply(dst []byte, r *Reply) []byte {
 			n++
 		}
 		if spanSec {
+			n++
+		}
+		if r.Telemetry != nil {
 			n++
 		}
 		dst = append(dst, n)
@@ -679,19 +716,42 @@ func AppendReply(dst []byte, r *Reply) []byte {
 				dst = appendStr(dst, s.Note)
 			}
 		}
+		if t := r.Telemetry; t != nil {
+			dst = append(dst, secIDTelemetry)
+			var flags byte
+			if t.CreditWait != nil {
+				flags |= 1
+			}
+			dst = append(dst, flags)
+			dst = appendI64(dst, t.EdgeInFlight)
+			dst = appendI64(dst, t.EdgeQueue)
+			dst = appendI64(dst, t.EdgeFrames)
+			dst = appendI64(dst, t.EdgeStalls)
+			dst = appendI64(dst, t.EdgeWaitNs)
+			dst = appendI64(dst, t.WatermarkLagNs)
+			dst = appendI64(dst, t.WindowBacklog)
+			dst = appendI64(dst, t.ServiceNs)
+			if t.CreditWait != nil {
+				dst = appendHistBody(dst, t.CreditWait)
+			}
+		}
 	}
 	return finish(dst, start)
 }
 
 // Entry ids of the Reply trailing section.
 const (
-	histIDLat   byte = 1
-	histIDStale byte = 2
-	secIDSpans  byte = 3
+	histIDLat      byte = 1
+	histIDStale    byte = 2
+	secIDSpans     byte = 3
+	secIDTelemetry byte = 4
 )
 
 func appendHist(dst []byte, id byte, h *LatencyHist) []byte {
-	dst = append(dst, id)
+	return appendHistBody(append(dst, id), h)
+}
+
+func appendHistBody(dst []byte, h *LatencyHist) []byte {
 	dst = appendI64(dst, h.Sum)
 	dst = binary.AppendUvarint(dst, uint64(len(h.Buckets)))
 	for _, b := range h.Buckets {
@@ -1190,6 +1250,10 @@ func DecodeReply(b []byte) (Reply, error) {
 				if err = decodeSpanSection(&r, &rep); err != nil {
 					return Reply{}, err
 				}
+			case secIDTelemetry:
+				if rep.Telemetry, err = decodeTelemetry(&r); err != nil {
+					return Reply{}, err
+				}
 			default:
 				return Reply{}, fmt.Errorf("wire: unknown reply section id %d", id)
 			}
@@ -1247,6 +1311,34 @@ func decodeSpanSection(r *reader, rep *Reply) error {
 		rep.Spans = append(rep.Spans, s)
 	}
 	return nil
+}
+
+// decodeTelemetry decodes the telemetry entry (secIDTelemetry) of a
+// Reply's trailing section: a flags byte, eight fixed gauge fields, and
+// an optional credit-wait histogram gated on flag bit 1.
+func decodeTelemetry(r *reader) (*Telemetry, error) {
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^1 != 0 {
+		return nil, fmt.Errorf("wire: unknown telemetry flags %#x", flags)
+	}
+	t := &Telemetry{}
+	for _, f := range []*int64{
+		&t.EdgeInFlight, &t.EdgeQueue, &t.EdgeFrames, &t.EdgeStalls,
+		&t.EdgeWaitNs, &t.WatermarkLagNs, &t.WindowBacklog, &t.ServiceNs,
+	} {
+		if *f, err = r.i64(); err != nil {
+			return nil, err
+		}
+	}
+	if flags&1 != 0 {
+		if t.CreditWait, err = decodeHist(r); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 func decodeHist(r *reader) (*LatencyHist, error) {

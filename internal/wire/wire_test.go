@@ -75,12 +75,23 @@ func encodeAll(t testing.TB) [][]byte {
 		{KeyHash: 15, EmitNanos: 4},
 	}))
 	add(AppendQuery(nil, Query{Op: OpTrace}), nil)
-	// Replies carrying the optional trailing section (histograms, spans)
-	// stay out of this corpus: TestTruncationNeverPanics requires every
-	// strict payload prefix to error, and cutting exactly at the section
-	// boundary yields a valid pre-section reply by design (that is the
-	// compatibility contract). TestReplyHistRoundTrip and
-	// TestReplySpansRoundTrip cover them.
+	// Replies carrying the optional trailing section. Cutting one exactly
+	// at the section boundary yields a valid pre-section reply by design
+	// (that is the compatibility contract), which is why
+	// TestTruncationNeverPanics accepts a prefix only when re-encoding it
+	// is byte-identical.
+	add(AppendReply(nil, &Reply{Op: OpStats, Count: 6,
+		Lat:   &LatencyHist{Sum: 12345, Buckets: []HistBucket{{Index: 3, Count: 7}}},
+		Stale: &LatencyHist{Sum: 9e9, Buckets: []HistBucket{{Index: 1100, Count: 4}}},
+	}), nil)
+	add(AppendReply(nil, &Reply{Op: OpTrace, Proc: "pkgnode-final@127.0.0.1:7411",
+		Spans: []Span{{Trace: 0xabc, Start: 100, Dur: 5, Arg1: 2, Arg2: -1, Hop: 1, Note: "PKG cands=[1 0]"}},
+	}), nil)
+	add(AppendReply(nil, &Reply{Op: OpStats, Count: 4, Telemetry: &Telemetry{
+		EdgeInFlight: 3, EdgeQueue: 2, EdgeFrames: 100, EdgeStalls: 5,
+		EdgeWaitNs: 9e6, WatermarkLagNs: 2e9, WindowBacklog: 7, ServiceNs: 450,
+		CreditWait: &LatencyHist{Sum: 9e6, Buckets: []HistBucket{{Index: 900, Count: 5}}},
+	}}), nil)
 	return frames
 }
 
@@ -376,6 +387,70 @@ func TestReplyHistRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReplyTelemetryRoundTrip: the telemetry entry (secIDTelemetry) of
+// a Reply's trailing section. Combinations round trip (alone, with and
+// without the credit-wait histogram, alongside the other entries), a
+// pre-telemetry reply decodes with a nil Telemetry, and truncated or
+// flag-corrupted sections are rejected.
+func TestReplyTelemetryRoundTrip(t *testing.T) {
+	cw := &LatencyHist{Sum: 5e6, Buckets: []HistBucket{{Index: 880, Count: 2}, {Index: 901, Count: 1}}}
+	full := Telemetry{
+		EdgeInFlight: 12, EdgeQueue: 40, EdgeFrames: 1000, EdgeStalls: 3,
+		EdgeWaitNs: 5e6, WatermarkLagNs: 1500e6, WindowBacklog: 9, ServiceNs: 230,
+		CreditWait: cw,
+	}
+	for _, rep := range []Reply{
+		{Op: OpStats, Count: 8, Telemetry: &full},
+		{Op: OpStats, Telemetry: &Telemetry{}}, // all-zero snapshot still travels
+		{Op: OpStats, Telemetry: &Telemetry{WatermarkLagNs: -1, ServiceNs: 77}},
+		{Op: OpStats, Count: 8, Done: true,
+			Lat:   &LatencyHist{Sum: 1, Buckets: []HistBucket{{Index: 1, Count: 1}}},
+			Stale: &LatencyHist{}, Telemetry: &full},
+	} {
+		b := AppendReply(nil, &rep)
+		got, err := DecodeReply(b[HeaderSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, rep) {
+			t.Fatalf("round trip:\n got %#v\nwant %#v", got, rep)
+		}
+	}
+	// A reply without the section decodes to nil telemetry (an old node).
+	old := AppendReply(nil, &Reply{Op: OpStats, Count: 5})
+	got, err := DecodeReply(old[HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Telemetry != nil {
+		t.Fatalf("pre-telemetry reply grew telemetry: %#v", got)
+	}
+	// Every strict truncation of the telemetry section errors.
+	fullB := AppendReply(nil, &Reply{Op: OpStats, Telemetry: &full})
+	base := AppendReply(nil, &Reply{Op: OpStats})
+	for cut := len(base) - HeaderSize + 1; cut < len(fullB)-HeaderSize; cut++ {
+		if _, err := DecodeReply(fullB[HeaderSize:][:cut]); err == nil {
+			t.Fatalf("telemetry section truncated at %d accepted", cut)
+		}
+	}
+	// Unknown flag bits are rejected, not silently dropped — dropping
+	// them would make decode(encode(x)) lossy for a future encoder.
+	bad := append([]byte(nil), fullB[HeaderSize:]...)
+	flagsOff := len(base) - HeaderSize + 2 // section count, id, then flags
+	if bad[flagsOff] != 1 {
+		t.Fatalf("test layout drifted: byte at %d = %d, want flags 1", flagsOff, bad[flagsOff])
+	}
+	bad[flagsOff] = 3
+	if _, err := DecodeReply(bad); err == nil {
+		t.Fatal("unknown telemetry flags accepted")
+	}
+	// Trailing bytes after the section stay an error.
+	bad = append(append([]byte(nil), fullB[HeaderSize:]...), 0)
+	if _, err := DecodeReply(bad); err == nil {
+		t.Fatal("trailing byte after telemetry section accepted")
+	}
+}
+
 // TestTupleTraceIDRoundTrip: the trace ID travels only on sampled
 // tuples — a zero ID keeps the 18-byte hash-only body, a set one costs
 // exactly 8 bytes (flag bit 8).
@@ -552,13 +627,19 @@ func TestTruncationNeverPanics(t *testing.T) {
 				t.Fatalf("frame %d truncated at %d accepted", i, cut)
 			}
 		}
-		// A truncated *payload* handed straight to the decoder errors too.
+		// A truncated *payload* handed straight to the decoder errors too —
+		// with one principled exception: cutting a Reply exactly at its
+		// optional-trailing-section boundary yields what an older node
+		// would have sent, which must keep decoding. Such a prefix is only
+		// acceptable when it is canonical: re-encoding what it decoded to
+		// reproduces the prefix byte for byte.
 		kind, payload, err := ReadFrame(bytes.NewReader(fr), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for cut := 0; cut < len(payload); cut++ {
-			if _, err := decodeFrame(kind, payload[:cut]); err == nil {
+			v, err := decodeFrame(kind, payload[:cut])
+			if err == nil && !bytes.Equal(reencode(v)[HeaderSize:], payload[:cut]) {
 				t.Fatalf("frame %d (%v): payload truncated at %d/%d accepted",
 					i, kind, cut, len(payload))
 			}
