@@ -81,6 +81,7 @@ func main() {
 		once    = flag.Bool("once", false, "partial/final: exit once every source has sent its final mark")
 		quiet   = flag.Bool("quiet", false, "suppress the per-window result summary at shutdown")
 		tRing   = flag.Int("trace-ring", 0, "flight-recorder depth in spans (0: the default, 4096)")
+		slow    = flag.Duration("slow-worker", 0, "inject a fixed per-tuple handler delay (fault injection: makes this node a reproducible slow worker; 0: off)")
 	)
 	flag.Parse()
 
@@ -112,7 +113,7 @@ func main() {
 	done := func() bool { return false }
 	switch *mode {
 	case "counter":
-		worker, err = transport.ListenWorker(*addr)
+		worker, err = transport.ListenWorkerSlow(*addr, *slow)
 	case "partial":
 		srcs := *sources
 		if srcs < 0 {
@@ -129,7 +130,7 @@ func main() {
 			})
 		}
 		if err == nil {
-			worker, err = transport.ListenHandler(*addr, partial)
+			worker, err = transport.ListenHandler(*addr, transport.Slow(partial, *slow))
 		}
 		if err == nil {
 			done = partial.Done
@@ -154,7 +155,7 @@ func main() {
 			final, err = plan.NewFinalHandler(srcs)
 		}
 		if err == nil {
-			worker, err = transport.ListenHandler(*addr, final)
+			worker, err = transport.ListenHandler(*addr, transport.Slow(final, *slow))
 		}
 		if err == nil {
 			done = final.Done
@@ -180,6 +181,11 @@ func main() {
 			logger.Error("metrics listener failed", "err", err)
 			os.Exit(1)
 		}
+	}
+	if *slow > 0 {
+		// Loud on purpose: a fault-injected node must never masquerade
+		// as a healthy one in aggregated logs.
+		logger.Warn("slow-worker fault injection active", "per_tuple", slow.String())
 	}
 	if msrv != nil {
 		logger.Info("listening", "metrics", "http://"+msrv.Addr()+"/metrics")

@@ -150,7 +150,8 @@ func document(nodes []obs.Node) map[string]any {
 		if t := nd.Telemetry; t.EdgeFrames > 0 {
 			e := obs.Edge{Addr: nd.Addr, Role: nd.Role,
 				Frames: t.EdgeFrames, Stalls: t.EdgeStalls, WaitNs: t.EdgeWaitNs,
-				Ratio: float64(t.EdgeStalls) / float64(t.EdgeFrames)}
+				Ratio:  float64(t.EdgeStalls) / float64(t.EdgeFrames),
+				Window: t.EdgeWindow}
 			rows[i].Edge = &e
 		}
 	}
@@ -181,8 +182,8 @@ func render(nodes []obs.Node) {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("%-22s %-8s %10s %6s %9s %9s %9s %8s %7s\n",
-		"ADDR", "ROLE", "COUNT", "DONE", "P99 ms", "WM LAG", "BACKLOG", "INFLIGHT", "STALL%")
+	fmt.Printf("%-22s %-8s %10s %6s %9s %9s %9s %8s %7s %8s\n",
+		"ADDR", "ROLE", "COUNT", "DONE", "P99 ms", "WM LAG", "BACKLOG", "INFLIGHT", "STALL%", "SVC µs")
 	for _, nd := range nodes {
 		if nd.Err != nil {
 			fmt.Printf("%-22s %-8s %s\n", nd.Addr, nd.Role, "UNREACHABLE: "+nd.Err.Error())
@@ -202,14 +203,22 @@ func render(nodes []obs.Node) {
 		if t.EdgeFrames > 0 {
 			stall = fmt.Sprintf("%.2f", float64(t.EdgeStalls)/float64(t.EdgeFrames)*100)
 		}
-		fmt.Printf("%-22s %-8s %10d %6v %9s %9s %9d %8d %7s\n",
+		svc := "-"
+		if t.ServiceNs > 0 {
+			svc = fmt.Sprintf("%.1f", float64(t.ServiceNs)/1e3)
+		}
+		fmt.Printf("%-22s %-8s %10d %6v %9s %9s %9d %8d %7s %8s\n",
 			nd.Addr, nd.Role, nd.Count, nd.Done, p99,
 			time.Duration(t.WatermarkLagNs).Round(time.Millisecond),
-			t.WindowBacklog, t.EdgeInFlight, stall)
+			t.WindowBacklog, t.EdgeInFlight, stall, svc)
 	}
 	for _, e := range cl.Edges {
-		fmt.Printf("edge %-22s frames=%d stalls=%d wait=%s backpressure=%.2f%%\n",
+		win := ""
+		if e.Window > 0 {
+			win = fmt.Sprintf(" window=%d", e.Window)
+		}
+		fmt.Printf("edge %-22s frames=%d stalls=%d wait=%s backpressure=%.2f%%%s\n",
 			e.Addr, e.Frames, e.Stalls,
-			time.Duration(e.WaitNs).Round(time.Microsecond), e.Ratio*100)
+			time.Duration(e.WaitNs).Round(time.Microsecond), e.Ratio*100, win)
 	}
 }

@@ -1,0 +1,92 @@
+package edge
+
+// aimd is the per-connection credit-window controller of an adaptive
+// Wire edge — TCP congestion control lifted one level, with tuples as
+// the congestion unit and the worker's ack stream as the feedback
+// channel. The window is probed upward additively while the link shows
+// headroom and cut multiplicatively when either congestion signal
+// fires:
+//
+//   - sustained credit stalls: the sender spent real time blocked on
+//     an exhausted window this epoch. More in-flight credit would not
+//     help — the worker is the bottleneck — and a smaller window keeps
+//     the same throughput (the worker stays saturated) with less data
+//     queued ahead of it;
+//   - drain-time overrun: window × measured service time exceeds the
+//     drain budget, i.e. the worker would need longer than the budget
+//     to chew through a full window. That queue is pure latency
+//     (bufferbloat): every tuple admitted at the window's edge waits
+//     the whole drain time before its turn.
+//
+// Growth requires BOTH signals quiet: a stall-free epoch and a
+// post-growth drain time still inside the budget (no service estimate
+// yet counts as headroom — cold start must be able to grow). The
+// asymmetry (additive up, multiplicative down) is what makes the loop
+// stable around the knee instead of oscillating across it.
+//
+// The controller is a pure state machine over epoch summaries — no
+// clocks, no goroutines — driven from the edge's shipping path and
+// unit-testable with synthetic inputs.
+type aimd struct {
+	win   int64 // current window (tuples)
+	floor int64 // multiplicative decrease never goes below this
+	ceil  int64 // additive increase never goes above this
+}
+
+const (
+	// aimdEpochTuples is the controller's decision cadence: one decide
+	// per this many shipped tuples, so adaptation cost amortizes to
+	// nothing on the hot path and epochs carry enough traffic for the
+	// stall signal to be meaningful.
+	aimdEpochTuples = 512
+	// aimdStep is the additive increase per quiet epoch (tuples).
+	aimdStep = 64
+	// aimdStallShrinkNs is the per-epoch stalled time that counts as a
+	// congestion signal (1ms — brushing the window for a few µs on a
+	// scheduling hiccup should not halve it).
+	aimdStallShrinkNs = int64(1e6)
+	// aimdDrainBudgetNs bounds window × service time (50ms): the
+	// longest queue, measured in the worker's own drain time, the
+	// controller will keep ahead of a worker.
+	aimdDrainBudgetNs = int64(50e6)
+	// defaultMinWindow / defaultMaxWindowMult derive the window bounds
+	// when WireOptions leaves them zero: floor 64 tuples, ceiling 16×
+	// the configured base window.
+	defaultMinWindow     = 64
+	defaultMaxWindowMult = 16
+)
+
+// newAIMD returns a controller starting at start, clamped into
+// [floor, ceil].
+func newAIMD(start, floor, ceil int64) *aimd {
+	if start < floor {
+		start = floor
+	}
+	if start > ceil {
+		start = ceil
+	}
+	return &aimd{win: start, floor: floor, ceil: ceil}
+}
+
+// decide closes one epoch: stallNs is the time the sender spent
+// blocked on this connection's window during the epoch, serviceNs the
+// worker's latest ack-piggybacked service-time estimate (0 = none
+// yet). It returns the window for the next epoch.
+func (a *aimd) decide(stallNs, serviceNs int64) int64 {
+	if stallNs >= aimdStallShrinkNs ||
+		(serviceNs > 0 && (serviceNs > aimdDrainBudgetNs || a.win*serviceNs > aimdDrainBudgetNs)) {
+		a.win /= 2
+		if a.win < a.floor {
+			a.win = a.floor
+		}
+		return a.win
+	}
+	if stallNs == 0 &&
+		(serviceNs == 0 || (serviceNs <= aimdDrainBudgetNs && (a.win+aimdStep)*serviceNs <= aimdDrainBudgetNs)) {
+		a.win += aimdStep
+		if a.win > a.ceil {
+			a.win = a.ceil
+		}
+	}
+	return a.win
+}

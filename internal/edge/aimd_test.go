@@ -1,0 +1,323 @@
+package edge
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pkgstream/internal/transport"
+	"pkgstream/internal/wire"
+)
+
+// TestAIMDGrowShrinkFloorCeiling drives the controller with synthetic
+// epoch inputs through every transition of its state machine: additive
+// growth on quiet epochs, multiplicative shrink on sustained stalls,
+// drain-budget shrink on rising service time, and both clamps.
+func TestAIMDGrowShrinkFloorCeiling(t *testing.T) {
+	const floor, ceil = 64, 2048
+
+	t.Run("grow-additive-while-quiet", func(t *testing.T) {
+		a := newAIMD(256, floor, ceil)
+		if got := a.decide(0, 0); got != 256+aimdStep {
+			t.Fatalf("quiet epoch with no estimate: window %d, want %d", got, 256+aimdStep)
+		}
+		// With a service estimate that leaves headroom, growth continues.
+		if got := a.decide(0, 1000); got != 256+2*aimdStep {
+			t.Fatalf("quiet epoch with headroom: window %d, want %d", got, 256+2*aimdStep)
+		}
+	})
+
+	t.Run("hold-at-drain-knee", func(t *testing.T) {
+		a := newAIMD(256, floor, ceil)
+		// serviceNs such that the current window fits the budget but one
+		// more step would not: no stall, yet no growth either.
+		svc := aimdDrainBudgetNs / (256 + aimdStep/2)
+		if got := a.decide(0, svc); got != 256 {
+			t.Fatalf("at the knee: window moved to %d, want hold at 256", got)
+		}
+	})
+
+	t.Run("shrink-on-sustained-stall", func(t *testing.T) {
+		a := newAIMD(1024, floor, ceil)
+		if got := a.decide(aimdStallShrinkNs, 0); got != 512 {
+			t.Fatalf("stalled epoch: window %d, want halved 512", got)
+		}
+		// Brushing the window for less than the threshold is NOT a
+		// congestion signal.
+		if got := a.decide(aimdStallShrinkNs/10, 0); got < 512 {
+			t.Fatalf("sub-threshold stall shrank the window to %d", got)
+		}
+	})
+
+	t.Run("shrink-on-drain-overrun", func(t *testing.T) {
+		a := newAIMD(1024, floor, ceil)
+		// 1024 tuples × 100µs each = 102ms of queue ahead of the worker,
+		// over the 50ms budget: bufferbloat, shrink without any stall.
+		if got := a.decide(0, int64(100*time.Microsecond)); got != 512 {
+			t.Fatalf("drain overrun: window %d, want halved 512", got)
+		}
+		// A pathological estimate larger than the whole budget must not
+		// overflow the comparison — it shrinks, never wraps.
+		if got := a.decide(0, int64(1)<<62); got != 256 {
+			t.Fatalf("huge estimate: window %d, want halved 256", got)
+		}
+	})
+
+	t.Run("floor-clamps-shrink", func(t *testing.T) {
+		a := newAIMD(floor+1, floor, ceil)
+		for i := 0; i < 5; i++ {
+			a.decide(aimdStallShrinkNs, 0)
+		}
+		if a.win != floor {
+			t.Fatalf("repeated shrink bottomed at %d, want floor %d", a.win, floor)
+		}
+	})
+
+	t.Run("ceiling-clamps-growth", func(t *testing.T) {
+		a := newAIMD(ceil-aimdStep/2, floor, ceil)
+		for i := 0; i < 5; i++ {
+			a.decide(0, 0)
+		}
+		if a.win != ceil {
+			t.Fatalf("repeated growth topped at %d, want ceiling %d", a.win, ceil)
+		}
+	})
+
+	t.Run("start-clamped-into-bounds", func(t *testing.T) {
+		if a := newAIMD(1, floor, ceil); a.win != floor {
+			t.Fatalf("start below floor: %d, want %d", a.win, floor)
+		}
+		if a := newAIMD(1<<20, floor, ceil); a.win != ceil {
+			t.Fatalf("start above ceiling: %d, want %d", a.win, ceil)
+		}
+	})
+}
+
+// TestWireEdgeWindowShrinkMidBatchNoDeadlock is the satellite
+// regression for the ack-cadence/window coupling bug class. The
+// hazard: the worker's ack cadence derives from ITS window (ack past
+// window/2 unacked), so a sender-side shrink leaving residue under
+// the OLD threshold but at-or-over the NEW window would stall the
+// sender forever — the worker sees no reason to ack, the sender no
+// credit to send.
+//
+// Construction: window 16 (worker acks past 8), 6 tuples in flight —
+// under the old cadence no ack is due, ever. Shrink to 4 and send
+// another batch: the sender stalls (6 ≥ 4) with the CreditUpdate
+// buffered ahead of the stall flush. Liveness now depends entirely on
+// the worker's ack-residue-immediately-on-update rule; everything
+// must drain, in order, with the batch straddling the shrunk window.
+func TestWireEdgeWindowShrinkMidBatchNoDeadlock(t *testing.T) {
+	const window, batch = 16, 3
+	h := &seqRecorder{gate: make(chan struct{}), abort: make(chan struct{})}
+	w, err := transport.ListenHandler("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	e, err := DialWire([]string{w.Addr()}, WireOptions{
+		Seed: 7, Window: window, MaxBatchTuples: batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Two full batches: 6 in flight, gated, below the worker's ack
+	// threshold of 8 — with a static window this residue would sit
+	// unacked forever and that would be fine.
+	tup := wire.Tuple{}
+	for i := 1; i <= 6; i++ {
+		tup.KeyHash = uint64(i)
+		if err := e.SendTuple(&tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink mid-stream, from the sending goroutine (the shipping path,
+	// exactly where the AIMD controller calls it). In-flight (6) now
+	// exceeds the window (4).
+	e.setConnWindow(e.cs[0], 4)
+	if st := e.Stats(); st.Window != 4 {
+		t.Fatalf("Stats().Window = %d after shrink, want 4", st.Window)
+	}
+	if e.maxTuples != batch {
+		t.Fatalf("maxTuples = %d; 4 ≥ batch %d, no re-clamp expected", e.maxTuples, batch)
+	}
+
+	// The next batch must stall on the shrunk window...
+	sendErr := make(chan error, 1)
+	go func() {
+		tup := wire.Tuple{}
+		for i := 7; i <= 9; i++ {
+			tup.KeyHash = uint64(i)
+			if err := e.SendTuple(&tup); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- e.Flush()
+	}()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-sendErr:
+		t.Fatalf("sender finished against a gated worker over a shrunk window: %v", err)
+	default:
+	}
+
+	// ...and the gate opening must drain everything: the worker absorbs
+	// the residue, sees the CreditUpdate, acks immediately, and the
+	// stalled batch straddles the 4-tuple window to completion.
+	close(h.gate)
+	select {
+	case err := <-sendErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("DEADLOCK: sender still stalled after the worker drained (stats %+v)", e.Stats())
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		seq := h.snapshot()
+		if len(seq) == 9 {
+			for i := range seq {
+				if seq[i] != uint64(i+1) {
+					t.Fatalf("FIFO violated across the shrink: %v", seq)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker saw %v, want 9 tuples (stats %+v)", seq, e.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := e.Stats(); st.Stalls == 0 {
+		t.Fatalf("no stall recorded — the shrunk window never bit: %+v", st)
+	}
+}
+
+// TestWireEdgeShrinkBelowBatchReclamps pins the MaxBatchTuples
+// coupling: a window shrunk below the configured batch size must drag
+// the live batch cap down with it, so steady-state batches keep
+// fitting a single window grant.
+func TestWireEdgeShrinkBelowBatchReclamps(t *testing.T) {
+	h := &seqRecorder{}
+	w, err := transport.ListenHandler("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	e, err := DialWire([]string{w.Addr()}, WireOptions{
+		Seed: 7, Window: 64, MaxBatchTuples: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.setConnWindow(e.cs[0], 8)
+	if e.maxTuples != 8 {
+		t.Fatalf("maxTuples = %d after shrinking the window to 8, want 8", e.maxTuples)
+	}
+	e.setConnWindow(e.cs[0], 128)
+	if e.maxTuples != 16 {
+		t.Fatalf("maxTuples = %d after re-growing, want the configured 16 back", e.maxTuples)
+	}
+}
+
+// batchSeqRecorder is a seqRecorder with the batch capability, so
+// transport.Slow charges its delay once per frame (per-tuple × batch
+// size) instead of one timer-granularity sleep per tuple — the same
+// shape a real slow batch-absorbing worker has.
+type batchSeqRecorder struct{ seqRecorder }
+
+func (h *batchSeqRecorder) HandleTupleBatch(ts []wire.Tuple) {
+	for i := range ts {
+		h.HandleTuple(&ts[i])
+	}
+}
+
+// TestWireEdgeAdaptiveConvergesAndCounts runs a real adaptive edge
+// against a deliberately slow worker long enough for several AIMD
+// epochs: the edge must learn the worker's service rate from ack
+// piggybacks, shrink the window off its 1024-tuple start (the 50ms
+// drain budget cannot hold 1024 tuples at ~100µs each), and still
+// deliver every tuple exactly once. A goroutine polls Stats() and
+// ServiceRates() throughout — the -race half of the satellite: window
+// adaptation, ack-driven rate learning and stats polling overlap
+// freely. Small batches (8) keep the 1-in-64 frame sampling firing
+// every 512 tuples, so rate estimates flow well before the run ends.
+func TestWireEdgeAdaptiveConvergesAndCounts(t *testing.T) {
+	const total = 4 * aimdEpochTuples
+	h := &batchSeqRecorder{}
+	w, err := transport.ListenHandler("127.0.0.1:0", transport.Slow(h, 80*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	e, err := DialWire([]string{w.Addr()}, WireOptions{
+		Seed: 7, Window: 1024, MaxBatchTuples: 8, AdaptiveWindow: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	stop := make(chan struct{})
+	var polls atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := e.Stats()
+				_ = e.ServiceRates()
+				if st.Window < 0 || st.InFlight < 0 {
+					panic("negative gauge under concurrent adaptation")
+				}
+				polls.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	tup := wire.Tuple{}
+	for i := 0; i < total; i++ {
+		tup.KeyHash = uint64(i + 1)
+		if err := e.SendTuple(&tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitProcessed(total, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+
+	if got := len(h.snapshot()); got != total {
+		t.Fatalf("worker recorded %d tuples, want exactly %d", got, total)
+	}
+	if rates := e.ServiceRates(); rates[0] == 0 {
+		t.Fatal("no service rate learned from ack piggybacks")
+	}
+	st := e.Stats()
+	if st.Window >= 1024 {
+		t.Fatalf("window %d never shrank off its start against an 80µs/tuple worker", st.Window)
+	}
+	if st.Window < int64(e.winFloor) {
+		t.Fatalf("window %d fell below the floor %d", st.Window, e.winFloor)
+	}
+	if polls.Load() == 0 {
+		t.Fatal("stats poller never ran")
+	}
+}

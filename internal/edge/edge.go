@@ -75,6 +75,15 @@ type Stats struct {
 	// edge is single-goroutine and buffers cannot be read safely from a
 	// stats poller).
 	Queue int64
+	// Window is the summed live credit window of the edge's
+	// connections at snapshot time (Wire only — on a static edge it is
+	// connections × configured window; under AdaptiveWindow it moves
+	// with the AIMD controllers; folding sums the gauges).
+	Window int64
+	// ServiceNs holds the per-destination service-time estimates (ns
+	// per tuple) the edge has learned from ack piggybacks, indexed by
+	// destination node; 0 means no estimate yet (Wire only).
+	ServiceNs []int64
 }
 
 // Fold accumulates another edge's counters into s.
@@ -88,4 +97,16 @@ func (s *Stats) Fold(x Stats) {
 	s.WaitNs += x.WaitNs
 	s.InFlight += x.InFlight
 	s.Queue += x.Queue
+	s.Window += x.Window
+	// Parallel edges to the same nodes each hold an estimate of the
+	// same per-node quantity: keep the worst (slowest) one — the
+	// conservative signal for dashboards and alerts.
+	for len(s.ServiceNs) < len(x.ServiceNs) {
+		s.ServiceNs = append(s.ServiceNs, 0)
+	}
+	for i, ns := range x.ServiceNs {
+		if ns > s.ServiceNs[i] {
+			s.ServiceNs[i] = ns
+		}
+	}
 }

@@ -63,6 +63,29 @@ type WireOptions struct {
 	Linger time.Duration
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
+	// AdaptiveWindow turns the static per-connection credit window into
+	// an AIMD feedback loop (see aimd): the window grows additively
+	// while credit-wait stays near zero and the worker's measured
+	// service time leaves drain headroom, and halves on sustained
+	// stalls or drain-budget overruns. Window changes cross the wire as
+	// mid-session wire.CreditUpdate frames so the worker's ack cadence
+	// follows, and MaxBatchTuples re-clamps live when the window
+	// shrinks below it. Off by default — the window stays pinned at
+	// Window, byte-identical to the static edge.
+	AdaptiveWindow bool
+	// MinWindow / MaxWindow bound the adaptive window in tuples
+	// (defaults: 64, and 16× Window). Ignored without AdaptiveWindow.
+	MinWindow int
+	MaxWindow int
+	// WeightedRouting switches the candidate argmin of the view-driven
+	// modes (PKG, D-Choices, W-Choices) to the heterogeneous weighted
+	// form: candidates are compared by estimated drain time — local
+	// load count × the worker's ack-piggybacked service time — instead
+	// of load alone, so a slowed node sheds traffic to its keys' other
+	// candidates automatically (see route.Rates). Until service
+	// estimates arrive, routing is byte-identical to the unweighted
+	// argmin.
+	WeightedRouting bool
 }
 
 // wireConn is one flow-controlled connection of a Wire edge. The
@@ -72,12 +95,23 @@ type WireOptions struct {
 type wireConn struct {
 	conn net.Conn
 	w    *bufio.Writer
+	dst  int   // destination index (readAcks files service rates under it)
+	ctl  *aimd // adaptive-window controller; nil on a static edge
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	sent  int64 // tuples written (possibly still buffered)
-	acked int64 // cumulative absorbed count from worker Acks
-	err   error // sticky: reader saw a broken connection
+	// epochTuples / epochStallNs are the AIMD epoch accumulators:
+	// tuples shipped and time spent credit-stalled since the last
+	// decide. Shipping-path state, like the batch buffers — only the
+	// sending goroutine (or the linger flusher, under lmu) touches
+	// them. Both reset on redial with the rest of the credit session.
+	epochTuples  int64
+	epochStallNs int64
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	window int64 // live credit window (the configured base unless adaptive)
+	sent   int64 // tuples written (possibly still buffered)
+	acked  int64 // cumulative absorbed count from worker Acks
+	err    error // sticky: reader saw a broken connection
 }
 
 // wireBatch is one destination's accumulating encode buffer: tuple
@@ -116,8 +150,17 @@ type Wire struct {
 	opts   WireOptions
 	part   route.Router
 	view   *route.Load
+	rates  *route.Rates // per-node service times learned from Ack.ServiceNs
 	cs     []*wireConn
-	window int64
+	window int64 // configured base window (per-conn live windows may differ)
+
+	// winFloor / winCeil bound the adaptive per-connection windows;
+	// maxTuples is the live batch-size cap — opts.MaxBatchTuples
+	// re-clamped to the smallest live window, so a shrunk window never
+	// forces a batch to straddle it. Shipping-path state (see lmu).
+	winFloor  int64
+	winCeil   int64
+	maxTuples int
 
 	// csMu guards mutations of the cs slice (connect) against Stats
 	// readers summing in-flight credit. The sending goroutine's own
@@ -205,9 +248,24 @@ func DialWire(addrs []string, o WireOptions) (*Wire, error) {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
-	w := &Wire{addrs: addrs, opts: o, window: int64(o.Window)}
+	if o.MinWindow <= 0 {
+		o.MinWindow = defaultMinWindow
+	}
+	if o.MinWindow > o.Window {
+		o.MinWindow = o.Window
+	}
+	if o.MaxWindow <= 0 {
+		o.MaxWindow = defaultMaxWindowMult * o.Window
+	}
+	if o.MaxWindow < o.Window {
+		o.MaxWindow = o.Window
+	}
+	w := &Wire{addrs: addrs, opts: o, window: int64(o.Window),
+		winFloor: int64(o.MinWindow), winCeil: int64(o.MaxWindow),
+		maxTuples: o.MaxBatchTuples}
 	n := len(addrs)
 	w.batches = make([]wireBatch, n)
+	w.rates = route.NewRates(n)
 	cfg := route.Config{
 		Strategy: o.Mode, Workers: n, Seed: o.Seed, Start: o.Start,
 		D: o.D, Hot: o.Hot,
@@ -221,6 +279,9 @@ func DialWire(addrs []string, o WireOptions) (*Wire, error) {
 	if o.Mode.NeedsView() {
 		w.view = route.NewLoad(n)
 		cfg.View = w.view
+	}
+	if o.WeightedRouting {
+		cfg.Rates = w.rates
 	}
 	part, err := route.New(cfg)
 	if err != nil {
@@ -288,12 +349,19 @@ func (w *Wire) lingerLoop() {
 }
 
 // connect (re)establishes connection i and opens its credit session.
+// The session — and with it any adapted window — restarts from the
+// configured base: a fresh connection has no stall history, and the
+// controller re-converges within a few epochs.
 func (w *Wire) connect(i int, addr string) error {
 	conn, err := net.DialTimeout("tcp", addr, w.opts.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("edge: dial %s: %w", addr, err)
 	}
-	c := &wireConn{conn: conn, w: bufio.NewWriterSize(conn, 1<<17)}
+	c := &wireConn{conn: conn, w: bufio.NewWriterSize(conn, 1<<17),
+		dst: i, window: w.window}
+	if w.opts.AdaptiveWindow {
+		c.ctl = newAIMD(w.window, w.winFloor, w.winCeil)
+	}
 	c.cond = sync.NewCond(&c.mu)
 	// A dedicated buffer: connect runs inside the retry path, whose
 	// frame argument may alias w.scratch.
@@ -312,6 +380,11 @@ func (w *Wire) connect(i int, addr string) error {
 	}
 	w.cs[i] = c
 	w.csMu.Unlock()
+	if w.opts.AdaptiveWindow {
+		// A redial reset this connection's window to the base, which
+		// may raise the smallest live window and with it the batch cap.
+		w.reclampMaxTuples()
+	}
 	go w.readAcks(c)
 	return nil
 }
@@ -340,6 +413,13 @@ func (w *Wire) readAcks(c *wireConn) {
 		a, err := wire.DecodeAck(payload)
 		if err != nil {
 			continue
+		}
+		if a.ServiceNs > 0 {
+			// The worker's dispatch-time EWMA rides every ack: this is
+			// how the edge learns per-node speed passively, feeding the
+			// weighted argmin and the AIMD drain budget. Atomic slots —
+			// routing may read a rate while it lands.
+			w.rates.Set(c.dst, a.ServiceNs)
 		}
 		c.mu.Lock()
 		if a.Count > c.acked {
@@ -370,24 +450,29 @@ func (w *Wire) acquire(c *wireConn) error {
 // flight.
 func (w *Wire) acquireUpTo(c *wireConn, want int) (int, error) {
 	c.mu.Lock()
-	if c.err == nil && c.sent-c.acked >= w.window {
+	if c.err == nil && c.sent-c.acked >= c.window {
 		w.stalls.Add(1)
 		inflight := c.sent - c.acked
 		stallStart := trace.Now()
 		// Everything buffered must be on the wire before blocking, or
-		// the worker can never drain and the stall never ends.
+		// the worker can never drain and the stall never ends. This is
+		// also what makes a window shrink deadlock-free: the
+		// CreditUpdate announcing it was buffered before the data that
+		// filled the shrunk window, so by the time the sender blocks
+		// here the worker has seen the new window and acks accordingly.
 		c.mu.Unlock()
 		if err := c.w.Flush(); err != nil {
 			return 0, err
 		}
 		c.mu.Lock()
-		for c.err == nil && c.sent-c.acked >= w.window {
+		for c.err == nil && c.sent-c.acked >= c.window {
 			c.cond.Wait()
 		}
 		// One flight-recorder entry per stall, spanning begin→end (Dur
 		// is the wait; Arg1 the in-flight tuples that caused it).
 		wait := trace.Now() - stallStart
 		w.waitNs += wait
+		c.epochStallNs += wait
 		w.waitTotal.Add(wait)
 		w.creditWait.Observe(wait)
 		trace.Add(0, trace.HopEvent, stallStart, wait, inflight, 0, "credit-stall")
@@ -396,7 +481,7 @@ func (w *Wire) acquireUpTo(c *wireConn, want int) (int, error) {
 		c.mu.Unlock()
 		return 0, err
 	}
-	n := int(w.window - (c.sent - c.acked))
+	n := int(c.window - (c.sent - c.acked))
 	if n > want {
 		n = want
 	}
@@ -494,10 +579,80 @@ func (w *Wire) batchTuple(dst int, t *wire.Tuple) error {
 		b.traced = append(b.traced, t.TraceID)
 	}
 	b.count++
-	if b.count >= w.opts.MaxBatchTuples || len(b.body) >= w.opts.MaxBatchBytes {
+	if b.count >= w.maxTuples || len(b.body) >= w.opts.MaxBatchBytes {
 		return w.flushBatch(dst)
 	}
 	return nil
+}
+
+// maybeAdapt accounts n shipped tuples toward dst's AIMD epoch and,
+// when the epoch closes, runs the controller over the epoch's stall
+// time and the node's latest service estimate. Shipping-path only
+// (the caller holds the linger lock when one exists); no-op on a
+// static edge.
+func (w *Wire) maybeAdapt(dst int, n int) {
+	c := w.cs[dst]
+	if c == nil || c.ctl == nil {
+		return
+	}
+	c.epochTuples += int64(n)
+	if c.epochTuples < aimdEpochTuples {
+		return
+	}
+	stall := c.epochStallNs
+	c.epochTuples, c.epochStallNs = 0, 0
+	if next := c.ctl.decide(stall, w.rates.Get(dst)); next != c.window {
+		w.setConnWindow(c, next)
+	}
+}
+
+// setConnWindow moves connection c's live window to next: the
+// wire.CreditUpdate frame is buffered FIRST, then the local window
+// moves — so the update always precedes, in FIFO frame order, any
+// data admitted under the new window, and acquireUpTo's pre-stall
+// flush guarantees the worker has re-aimed its ack cadence (acking
+// any residue immediately, per the CreditUpdate contract) before the
+// sender can block on the shrunk window. A write error is left for
+// the data path: the next ship surfaces it through the redial path,
+// which restarts the credit session anyway. Shipping-path only.
+func (w *Wire) setConnWindow(c *wireConn, next int64) {
+	w.hdr = wire.AppendCreditUpdate(w.hdr[:0], wire.CreditUpdate{Window: next})
+	_, _ = c.w.Write(w.hdr)
+	c.mu.Lock()
+	grew := next > c.window
+	c.window = next
+	c.mu.Unlock()
+	if grew {
+		// A grown window admits more in-flight; no waiter can exist on
+		// this goroutine, but the state change is broadcast-worthy for
+		// symmetry with ack arrivals (and costs nothing off the stall
+		// path).
+		c.cond.Broadcast()
+	}
+	w.reclampMaxTuples()
+}
+
+// reclampMaxTuples recomputes the live batch cap: opts.MaxBatchTuples
+// clamped to the smallest live connection window, floored at 1. A
+// batch can therefore always ship inside one window grant in the
+// steady state — shrinking the window shrinks batches with it instead
+// of forcing every batch to straddle the boundary. Shipping-path only.
+func (w *Wire) reclampMaxTuples() {
+	m := int64(w.opts.MaxBatchTuples)
+	for _, c := range w.cs {
+		if c == nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.window < m {
+			m = c.window
+		}
+		c.mu.Unlock()
+	}
+	if m < 1 {
+		m = 1
+	}
+	w.maxTuples = int(m)
 }
 
 // flushBatch ships destination dst's accumulated batch, splitting at
@@ -547,6 +702,7 @@ func (w *Wire) flushBatch(dst int) error {
 		w.frames.Add(1)
 		w.tuples.Add(int64(granted))
 	}
+	w.maybeAdapt(dst, b.count)
 	if len(b.traced) > 0 {
 		// Every traced tuple the batch carried gets one HopWireSend
 		// span: Dur covers the whole ship (including credit waits),
@@ -627,6 +783,7 @@ func (w *Wire) sendFrame(dst int, frame []byte, traceID uint64) error {
 	}
 	w.frames.Add(1)
 	w.tuples.Add(1)
+	w.maybeAdapt(dst, 1)
 	return nil
 }
 
@@ -778,8 +935,10 @@ func (w *Wire) Stats() Stats {
 		}
 		c.mu.Lock()
 		s.InFlight += c.sent - c.acked
+		s.Window += c.window
 		c.mu.Unlock()
 	}
+	s.ServiceNs = w.rates.Snapshot()
 	if w.lmu != nil {
 		// TryLock, not Lock: a credit-stalled sender holds lmu for the
 		// whole stall, and a monitor polling stats to *observe* that
@@ -803,3 +962,9 @@ func (w *Wire) Stats() Stats {
 func (w *Wire) CreditWait() metrics.HistSnapshot {
 	return w.creditWait.Snapshot()
 }
+
+// ServiceRates snapshots the per-node service-time estimates (ns per
+// tuple) learned from ack piggybacks; 0 means no estimate yet for that
+// node. Populated on every edge — weighted routing only changes
+// whether the router consults them.
+func (w *Wire) ServiceRates() []int64 { return w.rates.Snapshot() }

@@ -69,6 +69,25 @@ type RemotePartialConfig struct {
 	// default, 2ms; negative: no linger flusher — batches ship only
 	// when full or at watermarks).
 	Linger time.Duration
+	// AdaptiveWindow replaces the static credit window with a
+	// per-connection AIMD controller: the window grows while
+	// credit-wait stays near zero, and halves on sustained stalls or
+	// when window × the node's measured service time exceeds the drain
+	// budget (bufferbloat ahead of a degraded node). Window then only
+	// sets the starting point; MinWindow/MaxWindow bound the
+	// adaptation. Off by default.
+	AdaptiveWindow bool
+	// MinWindow / MaxWindow bound the adaptive window in tuples (0:
+	// the edge defaults, 64 and 16× Window). Ignored without
+	// AdaptiveWindow.
+	MinWindow int
+	MaxWindow int
+	// WeightedRouting weighs the candidate argmin of the view-driven
+	// strategies by each node's ack-piggybacked service time
+	// (estimated drain time instead of raw load), the heterogeneous-
+	// cluster variant: a slowed node sheds tuples to its keys' other
+	// candidates automatically. Off by default.
+	WeightedRouting bool
 }
 
 // RemotePartialOp is the optional WindowedOp extension behind the

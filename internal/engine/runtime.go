@@ -632,6 +632,34 @@ func (r *Runtime) MetricsRegistry() *metrics.Registry {
 			}
 			return out
 		})
+		// Flow-control actuation gauges: the live summed credit window
+		// of each remote edge (static edges scrape as connections ×
+		// configured window; adaptive edges move with their AIMD
+		// controllers) and the per-destination-node service-time
+		// estimates the edges learned from ack piggybacks (the weighted
+		// argmin's input — a slowed node stands out immediately).
+		reg.GaugeVec("pkgstream_edge_credit_window", func() map[string]float64 {
+			st := r.Stats()
+			out := make(map[string]float64, len(st.Edges))
+			for name := range st.Edges {
+				out[fmt.Sprintf("component=%q", name)] =
+					float64(st.EdgeTotals(name).Window)
+			}
+			return out
+		})
+		reg.GaugeVec("pkgstream_edge_service_seconds", func() map[string]float64 {
+			st := r.Stats()
+			out := map[string]float64{}
+			for name := range st.Edges {
+				for node, ns := range st.EdgeTotals(name).ServiceNs {
+					if ns > 0 {
+						out[fmt.Sprintf("component=%q,node=\"%d\"", name, node)] =
+							float64(ns) / 1e9
+					}
+				}
+			}
+			return out
+		})
 		r.reg = reg
 	})
 	return r.reg

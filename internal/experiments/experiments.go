@@ -190,6 +190,7 @@ var Registry = []Experiment{
 	{"window-t", "§V Q4 / Figure 5(b)", "aggregation period T on the live engine: memory vs throughput, cross-checked against the cluster model", WindowT},
 	{"hotkey", "ICDE'16 follow-up", "D-Choices and W-Choices vs PKG-2 across skew z and scale W, cross-checked on the live engine", Hotkey},
 	{"pipeline", "§V distributed", "windowed wordcount: in-process vs remote-final vs fully distributed spout→(TCP)→partial→(TCP)→final (exact-count gates; set PKGNODE_ADDRS and/or PKGNODE_PARTIAL_ADDRS+PKGNODE_FINAL_ADDRS for real processes)", Pipeline},
+	{"pipeline-slow", "§V heterogeneous", "fully distributed pipeline with one slowed partial node: static edge vs adaptive (AIMD windows + service-rate-weighted routing), exact-count gated", PipelineSlow},
 	{"rebalance", "§VIII", "key grouping with Flux-style migration vs PKG (costs and atomicity floor)", Rebalance},
 	{"vi-apps", "§VI", "application-level claims: probes, footprints, merges, accuracy under KG/SG/PKG", Applications},
 }

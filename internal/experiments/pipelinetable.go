@@ -210,21 +210,32 @@ func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
 	// Explicit edge knobs, exercising the batched wire path end to end:
 	// 256-tuple batches under a 1024-tuple credit window, with a short
 	// linger so the tail of a skewed stream never waits on a full batch.
-	b, _ := pipeTopology(n, seed, engine.RemotePartialOpts(engine.RemotePartialConfig{
+	// This is the run that exercises every hop, so it is the one that
+	// traces: 1-in-pipeTraceSample spout emits carry a trace ID across
+	// both wire edges, and the nodes' rings are queried back afterwards.
+	r, _ := runRemotePartialCfg(n, seed, faddrs, engine.RemotePartialConfig{
 		Addrs:          paddrs,
 		Window:         1024,
 		MaxBatchTuples: 256,
 		MaxBatchBytes:  32 << 10,
 		Linger:         2 * time.Millisecond,
-	}))
+	}, pipeTraceSample)
+	return r
+}
+
+// runRemotePartialCfg is runRemotePartial with the edge configuration
+// (cfg.Addrs names the partial nodes) and trace sampling under caller
+// control, additionally returning the engine-side edge counters folded
+// across the forwarder instances — the slow-worker experiment compares
+// those between a static and an adaptive leg.
+func runRemotePartialCfg(n int, seed uint64, faddrs []string, cfg engine.RemotePartialConfig, traceSample int) (pipeRun, engine.EdgeStats) {
+	paddrs := cfg.Addrs
+	b, _ := pipeTopology(n, seed, engine.RemotePartialOpts(cfg))
 	top, err := b.Build()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: pipeline: %v", err))
 	}
-	// This is the run that exercises every hop, so it is the one that
-	// traces: 1-in-pipeTraceSample spout emits carry a trace ID across
-	// both wire edges, and the nodes' rings are queried back afterwards.
-	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048, TraceSample: pipeTraceSample})
+	rt := engine.NewRuntime(top, engine.Options{QueueSize: 2048, TraceSample: traceSample})
 	start := time.Now()
 	if err := rt.Run(); err != nil {
 		panic(fmt.Sprintf("experiments: pipeline: %v", err))
@@ -257,7 +268,160 @@ func runRemotePartial(n int, seed uint64, paddrs, faddrs []string) pipeRun {
 	}
 	r := summarize(counts, imb, elapsed)
 	r.lat = lat
-	return r
+	var es engine.EdgeStats
+	for _, insts := range rt.Stats().Edges {
+		for _, e := range insts {
+			es.Fold(e)
+		}
+	}
+	return r, es
+}
+
+// Slow-worker experiment shape: partial node 0 is slowed by a fixed
+// per-tuple dispatch delay (transport.Slow — the same fault injector
+// behind `pkgnode -slow-worker`), and the fully distributed pipeline
+// runs twice over identical nodes: once with the static edge
+// configuration and once with the adaptive controllers on
+// (AdaptiveWindow + WeightedRouting). Small batches keep the worker's
+// 1-in-64 frame service-time sampling firing early, so the senders
+// learn the slow node's rate within the first few thousand tuples.
+const (
+	slowPipeDelay = 300 * time.Microsecond
+	slowPipeBatch = 8
+	slowPipeCap   = 40_000
+)
+
+// PipelineSlow reproduces the paper's heterogeneous-cluster concern
+// (§V runs on uniform workers; real clusters are not) as an ablation:
+// with one of the two partial nodes 4-5 orders slower per tuple than
+// its peer, the static edge splits ~50/50 on local load counts and the
+// run is gated on the slow node draining half the stream, while the
+// adaptive edge weighs candidates by ack-learned service rates and
+// sheds load to the fast node, and its AIMD windows stop queueing a
+// full static window behind the slow node. Both legs must still match
+// the in-process counts exactly — load-awareness moves tuples between
+// partial NODES, which is exactly the split PKG makes safe.
+func PipelineSlow(sc Scale, seed uint64) []Table {
+	// A fifth of the scale's stream is plenty: the static leg drains at
+	// the slow node's pace (~40 min of simulated work per 10k tuples it
+	// absorbs), so the cap keeps the ablation seconds-long while leaving
+	// thousands of post-convergence tuples in the adaptive leg.
+	n := int(sc.MessageCap / 5)
+	if n > slowPipeCap {
+		n = slowPipeCap
+	}
+	local := runLocal(n, seed)
+
+	type leg struct {
+		name     string
+		run      pipeRun
+		es       engine.EdgeStats
+		loads    []int64
+		match    bool
+		adaptive bool
+	}
+	runLeg := func(name string, adaptive bool) leg {
+		var workers []*transport.Worker
+		defer func() {
+			for _, w := range workers {
+				_ = w.Close()
+			}
+		}()
+		listen := func(h transport.Handler) string {
+			w, err := transport.ListenHandler("127.0.0.1:0", h)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: pipeline-slow: %v", err))
+			}
+			workers = append(workers, w)
+			return w.Addr()
+		}
+		faddrs := make([]string, pipeNodes)
+		for i := range faddrs {
+			plan := window.MustPlan(window.Count{}, pipeSpec())
+			h, err := plan.NewFinalHandler(pipePartialNodes)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: pipeline-slow: %v", err))
+			}
+			faddrs[i] = listen(h)
+		}
+		paddrs := make([]string, pipePartialNodes)
+		for i := range paddrs {
+			plan := window.MustPlan(window.Count{}, pipeSpec())
+			h, err := plan.NewPartialHandler(window.PartialHandlerOptions{
+				ID: i, Nodes: pipePartialNodes, FinalAddrs: faddrs, Seed: seed,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: pipeline-slow: %v", err))
+			}
+			var th transport.Handler = h
+			if i == 0 {
+				th = transport.Slow(h, slowPipeDelay)
+			}
+			paddrs[i] = listen(th)
+		}
+		r, es := runRemotePartialCfg(n, seed, faddrs, engine.RemotePartialConfig{
+			Addrs:           paddrs,
+			Window:          1024,
+			MaxBatchTuples:  slowPipeBatch,
+			MaxBatchBytes:   32 << 10,
+			Linger:          2 * time.Millisecond,
+			AdaptiveWindow:  adaptive,
+			WeightedRouting: adaptive,
+		}, 0)
+		loads := make([]int64, len(paddrs))
+		for i, nd := range obs.Poll(paddrs, "partial") {
+			if nd.Err != nil {
+				panic(fmt.Sprintf("experiments: pipeline-slow: stats %s: %v", nd.Addr, nd.Err))
+			}
+			loads[i] = nd.Count
+		}
+		return leg{name: name, run: r, es: es, loads: loads,
+			match: equalCounts(local.counts, r.counts), adaptive: adaptive}
+	}
+
+	legs := []leg{
+		runLeg("static", false),
+		runLeg("adaptive", true),
+	}
+
+	tb := Table{
+		Title: fmt.Sprintf("pipeline slow-worker — heterogeneous cluster: static vs adaptive edge (partial node 0 slowed %v/tuple)", slowPipeDelay),
+		Columns: []string{"edge", "words", "words/s", "elapsed s", "slow-node share",
+			"p50 ms", "p99 ms", "stalls", "stall wait ms", "end window"},
+	}
+	for _, l := range legs {
+		share := 0.0
+		if total := l.loads[0] + l.loads[1]; total > 0 {
+			share = float64(l.loads[0]) / float64(total)
+		}
+		tb.AddRow(l.name, fmt.Sprint(n),
+			f0(float64(n)/l.run.elapsed.Seconds()),
+			f2(l.run.elapsed.Seconds()),
+			f2(share),
+			f2(float64(l.run.lat.Quantile(0.5))/1e6),
+			f2(float64(l.run.lat.Quantile(0.99))/1e6),
+			fmt.Sprint(l.es.Stalls),
+			f1(float64(l.es.WaitNs)/1e6),
+			fmt.Sprint(l.es.Window))
+	}
+	ratio := legs[1].run.elapsed.Seconds() / legs[0].run.elapsed.Seconds()
+	speedup := 0.0
+	if ratio > 0 {
+		speedup = 1 / ratio
+	}
+	tb.Notes = []string{
+		fmt.Sprintf("exact-count match (static): %v; exact-count match (adaptive): %v",
+			legs[0].match, legs[1].match),
+		fmt.Sprintf("slow-worker speedup: adaptive/static throughput = %.2f", speedup),
+		fmt.Sprintf("adaptive >= 1.30x static: %v", speedup >= 1.30),
+		"the static edge's PKG sees only local sent counts, so it splits the stream evenly",
+		"and the run drains at the slow node's pace; the adaptive edge learns per-node",
+		"service rates from ack piggybacks, routes by estimated drain time, and its AIMD",
+		"windows stop parking a full credit window of tuples behind the slow node",
+		"'slow-node share' is the slowed node's fraction of absorbed tuples (OpStats);",
+		"'end window' sums the forwarders' live credit windows at run end",
+	}
+	return []Table{tb}
 }
 
 // pipeTraces assembles cross-process traces after the fully

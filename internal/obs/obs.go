@@ -79,6 +79,10 @@ type Edge struct {
 	Stalls int64   `json:"stalls"`
 	WaitNs int64   `json:"wait_ns"`
 	Ratio  float64 `json:"ratio"`
+	// Window is the edge's summed live credit window (0 on nodes that
+	// predate the gauge): pinned on a static edge, moving with the
+	// AIMD controllers on an adaptive one.
+	Window int64 `json:"window,omitempty"`
 }
 
 // Cluster is the merged fleet view.
@@ -138,7 +142,8 @@ func Merge(nodes []Node) Cluster {
 			c.Edges = append(c.Edges, Edge{
 				Addr: nd.Addr, Role: nd.Role,
 				Frames: t.EdgeFrames, Stalls: t.EdgeStalls, WaitNs: t.EdgeWaitNs,
-				Ratio: float64(t.EdgeStalls) / float64(t.EdgeFrames),
+				Ratio:  float64(t.EdgeStalls) / float64(t.EdgeFrames),
+				Window: t.EdgeWindow,
 			})
 		}
 	}

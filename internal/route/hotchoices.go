@@ -32,6 +32,7 @@ type DChoices struct {
 	w     int
 	seeds []uint64
 	view  *metrics.Load
+	rates *Rates
 	cls   *hotkey.Classifier
 	cands []int
 }
@@ -70,7 +71,20 @@ func (g *DChoices) Route(key uint64) int {
 	_, d := g.cls.Observe(key)
 	cands := g.cands[:d]
 	candidates(cands, key, g.seeds[:d], g.w)
+	if g.rates != nil {
+		return leastLoadedWeighted(g.view, g.rates, cands)
+	}
 	return leastLoaded(g.view, cands)
+}
+
+// SetRates attaches a per-worker service-rate view (see PKG.SetRates):
+// the widened candidate argmin then weighs loads by measured service
+// time. Pass nil to restore the unweighted argmin.
+func (g *DChoices) SetRates(r *Rates) {
+	if r != nil && r.N() != g.w {
+		panic("route: SetRates with mismatched rate view")
+	}
+	g.rates = r
 }
 
 // Candidates returns the candidate workers the key's *current* class
@@ -107,6 +121,7 @@ type WChoices struct {
 	w     int
 	seeds []uint64
 	view  *metrics.Load
+	rates *Rates
 	cls   *hotkey.Classifier
 	rr    int
 	cands [2]int
@@ -146,7 +161,21 @@ func (g *WChoices) Route(key uint64) int {
 		return r
 	}
 	candidates(g.cands[:], key, g.seeds, g.w)
+	if g.rates != nil {
+		return leastLoadedWeighted(g.view, g.rates, g.cands[:])
+	}
 	return leastLoaded(g.view, g.cands[:])
+}
+
+// SetRates attaches a per-worker service-rate view (see PKG.SetRates)
+// consulted on the cold-key two-choices path; head keys keep their
+// round-robin (perfect spread already ignores worker speed by design).
+// Pass nil to restore the unweighted argmin.
+func (g *WChoices) SetRates(r *Rates) {
+	if r != nil && r.N() != g.w {
+		panic("route: SetRates with mismatched rate view")
+	}
+	g.rates = r
 }
 
 // Classifier returns this source's hot-key classifier.
@@ -169,8 +198,11 @@ type HotAware interface {
 }
 
 var (
-	_ Router   = (*DChoices)(nil)
-	_ Router   = (*WChoices)(nil)
-	_ HotAware = (*DChoices)(nil)
-	_ HotAware = (*WChoices)(nil)
+	_ Router    = (*DChoices)(nil)
+	_ Router    = (*WChoices)(nil)
+	_ HotAware  = (*DChoices)(nil)
+	_ HotAware  = (*WChoices)(nil)
+	_ RateAware = (*PKG)(nil)
+	_ RateAware = (*DChoices)(nil)
+	_ RateAware = (*WChoices)(nil)
 )

@@ -31,6 +31,7 @@ type PKG struct {
 	d     int
 	seeds []uint64
 	view  *metrics.Load
+	rates *Rates
 	cands []int
 }
 
@@ -68,12 +69,20 @@ func (g *PKG) Route(key uint64) int {
 		if r1 >= r0 {
 			r1++
 		}
+		if g.rates != nil {
+			g.cands = g.cands[:2]
+			g.cands[0], g.cands[1] = r0, r1
+			return leastLoadedWeighted(g.view, g.rates, g.cands)
+		}
 		if g.view.Get(r1) < g.view.Get(r0) {
 			return r1
 		}
 		return r0
 	}
 	candidates(g.cands, key, g.seeds, g.w)
+	if g.rates != nil {
+		return leastLoadedWeighted(g.view, g.rates, g.cands)
+	}
 	return leastLoaded(g.view, g.cands)
 }
 
@@ -85,6 +94,18 @@ func (g *PKG) Candidates(key uint64) []int {
 	out := make([]int, g.d)
 	candidates(out, key, g.seeds, g.w)
 	return out
+}
+
+// SetRates attaches a per-worker service-rate view: when non-nil,
+// Route switches from the plain load argmin to the heterogeneous
+// weighted argmin (leastLoadedWeighted), preferring the candidate
+// whose queue drains soonest under the measured service times. Pass
+// nil to restore unweighted PKG. The view must cover all w workers.
+func (g *PKG) SetRates(r *Rates) {
+	if r != nil && r.N() != g.w {
+		panic(fmt.Sprintf("route: SetRates over %d workers, want %d", r.N(), g.w))
+	}
+	g.rates = r
 }
 
 // View returns the load view this partitioner consults.

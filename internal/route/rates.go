@@ -1,0 +1,58 @@
+package route
+
+import "sync/atomic"
+
+// Rates is a per-worker service-time view: the measured nanoseconds per
+// tuple of each downstream worker, learned passively from the
+// ServiceNs field piggybacked on transport acks. It is the second
+// input — alongside the load view — of the heterogeneous-cluster
+// variant of PKG ("Load Balancing for Skewed Streams on Heterogeneous
+// Clusters"): where plain PKG picks the candidate with the fewest
+// routed messages, the weighted argmin picks the candidate whose queue
+// drains soonest, estimating drain time as load × service time. A
+// worker running 4× slower therefore sheds load automatically instead
+// of capping pipeline throughput at its pace.
+//
+// Zero means "no estimate yet" (no ack observed, or an old worker that
+// does not stamp ServiceNs); candidates with no estimate borrow the
+// smallest known candidate rate so an unmeasured worker is never
+// penalized, and when nothing is known the argmin degrades to the
+// plain load comparison. Writers are the transport ack readers (one
+// goroutine per connection), readers are the routing hot path, so the
+// slots are atomics: routing may observe a slightly stale rate, never
+// a torn one.
+type Rates struct {
+	v []atomic.Int64
+}
+
+// NewRates returns a rate view over n workers with no estimates.
+func NewRates(n int) *Rates {
+	if n <= 0 {
+		panic("route: NewRates with n <= 0")
+	}
+	return &Rates{v: make([]atomic.Int64, n)}
+}
+
+// N returns the number of workers.
+func (r *Rates) N() int { return len(r.v) }
+
+// Set records the latest service-time estimate (ns/tuple) for worker i.
+// Non-positive estimates are ignored (0 is the "unknown" sentinel).
+func (r *Rates) Set(i int, ns int64) {
+	if ns <= 0 {
+		return
+	}
+	r.v[i].Store(ns)
+}
+
+// Get returns worker i's service-time estimate, or 0 if none is known.
+func (r *Rates) Get(i int) int64 { return r.v[i].Load() }
+
+// Snapshot copies the current estimates into a fresh slice.
+func (r *Rates) Snapshot() []int64 {
+	out := make([]int64, len(r.v))
+	for i := range r.v {
+		out[i] = r.v[i].Load()
+	}
+	return out
+}

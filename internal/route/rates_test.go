@@ -1,0 +1,133 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"pkgstream/internal/hotkey"
+	"pkgstream/internal/metrics"
+)
+
+// TestWeightedArgminPrefersSoonestDrain pins the weighted decision
+// rule: with rates attached, the candidate with the smaller
+// (load + 1) × serviceNs wins even when it carries MORE load — the
+// heterogeneous-cluster variant's whole point.
+func TestWeightedArgminPrefersSoonestDrain(t *testing.T) {
+	view := metrics.NewLoad(2)
+	rates := NewRates(2)
+	// Worker 0: load 30 at 100ns/tuple → drain 3100ns.
+	// Worker 1: load 10 at 400ns/tuple → drain 4400ns.
+	view.AddN(0, 30)
+	view.AddN(1, 10)
+	rates.Set(0, 100)
+	rates.Set(1, 400)
+	if got := leastLoadedWeighted(view, rates, []int{0, 1}); got != 0 {
+		t.Fatalf("weighted argmin picked %d; worker 0 drains sooner despite more load", got)
+	}
+	// Unweighted would pick worker 1 (lower raw load) — the two rules
+	// must genuinely disagree here or the case proves nothing.
+	if got := leastLoaded(view, []int{0, 1}); got != 1 {
+		t.Fatalf("unweighted argmin picked %d, want 1", got)
+	}
+}
+
+// TestWeightedArgminUnknownRates pins the degradation ladder: no
+// estimates at all falls back to the plain load argmin, and a
+// candidate with no estimate borrows the smallest known rate rather
+// than being penalized or preferred arbitrarily.
+func TestWeightedArgminUnknownRates(t *testing.T) {
+	view := metrics.NewLoad(3)
+	rates := NewRates(3)
+	view.AddN(0, 5)
+	view.AddN(1, 3)
+	view.AddN(2, 9)
+	// All unknown: identical to leastLoaded.
+	for _, cands := range [][]int{{0, 1}, {1, 2}, {0, 1, 2}, {2, 0}} {
+		if w, u := leastLoadedWeighted(view, rates, cands), leastLoaded(view, cands); w != u {
+			t.Fatalf("cands %v: weighted %d != unweighted %d with no rates", cands, w, u)
+		}
+	}
+	// Worker 2 slow (400ns), worker 0 known fast (100ns), worker 1
+	// unknown: 1 borrows 100ns, so (3+1)×100 beats (5+1)×100 and
+	// (9+1)×400 — the unmeasured candidate competes at the best known
+	// speed.
+	rates.Set(0, 100)
+	rates.Set(2, 400)
+	if got := leastLoadedWeighted(view, rates, []int{0, 1, 2}); got != 1 {
+		t.Fatalf("got %d, want the unknown-rate worker 1 to borrow the fastest rate and win", got)
+	}
+}
+
+// TestPKGWeightedShedsFromSlowWorker runs PKG d=2 over two workers,
+// one 4× slower, with the router's own decisions feeding the load
+// view (the paper's local-estimation model). The weighted argmin must
+// steer the split toward the fast worker roughly in proportion to the
+// speed ratio; unweighted PKG splits ~50/50 on two workers.
+func TestPKGWeightedShedsFromSlowWorker(t *testing.T) {
+	const n = 100_000
+	view := NewLoad(2)
+	rates := NewRates(2)
+	rates.Set(0, 100) // fast
+	rates.Set(1, 400) // 4× slower
+	g := NewPKG(2, 2, 42, view)
+	g.SetRates(rates)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		dst := g.Route(rng.Uint64())
+		view.Add(dst)
+	}
+	fast, slow := view.Get(0), view.Get(1)
+	// Equal drain times ⇒ fast ≈ 4 × slow; allow slack for hash noise.
+	if fast < 3*slow {
+		t.Fatalf("weighted PKG sent fast=%d slow=%d; the slow worker did not shed (want ≥3× ratio)", fast, slow)
+	}
+	if fast+slow != n {
+		t.Fatalf("routed %d tuples, want %d", fast+slow, n)
+	}
+}
+
+// TestWeightedMatchesUnweightedUntilRatesArrive pins cold-start
+// byte-identity: a rate-attached router with an empty Rates view must
+// make exactly the decisions of an unweighted one, key for key — so
+// enabling WeightedRouting cannot perturb a healthy homogeneous run.
+func TestWeightedMatchesUnweightedUntilRatesArrive(t *testing.T) {
+	viewA, viewB := NewLoad(4), NewLoad(4)
+	a := NewPKG(4, 2, 9, viewA)
+	b := NewPKG(4, 2, 9, viewB)
+	b.SetRates(NewRates(4))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20_000; i++ {
+		k := rng.Uint64()
+		da, db := a.Route(k), b.Route(k)
+		if da != db {
+			t.Fatalf("decision diverged at tuple %d: %d vs %d with no rates known", i, da, db)
+		}
+		viewA.Add(da)
+		viewB.Add(db)
+	}
+}
+
+// TestRateAwareStrategies checks that Config.Rates reaches every
+// view-driven strategy through New, and that mismatched sizing is an
+// error, not a panic.
+func TestRateAwareStrategies(t *testing.T) {
+	hc := hotkey.Config{Epsilon: 0.01}
+	for _, s := range []Strategy{StrategyPKG, StrategyDChoices, StrategyWChoices} {
+		r, err := New(Config{
+			Strategy: s, Workers: 4, Seed: 7, View: NewLoad(4),
+			Rates: NewRates(4), Hot: hc,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if _, ok := r.(RateAware); !ok {
+			t.Fatalf("%v router is not RateAware", s)
+		}
+	}
+	if _, err := New(Config{
+		Strategy: StrategyPKG, Workers: 4, Seed: 7, View: NewLoad(4),
+		Rates: NewRates(3),
+	}); err == nil {
+		t.Fatal("mismatched rate view sizing did not error")
+	}
+}

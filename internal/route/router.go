@@ -353,3 +353,43 @@ func leastLoaded(view *metrics.Load, cands []int) int {
 	}
 	return best
 }
+
+// leastLoadedWeighted is the heterogeneous-cluster argmin: it returns
+// the candidate whose queue drains soonest, estimating drain time as
+// (load + 1) × service time — the +1 counts the tuple being routed, so
+// even at equal (or zero) load the faster worker wins. Candidates with
+// no rate estimate borrow the smallest known candidate rate (never
+// penalize the unmeasured), and when no candidate has an estimate the
+// decision degrades to the plain load comparison, which keeps cold
+// starts and homogeneous clusters byte-identical to unweighted PKG.
+// First-listed wins ties, keeping routing deterministic.
+func leastLoadedWeighted(view *metrics.Load, rates *Rates, cands []int) int {
+	minRate := int64(0)
+	for _, c := range cands {
+		if r := rates.Get(c); r > 0 && (minRate == 0 || r < minRate) {
+			minRate = r
+		}
+	}
+	if minRate == 0 {
+		return leastLoaded(view, cands)
+	}
+	best := cands[0]
+	bestScore := drainScore(view, rates, best, minRate)
+	for _, c := range cands[1:] {
+		if s := drainScore(view, rates, c, minRate); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// drainScore estimates worker c's drain time in float64 nanoseconds
+// (floats sidestep int64 overflow on load × rate without changing the
+// argmin: the comparison only needs monotonicity, not exact ns).
+func drainScore(view *metrics.Load, rates *Rates, c int, minRate int64) float64 {
+	r := rates.Get(c)
+	if r <= 0 {
+		r = minRate
+	}
+	return float64(view.Get(c)+1) * float64(r)
+}

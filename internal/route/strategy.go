@@ -95,6 +95,12 @@ type Config struct {
 	Start int
 	// Freqs is the exact key-frequency distribution for OffGreedy.
 	Freqs []KeyFreq
+	// Rates is the optional per-worker service-rate view consulted by
+	// PKG, DChoices and WChoices when non-nil: the candidate argmin
+	// then weighs load counts by measured service time (the
+	// heterogeneous-cluster variant; see Rates). The caller feeds it
+	// from ack-piggybacked ServiceNs. Ignored by the other strategies.
+	Rates *Rates
 	// Hot holds the hot-key knobs for DChoices and WChoices: the
 	// D-Choices width Hot.D (0 = adaptive), the skew target Hot.Epsilon,
 	// and the sketch/refresh parameters. Hot.Workers is filled from
@@ -120,6 +126,31 @@ func New(cfg Config) (Router, error) {
 				cfg.Strategy, cfg.View.N(), cfg.Workers)
 		}
 	}
+	if cfg.Rates != nil && cfg.Rates.N() != cfg.Workers {
+		return nil, fmt.Errorf("route: %v rate view has %d workers, want %d",
+			cfg.Strategy, cfg.Rates.N(), cfg.Workers)
+	}
+	r, err := newRouter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Rates != nil {
+		if ra, ok := r.(RateAware); ok {
+			ra.SetRates(cfg.Rates)
+		}
+	}
+	return r, nil
+}
+
+// RateAware is implemented by routers whose candidate argmin can weigh
+// loads by measured per-worker service rates (PKG, DChoices,
+// WChoices). Hosts use it to attach or detach a Rates view without
+// knowing the concrete strategy.
+type RateAware interface {
+	SetRates(*Rates)
+}
+
+func newRouter(cfg Config) (Router, error) {
 	switch cfg.Strategy {
 	case StrategyKG:
 		return NewKeyGrouping(cfg.Workers, cfg.Seed), nil

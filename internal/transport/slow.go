@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"time"
+
+	"pkgstream/internal/wire"
+)
+
+// Slow wraps h with a fixed per-tuple dispatch delay — the fault
+// injector behind `pkgnode -slow-worker` and the heterogeneous-cluster
+// scenarios in tests and CI. The delay runs inside the worker's
+// serialized dispatch, so it inflates the sampled service-time EWMA
+// exactly like genuinely slow handler work would: senders observe the
+// degradation through ack-piggybacked service rates, not through any
+// side channel. Marks, queries and subscriptions stay undelayed
+// (control traffic is not "work").
+//
+// The returned handler preserves the wrapped handler's optional
+// capabilities: batches still dispatch in one call when h batches
+// (delayed by per-tuple × batch size), and push subscriptions still
+// reach h when it pushes.
+func Slow(h Handler, perTuple time.Duration) Handler {
+	if perTuple <= 0 {
+		return h
+	}
+	s := slowHandler{h: h, d: perTuple}
+	bh, _ := h.(TupleBatchHandler)
+	ph, _ := h.(PushHandler)
+	switch {
+	case bh != nil && ph != nil:
+		return &slowBatchPushHandler{slowBatchHandler{s, bh}, ph}
+	case bh != nil:
+		return &slowBatchHandler{s, bh}
+	case ph != nil:
+		return &slowPushHandler{s, ph}
+	default:
+		return &s
+	}
+}
+
+type slowHandler struct {
+	h Handler
+	d time.Duration
+}
+
+func (s *slowHandler) HandleTuple(t *wire.Tuple) {
+	time.Sleep(s.d)
+	s.h.HandleTuple(t)
+}
+
+func (s *slowHandler) HandlePartial(p *wire.Partial) {
+	time.Sleep(s.d)
+	s.h.HandlePartial(p)
+}
+
+func (s *slowHandler) HandleMark(m wire.Mark)              { s.h.HandleMark(m) }
+func (s *slowHandler) HandleQuery(q wire.Query) wire.Reply { return s.h.HandleQuery(q) }
+
+type slowBatchHandler struct {
+	slowHandler
+	bh TupleBatchHandler
+}
+
+func (s *slowBatchHandler) HandleTupleBatch(ts []wire.Tuple) {
+	time.Sleep(s.d * time.Duration(len(ts)))
+	s.bh.HandleTupleBatch(ts)
+}
+
+type slowPushHandler struct {
+	slowHandler
+	ph PushHandler
+}
+
+func (s *slowPushHandler) HandleSubscribe(sub wire.Subscribe, sink ResultSink) {
+	s.ph.HandleSubscribe(sub, sink)
+}
+
+type slowBatchPushHandler struct {
+	slowBatchHandler
+	ph PushHandler
+}
+
+func (s *slowBatchPushHandler) HandleSubscribe(sub wire.Subscribe, sink ResultSink) {
+	s.ph.HandleSubscribe(sub, sink)
+}

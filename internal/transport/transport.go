@@ -74,8 +74,16 @@ const serviceSampleEvery = 64
 // an ephemeral port) — the classic PKG worker holding partial counts
 // for the keys routed to it.
 func ListenWorker(addr string) (*Worker, error) {
+	return ListenWorkerSlow(addr, 0)
+}
+
+// ListenWorkerSlow is ListenWorker with a fixed per-tuple dispatch
+// delay injected ahead of the counting handler (see Slow; 0 injects
+// nothing) — the CLI fault injector behind `pkgnode -slow-worker` for
+// reproducible heterogeneous-cluster scenarios.
+func ListenWorkerSlow(addr string, perTuple time.Duration) (*Worker, error) {
 	h := NewCountHandler()
-	w, err := ListenHandler(addr, h)
+	w, err := ListenHandler(addr, Slow(h, perTuple))
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +184,14 @@ func (w *Worker) serve(conn net.Conn) {
 	svc := int64(serviceSampleEvery)
 	ack := func() bool {
 		fcAcked = fcProcessed
-		ackBuf = wire.AppendAck(ackBuf[:0], wire.Ack{Count: fcProcessed})
+		// Each ack piggybacks the worker's service-time EWMA, so every
+		// sender passively learns this worker's speed at ack cadence —
+		// the signal the load-aware router and the sender's adaptive
+		// window controller both feed on. Costs 1-2 bytes per ack, zero
+		// extra frames.
+		ackBuf = wire.AppendAck(ackBuf[:0], wire.Ack{
+			Count: fcProcessed, ServiceNs: w.ServiceNanos(),
+		})
 		wmu.Lock()
 		_, err := conn.Write(ackBuf)
 		wmu.Unlock()
@@ -278,6 +293,22 @@ func (w *Worker) serve(conn net.Conn) {
 				return
 			}
 			fcWindow = c.Window
+		case wire.KindCreditUpdate:
+			u, err := wire.DecodeCreditUpdate(p)
+			if err != nil {
+				return
+			}
+			fcWindow = u.Window
+			// Ack any residue immediately. The sender's stall invariant is
+			// "in-flight == my window > the worker's ack threshold, so an
+			// ack is coming"; a shrink can drop the sender's window BELOW
+			// the unacked residue while that residue sits under the old
+			// fcWindow/2 threshold — without this ack nothing would ever
+			// wake the sender again. After it, absorbedN's cadence check
+			// reads the updated fcWindow and tracks the new window.
+			if fcProcessed > fcAcked && !ack() {
+				return
+			}
 		case wire.KindSubscribe:
 			s, err := wire.DecodeSubscribe(p)
 			if err != nil {

@@ -388,7 +388,9 @@ func (b *tupleForwarder) Prepare(ctx *engine.Context) {
 		Mode: b.cfg.Strategy, ModeSet: b.cfg.StrategySet, Seed: b.seed,
 		Start: ctx.Index, D: b.cfg.D, Hot: b.cfg.Hot, Window: b.cfg.Window,
 		MaxBatchTuples: b.cfg.MaxBatchTuples, MaxBatchBytes: b.cfg.MaxBatchBytes,
-		Linger: linger,
+		Linger:         linger,
+		AdaptiveWindow: b.cfg.AdaptiveWindow, MinWindow: b.cfg.MinWindow,
+		MaxWindow: b.cfg.MaxWindow, WeightedRouting: b.cfg.WeightedRouting,
 	})
 	if err != nil {
 		panic(&engine.EdgeError{

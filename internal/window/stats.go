@@ -117,6 +117,7 @@ func telemetry(ws engine.WindowStats, es engine.EdgeStats, creditWait metrics.Hi
 		EdgeFrames:     es.Frames,
 		EdgeStalls:     es.Stalls,
 		EdgeWaitNs:     es.WaitNs,
+		EdgeWindow:     es.Window,
 		WatermarkLagNs: ws.WMLagNs,
 		WindowBacklog:  ws.Live,
 		CreditWait:     wireHist(creditWait),

@@ -61,6 +61,16 @@
 //	             of the header validation, so a pre-batch decoder
 //	             rejects a TupleBatch frame cleanly ("unknown frame
 //	             kind") instead of misreading it.
+//
+// One control family added for adaptive flow control (PR 10):
+//
+//	CreditUpdate — sender → worker: re-sizes a live flow-control
+//	               session's window mid-stream, so the sender's AIMD
+//	               controller can grow or shrink the in-flight bound
+//	               without redialing. Additive under the same version-1
+//	               unknown-kind rules as TupleBatch; Ack frames gained
+//	               an optional trailing service-time field (old acks
+//	               end at the count and keep decoding unchanged).
 package wire
 
 import (
@@ -108,6 +118,9 @@ const (
 	KindSubscribe
 	// KindTupleBatch is a batch of stream tuples under one header.
 	KindTupleBatch
+	// KindCreditUpdate re-sizes a live flow-control session's window
+	// mid-stream (sender → worker).
+	KindCreditUpdate
 	kindEnd
 )
 
@@ -134,6 +147,8 @@ func (k Kind) String() string {
 		return "subscribe"
 	case KindTupleBatch:
 		return "tuple-batch"
+	case KindCreditUpdate:
+		return "credit-update"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -369,6 +384,12 @@ type Telemetry struct {
 	// ServiceNs is the node's per-tuple service-time EWMA on the
 	// dispatch path, in nanoseconds (0 until sampled).
 	ServiceNs int64
+	// EdgeWindow is the summed live credit window of the node's
+	// outbound flow-controlled edge connections, in tuples (optional —
+	// flag bit 2; 0 on nodes without a flow-controlled edge). Under the
+	// adaptive controller this is the actuated value the in-flight
+	// gauge is bounded by.
+	EdgeWindow int64
 	// CreditWait is the credit-stall wait-time histogram (optional).
 	CreditWait *LatencyHist
 }
@@ -396,6 +417,26 @@ type Credit struct {
 type Ack struct {
 	// Count is the cumulative absorbed tuple count (≥ 0).
 	Count int64
+	// ServiceNs piggybacks the worker's per-tuple service-time EWMA in
+	// nanoseconds (0: not sampled yet / an old worker — the field is
+	// optional on the wire, so pre-update acks keep decoding).
+	ServiceNs int64
+}
+
+// CreditUpdate re-sizes a live flow-control session's window
+// (sender → worker): the sender's adaptive controller announces its
+// new in-flight bound so the worker's ack cadence (every window/2
+// absorbed tuples) tracks the CURRENT window. A worker that holds
+// unacknowledged residue when the update arrives acks immediately —
+// otherwise a window shrunk below the old cadence threshold could
+// leave the sender waiting on an ack the worker would never send.
+// Workers that predate the kind drop the unknown frame at ParseHeader,
+// which fails the connection — the sender only emits updates when its
+// adaptive mode is explicitly enabled.
+type CreditUpdate struct {
+	// Window is the new maximum number of unacknowledged tuples the
+	// sender keeps in flight (≥ 1).
+	Window int64
 }
 
 // Subscribe registers the connection it arrives on for push delivery of
@@ -722,6 +763,9 @@ func AppendReply(dst []byte, r *Reply) []byte {
 			if t.CreditWait != nil {
 				flags |= 1
 			}
+			if t.EdgeWindow > 0 {
+				flags |= 2
+			}
 			dst = append(dst, flags)
 			dst = appendI64(dst, t.EdgeInFlight)
 			dst = appendI64(dst, t.EdgeQueue)
@@ -731,6 +775,9 @@ func AppendReply(dst []byte, r *Reply) []byte {
 			dst = appendI64(dst, t.WatermarkLagNs)
 			dst = appendI64(dst, t.WindowBacklog)
 			dst = appendI64(dst, t.ServiceNs)
+			if t.EdgeWindow > 0 {
+				dst = appendI64(dst, t.EdgeWindow)
+			}
 			if t.CreditWait != nil {
 				dst = appendHistBody(dst, t.CreditWait)
 			}
@@ -768,10 +815,23 @@ func AppendCredit(dst []byte, c Credit) []byte {
 	return finish(dst, start)
 }
 
-// AppendAck appends a as a framed KindAck to dst.
+// AppendAck appends a as a framed KindAck to dst. The service-time
+// field travels only when set, so pre-update receivers (which stop
+// after Count) and the zero value stay byte-identical to the old
+// encoding.
 func AppendAck(dst []byte, a Ack) []byte {
 	dst, start := frame(dst, KindAck)
 	dst = binary.AppendUvarint(dst, uint64(a.Count))
+	if a.ServiceNs > 0 {
+		dst = binary.AppendUvarint(dst, uint64(a.ServiceNs))
+	}
+	return finish(dst, start)
+}
+
+// AppendCreditUpdate appends u as a framed KindCreditUpdate to dst.
+func AppendCreditUpdate(dst []byte, u CreditUpdate) []byte {
+	dst, start := frame(dst, KindCreditUpdate)
+	dst = binary.AppendUvarint(dst, uint64(u.Window))
 	return finish(dst, start)
 }
 
@@ -1314,14 +1374,15 @@ func decodeSpanSection(r *reader, rep *Reply) error {
 }
 
 // decodeTelemetry decodes the telemetry entry (secIDTelemetry) of a
-// Reply's trailing section: a flags byte, eight fixed gauge fields, and
-// an optional credit-wait histogram gated on flag bit 1.
+// Reply's trailing section: a flags byte, eight fixed gauge fields, an
+// optional edge-window gauge gated on flag bit 2, and an optional
+// credit-wait histogram gated on flag bit 1.
 func decodeTelemetry(r *reader) (*Telemetry, error) {
 	flags, err := r.byte()
 	if err != nil {
 		return nil, err
 	}
-	if flags&^1 != 0 {
+	if flags&^3 != 0 {
 		return nil, fmt.Errorf("wire: unknown telemetry flags %#x", flags)
 	}
 	t := &Telemetry{}
@@ -1331,6 +1392,16 @@ func decodeTelemetry(r *reader) (*Telemetry, error) {
 	} {
 		if *f, err = r.i64(); err != nil {
 			return nil, err
+		}
+	}
+	if flags&2 != 0 {
+		if t.EdgeWindow, err = r.i64(); err != nil {
+			return nil, err
+		}
+		// The encoder only sets the bit for a positive window, so a
+		// non-positive value here is a non-canonical payload.
+		if t.EdgeWindow <= 0 {
+			return nil, fmt.Errorf("wire: telemetry edge window %d out of range", t.EdgeWindow)
 		}
 	}
 	if flags&1 != 0 {
@@ -1395,7 +1466,10 @@ func DecodeCredit(b []byte) (Credit, error) {
 	return Credit{Window: int64(w)}, nil
 }
 
-// DecodeAck decodes a KindAck payload.
+// DecodeAck decodes a KindAck payload. The trailing service-time field
+// is optional (old acks end at Count); when present it must be
+// non-zero — a zero would re-encode to the short form, so rejecting it
+// keeps every accepted payload canonical.
 func DecodeAck(b []byte) (Ack, error) {
 	r := reader{b: b}
 	n, err := r.uvarint()
@@ -1405,10 +1479,37 @@ func DecodeAck(b []byte) (Ack, error) {
 	if n > math.MaxInt64 {
 		return Ack{}, fmt.Errorf("wire: ack count %d overflows int64", n)
 	}
+	a := Ack{Count: int64(n)}
+	if r.off < len(r.b) {
+		s, err := r.uvarint()
+		if err != nil {
+			return Ack{}, err
+		}
+		if s == 0 || s > math.MaxInt64 {
+			return Ack{}, fmt.Errorf("wire: ack service time %d out of range", s)
+		}
+		a.ServiceNs = int64(s)
+	}
 	if err := r.done(); err != nil {
 		return Ack{}, err
 	}
-	return Ack{Count: int64(n)}, nil
+	return a, nil
+}
+
+// DecodeCreditUpdate decodes a KindCreditUpdate payload.
+func DecodeCreditUpdate(b []byte) (CreditUpdate, error) {
+	r := reader{b: b}
+	w, err := r.uvarint()
+	if err != nil {
+		return CreditUpdate{}, err
+	}
+	if w == 0 || w > math.MaxInt64 {
+		return CreditUpdate{}, fmt.Errorf("wire: credit-update window %d out of range", w)
+	}
+	if err := r.done(); err != nil {
+		return CreditUpdate{}, err
+	}
+	return CreditUpdate{Window: int64(w)}, nil
 }
 
 // DecodeSubscribe decodes a KindSubscribe payload.

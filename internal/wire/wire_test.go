@@ -92,6 +92,15 @@ func encodeAll(t testing.TB) [][]byte {
 		EdgeWaitNs: 9e6, WatermarkLagNs: 2e9, WindowBacklog: 7, ServiceNs: 450,
 		CreditWait: &LatencyHist{Sum: 9e6, Buckets: []HistBucket{{Index: 900, Count: 5}}},
 	}}), nil)
+	// Adaptive flow control frames (PR 10), appended at corpus end.
+	add(AppendCreditUpdate(nil, CreditUpdate{Window: 1}), nil)
+	add(AppendCreditUpdate(nil, CreditUpdate{Window: 1 << 18}), nil)
+	add(AppendAck(nil, Ack{Count: 4096, ServiceNs: 230}), nil)
+	add(AppendAck(nil, Ack{Count: math.MaxInt64, ServiceNs: math.MaxInt64}), nil)
+	add(AppendReply(nil, &Reply{Op: OpStats, Count: 2, Telemetry: &Telemetry{
+		EdgeInFlight: 1, EdgeFrames: 10, ServiceNs: 90, EdgeWindow: 2048,
+		CreditWait: &LatencyHist{Sum: 3e6, Buckets: []HistBucket{{Index: 870, Count: 1}}},
+	}}), nil)
 	return frames
 }
 
@@ -124,6 +133,8 @@ func decodeFrame(kind Kind, payload []byte) (any, error) {
 	case KindTupleBatch:
 		ts, err := DecodeTupleBatch(payload, nil)
 		return ts, err
+	case KindCreditUpdate:
+		return DecodeCreditUpdate(payload)
 	default:
 		panic("unreachable: ReadFrame only returns known kinds")
 	}
@@ -160,6 +171,8 @@ func reencode(v any) []byte {
 			panic(err)
 		}
 		return b
+	case CreditUpdate:
+		return AppendCreditUpdate(nil, v)
 	default:
 		panic("unreachable")
 	}
@@ -403,6 +416,8 @@ func TestReplyTelemetryRoundTrip(t *testing.T) {
 		{Op: OpStats, Count: 8, Telemetry: &full},
 		{Op: OpStats, Telemetry: &Telemetry{}}, // all-zero snapshot still travels
 		{Op: OpStats, Telemetry: &Telemetry{WatermarkLagNs: -1, ServiceNs: 77}},
+		{Op: OpStats, Telemetry: &Telemetry{EdgeWindow: 4096}},
+		{Op: OpStats, Telemetry: &Telemetry{EdgeWindow: 1, ServiceNs: 3, CreditWait: cw}},
 		{Op: OpStats, Count: 8, Done: true,
 			Lat:   &LatencyHist{Sum: 1, Buckets: []HistBucket{{Index: 1, Count: 1}}},
 			Stale: &LatencyHist{}, Telemetry: &full},
@@ -440,9 +455,15 @@ func TestReplyTelemetryRoundTrip(t *testing.T) {
 	if bad[flagsOff] != 1 {
 		t.Fatalf("test layout drifted: byte at %d = %d, want flags 1", flagsOff, bad[flagsOff])
 	}
-	bad[flagsOff] = 3
+	bad[flagsOff] = 5 // bit 4 is unassigned
 	if _, err := DecodeReply(bad); err == nil {
 		t.Fatal("unknown telemetry flags accepted")
+	}
+	// Claiming the edge-window field (bit 2) without its bytes present
+	// is a truncation, not a silent zero.
+	bad[flagsOff] = 3
+	if _, err := DecodeReply(bad); err == nil {
+		t.Fatal("edge-window flag without the field accepted")
 	}
 	// Trailing bytes after the section stay an error.
 	bad = append(append([]byte(nil), fullB[HeaderSize:]...), 0)
@@ -585,6 +606,50 @@ func TestReplySpansRoundTrip(t *testing.T) {
 	bad := append(append([]byte(nil), full[HeaderSize:]...), 0)
 	if _, err := DecodeReply(bad); err == nil {
 		t.Fatal("trailing byte after span section accepted")
+	}
+}
+
+// TestAckServiceNsRoundTrip: the optional service-time piggyback on
+// acks — absent on the zero value (old encoding preserved), present and
+// round-tripping when set, canonical (an explicit zero is rejected as a
+// trailing byte, not decoded back to the short form).
+func TestAckServiceNsRoundTrip(t *testing.T) {
+	plain := AppendAck(nil, Ack{Count: 9})
+	got, err := DecodeAck(plain[HeaderSize:])
+	if err != nil || got.ServiceNs != 0 || got.Count != 9 {
+		t.Fatalf("plain ack: %#v, %v", got, err)
+	}
+	stamped := AppendAck(nil, Ack{Count: 9, ServiceNs: 480})
+	if len(stamped) <= len(plain) {
+		t.Fatalf("service time did not grow the frame: %d vs %d", len(stamped), len(plain))
+	}
+	got, err = DecodeAck(stamped[HeaderSize:])
+	if err != nil || got.ServiceNs != 480 || got.Count != 9 {
+		t.Fatalf("stamped ack: %#v, %v", got, err)
+	}
+	// A trailing zero is a non-canonical service field, not a valid ack.
+	if _, err := DecodeAck(append(append([]byte(nil), plain[HeaderSize:]...), 0)); err == nil {
+		t.Fatal("zero service field accepted")
+	}
+}
+
+// TestCreditUpdateRoundTrip: the mid-session window re-size frame obeys
+// the same validation as the session-opening Credit.
+func TestCreditUpdateRoundTrip(t *testing.T) {
+	b := AppendCreditUpdate(nil, CreditUpdate{Window: 512})
+	kind, payload, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil || kind != KindCreditUpdate {
+		t.Fatalf("read: %v, %v", kind, err)
+	}
+	u, err := DecodeCreditUpdate(payload)
+	if err != nil || u.Window != 512 {
+		t.Fatalf("round trip: %#v, %v", u, err)
+	}
+	if _, err := DecodeCreditUpdate([]byte{0}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := DecodeCreditUpdate(nil); err == nil {
+		t.Fatal("empty payload accepted")
 	}
 }
 
@@ -787,6 +852,7 @@ func FuzzRoundTrip(f *testing.F) {
 		_, _ = DecodeQuery(data)
 		_, _ = DecodeReply(data)
 		_, _ = DecodeCredit(data)
+		_, _ = DecodeCreditUpdate(data)
 		_, _ = DecodeAck(data)
 		_, _ = DecodeSubscribe(data)
 		_, _ = DecodeTupleBatch(data, nil)
